@@ -1,0 +1,92 @@
+// Ablation: the RSG union (§4.3).
+//
+// The paper: "This union of RSGs greatly reduces the number of RSGs and
+// leads to a practicable analysis." This binary runs corpus codes with the
+// JOIN reduction enabled and disabled (duplicates-only deduplication) and
+// reports the growth of the per-statement RSRSGs.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace psa;
+
+struct SetGrowth {
+  std::size_t total_graphs = 0;
+  std::size_t worst_set = 0;
+};
+
+SetGrowth measure(const analysis::AnalysisResult& result) {
+  SetGrowth g;
+  for (const auto& set : result.per_node) {
+    g.total_graphs += set.size();
+    g.worst_set = std::max(g.worst_set, set.size());
+  }
+  return g;
+}
+
+analysis::Options options_with_join(bool join) {
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  options.enable_join = join;
+  options.widen_threshold = 0;  // measure the raw union effect
+  options.max_node_visits = 100'000;
+  return options;
+}
+
+void BM_Join(benchmark::State& state, const char* name, bool join) {
+  const auto program = analysis::prepare(corpus::find_program(name)->source);
+  const auto options = options_with_join(join);
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+  }
+  bench::report_run(state, program, result);
+  const SetGrowth g = measure(result);
+  state.counters["total_graphs"] = static_cast<double>(g.total_graphs);
+  state.counters["worst_set"] = static_cast<double>(g.worst_set);
+}
+
+void print_table() {
+  std::printf("\nAblation — RSG union (JOIN) at L2, widening off\n");
+  std::printf("%-14s %-5s %10s %13s %10s  %s\n", "code", "join", "time",
+              "total graphs", "worst set", "status");
+  for (const char* name : {"sll", "dll", "list_reverse", "two_lists"}) {
+    for (const bool join : {true, false}) {
+      const auto program =
+          analysis::prepare(corpus::find_program(name)->source);
+      const auto result =
+          analysis::analyze_program(program, options_with_join(join));
+      const SetGrowth g = measure(result);
+      std::printf("%-14s %-5s %10s %13zu %10zu  %s\n", name,
+                  join ? "on" : "off",
+                  bench::format_time(result.seconds).c_str(), g.total_graphs,
+                  g.worst_set,
+                  std::string(analysis::to_string(result.status)).c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (const char* name : {"sll", "dll", "list_reverse"}) {
+    for (const bool join : {true, false}) {
+      const std::string bench_name =
+          std::string("ablation_join/") + name + (join ? "/on" : "/off");
+      benchmark::RegisterBenchmark(bench_name.c_str(), BM_Join, name, join)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

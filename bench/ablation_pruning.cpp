@@ -1,0 +1,78 @@
+// Ablation: the share-attribute pruning of §4.2.
+//
+// The paper: "the false value in share attributes leads to a more
+// aggressive pruning which simplifies the RSRSGs and greatly contributes to
+// avoid an explosion in the number of nodes." This binary runs the corpus
+// codes with and without the share-based link pruning and reports time,
+// peak bytes, and the total node count of the final per-statement states.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace psa;
+
+std::size_t total_state_nodes(const analysis::AnalysisResult& result) {
+  std::size_t nodes = 0;
+  for (const auto& set : result.per_node) nodes += set.total_nodes();
+  return nodes;
+}
+
+void BM_Pruning(benchmark::State& state, const char* name, bool share_pruning) {
+  const auto program = analysis::prepare(corpus::find_program(name)->source);
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  options.share_pruning = share_pruning;
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+  }
+  bench::report_run(state, program, result);
+  state.counters["state_nodes"] = static_cast<double>(total_state_nodes(result));
+}
+
+void print_table() {
+  std::printf("\nAblation — share-attribute pruning (L2)\n");
+  std::printf("%-16s %-9s %10s %14s %12s %8s\n", "code", "pruning", "time",
+              "peak bytes", "state nodes", "visits");
+  for (const char* name : {"sll", "dll", "binary_tree", "sparse_matvec",
+                           "barnes_hut_small"}) {
+    for (const bool share : {true, false}) {
+      const auto program =
+          analysis::prepare(corpus::find_program(name)->source);
+      analysis::Options options;
+      options.level = rsg::AnalysisLevel::kL2;
+      options.share_pruning = share;
+      const auto result = analysis::analyze_program(program, options);
+      std::printf("%-16s %-9s %10s %14llu %12zu %8llu\n", name,
+                  share ? "on" : "off",
+                  bench::format_time(result.seconds).c_str(),
+                  static_cast<unsigned long long>(result.peak_bytes()),
+                  total_state_nodes(result),
+                  static_cast<unsigned long long>(result.node_visits));
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (const char* name : {"sll", "dll", "binary_tree", "barnes_hut_small"}) {
+    for (const bool share : {true, false}) {
+      const std::string bench_name = std::string("ablation_pruning/") + name +
+                                     (share ? "/on" : "/off");
+      benchmark::RegisterBenchmark(bench_name.c_str(), BM_Pruning, name, share)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

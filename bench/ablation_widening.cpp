@@ -1,0 +1,82 @@
+// Ablation: the engine's widening (DESIGN.md §6b) — our main engineering
+// addition over the paper, which bounded analysis cost with patience
+// instead. Runs codes that converge under both regimes and compares cost
+// and end-state precision (graph/node counts and sharing verdicts).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "client/queries.hpp"
+
+namespace {
+
+using namespace psa;
+
+analysis::Options options_with_widening(std::size_t threshold) {
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  options.widen_threshold = threshold;
+  options.max_node_visits = 300'000;
+  return options;
+}
+
+void BM_Widening(benchmark::State& state, const char* name,
+                 std::size_t threshold) {
+  const auto program = analysis::prepare(corpus::find_program(name)->source);
+  const auto options = options_with_widening(threshold);
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+  }
+  bench::report_run(state, program, result);
+}
+
+void print_table() {
+  std::printf("\nAblation — widening threshold (L2). 0 = pure paper "
+              "semantics.\n");
+  std::printf("%-18s %-6s %10s %14s %8s %12s  %s\n", "code", "thr", "time",
+              "peak bytes", "visits", "exit graphs", "status");
+  for (const char* name :
+       {"sll", "binary_tree", "barnes_hut_small", "barnes_hut"}) {
+    for (const std::size_t threshold : {std::size_t{0}, std::size_t{16},
+                                        std::size_t{48}}) {
+      // The full Barnes-Hut without widening exceeds any reasonable budget
+      // (the paper's own 17-minute L1); bound it so the row terminates.
+      auto options = options_with_widening(threshold);
+      if (std::string_view(name) == "barnes_hut" && threshold == 0) {
+        options.max_node_visits = 20'000;
+      }
+      const auto program =
+          analysis::prepare(corpus::find_program(name)->source);
+      const auto result = analysis::analyze_program(program, options);
+      std::printf("%-18s %-6zu %10s %14llu %8llu %12zu  %s\n", name, threshold,
+                  bench::format_time(result.seconds).c_str(),
+                  static_cast<unsigned long long>(result.peak_bytes()),
+                  static_cast<unsigned long long>(result.node_visits),
+                  result.at_exit(program.cfg).size(),
+                  std::string(analysis::to_string(result.status)).c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (const char* name : {"sll", "binary_tree", "barnes_hut_small"}) {
+    for (const std::size_t threshold : {std::size_t{0}, std::size_t{48}}) {
+      const std::string bench_name = std::string("ablation_widening/") + name +
+                                     "/thr" + std::to_string(threshold);
+      benchmark::RegisterBenchmark(bench_name.c_str(), BM_Widening, name,
+                                   threshold)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

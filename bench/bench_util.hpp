@@ -1,0 +1,47 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "corpus/corpus.hpp"
+
+namespace psa::bench {
+
+/// Run one (program, level) analysis and report the Table-1 metrics through
+/// google-benchmark counters: wall time (the iteration time itself), peak
+/// RSG bytes, statement visits, and final status (1 = converged).
+inline void report_run(benchmark::State& state,
+                       const analysis::ProgramAnalysis& program,
+                       const analysis::AnalysisResult& result) {
+  state.counters["peak_bytes"] = static_cast<double>(result.peak_bytes());
+  state.counters["visits"] = static_cast<double>(result.node_visits);
+  state.counters["converged"] = result.converged() ? 1.0 : 0.0;
+  state.counters["exit_graphs"] =
+      static_cast<double>(result.at_exit(program.cfg).size());
+}
+
+/// Format bytes like the paper's MB column.
+inline std::string format_mb(std::uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(bytes) / 1e6);
+  return buf;
+}
+
+/// Format seconds like the paper's M'SS'' column.
+inline std::string format_time(double seconds) {
+  char buf[32];
+  if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%d'%05.2f''",
+                  static_cast<int>(seconds / 60.0),
+                  seconds - 60.0 * static_cast<int>(seconds / 60.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace psa::bench

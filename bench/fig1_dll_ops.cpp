@@ -1,0 +1,115 @@
+// Figure 1 of the paper: the abstract interpretation of `x->nxt = NULL` on
+// a doubly-linked list — micro-benchmarks for each phase of the pipeline
+// (division, pruning, materialization) on the Fig. 1 (a) RSG, plus the
+// end-to-end statement over the engine.
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyzer.hpp"
+#include "bench_util.hpp"
+#include "rsg/ops.hpp"
+#include "testing/rsg_builder.hpp"
+
+namespace {
+
+using namespace psa;
+using psa::testing::Fig1Dll;
+
+void BM_Fig1_Divide(benchmark::State& state) {
+  Fig1Dll f;
+  for (auto _ : state) {
+    auto parts = rsg::divide(f.b.g, f.x, f.nxt);
+    benchmark::DoNotOptimize(parts);
+  }
+}
+BENCHMARK(BM_Fig1_Divide);
+
+void BM_Fig1_Prune(benchmark::State& state) {
+  // Pruning runs on the divided-but-unpruned variant: rebuild it each
+  // iteration (pruning mutates).
+  Fig1Dll f;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rsg::Rsg variant = f.b.g;
+    // Choose the n1 -nxt-> n3 variant by hand (what DIVIDE would produce).
+    variant.remove_link(f.n1, f.nxt, f.n2);
+    variant.props(f.n1).selout.insert(f.nxt);
+    state.ResumeTiming();
+    const bool feasible = rsg::prune(variant);
+    benchmark::DoNotOptimize(feasible);
+  }
+}
+BENCHMARK(BM_Fig1_Prune);
+
+void BM_Fig1_Materialize(benchmark::State& state) {
+  Fig1Dll f;
+  // The long variant (n1 -nxt-> n2 chosen) is where materialization works.
+  auto parts = rsg::divide(f.b.g, f.x, f.nxt);
+  const rsg::Rsg* long_variant = nullptr;
+  for (const auto& p : parts) {
+    if (p.node_count() == 3) long_variant = &p;
+  }
+  if (long_variant == nullptr) {
+    state.SkipWithError("divide did not produce the 3-node variant");
+    return;
+  }
+  for (auto _ : state) {
+    auto mats = rsg::materialize(*long_variant,
+                                 long_variant->pvar_target(f.x), f.nxt);
+    benchmark::DoNotOptimize(mats);
+  }
+}
+BENCHMARK(BM_Fig1_Materialize);
+
+void BM_Fig1_Compress(benchmark::State& state) {
+  Fig1Dll f;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rsg::Rsg copy = f.b.g;
+    state.ResumeTiming();
+    rsg::compress(copy, rsg::LevelPolicy{rsg::AnalysisLevel::kL2});
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Fig1_Compress);
+
+void BM_Fig1_EndToEndStatement(benchmark::State& state) {
+  // The complete sentence over the engine: build a DLL, execute
+  // x->nxt = NULL, reach the fixpoint.
+  constexpr std::string_view kSource = R"(
+    struct dnode { struct dnode *nxt; struct dnode *prv; int v; };
+    void main() {
+      struct dnode *list; struct dnode *tail; struct dnode *t;
+      struct dnode *x;
+      int i; int n;
+      list = malloc(sizeof(struct dnode));
+      list->nxt = NULL;
+      list->prv = NULL;
+      tail = list;
+      i = 0; n = 10;
+      while (i < n) {
+        t = malloc(sizeof(struct dnode));
+        t->nxt = NULL;
+        t->prv = tail;
+        tail->nxt = t;
+        tail = t;
+        i = i + 1;
+      }
+      t = NULL; tail = NULL;
+      x = list;
+      x->nxt = NULL;
+    }
+  )";
+  const auto program = analysis::prepare(kSource);
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+  }
+  bench::report_run(state, program, result);
+}
+BENCHMARK(BM_Fig1_EndToEndStatement)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

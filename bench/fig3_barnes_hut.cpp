@@ -1,0 +1,94 @@
+// Figure 3 / §5.1 of the paper: the Barnes-Hut RSRSG and the progressive
+// precision ladder.
+//
+// The binary prints the shape-property table (SHSEL of the bodies through
+// `bd`, sharing of the octree cells, loop parallelizability per step) for
+// the reduced Barnes-Hut at each level under the pure paper semantics, and
+// for the full Barnes-Hut under the widened engine; the same configurations
+// then run as google-benchmark benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "client/parallelism.hpp"
+#include "client/queries.hpp"
+
+namespace {
+
+using namespace psa;
+
+analysis::Options options_for(bool widened, rsg::AnalysisLevel level) {
+  analysis::Options options;
+  options.level = level;
+  options.widen_threshold = widened ? 48 : 0;
+  return options;
+}
+
+void print_property_table(const char* name, bool widened) {
+  const auto program = analysis::prepare(corpus::find_program(name)->source);
+  std::printf("\n%s (%s semantics)\n", name,
+              widened ? "widened" : "pure paper");
+  std::printf("%-4s %10s %14s  %-18s %-18s %s\n", "lvl", "time", "peak bytes",
+              "SHSEL(body,bd)", "SHSEL(cell,node)", "parallel loops");
+  for (const auto level : {rsg::AnalysisLevel::kL1, rsg::AnalysisLevel::kL2,
+                           rsg::AnalysisLevel::kL3}) {
+    const auto result =
+        analysis::analyze_program(program, options_for(widened, level));
+    const auto& at_exit = result.at_exit(program.cfg);
+    const auto loops = client::detect_parallel_loops(program, result);
+    int parallel = 0;
+    for (const auto& lp : loops) parallel += lp.parallelizable ? 1 : 0;
+    std::printf("%-4s %10s %14llu  %-18s %-18s %d/%zu\n",
+                std::string(rsg::to_string(level)).c_str(),
+                bench::format_time(result.seconds).c_str(),
+                static_cast<unsigned long long>(result.peak_bytes()),
+                client::may_be_shared_via(program, at_exit, "body", "bd")
+                    ? "true"
+                    : "false",
+                client::may_be_shared_via(program, at_exit, "cell", "node")
+                    ? "true"
+                    : "false",
+                parallel, loops.size());
+  }
+}
+
+void BM_Fig3(benchmark::State& state, const char* name, bool widened,
+             rsg::AnalysisLevel level) {
+  const auto program = analysis::prepare(corpus::find_program(name)->source);
+  const auto options = options_for(widened, level);
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+  }
+  bench::report_run(state, program, result);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_property_table("barnes_hut_small", /*widened=*/false);
+  print_property_table("barnes_hut", /*widened=*/true);
+  std::printf("\n");
+
+  for (const auto level : {rsg::AnalysisLevel::kL1, rsg::AnalysisLevel::kL2,
+                           rsg::AnalysisLevel::kL3}) {
+    const std::string small_name =
+        std::string("fig3/barnes_hut_small/") + std::string(rsg::to_string(level));
+    benchmark::RegisterBenchmark(small_name.c_str(), BM_Fig3,
+                                 "barnes_hut_small", false, level)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    const std::string full_name =
+        std::string("fig3/barnes_hut/") + std::string(rsg::to_string(level));
+    benchmark::RegisterBenchmark(full_name.c_str(), BM_Fig3, "barnes_hut",
+                                 true, level)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

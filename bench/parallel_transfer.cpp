@@ -1,0 +1,67 @@
+// The implementation's own parallelism (DESIGN.md §7): per-RSG transfers of
+// one statement fan out over a thread pool, with results merged in input
+// order (bit-identical to serial). This benchmark measures the thread
+// scaling of whole analyses and prints a summary table.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace psa;
+
+void BM_Threads(benchmark::State& state, const char* name,
+                std::size_t threads) {
+  const auto program = analysis::prepare(corpus::find_program(name)->source);
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  options.threads = threads;
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+  }
+  bench::report_run(state, program, result);
+}
+
+void print_table() {
+  std::printf("\nThread scaling of the per-RSG transfer fan-out (L2)\n");
+  std::printf("%-16s %-8s %10s %8s  %s\n", "code", "threads", "time", "visits",
+              "status");
+  for (const char* name : {"sparse_matvec", "barnes_hut"}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+      const auto program =
+          analysis::prepare(corpus::find_program(name)->source);
+      analysis::Options options;
+      options.level = rsg::AnalysisLevel::kL2;
+      options.threads = threads;
+      const auto result = analysis::analyze_program(program, options);
+      std::printf("%-16s %-8zu %10s %8llu  %s\n", name, threads,
+                  bench::format_time(result.seconds).c_str(),
+                  static_cast<unsigned long long>(result.node_visits),
+                  std::string(analysis::to_string(result.status)).c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (const char* name : {"sparse_matvec", "barnes_hut_small"}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+      const std::string bench_name = std::string("parallel_transfer/") + name +
+                                     "/threads" + std::to_string(threads);
+      benchmark::RegisterBenchmark(bench_name.c_str(), BM_Threads, name,
+                                   threads)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

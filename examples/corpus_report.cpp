@@ -1,0 +1,65 @@
+// Corpus report: run the progressive shape analysis over every corpus
+// program at every level and print a Table-1-style summary.
+//
+//   $ ./corpus_report [program-name ...]
+//
+// Columns: analysis status, wall time, peak RSG bytes, statement visits, and
+// the size of the RSRSG at the function exit.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "client/queries.hpp"
+#include "corpus/corpus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psa;
+
+  std::vector<const corpus::CorpusProgram*> selected;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      const corpus::CorpusProgram* p = corpus::find_program(argv[i]);
+      if (p == nullptr) {
+        std::cerr << "unknown corpus program '" << argv[i] << "'\n";
+        return 1;
+      }
+      selected.push_back(p);
+    }
+  } else {
+    for (const corpus::CorpusProgram& p : corpus::all_programs())
+      selected.push_back(&p);
+  }
+
+  std::printf("%-14s %-3s %-11s %10s %14s %8s %12s\n", "program", "lvl",
+              "status", "time(s)", "peak bytes", "visits", "exit graphs");
+  for (const corpus::CorpusProgram* p : selected) {
+    analysis::ProgramAnalysis prepared;
+    try {
+      prepared = analysis::prepare(p->source);
+    } catch (const analysis::FrontendError& e) {
+      std::cerr << p->name << ": frontend error:\n" << e.what();
+      return 1;
+    }
+    for (const rsg::AnalysisLevel level :
+         {rsg::AnalysisLevel::kL1, rsg::AnalysisLevel::kL2,
+          rsg::AnalysisLevel::kL3}) {
+      analysis::Options options;
+      options.level = level;
+      const analysis::AnalysisResult result =
+          analysis::analyze_program(prepared, options);
+      const client::SetStats exit_stats =
+          client::stats(result.at_exit(prepared.cfg));
+      std::printf("%-14s %-3s %-11s %10.3f %14llu %8llu %12zu\n",
+                  std::string(p->name).c_str(),
+                  std::string(rsg::to_string(level)).c_str(),
+                  std::string(analysis::to_string(result.status)).c_str(),
+                  result.seconds,
+                  static_cast<unsigned long long>(result.peak_bytes()),
+                  static_cast<unsigned long long>(result.node_visits),
+                  exit_stats.graphs);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Export the embedded corpus as .c files on disk, ready for psa_cli.
+//
+//   $ ./export_corpus [DIR]     (default: ./corpus_sources)
+//   $ ./psa_cli corpus_sources/barnes_hut.c --progressive
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "corpus/corpus.hpp"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "corpus_sources";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "cannot create '" << dir.string() << "': " << ec.message()
+              << '\n';
+    return 1;
+  }
+  for (const auto& program : psa::corpus::all_programs()) {
+    const std::filesystem::path path = dir / (std::string(program.name) + ".c");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path.string() << '\n';
+      return 1;
+    }
+    out << "/* " << program.description << " */\n" << program.source;
+    std::cout << path.string() << '\n';
+  }
+  return 0;
+}

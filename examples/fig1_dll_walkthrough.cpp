@@ -1,0 +1,110 @@
+// Figure 1 walkthrough: watch the abstract interpretation of
+// `x->nxt = NULL` transform the doubly-linked-list RSG of Fig. 1 (a),
+// phase by phase — division, pruning, materialization, link removal.
+//
+//   $ ./fig1_dll_walkthrough
+//
+// Uses the public rsg:: operations directly on a hand-built graph (exactly
+// the graph of the paper's figure), printing each intermediate RSG.
+#include <iostream>
+
+#include "client/dot.hpp"
+#include "rsg/ops.hpp"
+#include "support/interner.hpp"
+
+int main() {
+  using namespace psa;
+  using rsg::Cardinality;
+  using rsg::NodeProps;
+  using rsg::NodeRef;
+  using rsg::Rsg;
+
+  support::Interner interner;
+  const auto x = interner.intern("x");
+  const auto nxt = interner.intern("nxt");
+  const auto prv = interner.intern("prv");
+
+  // --- Fig. 1 (a): x -> n1, summary middles n2, last n3 ------------------
+  Rsg g;
+  NodeProps one;
+  one.cardinality = Cardinality::kOne;
+  NodeProps many;
+  many.cardinality = Cardinality::kMany;
+
+  const NodeRef n1 = g.add_node(one);
+  const NodeRef n2 = g.add_node(many);
+  const NodeRef n3 = g.add_node(one);
+  g.bind_pvar(x, n1);
+  g.add_link(n1, nxt, n2);
+  g.add_link(n1, nxt, n3);
+  g.add_link(n2, nxt, n2);
+  g.add_link(n2, nxt, n3);
+  g.add_link(n2, prv, n1);
+  g.add_link(n2, prv, n2);
+  g.add_link(n3, prv, n1);
+  g.add_link(n3, prv, n2);
+
+  auto& p1 = g.props(n1);
+  p1.selout.insert(nxt);
+  p1.selin.insert(prv);
+  p1.cyclelinks.insert(rsg::SelPair{nxt, prv});
+  auto& p2 = g.props(n2);
+  p2.selin.insert(nxt);
+  p2.selout.insert(nxt);
+  p2.selin.insert(prv);
+  p2.selout.insert(prv);
+  p2.cyclelinks.insert(rsg::SelPair{nxt, prv});
+  p2.cyclelinks.insert(rsg::SelPair{prv, nxt});
+  p2.shared = true;
+  auto& p3 = g.props(n3);
+  p3.selin.insert(nxt);
+  p3.selout.insert(prv);
+  p3.cyclelinks.insert(rsg::SelPair{prv, nxt});
+  p3.shared = true;
+
+  std::cout << "=== Fig. 1 (a): the input RSG (a DLL of 2 or more elements)\n"
+            << g.dump(interner) << '\n';
+
+  // --- Fig. 1 (b)+(c): DIVIDE on (x, nxt), each variant pruned -----------
+  const auto variants = rsg::divide(g, x, nxt);
+  std::cout << "=== After DIVIDE + PRUNE: " << variants.size()
+            << " variant(s)\n";
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    std::cout << "--- rsg''_" << i + 1 << " ---\n"
+              << variants[i].dump(interner) << '\n';
+  }
+
+  // --- Fig. 1 (d): materialize n4 out of the summary ---------------------
+  for (const Rsg& variant : variants) {
+    const NodeRef vx = variant.pvar_target(x);
+    const auto targets = variant.sel_targets(vx, nxt);
+    if (targets.size() != 1) continue;
+    if (variant.props(targets[0]).cardinality != Cardinality::kMany) continue;
+
+    std::cout << "=== Materialization (Fig. 1 (d)) in the summary variant\n";
+    for (const auto& mat : rsg::materialize(variant, vx, nxt)) {
+      std::cout << "--- n4 = n" << mat.one_node << " ---\n"
+                << mat.graph.dump(interner) << '\n';
+
+      // --- Fig. 1 (e): remove the focused link --------------------------
+      Rsg final_graph = mat.graph;
+      final_graph.remove_link(vx, nxt, mat.one_node);
+      final_graph.props(vx).selout.erase(nxt);
+      auto& pm = final_graph.props(mat.one_node);
+      pm.selin.erase(nxt);
+      pm.cyclelinks.erase_if(
+          [&](rsg::SelPair cl) { return cl.back == nxt || cl.out == prv; });
+      final_graph.props(vx).cyclelinks.erase_if(
+          [&](rsg::SelPair cl) { return cl.out == nxt; });
+      if (rsg::prune(final_graph)) {
+        std::cout << "=== After removing x->nxt (Fig. 1 (e))\n"
+                  << final_graph.dump(interner) << '\n';
+        std::cout << "DOT:\n"
+                  << client::to_dot(final_graph, interner, "fig1_e") << '\n';
+      } else {
+        std::cout << "(variant infeasible after removal)\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// psa_cli — the command-line driver: analyze a C file from disk.
+//
+//   $ ./psa_cli FILE.c [--function=NAME] [--level=1|2|3] [--progressive]
+//                      [--per-statement] [--dot=OUT.dot] [--annotate]
+//                      [--no-widen] [--threads=N] [--memory-budget=BYTES]
+//
+// Prints the analysis report (status, cost, exit-state shape facts, loop
+// parallelism); --dot writes the exit RSRSG as graphviz; --progressive runs
+// the L1 -> L2 -> L3 driver using "no structure possibly cyclic" as the
+// accuracy criterion.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/progressive.hpp"
+#include "client/dot.hpp"
+#include "client/parallelism.hpp"
+#include "client/queries.hpp"
+#include "client/report.hpp"
+
+namespace {
+
+using namespace psa;
+
+struct CliOptions {
+  std::string file;
+  std::string function = "main";
+  int level = 1;
+  bool progressive = false;
+  bool per_statement = false;
+  bool annotate = false;
+  std::string dot_path;
+  analysis::Options engine;
+};
+
+bool parse_args(int argc, char** argv, CliOptions& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](std::string_view prefix) -> std::string {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--function=", 0) == 0) {
+      out.function = value_of("--function=");
+    } else if (arg.rfind("--level=", 0) == 0) {
+      out.level = std::stoi(value_of("--level="));
+      if (out.level < 1 || out.level > 3) return false;
+    } else if (arg == "--progressive") {
+      out.progressive = true;
+    } else if (arg == "--per-statement") {
+      out.per_statement = true;
+    } else if (arg == "--annotate") {
+      out.annotate = true;
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      out.dot_path = value_of("--dot=");
+    } else if (arg == "--no-widen") {
+      out.engine.widen_threshold = 0;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      out.engine.threads = std::stoul(value_of("--threads="));
+    } else if (arg.rfind("--memory-budget=", 0) == 0) {
+      out.engine.memory_budget_bytes =
+          std::stoull(value_of("--memory-budget="));
+    } else if (!arg.empty() && arg[0] != '-') {
+      out.file = arg;
+    } else {
+      return false;
+    }
+  }
+  return !out.file.empty();
+}
+
+int usage() {
+  std::cerr << "usage: psa_cli FILE.c [--function=NAME] [--level=1|2|3]\n"
+               "               [--progressive] [--per-statement] [--annotate]\n"
+               "               [--dot=OUT.dot] [--no-widen] [--threads=N]\n"
+               "               [--memory-budget=BYTES]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) return usage();
+
+  std::ifstream in(cli.file);
+  if (!in) {
+    std::cerr << "cannot open '" << cli.file << "'\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  try {
+    const analysis::ProgramAnalysis program =
+        analysis::prepare(source, cli.function);
+
+    analysis::AnalysisResult result;
+    if (cli.progressive) {
+      const std::vector<analysis::ShapeCriterion> criteria = {
+          {"no-possibly-cyclic-structure",
+           [](const analysis::ProgramAnalysis& p,
+              const analysis::AnalysisResult& r) {
+             for (const auto sym : p.cfg.pointer_vars()) {
+               const std::string name{p.interner().spelling(sym)};
+               if (client::classify_structure(p, r.at_exit(p.cfg), name) ==
+                   client::StructureKind::kCyclic) {
+                 return false;
+               }
+             }
+             return true;
+           }},
+      };
+      const auto out =
+          analysis::run_progressive(program, criteria, cli.engine);
+      for (const auto& attempt : out.attempts) {
+        std::cout << rsg::to_string(attempt.level) << ": "
+                  << analysis::to_string(attempt.result.status);
+        if (!attempt.failed_criteria.empty()) {
+          std::cout << " (failed:";
+          for (const auto& c : attempt.failed_criteria) std::cout << ' ' << c;
+          std::cout << ')';
+        }
+        std::cout << '\n';
+      }
+      result = out.attempts.back().result;
+      std::cout << "final level: " << rsg::to_string(out.final_level())
+                << "\n\n";
+    } else {
+      cli.engine.level = static_cast<rsg::AnalysisLevel>(cli.level);
+      result = analysis::analyze_program(program, cli.engine);
+    }
+
+    client::ReportOptions report;
+    report.per_statement = cli.per_statement;
+    std::cout << client::format_analysis_report(program, result, report);
+
+    if (cli.annotate) {
+      std::cout << "\nannotated source:\n"
+                << client::annotate_source(
+                       source, client::detect_parallel_loops(program, result));
+    }
+
+    if (!cli.dot_path.empty()) {
+      std::ofstream dot(cli.dot_path);
+      dot << client::to_dot(result.at_exit(program.cfg), program.interner());
+      std::cout << "\nexit RSRSG written to " << cli.dot_path << '\n';
+    }
+  } catch (const analysis::FrontendError& e) {
+    std::cerr << "frontend error:\n" << e.what();
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# One-shot reproduction: build, test, and regenerate every table/figure.
+#
+#   $ scripts/reproduce.sh [BUILD_DIR]
+#
+# Writes test_output.txt and bench_output.txt at the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+{
+  for b in "$BUILD"/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,44 @@
+#include "analysis/analyzer.hpp"
+
+#include <sstream>
+
+namespace psa::analysis {
+
+ProgramAnalysis prepare(std::string_view source, std::string_view function) {
+  support::DiagnosticEngine diags;
+
+  ProgramAnalysis program;
+  program.unit = lang::parse_source(source, diags);
+  if (diags.has_errors()) throw FrontendError(diags.to_string());
+
+  program.sema = lang::analyze(program.unit, diags);
+  if (diags.has_errors()) throw FrontendError(diags.to_string());
+
+  const support::Symbol fn_sym = program.unit.interner->lookup(function);
+  const lang::FunctionInfo* info =
+      fn_sym.valid() ? program.sema.find(fn_sym) : nullptr;
+  if (info == nullptr) {
+    std::ostringstream os;
+    os << "function '" << function << "' not found";
+    throw FrontendError(os.str());
+  }
+
+  program.cfg = cfg::build_cfg(program.unit, *info, diags);
+  if (diags.has_errors()) throw FrontendError(diags.to_string());
+
+  program.induction = cfg::detect_induction_pvars(program.cfg);
+  return program;
+}
+
+AnalysisResult analyze_program(const ProgramAnalysis& program,
+                               const Options& options) {
+  return analyze_cfg(program.cfg, program.induction, options);
+}
+
+AnalysisResult analyze_source(std::string_view source, const Options& options,
+                              std::string_view function) {
+  const ProgramAnalysis program = prepare(source, function);
+  return analyze_program(program, options);
+}
+
+}  // namespace psa::analysis

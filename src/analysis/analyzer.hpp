@@ -1,0 +1,56 @@
+// One-call facade: source text -> parsed unit -> CFG -> analysis.
+//
+// This is the entry point the examples, tests and benchmarks use; the lower
+// layers remain fully usable on their own.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "analysis/engine.hpp"
+#include "cfg/cfg.hpp"
+#include "cfg/induction.hpp"
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+
+namespace psa::analysis {
+
+/// Thrown when the frontend rejects the source; carries the diagnostics.
+class FrontendError : public std::runtime_error {
+ public:
+  explicit FrontendError(std::string diagnostics)
+      : std::runtime_error(std::move(diagnostics)) {}
+};
+
+/// Everything derived from one function of one source buffer.
+struct ProgramAnalysis {
+  lang::TranslationUnit unit;
+  lang::SemaResult sema;
+  cfg::Cfg cfg;
+  cfg::InductionInfo induction;
+
+  [[nodiscard]] const support::Interner& interner() const {
+    return *unit.interner;
+  }
+  [[nodiscard]] support::Symbol symbol(std::string_view name) const {
+    return unit.interner->lookup(name);
+  }
+};
+
+/// Parse + sema + lower `function` of `source`. Throws FrontendError when
+/// the frontend reports errors or the function does not exist.
+[[nodiscard]] ProgramAnalysis prepare(std::string_view source,
+                                      std::string_view function = "main");
+
+/// Run the fixpoint over a prepared program.
+[[nodiscard]] AnalysisResult analyze_program(const ProgramAnalysis& program,
+                                             const Options& options = {});
+
+/// Convenience: prepare + analyze in one call.
+[[nodiscard]] AnalysisResult analyze_source(std::string_view source,
+                                            const Options& options = {},
+                                            std::string_view function = "main");
+
+}  // namespace psa::analysis

@@ -1,0 +1,169 @@
+#include "analysis/engine.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace psa::analysis {
+
+std::string_view to_string(AnalysisStatus status) {
+  switch (status) {
+    case AnalysisStatus::kConverged: return "converged";
+    case AnalysisStatus::kOutOfMemory: return "out of memory budget";
+    case AnalysisStatus::kIterationLimit: return "iteration limit";
+    case AnalysisStatus::kSetLimit: return "RSRSG size limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class Engine {
+ public:
+  Engine(const cfg::Cfg& cfg, const cfg::InductionInfo& induction,
+         const Options& options)
+      : cfg_(cfg), options_(options) {
+    ctx_.policy = options.policy();
+    ctx_.prune = options.prune_options();
+    ctx_.cfg = &cfg;
+    ctx_.induction = &induction;
+    if (options.threads > 1)
+      pool_ = std::make_unique<support::ThreadPool>(options.threads);
+  }
+
+  AnalysisResult run() {
+    support::MemoryStats::instance().reset();
+    support::WallTimer timer;
+
+    AnalysisResult result;
+    result.per_node.resize(cfg_.size());
+
+    std::deque<cfg::NodeId> worklist;
+    std::vector<bool> queued(cfg_.size(), false);
+    worklist.push_back(cfg_.entry());
+    queued[cfg_.entry()] = true;
+
+    AnalysisStatus status = AnalysisStatus::kConverged;
+    std::uint64_t visits = 0;
+
+    while (!worklist.empty()) {
+      if (++visits > options_.max_node_visits) {
+        status = AnalysisStatus::kIterationLimit;
+        break;
+      }
+      if (options_.memory_budget_bytes != 0 &&
+          support::MemoryStats::instance().snapshot().live_bytes >
+              options_.memory_budget_bytes) {
+        status = AnalysisStatus::kOutOfMemory;
+        break;
+      }
+
+      const cfg::NodeId id = worklist.front();
+      worklist.pop_front();
+      queued[id] = false;
+
+      // Input: the union of the predecessors' RSRSGs (the entry's input is
+      // the single empty configuration: every pvar NULL). The reduction
+      // (JOIN) of the sentence's own RSRSG happens on the *output* side
+      // below, so the input need not be materialized — each predecessor
+      // graph feeds the transfer directly, and graphs already transferred
+      // on an earlier visit are skipped (the transfer is a pure function of
+      // the input graph and outputs accumulate). This memoization makes the
+      // per-visit cost proportional to the number of *new* input graphs.
+      auto& cache = transfer_cache_[id];
+      std::vector<std::pair<std::uint64_t, std::size_t>> fresh_keys;
+      const auto consider = [&](const rsg::Rsg& g, std::uint64_t fp) {
+        auto& bucket = cache.by_fp[fp];
+        for (const rsg::Rsg& known : bucket) {
+          if (rsg::rsg_equal(known, g)) return;
+        }
+        bucket.push_back(g);
+        fresh_keys.emplace_back(fp, bucket.size() - 1);
+      };
+      if (id == cfg_.entry() && cache.by_fp.empty()) {
+        rsg::Rsg empty;
+        consider(empty, rsg::fingerprint(empty));
+      }
+      for (const cfg::NodeId p : cfg_.node(id).preds) {
+        const Rsrsg& pred_out = result.per_node[p];
+        for (std::size_t i = 0; i < pred_out.graphs().size(); ++i) {
+          consider(pred_out.graphs()[i], pred_out.fingerprint_at(i));
+        }
+      }
+      std::vector<const rsg::Rsg*> fresh;
+      fresh.reserve(fresh_keys.size());
+      for (const auto& [fp, idx] : fresh_keys) {
+        fresh.push_back(&cache.by_fp[fp][idx]);
+      }
+
+      std::vector<std::vector<rsg::Rsg>> produced(fresh.size());
+      const auto transfer_one = [&](std::size_t i) {
+        produced[i] = execute_statement(*fresh[i], cfg_.node(id), ctx_);
+      };
+      if (pool_ != nullptr && fresh.size() > 1) {
+        pool_->parallel_for(fresh.size(), transfer_one);
+      } else {
+        for (std::size_t i = 0; i < fresh.size(); ++i) transfer_one(i);
+      }
+
+      // Accumulate into the node's RSRSG; propagate only on change.
+      bool changed = false;
+      for (auto& batch : produced) {
+        for (auto& g : batch) {
+          changed |= result.per_node[id].insert(std::move(g), ctx_.policy,
+                                                options_.enable_join);
+        }
+      }
+      if (options_.widen_threshold != 0 &&
+          result.per_node[id].size() > options_.widen_threshold) {
+        changed |= result.per_node[id].widen(ctx_.policy,
+                                             options_.widen_threshold);
+      }
+      if (result.per_node[id].size() > options_.max_rsgs_per_set) {
+        status = AnalysisStatus::kSetLimit;
+        break;
+      }
+
+      if (changed || visits == 1) {
+        for (const cfg::NodeId s : cfg_.node(id).succs) {
+          if (!queued[s]) {
+            queued[s] = true;
+            worklist.push_back(s);
+          }
+        }
+      }
+    }
+
+    result.status = status;
+    result.node_visits = visits;
+    result.seconds = timer.elapsed_seconds();
+    result.memory = support::MemoryStats::instance().snapshot();
+    return result;
+  }
+
+ private:
+  /// Per-node record of input graphs already transferred, bucketed by
+  /// structural fingerprint (collisions resolved exactly by rsg_equal).
+  struct TransferCache {
+    std::unordered_map<std::uint64_t, std::vector<rsg::Rsg>> by_fp;
+  };
+
+  const cfg::Cfg& cfg_;
+  const Options& options_;
+  TransferContext ctx_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::unordered_map<cfg::NodeId, TransferCache> transfer_cache_;
+};
+
+}  // namespace
+
+AnalysisResult analyze_cfg(const cfg::Cfg& cfg,
+                           const cfg::InductionInfo& induction,
+                           const Options& options) {
+  Engine engine(cfg, induction, options);
+  return engine.run();
+}
+
+}  // namespace psa::analysis

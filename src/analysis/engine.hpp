@@ -1,0 +1,87 @@
+// The symbolic-execution engine (§2, Fig. 2 of the paper): a worklist
+// fixpoint over the statement-level CFG. Every CFG node accumulates the
+// RSRSG holding *after* its statement; the input of a node is the reduced
+// union of its predecessors' outputs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/rsrsg.hpp"
+#include "analysis/semantics.hpp"
+#include "cfg/cfg.hpp"
+#include "cfg/induction.hpp"
+#include "support/memory_stats.hpp"
+
+namespace psa::analysis {
+
+struct Options {
+  rsg::AnalysisLevel level = rsg::AnalysisLevel::kL1;
+
+  /// JOIN compatible RSGs inside every RSRSG (§4.3). Off only for ablation.
+  bool enable_join = true;
+  /// Share-attribute link pruning (§4.2). Off only for ablation.
+  bool share_pruning = true;
+
+  /// Widening: when a statement's RSRSG exceeds this many graphs, ALIAS-
+  /// equal members are force-joined with conservative property merges (see
+  /// rsg::force_join). 0 disables widening — the pure paper semantics, which
+  /// can take the paper's own 17-minute L1 runs on Barnes-Hut-like codes.
+  std::size_t widen_threshold = 48;
+
+  /// Guard rails. The paper's compiler ran out of memory on Sparse LU at
+  /// L2/L3 (Table 1); memory_budget_bytes reproduces that failure mode
+  /// deterministically (0 = unlimited).
+  std::size_t max_rsgs_per_set = 4096;
+  std::uint64_t max_node_visits = 2'000'000;
+  std::uint64_t memory_budget_bytes = 0;
+
+  /// Worker threads for the per-RSG transfer fan-out (see DESIGN.md §7).
+  /// 1 = serial. Results are merged in input order, so any thread count
+  /// produces identical RSRSGs.
+  std::size_t threads = 1;
+
+  [[nodiscard]] rsg::LevelPolicy policy() const { return {level}; }
+  [[nodiscard]] rsg::PruneOptions prune_options() const {
+    return {share_pruning};
+  }
+};
+
+enum class AnalysisStatus : std::uint8_t {
+  kConverged,
+  kOutOfMemory,      // exceeded Options::memory_budget_bytes
+  kIterationLimit,   // exceeded Options::max_node_visits
+  kSetLimit,         // an RSRSG exceeded Options::max_rsgs_per_set
+};
+
+[[nodiscard]] std::string_view to_string(AnalysisStatus status);
+
+struct AnalysisResult {
+  AnalysisStatus status = AnalysisStatus::kConverged;
+  /// RSRSG after each CFG node (indexed by cfg::NodeId).
+  std::vector<Rsrsg> per_node;
+  double seconds = 0.0;
+  support::MemorySnapshot memory;
+  std::uint64_t node_visits = 0;
+
+  [[nodiscard]] bool converged() const noexcept {
+    return status == AnalysisStatus::kConverged;
+  }
+  /// The RSRSG at the function exit.
+  [[nodiscard]] const Rsrsg& at_exit(const cfg::Cfg& cfg) const {
+    return per_node[cfg.exit()];
+  }
+  /// Peak bytes of RSG storage during the run (Table-1 "Space").
+  [[nodiscard]] std::uint64_t peak_bytes() const noexcept {
+    return memory.peak_bytes;
+  }
+};
+
+/// Run the fixpoint. Resets the global MemoryStats at entry so the result's
+/// memory snapshot covers exactly this run.
+[[nodiscard]] AnalysisResult analyze_cfg(const cfg::Cfg& cfg,
+                                         const cfg::InductionInfo& induction,
+                                         const Options& options = {});
+
+}  // namespace psa::analysis

@@ -1,0 +1,34 @@
+#include "analysis/progressive.hpp"
+
+namespace psa::analysis {
+
+ProgressiveResult run_progressive(const ProgramAnalysis& program,
+                                  const std::vector<ShapeCriterion>& criteria,
+                                  const Options& base) {
+  ProgressiveResult out;
+  for (const rsg::AnalysisLevel level :
+       {rsg::AnalysisLevel::kL1, rsg::AnalysisLevel::kL2,
+        rsg::AnalysisLevel::kL3}) {
+    Options options = base;
+    options.level = level;
+
+    LevelAttempt attempt;
+    attempt.level = level;
+    attempt.result = analyze_program(program, options);
+
+    for (const ShapeCriterion& c : criteria) {
+      if (!c.check(program, attempt.result))
+        attempt.failed_criteria.push_back(c.name);
+    }
+    const bool ok =
+        attempt.failed_criteria.empty() && attempt.result.converged();
+    out.attempts.push_back(std::move(attempt));
+    if (ok) {
+      out.satisfied = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace psa::analysis

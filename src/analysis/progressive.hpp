@@ -1,0 +1,50 @@
+// The progressive analysis driver (§5 of the paper).
+//
+// "the compiler [carries] out a progressive analysis which starts with fewer
+//  constraints to summarize nodes, but, when necessary, these constraints
+//  are increased to reach a better approximation" — the driver runs L1,
+// evaluates client-supplied accuracy criteria on the result, and escalates
+// to L2 and then L3 while any criterion fails (exactly the Barnes-Hut story
+// of §5.1, where SHSEL(n6, body) needs L2 and the stack sharing needs L3).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+
+namespace psa::analysis {
+
+/// A named accuracy predicate over an analysis result. Returning false asks
+/// the driver for a higher level.
+struct ShapeCriterion {
+  std::string name;
+  std::function<bool(const ProgramAnalysis&, const AnalysisResult&)> check;
+};
+
+struct LevelAttempt {
+  rsg::AnalysisLevel level = rsg::AnalysisLevel::kL1;
+  AnalysisResult result;
+  std::vector<std::string> failed_criteria;
+};
+
+struct ProgressiveResult {
+  std::vector<LevelAttempt> attempts;
+  bool satisfied = false;
+
+  [[nodiscard]] const LevelAttempt& final_attempt() const {
+    return attempts.back();
+  }
+  [[nodiscard]] rsg::AnalysisLevel final_level() const {
+    return attempts.back().level;
+  }
+};
+
+/// Run the progressive analysis. `base` supplies every option except the
+/// level, which the driver raises from L1 to L3 as needed.
+[[nodiscard]] ProgressiveResult run_progressive(
+    const ProgramAnalysis& program, const std::vector<ShapeCriterion>& criteria,
+    const Options& base = {});
+
+}  // namespace psa::analysis

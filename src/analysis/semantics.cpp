@@ -1,0 +1,322 @@
+#include "analysis/semantics.hpp"
+
+#include <cassert>
+
+namespace psa::analysis {
+
+using cfg::SimpleOp;
+using cfg::SimpleStmt;
+using rsg::Cardinality;
+using rsg::kNoNode;
+using rsg::NodeProps;
+using rsg::NodeRef;
+using rsg::Rsg;
+using rsg::SelPair;
+using support::Symbol;
+
+namespace {
+
+/// Should an assignment to `x` at `node` record a TOUCH visit? Only at L3,
+/// only inside a loop for which x is an induction pvar (§3).
+bool touch_applies(const cfg::CfgNode& node, Symbol x,
+                   const TransferContext& ctx) {
+  if (!ctx.policy.use_touch()) return false;
+  for (const std::uint32_t loop_id : node.loops) {
+    if (ctx.induction->is_induction(loop_id, x)) return true;
+  }
+  return false;
+}
+
+void finish(Rsg& g, const TransferContext& ctx, std::vector<Rsg>& out) {
+  rsg::compress(g, ctx.policy);
+  g.refresh_footprint();
+  out.push_back(std::move(g));
+}
+
+// ---------------------------------------------------------------------------
+// x = NULL
+// ---------------------------------------------------------------------------
+
+std::vector<Rsg> exec_ptr_null(const Rsg& in, Symbol x,
+                               const TransferContext& ctx) {
+  std::vector<Rsg> out;
+  Rsg g = in;
+  g.unbind_pvar(x);
+  finish(g, ctx, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// x = malloc
+// ---------------------------------------------------------------------------
+
+std::vector<Rsg> exec_malloc(const Rsg& in, const SimpleStmt& stmt,
+                             const TransferContext& ctx) {
+  std::vector<Rsg> out;
+  Rsg g = in;
+  g.unbind_pvar(stmt.x);
+  NodeProps props;
+  props.type = stmt.type;
+  props.cardinality = Cardinality::kOne;
+  // Fresh location: no references, every selector NULL.
+  const NodeRef n = g.add_node(std::move(props));
+  g.bind_pvar(stmt.x, n);
+  finish(g, ctx, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// x = y
+// ---------------------------------------------------------------------------
+
+std::vector<Rsg> exec_copy(const Rsg& in, const cfg::CfgNode& node,
+                           const TransferContext& ctx) {
+  const SimpleStmt& stmt = node.stmt;
+  std::vector<Rsg> out;
+  if (stmt.x == stmt.y) {
+    out.push_back(in);
+    return out;
+  }
+  Rsg g = in;
+  const NodeRef t = g.pvar_target(stmt.y);
+  g.unbind_pvar(stmt.x);
+  if (t != kNoNode) {
+    g.bind_pvar(stmt.x, t);
+    if (touch_applies(node, stmt.x, ctx)) g.props(t).touch.insert(stmt.x);
+  }
+  finish(g, ctx, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Store helpers
+// ---------------------------------------------------------------------------
+
+/// Remove the (unique, materialized) old link <n, sel, m1> plus the property
+/// consequences of writing through ℓx.sel.
+void remove_old_target(Rsg& g, NodeRef n, Symbol sel, NodeRef m1) {
+  g.remove_link(n, sel, m1);
+
+  NodeProps& pn = g.props(n);
+  pn.selout.erase(sel);
+  pn.pos_selout.erase(sel);
+
+  // Writing ℓx.sel invalidates every cycle-link whose *outgoing* selector is
+  // sel on n, and every <si, sel> cycle-link of a node si-linking into n
+  // (its return path went through the overwritten field).
+  pn.cyclelinks.erase_if([sel](SelPair cl) { return cl.out == sel; });
+  for (const rsg::InLink& in : g.in_links(n)) {
+    g.props(in.source).cyclelinks.erase_if(
+        [&](SelPair cl) { return cl.out == in.sel && cl.back == sel; });
+  }
+
+  // The reference into the old target is gone.
+  NodeProps& pm = g.props(m1);
+  bool any_left = false;
+  for (const rsg::InLink& in : g.in_links(m1)) {
+    if (in.sel == sel) {
+      any_left = true;
+      break;
+    }
+  }
+  if (!any_left) {
+    pm.selin.erase(sel);
+    pm.pos_selin.erase(sel);
+  } else if (pm.selin.contains(sel)) {
+    // Remaining sel-references may target other locations: demote.
+    pm.selin.erase(sel);
+    pm.pos_selin.insert(sel);
+  }
+}
+
+/// Add the link <n, sel, t> for x->sel = y with its property consequences.
+void add_new_target(Rsg& g, NodeRef n, Symbol sel, NodeRef t) {
+  // Sharing: count references *before* adding ours.
+  const int prior_sel_refs = g.max_in_refs(t, sel);
+  const int prior_total_refs = g.max_in_refs_total(t);
+
+  g.add_link(n, sel, t);
+
+  NodeProps& pn = g.props(n);
+  pn.selout.insert(sel);
+  pn.pos_selout.erase(sel);
+
+  NodeProps& pt = g.props(t);
+  pt.selin.insert(sel);
+  pt.pos_selin.erase(sel);
+  if (prior_sel_refs >= 1) pt.shsel.insert(sel);
+  if (prior_total_refs >= 1) pt.shared = true;
+
+  // Cycle links made definite by the write: for every selector sj with a
+  // definite back-link ℓy.sj = ℓx we gain <sel, sj> on n and <sj, sel> on t.
+  for (const rsg::Link& l : g.out_links(t)) {
+    if (l.target != n) continue;
+    if (g.definite_link(t, l.sel, n)) {
+      g.props(n).cyclelinks.insert(SelPair{sel, l.sel});
+      g.props(t).cyclelinks.insert(SelPair{l.sel, sel});
+    }
+  }
+  // Self-store x->sel = x: the new link itself is definite.
+  if (t == n && g.definite_link(n, sel, n)) {
+    g.props(n).cyclelinks.insert(SelPair{sel, sel});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// x->sel = NULL and x->sel = y
+// ---------------------------------------------------------------------------
+
+std::vector<Rsg> exec_store(const Rsg& in, const cfg::CfgNode& node,
+                            const TransferContext& ctx) {
+  const SimpleStmt& stmt = node.stmt;
+  std::vector<Rsg> out;
+  if (in.pvar_target(stmt.x) == kNoNode) {
+    // Null dereference: this configuration cannot continue.
+    return out;
+  }
+
+  const bool has_source = stmt.op == SimpleOp::kStore;
+
+  for (Rsg& variant : rsg::divide(in, stmt.x, stmt.sel, ctx.prune)) {
+    const NodeRef n = variant.pvar_target(stmt.x);
+    assert(n != kNoNode);
+    const auto targets = variant.sel_targets(n, stmt.sel);
+
+    auto apply_write = [&](Rsg g, NodeRef node_n) {
+      if (has_source) {
+        const NodeRef t = g.pvar_target(stmt.y);
+        if (t != kNoNode) add_new_target(g, node_n, stmt.sel, t);
+      }
+      if (!rsg::prune(g, ctx.prune)) return;
+      finish(g, ctx, out);
+    };
+
+    if (targets.empty()) {
+      // x->sel was already NULL in this variant.
+      apply_write(std::move(variant), n);
+      continue;
+    }
+
+    // Materialize the single location x->sel denotes, then unlink it.
+    for (rsg::Materialized& mat :
+         rsg::materialize(variant, n, stmt.sel, ctx.prune)) {
+      Rsg g = std::move(mat.graph);
+      const NodeRef nn = g.pvar_target(stmt.x);
+      assert(nn != kNoNode);
+      remove_old_target(g, nn, stmt.sel, mat.one_node);
+      apply_write(std::move(g), nn);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// x = y->sel
+// ---------------------------------------------------------------------------
+
+std::vector<Rsg> exec_load(const Rsg& in, const cfg::CfgNode& node,
+                           const TransferContext& ctx) {
+  const SimpleStmt& stmt = node.stmt;
+  std::vector<Rsg> out;
+  if (in.pvar_target(stmt.y) == kNoNode) return out;  // null dereference
+
+  for (Rsg& variant : rsg::divide(in, stmt.y, stmt.sel, ctx.prune)) {
+    const NodeRef n = variant.pvar_target(stmt.y);
+    assert(n != kNoNode);
+    const auto targets = variant.sel_targets(n, stmt.sel);
+
+    if (targets.empty()) {
+      // y->sel is NULL here: x = NULL.
+      Rsg g = std::move(variant);
+      g.unbind_pvar(stmt.x);
+      finish(g, ctx, out);
+      continue;
+    }
+
+    for (rsg::Materialized& mat :
+         rsg::materialize(variant, n, stmt.sel, ctx.prune)) {
+      Rsg g = std::move(mat.graph);
+      g.unbind_pvar(stmt.x);
+      g.bind_pvar(stmt.x, mat.one_node);
+      if (touch_applies(node, stmt.x, ctx))
+        g.props(mat.one_node).touch.insert(stmt.x);
+      finish(g, ctx, out);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping operations
+// ---------------------------------------------------------------------------
+
+std::vector<Rsg> exec_assume(const Rsg& in, const SimpleStmt& stmt) {
+  std::vector<Rsg> out;
+  const bool bound = in.pvar_target(stmt.x) != kNoNode;
+  const bool want_bound = stmt.op == SimpleOp::kAssumeNotNull;
+  if (bound == want_bound) out.push_back(in);
+  return out;
+}
+
+std::vector<Rsg> exec_touch_clear(const Rsg& in, const SimpleStmt& stmt,
+                                  const TransferContext& ctx) {
+  std::vector<Rsg> out;
+  if (!ctx.policy.use_touch()) {
+    out.push_back(in);
+    return out;
+  }
+  Rsg g = in;
+  bool changed = false;
+  for (const NodeRef n : g.node_refs()) {
+    auto& touch = g.props(n).touch;
+    const std::size_t before = touch.size();
+    touch.erase_if([&](Symbol pvar) {
+      return ctx.induction->is_induction(stmt.loop_id, pvar);
+    });
+    changed |= touch.size() != before;
+  }
+  if (changed) {
+    finish(g, ctx, out);  // dropping TOUCH may enable summarization
+  } else {
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Rsg> execute_statement(const Rsg& in, const cfg::CfgNode& node,
+                                   const TransferContext& ctx) {
+  const SimpleStmt& stmt = node.stmt;
+  switch (stmt.op) {
+    case SimpleOp::kPtrNull:
+      return exec_ptr_null(in, stmt.x, ctx);
+    case SimpleOp::kPtrMalloc:
+      return exec_malloc(in, stmt, ctx);
+    case SimpleOp::kPtrCopy:
+      return exec_copy(in, node, ctx);
+    case SimpleOp::kStoreNull:
+    case SimpleOp::kStore:
+      return exec_store(in, node, ctx);
+    case SimpleOp::kLoad:
+      return exec_load(in, node, ctx);
+    case SimpleOp::kAssumeNull:
+    case SimpleOp::kAssumeNotNull:
+      return exec_assume(in, stmt);
+    case SimpleOp::kTouchClear:
+      return exec_touch_clear(in, stmt, ctx);
+    case SimpleOp::kFree:
+      // free(x) is a no-op on the RSG: the freed location stays until it
+      // becomes unreachable (documented substitution; the paper's codes do
+      // not rely on reallocation behaviour).
+    case SimpleOp::kFieldRead:
+    case SimpleOp::kFieldWrite:
+    case SimpleOp::kScalar:
+    case SimpleOp::kBranch:
+    case SimpleOp::kNop:
+      return {in};
+  }
+  return {in};
+}
+
+}  // namespace psa::analysis

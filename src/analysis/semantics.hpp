@@ -1,0 +1,34 @@
+// Abstract semantics of the six simple pointer statements (§2 of the paper;
+// the per-property updates are reconstructed from the ICPP'01 definitions —
+// see DESIGN.md §4 for the reconstruction rules).
+//
+// Each transfer maps one RSG to a *set* of RSGs: DIVIDE introduces one graph
+// per possible x->sel target (§4.1), and materialization introduces the
+// "exactly one location remained" / "more remain" variants. Every produced
+// graph is pruned and compressed; infeasible graphs (null dereference on
+// this configuration, or contradictory properties after division) are
+// dropped.
+#pragma once
+
+#include <vector>
+
+#include "cfg/cfg.hpp"
+#include "cfg/induction.hpp"
+#include "rsg/level.hpp"
+#include "rsg/ops.hpp"
+
+namespace psa::analysis {
+
+struct TransferContext {
+  rsg::LevelPolicy policy;
+  rsg::PruneOptions prune;
+  const cfg::Cfg* cfg = nullptr;
+  const cfg::InductionInfo* induction = nullptr;
+};
+
+/// Abstractly execute the statement of `node` over `in`.
+[[nodiscard]] std::vector<rsg::Rsg> execute_statement(const rsg::Rsg& in,
+                                                      const cfg::CfgNode& node,
+                                                      const TransferContext& ctx);
+
+}  // namespace psa::analysis

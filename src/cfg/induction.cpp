@@ -1,0 +1,95 @@
+#include "cfg/induction.hpp"
+
+#include <algorithm>
+
+namespace psa::cfg {
+
+namespace {
+
+/// One pointer definition inside a loop body: x = y (deref_count 0) or
+/// x = y->sel (deref_count 1).
+struct Def {
+  Symbol x;
+  Symbol y;
+  int deref_count = 0;
+};
+
+/// True when `target` is backward-reachable from `start` through `defs`
+/// accumulating at least one dereference.
+bool derives_with_deref(Symbol start, Symbol target,
+                        const std::vector<Def>& defs) {
+  // State: (var, saw_deref). BFS over the use->def relation.
+  struct State {
+    Symbol var;
+    bool deref;
+    bool operator==(const State&) const = default;
+  };
+  std::vector<State> work{{start, false}};
+  std::vector<State> seen = work;
+  while (!work.empty()) {
+    const State s = work.back();
+    work.pop_back();
+    for (const Def& d : defs) {
+      if (d.x != s.var) continue;
+      const State n{d.y, s.deref || d.deref_count > 0};
+      if (n.var == target && n.deref) return true;
+      if (std::find(seen.begin(), seen.end(), n) == seen.end()) {
+        seen.push_back(n);
+        work.push_back(n);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+InductionInfo detect_induction_pvars(const Cfg& cfg) {
+  InductionInfo info;
+
+  for (const LoopScope& loop : cfg.loop_scopes()) {
+    // Gather the pointer definitions of the loop body.
+    std::vector<Def> defs;
+    std::vector<Symbol> defined;
+    for (const NodeId id : loop.members) {
+      const SimpleStmt& s = cfg.node(id).stmt;
+      if (s.op == SimpleOp::kPtrCopy) {
+        defs.push_back(Def{s.x, s.y, 0});
+        defined.push_back(s.x);
+      } else if (s.op == SimpleOp::kLoad) {
+        defs.push_back(Def{s.x, s.y, 1});
+        defined.push_back(s.x);
+      }
+    }
+    std::sort(defined.begin(), defined.end());
+    defined.erase(std::unique(defined.begin(), defined.end()), defined.end());
+
+    // Seed: self-deriving pvars (x = x->sel... through copies).
+    std::vector<Symbol> induction;
+    for (const Symbol x : defined) {
+      if (derives_with_deref(x, x, defs)) induction.push_back(x);
+    }
+
+    // Propagate: x defined as a (≥1-deref) derivation of an induction pvar.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Symbol x : defined) {
+        if (std::binary_search(induction.begin(), induction.end(), x)) continue;
+        for (const Symbol base : induction) {
+          if (x != base && derives_with_deref(x, base, defs)) {
+            induction.push_back(x);
+            std::sort(induction.begin(), induction.end());
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    if (!induction.empty()) info.per_loop.emplace(loop.id, std::move(induction));
+  }
+  return info;
+}
+
+}  // namespace psa::cfg

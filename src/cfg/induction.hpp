@@ -1,0 +1,42 @@
+// Induction-pvar detection (the preprocessing pass of §3 of the paper).
+//
+// "only those pvars which are used to traverse dynamic data structures
+//  (called induction pointers by Yuan-Shin Hwang) are eligible to be
+//  included in the [TOUCH] set" — the paper bases the pass on Access Path
+// Expressions (Hwang & Saltz, LCPC'97).
+//
+// Reconstruction: within a loop L, a pvar x is an *induction pvar* when one
+// of its definitions inside L derives, through the loop's definitions, from
+// x itself with at least one selector dereference (x = x->sel, possibly
+// through copies and temporaries), or derives with at least one dereference
+// from another induction pvar of L (this covers stack-assisted traversals:
+// `s = S->node` where S itself walks the stack, as in the paper's inlined
+// Barnes-Hut). Computed as a fixed point; the result over-approximates
+// (flow-insensitive within the body), which only ever *adds* TOUCH
+// distinctions and therefore costs memory, never soundness.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+
+namespace psa::cfg {
+
+/// Induction pvars per loop id (1-based, matching Cfg::loop_scopes()).
+struct InductionInfo {
+  /// induction_pvars[loop_id] — sorted set of pvars.
+  std::unordered_map<std::uint32_t, std::vector<Symbol>> per_loop;
+
+  [[nodiscard]] bool is_induction(std::uint32_t loop_id, Symbol pvar) const {
+    auto it = per_loop.find(loop_id);
+    if (it == per_loop.end()) return false;
+    return std::binary_search(it->second.begin(), it->second.end(), pvar);
+  }
+};
+
+[[nodiscard]] InductionInfo detect_induction_pvars(const Cfg& cfg);
+
+}  // namespace psa::cfg

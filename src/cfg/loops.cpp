@@ -1,0 +1,125 @@
+#include "cfg/loops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace psa::cfg {
+
+DominatorTree::DominatorTree(const Cfg& cfg)
+    : idom_(cfg.size(), kInvalidNode), rpo_index_(cfg.size(), 0) {
+  // Depth-first postorder from the entry.
+  std::vector<NodeId> postorder;
+  postorder.reserve(cfg.size());
+  std::vector<std::uint8_t> state(cfg.size(), 0);  // 0=new 1=open 2=done
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(cfg.entry(), 0);
+  state[cfg.entry()] = 1;
+  while (!stack.empty()) {
+    auto& [id, next] = stack.back();
+    const auto& succs = cfg.node(id).succs;
+    if (next < succs.size()) {
+      const NodeId s = succs[next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[id] = 2;
+      postorder.push_back(id);
+      stack.pop_back();
+    }
+  }
+
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+  std::vector<std::uint32_t> po_index(cfg.size(), 0);
+  for (std::uint32_t i = 0; i < postorder.size(); ++i)
+    po_index[postorder[i]] = i;
+  for (std::uint32_t i = 0; i < rpo_.size(); ++i) rpo_index_[rpo_[i]] = i;
+
+  // Cooper/Harvey/Kennedy iterative dominators.
+  idom_[cfg.entry()] = cfg.entry();
+  auto intersect = [&](NodeId a, NodeId b) {
+    while (a != b) {
+      while (po_index[a] < po_index[b]) a = idom_[a];
+      while (po_index[b] < po_index[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const NodeId id : rpo_) {
+      if (id == cfg.entry()) continue;
+      NodeId new_idom = kInvalidNode;
+      for (const NodeId p : cfg.node(id).preds) {
+        if (idom_[p] == kInvalidNode) continue;  // pred not yet processed
+        new_idom = new_idom == kInvalidNode ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kInvalidNode && idom_[id] != new_idom) {
+        idom_[id] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(NodeId a, NodeId b) const {
+  if (!reachable(a) || !reachable(b)) return false;
+  NodeId cur = b;
+  for (;;) {
+    if (cur == a) return true;
+    const NodeId up = idom_[cur];
+    if (up == cur) return false;  // reached the entry
+    cur = up;
+  }
+}
+
+std::vector<NaturalLoop> compute_natural_loops(const Cfg& cfg) {
+  const DominatorTree dom(cfg);
+
+  // Collect back edges grouped by header.
+  std::map<NodeId, std::vector<NodeId>> back_edges;  // header -> sources
+  for (NodeId id = 0; id < cfg.size(); ++id) {
+    if (!dom.reachable(id)) continue;
+    for (const NodeId s : cfg.node(id).succs) {
+      if (dom.dominates(s, id)) back_edges[s].push_back(id);
+    }
+  }
+
+  std::vector<NaturalLoop> loops;
+  for (const auto& [header, sources] : back_edges) {
+    NaturalLoop loop;
+    loop.header = header;
+    std::vector<std::uint8_t> in_loop(cfg.size(), 0);
+    in_loop[header] = 1;
+    std::vector<NodeId> worklist;
+    for (const NodeId src : sources) {
+      if (!in_loop[src]) {
+        in_loop[src] = 1;
+        worklist.push_back(src);
+      }
+    }
+    while (!worklist.empty()) {
+      const NodeId n = worklist.back();
+      worklist.pop_back();
+      for (const NodeId p : cfg.node(n).preds) {
+        if (!dom.reachable(p) || in_loop[p]) continue;
+        in_loop[p] = 1;
+        worklist.push_back(p);
+      }
+    }
+    for (NodeId id = 0; id < cfg.size(); ++id) {
+      if (!in_loop[id]) continue;
+      loop.body.push_back(id);
+      for (const NodeId s : cfg.node(id).succs) {
+        if (!in_loop[s]) loop.exit_edges.emplace_back(id, s);
+      }
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+}  // namespace psa::cfg

@@ -1,0 +1,50 @@
+// Dominator tree and natural-loop computation over the statement-level CFG.
+//
+// The CFG builder already records loop scopes structurally; this pass
+// recomputes loops from first principles (iterative dominators + back-edge
+// natural loops) so tests can cross-check the two, and so client analyses
+// (the parallelism detector) can reason about loops without trusting the
+// builder's bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+
+namespace psa::cfg {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Cfg& cfg);
+
+  /// Immediate dominator of `id` (entry's idom is itself). Unreachable nodes
+  /// report kInvalidNode.
+  [[nodiscard]] NodeId idom(NodeId id) const { return idom_[id]; }
+
+  [[nodiscard]] bool dominates(NodeId a, NodeId b) const;
+  [[nodiscard]] bool reachable(NodeId id) const {
+    return idom_[id] != kInvalidNode;
+  }
+
+  /// Reverse-postorder of the reachable nodes.
+  [[nodiscard]] const std::vector<NodeId>& rpo() const noexcept { return rpo_; }
+
+ private:
+  std::vector<NodeId> idom_;
+  std::vector<NodeId> rpo_;
+  std::vector<std::uint32_t> rpo_index_;
+};
+
+/// A natural loop: the target of a back edge plus every node that can reach
+/// the back edge's source without passing through the header.
+struct NaturalLoop {
+  NodeId header = kInvalidNode;
+  std::vector<NodeId> body;  // sorted; includes the header
+  std::vector<std::pair<NodeId, NodeId>> exit_edges;  // (inside, outside)
+};
+
+/// Compute all natural loops; loops with the same header are merged.
+[[nodiscard]] std::vector<NaturalLoop> compute_natural_loops(const Cfg& cfg);
+
+}  // namespace psa::cfg

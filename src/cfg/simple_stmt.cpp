@@ -1,0 +1,63 @@
+#include "cfg/simple_stmt.hpp"
+
+#include <sstream>
+
+namespace psa::cfg {
+
+std::string to_string(const SimpleStmt& stmt, const support::Interner& in) {
+  std::ostringstream os;
+  switch (stmt.op) {
+    case SimpleOp::kPtrNull:
+      os << in.spelling(stmt.x) << " = NULL";
+      break;
+    case SimpleOp::kPtrMalloc:
+      os << in.spelling(stmt.x) << " = malloc";
+      break;
+    case SimpleOp::kPtrCopy:
+      os << in.spelling(stmt.x) << " = " << in.spelling(stmt.y);
+      break;
+    case SimpleOp::kStoreNull:
+      os << in.spelling(stmt.x) << "->" << in.spelling(stmt.sel) << " = NULL";
+      break;
+    case SimpleOp::kStore:
+      os << in.spelling(stmt.x) << "->" << in.spelling(stmt.sel) << " = "
+         << in.spelling(stmt.y);
+      break;
+    case SimpleOp::kLoad:
+      os << in.spelling(stmt.x) << " = " << in.spelling(stmt.y) << "->"
+         << in.spelling(stmt.sel);
+      break;
+    case SimpleOp::kFree:
+      os << "free(" << in.spelling(stmt.x) << ")";
+      break;
+    case SimpleOp::kFieldRead:
+      os << "<read " << in.spelling(stmt.x) << "->" << in.spelling(stmt.sel)
+         << ">";
+      break;
+    case SimpleOp::kFieldWrite:
+      os << "<write " << in.spelling(stmt.x) << "->" << in.spelling(stmt.sel)
+         << ">";
+      break;
+    case SimpleOp::kScalar:
+      os << "<scalar>";
+      break;
+    case SimpleOp::kBranch:
+      os << "<branch>";
+      break;
+    case SimpleOp::kAssumeNull:
+      os << "assume(" << in.spelling(stmt.x) << " == NULL)";
+      break;
+    case SimpleOp::kAssumeNotNull:
+      os << "assume(" << in.spelling(stmt.x) << " != NULL)";
+      break;
+    case SimpleOp::kTouchClear:
+      os << "<touch-clear loop " << stmt.loop_id << ">";
+      break;
+    case SimpleOp::kNop:
+      os << "<nop>";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace psa::cfg

@@ -1,0 +1,78 @@
+// The simple-statement IR the abstract interpreter executes.
+//
+// Section 2 of the paper: "We consider six simple instructions that deal with
+// pointers: x = NULL, x = malloc, x = y, x->sel = NULL, x->sel = y, and
+// x = y->sel. More complex pointer instructions can be built upon these
+// simple ones and temporal variables."
+//
+// The CFG builder lowers every statement of the C subset onto these six (plus
+// a handful of bookkeeping operations that carry no pointer semantics of
+// their own: opaque scalar statements, branch points, the edge refinements
+// assume(x==NULL)/assume(x!=NULL), TOUCH-scope clearing at loop exits, and
+// free()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lang/types.hpp"
+#include "support/diagnostics.hpp"
+#include "support/interner.hpp"
+
+namespace psa::cfg {
+
+using lang::StructId;
+using support::Symbol;
+
+enum class SimpleOp : std::uint8_t {
+  // The six pointer instructions of the paper.
+  kPtrNull,      // x = NULL
+  kPtrMalloc,    // x = malloc(struct T)
+  kPtrCopy,      // x = y
+  kStoreNull,    // x->sel = NULL
+  kStore,        // x->sel = y
+  kLoad,         // x = y->sel
+
+  // Bookkeeping.
+  kFree,         // free(x): treated as a no-op on the RSG (documented)
+  kFieldRead,    // <scalar> = x->sel (scalar field; no shape effect, kept
+                 // for the dependence analysis of client passes)
+  kFieldWrite,   // x->sel = <scalar> (likewise)
+  kScalar,       // opaque scalar computation
+  kBranch,       // condition evaluation point (opaque)
+  kAssumeNull,   // edge refinement: x == NULL holds on this path
+  kAssumeNotNull,// edge refinement: x != NULL holds on this path
+  kTouchClear,   // leaving loop `loop_id`: drop its induction pvars from TOUCH
+  kNop,          // entry/exit/join points
+};
+
+/// One executable statement of the lowered program.
+struct SimpleStmt {
+  SimpleOp op = SimpleOp::kNop;
+  Symbol x;            // destination pvar / store base / assume subject
+  Symbol y;            // source pvar (kPtrCopy, kStore, kLoad)
+  Symbol sel;          // selector (kStoreNull, kStore, kLoad)
+  StructId type{};     // kPtrMalloc: allocated struct
+  std::uint32_t loop_id = 0;  // kTouchClear
+  support::SourceLoc loc;
+
+  [[nodiscard]] bool is_pointer_op() const noexcept {
+    switch (op) {
+      case SimpleOp::kPtrNull:
+      case SimpleOp::kPtrMalloc:
+      case SimpleOp::kPtrCopy:
+      case SimpleOp::kStoreNull:
+      case SimpleOp::kStore:
+      case SimpleOp::kLoad:
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+/// Pretty-print for reports and tests, e.g. "x->nxt = y".
+[[nodiscard]] std::string to_string(const SimpleStmt& stmt,
+                                    const support::Interner& interner);
+
+}  // namespace psa::cfg

@@ -1,0 +1,71 @@
+#include "client/dot.hpp"
+
+#include <sstream>
+
+namespace psa::client {
+
+using rsg::Cardinality;
+using rsg::NodeRef;
+using rsg::Rsg;
+using support::Symbol;
+
+namespace {
+
+void emit_rsg(std::ostringstream& os, const Rsg& g,
+              const support::Interner& in, const std::string& prefix) {
+  for (const NodeRef n : g.node_refs()) {
+    const auto& p = g.props(n);
+    os << "  " << prefix << "n" << n << " [label=\"n" << n;
+    if (p.shared) os << "\\nSHARED";
+    if (!p.shsel.empty()) {
+      os << "\\nSHSEL:";
+      for (const Symbol s : p.shsel) os << ' ' << in.spelling(s);
+    }
+    if (!p.touch.empty()) {
+      os << "\\nTOUCH:";
+      for (const Symbol s : p.touch) os << ' ' << in.spelling(s);
+    }
+    os << '"';
+    if (p.cardinality == Cardinality::kMany) os << ", peripheries=2";
+    os << "];\n";
+  }
+  for (const auto& [pvar, n] : g.pvar_links()) {
+    os << "  " << prefix << "pv_" << pvar.id() << " [label=\""
+       << in.spelling(pvar) << "\", shape=box];\n";
+    os << "  " << prefix << "pv_" << pvar.id() << " -> " << prefix << "n" << n
+       << ";\n";
+  }
+  for (const NodeRef n : g.node_refs()) {
+    for (const rsg::Link& l : g.out_links(n)) {
+      os << "  " << prefix << "n" << n << " -> " << prefix << "n" << l.target
+         << " [label=\"" << in.spelling(l.sel) << "\"];\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Rsg& g, const support::Interner& in,
+                   std::string_view graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=LR;\n";
+  emit_rsg(os, g, in, "");
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const analysis::Rsrsg& set, const support::Interner& in,
+                   std::string_view graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < set.graphs().size(); ++i) {
+    os << "  subgraph cluster_" << i << " {\n    label=\"rsg " << i << "\";\n";
+    std::ostringstream body;
+    emit_rsg(body, set.graphs()[i], in, "g" + std::to_string(i) + "_");
+    os << body.str() << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace psa::client

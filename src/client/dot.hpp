@@ -1,0 +1,23 @@
+// Graphviz export of RSGs and RSRSGs (the pictures of Fig. 1 and Fig. 3).
+#pragma once
+
+#include <string>
+
+#include "analysis/rsrsg.hpp"
+#include "rsg/rsg.hpp"
+#include "support/interner.hpp"
+
+namespace psa::client {
+
+/// One RSG as a DOT digraph. Summary nodes are drawn as double circles,
+/// pvars as boxes; SHARED/SHSEL annotations appear in the node label.
+[[nodiscard]] std::string to_dot(const rsg::Rsg& g,
+                                 const support::Interner& interner,
+                                 std::string_view graph_name = "rsg");
+
+/// A whole RSRSG as one DOT file with a cluster per member graph.
+[[nodiscard]] std::string to_dot(const analysis::Rsrsg& set,
+                                 const support::Interner& interner,
+                                 std::string_view graph_name = "rsrsg");
+
+}  // namespace psa::client

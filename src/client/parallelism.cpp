@@ -1,0 +1,177 @@
+#include "client/parallelism.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psa::client {
+
+using analysis::AnalysisResult;
+using analysis::ProgramAnalysis;
+using cfg::SimpleOp;
+using rsg::NodeRef;
+using rsg::Rsg;
+using support::SmallSet;
+using support::Symbol;
+
+namespace {
+
+struct BodyAccesses {
+  SmallSet<Symbol> traversal_sels;   // selectors dereferenced by loads
+  SmallSet<Symbol> written_sels;     // selectors assigned (ptr or scalar)
+  std::vector<cfg::NodeId> writes;   // the write statements themselves
+};
+
+BodyAccesses collect_accesses(const ProgramAnalysis& program,
+                              const cfg::LoopScope& loop) {
+  BodyAccesses out;
+  for (const cfg::NodeId id : loop.members) {
+    const cfg::SimpleStmt& s = program.cfg.node(id).stmt;
+    switch (s.op) {
+      case SimpleOp::kLoad:
+        out.traversal_sels.insert(s.sel);
+        break;
+      case SimpleOp::kStore:
+      case SimpleOp::kStoreNull:
+      case SimpleOp::kFieldWrite:
+        out.written_sels.insert(s.sel);
+        out.writes.push_back(id);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LoopParallelism> detect_parallel_loops(
+    const ProgramAnalysis& program, const AnalysisResult& result) {
+  std::vector<LoopParallelism> out;
+  const auto& interner = *program.unit.interner;
+
+  for (const cfg::LoopScope& loop : program.cfg.loop_scopes()) {
+    LoopParallelism lp;
+    lp.loop_id = loop.id;
+    lp.loc = loop.loc;
+
+    const BodyAccesses acc = collect_accesses(program, loop);
+    for (const Symbol s : acc.traversal_sels)
+      lp.traversal_selectors.emplace_back(interner.spelling(s));
+    for (const Symbol s : acc.written_sels)
+      lp.written_selectors.emplace_back(interner.spelling(s));
+
+    // Criterion: at every write statement of the body, the written location
+    // (the node its base pvar references in the statement's RSRSG) must not
+    // be reachable a second time through any traversal selector — i.e.
+    // SHSEL(n, sel) = false for every traversal sel, unless sel is the
+    // returning half of one of n's cycle-link pairs (a structural
+    // back-pointer such as a DLL's prv).
+    bool ok = true;
+    bool reached = false;
+    for (const cfg::NodeId w : acc.writes) {
+      const cfg::SimpleStmt& ws = program.cfg.node(w).stmt;
+      const analysis::Rsrsg& at_write = result.per_node[w];
+      reached |= !at_write.empty();
+      for (const Rsg& g : at_write.graphs()) {
+        const NodeRef n = g.pvar_target(ws.x);
+        if (n == rsg::kNoNode) continue;
+        const rsg::NodeProps& p = g.props(n);
+        for (const Symbol sel : acc.traversal_sels) {
+          if (!p.shsel.contains(sel)) continue;
+          bool backpointer = false;
+          for (const rsg::SelPair cl : p.cyclelinks) {
+            if (cl.back == sel) backpointer = true;
+          }
+          if (backpointer) continue;
+          std::ostringstream os;
+          os << "location written by '" << to_string(ws, interner)
+             << "' may be reached twice via '" << interner.spelling(sel)
+             << "' (SHSEL = true)";
+          lp.conflicts.push_back(os.str());
+          ok = false;
+        }
+      }
+    }
+    if (!reached && !acc.writes.empty()) {
+      lp.conflicts.emplace_back("loop unreachable in the abstract semantics");
+    }
+
+    // De-duplicate conflict messages.
+    std::sort(lp.conflicts.begin(), lp.conflicts.end());
+    lp.conflicts.erase(std::unique(lp.conflicts.begin(), lp.conflicts.end()),
+                       lp.conflicts.end());
+    lp.parallelizable = ok;
+    out.push_back(std::move(lp));
+  }
+  return out;
+}
+
+std::string annotate_source(std::string_view source,
+                            const std::vector<LoopParallelism>& loops) {
+  // Split into lines, remembering 1-based indices.
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t nl = source.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      lines.push_back(source.substr(pos));
+      break;
+    }
+    lines.push_back(source.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+
+  // One annotation per line (the innermost loop wins on collisions).
+  std::vector<const LoopParallelism*> per_line(lines.size() + 2, nullptr);
+  for (const LoopParallelism& lp : loops) {
+    if (lp.loc.line == 0 || lp.loc.line > lines.size()) continue;
+    per_line[lp.loc.line] = &lp;
+  }
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t line_no = i + 1;
+    if (const LoopParallelism* lp = per_line[line_no]) {
+      const std::string_view line = lines[i];
+      const std::size_t indent = line.find_first_not_of(" \t");
+      const std::string_view pad =
+          indent == std::string_view::npos ? "" : line.substr(0, indent);
+      if (lp->parallelizable) {
+        os << pad << "#pragma omp parallel for  /* psa: independent data "
+                     "regions */\n";
+      } else {
+        os << pad << "/* psa: serial — ";
+        for (std::size_t c = 0; c < lp->conflicts.size(); ++c) {
+          if (c != 0) os << "; ";
+          os << lp->conflicts[c];
+        }
+        os << " */\n";
+      }
+    }
+    os << lines[i];
+    if (i + 1 < lines.size()) os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_report(const std::vector<LoopParallelism>& loops) {
+  std::ostringstream os;
+  os << "loop  line  parallelizable  detail\n";
+  for (const LoopParallelism& lp : loops) {
+    os << "  L" << lp.loop_id << "   " << lp.loc.line << "     "
+       << (lp.parallelizable ? "YES" : "no ") << "       ";
+    if (lp.conflicts.empty()) {
+      os << "independent data regions";
+    } else {
+      for (std::size_t i = 0; i < lp.conflicts.size(); ++i) {
+        if (i != 0) os << "; ";
+        os << lp.conflicts[i];
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace psa::client

@@ -1,0 +1,61 @@
+// Loop-parallelism detection — the client pass the paper motivates.
+//
+// §1: "a subsequent analysis would detect whether or not certain sections of
+// the code can be parallelized because they access independent data
+// regions"; §5.1 concludes that after L3 "a subsequent analysis of the code
+// can state that the tree can be traversed and updated in parallel on step
+// (iii)". The paper leaves that pass to future work; we implement the
+// natural criterion over RSRSGs:
+//
+//   A loop is parallelizable when, at every write statement of its body
+//   (pointer stores and scalar field writes alike), the written location —
+//   the node the statement's base pvar references in that statement's RSRSG
+//   — cannot be reached a second time through any selector the loop's loads
+//   dereference: SHSEL(n, sel) = false for every traversal selector, unless
+//   sel is the returning half of one of n's cycle-link pairs (a structural
+//   back-pointer such as a DLL's prv).
+//
+// Limitations (documented): reads are only protected insofar as the read
+// location is also written somewhere in the loop; loops whose iterations
+// deliberately read their neighbours (p->nxt->val) while writing p are
+// reported parallel even though a loop-carried read-after-write exists; and
+// circular-list traversals terminated by pointer comparison are outside the
+// corpus subset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+
+namespace psa::client {
+
+struct LoopParallelism {
+  std::uint32_t loop_id = 0;
+  support::SourceLoc loc;
+  bool parallelizable = false;
+  /// Traversal selectors (loads) and written selectors (stores) of the body.
+  std::vector<std::string> traversal_selectors;
+  std::vector<std::string> written_selectors;
+  /// Human-readable reasons when not parallelizable.
+  std::vector<std::string> conflicts;
+};
+
+/// Analyze every loop of the program against `result`.
+[[nodiscard]] std::vector<LoopParallelism> detect_parallel_loops(
+    const analysis::ProgramAnalysis& program,
+    const analysis::AnalysisResult& result);
+
+/// Render a report table.
+[[nodiscard]] std::string format_report(
+    const std::vector<LoopParallelism>& loops);
+
+/// The paper's stated next step ("automatic generation of parallel code"):
+/// return `source` with an OpenMP `#pragma omp parallel for`-style comment
+/// inserted above every loop the detector proved parallelizable, and a
+/// `// psa: serial — <reason>` note above every loop it could not. Lines are
+/// matched by the loop's source location.
+[[nodiscard]] std::string annotate_source(
+    std::string_view source, const std::vector<LoopParallelism>& loops);
+
+}  // namespace psa::client

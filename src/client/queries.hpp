@@ -1,0 +1,91 @@
+// Shape queries over analysis results.
+//
+// These are the predicates a client pass (or the progressive driver's
+// accuracy criteria) evaluates on RSRSGs: sharing of a struct type through a
+// selector, aliasing of pvars, reachability, structure classification
+// (list / tree / cyclic), and TOUCH inspection. §5.1 of the paper phrases
+// its Barnes-Hut findings exactly in these terms ("the summary node n6
+// fulfills SHSEL(n6, body) = false").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+
+namespace psa::client {
+
+using analysis::AnalysisResult;
+using analysis::ProgramAnalysis;
+using analysis::Rsrsg;
+using support::Symbol;
+
+/// Resolve a struct name to its id; empty when unknown.
+[[nodiscard]] std::optional<lang::StructId> struct_id(
+    const ProgramAnalysis& program, std::string_view struct_name);
+
+/// SHSEL query: may any location of struct `struct_name` be referenced more
+/// than once via `sel` in any graph of `set`? (False is the strong result.)
+[[nodiscard]] bool may_be_shared_via(const ProgramAnalysis& program,
+                                     const Rsrsg& set,
+                                     std::string_view struct_name,
+                                     std::string_view sel);
+
+/// SHARED query over all selectors.
+[[nodiscard]] bool may_be_shared(const ProgramAnalysis& program,
+                                 const Rsrsg& set,
+                                 std::string_view struct_name);
+
+/// May `a` and `b` reference the same location in some graph of `set`?
+[[nodiscard]] bool may_alias(const ProgramAnalysis& program, const Rsrsg& set,
+                             std::string_view a, std::string_view b);
+
+/// May `pvar` be NULL (unbound) in some graph of `set`?
+[[nodiscard]] bool may_be_null(const ProgramAnalysis& program, const Rsrsg& set,
+                               std::string_view pvar);
+
+/// May the heap regions reachable from two access paths overlap in some
+/// graph of `set`? Paths are "pvar" or "pvar->sel" (one selector step) —
+/// the disjoint-data-regions question the paper's §1 motivates. Returns
+/// false only when every graph proves the regions disjoint.
+[[nodiscard]] bool regions_may_overlap(const ProgramAnalysis& program,
+                                       const Rsrsg& set, std::string_view path_a,
+                                       std::string_view path_b);
+
+/// May the two access paths denote the same location — i.e. do their target
+/// node sets intersect in some graph? (Weaker than regions_may_overlap: the
+/// paths themselves, not everything reachable from them.) Nodes exactly one
+/// selector step from a pvar are what C_SPATH1 keeps apart, so this query is
+/// the canonical L1-vs-L2 precision probe.
+[[nodiscard]] bool paths_may_alias(const ProgramAnalysis& program,
+                                   const Rsrsg& set, std::string_view path_a,
+                                   std::string_view path_b);
+
+/// Classification of the data structure reachable from a pvar, computed on
+/// every graph of the set and reduced to the weakest claim.
+enum class StructureKind : std::uint8_t {
+  kUnreachable,  // pvar unbound in every graph
+  kAcyclicList,  // out-degree <= 1 per traversal selector, no sharing, no cycle
+  kTree,         // no sharing (except cycle-link back-pointers), no cycle
+  kDag,          // sharing but no cycle (other than cycle-link pairs)
+  kCyclic,       // may contain a cycle not explained by cycle-link pairs
+};
+
+[[nodiscard]] std::string_view to_string(StructureKind kind);
+
+/// Classify what `pvar` references at the end of the function.
+[[nodiscard]] StructureKind classify_structure(const ProgramAnalysis& program,
+                                               const Rsrsg& set,
+                                               std::string_view pvar);
+
+/// Statistics of an RSRSG (for reports and the Table-1 harness).
+struct SetStats {
+  std::size_t graphs = 0;
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::size_t bytes = 0;
+};
+[[nodiscard]] SetStats stats(const Rsrsg& set);
+
+}  // namespace psa::client

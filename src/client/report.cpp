@@ -1,0 +1,80 @@
+#include "client/report.hpp"
+
+#include <sstream>
+
+#include "client/parallelism.hpp"
+#include "client/queries.hpp"
+
+namespace psa::client {
+
+namespace {
+
+void append_sharing_facts(std::ostringstream& os,
+                          const analysis::ProgramAnalysis& program,
+                          const analysis::Rsrsg& at_exit) {
+  const auto& interner = *program.unit.interner;
+  os << "sharing facts at exit (struct x selector -> may be referenced "
+        "twice?):\n";
+  for (std::size_t i = 0; i < program.unit.types.struct_count(); ++i) {
+    const auto id = static_cast<lang::StructId>(i);
+    const auto& decl = program.unit.types.struct_decl(id);
+    const std::string struct_name{interner.spelling(decl.name)};
+    const bool shared = may_be_shared(program, at_exit, struct_name);
+    os << "  struct " << struct_name << ": SHARED="
+       << (shared ? "maybe" : "no");
+    for (const auto& selectors = program.unit.types.all_selectors();
+         const auto sel : selectors) {
+      const std::string sel_name{interner.spelling(sel)};
+      if (may_be_shared_via(program, at_exit, struct_name, sel_name)) {
+        os << " SHSEL(" << sel_name << ")=maybe";
+      }
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+std::string format_analysis_report(const analysis::ProgramAnalysis& program,
+                                   const analysis::AnalysisResult& result,
+                                   const ReportOptions& options) {
+  std::ostringstream os;
+  const auto& interner = *program.unit.interner;
+
+  os << "analysis: " << analysis::to_string(result.status) << " in "
+     << result.seconds << " s, " << result.node_visits
+     << " statement visits, peak " << result.peak_bytes()
+     << " bytes of RSG storage\n";
+  os << "cfg: " << program.cfg.size() << " statements, "
+     << program.cfg.pointer_vars().size() << " pvars, "
+     << program.cfg.loop_scopes().size() << " loops\n";
+
+  if (options.per_statement) {
+    os << "\nper-statement RSRSGs:\n";
+    for (cfg::NodeId id = 0; id < program.cfg.size(); ++id) {
+      const auto& set = result.per_node[id];
+      os << '#' << id << " (line " << program.cfg.node(id).stmt.loc.line
+         << ") " << cfg::to_string(program.cfg.node(id).stmt, interner)
+         << ": " << set.size() << " graph(s), " << set.total_nodes()
+         << " node(s)\n";
+    }
+  }
+
+  const auto& at_exit = result.at_exit(program.cfg);
+  os << "\nexit state: " << at_exit.size() << " graph(s), "
+     << at_exit.total_nodes() << " node(s)\n";
+
+  if (options.sharing && !at_exit.empty()) {
+    os << '\n';
+    append_sharing_facts(os, program, at_exit);
+  }
+
+  if (options.parallelism) {
+    os << "\nloop parallelism:\n"
+       << format_report(detect_parallel_loops(program, result));
+  }
+
+  return os.str();
+}
+
+}  // namespace psa::client

@@ -1,0 +1,26 @@
+// Textual analysis reports: everything the CLI and the examples print about
+// one analyzed function — per-statement RSRSG sizes, exit-state shape facts,
+// loop parallelism, and resource usage.
+#pragma once
+
+#include <string>
+
+#include "analysis/analyzer.hpp"
+
+namespace psa::client {
+
+struct ReportOptions {
+  /// Dump the RSRSG of every statement (verbose) instead of the exit only.
+  bool per_statement = false;
+  /// Include the loop-parallelism table.
+  bool parallelism = true;
+  /// Include per-struct sharing facts.
+  bool sharing = true;
+};
+
+/// Render a human-readable report of one analysis run.
+[[nodiscard]] std::string format_analysis_report(
+    const analysis::ProgramAnalysis& program,
+    const analysis::AnalysisResult& result, const ReportOptions& options = {});
+
+}  // namespace psa::client

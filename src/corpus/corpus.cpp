@@ -1,0 +1,1084 @@
+#include "corpus/corpus.hpp"
+
+namespace psa::corpus {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Auxiliary structures
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kSllSource = R"(
+struct node { struct node *nxt; int val; };
+
+void main() {
+  struct node *list; struct node *p; struct node *t;
+  int i; int n;
+  list = NULL; i = 0; n = 100;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = list;
+    t->val = i;
+    list = t;
+    i = i + 1;
+  }
+  t = NULL;
+  p = list;
+  while (p != NULL) {
+    p->val = p->val + 1;
+    p = p->nxt;
+  }
+}
+)";
+
+constexpr std::string_view kDllSource = R"(
+struct dnode { struct dnode *nxt; struct dnode *prv; int val; };
+
+void main() {
+  struct dnode *list; struct dnode *tail; struct dnode *t; struct dnode *p;
+  int i; int n;
+  i = 0; n = 100;
+  list = malloc(sizeof(struct dnode));
+  list->nxt = NULL;
+  list->prv = NULL;
+  tail = list;
+  while (i < n) {
+    t = malloc(sizeof(struct dnode));
+    t->nxt = NULL;
+    t->prv = tail;
+    tail->nxt = t;
+    tail = t;
+    i = i + 1;
+  }
+  t = NULL;
+  p = list;
+  while (p != NULL) {
+    p->val = 0;
+    p = p->nxt;
+  }
+  p = tail;
+  while (p != NULL) {
+    p->val = 1;
+    p = p->prv;
+  }
+}
+)";
+
+constexpr std::string_view kListReverseSource = R"(
+struct node { struct node *nxt; int val; };
+
+void main() {
+  struct node *list; struct node *rev; struct node *t;
+  int i; int n;
+  list = NULL; i = 0; n = 100;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = list;
+    list = t;
+    i = i + 1;
+  }
+  t = NULL;
+  rev = NULL;
+  while (list != NULL) {
+    t = list->nxt;
+    list->nxt = rev;
+    rev = list;
+    list = t;
+  }
+  t = NULL;
+}
+)";
+
+constexpr std::string_view kBinaryTreeSource = R"(
+struct tnode { struct tnode *lft; struct tnode *rgt; int key; };
+struct stk { struct stk *nxt; struct tnode *node; };
+
+void main() {
+  struct tnode *root; struct tnode *cur; struct tnode *nw;
+  struct stk *S; struct stk *e;
+  int i; int n; int dir;
+  root = malloc(sizeof(struct tnode));
+  root->lft = NULL;
+  root->rgt = NULL;
+  i = 0; n = 100; dir = 3;
+  while (i < n) {
+    nw = malloc(sizeof(struct tnode));
+    nw->lft = NULL;
+    nw->rgt = NULL;
+    cur = root;
+    while (cur != NULL) {
+      if (dir < 0) {
+        if (cur->lft == NULL) {
+          cur->lft = nw;
+          cur = NULL;
+        } else {
+          cur = cur->lft;
+        }
+      } else {
+        if (cur->rgt == NULL) {
+          cur->rgt = nw;
+          cur = NULL;
+        } else {
+          cur = cur->rgt;
+        }
+      }
+    }
+    i = i + 1;
+  }
+  nw = NULL;
+  cur = NULL;
+  /* iterative traversal with an explicit stack (inlined recursion) */
+  S = malloc(sizeof(struct stk));
+  S->nxt = NULL;
+  S->node = root;
+  while (S != NULL) {
+    cur = S->node;
+    S = S->nxt;
+    if (cur->lft != NULL) {
+      e = malloc(sizeof(struct stk));
+      e->node = cur->lft;
+      e->nxt = S;
+      S = e;
+    }
+    if (cur->rgt != NULL) {
+      e = malloc(sizeof(struct stk));
+      e->node = cur->rgt;
+      e->nxt = S;
+      S = e;
+    }
+    cur->key = cur->key + 1;
+  }
+  e = NULL;
+  cur = NULL;
+}
+)";
+
+constexpr std::string_view kNaryTreeSource = R"(
+struct cell { struct cell *child; struct cell *sib; int depth; };
+
+void main() {
+  struct cell *root; struct cell *cur; struct cell *nc;
+  int i; int n; int pick;
+  root = malloc(sizeof(struct cell));
+  root->child = NULL;
+  root->sib = NULL;
+  i = 0; n = 50; pick = 2;
+  while (i < n) {
+    /* descend to an arbitrary cell, then append a child */
+    cur = root;
+    while (pick > 0 && cur->child != NULL) {
+      cur = cur->child;
+      pick = pick - 1;
+    }
+    nc = malloc(sizeof(struct cell));
+    nc->child = NULL;
+    nc->sib = cur->child;
+    cur->child = nc;
+    i = i + 1;
+  }
+  nc = NULL;
+  cur = NULL;
+}
+)";
+
+// An em3d-like bipartite kernel (Olden-style, the "irregular codes" of the
+// paper's §1): a list of E-nodes and a list of H-nodes, where every E-node
+// depends on *some* H-node — several E-nodes may depend on the same one, so
+// the H-nodes are genuinely shared through `dep` and the update loop is
+// genuinely serial. The corpus's only intentionally-shared structure: it
+// checks the analysis against false negatives.
+constexpr std::string_view kEm3dSource = R"(
+struct hnode { struct hnode *nxt; double val; };
+struct enode { struct enode *nxt; struct hnode *dep; double val; };
+
+void main() {
+  struct hnode *hlist; struct hnode *h; struct hnode *pick;
+  struct enode *elist; struct enode *e;
+  int i; int n; int hop;
+  /* build the H list */
+  hlist = NULL; i = 0; n = 12;
+  while (i < n) {
+    h = malloc(sizeof(struct hnode));
+    h->nxt = hlist;
+    h->val = 0.0;
+    hlist = h;
+    i = i + 1;
+  }
+  h = NULL;
+  /* build the E list; each E-node depends on an arbitrary H-node */
+  elist = NULL; i = 0; hop = 3;
+  while (i < n) {
+    e = malloc(sizeof(struct enode));
+    e->nxt = elist;
+    e->val = 1.0;
+    pick = hlist;
+    while (hop > 0 && pick != NULL) {
+      pick = pick->nxt;
+      hop = hop - 1;
+    }
+    if (pick == NULL) {
+      pick = hlist;
+    }
+    e->dep = pick;
+    elist = e;
+    i = i + 1;
+  }
+  e = NULL; pick = NULL;
+  /* relaxation: every E-node pushes into its dependency */
+  e = elist;
+  while (e != NULL) {
+    pick = e->dep;
+    if (pick != NULL) {
+      pick->val = pick->val + e->val;
+    }
+    pick = NULL;
+    e = e->nxt;
+  }
+  e = NULL;
+}
+)";
+
+// FIFO queue: append at the tail, dequeue (and free) from the head — the
+// two-cursor pattern where head and tail alias exactly while the queue has
+// one element.
+constexpr std::string_view kQueueSource = R"(
+struct qnode { struct qnode *nxt; int v; };
+
+void main() {
+  struct qnode *head; struct qnode *tail; struct qnode *t;
+  int i; int n;
+  head = NULL; tail = NULL; i = 0; n = 50;
+  while (i < n) {
+    t = malloc(sizeof(struct qnode));
+    t->nxt = NULL;
+    if (tail == NULL) {
+      head = t;
+      tail = t;
+    } else {
+      tail->nxt = t;
+      tail = t;
+    }
+    i = i + 1;
+  }
+  t = NULL;
+  while (head != NULL) {
+    t = head;
+    head = head->nxt;
+    t->nxt = NULL;
+    free(t);
+  }
+  t = NULL;
+  tail = NULL;
+}
+)";
+
+// Delete the second element of a doubly-linked list: the classic four-way
+// relink (nxt forward, prv backward, victim detached).
+constexpr std::string_view kDllDeleteSource = R"(
+struct dnode { struct dnode *nxt; struct dnode *prv; int v; };
+
+void main() {
+  struct dnode *head; struct dnode *tail; struct dnode *t;
+  struct dnode *vic; struct dnode *nx; struct dnode *p;
+  int i; int n;
+  head = malloc(sizeof(struct dnode));
+  head->nxt = NULL;
+  head->prv = NULL;
+  tail = head;
+  i = 0; n = 20;
+  while (i < n) {
+    t = malloc(sizeof(struct dnode));
+    t->nxt = NULL;
+    t->prv = tail;
+    tail->nxt = t;
+    tail = t;
+    i = i + 1;
+  }
+  t = NULL;
+  /* unlink the node after the head, when present */
+  vic = head->nxt;
+  if (vic != NULL) {
+    nx = vic->nxt;
+    head->nxt = nx;
+    if (nx != NULL) {
+      nx->prv = head;
+    }
+    vic->nxt = NULL;
+    vic->prv = NULL;
+    free(vic);
+  }
+  vic = NULL; nx = NULL;
+  p = head;
+  while (p != NULL) {
+    p->v = p->v + 1;
+    p = p->nxt;
+  }
+  p = NULL;
+}
+)";
+
+// Destructively merge two lists, taking elements alternately (the output is
+// built reversed). The merge loop's condition is opaque to the analysis;
+// the per-list null tests inside carry the refinement.
+constexpr std::string_view kListMergeSource = R"(
+struct node { struct node *nxt; int v; };
+
+void main() {
+  struct node *a; struct node *b; struct node *out; struct node *t;
+  int i; int n;
+  a = NULL; i = 0; n = 20;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = a;
+    a = t;
+    i = i + 1;
+  }
+  b = NULL; i = 0;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = b;
+    b = t;
+    i = i + 1;
+  }
+  t = NULL;
+  out = NULL;
+  while (a != NULL || b != NULL) {
+    if (a != NULL) {
+      t = a;
+      a = a->nxt;
+      t->nxt = out;
+      out = t;
+    }
+    if (b != NULL) {
+      t = b;
+      b = b->nxt;
+      t->nxt = out;
+      out = t;
+    }
+  }
+  t = NULL;
+}
+)";
+
+// Mirror a binary tree in place with an explicit stack: every visited node
+// swaps its lft and rgt children through a temporary — a destructive update
+// of two selectors per element during a stack-assisted traversal.
+constexpr std::string_view kTreeMirrorSource = R"(
+struct tnode { struct tnode *lft; struct tnode *rgt; int k; };
+struct stk { struct stk *nxt; struct tnode *node; };
+
+void main() {
+  struct tnode *root; struct tnode *cur; struct tnode *nw;
+  struct tnode *tmp;
+  struct stk *S; struct stk *e;
+  int i; int n; int dir;
+  root = malloc(sizeof(struct tnode));
+  root->lft = NULL;
+  root->rgt = NULL;
+  i = 0; n = 30; dir = 1;
+  while (i < n) {
+    nw = malloc(sizeof(struct tnode));
+    nw->lft = NULL;
+    nw->rgt = NULL;
+    cur = root;
+    while (cur != NULL) {
+      if (dir < 0) {
+        if (cur->lft == NULL) {
+          cur->lft = nw;
+          cur = NULL;
+        } else {
+          cur = cur->lft;
+        }
+      } else {
+        if (cur->rgt == NULL) {
+          cur->rgt = nw;
+          cur = NULL;
+        } else {
+          cur = cur->rgt;
+        }
+      }
+    }
+    i = i + 1;
+  }
+  nw = NULL;
+  cur = NULL;
+  /* mirror with an explicit stack */
+  S = malloc(sizeof(struct stk));
+  S->nxt = NULL;
+  S->node = root;
+  while (S != NULL) {
+    cur = S->node;
+    S = S->nxt;
+    tmp = cur->lft;
+    cur->lft = cur->rgt;
+    cur->rgt = tmp;
+    tmp = NULL;
+    if (cur->lft != NULL) {
+      e = malloc(sizeof(struct stk));
+      e->node = cur->lft;
+      e->nxt = S;
+      S = e;
+    }
+    if (cur->rgt != NULL) {
+      e = malloc(sizeof(struct stk));
+      e->node = cur->rgt;
+      e->nxt = S;
+      S = e;
+    }
+  }
+  e = NULL;
+  cur = NULL;
+}
+)";
+
+// Two independent lists hanging off one header struct. The heads sit exactly
+// one selector step from the pvar `h`, so C_SPATH1 (L2) keeps them — and
+// hence the two lists — apart, while C_SPATH0 (L1) summarizes them together:
+// the progressive driver's L1 -> L2 escalation witness.
+constexpr std::string_view kTwoListsSource = R"(
+struct node { struct node *nxt; int val; };
+struct hdr { struct node *la; struct node *lb; };
+
+void main() {
+  struct hdr *h; struct node *t; struct node *p;
+  int i; int n;
+  h = malloc(sizeof(struct hdr));
+  h->la = NULL;
+  h->lb = NULL;
+  i = 0; n = 10;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = h->la;
+    h->la = t;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = h->lb;
+    h->lb = t;
+    i = i + 1;
+  }
+  t = NULL;
+  /* update list A only: requires knowing the lists are disjoint */
+  p = h->la;
+  while (p != NULL) {
+    p->val = 1;
+    p = p->nxt;
+  }
+  p = NULL;
+}
+)";
+
+// A traversal that records every visited node in a second ("marker")
+// structure. Without TOUCH (L1/L2) the visited and unvisited list segments
+// summarize together, so materializing the next element drags the markers'
+// stale may-references along and the store flags SHSEL(node, ref) = true.
+// With TOUCH (L3) visited nodes — referenced by markers — stay separate from
+// unvisited ones and the sharing stays false: the L2 -> L3 witness,
+// miniaturizing the paper's Barnes-Hut stack argument (§5.1).
+constexpr std::string_view kVisitMarksSource = R"(
+struct node { struct node *nxt; int val; };
+struct mark { struct mark *nxt; struct node *ref; };
+
+void main() {
+  struct node *list; struct node *p; struct node *t;
+  struct mark *marks; struct mark *m;
+  int i; int n;
+  list = NULL; i = 0; n = 10;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = list;
+    list = t;
+    i = i + 1;
+  }
+  t = NULL;
+  marks = NULL;
+  p = list;
+  while (p != NULL) {
+    m = malloc(sizeof(struct mark));
+    m->ref = p;
+    m->nxt = marks;
+    marks = m;
+    p = p->nxt;
+  }
+  m = NULL; p = NULL;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Table-1 codes
+// ---------------------------------------------------------------------------
+
+// Sparse matrix = list of rows, each row a list of elements; vectors are
+// lists. Build A and x, compute y = A*x.
+constexpr std::string_view kSparseMatVecSource = R"(
+struct elem { struct elem *nxtc; double val; int col; };
+struct row { struct row *nxtr; struct elem *elems; int idx; };
+struct vec { struct vec *nxt; double val; int idx; };
+
+void main() {
+  struct row *A; struct row *r;
+  struct elem *e; struct elem *t;
+  struct vec *x; struct vec *y; struct vec *v; struct vec *w;
+  int i; int j; int n; int nz;
+  /* build the sparse matrix A */
+  A = NULL; i = 0; n = 10;
+  while (i < n) {
+    r = malloc(sizeof(struct row));
+    r->elems = NULL;
+    r->idx = i;
+    r->nxtr = A;
+    A = r;
+    j = 0; nz = 5;
+    while (j < nz) {
+      t = malloc(sizeof(struct elem));
+      t->nxtc = r->elems;
+      t->col = j;
+      t->val = 1.0;
+      r->elems = t;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  r = NULL; t = NULL;
+  /* build the dense-as-list vector x */
+  x = NULL; i = 0;
+  while (i < n) {
+    v = malloc(sizeof(struct vec));
+    v->nxt = x;
+    v->idx = i;
+    v->val = 2.0;
+    x = v;
+    i = i + 1;
+  }
+  v = NULL;
+  /* y = A * x */
+  y = NULL;
+  r = A;
+  while (r != NULL) {
+    w = malloc(sizeof(struct vec));
+    w->val = 0.0;
+    w->idx = r->idx;
+    w->nxt = y;
+    y = w;
+    e = r->elems;
+    while (e != NULL) {
+      v = x;
+      while (v != NULL) {
+        if (v->idx == e->col) {
+          w->val = w->val + e->val * v->val;
+        }
+        v = v->nxt;
+      }
+      e = e->nxtc;
+    }
+    r = r->nxtr;
+  }
+  w = NULL; e = NULL; v = NULL; r = NULL;
+}
+)";
+
+// C = A * B with element search-or-insert on the result rows.
+constexpr std::string_view kSparseMatMatSource = R"(
+struct elem { struct elem *nxtc; double val; int col; };
+struct row { struct row *nxtr; struct elem *elems; int idx; };
+
+void main() {
+  struct row *A; struct row *B; struct row *C;
+  struct row *r; struct row *br; struct row *cr;
+  struct elem *e; struct elem *be; struct elem *ce; struct elem *f;
+  struct elem *t;
+  int i; int j; int n; int nz;
+  /* build A */
+  A = NULL; i = 0; n = 8;
+  while (i < n) {
+    r = malloc(sizeof(struct row));
+    r->elems = NULL;
+    r->idx = i;
+    r->nxtr = A;
+    A = r;
+    j = 0; nz = 4;
+    while (j < nz) {
+      t = malloc(sizeof(struct elem));
+      t->nxtc = r->elems;
+      t->col = j;
+      t->val = 1.0;
+      r->elems = t;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  /* build B */
+  B = NULL; i = 0;
+  while (i < n) {
+    r = malloc(sizeof(struct row));
+    r->elems = NULL;
+    r->idx = i;
+    r->nxtr = B;
+    B = r;
+    j = 0; nz = 4;
+    while (j < nz) {
+      t = malloc(sizeof(struct elem));
+      t->nxtc = r->elems;
+      t->col = j;
+      t->val = 1.0;
+      r->elems = t;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  r = NULL; t = NULL;
+  /* C = A * B */
+  C = NULL;
+  r = A;
+  while (r != NULL) {
+    cr = malloc(sizeof(struct row));
+    cr->elems = NULL;
+    cr->idx = r->idx;
+    cr->nxtr = C;
+    C = cr;
+    e = r->elems;
+    while (e != NULL) {
+      br = B;
+      while (br != NULL) {
+        if (br->idx == e->col) {
+          be = br->elems;
+          while (be != NULL) {
+            /* find or insert C[r->idx][be->col] */
+            f = NULL;
+            ce = cr->elems;
+            while (ce != NULL) {
+              if (ce->col == be->col) {
+                f = ce;
+                ce = NULL;
+              } else {
+                ce = ce->nxtc;
+              }
+            }
+            if (f == NULL) {
+              f = malloc(sizeof(struct elem));
+              f->col = be->col;
+              f->val = 0.0;
+              f->nxtc = cr->elems;
+              cr->elems = f;
+            }
+            f->val = f->val + e->val * be->val;
+            be = be->nxtc;
+          }
+        }
+        br = br->nxtr;
+      }
+      e = e->nxtc;
+    }
+    r = r->nxtr;
+  }
+  f = NULL; ce = NULL; be = NULL; br = NULL; e = NULL; cr = NULL; r = NULL;
+}
+)";
+
+// In-place LU factorization over a list-of-rows matrix with sorted column
+// lists: pivot search, then row updates with mid-list insertion / deletion —
+// the heaviest pointer surgery of the four codes (and the heaviest analysis
+// in the paper's Table 1).
+constexpr std::string_view kSparseLuSource = R"(
+struct elem { struct elem *nxtc; double val; int col; };
+struct row { struct row *nxtr; struct elem *elems; int idx; };
+
+void main() {
+  struct row *A; struct row *r; struct row *r2;
+  struct elem *t; struct elem *pe; struct elem *le;
+  struct elem *prev; struct elem *cur; struct elem *ne;
+  int i; int j; int n; int nz; int k; int stop;
+  /* build A */
+  A = NULL; i = 0; n = 6;
+  while (i < n) {
+    r = malloc(sizeof(struct row));
+    r->elems = NULL;
+    r->idx = i;
+    r->nxtr = A;
+    A = r;
+    j = 0; nz = 4;
+    while (j < nz) {
+      t = malloc(sizeof(struct elem));
+      t->nxtc = r->elems;
+      t->col = j;
+      t->val = 1.0;
+      r->elems = t;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  t = NULL;
+  /* factorize: for each pivot row r, update every later row r2 */
+  r = A;
+  k = 0;
+  while (r != NULL) {
+    r2 = r->nxtr;
+    while (r2 != NULL) {
+      /* find the element of r2 in the pivot column (if any) */
+      le = NULL;
+      cur = r2->elems;
+      while (cur != NULL) {
+        if (cur->col == k) {
+          le = cur;
+          cur = NULL;
+        } else {
+          cur = cur->nxtc;
+        }
+      }
+      if (le != NULL) {
+        le->val = le->val / 2.0;
+        /* for each pivot-row element right of the pivot, find-or-insert the
+           matching element of r2 (sorted insertion with a trailing prev) */
+        pe = r->elems;
+        while (pe != NULL) {
+          if (pe->col > k) {
+            prev = NULL;
+            cur = r2->elems;
+            stop = 0;
+            while (cur != NULL && stop == 0) {
+              if (cur->col < pe->col) {
+                prev = cur;
+                cur = cur->nxtc;
+              } else {
+                stop = 1;
+              }
+            }
+            if (cur != NULL && cur->col == pe->col) {
+              cur->val = cur->val - le->val * pe->val;
+            } else {
+              ne = malloc(sizeof(struct elem));
+              ne->col = pe->col;
+              ne->val = 0.0 - le->val * pe->val;
+              if (prev == NULL) {
+                ne->nxtc = r2->elems;
+                r2->elems = ne;
+              } else {
+                ne->nxtc = prev->nxtc;
+                prev->nxtc = ne;
+              }
+              ne = NULL;
+            }
+          }
+          pe = pe->nxtc;
+        }
+        /* drop the eliminated element from r2 (it moved to L) */
+        prev = NULL;
+        cur = r2->elems;
+        stop = 0;
+        while (cur != NULL && stop == 0) {
+          if (cur->col == k) {
+            stop = 1;
+          } else {
+            prev = cur;
+            cur = cur->nxtc;
+          }
+        }
+        if (cur != NULL) {
+          if (prev == NULL) {
+            r2->elems = cur->nxtc;
+          } else {
+            prev->nxtc = cur->nxtc;
+          }
+          cur->nxtc = NULL;
+        }
+      }
+      r2 = r2->nxtr;
+    }
+    r = r->nxtr;
+    k = k + 1;
+  }
+  prev = NULL; cur = NULL; ne = NULL; pe = NULL; le = NULL; r2 = NULL; r = NULL;
+}
+)";
+
+// Barnes-Hut (§5.1, Fig. 3): bodies in a singly linked list `Lbodies`; the
+// octree as cells with a children list (child/sib) and a `bd` selector from
+// leaves into the body list; all recursive traversals inlined around an
+// explicit stack whose `node` selector points into the octree.
+constexpr std::string_view kBarnesHutSource = R"(
+struct body { struct body *nxt; double mass; double px; };
+struct cell { struct cell *child; struct cell *sib; struct body *bd;
+              double cm; };
+struct stk { struct stk *nxt; struct cell *node; };
+
+void main() {
+  struct body *Lbodies; struct body *b; struct body *bb;
+  struct cell *root; struct cell *cur; struct cell *c; struct cell *nc;
+  struct stk *S; struct stk *e;
+  struct cell *p;
+  int i; int j; int n; int descending; int choose;
+  /* build the body list */
+  Lbodies = NULL; i = 0; n = 16;
+  while (i < n) {
+    b = malloc(sizeof(struct body));
+    b->nxt = Lbodies;
+    b->mass = 1.0;
+    b->px = 0.0;
+    Lbodies = b;
+    i = i + 1;
+  }
+  b = NULL;
+  /* (i) build the octree: insert each body, splitting full leaves */
+  root = malloc(sizeof(struct cell));
+  root->child = NULL;
+  root->sib = NULL;
+  root->bd = NULL;
+  b = Lbodies;
+  choose = 5;
+  while (b != NULL) {
+    cur = root;
+    descending = 1;
+    while (descending == 1) {
+      if (cur->child != NULL) {
+        /* internal cell: descend into the subsquare holding the body */
+        c = cur->child;
+        while (choose > 0 && c->sib != NULL) {
+          c = c->sib;
+          choose = choose - 1;
+        }
+        cur = c;
+      } else {
+        if (cur->bd == NULL) {
+          cur->bd = b;
+          descending = 0;
+        } else {
+          /* occupied leaf: split into 8 subsquares, push the old body down */
+          j = 0;
+          while (j < 8) {
+            nc = malloc(sizeof(struct cell));
+            nc->child = NULL;
+            nc->bd = NULL;
+            nc->sib = cur->child;
+            cur->child = nc;
+            j = j + 1;
+          }
+          c = cur->child;
+          c->bd = cur->bd;
+          cur->bd = NULL;
+        }
+      }
+    }
+    b = b->nxt;
+  }
+  c = NULL; nc = NULL; cur = NULL;
+  /* (ii) center of mass: traverse the octree with an explicit stack */
+  S = malloc(sizeof(struct stk));
+  S->nxt = NULL;
+  S->node = root;
+  while (S != NULL) {
+    p = S->node;
+    S = S->nxt;
+    c = p->child;
+    while (c != NULL) {
+      e = malloc(sizeof(struct stk));
+      e->node = c;
+      e->nxt = S;
+      S = e;
+      c = c->sib;
+    }
+    if (p->bd != NULL) {
+      bb = p->bd;
+      p->cm = p->cm + bb->mass;
+      bb = NULL;
+    }
+  }
+  e = NULL; p = NULL; c = NULL;
+  /* (iii) forces: for each body, traverse the octree (private stack) */
+  b = Lbodies;
+  while (b != NULL) {
+    S = malloc(sizeof(struct stk));
+    S->nxt = NULL;
+    S->node = root;
+    while (S != NULL) {
+      p = S->node;
+      S = S->nxt;
+      c = p->child;
+      while (c != NULL) {
+        e = malloc(sizeof(struct stk));
+        e->node = c;
+        e->nxt = S;
+        S = e;
+        c = c->sib;
+      }
+      if (p->bd != NULL) {
+        bb = p->bd;
+        b->px = b->px + bb->mass * p->cm;
+        bb = NULL;
+      }
+      p->cm = p->cm + 1.0;
+    }
+    e = NULL; p = NULL; c = NULL;
+    b = b->nxt;
+  }
+}
+)";
+
+// Reduced Barnes-Hut: the same three structures (body list, cell tree with
+// children lists and bd selectors into the bodies, traversal stack) and the
+// same three phases, but with a directly-built two-level tree instead of the
+// insert-with-split construction. Small enough for the *pure* paper
+// semantics (no widening) to converge at every level — the substrate for the
+// qualitative Fig. 3 reproduction; the full barnes_hut above reproduces the
+// Table-1 cost behaviour.
+constexpr std::string_view kBarnesHutSmallSource = R"(
+struct body { struct body *nxt; double mass; double px; };
+struct cell { struct cell *child; struct cell *sib; struct body *bd;
+              double cm; };
+struct stk { struct stk *nxt; struct cell *node; };
+
+void main() {
+  struct body *Lbodies; struct body *b; struct body *bb;
+  struct cell *root; struct cell *c;
+  struct cell *p;
+  struct stk *S; struct stk *e;
+  int i; int n;
+  /* body list */
+  Lbodies = NULL; i = 0; n = 16;
+  while (i < n) {
+    b = malloc(sizeof(struct body));
+    b->nxt = Lbodies;
+    b->mass = 1.0;
+    Lbodies = b;
+    i = i + 1;
+  }
+  b = NULL;
+  /* two-level octree: one leaf per body under the root */
+  root = malloc(sizeof(struct cell));
+  root->child = NULL;
+  root->sib = NULL;
+  root->bd = NULL;
+  b = Lbodies;
+  while (b != NULL) {
+    c = malloc(sizeof(struct cell));
+    c->child = NULL;
+    c->bd = b;
+    c->sib = root->child;
+    root->child = c;
+    b = b->nxt;
+  }
+  c = NULL;
+  /* (ii) center of mass via an explicit stack */
+  S = malloc(sizeof(struct stk));
+  S->nxt = NULL;
+  S->node = root;
+  while (S != NULL) {
+    p = S->node;
+    S = S->nxt;
+    c = p->child;
+    while (c != NULL) {
+      e = malloc(sizeof(struct stk));
+      e->node = c;
+      e->nxt = S;
+      S = e;
+      c = c->sib;
+    }
+    if (p->bd != NULL) {
+      bb = p->bd;
+      p->cm = p->cm + bb->mass;
+      bb = NULL;
+    }
+    e = NULL;
+  }
+  p = NULL; c = NULL;
+  /* (iii) forces: per body, traverse the tree with a private stack */
+  b = Lbodies;
+  while (b != NULL) {
+    S = malloc(sizeof(struct stk));
+    S->nxt = NULL;
+    S->node = root;
+    while (S != NULL) {
+      p = S->node;
+      S = S->nxt;
+      c = p->child;
+      while (c != NULL) {
+        e = malloc(sizeof(struct stk));
+        e->node = c;
+        e->nxt = S;
+        S = e;
+        c = c->sib;
+      }
+      if (p->bd != NULL) {
+        bb = p->bd;
+        b->px = b->px + bb->mass * p->cm;
+        bb = NULL;
+      }
+      p->cm = p->cm + 1.0;
+      e = NULL;
+    }
+    p = NULL; c = NULL;
+    b = b->nxt;
+  }
+}
+)";
+
+const std::vector<CorpusProgram>& programs() {
+  static const std::vector<CorpusProgram> kPrograms = {
+      {"sll", "singly linked list: build then traverse", kSllSource, false},
+      {"dll",
+       "doubly linked list with cycle links (the Fig. 1 structure): build, "
+       "forward and backward traversals",
+       kDllSource, false},
+      {"list_reverse", "destructive in-place list reversal", kListReverseSource,
+       false},
+      {"binary_tree",
+       "binary search tree: pointer insertion, then a stack-driven traversal",
+       kBinaryTreeSource, false},
+      {"nary_tree", "n-ary tree via child/sibling lists", kNaryTreeSource,
+       false},
+      {"em3d_like",
+       "em3d-style bipartite dependency kernel — intentionally shared "
+       "H-nodes (false-negative check)",
+       kEm3dSource, false},
+      {"queue", "FIFO queue: tail appends, head dequeues with free",
+       kQueueSource, false},
+      {"dll_delete", "doubly-linked list with a mid-list deletion",
+       kDllDeleteSource, false},
+      {"list_merge", "destructive alternating merge of two lists",
+       kListMergeSource, false},
+      {"tree_mirror",
+       "in-place binary tree mirroring via an explicit stack (destructive "
+       "two-selector updates)",
+       kTreeMirrorSource, false},
+      {"two_lists",
+       "two independent lists off one header — the L1 -> L2 progressive "
+       "escalation witness (C_SPATH1)",
+       kTwoListsSource, false},
+      {"visit_marks",
+       "traversal recording visited nodes — the L2 -> L3 progressive "
+       "escalation witness (TOUCH)",
+       kVisitMarksSource, false},
+      {"sparse_matvec", "sparse Matrix-vector product (Table 1, S.Mat-Vec)",
+       kSparseMatVecSource, true},
+      {"sparse_matmat", "sparse Matrix-Matrix product (Table 1, S.Mat-Mat)",
+       kSparseMatMatSource, true},
+      {"sparse_lu", "sparse LU factorization (Table 1, S.LU fact.)",
+       kSparseLuSource, true},
+      {"barnes_hut", "Barnes-Hut N-body simulation (Table 1 and Fig. 3)",
+       kBarnesHutSource, true},
+      {"barnes_hut_small",
+       "reduced Barnes-Hut (same structures and phases, directly-built "
+       "two-level tree) — Fig. 3 qualitative substrate",
+       kBarnesHutSmallSource, false},
+  };
+  return kPrograms;
+}
+
+}  // namespace
+
+const std::vector<CorpusProgram>& all_programs() { return programs(); }
+
+const CorpusProgram* find_program(std::string_view name) {
+  for (const CorpusProgram& p : programs()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const CorpusProgram& sparse_matvec() { return *find_program("sparse_matvec"); }
+const CorpusProgram& sparse_matmat() { return *find_program("sparse_matmat"); }
+const CorpusProgram& sparse_lu() { return *find_program("sparse_lu"); }
+const CorpusProgram& barnes_hut() { return *find_program("barnes_hut"); }
+
+}  // namespace psa::corpus

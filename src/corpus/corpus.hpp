@@ -1,0 +1,43 @@
+// The benchmark corpus.
+//
+// Mini-C re-implementations of the four codes the paper evaluates (§5):
+// sparse Matrix-vector product, sparse Matrix-Matrix product, sparse LU
+// factorization, and the Barnes-Hut N-body simulation (with the recursive
+// octree traversals already inlined around an explicit stack, exactly as the
+// authors had to do — their compiler, like ours, is intraprocedural).
+//
+// The numeric payloads are placeholders: the shape analysis only observes
+// the pointer-statement skeleton, which these sources preserve (structure
+// shape, sharing pattern, construction and traversal order). See DESIGN.md
+// §2 for the substitution argument.
+//
+// Auxiliary programs (singly/doubly linked lists, trees, destructive list
+// reversal) exercise individual operations and feed the unit tests.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace psa::corpus {
+
+struct CorpusProgram {
+  std::string_view name;
+  std::string_view description;
+  std::string_view source;
+  /// In the paper's Table 1 (true for the four evaluated codes).
+  bool in_table1 = false;
+};
+
+/// All corpus programs, stable order.
+[[nodiscard]] const std::vector<CorpusProgram>& all_programs();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const CorpusProgram* find_program(std::string_view name);
+
+// Shorthand accessors for the paper's four codes.
+[[nodiscard]] const CorpusProgram& sparse_matvec();
+[[nodiscard]] const CorpusProgram& sparse_matmat();
+[[nodiscard]] const CorpusProgram& sparse_lu();
+[[nodiscard]] const CorpusProgram& barnes_hut();
+
+}  // namespace psa::corpus

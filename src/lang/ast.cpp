@@ -1,0 +1,181 @@
+#include "lang/ast.hpp"
+
+#include <sstream>
+
+namespace psa::lang {
+
+ExprPtr make_expr(ExprKind kind, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->loc = loc;
+  return e;
+}
+
+StmtPtr make_stmt(StmtKind kind, SourceLoc loc) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->loc = loc;
+  return s;
+}
+
+const FunctionDecl* TranslationUnit::find_function(std::string_view name) const {
+  const Symbol sym = interner->lookup(name);
+  if (!sym.valid()) return nullptr;
+  for (const auto& f : functions)
+    if (f.name == sym) return &f;
+  return nullptr;
+}
+
+namespace {
+
+std::string_view unary_op_name(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "!";
+    case UnaryOp::kDeref: return "*";
+    case UnaryOp::kAddrOf: return "&";
+  }
+  return "?";
+}
+
+std::string_view binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string dump_expr(const Expr& expr, const support::Interner& in) {
+  std::ostringstream os;
+  switch (expr.kind) {
+    case ExprKind::kIntLit:
+    case ExprKind::kFloatLit:
+      os << expr.literal;
+      break;
+    case ExprKind::kStringLit:
+      os << expr.literal;
+      break;
+    case ExprKind::kNullLit:
+      os << "NULL";
+      break;
+    case ExprKind::kVarRef:
+      os << in.spelling(expr.name);
+      break;
+    case ExprKind::kFieldAccess:
+      os << dump_expr(*expr.lhs, in) << (expr.via_arrow ? "->" : ".")
+         << in.spelling(expr.name);
+      break;
+    case ExprKind::kUnary:
+      os << unary_op_name(expr.unary_op) << '(' << dump_expr(*expr.lhs, in)
+         << ')';
+      break;
+    case ExprKind::kBinary:
+      os << '(' << dump_expr(*expr.lhs, in) << ' '
+         << binary_op_name(expr.binary_op) << ' ' << dump_expr(*expr.rhs, in)
+         << ')';
+      break;
+    case ExprKind::kMalloc:
+      os << "malloc(struct " << in.spelling(expr.type_name) << ')';
+      break;
+    case ExprKind::kSizeof:
+      os << "sizeof(struct " << in.spelling(expr.type_name) << ')';
+      break;
+    case ExprKind::kCall: {
+      os << in.spelling(expr.name) << '(';
+      bool first = true;
+      for (const auto& a : expr.args) {
+        if (!first) os << ", ";
+        first = false;
+        os << dump_expr(*a, in);
+      }
+      os << ')';
+      break;
+    }
+    case ExprKind::kCast:
+      os << "(struct " << in.spelling(expr.type_name) << "*)"
+         << dump_expr(*expr.lhs, in);
+      break;
+  }
+  return os.str();
+}
+
+std::string dump_stmt(const Stmt& stmt, const support::Interner& in, int indent) {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (stmt.kind) {
+    case StmtKind::kDecl:
+      for (const auto& d : stmt.decls) {
+        os << pad << "decl " << in.spelling(d.name);
+        if (d.init) os << " = " << dump_expr(*d.init, in);
+        os << '\n';
+      }
+      break;
+    case StmtKind::kAssign:
+      os << pad << dump_expr(*stmt.lhs, in) << " = " << dump_expr(*stmt.rhs, in)
+         << '\n';
+      break;
+    case StmtKind::kExpr:
+      os << pad << dump_expr(*stmt.lhs, in) << '\n';
+      break;
+    case StmtKind::kIf:
+      os << pad << "if " << dump_expr(*stmt.cond, in) << '\n'
+         << dump_stmt(*stmt.then_body, in, indent + 1);
+      if (stmt.else_body)
+        os << pad << "else\n" << dump_stmt(*stmt.else_body, in, indent + 1);
+      break;
+    case StmtKind::kWhile:
+      os << pad << "while " << dump_expr(*stmt.cond, in) << '\n'
+         << dump_stmt(*stmt.then_body, in, indent + 1);
+      break;
+    case StmtKind::kDoWhile:
+      os << pad << "do\n" << dump_stmt(*stmt.then_body, in, indent + 1) << pad
+         << "while " << dump_expr(*stmt.cond, in) << '\n';
+      break;
+    case StmtKind::kFor:
+      os << pad << "for\n";
+      if (stmt.init) os << dump_stmt(*stmt.init, in, indent + 1);
+      if (stmt.cond) os << pad << "  cond " << dump_expr(*stmt.cond, in) << '\n';
+      if (stmt.step) os << dump_stmt(*stmt.step, in, indent + 1);
+      os << dump_stmt(*stmt.then_body, in, indent + 1);
+      break;
+    case StmtKind::kBlock:
+      os << pad << "{\n";
+      for (const auto& s : stmt.body) os << dump_stmt(*s, in, indent + 1);
+      os << pad << "}\n";
+      break;
+    case StmtKind::kReturn:
+      os << pad << "return";
+      if (stmt.lhs) os << ' ' << dump_expr(*stmt.lhs, in);
+      os << '\n';
+      break;
+    case StmtKind::kBreak:
+      os << pad << "break\n";
+      break;
+    case StmtKind::kContinue:
+      os << pad << "continue\n";
+      break;
+    case StmtKind::kFree:
+      os << pad << "free(" << dump_expr(*stmt.lhs, in) << ")\n";
+      break;
+    case StmtKind::kEmpty:
+      os << pad << ";\n";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace psa::lang

@@ -1,0 +1,157 @@
+// Abstract syntax tree for the analyzed C subset.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/types.hpp"
+#include "support/diagnostics.hpp"
+#include "support/interner.hpp"
+
+namespace psa::lang {
+
+using support::SourceLoc;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kNullLit,
+  kVarRef,
+  kFieldAccess,  // base->field or base.field
+  kUnary,
+  kBinary,
+  kMalloc,
+  kSizeof,
+  kCall,
+  kCast,
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot, kDeref, kAddrOf };
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kAnd, kOr,
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // kIntLit / kFloatLit / kStringLit.
+  std::string literal;
+
+  // kVarRef / kFieldAccess (field name) / kCall (callee name).
+  Symbol name;
+
+  // kFieldAccess: true for '->', false for '.'.
+  bool via_arrow = false;
+
+  // kMalloc / kSizeof / kCast: the named struct type.
+  Symbol type_name;
+
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  ExprPtr lhs;                 // unary operand / field base / cast operand
+  ExprPtr rhs;                 // binary rhs
+  std::vector<ExprPtr> args;   // kCall
+
+  // Filled in by Sema.
+  Type type;
+};
+
+[[nodiscard]] ExprPtr make_expr(ExprKind kind, SourceLoc loc);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  kDecl,       // local variable declarations (possibly with initializer)
+  kAssign,     // lhs = rhs; (also += / -= forms, desugared by the parser)
+  kExpr,       // expression statement (calls, ++ etc.)
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kBlock,
+  kReturn,
+  kBreak,
+  kContinue,
+  kFree,       // free(expr);
+  kEmpty,
+};
+
+struct VarDecl {
+  Symbol name;
+  Type type;
+  ExprPtr init;  // may be null
+  SourceLoc loc;
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  std::vector<VarDecl> decls;  // kDecl
+
+  ExprPtr lhs;   // kAssign target; kFree operand; kReturn value; kExpr expr
+  ExprPtr rhs;   // kAssign value
+
+  ExprPtr cond;  // kIf / kWhile / kDoWhile / kFor
+  StmtPtr init;  // kFor
+  StmtPtr step;  // kFor
+
+  StmtPtr then_body;  // kIf then / loop body
+  StmtPtr else_body;  // kIf else
+
+  std::vector<StmtPtr> body;  // kBlock
+};
+
+[[nodiscard]] StmtPtr make_stmt(StmtKind kind, SourceLoc loc);
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct Param {
+  Symbol name;
+  Type type;
+};
+
+struct FunctionDecl {
+  Symbol name;
+  Type return_type;
+  std::vector<Param> params;
+  StmtPtr body;  // always a kBlock
+  SourceLoc loc;
+};
+
+/// A parsed translation unit: struct declarations live in the TypeTable, the
+/// functions here. The interner is shared with every later phase.
+struct TranslationUnit {
+  std::shared_ptr<support::Interner> interner;
+  TypeTable types;
+  std::vector<FunctionDecl> functions;
+
+  [[nodiscard]] const FunctionDecl* find_function(std::string_view name) const;
+};
+
+/// Render an AST for debugging / golden tests.
+[[nodiscard]] std::string dump_stmt(const Stmt& stmt, const support::Interner& in,
+                                    int indent = 0);
+[[nodiscard]] std::string dump_expr(const Expr& expr, const support::Interner& in);
+
+}  // namespace psa::lang

@@ -1,0 +1,265 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace psa::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"struct", TokenKind::kKwStruct},   {"int", TokenKind::kKwInt},
+      {"float", TokenKind::kKwFloat},     {"double", TokenKind::kKwDouble},
+      {"char", TokenKind::kKwChar},       {"void", TokenKind::kKwVoid},
+      {"long", TokenKind::kKwLong},       {"unsigned", TokenKind::kKwUnsigned},
+      {"if", TokenKind::kKwIf},           {"else", TokenKind::kKwElse},
+      {"while", TokenKind::kKwWhile},     {"for", TokenKind::kKwFor},
+      {"do", TokenKind::kKwDo},           {"return", TokenKind::kKwReturn},
+      {"break", TokenKind::kKwBreak},     {"continue", TokenKind::kKwContinue},
+      {"NULL", TokenKind::kKwNull},       {"malloc", TokenKind::kKwMalloc},
+      {"free", TokenKind::kKwFree},       {"sizeof", TokenKind::kKwSizeof},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kCharLiteral: return "char literal";
+    case TokenKind::kKwStruct: return "'struct'";
+    case TokenKind::kKwInt: return "'int'";
+    case TokenKind::kKwFloat: return "'float'";
+    case TokenKind::kKwDouble: return "'double'";
+    case TokenKind::kKwChar: return "'char'";
+    case TokenKind::kKwVoid: return "'void'";
+    case TokenKind::kKwLong: return "'long'";
+    case TokenKind::kKwUnsigned: return "'unsigned'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwDo: return "'do'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kKwNull: return "'NULL'";
+    case TokenKind::kKwMalloc: return "'malloc'";
+    case TokenKind::kKwFree: return "'free'";
+    case TokenKind::kKwSizeof: return "'sizeof'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string_view source, support::DiagnosticEngine& diags)
+    : source_(source), diags_(diags) {}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token t = next();
+    tokens.push_back(t);
+    if (t.kind == TokenKind::kEof) break;
+  }
+  return tokens;
+}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+support::SourceLoc Lexer::location() const { return {line_, col_}; }
+
+Token Lexer::make(TokenKind kind, std::size_t begin) const {
+  Token t;
+  t.kind = kind;
+  t.text = source_.substr(begin, pos_ - begin);
+  return t;
+}
+
+void Lexer::skip_trivia() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diags_.error(location(), "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else if (c == '#') {
+      // Preprocessor lines (e.g. #include in pasted real code) are skipped.
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  const auto loc = location();
+  const std::size_t begin = pos_;
+  if (pos_ >= source_.size()) {
+    Token t = make(TokenKind::kEof, begin);
+    t.loc = loc;
+    return t;
+  }
+
+  const char c = advance();
+  Token t;
+  t.loc = loc;
+
+  auto finish = [&](TokenKind kind) {
+    t = make(kind, begin);
+    t.loc = loc;
+    return t;
+  };
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      advance();
+    const std::string_view text = source_.substr(begin, pos_ - begin);
+    if (auto it = keyword_table().find(text); it != keyword_table().end())
+      return finish(it->second);
+    return finish(TokenKind::kIdentifier);
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_float = true;
+      advance();
+      if (peek() == '+' || peek() == '-') advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    return finish(is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral);
+  }
+
+  switch (c) {
+    case '{': return finish(TokenKind::kLBrace);
+    case '}': return finish(TokenKind::kRBrace);
+    case '(': return finish(TokenKind::kLParen);
+    case ')': return finish(TokenKind::kRParen);
+    case '[': return finish(TokenKind::kLBracket);
+    case ']': return finish(TokenKind::kRBracket);
+    case ';': return finish(TokenKind::kSemicolon);
+    case ',': return finish(TokenKind::kComma);
+    case '.': return finish(TokenKind::kDot);
+    case '*': return finish(TokenKind::kStar);
+    case '%': return finish(TokenKind::kPercent);
+    case '/': return finish(TokenKind::kSlash);
+    case '&':
+      return finish(match('&') ? TokenKind::kAndAnd : TokenKind::kAmp);
+    case '|':
+      if (match('|')) return finish(TokenKind::kOrOr);
+      diags_.error(loc, "unexpected character '|'");
+      return finish(TokenKind::kEof);
+    case '+':
+      if (match('+')) return finish(TokenKind::kPlusPlus);
+      if (match('=')) return finish(TokenKind::kPlusAssign);
+      return finish(TokenKind::kPlus);
+    case '-':
+      if (match('>')) return finish(TokenKind::kArrow);
+      if (match('-')) return finish(TokenKind::kMinusMinus);
+      if (match('=')) return finish(TokenKind::kMinusAssign);
+      return finish(TokenKind::kMinus);
+    case '=':
+      return finish(match('=') ? TokenKind::kEq : TokenKind::kAssign);
+    case '!':
+      return finish(match('=') ? TokenKind::kNe : TokenKind::kNot);
+    case '<':
+      return finish(match('=') ? TokenKind::kLe : TokenKind::kLt);
+    case '>':
+      return finish(match('=') ? TokenKind::kGe : TokenKind::kGt);
+    case '"': {
+      while (peek() != '"' && peek() != '\0') {
+        if (peek() == '\\') advance();
+        advance();
+      }
+      if (!match('"')) diags_.error(loc, "unterminated string literal");
+      return finish(TokenKind::kStringLiteral);
+    }
+    case '\'': {
+      while (peek() != '\'' && peek() != '\0') {
+        if (peek() == '\\') advance();
+        advance();
+      }
+      if (!match('\'')) diags_.error(loc, "unterminated char literal");
+      return finish(TokenKind::kCharLiteral);
+    }
+    default:
+      diags_.error(loc, std::string("unexpected character '") + c + "'");
+      return finish(TokenKind::kEof);
+  }
+}
+
+}  // namespace psa::lang

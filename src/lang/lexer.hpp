@@ -1,0 +1,36 @@
+// Hand-written lexer for the analyzed C subset.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace psa::lang {
+
+class Lexer {
+ public:
+  /// `source` must outlive the produced tokens (their text fields view it).
+  Lexer(std::string_view source, support::DiagnosticEngine& diags);
+
+  /// Tokenize the whole buffer; the last token is always kEof.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] Token next();
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool match(char expected);
+  void skip_trivia();
+  [[nodiscard]] support::SourceLoc location() const;
+  Token make(TokenKind kind, std::size_t begin) const;
+
+  std::string_view source_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace psa::lang

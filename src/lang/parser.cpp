@@ -1,0 +1,674 @@
+#include "lang/parser.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "lang/lexer.hpp"
+
+namespace psa::lang {
+
+Parser::Parser(std::vector<Token> tokens,
+               std::shared_ptr<support::Interner> interner,
+               support::DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), interner_(std::move(interner)), diags_(diags) {
+  assert(!tokens_.empty() && tokens_.back().kind == TokenKind::kEof);
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::check(TokenKind kind) const { return peek().kind == kind; }
+
+bool Parser::accept(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, std::string_view context) {
+  if (check(kind)) return advance();
+  std::ostringstream os;
+  os << "expected " << token_kind_name(kind) << " " << context << ", found "
+     << token_kind_name(peek().kind);
+  diags_.error(peek().loc, os.str());
+  return peek();  // do not consume; synchronize() recovers
+}
+
+void Parser::synchronize() {
+  // Skip to the next statement/declaration boundary.
+  while (!check(TokenKind::kEof)) {
+    if (accept(TokenKind::kSemicolon)) return;
+    if (check(TokenKind::kRBrace)) return;
+    advance();
+  }
+}
+
+TranslationUnit Parser::parse_unit() {
+  TranslationUnit unit;
+  unit.interner = interner_;
+  while (!check(TokenKind::kEof)) {
+    if (diags_.error_count() > 50) break;  // avoid error cascades
+    if (check(TokenKind::kKwStruct) && peek(1).kind == TokenKind::kIdentifier &&
+        peek(2).kind == TokenKind::kLBrace) {
+      parse_struct_decl(unit);
+    } else if (looks_like_type()) {
+      parse_function(unit);
+    } else {
+      diags_.error(peek().loc, "expected struct declaration or function");
+      synchronize();
+    }
+  }
+  return unit;
+}
+
+bool Parser::looks_like_type() const {
+  switch (peek().kind) {
+    case TokenKind::kKwInt:
+    case TokenKind::kKwFloat:
+    case TokenKind::kKwDouble:
+    case TokenKind::kKwChar:
+    case TokenKind::kKwVoid:
+    case TokenKind::kKwLong:
+    case TokenKind::kKwUnsigned:
+      return true;
+    case TokenKind::kKwStruct:
+      return peek(1).kind == TokenKind::kIdentifier;
+    default:
+      return false;
+  }
+}
+
+Type Parser::parse_type_spec(TranslationUnit& unit) {
+  // 'unsigned' and 'long' prefixes collapse into int.
+  while (check(TokenKind::kKwUnsigned) || check(TokenKind::kKwLong)) advance();
+
+  switch (peek().kind) {
+    case TokenKind::kKwInt:
+      advance();
+      return Type::scalar_type(ScalarKind::kInt);
+    case TokenKind::kKwFloat:
+      advance();
+      return Type::scalar_type(ScalarKind::kFloat);
+    case TokenKind::kKwDouble:
+      advance();
+      return Type::scalar_type(ScalarKind::kDouble);
+    case TokenKind::kKwChar:
+      advance();
+      return Type::scalar_type(ScalarKind::kChar);
+    case TokenKind::kKwVoid:
+      advance();
+      return Type::scalar_type(ScalarKind::kVoid);
+    case TokenKind::kKwStruct: {
+      advance();
+      const Token& name = expect(TokenKind::kIdentifier, "after 'struct'");
+      const Symbol sym = interner_->intern(name.text);
+      const StructId id = unit.types.declare_struct(sym);
+      return Type::struct_type(id);
+    }
+    default:
+      // Bare 'long'/'unsigned' already consumed above counts as int.
+      return Type::scalar_type(ScalarKind::kInt);
+  }
+}
+
+Type Parser::apply_pointers(Type base) {
+  int stars = 0;
+  while (accept(TokenKind::kStar)) ++stars;
+  if (stars == 0) return base;
+  if (stars > 1) {
+    diags_.error(peek().loc,
+                 "multi-level pointers are not supported by the shape analysis");
+  }
+  if (base.kind == Type::Kind::kStruct) {
+    return Type::pointer_to_struct(*base.struct_id);
+  }
+  return Type::pointer_to_scalar(base.scalar);
+}
+
+void Parser::parse_struct_decl(TranslationUnit& unit) {
+  expect(TokenKind::kKwStruct, "at struct declaration");
+  const Token& name = expect(TokenKind::kIdentifier, "after 'struct'");
+  const Symbol name_sym = interner_->intern(name.text);
+  const StructId id = unit.types.declare_struct(name_sym);
+  expect(TokenKind::kLBrace, "to open struct body");
+
+  // Fields accumulate locally: parsing a field of type `struct X*` may
+  // forward-declare X, growing the struct table and invalidating references
+  // into it.
+  std::vector<Field> fields;
+
+  while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+    const Type base = parse_type_spec(unit);
+    do {
+      const Type field_type = apply_pointers(base);
+      const Token& fname = expect(TokenKind::kIdentifier, "as field name");
+      if (field_type.kind == Type::Kind::kStruct) {
+        diags_.error(fname.loc,
+                     "by-value struct fields are not supported; use a pointer");
+      }
+      Field f;
+      f.name = interner_->intern(fname.text);
+      f.type = field_type;
+      fields.push_back(f);
+      // Fixed-size scalar arrays are accepted and treated as scalars.
+      if (accept(TokenKind::kLBracket)) {
+        expect(TokenKind::kIntLiteral, "as array size");
+        expect(TokenKind::kRBracket, "to close array size");
+      }
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kSemicolon, "after field declaration");
+  }
+  expect(TokenKind::kRBrace, "to close struct body");
+  expect(TokenKind::kSemicolon, "after struct declaration");
+
+  // Re-declaration completes a forward reference.
+  unit.types.struct_decl(id).fields = std::move(fields);
+}
+
+void Parser::parse_function(TranslationUnit& unit) {
+  const Type ret_base = parse_type_spec(unit);
+  const Type ret_type = apply_pointers(ret_base);
+  const Token& name = expect(TokenKind::kIdentifier, "as function name");
+
+  FunctionDecl fn;
+  fn.name = interner_->intern(name.text);
+  fn.return_type = ret_type;
+  fn.loc = name.loc;
+
+  expect(TokenKind::kLParen, "to open parameter list");
+  if (!check(TokenKind::kRParen)) {
+    if (check(TokenKind::kKwVoid) && peek(1).kind == TokenKind::kRParen) {
+      advance();
+    } else {
+      do {
+        const Type base = parse_type_spec(unit);
+        const Type ty = apply_pointers(base);
+        const Token& pname = expect(TokenKind::kIdentifier, "as parameter name");
+        fn.params.push_back(Param{interner_->intern(pname.text), ty});
+      } while (accept(TokenKind::kComma));
+    }
+  }
+  expect(TokenKind::kRParen, "to close parameter list");
+  fn.body = parse_block(unit);
+  unit.functions.push_back(std::move(fn));
+}
+
+StmtPtr Parser::parse_block(TranslationUnit& unit) {
+  const SourceLoc loc = peek().loc;
+  expect(TokenKind::kLBrace, "to open block");
+  auto block = make_stmt(StmtKind::kBlock, loc);
+  while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+    if (diags_.error_count() > 50) break;
+    block->body.push_back(parse_stmt(unit));
+  }
+  expect(TokenKind::kRBrace, "to close block");
+  return block;
+}
+
+StmtPtr Parser::parse_decl_stmt(TranslationUnit& unit) {
+  const SourceLoc loc = peek().loc;
+  auto stmt = make_stmt(StmtKind::kDecl, loc);
+  const Type base = parse_type_spec(unit);
+  do {
+    const Type ty = apply_pointers(base);
+    const Token& name = expect(TokenKind::kIdentifier, "as variable name");
+    VarDecl d;
+    d.name = interner_->intern(name.text);
+    d.type = ty;
+    d.loc = name.loc;
+    if (ty.kind == Type::Kind::kStruct) {
+      diags_.error(name.loc,
+                   "by-value struct locals are not supported; use a pointer");
+    }
+    if (accept(TokenKind::kLBracket)) {  // scalar arrays treated as opaque
+      expect(TokenKind::kIntLiteral, "as array size");
+      expect(TokenKind::kRBracket, "to close array size");
+    }
+    if (accept(TokenKind::kAssign)) d.init = parse_expr(unit);
+    stmt->decls.push_back(std::move(d));
+  } while (accept(TokenKind::kComma));
+  expect(TokenKind::kSemicolon, "after declaration");
+  return stmt;
+}
+
+StmtPtr Parser::parse_stmt(TranslationUnit& unit) {
+  const SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case TokenKind::kLBrace:
+      return parse_block(unit);
+    case TokenKind::kSemicolon:
+      advance();
+      return make_stmt(StmtKind::kEmpty, loc);
+    case TokenKind::kKwIf: {
+      advance();
+      expect(TokenKind::kLParen, "after 'if'");
+      auto stmt = make_stmt(StmtKind::kIf, loc);
+      stmt->cond = parse_expr(unit);
+      expect(TokenKind::kRParen, "after if condition");
+      stmt->then_body = parse_stmt(unit);
+      if (accept(TokenKind::kKwElse)) stmt->else_body = parse_stmt(unit);
+      return stmt;
+    }
+    case TokenKind::kKwWhile: {
+      advance();
+      expect(TokenKind::kLParen, "after 'while'");
+      auto stmt = make_stmt(StmtKind::kWhile, loc);
+      stmt->cond = parse_expr(unit);
+      expect(TokenKind::kRParen, "after while condition");
+      stmt->then_body = parse_stmt(unit);
+      return stmt;
+    }
+    case TokenKind::kKwDo: {
+      advance();
+      auto stmt = make_stmt(StmtKind::kDoWhile, loc);
+      stmt->then_body = parse_stmt(unit);
+      expect(TokenKind::kKwWhile, "after do body");
+      expect(TokenKind::kLParen, "after 'while'");
+      stmt->cond = parse_expr(unit);
+      expect(TokenKind::kRParen, "after do-while condition");
+      expect(TokenKind::kSemicolon, "after do-while");
+      return stmt;
+    }
+    case TokenKind::kKwFor: {
+      advance();
+      expect(TokenKind::kLParen, "after 'for'");
+      auto stmt = make_stmt(StmtKind::kFor, loc);
+      if (!check(TokenKind::kSemicolon)) {
+        if (looks_like_type()) {
+          stmt->init = parse_decl_stmt(unit);  // consumes ';'
+        } else {
+          stmt->init = parse_expr_or_assign_stmt(unit, /*expect_semicolon=*/true);
+        }
+      } else {
+        advance();
+      }
+      if (!check(TokenKind::kSemicolon)) stmt->cond = parse_expr(unit);
+      expect(TokenKind::kSemicolon, "after for condition");
+      if (!check(TokenKind::kRParen))
+        stmt->step = parse_expr_or_assign_stmt(unit, /*expect_semicolon=*/false);
+      expect(TokenKind::kRParen, "after for clauses");
+      stmt->then_body = parse_stmt(unit);
+      return stmt;
+    }
+    case TokenKind::kKwReturn: {
+      advance();
+      auto stmt = make_stmt(StmtKind::kReturn, loc);
+      if (!check(TokenKind::kSemicolon)) stmt->lhs = parse_expr(unit);
+      expect(TokenKind::kSemicolon, "after return");
+      return stmt;
+    }
+    case TokenKind::kKwBreak:
+      advance();
+      expect(TokenKind::kSemicolon, "after 'break'");
+      return make_stmt(StmtKind::kBreak, loc);
+    case TokenKind::kKwContinue:
+      advance();
+      expect(TokenKind::kSemicolon, "after 'continue'");
+      return make_stmt(StmtKind::kContinue, loc);
+    case TokenKind::kKwFree: {
+      advance();
+      expect(TokenKind::kLParen, "after 'free'");
+      auto stmt = make_stmt(StmtKind::kFree, loc);
+      stmt->lhs = parse_expr(unit);
+      expect(TokenKind::kRParen, "after free argument");
+      expect(TokenKind::kSemicolon, "after free");
+      return stmt;
+    }
+    default:
+      if (looks_like_type()) return parse_decl_stmt(unit);
+      return parse_expr_or_assign_stmt(unit, /*expect_semicolon=*/true);
+  }
+}
+
+StmtPtr Parser::parse_expr_or_assign_stmt(TranslationUnit& unit,
+                                          bool expect_semicolon) {
+  const SourceLoc loc = peek().loc;
+  ExprPtr lhs = parse_expr(unit);
+
+  auto finish = [&](StmtPtr stmt) {
+    if (expect_semicolon) expect(TokenKind::kSemicolon, "after statement");
+    return stmt;
+  };
+
+  auto clone_var_ref = [&](const Expr& e) {
+    auto copy = make_expr(ExprKind::kVarRef, e.loc);
+    copy->name = e.name;
+    return copy;
+  };
+
+  if (check(TokenKind::kAssign) || check(TokenKind::kPlusAssign) ||
+      check(TokenKind::kMinusAssign)) {
+    const TokenKind op = advance().kind;
+    ExprPtr rhs = parse_expr(unit);
+    auto stmt = make_stmt(StmtKind::kAssign, loc);
+    if (op != TokenKind::kAssign) {
+      // Desugar `x += e` to `x = x + e` (compound targets must be re-readable;
+      // we only allow simple variables there).
+      if (lhs->kind != ExprKind::kVarRef) {
+        diags_.error(loc, "compound assignment target must be a variable");
+      }
+      auto bin = make_expr(ExprKind::kBinary, loc);
+      bin->binary_op =
+          op == TokenKind::kPlusAssign ? BinaryOp::kAdd : BinaryOp::kSub;
+      bin->lhs = clone_var_ref(*lhs);
+      bin->rhs = std::move(rhs);
+      rhs = std::move(bin);
+    }
+    stmt->lhs = std::move(lhs);
+    stmt->rhs = std::move(rhs);
+    return finish(std::move(stmt));
+  }
+
+  if (check(TokenKind::kPlusPlus) || check(TokenKind::kMinusMinus)) {
+    const TokenKind op = advance().kind;
+    if (lhs->kind != ExprKind::kVarRef) {
+      diags_.error(loc, "++/-- target must be a variable");
+    }
+    auto one = make_expr(ExprKind::kIntLit, loc);
+    one->literal = "1";
+    auto bin = make_expr(ExprKind::kBinary, loc);
+    bin->binary_op =
+        op == TokenKind::kPlusPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+    bin->lhs = clone_var_ref(*lhs);
+    bin->rhs = std::move(one);
+    auto stmt = make_stmt(StmtKind::kAssign, loc);
+    stmt->lhs = std::move(lhs);
+    stmt->rhs = std::move(bin);
+    return finish(std::move(stmt));
+  }
+
+  auto stmt = make_stmt(StmtKind::kExpr, loc);
+  stmt->lhs = std::move(lhs);
+  return finish(std::move(stmt));
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expr(TranslationUnit& unit) { return parse_or(unit); }
+
+ExprPtr Parser::parse_or(TranslationUnit& unit) {
+  ExprPtr lhs = parse_and(unit);
+  while (check(TokenKind::kOrOr)) {
+    const SourceLoc loc = advance().loc;
+    auto e = make_expr(ExprKind::kBinary, loc);
+    e->binary_op = BinaryOp::kOr;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_and(unit);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_and(TranslationUnit& unit) {
+  ExprPtr lhs = parse_equality(unit);
+  while (check(TokenKind::kAndAnd)) {
+    const SourceLoc loc = advance().loc;
+    auto e = make_expr(ExprKind::kBinary, loc);
+    e->binary_op = BinaryOp::kAnd;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_equality(unit);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_equality(TranslationUnit& unit) {
+  ExprPtr lhs = parse_relational(unit);
+  while (check(TokenKind::kEq) || check(TokenKind::kNe)) {
+    const TokenKind op = peek().kind;
+    const SourceLoc loc = advance().loc;
+    auto e = make_expr(ExprKind::kBinary, loc);
+    e->binary_op = op == TokenKind::kEq ? BinaryOp::kEq : BinaryOp::kNe;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_relational(unit);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_relational(TranslationUnit& unit) {
+  ExprPtr lhs = parse_additive(unit);
+  while (check(TokenKind::kLt) || check(TokenKind::kGt) ||
+         check(TokenKind::kLe) || check(TokenKind::kGe)) {
+    const TokenKind op = peek().kind;
+    const SourceLoc loc = advance().loc;
+    auto e = make_expr(ExprKind::kBinary, loc);
+    switch (op) {
+      case TokenKind::kLt: e->binary_op = BinaryOp::kLt; break;
+      case TokenKind::kGt: e->binary_op = BinaryOp::kGt; break;
+      case TokenKind::kLe: e->binary_op = BinaryOp::kLe; break;
+      default: e->binary_op = BinaryOp::kGe; break;
+    }
+    e->lhs = std::move(lhs);
+    e->rhs = parse_additive(unit);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_additive(TranslationUnit& unit) {
+  ExprPtr lhs = parse_multiplicative(unit);
+  while (check(TokenKind::kPlus) || check(TokenKind::kMinus)) {
+    const TokenKind op = peek().kind;
+    const SourceLoc loc = advance().loc;
+    auto e = make_expr(ExprKind::kBinary, loc);
+    e->binary_op = op == TokenKind::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_multiplicative(unit);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_multiplicative(TranslationUnit& unit) {
+  ExprPtr lhs = parse_unary(unit);
+  while (check(TokenKind::kStar) || check(TokenKind::kSlash) ||
+         check(TokenKind::kPercent)) {
+    const TokenKind op = peek().kind;
+    const SourceLoc loc = advance().loc;
+    auto e = make_expr(ExprKind::kBinary, loc);
+    switch (op) {
+      case TokenKind::kStar: e->binary_op = BinaryOp::kMul; break;
+      case TokenKind::kSlash: e->binary_op = BinaryOp::kDiv; break;
+      default: e->binary_op = BinaryOp::kMod; break;
+    }
+    e->lhs = std::move(lhs);
+    e->rhs = parse_unary(unit);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_unary(TranslationUnit& unit) {
+  const SourceLoc loc = peek().loc;
+  // Cast to struct pointer: '(' 'struct' IDENT '*' ')' unary
+  if (check(TokenKind::kLParen) && peek(1).kind == TokenKind::kKwStruct &&
+      peek(2).kind == TokenKind::kIdentifier &&
+      peek(3).kind == TokenKind::kStar && peek(4).kind == TokenKind::kRParen) {
+    advance();  // (
+    advance();  // struct
+    const Token& name = advance();
+    advance();  // *
+    advance();  // )
+    auto cast = make_expr(ExprKind::kCast, loc);
+    cast->type_name = interner_->intern(name.text);
+    cast->lhs = parse_unary(unit);
+    return cast;
+  }
+
+  if (accept(TokenKind::kMinus)) {
+    auto e = make_expr(ExprKind::kUnary, loc);
+    e->unary_op = UnaryOp::kNeg;
+    e->lhs = parse_unary(unit);
+    return e;
+  }
+  if (accept(TokenKind::kNot)) {
+    auto e = make_expr(ExprKind::kUnary, loc);
+    e->unary_op = UnaryOp::kNot;
+    e->lhs = parse_unary(unit);
+    return e;
+  }
+  if (accept(TokenKind::kStar)) {
+    auto e = make_expr(ExprKind::kUnary, loc);
+    e->unary_op = UnaryOp::kDeref;
+    e->lhs = parse_unary(unit);
+    return e;
+  }
+  if (accept(TokenKind::kAmp)) {
+    auto e = make_expr(ExprKind::kUnary, loc);
+    e->unary_op = UnaryOp::kAddrOf;
+    e->lhs = parse_unary(unit);
+    return e;
+  }
+  return parse_postfix(unit);
+}
+
+ExprPtr Parser::parse_postfix(TranslationUnit& unit) {
+  ExprPtr e = parse_primary(unit);
+  for (;;) {
+    if (check(TokenKind::kArrow) || check(TokenKind::kDot)) {
+      const bool arrow = peek().kind == TokenKind::kArrow;
+      const SourceLoc loc = advance().loc;
+      const Token& field = expect(TokenKind::kIdentifier, "as field name");
+      auto fa = make_expr(ExprKind::kFieldAccess, loc);
+      fa->name = interner_->intern(field.text);
+      fa->via_arrow = arrow;
+      fa->lhs = std::move(e);
+      e = std::move(fa);
+    } else {
+      break;
+    }
+  }
+  return e;
+}
+
+ExprPtr Parser::parse_primary(TranslationUnit& unit) {
+  const SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case TokenKind::kIntLiteral: {
+      auto e = make_expr(ExprKind::kIntLit, loc);
+      e->literal = std::string(advance().text);
+      return e;
+    }
+    case TokenKind::kFloatLiteral: {
+      auto e = make_expr(ExprKind::kFloatLit, loc);
+      e->literal = std::string(advance().text);
+      return e;
+    }
+    case TokenKind::kStringLiteral:
+    case TokenKind::kCharLiteral: {
+      auto e = make_expr(ExprKind::kStringLit, loc);
+      e->literal = std::string(advance().text);
+      return e;
+    }
+    case TokenKind::kKwNull:
+      advance();
+      return make_expr(ExprKind::kNullLit, loc);
+    case TokenKind::kKwSizeof: {
+      advance();
+      expect(TokenKind::kLParen, "after 'sizeof'");
+      auto e = make_expr(ExprKind::kSizeof, loc);
+      if (accept(TokenKind::kKwStruct)) {
+        const Token& name = expect(TokenKind::kIdentifier, "after 'struct'");
+        e->type_name = interner_->intern(name.text);
+        accept(TokenKind::kStar);
+      } else if (check(TokenKind::kIdentifier)) {
+        advance();  // sizeof(var) — opaque
+      } else {
+        // sizeof(int) and friends — consume one type spec.
+        (void)parse_type_spec(unit);
+        accept(TokenKind::kStar);
+      }
+      expect(TokenKind::kRParen, "after sizeof operand");
+      return e;
+    }
+    case TokenKind::kKwMalloc: {
+      advance();
+      expect(TokenKind::kLParen, "after 'malloc'");
+      auto e = make_expr(ExprKind::kMalloc, loc);
+      if (accept(TokenKind::kKwStruct)) {
+        // Shorthand: malloc(struct T)
+        const Token& name = expect(TokenKind::kIdentifier, "after 'struct'");
+        e->type_name = interner_->intern(name.text);
+      } else if (check(TokenKind::kKwSizeof)) {
+        advance();
+        expect(TokenKind::kLParen, "after 'sizeof'");
+        if (accept(TokenKind::kKwStruct)) {
+          const Token& name = expect(TokenKind::kIdentifier, "after 'struct'");
+          e->type_name = interner_->intern(name.text);
+        } else {
+          // malloc(sizeof(x)) where x names a variable; type resolved by the
+          // enclosing cast or the assignment target in Sema.
+          if (check(TokenKind::kIdentifier)) advance();
+        }
+        accept(TokenKind::kStar);
+        expect(TokenKind::kRParen, "after sizeof operand");
+        // Optional "* count" in the size expression — opaque.
+        while (!check(TokenKind::kRParen) && !check(TokenKind::kEof)) advance();
+      } else {
+        // malloc(<opaque size expr>)
+        int depth = 0;
+        while (!check(TokenKind::kEof)) {
+          if (check(TokenKind::kLParen)) ++depth;
+          if (check(TokenKind::kRParen)) {
+            if (depth == 0) break;
+            --depth;
+          }
+          advance();
+        }
+      }
+      expect(TokenKind::kRParen, "after malloc argument");
+      return e;
+    }
+    case TokenKind::kIdentifier: {
+      const Token& name = advance();
+      if (check(TokenKind::kLParen)) {
+        advance();
+        auto call = make_expr(ExprKind::kCall, loc);
+        call->name = interner_->intern(name.text);
+        if (!check(TokenKind::kRParen)) {
+          do {
+            call->args.push_back(parse_expr(unit));
+          } while (accept(TokenKind::kComma));
+        }
+        expect(TokenKind::kRParen, "after call arguments");
+        return call;
+      }
+      auto e = make_expr(ExprKind::kVarRef, loc);
+      e->name = interner_->intern(name.text);
+      return e;
+    }
+    case TokenKind::kLParen: {
+      advance();
+      ExprPtr e = parse_expr(unit);
+      expect(TokenKind::kRParen, "to close parenthesized expression");
+      return e;
+    }
+    default:
+      diags_.error(loc, std::string("unexpected token ") +
+                            std::string(token_kind_name(peek().kind)) +
+                            " in expression");
+      advance();
+      return make_expr(ExprKind::kIntLit, loc);
+  }
+}
+
+TranslationUnit parse_source(std::string_view source,
+                             support::DiagnosticEngine& diags) {
+  auto interner = std::make_shared<support::Interner>();
+  Lexer lexer(source, diags);
+  Parser parser(lexer.lex_all(), interner, diags);
+  return parser.parse_unit();
+}
+
+}  // namespace psa::lang

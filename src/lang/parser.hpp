@@ -1,0 +1,81 @@
+// Recursive-descent parser for the analyzed C subset.
+//
+// Accepted grammar (informally):
+//   unit      := (struct-decl | function)*
+//   struct    := 'struct' IDENT '{' (type declarator (',' declarator)* ';')* '}' ';'
+//   function  := type IDENT '(' params? ')' block
+//   stmt      := decl | assign ';' | expr ';' | if | while | do-while | for
+//              | block | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+//              | 'free' '(' expr ')' ';' | ';'
+//   assign    := expr ('=' | '+=' | '-=') expr | expr ('++' | '--')
+//
+// malloc is recognized in the three usual spellings:
+//   malloc(struct T)                          (shorthand)
+//   malloc(sizeof(struct T))
+//   (struct T*) malloc(sizeof(struct T))
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "lang/ast.hpp"
+#include "lang/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace psa::lang {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::shared_ptr<support::Interner> interner,
+         support::DiagnosticEngine& diags);
+
+  /// Parse the whole token stream into a TranslationUnit. On error, the
+  /// diagnostics engine holds the reasons and the unit may be partial.
+  [[nodiscard]] TranslationUnit parse_unit();
+
+ private:
+  // Token helpers.
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind kind) const;
+  bool accept(TokenKind kind);
+  const Token& expect(TokenKind kind, std::string_view context);
+  void synchronize();
+
+  // Declarations.
+  void parse_struct_decl(TranslationUnit& unit);
+  void parse_function(TranslationUnit& unit);
+  [[nodiscard]] bool looks_like_type() const;
+  [[nodiscard]] Type parse_type_spec(TranslationUnit& unit);
+  [[nodiscard]] Type apply_pointers(Type base);
+
+  // Statements.
+  [[nodiscard]] StmtPtr parse_stmt(TranslationUnit& unit);
+  [[nodiscard]] StmtPtr parse_block(TranslationUnit& unit);
+  [[nodiscard]] StmtPtr parse_decl_stmt(TranslationUnit& unit);
+  [[nodiscard]] StmtPtr parse_expr_or_assign_stmt(TranslationUnit& unit,
+                                                  bool expect_semicolon);
+
+  // Expressions (precedence climbing).
+  [[nodiscard]] ExprPtr parse_expr(TranslationUnit& unit);
+  [[nodiscard]] ExprPtr parse_or(TranslationUnit& unit);
+  [[nodiscard]] ExprPtr parse_and(TranslationUnit& unit);
+  [[nodiscard]] ExprPtr parse_equality(TranslationUnit& unit);
+  [[nodiscard]] ExprPtr parse_relational(TranslationUnit& unit);
+  [[nodiscard]] ExprPtr parse_additive(TranslationUnit& unit);
+  [[nodiscard]] ExprPtr parse_multiplicative(TranslationUnit& unit);
+  [[nodiscard]] ExprPtr parse_unary(TranslationUnit& unit);
+  [[nodiscard]] ExprPtr parse_postfix(TranslationUnit& unit);
+  [[nodiscard]] ExprPtr parse_primary(TranslationUnit& unit);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::shared_ptr<support::Interner> interner_;
+  support::DiagnosticEngine& diags_;
+};
+
+/// Convenience: lex + parse a source buffer in one call.
+[[nodiscard]] TranslationUnit parse_source(std::string_view source,
+                                           support::DiagnosticEngine& diags);
+
+}  // namespace psa::lang

@@ -1,0 +1,288 @@
+#include "lang/sema.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psa::lang {
+
+namespace {
+
+class FunctionSema {
+ public:
+  FunctionSema(TranslationUnit& unit, const FunctionDecl& fn,
+               support::DiagnosticEngine& diags)
+      : unit_(unit), fn_(fn), diags_(diags) {}
+
+  FunctionInfo run() {
+    info_.decl = &fn_;
+    scopes_.emplace_back();
+    for (const auto& p : fn_.params) declare(p.name, p.type, fn_.loc);
+    visit_stmt(*fn_.body);
+    scopes_.pop_back();
+
+    for (const auto& [sym, ty] : info_.variables) {
+      if (ty.is_struct_pointer()) info_.pointer_vars.push_back(sym);
+    }
+    std::sort(info_.pointer_vars.begin(), info_.pointer_vars.end());
+    return std::move(info_);
+  }
+
+ private:
+  void declare(Symbol name, const Type& type, support::SourceLoc loc) {
+    if (info_.variables.count(name) != 0) {
+      std::ostringstream os;
+      os << "redeclaration of '" << unit_.interner->spelling(name)
+         << "' (the shape analysis identifies variables by name)";
+      diags_.error(loc, os.str());
+      return;
+    }
+    scopes_.back().push_back(name);
+    info_.variables.emplace(name, type);
+  }
+
+  [[nodiscard]] const Type* lookup(Symbol name) const {
+    auto it = info_.variables.find(name);
+    return it == info_.variables.end() ? nullptr : &it->second;
+  }
+
+  void visit_stmt(Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kDecl:
+        for (auto& d : stmt.decls) {
+          declare(d.name, d.type, d.loc);
+          if (d.init) visit_expr(*d.init, &d.type);
+        }
+        break;
+      case StmtKind::kAssign: {
+        visit_expr(*stmt.lhs, nullptr);
+        visit_expr(*stmt.rhs, &stmt.lhs->type);
+        check_assignment(stmt);
+        break;
+      }
+      case StmtKind::kExpr:
+        visit_expr(*stmt.lhs, nullptr);
+        break;
+      case StmtKind::kIf:
+        visit_expr(*stmt.cond, nullptr);
+        visit_stmt(*stmt.then_body);
+        if (stmt.else_body) visit_stmt(*stmt.else_body);
+        break;
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile:
+        visit_expr(*stmt.cond, nullptr);
+        visit_stmt(*stmt.then_body);
+        break;
+      case StmtKind::kFor:
+        scopes_.emplace_back();
+        if (stmt.init) visit_stmt(*stmt.init);
+        if (stmt.cond) visit_expr(*stmt.cond, nullptr);
+        if (stmt.step) visit_stmt(*stmt.step);
+        visit_stmt(*stmt.then_body);
+        scopes_.pop_back();
+        break;
+      case StmtKind::kBlock:
+        scopes_.emplace_back();
+        for (auto& s : stmt.body) visit_stmt(*s);
+        scopes_.pop_back();
+        break;
+      case StmtKind::kReturn:
+        if (stmt.lhs) visit_expr(*stmt.lhs, nullptr);
+        break;
+      case StmtKind::kFree:
+        visit_expr(*stmt.lhs, nullptr);
+        if (!stmt.lhs->type.is_struct_pointer()) {
+          diags_.warning(stmt.loc, "free() of a non-struct-pointer is ignored");
+        }
+        break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+      case StmtKind::kEmpty:
+        break;
+    }
+  }
+
+  void check_assignment(const Stmt& stmt) {
+    const Type& lhs_ty = stmt.lhs->type;
+    if (!lhs_ty.is_struct_pointer()) return;  // scalar: opaque to the analysis
+
+    // Pointer assignments must have a shape-expressible rhs.
+    switch (stmt.rhs->kind) {
+      case ExprKind::kNullLit:
+      case ExprKind::kMalloc:
+      case ExprKind::kVarRef:
+      case ExprKind::kFieldAccess:
+      case ExprKind::kCast:
+        break;
+      case ExprKind::kCall:
+        diags_.error(stmt.rhs->loc,
+                     "calls returning struct pointers are not supported "
+                     "(the paper's analysis is intraprocedural)");
+        break;
+      default:
+        diags_.error(stmt.rhs->loc,
+                     "unsupported right-hand side for a pointer assignment");
+        break;
+    }
+
+    if (stmt.rhs->type.is_struct_pointer() &&
+        stmt.rhs->type.struct_id != lhs_ty.struct_id &&
+        stmt.rhs->kind != ExprKind::kNullLit) {
+      diags_.error(stmt.rhs->loc, "pointer assignment between different "
+                                  "struct types");
+    }
+  }
+
+  /// `expected` provides type context for malloc without an explicit type.
+  void visit_expr(Expr& expr, const Type* expected) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        expr.type = Type::scalar_type(ScalarKind::kInt);
+        break;
+      case ExprKind::kFloatLit:
+        expr.type = Type::scalar_type(ScalarKind::kDouble);
+        break;
+      case ExprKind::kStringLit:
+        expr.type = Type::pointer_to_scalar(ScalarKind::kChar);
+        break;
+      case ExprKind::kNullLit:
+        // NULL adopts the expected pointer type when available.
+        if (expected != nullptr && expected->is_pointer()) {
+          expr.type = *expected;
+        } else {
+          expr.type = Type::pointer_to_scalar(ScalarKind::kVoid);
+        }
+        break;
+      case ExprKind::kVarRef: {
+        if (const Type* ty = lookup(expr.name)) {
+          expr.type = *ty;
+        } else {
+          std::ostringstream os;
+          os << "use of undeclared variable '"
+             << unit_.interner->spelling(expr.name) << "'";
+          diags_.error(expr.loc, os.str());
+          expr.type = Type::scalar_type(ScalarKind::kInt);
+        }
+        break;
+      }
+      case ExprKind::kFieldAccess: {
+        visit_expr(*expr.lhs, nullptr);
+        const Type& base = expr.lhs->type;
+        if (expr.via_arrow) {
+          if (!base.is_struct_pointer()) {
+            diags_.error(expr.loc, "'->' applied to a non-struct-pointer");
+            expr.type = Type::scalar_type(ScalarKind::kInt);
+            return;
+          }
+        } else {
+          diags_.error(expr.loc,
+                       "'.' field access requires by-value structs, which are "
+                       "not supported; use '->'");
+          expr.type = Type::scalar_type(ScalarKind::kInt);
+          return;
+        }
+        const StructDecl& decl = unit_.types.struct_decl(*base.struct_id);
+        const Field* field = decl.find_field(expr.name);
+        if (field == nullptr) {
+          std::ostringstream os;
+          os << "struct '" << unit_.interner->spelling(decl.name)
+             << "' has no field '" << unit_.interner->spelling(expr.name) << "'";
+          diags_.error(expr.loc, os.str());
+          expr.type = Type::scalar_type(ScalarKind::kInt);
+          return;
+        }
+        expr.type = field->type;
+        break;
+      }
+      case ExprKind::kUnary:
+        visit_expr(*expr.lhs, nullptr);
+        if (expr.unary_op == UnaryOp::kDeref || expr.unary_op == UnaryOp::kAddrOf) {
+          if (expr.lhs->type.is_struct_pointer() ||
+              expr.lhs->type.kind == Type::Kind::kStruct) {
+            diags_.error(expr.loc,
+                         "'*'/'&' on struct values are not supported; the "
+                         "analysis works on '->' access paths");
+          }
+        }
+        expr.type = Type::scalar_type(ScalarKind::kInt);
+        break;
+      case ExprKind::kBinary:
+        visit_expr(*expr.lhs, nullptr);
+        // Give NULL comparisons pointer context from the other side.
+        visit_expr(*expr.rhs, &expr.lhs->type);
+        expr.type = Type::scalar_type(ScalarKind::kInt);
+        break;
+      case ExprKind::kMalloc: {
+        if (expr.type_name.valid()) {
+          if (auto id = unit_.types.find_struct(expr.type_name)) {
+            expr.type = Type::pointer_to_struct(*id);
+          } else {
+            std::ostringstream os;
+            os << "malloc of unknown struct '"
+               << unit_.interner->spelling(expr.type_name) << "'";
+            diags_.error(expr.loc, os.str());
+            expr.type = Type::pointer_to_scalar(ScalarKind::kVoid);
+          }
+        } else if (expected != nullptr && expected->is_struct_pointer()) {
+          expr.type = *expected;
+          expr.type_name = unit_.types.struct_decl(*expected->struct_id).name;
+        } else {
+          diags_.error(expr.loc,
+                       "cannot resolve the struct type of this malloc; write "
+                       "malloc(sizeof(struct T)) or cast the result");
+          expr.type = Type::pointer_to_scalar(ScalarKind::kVoid);
+        }
+        break;
+      }
+      case ExprKind::kSizeof:
+        expr.type = Type::scalar_type(ScalarKind::kInt);
+        break;
+      case ExprKind::kCall:
+        for (auto& a : expr.args) {
+          visit_expr(*a, nullptr);
+          if (a->type.is_struct_pointer()) {
+            diags_.error(a->loc,
+                         "passing struct pointers to calls is not supported "
+                         "(the paper's analysis is intraprocedural; inline "
+                         "the callee as the authors did for Barnes-Hut)");
+          }
+        }
+        expr.type = Type::scalar_type(ScalarKind::kInt);
+        break;
+      case ExprKind::kCast: {
+        if (auto id = unit_.types.find_struct(expr.type_name)) {
+          const Type cast_ty = Type::pointer_to_struct(*id);
+          visit_expr(*expr.lhs, &cast_ty);
+          expr.type = cast_ty;
+        } else {
+          std::ostringstream os;
+          os << "cast to unknown struct '"
+             << unit_.interner->spelling(expr.type_name) << "'";
+          diags_.error(expr.loc, os.str());
+          visit_expr(*expr.lhs, nullptr);
+          expr.type = Type::pointer_to_scalar(ScalarKind::kVoid);
+        }
+        break;
+      }
+    }
+  }
+
+  TranslationUnit& unit_;
+  const FunctionDecl& fn_;
+  support::DiagnosticEngine& diags_;
+  FunctionInfo info_;
+  std::vector<std::vector<Symbol>> scopes_;
+};
+
+}  // namespace
+
+SemaResult analyze(TranslationUnit& unit, support::DiagnosticEngine& diags) {
+  SemaResult result;
+  result.functions.reserve(unit.functions.size());
+  for (const auto& fn : unit.functions) {
+    FunctionSema sema(unit, fn, diags);
+    result.functions.push_back(sema.run());
+  }
+  return result;
+}
+
+}  // namespace psa::lang

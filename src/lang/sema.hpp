@@ -1,0 +1,46 @@
+// Semantic analysis for the analyzed C subset.
+//
+// Resolves variable and field types, checks that every shape-relevant
+// expression is an access path the analysis can lower (var, var->sel,
+// var->sel->sel, ...), resolves the struct type of each malloc from its
+// syntactic context, and collects the function's pointer variables (the P
+// set of the RSGs).
+//
+// Shadowing of a pointer variable is rejected: the analysis identifies pvars
+// by name within a function, so shadowing would conflate distinct variables.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace psa::lang {
+
+/// Per-function semantic information consumed by the CFG builder.
+struct FunctionInfo {
+  const FunctionDecl* decl = nullptr;
+  /// All variables (params + locals) with their resolved types.
+  std::unordered_map<Symbol, Type> variables;
+  /// The struct-pointer variables, sorted by symbol id — the analysis's P set.
+  std::vector<Symbol> pointer_vars;
+};
+
+/// Result of analyzing a TranslationUnit.
+struct SemaResult {
+  std::vector<FunctionInfo> functions;
+
+  [[nodiscard]] const FunctionInfo* find(Symbol name) const {
+    for (const auto& f : functions)
+      if (f.decl->name == name) return &f;
+    return nullptr;
+  }
+};
+
+/// Run semantic analysis. Mutates the AST in place (fills Expr::type and
+/// resolves malloc type names). Errors are reported to `diags`.
+[[nodiscard]] SemaResult analyze(TranslationUnit& unit,
+                                 support::DiagnosticEngine& diags);
+
+}  // namespace psa::lang

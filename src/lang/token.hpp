@@ -1,0 +1,91 @@
+// Tokens of the analyzed C subset.
+//
+// The frontend accepts the pointer-manipulating C subset the paper's compiler
+// consumed: struct declarations with pointer selectors, pointer statements,
+// structured control flow, malloc/free/NULL, and ordinary scalar arithmetic
+// (which the shape analysis treats as opaque).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.hpp"
+
+namespace psa::lang {
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kCharLiteral,
+
+  // Keywords.
+  kKwStruct,
+  kKwInt,
+  kKwFloat,
+  kKwDouble,
+  kKwChar,
+  kKwVoid,
+  kKwLong,
+  kKwUnsigned,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwDo,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwNull,
+  kKwMalloc,
+  kKwFree,
+  kKwSizeof,
+
+  // Punctuation / operators.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kSemicolon,
+  kComma,
+  kDot,
+  kArrow,
+  kStar,
+  kAmp,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kNot,
+  kPlusPlus,
+  kMinusMinus,
+};
+
+/// Spelling of a token kind for diagnostics.
+[[nodiscard]] std::string_view token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string_view text;   // view into the source buffer
+  support::SourceLoc loc;
+
+  [[nodiscard]] bool is(TokenKind k) const noexcept { return kind == k; }
+};
+
+}  // namespace psa::lang

@@ -1,0 +1,31 @@
+#include "lang/types.hpp"
+
+#include <algorithm>
+
+namespace psa::lang {
+
+StructId TypeTable::declare_struct(Symbol name) {
+  if (auto existing = find_struct(name)) return *existing;
+  StructDecl decl;
+  decl.name = name;
+  structs_.push_back(std::move(decl));
+  return static_cast<StructId>(structs_.size() - 1);
+}
+
+std::optional<StructId> TypeTable::find_struct(Symbol name) const {
+  for (std::size_t i = 0; i < structs_.size(); ++i)
+    if (structs_[i].name == name) return static_cast<StructId>(i);
+  return std::nullopt;
+}
+
+std::vector<Symbol> TypeTable::all_selectors() const {
+  std::vector<Symbol> out;
+  for (const auto& s : structs_)
+    for (const auto& f : s.fields)
+      if (f.is_selector()) out.push_back(f.name);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace psa::lang

@@ -1,0 +1,123 @@
+// Type representation for the analyzed C subset.
+//
+// The shape analysis only distinguishes:
+//  * recursive struct types (their pointer fields become *selectors*),
+//  * pointers to structs (the pvars of the RSG),
+//  * everything else (opaque scalars).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/interner.hpp"
+
+namespace psa::lang {
+
+using support::Symbol;
+
+/// Index of a struct in the TypeTable. 32-bit so node properties stay small.
+enum class StructId : std::uint32_t {};
+
+[[nodiscard]] constexpr std::uint32_t raw(StructId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+
+enum class ScalarKind : std::uint8_t { kInt, kFloat, kDouble, kChar, kVoid };
+
+/// A (possibly pointer) type. Only single-level pointers-to-struct carry
+/// shape information; pointer-to-scalar is accepted but opaque.
+struct Type {
+  enum class Kind : std::uint8_t { kScalar, kStruct, kPointer } kind = Kind::kScalar;
+  ScalarKind scalar = ScalarKind::kInt;           // kScalar / pointee scalar
+  std::optional<StructId> struct_id;              // kStruct / pointee struct
+  bool pointee_is_struct = false;                 // for kPointer
+
+  [[nodiscard]] bool is_struct_pointer() const noexcept {
+    return kind == Kind::kPointer && pointee_is_struct;
+  }
+  [[nodiscard]] bool is_pointer() const noexcept { return kind == Kind::kPointer; }
+
+  [[nodiscard]] static Type scalar_type(ScalarKind k) {
+    Type t;
+    t.kind = Kind::kScalar;
+    t.scalar = k;
+    return t;
+  }
+  [[nodiscard]] static Type struct_type(StructId id) {
+    Type t;
+    t.kind = Kind::kStruct;
+    t.struct_id = id;
+    return t;
+  }
+  [[nodiscard]] static Type pointer_to_struct(StructId id) {
+    Type t;
+    t.kind = Kind::kPointer;
+    t.pointee_is_struct = true;
+    t.struct_id = id;
+    return t;
+  }
+  [[nodiscard]] static Type pointer_to_scalar(ScalarKind k) {
+    Type t;
+    t.kind = Kind::kPointer;
+    t.pointee_is_struct = false;
+    t.scalar = k;
+    return t;
+  }
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+/// A field of a struct.
+struct Field {
+  Symbol name;
+  Type type;
+  /// True when this field is a pointer to a struct — i.e. a *selector*.
+  [[nodiscard]] bool is_selector() const noexcept {
+    return type.is_struct_pointer();
+  }
+};
+
+struct StructDecl {
+  Symbol name;
+  std::vector<Field> fields;
+
+  [[nodiscard]] const Field* find_field(Symbol name_sym) const {
+    for (const auto& f : fields)
+      if (f.name == name_sym) return &f;
+    return nullptr;
+  }
+
+  /// The selectors (struct-pointer fields) declared by this struct.
+  [[nodiscard]] std::vector<Symbol> selectors() const {
+    std::vector<Symbol> out;
+    for (const auto& f : fields)
+      if (f.is_selector()) out.push_back(f.name);
+    return out;
+  }
+};
+
+/// Registry of all struct declarations in a translation unit.
+class TypeTable {
+ public:
+  /// Declare (or forward-complete) a struct; returns its id.
+  StructId declare_struct(Symbol name);
+
+  [[nodiscard]] std::optional<StructId> find_struct(Symbol name) const;
+  [[nodiscard]] StructDecl& struct_decl(StructId id) { return structs_[raw(id)]; }
+  [[nodiscard]] const StructDecl& struct_decl(StructId id) const {
+    return structs_[raw(id)];
+  }
+  [[nodiscard]] std::size_t struct_count() const noexcept {
+    return structs_.size();
+  }
+
+  /// Union of all selectors declared by all structs — the analysis's S set.
+  [[nodiscard]] std::vector<Symbol> all_selectors() const;
+
+ private:
+  std::vector<StructDecl> structs_;
+};
+
+}  // namespace psa::lang

@@ -1,0 +1,164 @@
+#include "rsg/canon.hpp"
+
+#include <algorithm>
+
+#include "support/hash.hpp"
+
+namespace psa::rsg {
+
+namespace {
+
+using support::hash_accumulate_unordered;
+using support::hash_combine;
+using support::hash_value;
+using support::mix64;
+
+std::uint64_t initial_color(const Rsg& g, NodeRef n) {
+  std::uint64_t h = g.props(n).hash();
+  // The zero-length SPATH (which pvars point here) is part of the identity.
+  h = hash_combine(h, g.spath0(n).hash([](Symbol s) {
+    return hash_value(s.id());
+  }));
+  return h;
+}
+
+/// Iteratively refine node colors until the partition stabilizes; returns
+/// final colors indexed by node slot.
+std::vector<std::uint64_t> refine_colors(const Rsg& g) {
+  const auto refs = g.node_refs();
+  std::vector<std::uint64_t> color(g.node_capacity(), 0);
+  for (const NodeRef n : refs) color[n] = initial_color(g, n);
+
+  // n rounds suffice for WL refinement on n nodes, but the partition almost
+  // always stabilizes after 2-4; stop when the *grouping* stops refining
+  // (the hash values themselves change every round by construction).
+  auto partition_classes = [&](const std::vector<std::uint64_t>& c) {
+    std::vector<std::uint64_t> sorted;
+    sorted.reserve(refs.size());
+    for (const NodeRef n : refs) sorted.push_back(c[n]);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    return sorted.size();
+  };
+
+  std::size_t classes = partition_classes(color);
+  for (std::size_t round = 0; round < refs.size(); ++round) {
+    std::vector<std::uint64_t> next = color;
+    for (const NodeRef n : refs) {
+      std::uint64_t out_acc = 0x0ddba11;
+      for (const Link& l : g.out_links(n)) {
+        out_acc = hash_accumulate_unordered(
+            out_acc, hash_combine(hash_value(l.sel.id()), color[l.target]));
+      }
+      std::uint64_t in_acc = 0x5ca1ab1e;
+      for (const InLink& in : g.in_links(n)) {
+        in_acc = hash_accumulate_unordered(
+            in_acc, hash_combine(hash_value(in.sel.id()), color[in.source]));
+      }
+      next[n] = hash_combine(hash_combine(color[n], out_acc), in_acc);
+    }
+    const std::size_t next_classes = partition_classes(next);
+    color = std::move(next);
+    if (next_classes == classes) break;  // partition stable
+    classes = next_classes;
+  }
+  return color;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const Rsg& g) {
+  const auto color = refine_colors(g);
+  std::uint64_t h = 0x9e3779b9;
+  for (const NodeRef n : g.node_refs())
+    h = hash_accumulate_unordered(h, mix64(color[n]));
+  for (const auto& [pvar, n] : g.pvar_links())
+    h = hash_accumulate_unordered(
+        h, hash_combine(hash_value(pvar.id()), color[n]));
+  return h;
+}
+
+namespace {
+
+/// Backtracking isomorphism: map a's nodes onto b's within color classes.
+class IsoMatcher {
+ public:
+  IsoMatcher(const Rsg& a, const Rsg& b) : a_(a), b_(b) {
+    colors_a_ = refine_colors(a);
+    colors_b_ = refine_colors(b);
+    refs_a_ = a.node_refs();
+    map_.assign(a.node_capacity(), kNoNode);
+    used_.assign(b.node_capacity(), false);
+  }
+
+  bool run() { return extend(0); }
+
+ private:
+  bool extend(std::size_t idx) {
+    if (idx == refs_a_.size()) return check_full();
+    const NodeRef na = refs_a_[idx];
+    for (const NodeRef nb : b_.node_refs()) {
+      if (used_[nb] || colors_a_[na] != colors_b_[nb]) continue;
+      if (!locally_consistent(na, nb)) continue;
+      map_[na] = nb;
+      used_[nb] = true;
+      if (extend(idx + 1)) return true;
+      used_[nb] = false;
+      map_[na] = kNoNode;
+    }
+    return false;
+  }
+
+  /// Check properties + links to already-mapped nodes.
+  bool locally_consistent(NodeRef na, NodeRef nb) {
+    if (!(a_.props(na) == b_.props(nb))) return false;
+    if (a_.out_links(na).size() != b_.out_links(nb).size()) return false;
+    if (a_.spath0(na) != b_.spath0(nb)) return false;
+    for (const Link& l : a_.out_links(na)) {
+      const NodeRef mt = map_[l.target];
+      if (mt != kNoNode && !b_.has_link(nb, l.sel, mt)) return false;
+    }
+    for (const InLink& in : a_.in_links(na)) {
+      const NodeRef ms = map_[in.source];
+      if (ms != kNoNode && !b_.has_link(ms, in.sel, nb)) return false;
+    }
+    return true;
+  }
+
+  /// Full verification of links and PL under the completed mapping.
+  bool check_full() {
+    for (const NodeRef na : refs_a_) {
+      for (const Link& l : a_.out_links(na)) {
+        if (!b_.has_link(map_[na], l.sel, map_[l.target])) return false;
+      }
+    }
+    if (a_.link_count() != b_.link_count()) return false;
+    for (const auto& [pvar, n] : a_.pvar_links()) {
+      if (b_.pvar_target(pvar) != map_[n]) return false;
+    }
+    return true;
+  }
+
+  const Rsg& a_;
+  const Rsg& b_;
+  std::vector<std::uint64_t> colors_a_;
+  std::vector<std::uint64_t> colors_b_;
+  std::vector<NodeRef> refs_a_;
+  std::vector<NodeRef> map_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+bool rsg_equal(const Rsg& a, const Rsg& b) {
+  if (a.node_count() != b.node_count()) return false;
+  if (a.link_count() != b.link_count()) return false;
+  if (a.pvar_links().size() != b.pvar_links().size()) return false;
+  for (std::size_t i = 0; i < a.pvar_links().size(); ++i) {
+    if (a.pvar_links()[i].first != b.pvar_links()[i].first) return false;
+  }
+  IsoMatcher matcher(a, b);
+  return matcher.run();
+}
+
+}  // namespace psa::rsg

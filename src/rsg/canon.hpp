@@ -1,0 +1,25 @@
+// Graph canonicalization for fixpoint detection.
+//
+// The engine iterates the abstract interpretation until the RSRSG of every
+// statement stops changing; "stops changing" is equality of RSGs up to node
+// renaming. We compute a Weisfeiler-Lehman-style fingerprint (cheap, order
+// independent) as a prefilter, and decide true equality with a backtracking
+// isomorphism search seeded by the refined color classes. The graphs are
+// small (bounded by the node-property space), so the search is fast.
+#pragma once
+
+#include <cstdint>
+
+#include "rsg/rsg.hpp"
+
+namespace psa::rsg {
+
+/// Order-independent structural fingerprint. Equal graphs (up to renaming)
+/// have equal fingerprints; the converse holds modulo hash collisions, which
+/// rsg_equal resolves exactly.
+[[nodiscard]] std::uint64_t fingerprint(const Rsg& g);
+
+/// Exact isomorphism test respecting node properties, links, and PL.
+[[nodiscard]] bool rsg_equal(const Rsg& a, const Rsg& b);
+
+}  // namespace psa::rsg

@@ -1,0 +1,156 @@
+// COMPRESS (§3.1): summarization of C_NODES_RSG-compatible nodes.
+#include <numeric>
+
+#include "rsg/ops.hpp"
+
+namespace psa::rsg {
+
+namespace {
+
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), NodeRef{0});
+  }
+  NodeRef find(NodeRef a) {
+    while (parent[a] != a) {
+      parent[a] = parent[parent[a]];
+      a = parent[a];
+    }
+    return a;
+  }
+  void unite(NodeRef a, NodeRef b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent[b] = a;
+  }
+  std::vector<NodeRef> parent;
+};
+
+/// One summarization sweep; returns true when something was merged.
+bool compress_once(Rsg& g, const LevelPolicy& policy) {
+  const auto refs = g.node_refs();
+  if (refs.size() < 2) return false;
+
+  const auto ctx = compute_compat_contexts(g);
+  UnionFind uf(g.node_capacity());
+  bool any = false;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    for (std::size_t j = i + 1; j < refs.size(); ++j) {
+      const NodeRef a = refs[i];
+      const NodeRef b = refs[j];
+      if (uf.find(a) == uf.find(b)) continue;
+      if (c_nodes_rsg(g.props(a), ctx[a], g.props(b), ctx[b], policy)) {
+        uf.unite(a, b);
+        any = true;
+      }
+    }
+  }
+  if (!any) return false;
+
+  // Collect the classes with more than one member.
+  std::vector<std::vector<NodeRef>> classes(g.node_capacity());
+  for (const NodeRef n : refs) classes[uf.find(n)].push_back(n);
+
+  for (const auto& members : classes) {
+    if (members.size() < 2) continue;
+    const NodeRef rep = members[0];
+
+    // MERGE_COMP_NODES: fold the members' properties pairwise, in ascending
+    // node order, against the original graph's links.
+    NodeProps merged = g.props(rep);
+    Rsg snapshot = g;  // link context for the cycle-link merge rule
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      // Accumulate into `rep` inside the snapshot so the k-th merge sees the
+      // links of the already-merged group.
+      const NodeRef other = members[k];
+      merged = merge_node_props(snapshot, rep, snapshot, other,
+                                /*same_configuration=*/true);
+      for (const Link& l : snapshot.out_links(other))
+        snapshot.add_link(rep, l.sel, l.target == other ? rep : l.target);
+      for (const InLink& in : snapshot.in_links(other)) {
+        if (in.source == other) continue;
+        snapshot.add_link(in.source, in.sel, rep);
+      }
+      snapshot.props(rep) = merged;
+      snapshot.remove_node(other);
+    }
+
+    // Apply to the real graph: remap all members' links and PL onto rep.
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      const NodeRef other = members[k];
+      for (const Link& l : g.out_links(other))
+        g.add_link(rep, l.sel, l.target == other ? rep : l.target);
+      for (const InLink& in : g.in_links(other)) {
+        if (in.source == other) continue;
+        g.add_link(in.source, in.sel, rep);
+      }
+      // Summarized nodes are never pvar-referenced (their zero-length SPATHs
+      // would differ), so no PL rewrite is needed; remove_node asserts that
+      // indirectly by dropping any stale PL entry.
+      g.remove_node(other);
+    }
+    g.props(rep) = merged;
+  }
+  return true;
+}
+
+}  // namespace
+
+void compress(Rsg& g, const LevelPolicy& policy) {
+  while (compress_once(g, policy)) {
+  }
+  g.gc();
+  g.compact();
+  g.refresh_footprint();
+}
+
+void coarsen(Rsg& g, const LevelPolicy& policy) {
+  const auto refs = g.node_refs();
+  if (refs.size() < 2) return;
+
+  // Partition by (TYPE, zero-length SPATH, SHARED, SHSEL). Distinct
+  // pvar-reference sets stay separate, so pvar-pointed nodes keep their
+  // identity (and their cardinality-one invariant: a pvar references exactly
+  // one node); keeping the sharing bits in the key preserves the SHSEL
+  // distinctions the paper's Fig. 3 conclusions rest on.
+  UnionFind uf(g.node_capacity());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    for (std::size_t j = i + 1; j < refs.size(); ++j) {
+      const NodeRef a = refs[i];
+      const NodeRef b = refs[j];
+      if (g.props(a).type != g.props(b).type) continue;
+      if (g.props(a).shared != g.props(b).shared) continue;
+      if (g.props(a).shsel != g.props(b).shsel) continue;
+      if (g.spath0(a) != g.spath0(b)) continue;
+      uf.unite(a, b);
+    }
+  }
+
+  std::vector<std::vector<NodeRef>> classes(g.node_capacity());
+  for (const NodeRef n : refs) classes[uf.find(n)].push_back(n);
+
+  for (const auto& members : classes) {
+    if (members.size() < 2) continue;
+    const NodeRef rep = members[0];
+    NodeProps merged = g.props(rep);
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      const NodeRef other = members[k];
+      merged = merge_node_props(g, rep, g, other, /*same_configuration=*/true);
+      for (const Link& l : g.out_links(other))
+        g.add_link(rep, l.sel, l.target == other ? rep : l.target);
+      for (const InLink& in : g.in_links(other)) {
+        if (in.source == other) continue;
+        g.add_link(in.source, in.sel, rep);
+      }
+      g.props(rep) = merged;
+      g.remove_node(other);
+    }
+  }
+
+  refine_sharing(g);
+  compress(g, policy);
+}
+
+}  // namespace psa::rsg

@@ -1,0 +1,191 @@
+// COMPATIBLE / ALIAS / JOIN (§4, §4.3).
+#include <numeric>
+
+#include "rsg/ops.hpp"
+
+namespace psa::rsg {
+
+bool alias_equal(const Rsg& a, const Rsg& b) {
+  const auto& pla = a.pvar_links();
+  const auto& plb = b.pvar_links();
+  if (pla.size() != plb.size()) return false;
+  // Same bound pvars (both sorted).
+  for (std::size_t i = 0; i < pla.size(); ++i)
+    if (pla[i].first != plb[i].first) return false;
+  // Same partition: pvars i and j alias in a iff they alias in b.
+  for (std::size_t i = 0; i < pla.size(); ++i) {
+    for (std::size_t j = i + 1; j < pla.size(); ++j) {
+      const bool alias_a = pla[i].second == pla[j].second;
+      const bool alias_b = plb[i].second == plb[j].second;
+      if (alias_a != alias_b) return false;
+    }
+  }
+  return true;
+}
+
+bool compatible_with_contexts(const Rsg& a,
+                              const std::vector<NodeCompatContext>& ctx_a,
+                              const Rsg& b,
+                              const std::vector<NodeCompatContext>& ctx_b,
+                              const LevelPolicy& policy) {
+  if (!alias_equal(a, b)) return false;
+  // COMP_NODES: the nodes referenced by the same pvar must be compatible.
+  for (const auto& [pvar, na] : a.pvar_links()) {
+    const NodeRef nb = b.pvar_target(pvar);
+    if (!c_nodes(a.props(na), ctx_a[na], b.props(nb), ctx_b[nb], policy))
+      return false;
+  }
+  return true;
+}
+
+bool compatible(const Rsg& a, const Rsg& b, const LevelPolicy& policy) {
+  if (!alias_equal(a, b)) return false;
+  return compatible_with_contexts(a, compute_compat_contexts(a), b,
+                                  compute_compat_contexts(b), policy);
+}
+
+namespace {
+
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t a) {
+    while (parent[a] != a) {
+      parent[a] = parent[parent[a]];
+      a = parent[a];
+    }
+    return a;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent[b] = a;
+  }
+  std::vector<std::size_t> parent;
+};
+
+}  // namespace
+
+namespace {
+
+Rsg join_impl(const Rsg& a, const Rsg& b, const LevelPolicy& policy,
+              bool force) {
+  const auto refs_a = a.node_refs();
+  const auto refs_b = b.node_refs();
+  const auto ctx_a = compute_compat_contexts(a);
+  const auto ctx_b = compute_compat_contexts(b);
+
+  // Combined index space: [0, |A|) for a's nodes, [|A|, |A|+|B|) for b's.
+  UnionFind uf(refs_a.size() + refs_b.size());
+  for (std::size_t i = 0; i < refs_a.size(); ++i) {
+    for (std::size_t j = 0; j < refs_b.size(); ++j) {
+      const NodeRef na = refs_a[i];
+      const NodeRef nb = refs_b[j];
+      if (c_nodes(a.props(na), ctx_a[na], b.props(nb), ctx_b[nb], policy))
+        uf.unite(i, refs_a.size() + j);
+    }
+  }
+  if (force) {
+    // Widening: the node pair referenced by each pvar must land in one class
+    // so the result has a well-formed PL, whatever their properties.
+    std::vector<std::size_t> index_a(a.node_capacity(), 0);
+    for (std::size_t i = 0; i < refs_a.size(); ++i) index_a[refs_a[i]] = i;
+    std::vector<std::size_t> index_b(b.node_capacity(), 0);
+    for (std::size_t j = 0; j < refs_b.size(); ++j) index_b[refs_b[j]] = j;
+    for (const auto& [pvar, na] : a.pvar_links()) {
+      const NodeRef nb = b.pvar_target(pvar);
+      uf.unite(index_a[na], refs_a.size() + index_b[nb]);
+    }
+  }
+
+  // Gather classes.
+  std::vector<std::vector<std::size_t>> classes(refs_a.size() + refs_b.size());
+  for (std::size_t k = 0; k < classes.size(); ++k)
+    classes[uf.find(k)].push_back(k);
+
+  auto member_graph = [&](std::size_t k) -> const Rsg& {
+    return k < refs_a.size() ? a : b;
+  };
+  auto member_ref = [&](std::size_t k) {
+    return k < refs_a.size() ? refs_a[k] : refs_b[k - refs_a.size()];
+  };
+
+  Rsg out;
+  std::vector<NodeRef> map(refs_a.size() + refs_b.size(), kNoNode);
+  for (std::size_t rep = 0; rep < classes.size(); ++rep) {
+    const auto& members = classes[rep];
+    if (members.empty()) continue;
+
+    // Fold the members' properties.
+    NodeProps props = member_graph(members[0]).props(member_ref(members[0]));
+    std::size_t from_a = members[0] < refs_a.size() ? 1 : 0;
+    std::size_t from_b = 1 - from_a;
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      const std::size_t m = members[k];
+      (m < refs_a.size() ? from_a : from_b) += 1;
+      // The cycle-link merge rule consults each node's own out-links in its
+      // own graph; fold against a one-node scratch graph carrying `props`.
+      Rsg scratch;
+      const NodeRef sn = scratch.add_node(props);
+      // Reconstruct the accumulated out-selector set: union over processed
+      // members (sufficient for the has-out-selector test).
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const std::size_t mm = members[kk];
+        for (const Link& l : member_graph(mm).out_links(member_ref(mm)))
+          scratch.add_link(sn, l.sel, sn);
+      }
+      props = merge_node_props(scratch, sn, member_graph(m), member_ref(m),
+                               /*same_configuration=*/false);
+    }
+    // Cardinality across configurations: `one` survives only when no single
+    // configuration contributes two nodes and no member is a summary.
+    if (from_a >= 2 || from_b >= 2) props.cardinality = Cardinality::kMany;
+    for (const std::size_t m : members) {
+      if (member_graph(m).props(member_ref(m)).cardinality == Cardinality::kMany)
+        props.cardinality = Cardinality::kMany;
+    }
+
+    const NodeRef nn = out.add_node(std::move(props));
+    for (const std::size_t m : members) map[m] = nn;
+  }
+
+  // Links: every link of either graph, remapped.
+  auto import_links = [&](const Rsg& g, const std::vector<NodeRef>& refs,
+                          std::size_t base) {
+    std::vector<std::size_t> index_of(g.node_capacity(), 0);
+    for (std::size_t i = 0; i < refs.size(); ++i) index_of[refs[i]] = base + i;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      for (const Link& l : g.out_links(refs[i]))
+        out.add_link(map[base + i], l.sel, map[index_of[l.target]]);
+    }
+  };
+  import_links(a, refs_a, 0);
+  import_links(b, refs_b, refs_a.size());
+
+  // PL: COMPATIBLE guarantees the per-pvar targets landed in the same class.
+  {
+    std::vector<std::size_t> index_a(a.node_capacity(), 0);
+    for (std::size_t i = 0; i < refs_a.size(); ++i) index_a[refs_a[i]] = i;
+    for (const auto& [pvar, na] : a.pvar_links())
+      out.bind_pvar(pvar, map[index_a[na]]);
+  }
+
+  compress(out, policy);
+  out.refresh_footprint();
+  return out;
+}
+
+}  // namespace
+
+Rsg join(const Rsg& a, const Rsg& b, const LevelPolicy& policy) {
+  return join_impl(a, b, policy, /*force=*/false);
+}
+
+Rsg force_join(const Rsg& a, const Rsg& b, const LevelPolicy& policy) {
+  return join_impl(a, b, policy, /*force=*/true);
+}
+
+}  // namespace psa::rsg

@@ -1,0 +1,40 @@
+// The three progressive analysis levels (§5 of the paper).
+//
+//  L1: TOUCH sets are neither built nor compared; node compatibility uses
+//      C_SPATH0 (equal zero-length simple paths).
+//  L2: as L1 but with C_SPATH1 (additionally, the one-length simple-path
+//      sets must share an element or both be empty).
+//  L3: every property including TOUCH.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace psa::rsg {
+
+enum class AnalysisLevel : std::uint8_t { kL1 = 1, kL2 = 2, kL3 = 3 };
+
+[[nodiscard]] constexpr std::string_view to_string(AnalysisLevel level) {
+  switch (level) {
+    case AnalysisLevel::kL1: return "L1";
+    case AnalysisLevel::kL2: return "L2";
+    case AnalysisLevel::kL3: return "L3";
+  }
+  return "?";
+}
+
+/// How a level parameterizes the compatibility functions.
+struct LevelPolicy {
+  AnalysisLevel level = AnalysisLevel::kL1;
+
+  /// C_SPATH1 instead of C_SPATH0 (the paper's parameter m).
+  [[nodiscard]] constexpr bool use_spath1() const noexcept {
+    return level != AnalysisLevel::kL1;
+  }
+  /// Build and compare TOUCH sets.
+  [[nodiscard]] constexpr bool use_touch() const noexcept {
+    return level == AnalysisLevel::kL3;
+  }
+};
+
+}  // namespace psa::rsg

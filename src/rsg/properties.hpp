@@ -1,0 +1,105 @@
+// Node properties of a Reference Shape Graph (§3 of the paper).
+//
+// A node summarizes one or more memory locations that share all of these
+// properties; the properties bound the number of distinct nodes and hence
+// the size of every RSG.
+//
+// Stored properties (updated by the abstract semantics and MERGE_NODES):
+//   TYPE        struct type of the represented locations
+//   SHARED      some location is referenced more than once from the heap
+//   SHSEL(sel)  some location is referenced more than once via `sel`
+//   SELINset / SELOUTset          definite reference patterns
+//   PosSELINset / PosSELOUTset    possible reference patterns
+//   CYCLELINKS  pairs <sel_i, sel_j>: every location's sel_i successor
+//               points back to it via sel_j
+//   TOUCH       induction pvars that visited the locations (L3 only)
+//   cardinality `one` = exactly one location per concrete configuration,
+//               `many` = one or more. (Reconstructed from reference [2]:
+//               strong updates and materialization decisions need it.)
+//
+// Derived properties (computed from the graph, never stored):
+//   STRUCTURE   connected-component identity
+//   SPATH       simple paths of length <= 1 from pvars
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "lang/types.hpp"
+#include "support/hash.hpp"
+#include "support/interner.hpp"
+#include "support/small_set.hpp"
+
+namespace psa::rsg {
+
+using lang::StructId;
+using support::SmallSet;
+using support::Symbol;
+
+/// A cycle-link pair <out, back>: following `out` and then `back` from any
+/// location of the node returns to that location.
+struct SelPair {
+  Symbol out;
+  Symbol back;
+
+  friend constexpr bool operator==(SelPair, SelPair) noexcept = default;
+  friend constexpr auto operator<=>(SelPair, SelPair) noexcept = default;
+};
+
+/// A one-length simple path <pvar, sel>: pvar points to a node that links to
+/// this node via sel.
+struct SimplePath {
+  Symbol pvar;
+  Symbol sel;
+
+  friend constexpr bool operator==(SimplePath, SimplePath) noexcept = default;
+  friend constexpr auto operator<=>(SimplePath, SimplePath) noexcept = default;
+};
+
+enum class Cardinality : std::uint8_t { kOne, kMany };
+
+struct NodeProps {
+  StructId type{};
+  Cardinality cardinality = Cardinality::kOne;
+  bool shared = false;
+  SmallSet<Symbol> shsel;        // selectors with SHSEL = true
+  SmallSet<Symbol> selin;        // definite incoming reference pattern
+  SmallSet<Symbol> selout;       // definite outgoing reference pattern
+  SmallSet<Symbol> pos_selin;    // possible incoming (disjoint from selin)
+  SmallSet<Symbol> pos_selout;   // possible outgoing (disjoint from selout)
+  SmallSet<SelPair> cyclelinks;
+  SmallSet<Symbol> touch;        // induction pvars that visited (L3)
+
+  friend bool operator==(const NodeProps&, const NodeProps&) = default;
+
+  [[nodiscard]] std::uint64_t hash() const {
+    using support::hash_combine;
+    using support::hash_value;
+    std::uint64_t h = hash_value(lang::raw(type));
+    h = hash_combine(h, hash_value(cardinality));
+    h = hash_combine(h, hash_value(static_cast<int>(shared)));
+    auto sym_hash = [](Symbol s) { return support::hash_value(s.id()); };
+    h = hash_combine(h, shsel.hash(sym_hash));
+    h = hash_combine(h, selin.hash(sym_hash));
+    h = hash_combine(h, selout.hash(sym_hash));
+    h = hash_combine(h, pos_selin.hash(sym_hash));
+    h = hash_combine(h, pos_selout.hash(sym_hash));
+    h = hash_combine(h, cyclelinks.hash([](SelPair p) {
+      return support::hash_combine(support::hash_value(p.out.id()),
+                                   support::hash_value(p.back.id()));
+    }));
+    h = hash_combine(h, touch.hash(sym_hash));
+    return h;
+  }
+
+  /// Rough byte footprint for the Table-1 space metric.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return sizeof(NodeProps) +
+           (shsel.size() + selin.size() + selout.size() + pos_selin.size() +
+            pos_selout.size() + touch.size()) *
+               sizeof(Symbol) +
+           cyclelinks.size() * sizeof(SelPair);
+  }
+};
+
+}  // namespace psa::rsg

@@ -1,0 +1,248 @@
+#include <algorithm>
+
+#include "rsg/ops.hpp"
+
+namespace psa::rsg {
+
+bool refine_sharing(Rsg& g) {
+  bool changed = false;
+  for (const NodeRef n : g.node_refs()) {
+    NodeProps& p = g.props(n);
+    if (p.shared && g.max_in_refs_total(n) <= 1) {
+      p.shared = false;
+      changed = true;
+    }
+    if (!p.shsel.empty()) {
+      SmallSet<Symbol> cleared;
+      for (const Symbol sel : p.shsel) {
+        if (g.max_in_refs(n, sel) <= 1) cleared.insert(sel);
+      }
+      for (const Symbol sel : cleared) {
+        p.shsel.erase(sel);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+namespace {
+
+/// §4.2 example rule: "because node n3 is not shared by selector nxt and we
+/// are sure that <n1,nxt,n3> exists, we can conclude that <n2,nxt,n3> should
+/// be removed". Restricted to cardinality-one targets, where link counts
+/// equal reference counts.
+bool share_prune_links(Rsg& g) {
+  bool changed = false;
+  for (const NodeRef t : g.node_refs()) {
+    const NodeProps& p = g.props(t);
+    if (p.cardinality != Cardinality::kOne) continue;
+
+    const auto incoming = g.in_links(t);
+
+    // Per-selector rule via SHSEL(t, sel) = false.
+    for (const InLink& definite : incoming) {
+      if (p.shsel.contains(definite.sel)) continue;
+      if (!g.definite_link(definite.source, definite.sel, t)) continue;
+      for (const InLink& other : incoming) {
+        if (other.sel != definite.sel) continue;
+        if (other.source == definite.source) continue;
+        if (g.remove_link(other.source, other.sel, t)) changed = true;
+      }
+      // A self-link via the same selector is equally impossible.
+      if (definite.source != t && g.remove_link(t, definite.sel, t))
+        changed = true;
+    }
+
+    // All-selector rule via SHARED(t) = false: at most one heap reference in
+    // total, so one definite link invalidates every other incoming link.
+    if (!p.shared) {
+      for (const InLink& definite : incoming) {
+        if (!g.definite_link(definite.source, definite.sel, t)) continue;
+        for (const InLink& other : incoming) {
+          if (other.source == definite.source && other.sel == definite.sel)
+            continue;
+          if (g.remove_link(other.source, other.sel, t)) changed = true;
+        }
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+/// NL_PRUNE (§4.2): a link <n1, sel_i, n2> contradicts a cycle link
+/// <sel_i, sel_j> of n1 unless n2 links back to n1 via sel_j.
+bool cyclelink_prune(Rsg& g) {
+  bool changed = false;
+  for (const NodeRef n1 : g.node_refs()) {
+    const auto out = g.out_links(n1);  // copy: we mutate below
+    for (const Link& l : out) {
+      for (const SelPair cl : g.props(n1).cyclelinks) {
+        if (cl.out != l.sel) continue;
+        if (!g.has_link(l.target, cl.back, n1)) {
+          if (g.remove_link(n1, l.sel, l.target)) changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+enum class NodePruneResult { kUnchanged, kChanged, kInfeasible };
+
+/// N_PRUNE (§4.2): a node whose definite reference pattern cannot be
+/// satisfied by the remaining links does not exist in this graph variant.
+NodePruneResult refpat_prune(Rsg& g) {
+  NodePruneResult result = NodePruneResult::kUnchanged;
+  for (const NodeRef n : g.node_refs()) {
+    const NodeProps& p = g.props(n);
+    bool doomed = false;
+    for (const Symbol sel : p.selout) {
+      if (g.sel_targets(n, sel).empty()) {
+        doomed = true;
+        break;
+      }
+    }
+    if (!doomed) {
+      for (const Symbol sel : p.selin) {
+        bool found = false;
+        for (const InLink& in : g.in_links(n)) {
+          if (in.sel == sel) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          doomed = true;
+          break;
+        }
+      }
+    }
+    if (doomed) {
+      if (!g.pvars_of(n).empty()) return NodePruneResult::kInfeasible;
+      g.remove_node(n);
+      result = NodePruneResult::kChanged;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+bool prune(Rsg& g, const PruneOptions& opts) {
+  for (;;) {
+    bool changed = refine_sharing(g);
+    if (opts.share_pruning) changed |= share_prune_links(g);
+    changed |= cyclelink_prune(g);
+    switch (refpat_prune(g)) {
+      case NodePruneResult::kInfeasible:
+        return false;
+      case NodePruneResult::kChanged:
+        changed = true;
+        break;
+      case NodePruneResult::kUnchanged:
+        break;
+    }
+    changed |= g.gc();
+    if (!changed) return true;
+  }
+}
+
+std::vector<Rsg> divide(const Rsg& g, Symbol x, Symbol sel,
+                        const PruneOptions& opts) {
+  std::vector<Rsg> out;
+  const NodeRef n = g.pvar_target(x);
+  if (n == kNoNode) return out;
+
+  const auto targets = g.sel_targets(n, sel);
+
+  // The "x->sel is NULL" variant exists whenever sel is not definite.
+  if (!g.props(n).selout.contains(sel)) {
+    Rsg variant = g;
+    for (const NodeRef t : targets) variant.remove_link(n, sel, t);
+    variant.props(n).pos_selout.erase(sel);
+    if (prune(variant, opts)) out.push_back(std::move(variant));
+  }
+
+  // One variant per sel-target: that link becomes the unique, definite one.
+  for (const NodeRef chosen : targets) {
+    Rsg variant = g;
+    for (const NodeRef t : targets) {
+      if (t != chosen) variant.remove_link(n, sel, t);
+    }
+    variant.props(n).pos_selout.erase(sel);
+    variant.props(n).selout.insert(sel);
+    if (prune(variant, opts)) out.push_back(std::move(variant));
+  }
+  return out;
+}
+
+std::vector<Materialized> materialize(const Rsg& g, NodeRef from, Symbol sel,
+                                      const PruneOptions& opts) {
+  std::vector<Materialized> out;
+  const auto targets = g.sel_targets(from, sel);
+  if (targets.size() != 1) return out;  // caller must divide first
+  const NodeRef m = targets[0];
+
+  if (g.props(m).cardinality == Cardinality::kOne) {
+    Materialized mat{g, m};
+    if (prune(mat.graph, opts)) out.push_back(std::move(mat));
+    return out;
+  }
+
+  // Variant A — the summary denoted exactly one location: it simply becomes
+  // cardinality-one. Self-links turn into possible self-cycles that the
+  // pruning rules (share attributes, cycle links) cut when contradicted.
+  {
+    Materialized mat{g, m};
+    mat.graph.props(m).cardinality = Cardinality::kOne;
+    if (prune(mat.graph, opts)) {
+      if (mat.graph.alive(m)) out.push_back(std::move(mat));
+    }
+  }
+
+  // Variant B — more locations remain: extract a fresh cardinality-one node
+  // m1 for the location from->sel denotes; m keeps representing the rest.
+  {
+    Rsg v = g;
+    NodeProps one_props = v.props(m);
+    one_props.cardinality = Cardinality::kOne;
+    const NodeRef m1 = v.add_node(std::move(one_props));
+
+    // The focused reference goes to m1.
+    v.remove_link(from, sel, m);
+    v.add_link(from, sel, m1);
+
+    // Every other may-reference to the summary may denote the extracted
+    // location as well.
+    for (const InLink& in : g.in_links(m)) {
+      if (in.source == from && in.sel == sel) continue;
+      if (in.source == m) continue;  // self-links handled below
+      v.add_link(in.source, in.sel, m1);
+    }
+    // The extracted location may point wherever the summary pointed.
+    for (const Link& l : g.out_links(m)) {
+      if (l.target == m) continue;  // self-links handled below
+      v.add_link(m1, l.sel, l.target);
+    }
+    // A self-link of the summary may relate the extracted location and the
+    // rest in either direction, or the location with itself.
+    for (const Link& l : g.out_links(m)) {
+      if (l.target != m) continue;
+      v.add_link(m1, l.sel, m);
+      v.add_link(m, l.sel, m1);
+      v.add_link(m1, l.sel, m1);
+    }
+
+    Materialized mat{std::move(v), m1};
+    if (prune(mat.graph, opts)) {
+      if (mat.graph.alive(m1)) out.push_back(std::move(mat));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace psa::rsg

@@ -1,0 +1,35 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace psa::support {
+
+namespace {
+std::string_view severity_name(Severity sev) {
+  switch (sev) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+}  // namespace
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::kError) ++error_count_;
+  diagnostics_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) {
+    os << d.loc.line << ':' << d.loc.column << ": " << severity_name(d.severity)
+       << ": " << d.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace psa::support

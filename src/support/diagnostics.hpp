@@ -1,0 +1,53 @@
+// Source locations and diagnostics for the mini-C frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psa::support {
+
+/// 1-based line/column position in a source buffer.
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return line != 0; }
+  friend bool operator==(SourceLoc, SourceLoc) = default;
+};
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics; the driver decides whether to print or assert.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::kError, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::kWarning, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const noexcept { return error_count_ != 0; }
+  [[nodiscard]] std::size_t error_count() const noexcept { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const noexcept {
+    return diagnostics_;
+  }
+
+  /// Render all diagnostics as "line:col: severity: message" lines.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace psa::support

@@ -1,0 +1,29 @@
+#include "support/interner.hpp"
+
+#include <cassert>
+
+namespace psa::support {
+
+Interner::Interner() {
+  strings_.emplace_back("<invalid>");  // id 0 sentinel
+}
+
+Symbol Interner::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) return Symbol(it->second);
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return Symbol(id);
+}
+
+Symbol Interner::lookup(std::string_view s) const {
+  if (auto it = index_.find(s); it != index_.end()) return Symbol(it->second);
+  return Symbol();
+}
+
+std::string_view Interner::spelling(Symbol sym) const {
+  if (sym.id() >= strings_.size()) return strings_[0];
+  return strings_[sym.id()];
+}
+
+}  // namespace psa::support

@@ -1,0 +1,64 @@
+// String interning.
+//
+// Selectors, pvar names and type names are interned once by the frontend and
+// afterwards handled as 32-bit `Symbol` ids everywhere — property sets,
+// SPATHs and cycle-link pairs are then plain integer sets, which keeps the
+// hot compatibility checks (C_NODES, C_SPATH, …) allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace psa::support {
+
+/// An interned string id. Value 0 is reserved for the invalid symbol.
+class Symbol {
+ public:
+  constexpr Symbol() noexcept = default;
+  constexpr explicit Symbol(std::uint32_t id) noexcept : id_(id) {}
+
+  [[nodiscard]] constexpr std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) noexcept = default;
+  friend constexpr auto operator<=>(Symbol a, Symbol b) noexcept = default;
+
+ private:
+  std::uint32_t id_ = 0;
+};
+
+/// Bidirectional string <-> Symbol table. Not thread-safe; each frontend
+/// instance owns one and the analysis only reads it.
+class Interner {
+ public:
+  Interner();
+
+  /// Intern `s`, returning the existing symbol if already present.
+  Symbol intern(std::string_view s);
+
+  /// Look up without interning; returns the invalid symbol when absent.
+  [[nodiscard]] Symbol lookup(std::string_view s) const;
+
+  /// Spell a symbol. The invalid symbol spells as "<invalid>".
+  [[nodiscard]] std::string_view spelling(Symbol sym) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return strings_.size() - 1; }
+
+ private:
+  // Deque gives stable element addresses, so index_ keys can safely view
+  // the stored strings even as new symbols are interned.
+  std::deque<std::string> strings_;  // index = symbol id; [0] is a sentinel
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace psa::support
+
+template <>
+struct std::hash<psa::support::Symbol> {
+  std::size_t operator()(psa::support::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.id());
+  }
+};

@@ -1,0 +1,88 @@
+#include "support/memory_stats.hpp"
+
+namespace psa::support {
+
+MemoryStats& MemoryStats::instance() {
+  static MemoryStats stats;
+  return stats;
+}
+
+void MemoryStats::add(std::size_t bytes) noexcept {
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  const auto live =
+      live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Lock-free peak update.
+  auto peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryStats::remove(std::size_t bytes) noexcept {
+  live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+MemorySnapshot MemoryStats::snapshot() const noexcept {
+  MemorySnapshot s;
+  s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  s.peak_bytes = peak_bytes_.load(std::memory_order_relaxed);
+  s.total_allocated_bytes = total_bytes_.load(std::memory_order_relaxed);
+  s.nodes_created = nodes_created_.load(std::memory_order_relaxed);
+  s.graphs_created = graphs_created_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void MemoryStats::reset() noexcept {
+  live_bytes_.store(0, std::memory_order_relaxed);
+  peak_bytes_.store(0, std::memory_order_relaxed);
+  total_bytes_.store(0, std::memory_order_relaxed);
+  nodes_created_.store(0, std::memory_order_relaxed);
+  graphs_created_.store(0, std::memory_order_relaxed);
+}
+
+TrackedFootprint::TrackedFootprint(std::size_t bytes) noexcept : bytes_(bytes) {
+  if (bytes_ != 0) MemoryStats::instance().add(bytes_);
+}
+
+TrackedFootprint::TrackedFootprint(const TrackedFootprint& other) noexcept
+    : bytes_(other.bytes_) {
+  if (bytes_ != 0) MemoryStats::instance().add(bytes_);
+}
+
+TrackedFootprint& TrackedFootprint::operator=(
+    const TrackedFootprint& other) noexcept {
+  resize(other.bytes_);
+  return *this;
+}
+
+TrackedFootprint::TrackedFootprint(TrackedFootprint&& other) noexcept
+    : bytes_(other.bytes_) {
+  other.bytes_ = 0;
+}
+
+TrackedFootprint& TrackedFootprint::operator=(TrackedFootprint&& other) noexcept {
+  if (this != &other) {
+    if (bytes_ != 0) MemoryStats::instance().remove(bytes_);
+    bytes_ = other.bytes_;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+TrackedFootprint::~TrackedFootprint() {
+  if (bytes_ != 0) MemoryStats::instance().remove(bytes_);
+}
+
+void TrackedFootprint::resize(std::size_t bytes) noexcept {
+  if (bytes == bytes_) return;
+  auto& stats = MemoryStats::instance();
+  if (bytes > bytes_) {
+    stats.add(bytes - bytes_);
+  } else {
+    stats.remove(bytes_ - bytes);
+  }
+  bytes_ = bytes;
+}
+
+}  // namespace psa::support

@@ -1,0 +1,66 @@
+// Byte accounting for the RSG/RSRSG storage pools.
+//
+// Table 1 of the paper reports the *space* the compiler needed per analysis
+// level. 2001-era MB numbers are not portable, so we reproduce the metric
+// itself: every RSG node, link and graph registers its footprint here and the
+// benchmark harness reports live/peak bytes (plus object counts) per run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace psa::support {
+
+/// Snapshot of the accounting counters.
+struct MemorySnapshot {
+  std::uint64_t live_bytes = 0;
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t total_allocated_bytes = 0;
+  std::uint64_t nodes_created = 0;
+  std::uint64_t graphs_created = 0;
+};
+
+/// Process-wide accounting (atomic: the engine may run per-RSG transfers on a
+/// thread pool). `reset()` between benchmark runs.
+class MemoryStats {
+ public:
+  static MemoryStats& instance();
+
+  void add(std::size_t bytes) noexcept;
+  void remove(std::size_t bytes) noexcept;
+  void note_node_created() noexcept { nodes_created_.fetch_add(1, std::memory_order_relaxed); }
+  void note_graph_created() noexcept { graphs_created_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] MemorySnapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> live_bytes_{0};
+  std::atomic<std::uint64_t> peak_bytes_{0};
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::uint64_t> nodes_created_{0};
+  std::atomic<std::uint64_t> graphs_created_{0};
+};
+
+/// RAII registration of a fixed-size footprint.
+class TrackedFootprint {
+ public:
+  TrackedFootprint() noexcept = default;
+  explicit TrackedFootprint(std::size_t bytes) noexcept;
+  TrackedFootprint(const TrackedFootprint& other) noexcept;
+  TrackedFootprint& operator=(const TrackedFootprint& other) noexcept;
+  TrackedFootprint(TrackedFootprint&& other) noexcept;
+  TrackedFootprint& operator=(TrackedFootprint&& other) noexcept;
+  ~TrackedFootprint();
+
+  /// Re-register with a new size (e.g. after a graph mutation).
+  void resize(std::size_t bytes) noexcept;
+
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace psa::support

@@ -1,0 +1,96 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+
+namespace psa::support {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Work-stealing by atomic index: workers grab the next undone iteration.
+  // All state lives in one shared block so tasks that the queue drains late
+  // (after this call returned) touch only valid memory.
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t total;
+    std::function<void(std::size_t)> body;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->total = n;
+  state->body = body;
+
+  auto run_chunk = [state] {
+    std::size_t processed = 0;
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->total) break;
+      state->body(i);
+      ++processed;
+    }
+    if (processed != 0 &&
+        state->done.fetch_add(processed, std::memory_order_acq_rel) +
+                processed ==
+            state->total) {
+      std::lock_guard lock(state->done_mutex);
+      state->done_cv.notify_all();
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), n) - 1;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) tasks_.push(run_chunk);
+  }
+  cv_.notify_all();
+
+  run_chunk();  // the calling thread participates
+
+  std::unique_lock lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+}  // namespace psa::support

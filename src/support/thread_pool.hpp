@@ -1,0 +1,49 @@
+// A small fixed-size thread pool.
+//
+// The abstract-interpretation transfer of one statement maps every RSG of the
+// incoming RSRSG independently (see DESIGN.md §7); ThreadPool::parallel_for
+// distributes those per-RSG transfers. Results are written to per-index slots
+// so the subsequent JOIN runs in deterministic input order — a parallel run
+// produces bit-identical RSRSGs to a serial run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace psa::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Run body(i) for i in [0, n), blocking until all iterations finish.
+  /// Iterations must be independent. Exceptions escaping `body` terminate
+  /// (analysis transfer functions are noexcept by design); callers that can
+  /// fail must capture their own error state.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace psa::support

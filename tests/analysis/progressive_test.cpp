@@ -1,0 +1,120 @@
+// The progressive driver (§5): run L1, escalate on failed criteria.
+#include "analysis/progressive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "client/queries.hpp"
+#include "corpus/corpus.hpp"
+
+namespace psa::analysis {
+namespace {
+
+ShapeCriterion always_pass() {
+  return {"always-pass",
+          [](const ProgramAnalysis&, const AnalysisResult&) { return true; }};
+}
+
+ShapeCriterion always_fail() {
+  return {"always-fail",
+          [](const ProgramAnalysis&, const AnalysisResult&) { return false; }};
+}
+
+/// The canonical C_SPATH1 probe: "may list->nxt alias list->nxt->nxt?" is a
+/// false positive at L1 (the second element summarizes with the deeper ones)
+/// and proven false from L2 on.
+ShapeCriterion second_element_distinct() {
+  return {"second-element-distinct",
+          [](const ProgramAnalysis& program, const AnalysisResult& result) {
+            return !client::paths_may_alias(program,
+                                            result.at_exit(program.cfg),
+                                            "list->nxt", "list->nxt->nxt");
+          }};
+}
+
+TEST(ProgressiveTest, StopsAtL1WhenSatisfied) {
+  const auto program = prepare(corpus::find_program("sll")->source);
+  const auto out = run_progressive(program, {always_pass()});
+  EXPECT_TRUE(out.satisfied);
+  EXPECT_EQ(out.attempts.size(), 1u);
+  EXPECT_EQ(out.final_level(), rsg::AnalysisLevel::kL1);
+}
+
+TEST(ProgressiveTest, RunsAllLevelsWhenNeverSatisfied) {
+  const auto program = prepare(corpus::find_program("sll")->source);
+  const auto out = run_progressive(program, {always_fail()});
+  EXPECT_FALSE(out.satisfied);
+  ASSERT_EQ(out.attempts.size(), 3u);
+  EXPECT_EQ(out.attempts[0].level, rsg::AnalysisLevel::kL1);
+  EXPECT_EQ(out.attempts[1].level, rsg::AnalysisLevel::kL2);
+  EXPECT_EQ(out.attempts[2].level, rsg::AnalysisLevel::kL3);
+  for (const auto& attempt : out.attempts) {
+    ASSERT_EQ(attempt.failed_criteria.size(), 1u);
+    EXPECT_EQ(attempt.failed_criteria[0], "always-fail");
+  }
+}
+
+TEST(ProgressiveTest, EscalatesL1ToL2OnSpathCriterion) {
+  // §5 of the paper: "the compiler analysis comprises three levels" and the
+  // sparse codes stop at L1, Barnes-Hut continues. This is our mechanical
+  // escalation witness: the criterion fails at L1 and passes at L2.
+  const auto program = prepare(corpus::find_program("sll")->source);
+  const auto out = run_progressive(program, {second_element_distinct()});
+  EXPECT_TRUE(out.satisfied);
+  ASSERT_EQ(out.attempts.size(), 2u);
+  EXPECT_EQ(out.final_level(), rsg::AnalysisLevel::kL2);
+  EXPECT_EQ(out.attempts[0].failed_criteria.size(), 1u);
+  EXPECT_TRUE(out.attempts[1].failed_criteria.empty());
+}
+
+TEST(ProgressiveTest, MultipleCriteriaAllChecked) {
+  const auto program = prepare(corpus::find_program("sll")->source);
+  const auto out =
+      run_progressive(program, {always_pass(), second_element_distinct()});
+  EXPECT_TRUE(out.satisfied);
+  EXPECT_EQ(out.final_level(), rsg::AnalysisLevel::kL2);
+}
+
+TEST(ProgressiveTest, NoCriteriaSatisfiedImmediately) {
+  const auto program = prepare(corpus::find_program("sll")->source);
+  const auto out = run_progressive(program, {});
+  EXPECT_TRUE(out.satisfied);
+  EXPECT_EQ(out.attempts.size(), 1u);
+}
+
+TEST(ProgressiveTest, OptionsPropagateToEveryLevel) {
+  const auto program = prepare(corpus::find_program("sll")->source);
+  Options base;
+  base.max_node_visits = 2;  // guarantees the guard-rail status
+  const auto out = run_progressive(program, {always_pass()}, base);
+  // The run cannot converge, so even a passing criterion does not satisfy.
+  EXPECT_FALSE(out.satisfied);
+  for (const auto& attempt : out.attempts) {
+    EXPECT_EQ(attempt.result.status, AnalysisStatus::kIterationLimit);
+  }
+}
+
+TEST(ProgressiveTest, BarnesHutSmallCriteriaFromThePaper) {
+  // §5.1's two shape facts on the reduced Barnes-Hut: no leaf shares a body
+  // (SHSEL(body, bd) = false) and the octree cells are not shared through
+  // the stack's node selector.
+  const auto program =
+      prepare(corpus::find_program("barnes_hut_small")->source);
+  const std::vector<ShapeCriterion> criteria = {
+      {"bodies-unshared-via-bd",
+       [](const ProgramAnalysis& p, const AnalysisResult& r) {
+         return !client::may_be_shared_via(p, r.at_exit(p.cfg), "body", "bd");
+       }},
+      {"cells-unshared-via-stack",
+       [](const ProgramAnalysis& p, const AnalysisResult& r) {
+         return !client::may_be_shared_via(p, r.at_exit(p.cfg), "cell",
+                                           "node");
+       }},
+  };
+  Options base;
+  base.widen_threshold = 0;  // pure paper semantics on the reduced code
+  const auto out = run_progressive(program, criteria, base);
+  EXPECT_TRUE(out.satisfied);
+}
+
+}  // namespace
+}  // namespace psa::analysis

@@ -1,0 +1,222 @@
+// Rsrsg: reduced-set insertion, join-on-insert, equality, widening.
+#include "analysis/rsrsg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/rsg_builder.hpp"
+
+namespace psa::analysis {
+namespace {
+
+using psa::testing::RsgBuilder;
+using rsg::AnalysisLevel;
+using rsg::Cardinality;
+using rsg::NodeRef;
+
+constexpr LevelPolicy kL1{AnalysisLevel::kL1};
+
+TEST(RsrsgTest, StartsEmpty) {
+  Rsrsg set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(RsrsgTest, InsertAddsGraph) {
+  Rsrsg set;
+  RsgBuilder b;
+  b.pvar("x", b.node());
+  EXPECT_TRUE(set.insert(b.g, kL1));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(RsrsgTest, DuplicateRejected) {
+  Rsrsg set;
+  RsgBuilder b;
+  b.pvar("x", b.node());
+  EXPECT_TRUE(set.insert(b.g, kL1));
+  EXPECT_FALSE(set.insert(b.g, kL1));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(RsrsgTest, IsomorphicDuplicateRejected) {
+  Rsrsg set;
+  RsgBuilder a;
+  const NodeRef a1 = a.node();
+  const NodeRef a2 = a.node(Cardinality::kMany);
+  a.pvar("x", a1).link(a1, "nxt", a2);
+  set.insert(a.g, kL1);
+  RsgBuilder b(a.interner_ptr());
+  const NodeRef b2 = b.node(Cardinality::kMany);
+  const NodeRef b1 = b.node();
+  b.pvar("x", b1).link(b1, "nxt", b2);
+  EXPECT_FALSE(set.insert(b.g, kL1));
+}
+
+TEST(RsrsgTest, IncompatibleGraphsCoexist) {
+  Rsrsg set;
+  RsgBuilder a;
+  a.pvar("x", a.node());
+  RsgBuilder b(a.interner_ptr());
+  b.pvar("y", b.node());  // different ALIAS: never joined
+  set.insert(a.g, kL1);
+  set.insert(b.g, kL1);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+/// Two compatible list graphs (2 and 3 elements, same head/last patterns).
+struct CompatiblePair {
+  RsgBuilder a;
+  RsgBuilder b;
+
+  CompatiblePair() : b(a.interner_ptr()) {
+    const NodeRef h1 = a.node();
+    const NodeRef t1 = a.node();
+    a.pvar("x", h1);
+    a.link(h1, "nxt", t1).selout(h1, "nxt").selin(t1, "nxt");
+    const NodeRef h2 = b.node();
+    const NodeRef m2 = b.node();
+    const NodeRef t2 = b.node();
+    b.pvar("x", h2);
+    b.link(h2, "nxt", m2).selout(h2, "nxt").selin(m2, "nxt");
+    b.link(m2, "nxt", t2).selout(m2, "nxt").selin(t2, "nxt");
+  }
+};
+
+TEST(RsrsgTest, CompatibleGraphsJoinOnInsert) {
+  Rsrsg set;
+  CompatiblePair pair;
+  set.insert(pair.a.g, kL1);
+  set.insert(pair.b.g, kL1);
+  EXPECT_EQ(set.size(), 1u);  // fused into one RSG
+}
+
+TEST(RsrsgTest, JoinDisabledKeepsBoth) {
+  Rsrsg set;
+  CompatiblePair pair;
+  set.insert(pair.a.g, kL1, /*enable_join=*/false);
+  set.insert(pair.b.g, kL1, /*enable_join=*/false);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(RsrsgTest, MergeCombinesSets) {
+  Rsrsg a_set;
+  Rsrsg b_set;
+  RsgBuilder a;
+  a.pvar("x", a.node());
+  RsgBuilder b(a.interner_ptr());
+  b.pvar("y", b.node());
+  a_set.insert(a.g, kL1);
+  b_set.insert(b.g, kL1);
+  EXPECT_TRUE(a_set.merge(b_set, kL1));
+  EXPECT_EQ(a_set.size(), 2u);
+  EXPECT_FALSE(a_set.merge(b_set, kL1));  // idempotent
+}
+
+TEST(RsrsgTest, EqualsIsOrderInsensitive) {
+  RsgBuilder a;
+  a.pvar("x", a.node());
+  RsgBuilder b(a.interner_ptr());
+  b.pvar("y", b.node());
+
+  Rsrsg s1;
+  s1.insert(a.g, kL1);
+  s1.insert(b.g, kL1);
+  Rsrsg s2;
+  s2.insert(b.g, kL1);
+  s2.insert(a.g, kL1);
+  EXPECT_TRUE(s1.equals(s2));
+  EXPECT_TRUE(s2.equals(s1));
+}
+
+TEST(RsrsgTest, EqualsDetectsDifference) {
+  RsgBuilder a;
+  a.pvar("x", a.node());
+  Rsrsg s1;
+  s1.insert(a.g, kL1);
+  Rsrsg s2;
+  EXPECT_FALSE(s1.equals(s2));
+}
+
+TEST(RsrsgTest, StatsAccumulate) {
+  Rsrsg set;
+  RsgBuilder a;
+  const NodeRef n1 = a.node();
+  const NodeRef n2 = a.node();
+  a.pvar("x", n1).link(n1, "nxt", n2);
+  set.insert(a.g, kL1);
+  EXPECT_EQ(set.total_nodes(), 2u);
+  EXPECT_GT(set.footprint_bytes(), 0u);
+}
+
+TEST(RsrsgTest, WidenCollapsesAliasEqualMembers) {
+  Rsrsg set;
+  // Three alias-equal but pairwise-incompatible graphs (different SHARED on
+  // a deep node).
+  auto make = [](RsgBuilder& b, int salt) {
+    const NodeRef h = b.node();
+    const NodeRef t = b.node(Cardinality::kMany);
+    b.pvar("x", h).link(h, "nxt", t);
+    if (salt == 1) b.shared(t);
+    if (salt == 2) b.shsel(t, "nxt");
+    b.pos_selin(t, "nxt");
+  };
+  RsgBuilder a;
+  make(a, 0);
+  RsgBuilder b(a.interner_ptr());
+  make(b, 1);
+  RsgBuilder c(a.interner_ptr());
+  make(c, 2);
+  set.insert(a.g, kL1, false);
+  set.insert(b.g, kL1, false);
+  set.insert(c.g, kL1, false);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.widen(kL1, 1));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.widened());
+}
+
+TEST(RsrsgTest, WidenedModeFoldsFurtherInserts) {
+  Rsrsg set;
+  RsgBuilder a;
+  a.pvar("x", a.node());
+  set.insert(a.g, kL1);
+  set.widen(kL1, 1);
+  // Insert an alias-equal graph with extra structure: folds into the member.
+  RsgBuilder b(a.interner_ptr());
+  const NodeRef h = b.node();
+  const NodeRef t = b.node();
+  b.pvar("x", h).link(h, "nxt", t);
+  EXPECT_TRUE(set.insert(b.g, kL1));
+  EXPECT_EQ(set.size(), 1u);
+  // Re-inserting the same information is absorbed silently.
+  RsgBuilder c(a.interner_ptr());
+  const NodeRef h2 = c.node();
+  const NodeRef t2 = c.node();
+  c.pvar("x", h2).link(h2, "nxt", t2);
+  EXPECT_FALSE(set.insert(c.g, kL1));
+}
+
+TEST(RsrsgTest, WidenKeepsAliasDistinctMembers) {
+  Rsrsg set;
+  RsgBuilder a;
+  a.pvar("x", a.node());
+  RsgBuilder b(a.interner_ptr());
+  b.pvar("y", b.node());
+  set.insert(a.g, kL1);
+  set.insert(b.g, kL1);
+  set.widen(kL1, 1);
+  EXPECT_EQ(set.size(), 2u);  // cannot fuse different ALIAS relations
+}
+
+TEST(RsrsgTest, DumpListsMembers) {
+  Rsrsg set;
+  RsgBuilder a;
+  a.pvar("head", a.node());
+  set.insert(a.g, kL1);
+  const std::string text = set.dump(a.interner());
+  EXPECT_NE(text.find("1 graph"), std::string::npos);
+  EXPECT_NE(text.find("head"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psa::analysis

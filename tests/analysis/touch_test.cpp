@@ -1,0 +1,147 @@
+// The TOUCH property (§3): built only at L3, only inside loops, only for
+// induction pvars, and cleared at loop exits.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+
+namespace psa::analysis {
+namespace {
+
+using rsg::NodeRef;
+using rsg::Rsg;
+
+constexpr std::string_view kTraversal = R"(
+  struct node { struct node *nxt; int v; };
+  void main() {
+    struct node *list; struct node *t; struct node *p;
+    int i; int n;
+    list = NULL; i = 0; n = 30;
+    while (i < n) {
+      t = malloc(sizeof(struct node));
+      t->nxt = list;
+      list = t;
+      i = i + 1;
+    }
+    t = NULL;
+    p = list;
+    while (p != NULL) {
+      p->v = 0;
+      p = p->nxt;
+    }
+  }
+)";
+
+struct TouchProbe {
+  ProgramAnalysis program;
+  AnalysisResult result;
+
+  explicit TouchProbe(rsg::AnalysisLevel level) {
+    program = prepare(kTraversal);
+    Options options;
+    options.level = level;
+    result = analyze_program(program, options);
+    EXPECT_TRUE(result.converged());
+  }
+
+  /// Nodes carrying `p` in their TOUCH set at the traversal load p = p->nxt.
+  int touched_at_load() const {
+    const auto p = program.symbol("p");
+    int touched = 0;
+    for (cfg::NodeId id = 0; id < program.cfg.size(); ++id) {
+      const auto& s = program.cfg.node(id).stmt;
+      if (s.op != cfg::SimpleOp::kLoad || s.x != p || s.y != p) continue;
+      for (const Rsg& g : result.per_node[id].graphs()) {
+        for (const NodeRef n : g.node_refs()) {
+          touched += g.props(n).touch.contains(p) ? 1 : 0;
+        }
+      }
+    }
+    return touched;
+  }
+
+  /// Nodes carrying any TOUCH at the function exit.
+  int touched_at_exit() const {
+    int touched = 0;
+    for (const Rsg& g : result.at_exit(program.cfg).graphs()) {
+      for (const NodeRef n : g.node_refs()) {
+        touched += g.props(n).touch.empty() ? 0 : 1;
+      }
+    }
+    return touched;
+  }
+};
+
+TEST(TouchTest, BuiltInsideTheLoopAtL3) {
+  const TouchProbe probe(rsg::AnalysisLevel::kL3);
+  EXPECT_GT(probe.touched_at_load(), 0);
+}
+
+TEST(TouchTest, NotBuiltAtL1OrL2) {
+  EXPECT_EQ(TouchProbe(rsg::AnalysisLevel::kL1).touched_at_load(), 0);
+  EXPECT_EQ(TouchProbe(rsg::AnalysisLevel::kL2).touched_at_load(), 0);
+}
+
+TEST(TouchTest, ClearedAtLoopExit) {
+  const TouchProbe probe(rsg::AnalysisLevel::kL3);
+  EXPECT_EQ(probe.touched_at_exit(), 0);
+}
+
+TEST(TouchTest, L3KeepsVisitedSeparateMidLoop) {
+  // At the traversal load, L3 must hold at least as many nodes as L2: the
+  // visited prefix (touched by p) cannot summarize with the unvisited rest.
+  const TouchProbe l2(rsg::AnalysisLevel::kL2);
+  const TouchProbe l3(rsg::AnalysisLevel::kL3);
+  auto nodes_at_load = [](const TouchProbe& probe) {
+    const auto p = probe.program.symbol("p");
+    std::size_t nodes = 0;
+    for (cfg::NodeId id = 0; id < probe.program.cfg.size(); ++id) {
+      const auto& s = probe.program.cfg.node(id).stmt;
+      if (s.op != cfg::SimpleOp::kLoad || s.x != p || s.y != p) continue;
+      nodes += probe.result.per_node[id].total_nodes();
+    }
+    return nodes;
+  };
+  EXPECT_GE(nodes_at_load(l3), nodes_at_load(l2));
+}
+
+TEST(TouchTest, NonInductionPvarNeverTouches) {
+  // q re-reads the loop-invariant head each iteration: it never advances
+  // over the structure, so it is not an induction pvar and never enters a
+  // TOUCH set even at L3. (A *trailing* pointer `q = p` would rightly be
+  // induction — it visits every node one step behind the cursor.)
+  const auto program = prepare(R"(
+    struct node { struct node *nxt; int v; };
+    void main() {
+      struct node *list; struct node *t; struct node *p; struct node *q;
+      int i; int n;
+      list = NULL; i = 0; n = 30;
+      while (i < n) {
+        t = malloc(sizeof(struct node));
+        t->nxt = list;
+        list = t;
+        i = i + 1;
+      }
+      t = NULL;
+      p = list; q = NULL;
+      while (p != NULL) {
+        q = list;
+        p = p->nxt;
+      }
+    }
+  )");
+  Options options;
+  options.level = rsg::AnalysisLevel::kL3;
+  const auto result = analyze_program(program, options);
+  ASSERT_TRUE(result.converged());
+  const auto q = program.symbol("q");
+  for (const auto& set : result.per_node) {
+    for (const Rsg& g : set.graphs()) {
+      for (const NodeRef n : g.node_refs()) {
+        EXPECT_FALSE(g.props(n).touch.contains(q));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psa::analysis

@@ -1,0 +1,244 @@
+// CFG construction: edges, loop scopes, dominators, natural loops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cfg/cfg.hpp"
+#include "cfg/loops.hpp"
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+
+namespace psa::cfg {
+namespace {
+
+struct Built {
+  lang::TranslationUnit unit;
+  lang::SemaResult sema;
+  Cfg cfg;
+};
+
+Built build(std::string_view src) {
+  support::DiagnosticEngine diags;
+  Built out;
+  out.unit = lang::parse_source(src, diags);
+  out.sema = lang::analyze(out.unit, diags);
+  out.cfg = build_cfg(out.unit, out.sema.functions.at(0), diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return out;
+}
+
+constexpr std::string_view kPrelude =
+    "struct node { struct node *nxt; int val; };\n";
+
+TEST(CfgStructureTest, StraightLineIsAChain) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() { struct node *p; p = NULL; p = malloc(struct node); }
+  )");
+  for (NodeId id = 0; id < b.cfg.size(); ++id) {
+    if (id == b.cfg.exit()) continue;
+    EXPECT_EQ(b.cfg.node(id).succs.size(), 1u) << "node " << id;
+  }
+}
+
+TEST(CfgStructureTest, EntryAndExitAreNops) {
+  const Built b = build("void main() { }");
+  EXPECT_EQ(b.cfg.node(b.cfg.entry()).stmt.op, SimpleOp::kNop);
+  EXPECT_EQ(b.cfg.node(b.cfg.exit()).stmt.op, SimpleOp::kNop);
+}
+
+TEST(CfgStructureTest, IfProducesDiamond) {
+  const Built b = build("void main() { int i; i = 0; if (i < 1) { i = 2; } }");
+  int branches = 0;
+  for (const CfgNode& n : b.cfg.nodes()) {
+    if (n.stmt.op == SimpleOp::kBranch) {
+      ++branches;
+      EXPECT_EQ(n.succs.size(), 2u);
+    }
+  }
+  EXPECT_EQ(branches, 1);
+}
+
+TEST(CfgStructureTest, EdgesAreMirrored) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; p = NULL;
+      while (p != NULL) { p = p->nxt; }
+    }
+  )");
+  for (NodeId id = 0; id < b.cfg.size(); ++id) {
+    for (const NodeId s : b.cfg.node(id).succs) {
+      const auto& preds = b.cfg.node(s).preds;
+      EXPECT_NE(std::find(preds.begin(), preds.end(), id), preds.end());
+    }
+    for (const NodeId p : b.cfg.node(id).preds) {
+      const auto& succs = b.cfg.node(p).succs;
+      EXPECT_NE(std::find(succs.begin(), succs.end(), id), succs.end());
+    }
+  }
+}
+
+TEST(CfgStructureTest, WhileLoopMembersAreMarked) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; p = NULL;
+      while (p != NULL) { p = p->nxt; }
+    }
+  )");
+  ASSERT_EQ(b.cfg.loop_scopes().size(), 1u);
+  const LoopScope& loop = b.cfg.loop_scopes()[0];
+  EXPECT_EQ(loop.id, 1u);
+  EXPECT_FALSE(loop.members.empty());
+  for (const NodeId id : loop.members) {
+    EXPECT_NE(b.cfg.node(id).stmt.op, SimpleOp::kTouchClear);
+  }
+}
+
+TEST(CfgStructureTest, NestedLoopsStackLoopIds) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; struct node *q; p = NULL;
+      while (p != NULL) {
+        q = p;
+        while (q != NULL) { q = q->nxt; }
+        p = p->nxt;
+      }
+    }
+  )");
+  ASSERT_EQ(b.cfg.loop_scopes().size(), 2u);
+  const Symbol q = b.unit.interner->lookup("q");
+  bool found = false;
+  for (NodeId id = 0; id < b.cfg.size(); ++id) {
+    const auto& n = b.cfg.node(id);
+    if (n.stmt.op == SimpleOp::kLoad && n.stmt.x == q && n.stmt.y == q) {
+      EXPECT_EQ(n.loops.size(), 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CfgStructureTest, BreakJumpsToTouchClear) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; p = NULL;
+      while (p != NULL) {
+        if (1 < 2) { break; }
+        p = p->nxt;
+      }
+    }
+  )");
+  for (NodeId id = 0; id < b.cfg.size(); ++id) {
+    if (b.cfg.node(id).stmt.op == SimpleOp::kTouchClear) {
+      EXPECT_GE(b.cfg.node(id).preds.size(), 2u);  // loop exit + break
+    }
+  }
+}
+
+TEST(CfgStructureTest, ReturnLinksToExit) {
+  const Built b = build(R"(
+    void main() {
+      int i; i = 0;
+      if (i < 1) { return; }
+      i = 2;
+    }
+  )");
+  EXPECT_GE(b.cfg.node(b.cfg.exit()).preds.size(), 2u);
+}
+
+TEST(DominatorTest, EntryDominatesEverything) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; p = NULL;
+      while (p != NULL) { p = p->nxt; }
+    }
+  )");
+  const DominatorTree dom(b.cfg);
+  for (NodeId id = 0; id < b.cfg.size(); ++id) {
+    if (!dom.reachable(id)) continue;
+    EXPECT_TRUE(dom.dominates(b.cfg.entry(), id));
+  }
+}
+
+TEST(DominatorTest, LoopHeaderDominatesBody) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; p = NULL;
+      while (p != NULL) { p = p->nxt; }
+    }
+  )");
+  const DominatorTree dom(b.cfg);
+  const LoopScope& loop = b.cfg.loop_scopes()[0];
+  for (const NodeId id : loop.members) {
+    EXPECT_TRUE(dom.dominates(loop.header, id)) << id;
+  }
+}
+
+TEST(DominatorTest, RpoStartsAtEntry) {
+  const Built b = build("void main() { int i; i = 0; }");
+  const DominatorTree dom(b.cfg);
+  ASSERT_FALSE(dom.rpo().empty());
+  EXPECT_EQ(dom.rpo().front(), b.cfg.entry());
+}
+
+TEST(NaturalLoopTest, AgreesWithStructuralLoops) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; struct node *q; p = NULL;
+      while (p != NULL) {
+        q = p;
+        while (q != NULL) { q = q->nxt; }
+        p = p->nxt;
+      }
+      do { p = NULL; } while (1 < 2);
+    }
+  )");
+  const auto natural = compute_natural_loops(b.cfg);
+  EXPECT_EQ(natural.size(), b.cfg.loop_scopes().size());
+  // Every natural-loop body is contained in some structural scope (the
+  // structural scopes are supersets: they also stamp the exit-path assume
+  // arms, which genuine natural loops exclude).
+  for (const NaturalLoop& nl : natural) {
+    bool contained = false;
+    for (const LoopScope& scope : b.cfg.loop_scopes()) {
+      std::vector<NodeId> members = scope.members;
+      std::sort(members.begin(), members.end());
+      bool all = true;
+      for (const NodeId id : nl.body) {
+        if (!std::binary_search(members.begin(), members.end(), id)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) contained = true;
+    }
+    EXPECT_TRUE(contained) << "natural loop at header " << nl.header;
+  }
+}
+
+TEST(NaturalLoopTest, ExitEdgesLeaveTheLoop) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; p = NULL;
+      while (p != NULL) { p = p->nxt; }
+    }
+  )");
+  for (const NaturalLoop& nl : compute_natural_loops(b.cfg)) {
+    for (const auto& [inside, outside] : nl.exit_edges) {
+      EXPECT_TRUE(std::binary_search(nl.body.begin(), nl.body.end(), inside));
+      EXPECT_FALSE(
+          std::binary_search(nl.body.begin(), nl.body.end(), outside));
+    }
+  }
+}
+
+TEST(CfgStructureTest, DumpMentionsStatements) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() { struct node *p; p = malloc(struct node); p->nxt = NULL; }
+  )");
+  const std::string text = b.cfg.dump(*b.unit.interner);
+  EXPECT_NE(text.find("p = malloc"), std::string::npos);
+  EXPECT_NE(text.find("p->nxt = NULL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psa::cfg

@@ -1,0 +1,158 @@
+// Induction-pvar detection (the paper's §3 preprocessing pass).
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hpp"
+#include "cfg/induction.hpp"
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+
+namespace psa::cfg {
+namespace {
+
+struct Built {
+  lang::TranslationUnit unit;
+  lang::SemaResult sema;
+  Cfg cfg;
+  InductionInfo induction;
+};
+
+Built build(std::string_view src) {
+  support::DiagnosticEngine diags;
+  Built out;
+  out.unit = lang::parse_source(src, diags);
+  out.sema = lang::analyze(out.unit, diags);
+  out.cfg = build_cfg(out.unit, out.sema.functions.at(0), diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  out.induction = detect_induction_pvars(out.cfg);
+  return out;
+}
+
+constexpr std::string_view kPrelude =
+    "struct node { struct node *nxt; struct node *prv; int val; };\n"
+    "struct stk { struct stk *nxt; struct node *item; };\n";
+
+TEST(InductionTest, ListTraversalPointerIsInduction) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; p = NULL;
+      while (p != NULL) { p = p->nxt; }
+    }
+  )");
+  const Symbol p = b.unit.interner->lookup("p");
+  EXPECT_TRUE(b.induction.is_induction(1, p));
+}
+
+TEST(InductionTest, NonTraversedPointerIsNot) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; struct node *q; int i;
+      p = NULL; q = NULL; i = 0;
+      while (i < 10) {
+        q = malloc(struct node);
+        i = i + 1;
+      }
+    }
+  )");
+  const Symbol q = b.unit.interner->lookup("q");
+  EXPECT_FALSE(b.induction.is_induction(1, q));
+}
+
+TEST(InductionTest, TraversalThroughCopyChain) {
+  // t = p->nxt; p = t — p derives from itself with one dereference.
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; struct node *t; p = NULL;
+      while (p != NULL) {
+        t = p->nxt;
+        p = t;
+      }
+    }
+  )");
+  const Symbol p = b.unit.interner->lookup("p");
+  const Symbol t = b.unit.interner->lookup("t");
+  EXPECT_TRUE(b.induction.is_induction(1, p));
+  // t derives from the induction pvar p with a dereference: also induction.
+  EXPECT_TRUE(b.induction.is_induction(1, t));
+}
+
+TEST(InductionTest, PureCopyIsNotInduction) {
+  // q = p each iteration never dereferences: not an induction pvar.
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; struct node *q; int i;
+      p = NULL; q = NULL; i = 0;
+      while (i < 10) {
+        q = p;
+        i = i + 1;
+      }
+    }
+  )");
+  const Symbol q = b.unit.interner->lookup("q");
+  EXPECT_FALSE(b.induction.is_induction(1, q));
+}
+
+TEST(InductionTest, StackAssistedTraversal) {
+  // The paper's Barnes-Hut pattern: S walks the stack, and the tree cursor
+  // loads through it — both are induction pvars.
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct stk *S; struct node *cur;
+      S = malloc(struct stk);
+      S->nxt = NULL;
+      while (S != NULL) {
+        cur = S->item;
+        S = S->nxt;
+      }
+    }
+  )");
+  const Symbol s = b.unit.interner->lookup("S");
+  const Symbol cur = b.unit.interner->lookup("cur");
+  // Loop ids: the while loop is loop 1.
+  EXPECT_TRUE(b.induction.is_induction(1, s));
+  EXPECT_TRUE(b.induction.is_induction(1, cur));
+}
+
+TEST(InductionTest, PerLoopScoping) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; struct node *q; int i;
+      p = NULL; q = NULL; i = 0;
+      while (p != NULL) { p = p->nxt; }
+      while (i < 3) { i = i + 1; }
+    }
+  )");
+  const Symbol p = b.unit.interner->lookup("p");
+  EXPECT_TRUE(b.induction.is_induction(1, p));
+  EXPECT_FALSE(b.induction.is_induction(2, p));
+}
+
+TEST(InductionTest, UnknownLoopIdIsFalse) {
+  const Built b = build("void main() { int i; i = 0; }");
+  EXPECT_FALSE(b.induction.is_induction(99, Symbol()));
+}
+
+TEST(InductionTest, BackwardTraversalViaPrv) {
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; p = NULL;
+      while (p != NULL) { p = p->prv; }
+    }
+  )");
+  const Symbol p = b.unit.interner->lookup("p");
+  EXPECT_TRUE(b.induction.is_induction(1, p));
+}
+
+TEST(InductionTest, LoweringTempsParticipate) {
+  // p = p->nxt->nxt goes through a temp; p must still be induction.
+  const Built b = build(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; p = NULL;
+      while (p != NULL) { p = p->nxt->nxt; }
+    }
+  )");
+  const Symbol p = b.unit.interner->lookup("p");
+  EXPECT_TRUE(b.induction.is_induction(1, p));
+}
+
+}  // namespace
+}  // namespace psa::cfg

@@ -1,0 +1,260 @@
+// Lowering of C statements onto the paper's six simple instructions.
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hpp"
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+
+namespace psa::cfg {
+namespace {
+
+struct Lowered {
+  lang::TranslationUnit unit;
+  lang::SemaResult sema;
+  Cfg cfg;
+};
+
+Lowered lower(std::string_view src) {
+  support::DiagnosticEngine diags;
+  Lowered out;
+  out.unit = lang::parse_source(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  out.sema = lang::analyze(out.unit, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  out.cfg = build_cfg(out.unit, out.sema.functions.at(0), diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return out;
+}
+
+std::vector<SimpleOp> pointer_ops(const Cfg& cfg) {
+  std::vector<SimpleOp> ops;
+  for (const CfgNode& n : cfg.nodes()) {
+    if (n.stmt.is_pointer_op()) ops.push_back(n.stmt.op);
+  }
+  return ops;
+}
+
+int count_op(const Cfg& cfg, SimpleOp op) {
+  int n = 0;
+  for (const CfgNode& node : cfg.nodes()) n += node.stmt.op == op ? 1 : 0;
+  return n;
+}
+
+constexpr std::string_view kPrelude =
+    "struct node { struct node *nxt; struct node *prv; int val; };\n";
+
+TEST(LoweringTest, PtrNull) {
+  const Lowered l = lower(std::string(kPrelude) +
+                          "void main() { struct node *p; p = NULL; }");
+  // The declaration emits the initial kill, then the explicit p = NULL.
+  EXPECT_EQ(pointer_ops(l.cfg),
+            (std::vector<SimpleOp>{SimpleOp::kPtrNull, SimpleOp::kPtrNull}));
+}
+
+TEST(LoweringTest, PtrMallocForms) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *a;
+      a = malloc(struct node);
+      a = malloc(sizeof(struct node));
+      a = (struct node*) malloc(sizeof(struct node));
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kPtrMalloc), 3);
+}
+
+TEST(LoweringTest, PtrCopy) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *a; struct node *b;
+      a = malloc(struct node);
+      b = a;
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kPtrCopy), 1);
+}
+
+TEST(LoweringTest, StoreAndStoreNull) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *a; struct node *b;
+      a = malloc(struct node);
+      b = malloc(struct node);
+      a->nxt = b;
+      a->prv = NULL;
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kStore), 1);
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kStoreNull), 1);
+}
+
+TEST(LoweringTest, LoadSimple) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *a; struct node *b;
+      a = malloc(struct node);
+      b = a->nxt;
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kLoad), 1);
+}
+
+TEST(LoweringTest, ChainedLoadUsesTemporaries) {
+  // b = a->nxt->nxt must become __t = a->nxt; b = __t->nxt; __t = NULL.
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *a; struct node *b;
+      a = malloc(struct node);
+      b = a->nxt->nxt;
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kLoad), 2);
+  bool has_temp = false;
+  for (const auto s : l.cfg.pointer_vars()) {
+    if (std::string_view(l.unit.interner->spelling(s)).starts_with("__t"))
+      has_temp = true;
+  }
+  EXPECT_TRUE(has_temp);
+}
+
+TEST(LoweringTest, ChainedStoreBaseUsesTemporaries) {
+  // a->nxt->prv = a becomes __t = a->nxt; __t->prv = a; __t = NULL.
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *a;
+      a = malloc(struct node);
+      a->nxt->prv = a;
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kLoad), 1);
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kStore), 1);
+}
+
+TEST(LoweringTest, TempsAreKilledAfterUse) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *a; struct node *b;
+      a = malloc(struct node);
+      b = a->nxt->nxt;
+    }
+  )");
+  const Symbol t0 = l.unit.interner->lookup("__t0");
+  ASSERT_TRUE(t0.valid());
+  bool killed = false;
+  for (const CfgNode& n : l.cfg.nodes()) {
+    if (n.stmt.op == SimpleOp::kPtrNull && n.stmt.x == t0) killed = true;
+  }
+  EXPECT_TRUE(killed);
+}
+
+TEST(LoweringTest, ScalarFieldAccessYieldsFieldOps) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *a; int x;
+      a = malloc(struct node);
+      a->val = 5;
+      x = a->val;
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kFieldWrite), 1);
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kFieldRead), 1);
+}
+
+TEST(LoweringTest, PureScalarAssignIsOpaque) {
+  const Lowered l = lower("void main() { int i; i = 0; i = i + 1; }");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kScalar), 2);
+  EXPECT_TRUE(pointer_ops(l.cfg).empty());
+}
+
+TEST(LoweringTest, NullTestProducesAssumes) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      while (p != NULL) { p = p->nxt; }
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kAssumeNotNull), 1);
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kAssumeNull), 1);
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kBranch), 1);
+}
+
+TEST(LoweringTest, FieldNullTestLoadsIntoTemp) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      if (p->nxt == NULL) { p = NULL; }
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kLoad), 1);
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kAssumeNull), 1);
+}
+
+TEST(LoweringTest, OpaqueConditionHasNoAssumes) {
+  const Lowered l = lower("void main() { int i; i = 0; if (i < 3) { i = 1; } }");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kAssumeNull), 0);
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kAssumeNotNull), 0);
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kBranch), 1);
+}
+
+TEST(LoweringTest, BarePointerConditionTestsNull) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p;
+      p = NULL;
+      if (p) { p = NULL; } else { p = malloc(struct node); }
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kAssumeNull), 1);
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kAssumeNotNull), 1);
+}
+
+TEST(LoweringTest, FreeLowersToFreeOp) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      free(p);
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kFree), 1);
+}
+
+TEST(LoweringTest, EveryLoopGetsTouchClear) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() {
+      struct node *p; int i;
+      p = NULL;
+      while (p != NULL) { p = p->nxt; }
+      for (i = 0; i < 3; i++) { }
+      do { i = 1; } while (i < 2);
+    }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kTouchClear), 3);
+  EXPECT_EQ(l.cfg.loop_scopes().size(), 3u);
+}
+
+TEST(LoweringTest, UninitializedPointerDeclIsKilled) {
+  const Lowered l =
+      lower(std::string(kPrelude) + "void main() { struct node *p; }");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kPtrNull), 1);
+}
+
+TEST(LoweringTest, DeclWithInitializerLowersAsAssignment) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() { struct node *p = malloc(struct node); }
+  )");
+  EXPECT_EQ(count_op(l.cfg, SimpleOp::kPtrMalloc), 1);
+}
+
+TEST(LoweringTest, PvarStructTypesRecorded) {
+  const Lowered l = lower(std::string(kPrelude) + R"(
+    void main() { struct node *p; p = NULL; }
+  )");
+  const Symbol p = l.unit.interner->lookup("p");
+  ASSERT_TRUE(l.cfg.pvar_struct().count(p));
+}
+
+}  // namespace
+}  // namespace psa::cfg

@@ -1,0 +1,71 @@
+// SimpleStmt rendering and classification.
+#include "cfg/simple_stmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psa::cfg {
+namespace {
+
+struct Fixture {
+  support::Interner interner;
+  Symbol x = interner.intern("x");
+  Symbol y = interner.intern("y");
+  Symbol nxt = interner.intern("nxt");
+
+  SimpleStmt make(SimpleOp op) {
+    SimpleStmt s;
+    s.op = op;
+    s.x = x;
+    s.y = y;
+    s.sel = nxt;
+    s.loop_id = 7;
+    return s;
+  }
+};
+
+TEST(SimpleStmtTest, PointerOpsClassified) {
+  Fixture f;
+  for (const auto op : {SimpleOp::kPtrNull, SimpleOp::kPtrMalloc,
+                        SimpleOp::kPtrCopy, SimpleOp::kStoreNull,
+                        SimpleOp::kStore, SimpleOp::kLoad}) {
+    EXPECT_TRUE(f.make(op).is_pointer_op());
+  }
+  for (const auto op :
+       {SimpleOp::kFree, SimpleOp::kScalar, SimpleOp::kBranch,
+        SimpleOp::kAssumeNull, SimpleOp::kAssumeNotNull, SimpleOp::kTouchClear,
+        SimpleOp::kNop, SimpleOp::kFieldRead, SimpleOp::kFieldWrite}) {
+    EXPECT_FALSE(f.make(op).is_pointer_op());
+  }
+}
+
+TEST(SimpleStmtTest, RendersTheSixStatements) {
+  Fixture f;
+  EXPECT_EQ(to_string(f.make(SimpleOp::kPtrNull), f.interner), "x = NULL");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kPtrMalloc), f.interner), "x = malloc");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kPtrCopy), f.interner), "x = y");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kStoreNull), f.interner),
+            "x->nxt = NULL");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kStore), f.interner), "x->nxt = y");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kLoad), f.interner), "x = y->nxt");
+}
+
+TEST(SimpleStmtTest, RendersBookkeeping) {
+  Fixture f;
+  EXPECT_EQ(to_string(f.make(SimpleOp::kFree), f.interner), "free(x)");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kAssumeNull), f.interner),
+            "assume(x == NULL)");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kAssumeNotNull), f.interner),
+            "assume(x != NULL)");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kTouchClear), f.interner),
+            "<touch-clear loop 7>");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kFieldRead), f.interner),
+            "<read x->nxt>");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kFieldWrite), f.interner),
+            "<write x->nxt>");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kScalar), f.interner), "<scalar>");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kBranch), f.interner), "<branch>");
+  EXPECT_EQ(to_string(f.make(SimpleOp::kNop), f.interner), "<nop>");
+}
+
+}  // namespace
+}  // namespace psa::cfg

@@ -1,0 +1,69 @@
+// Graphviz export.
+#include "client/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/rsrsg.hpp"
+#include "testing/rsg_builder.hpp"
+
+namespace psa::client {
+namespace {
+
+using psa::testing::RsgBuilder;
+using rsg::Cardinality;
+using rsg::NodeRef;
+
+TEST(DotTest, EmptyGraphIsValidDot) {
+  rsg::Rsg g;
+  support::Interner interner;
+  const std::string dot = to_dot(g, interner);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find('}'), std::string::npos);
+}
+
+TEST(DotTest, NodesPvarsLinksRendered) {
+  RsgBuilder b;
+  const NodeRef h = b.node();
+  const NodeRef t = b.node(Cardinality::kMany);
+  b.pvar("head", h).link(h, "nxt", t);
+  const std::string dot = to_dot(b.g, b.interner());
+  EXPECT_NE(dot.find("head"), std::string::npos);
+  EXPECT_NE(dot.find("nxt"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  // Summaries are drawn with double periphery.
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+}
+
+TEST(DotTest, SharingAnnotationsInLabel) {
+  RsgBuilder b;
+  const NodeRef n = b.node();
+  b.pvar("x", n);
+  b.shared(n).shsel(n, "nxt").touch(n, "p");
+  const std::string dot = to_dot(b.g, b.interner());
+  EXPECT_NE(dot.find("SHARED"), std::string::npos);
+  EXPECT_NE(dot.find("SHSEL"), std::string::npos);
+  EXPECT_NE(dot.find("TOUCH"), std::string::npos);
+}
+
+TEST(DotTest, RsrsgRendersClusters) {
+  RsgBuilder a;
+  a.pvar("x", a.node());
+  RsgBuilder b(a.interner_ptr());
+  b.pvar("y", b.node());
+  analysis::Rsrsg set;
+  set.insert(a.g, rsg::LevelPolicy{});
+  set.insert(b.g, rsg::LevelPolicy{});
+  const std::string dot = to_dot(set, a.interner());
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_1"), std::string::npos);
+}
+
+TEST(DotTest, CustomGraphName) {
+  rsg::Rsg g;
+  support::Interner interner;
+  const std::string dot = to_dot(g, interner, "fig1");
+  EXPECT_NE(dot.find("digraph fig1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psa::client

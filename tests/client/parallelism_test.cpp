@@ -1,0 +1,215 @@
+// The loop-parallelism detector (the client pass §5.1 relies on).
+#include "client/parallelism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+
+namespace psa::client {
+namespace {
+
+using analysis::AnalysisResult;
+using analysis::prepare;
+using analysis::ProgramAnalysis;
+
+struct RunResult {
+  ProgramAnalysis program;
+  AnalysisResult result;
+  std::vector<LoopParallelism> loops;
+};
+
+RunResult detect(std::string_view source,
+           rsg::AnalysisLevel level = rsg::AnalysisLevel::kL2) {
+  RunResult r;
+  r.program = prepare(source);
+  analysis::Options options;
+  options.level = level;
+  r.result = analysis::analyze_program(r.program, options);
+  EXPECT_TRUE(r.result.converged());
+  r.loops = detect_parallel_loops(r.program, r.result);
+  return r;
+}
+
+TEST(ParallelismTest, ListUpdateLoopIsParallel) {
+  const RunResult r = detect(R"(
+    struct node { struct node *nxt; int v; };
+    void main() {
+      struct node *list; struct node *t; struct node *p;
+      int i; int n;
+      list = NULL; i = 0; n = 50;
+      while (i < n) {
+        t = malloc(sizeof(struct node));
+        t->nxt = list;
+        list = t;
+        i = i + 1;
+      }
+      t = NULL;
+      p = list;
+      while (p != NULL) {
+        p->v = p->v + 1;
+        p = p->nxt;
+      }
+    }
+  )");
+  ASSERT_EQ(r.loops.size(), 2u);
+  // The traversal loop (the second one) updates disjoint elements.
+  EXPECT_TRUE(r.loops[1].parallelizable) << format_report(r.loops);
+  EXPECT_FALSE(r.loops[1].traversal_selectors.empty());
+  EXPECT_FALSE(r.loops[1].written_selectors.empty());
+}
+
+TEST(ParallelismTest, SharedTailMakesLoopSerial) {
+  // Every element points to one shared sink; the loop writes through the
+  // shared node reached via nxt.
+  const RunResult r = detect(R"(
+    struct node { struct node *nxt; struct node *sink; int v; };
+    void main() {
+      struct node *list; struct node *t; struct node *p; struct node *s;
+      struct node *shared;
+      int i; int n;
+      shared = malloc(sizeof(struct node));
+      list = NULL; i = 0; n = 50;
+      while (i < n) {
+        t = malloc(sizeof(struct node));
+        t->nxt = list;
+        t->sink = shared;
+        list = t;
+        i = i + 1;
+      }
+      t = NULL;
+      p = list;
+      while (p != NULL) {
+        s = p->sink;
+        s->v = s->v + 1;
+        p = p->nxt;
+      }
+    }
+  )");
+  ASSERT_EQ(r.loops.size(), 2u);
+  EXPECT_FALSE(r.loops[1].parallelizable) << format_report(r.loops);
+  EXPECT_FALSE(r.loops[1].conflicts.empty());
+}
+
+TEST(ParallelismTest, DllForwardUpdateParallelDespiteBackPointers) {
+  const RunResult r = detect(corpus::find_program("dll")->source);
+  ASSERT_EQ(r.loops.size(), 3u);
+  // Both traversal loops write only the element under the cursor.
+  EXPECT_TRUE(r.loops[1].parallelizable) << format_report(r.loops);
+  EXPECT_TRUE(r.loops[2].parallelizable) << format_report(r.loops);
+}
+
+TEST(ParallelismTest, PureBuildLoopsReported) {
+  const RunResult r = detect(corpus::find_program("sll")->source);
+  ASSERT_EQ(r.loops.size(), 2u);
+  for (const LoopParallelism& lp : r.loops) {
+    EXPECT_GT(lp.loc.line, 0u);
+  }
+}
+
+TEST(ParallelismTest, ReportFormatsAllLoops) {
+  const RunResult r = detect(corpus::find_program("sll")->source);
+  const std::string report = format_report(r.loops);
+  EXPECT_NE(report.find("loop"), std::string::npos);
+  EXPECT_NE(report.find("L1"), std::string::npos);
+  EXPECT_NE(report.find("L2"), std::string::npos);
+}
+
+TEST(ParallelismTest, BarnesHutSmallForceLoopParallel) {
+  // §5.1's conclusion on the reduced code with pure semantics: the per-body
+  // force loop of step (iii) traverses and updates independent regions.
+  auto program = prepare(corpus::find_program("barnes_hut_small")->source);
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL3;
+  options.widen_threshold = 0;
+  const auto result = analysis::analyze_program(program, options);
+  ASSERT_TRUE(result.converged());
+  const auto loops = detect_parallel_loops(program, result);
+  ASSERT_FALSE(loops.empty());
+  for (const LoopParallelism& lp : loops) {
+    EXPECT_TRUE(lp.parallelizable)
+        << "loop " << lp.loop_id << ": " << format_report(loops);
+  }
+}
+
+TEST(AnnotateTest, ParallelLoopsGetPragmas) {
+  const char* source = R"(struct node { struct node *nxt; int v; };
+void main() {
+  struct node *list; struct node *t; struct node *p;
+  int i;
+  list = NULL;
+  for (i = 0; i < 9; i++) {
+    t = malloc(struct node);
+    t->nxt = list;
+    list = t;
+  }
+  p = list;
+  while (p != NULL) {
+    p->v = 0;
+    p = p->nxt;
+  }
+})";
+  const RunResult r = detect(source);
+  const std::string annotated = annotate_source(source, r.loops);
+  // Both loops are region-parallel; two pragmas, original text preserved.
+  EXPECT_EQ(annotated.find("#pragma omp parallel for"),
+            annotated.rfind("#pragma omp parallel for") == std::string::npos
+                ? annotated.find("#pragma omp parallel for")
+                : annotated.find("#pragma omp parallel for"));
+  std::size_t count = 0;
+  for (std::size_t pos = annotated.find("#pragma");
+       pos != std::string::npos; pos = annotated.find("#pragma", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, r.loops.size());
+  EXPECT_NE(annotated.find("while (p != NULL)"), std::string::npos);
+  EXPECT_NE(annotated.find("for (i = 0; i < 9; i++)"), std::string::npos);
+}
+
+TEST(AnnotateTest, SerialLoopsGetReasonComments) {
+  const RunResult r = detect(R"(struct node { struct node *nxt; struct node *sink; int v; };
+void main() {
+  struct node *list; struct node *t; struct node *p; struct node *s;
+  struct node *shared;
+  int i;
+  shared = malloc(struct node);
+  list = NULL;
+  for (i = 0; i < 9; i++) {
+    t = malloc(struct node);
+    t->nxt = list;
+    t->sink = shared;
+    list = t;
+  }
+  p = list;
+  while (p != NULL) {
+    s = p->sink;
+    s->v = 1;
+    p = p->nxt;
+  }
+})");
+  ASSERT_EQ(r.loops.size(), 2u);
+  ASSERT_FALSE(r.loops[1].parallelizable);
+  const std::string annotated =
+      annotate_source(corpus::find_program("sll")->source, {});
+  EXPECT_EQ(annotated, corpus::find_program("sll")->source);  // no loops: id
+  const char* source = "void main() { int i; while (i < 2) { i = 1; } }";
+  // Fake a serial loop record pointing at line 1.
+  LoopParallelism lp;
+  lp.loop_id = 1;
+  lp.loc = {1, 15};
+  lp.parallelizable = false;
+  lp.conflicts = {"demo conflict"};
+  const std::string out = annotate_source(source, {lp});
+  EXPECT_NE(out.find("psa: serial"), std::string::npos);
+  EXPECT_NE(out.find("demo conflict"), std::string::npos);
+}
+
+TEST(AnnotateTest, OutOfRangeLinesIgnored) {
+  LoopParallelism lp;
+  lp.loc = {999, 1};
+  lp.parallelizable = true;
+  const std::string out = annotate_source("void main() { }", {lp});
+  EXPECT_EQ(out, "void main() { }");
+}
+
+}  // namespace
+}  // namespace psa::client

@@ -1,0 +1,214 @@
+// Shape queries over analysis results.
+#include "client/queries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+
+namespace psa::client {
+namespace {
+
+using analysis::AnalysisResult;
+using analysis::prepare;
+using analysis::ProgramAnalysis;
+
+struct RunResult {
+  ProgramAnalysis program;
+  AnalysisResult result;
+
+  const Rsrsg& exit_set() const { return result.at_exit(program.cfg); }
+};
+
+RunResult run_program(std::string_view name,
+                rsg::AnalysisLevel level = rsg::AnalysisLevel::kL2) {
+  RunResult r;
+  r.program = prepare(corpus::find_program(name)->source);
+  analysis::Options options;
+  options.level = level;
+  r.result = analysis::analyze_program(r.program, options);
+  EXPECT_TRUE(r.result.converged()) << name;
+  return r;
+}
+
+TEST(QueriesTest, SllIsUnsharedAcyclicList) {
+  const RunResult r = run_program("sll");
+  EXPECT_FALSE(may_be_shared(r.program, r.exit_set(), "node"));
+  EXPECT_FALSE(may_be_shared_via(r.program, r.exit_set(), "node", "nxt"));
+  EXPECT_EQ(classify_structure(r.program, r.exit_set(), "list"),
+            StructureKind::kAcyclicList);
+}
+
+TEST(QueriesTest, DllClassifiesAsListDespiteBackPointers) {
+  const RunResult r = run_program("dll");
+  // Every interior element is referenced twice (nxt + prv), but not twice
+  // via any single selector.
+  EXPECT_FALSE(may_be_shared_via(r.program, r.exit_set(), "dnode", "nxt"));
+  EXPECT_FALSE(may_be_shared_via(r.program, r.exit_set(), "dnode", "prv"));
+  const StructureKind kind =
+      classify_structure(r.program, r.exit_set(), "list");
+  EXPECT_TRUE(kind == StructureKind::kAcyclicList ||
+              kind == StructureKind::kTree)
+      << to_string(kind);
+}
+
+TEST(QueriesTest, ReversedListStaysList) {
+  const RunResult r = run_program("list_reverse");
+  EXPECT_EQ(classify_structure(r.program, r.exit_set(), "rev"),
+            StructureKind::kAcyclicList);
+  EXPECT_FALSE(may_be_shared(r.program, r.exit_set(), "node"));
+}
+
+TEST(QueriesTest, BinaryTreeSelectorsUnshared) {
+  // The load-bearing facts: no tree node is reachable twice through lft or
+  // rgt. (Full tree-vs-cyclic classification over summarized subtrees is
+  // conservative: mutual may-links between sibling summaries read as
+  // possible cycles, so classify_structure is only asserted on lists.)
+  const RunResult r = run_program("binary_tree");
+  EXPECT_FALSE(may_be_shared_via(r.program, r.exit_set(), "tnode", "lft"));
+  EXPECT_FALSE(may_be_shared_via(r.program, r.exit_set(), "tnode", "rgt"));
+  EXPECT_NE(classify_structure(r.program, r.exit_set(), "root"),
+            StructureKind::kUnreachable);
+}
+
+TEST(QueriesTest, MayAliasOnCopies) {
+  const auto program = prepare(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *a; struct node *b; struct node *c;
+      a = malloc(struct node);
+      b = a;
+      c = malloc(struct node);
+    }
+  )");
+  const auto result = analysis::analyze_program(program, {});
+  const auto& at_exit = result.at_exit(program.cfg);
+  EXPECT_TRUE(may_alias(program, at_exit, "a", "b"));
+  EXPECT_FALSE(may_alias(program, at_exit, "a", "c"));
+}
+
+TEST(QueriesTest, MayBeNullReflectsControlFlow) {
+  const RunResult r = run_program("sll");
+  // The build loop may run zero times.
+  EXPECT_TRUE(may_be_null(r.program, r.exit_set(), "list"));
+  // p finished its traversal: always NULL.
+  EXPECT_TRUE(may_be_null(r.program, r.exit_set(), "p"));
+}
+
+TEST(QueriesTest, PathsMayAliasLevelLadder) {
+  const RunResult l1 = run_program("sll", rsg::AnalysisLevel::kL1);
+  const RunResult l2 = run_program("sll", rsg::AnalysisLevel::kL2);
+  EXPECT_TRUE(paths_may_alias(l1.program, l1.exit_set(), "list->nxt",
+                              "list->nxt->nxt"));
+  EXPECT_FALSE(paths_may_alias(l2.program, l2.exit_set(), "list->nxt",
+                               "list->nxt->nxt"));
+}
+
+TEST(QueriesTest, PathNeverAliasesDistinctSelectors) {
+  const RunResult r = run_program("two_lists");
+  EXPECT_FALSE(paths_may_alias(r.program, r.exit_set(), "h->la", "h->lb"));
+}
+
+TEST(QueriesTest, RegionsOverlapForAliasedRoots) {
+  const auto program = prepare(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *a; struct node *b;
+      a = malloc(struct node);
+      b = a;
+    }
+  )");
+  const auto result = analysis::analyze_program(program, {});
+  EXPECT_TRUE(
+      regions_may_overlap(program, result.at_exit(program.cfg), "a", "b"));
+}
+
+TEST(QueriesTest, RegionsDisjointForSeparateStructures) {
+  const auto program = prepare(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *a; struct node *b;
+      a = malloc(struct node);
+      b = malloc(struct node);
+    }
+  )");
+  const auto result = analysis::analyze_program(program, {});
+  EXPECT_FALSE(
+      regions_may_overlap(program, result.at_exit(program.cfg), "a", "b"));
+}
+
+TEST(QueriesTest, UnknownNamesAreHandled) {
+  const RunResult r = run_program("sll");
+  EXPECT_FALSE(may_be_shared(r.program, r.exit_set(), "no_such_struct"));
+  EXPECT_FALSE(may_be_shared_via(r.program, r.exit_set(), "node", "no_sel"));
+  EXPECT_FALSE(may_alias(r.program, r.exit_set(), "nope", "list"));
+  EXPECT_EQ(classify_structure(r.program, r.exit_set(), "nope"),
+            StructureKind::kUnreachable);
+}
+
+TEST(QueriesTest, StatsCountGraphsNodesLinks) {
+  const RunResult r = run_program("sll");
+  const SetStats s = stats(r.exit_set());
+  EXPECT_GT(s.graphs, 0u);
+  EXPECT_GT(s.nodes, 0u);
+  EXPECT_GT(s.links, 0u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(QueriesTest, SharedStructureDetected) {
+  const auto program = prepare(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *a; struct node *b; struct node *t;
+      a = malloc(struct node);
+      b = malloc(struct node);
+      t = malloc(struct node);
+      a->nxt = t;
+      b->nxt = t;
+    }
+  )");
+  const auto result = analysis::analyze_program(program, {});
+  const auto& at_exit = result.at_exit(program.cfg);
+  EXPECT_TRUE(may_be_shared(program, at_exit, "node"));
+  EXPECT_TRUE(may_be_shared_via(program, at_exit, "node", "nxt"));
+  EXPECT_EQ(classify_structure(program, at_exit, "a"), StructureKind::kDag);
+}
+
+TEST(QueriesTest, CyclicStructureDetected) {
+  // A 3-cycle through one selector has no explaining cycle-link pairs.
+  const auto program = prepare(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *a; struct node *b; struct node *c;
+      a = malloc(struct node);
+      b = malloc(struct node);
+      c = malloc(struct node);
+      a->nxt = b;
+      b->nxt = c;
+      c->nxt = a;
+    }
+  )");
+  const auto result = analysis::analyze_program(program, {});
+  const auto& at_exit = result.at_exit(program.cfg);
+  EXPECT_EQ(classify_structure(program, at_exit, "a"), StructureKind::kCyclic);
+}
+
+TEST(QueriesTest, MutualPairExplainedByCycleLinks) {
+  // a <-> b through the same selector is fully described by cycle links and
+  // is not reported as an unexplained cycle.
+  const auto program = prepare(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *a; struct node *b;
+      a = malloc(struct node);
+      b = malloc(struct node);
+      a->nxt = b;
+      b->nxt = a;
+    }
+  )");
+  const auto result = analysis::analyze_program(program, {});
+  const auto& at_exit = result.at_exit(program.cfg);
+  EXPECT_NE(classify_structure(program, at_exit, "a"), StructureKind::kCyclic);
+}
+
+}  // namespace
+}  // namespace psa::client

@@ -1,0 +1,61 @@
+// The textual analysis report.
+#include "client/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+
+namespace psa::client {
+namespace {
+
+TEST(ReportTest, SummaryMentionsEverySection) {
+  const auto program =
+      analysis::prepare(corpus::find_program("sll")->source);
+  const auto result = analysis::analyze_program(program, {});
+  const std::string report = format_analysis_report(program, result);
+  EXPECT_NE(report.find("analysis: converged"), std::string::npos);
+  EXPECT_NE(report.find("cfg:"), std::string::npos);
+  EXPECT_NE(report.find("exit state:"), std::string::npos);
+  EXPECT_NE(report.find("sharing facts"), std::string::npos);
+  EXPECT_NE(report.find("loop parallelism:"), std::string::npos);
+  EXPECT_NE(report.find("struct node"), std::string::npos);
+}
+
+TEST(ReportTest, PerStatementSectionOptIn) {
+  const auto program =
+      analysis::prepare(corpus::find_program("sll")->source);
+  const auto result = analysis::analyze_program(program, {});
+  ReportOptions options;
+  EXPECT_EQ(format_analysis_report(program, result, options)
+                .find("per-statement"),
+            std::string::npos);
+  options.per_statement = true;
+  EXPECT_NE(format_analysis_report(program, result, options)
+                .find("per-statement"),
+            std::string::npos);
+}
+
+TEST(ReportTest, SectionsCanBeDisabled) {
+  const auto program =
+      analysis::prepare(corpus::find_program("sll")->source);
+  const auto result = analysis::analyze_program(program, {});
+  ReportOptions options;
+  options.parallelism = false;
+  options.sharing = false;
+  const std::string report = format_analysis_report(program, result, options);
+  EXPECT_EQ(report.find("loop parallelism:"), std::string::npos);
+  EXPECT_EQ(report.find("sharing facts"), std::string::npos);
+}
+
+TEST(ReportTest, GuardRailStatusShown) {
+  const auto program =
+      analysis::prepare(corpus::find_program("sll")->source);
+  analysis::Options options;
+  options.max_node_visits = 2;
+  const auto result = analysis::analyze_program(program, options);
+  const std::string report = format_analysis_report(program, result);
+  EXPECT_NE(report.find("iteration limit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psa::client

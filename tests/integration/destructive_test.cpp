@@ -1,0 +1,194 @@
+// Integration: the destructive-update corpus programs (queue, DLL deletion,
+// list merge, tree mirroring) — the operations §1 motivates ("generated,
+// traversed, and modified").
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "client/parallelism.hpp"
+#include "client/queries.hpp"
+#include "corpus/corpus.hpp"
+
+namespace psa {
+namespace {
+
+using analysis::AnalysisResult;
+using analysis::prepare;
+using analysis::ProgramAnalysis;
+using rsg::kNoNode;
+using rsg::Rsg;
+
+struct RunResult {
+  ProgramAnalysis program;
+  AnalysisResult result;
+
+  const analysis::Rsrsg& exit_set() const { return result.at_exit(program.cfg); }
+};
+
+RunResult run(std::string_view name,
+              rsg::AnalysisLevel level = rsg::AnalysisLevel::kL2) {
+  RunResult r;
+  r.program = prepare(corpus::find_program(name)->source);
+  analysis::Options options;
+  options.level = level;
+  r.result = analysis::analyze_program(r.program, options);
+  EXPECT_TRUE(r.result.converged()) << name;
+  EXPECT_FALSE(r.exit_set().empty()) << name;
+  return r;
+}
+
+TEST(QueueTest, FullyDrainedAtExit) {
+  const RunResult r = run("queue");
+  // The dequeue loop runs to head == NULL on every path.
+  for (const Rsg& g : r.exit_set().graphs()) {
+    EXPECT_EQ(g.pvar_target(r.program.symbol("head")), kNoNode);
+  }
+}
+
+TEST(QueueTest, NeverShared) {
+  const RunResult r = run("queue");
+  EXPECT_FALSE(client::may_be_shared(r.program, r.exit_set(), "qnode"));
+  EXPECT_FALSE(
+      client::may_be_shared_via(r.program, r.exit_set(), "qnode", "nxt"));
+}
+
+TEST(QueueTest, MidProgramHeadTailAliasRepresented) {
+  // After the build loop (before dequeuing) head may alias tail (the
+  // one-element queue) and may not (longer queues): both must be abstractly
+  // represented somewhere in the build loop's exit state. Find the
+  // touch-clear of the first loop and inspect its RSRSG.
+  const RunResult r = run("queue");
+  const auto head = r.program.symbol("head");
+  const auto tail = r.program.symbol("tail");
+  for (cfg::NodeId id = 0; id < r.program.cfg.size(); ++id) {
+    if (r.program.cfg.node(id).stmt.op != cfg::SimpleOp::kTouchClear) continue;
+    if (r.program.cfg.node(id).stmt.loop_id != 1) continue;
+    const auto& set = r.result.per_node[id];
+    bool alias = false;
+    bool no_alias = false;
+    for (const Rsg& g : set.graphs()) {
+      const auto h = g.pvar_target(head);
+      const auto t = g.pvar_target(tail);
+      if (h == kNoNode || t == kNoNode) continue;
+      (h == t ? alias : no_alias) = true;
+    }
+    EXPECT_TRUE(alias);
+    EXPECT_TRUE(no_alias);
+    return;
+  }
+  FAIL() << "touch-clear of the build loop not found";
+}
+
+TEST(DllDeleteTest, ListStaysWellFormed) {
+  const RunResult r = run("dll_delete");
+  EXPECT_FALSE(
+      client::may_be_shared_via(r.program, r.exit_set(), "dnode", "nxt"));
+  EXPECT_FALSE(
+      client::may_be_shared_via(r.program, r.exit_set(), "dnode", "prv"));
+  // The victim was detached and collected: every graph keeps head bound.
+  for (const Rsg& g : r.exit_set().graphs()) {
+    EXPECT_NE(g.pvar_target(r.program.symbol("head")), kNoNode);
+  }
+}
+
+TEST(DllDeleteTest, CycleLinksSurviveTheDeletion) {
+  const RunResult r = run("dll_delete");
+  const rsg::SelPair nxt_prv{r.program.symbol("nxt"), r.program.symbol("prv")};
+  bool found = false;
+  for (const Rsg& g : r.exit_set().graphs()) {
+    for (const auto n : g.node_refs()) {
+      found |= g.props(n).cyclelinks.contains(nxt_prv);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ListMergeTest, MergedListUnshared) {
+  const RunResult r = run("list_merge");
+  EXPECT_FALSE(client::may_be_shared(r.program, r.exit_set(), "node"));
+  EXPECT_FALSE(
+      client::may_be_shared_via(r.program, r.exit_set(), "node", "nxt"));
+}
+
+TEST(ListMergeTest, OutputIsAList) {
+  const RunResult r = run("list_merge");
+  const auto kind = client::classify_structure(r.program, r.exit_set(), "out");
+  EXPECT_TRUE(kind == client::StructureKind::kAcyclicList ||
+              kind == client::StructureKind::kUnreachable)
+      << client::to_string(kind);
+}
+
+TEST(ListMergeTest, SourceHeadsNeverAlias) {
+  // The two source cursors never denote the same location. (Whole-region
+  // disjointness of the residual lists is not provable here: JOIN may fuse
+  // an a-middle of one configuration with a b-middle of another — the
+  // paper's own cross-graph summarization — making the regions overlap
+  // abstractly.)
+  const RunResult r = run("list_merge");
+  EXPECT_FALSE(client::paths_may_alias(r.program, r.exit_set(), "a", "b"));
+}
+
+TEST(TreeMirrorTest, RootSurvivesTheMirror) {
+  // The mirroring loop rebinds lft/rgt of every node (with a transient
+  // double reference during each swap). This code needs the widening, which
+  // keeps the transient sharing conservatively — so the strong assertions
+  // here are convergence, feasibility, and the root staying rooted.
+  const RunResult r = run("tree_mirror");
+  for (const Rsg& g : r.exit_set().graphs()) {
+    EXPECT_NE(g.pvar_target(r.program.symbol("root")), kNoNode);
+  }
+  // The traversal stack fully drains.
+  for (const Rsg& g : r.exit_set().graphs()) {
+    EXPECT_EQ(g.pvar_target(r.program.symbol("S")), kNoNode);
+  }
+}
+
+TEST(TreeMirrorTest, AllLevelsConverge) {
+  for (const auto level : {rsg::AnalysisLevel::kL1, rsg::AnalysisLevel::kL2,
+                           rsg::AnalysisLevel::kL3}) {
+    const RunResult r = run("tree_mirror", level);
+    EXPECT_TRUE(r.result.converged()) << rsg::to_string(level);
+  }
+}
+
+TEST(Em3dTest, GenuineSharingIsDetected) {
+  // The one intentionally-shared corpus structure: several E-nodes may
+  // depend on the same H-node. A sound analysis must NOT prove the H-nodes
+  // unshared.
+  const RunResult r = run("em3d_like");
+  EXPECT_TRUE(
+      client::may_be_shared_via(r.program, r.exit_set(), "hnode", "dep"));
+  EXPECT_TRUE(client::may_be_shared(r.program, r.exit_set(), "hnode"));
+  // The E list itself stays a plain unshared list.
+  EXPECT_FALSE(
+      client::may_be_shared_via(r.program, r.exit_set(), "enode", "nxt"));
+}
+
+TEST(Em3dTest, RelaxationLoopReportedSerial) {
+  // The update loop writes through e->dep, which may alias across
+  // iterations: the detector must not claim it parallel.
+  const RunResult r = run("em3d_like");
+  const auto loops = client::detect_parallel_loops(r.program, r.result);
+  bool found_serial_update = false;
+  for (const auto& lp : loops) {
+    for (const auto& sel : lp.written_selectors) {
+      // The relaxation loop writes the scalar field 'val' through 'dep'.
+      if (sel == "val" && !lp.parallelizable) found_serial_update = true;
+    }
+  }
+  EXPECT_TRUE(found_serial_update)
+      << client::format_report(loops);
+}
+
+TEST(Em3dTest, AllLevelsAgreeOnTheSharing) {
+  // Sharing is real: no level may refine it away.
+  for (const auto level : {rsg::AnalysisLevel::kL1, rsg::AnalysisLevel::kL2,
+                           rsg::AnalysisLevel::kL3}) {
+    const RunResult r = run("em3d_like", level);
+    EXPECT_TRUE(
+        client::may_be_shared_via(r.program, r.exit_set(), "hnode", "dep"))
+        << rsg::to_string(level);
+  }
+}
+
+}  // namespace
+}  // namespace psa

@@ -1,0 +1,96 @@
+// Frontend robustness: arbitrary byte soup and mutated programs must never
+// crash or hang the lexer/parser/sema — they report diagnostics and return.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+
+namespace psa::lang {
+namespace {
+
+class TokenSoupTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TokenSoupTest, RandomTokenSoupIsRejectedGracefully) {
+  std::mt19937 rng(GetParam());
+  static const char* kTokens[] = {
+      "struct", "node",  "{",  "}",  ";",   "*",      "(",    ")",
+      "while",  "if",    "->", "=",  "int", "void",   "main", "NULL",
+      "malloc", "sizeof", ",", "+",  "<",   "else",   "for",  "free",
+      "x",      "y",     "1",  "&&", "!",   "return", ".",    "==",
+  };
+  std::string source;
+  const int tokens = 5 + static_cast<int>(rng() % 120);
+  for (int i = 0; i < tokens; ++i) {
+    source += kTokens[rng() % (sizeof(kTokens) / sizeof(kTokens[0]))];
+    source += ' ';
+  }
+  support::DiagnosticEngine diags;
+  TranslationUnit unit = parse_source(source, diags);
+  if (!diags.has_errors()) {
+    // A syntactically valid accident: sema must also terminate cleanly.
+    (void)analyze(unit, diags);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenSoupTest, ::testing::Range(0u, 32u));
+
+class ByteSoupTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ByteSoupTest, RandomBytesAreRejectedGracefully) {
+  std::mt19937 rng(GetParam());
+  std::string source;
+  const int bytes = static_cast<int>(rng() % 300);
+  for (int i = 0; i < bytes; ++i) {
+    source += static_cast<char>(32 + rng() % 95);  // printable ASCII
+  }
+  support::DiagnosticEngine diags;
+  (void)parse_source(source, diags);
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteSoupTest, ::testing::Range(0u, 32u));
+
+TEST(FrontendFuzzTest, TruncatedValidProgram) {
+  const std::string full = R"(
+    struct node { struct node *nxt; int v; };
+    void main() {
+      struct node *p;
+      p = malloc(sizeof(struct node));
+      while (p != NULL) { p = p->nxt; }
+    }
+  )";
+  for (std::size_t len = 0; len <= full.size(); len += 7) {
+    support::DiagnosticEngine diags;
+    (void)parse_source(std::string_view(full).substr(0, len), diags);
+  }
+  SUCCEED();
+}
+
+TEST(FrontendFuzzTest, DeeplyNestedBlocks) {
+  std::string source = "void main() { int i; i = 0; ";
+  for (int i = 0; i < 200; ++i) source += "if (i < 1) { ";
+  source += "i = 2; ";
+  for (int i = 0; i < 200; ++i) source += "} ";
+  source += "}";
+  support::DiagnosticEngine diags;
+  TranslationUnit unit = parse_source(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  (void)analyze(unit, diags);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(FrontendFuzzTest, ManyErrorsAreCapped) {
+  // The parser caps error cascades instead of looping.
+  std::string source;
+  for (int i = 0; i < 500; ++i) source += "@ ";
+  support::DiagnosticEngine diags;
+  (void)parse_source(source, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace psa::lang

@@ -1,0 +1,128 @@
+#include "lang/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psa::lang {
+namespace {
+
+std::vector<Token> lex(std::string_view src, support::DiagnosticEngine& diags) {
+  Lexer lexer(src, diags);
+  return lexer.lex_all();
+}
+
+std::vector<TokenKind> kinds(std::string_view src) {
+  support::DiagnosticEngine diags;
+  std::vector<TokenKind> out;
+  for (const Token& t : lex(src, diags)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  EXPECT_EQ(kinds(""), (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(kinds("struct while if"),
+            (std::vector<TokenKind>{TokenKind::kKwStruct, TokenKind::kKwWhile,
+                                    TokenKind::kKwIf, TokenKind::kEof}));
+}
+
+TEST(LexerTest, NullAndMallocAreKeywords) {
+  EXPECT_EQ(kinds("NULL malloc free sizeof"),
+            (std::vector<TokenKind>{TokenKind::kKwNull, TokenKind::kKwMalloc,
+                                    TokenKind::kKwFree, TokenKind::kKwSizeof,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, IdentifiersAndLiterals) {
+  support::DiagnosticEngine diags;
+  const auto toks = lex("foo _bar x1 42 3.14 1e5", diags);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[2].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[3].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(toks[4].kind, TokenKind::kFloatLiteral);
+  EXPECT_EQ(toks[5].kind, TokenKind::kFloatLiteral);
+}
+
+TEST(LexerTest, ArrowVsMinus) {
+  EXPECT_EQ(kinds("a->b a-b a--"),
+            (std::vector<TokenKind>{
+                TokenKind::kIdentifier, TokenKind::kArrow,
+                TokenKind::kIdentifier, TokenKind::kIdentifier,
+                TokenKind::kMinus, TokenKind::kIdentifier,
+                TokenKind::kIdentifier, TokenKind::kMinusMinus,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  EXPECT_EQ(kinds("== != <= >= < > ="),
+            (std::vector<TokenKind>{TokenKind::kEq, TokenKind::kNe,
+                                    TokenKind::kLe, TokenKind::kGe,
+                                    TokenKind::kLt, TokenKind::kGt,
+                                    TokenKind::kAssign, TokenKind::kEof}));
+}
+
+TEST(LexerTest, LogicalOperators) {
+  EXPECT_EQ(kinds("&& || ! &"),
+            (std::vector<TokenKind>{TokenKind::kAndAnd, TokenKind::kOrOr,
+                                    TokenKind::kNot, TokenKind::kAmp,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  EXPECT_EQ(kinds("a // comment \n b"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier, TokenKind::kEof}));
+}
+
+TEST(LexerTest, BlockCommentsSkipped) {
+  EXPECT_EQ(kinds("a /* x \n y */ b"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier, TokenKind::kEof}));
+}
+
+TEST(LexerTest, PreprocessorLinesSkipped) {
+  EXPECT_EQ(kinds("#include <stdio.h>\nint"),
+            (std::vector<TokenKind>{TokenKind::kKwInt, TokenKind::kEof}));
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  support::DiagnosticEngine diags;
+  const auto toks = lex("a\n  b", diags);
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentReported) {
+  support::DiagnosticEngine diags;
+  (void)lex("a /* never closed", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, UnexpectedCharacterReported) {
+  support::DiagnosticEngine diags;
+  (void)lex("a $ b", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, StringAndCharLiterals) {
+  EXPECT_EQ(kinds("\"hi\" 'c'"),
+            (std::vector<TokenKind>{TokenKind::kStringLiteral,
+                                    TokenKind::kCharLiteral, TokenKind::kEof}));
+}
+
+TEST(LexerTest, CompoundAssignments) {
+  EXPECT_EQ(kinds("+= -= ++"),
+            (std::vector<TokenKind>{TokenKind::kPlusAssign,
+                                    TokenKind::kMinusAssign,
+                                    TokenKind::kPlusPlus, TokenKind::kEof}));
+}
+
+}  // namespace
+}  // namespace psa::lang

@@ -1,0 +1,235 @@
+#include "lang/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psa::lang {
+namespace {
+
+TranslationUnit parse_ok(std::string_view src) {
+  support::DiagnosticEngine diags;
+  TranslationUnit unit = parse_source(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return unit;
+}
+
+bool parse_fails(std::string_view src) {
+  support::DiagnosticEngine diags;
+  (void)parse_source(src, diags);
+  return diags.has_errors();
+}
+
+TEST(ParserTest, EmptyUnit) {
+  const TranslationUnit unit = parse_ok("");
+  EXPECT_TRUE(unit.functions.empty());
+  EXPECT_EQ(unit.types.struct_count(), 0u);
+}
+
+TEST(ParserTest, StructWithSelectors) {
+  const TranslationUnit unit = parse_ok(
+      "struct node { struct node *nxt; struct node *prv; int val; };");
+  ASSERT_EQ(unit.types.struct_count(), 1u);
+  const StructDecl& decl = unit.types.struct_decl(static_cast<StructId>(0));
+  EXPECT_EQ(unit.interner->spelling(decl.name), "node");
+  ASSERT_EQ(decl.fields.size(), 3u);
+  EXPECT_TRUE(decl.fields[0].is_selector());
+  EXPECT_TRUE(decl.fields[1].is_selector());
+  EXPECT_FALSE(decl.fields[2].is_selector());
+  EXPECT_EQ(decl.selectors().size(), 2u);
+}
+
+TEST(ParserTest, ForwardReferenceBetweenStructs) {
+  const TranslationUnit unit = parse_ok(R"(
+    struct a { struct b *to_b; };
+    struct b { struct a *to_a; };
+  )");
+  EXPECT_EQ(unit.types.struct_count(), 2u);
+  EXPECT_EQ(unit.types.all_selectors().size(), 2u);
+}
+
+TEST(ParserTest, SimpleFunction) {
+  const TranslationUnit unit = parse_ok(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *p;
+      p = NULL;
+    }
+  )");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_NE(unit.find_function("main"), nullptr);
+  EXPECT_EQ(unit.find_function("other"), nullptr);
+}
+
+TEST(ParserTest, MallocShorthandAndSizeofForms) {
+  const TranslationUnit unit = parse_ok(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *a; struct node *b; struct node *c;
+      a = malloc(struct node);
+      b = malloc(sizeof(struct node));
+      c = (struct node*) malloc(sizeof(struct node));
+    }
+  )");
+  const auto& body = unit.functions[0].body->body;
+  // decl, three assignments
+  ASSERT_GE(body.size(), 4u);
+}
+
+TEST(ParserTest, WhileLoopWithNullCheck) {
+  const TranslationUnit unit = parse_ok(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *p;
+      p = NULL;
+      while (p != NULL) { p = p->nxt; }
+    }
+  )");
+  const auto& body = unit.functions[0].body->body;
+  bool has_while = false;
+  for (const auto& s : body) has_while |= s->kind == StmtKind::kWhile;
+  EXPECT_TRUE(has_while);
+}
+
+TEST(ParserTest, ForLoopDesugar) {
+  const TranslationUnit unit = parse_ok(R"(
+    void main() {
+      int i;
+      for (i = 0; i < 10; i++) { }
+    }
+  )");
+  const auto& body = unit.functions[0].body->body;
+  bool has_for = false;
+  for (const auto& s : body) {
+    if (s->kind == StmtKind::kFor) {
+      has_for = true;
+      EXPECT_NE(s->init, nullptr);
+      EXPECT_NE(s->cond, nullptr);
+      ASSERT_NE(s->step, nullptr);
+      // i++ desugars to i = i + 1
+      EXPECT_EQ(s->step->kind, StmtKind::kAssign);
+    }
+  }
+  EXPECT_TRUE(has_for);
+}
+
+TEST(ParserTest, DoWhile) {
+  const TranslationUnit unit = parse_ok(R"(
+    void main() {
+      int i;
+      i = 0;
+      do { i = i + 1; } while (i < 3);
+    }
+  )");
+  bool has_do = false;
+  for (const auto& s : unit.functions[0].body->body)
+    has_do |= s->kind == StmtKind::kDoWhile;
+  EXPECT_TRUE(has_do);
+}
+
+TEST(ParserTest, CompoundAssignDesugar) {
+  const TranslationUnit unit = parse_ok(R"(
+    void main() {
+      int i;
+      i = 0;
+      i += 5;
+    }
+  )");
+  const auto& body = unit.functions[0].body->body;
+  const Stmt& s = *body.back();
+  ASSERT_EQ(s.kind, StmtKind::kAssign);
+  ASSERT_EQ(s.rhs->kind, ExprKind::kBinary);
+  EXPECT_EQ(s.rhs->binary_op, BinaryOp::kAdd);
+}
+
+TEST(ParserTest, FieldChainParses) {
+  const TranslationUnit unit = parse_ok(R"(
+    struct node { struct node *nxt; int v; };
+    void main() {
+      struct node *p; int x;
+      p = malloc(struct node);
+      x = p->nxt->v;
+    }
+  )");
+  const Stmt& s = *unit.functions[0].body->body.back();
+  ASSERT_EQ(s.kind, StmtKind::kAssign);
+  ASSERT_EQ(s.rhs->kind, ExprKind::kFieldAccess);
+  EXPECT_EQ(s.rhs->lhs->kind, ExprKind::kFieldAccess);
+}
+
+TEST(ParserTest, PrecedenceOfArithmetic) {
+  const TranslationUnit unit = parse_ok(R"(
+    void main() { int x; x = 1 + 2 * 3; }
+  )");
+  const Stmt& s = *unit.functions[0].body->body.back();
+  ASSERT_EQ(s.rhs->kind, ExprKind::kBinary);
+  EXPECT_EQ(s.rhs->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(s.rhs->rhs->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, BreakContinueReturnFree) {
+  const TranslationUnit unit = parse_ok(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      while (1 < 2) {
+        if (1 < 2) { break; }
+        continue;
+      }
+      free(p);
+      return;
+    }
+  )");
+  EXPECT_EQ(unit.functions.size(), 1u);
+}
+
+TEST(ParserTest, FunctionParameters) {
+  const TranslationUnit unit = parse_ok(R"(
+    struct node { struct node *nxt; };
+    int helper(int a, double b) { return 0; }
+  )");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_EQ(unit.functions[0].params.size(), 2u);
+}
+
+TEST(ParserTest, RejectsMultiLevelPointers) {
+  EXPECT_TRUE(parse_fails(R"(
+    struct node { struct node **grid; };
+  )"));
+}
+
+TEST(ParserTest, RejectsByValueStructLocals) {
+  EXPECT_TRUE(parse_fails(R"(
+    struct node { int v; };
+    void main() { struct node n; }
+  )"));
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_TRUE(parse_fails("@@@"));
+  EXPECT_TRUE(parse_fails("void main() { while } "));
+}
+
+TEST(ParserTest, DumpStmtIsStable) {
+  const TranslationUnit unit = parse_ok(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      p->nxt = NULL;
+    }
+  )");
+  const std::string text = dump_stmt(*unit.functions[0].body, *unit.interner);
+  EXPECT_NE(text.find("p->nxt = NULL"), std::string::npos);
+  EXPECT_NE(text.find("malloc(struct node)"), std::string::npos);
+}
+
+TEST(ParserTest, ScalarArraysAcceptedAsOpaque) {
+  const TranslationUnit unit = parse_ok(R"(
+    struct node { struct node *nxt; double coords[3]; };
+    void main() { int buf[8]; }
+  )");
+  EXPECT_EQ(unit.types.all_selectors().size(), 1u);
+}
+
+}  // namespace
+}  // namespace psa::lang

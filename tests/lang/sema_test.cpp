@@ -1,0 +1,169 @@
+#include "lang/sema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+
+namespace psa::lang {
+namespace {
+
+struct SemaRun {
+  TranslationUnit unit;
+  SemaResult result;
+  support::DiagnosticEngine diags;
+};
+
+SemaRun run_sema(std::string_view src) {
+  SemaRun run;
+  run.unit = parse_source(src, run.diags);
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+  run.result = analyze(run.unit, run.diags);
+  return run;
+}
+
+TEST(SemaTest, CollectsPointerVars) {
+  SemaRun run = run_sema(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *a; struct node *b; int i;
+      a = NULL; b = NULL; i = 0;
+    }
+  )");
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+  ASSERT_EQ(run.result.functions.size(), 1u);
+  EXPECT_EQ(run.result.functions[0].pointer_vars.size(), 2u);
+  EXPECT_EQ(run.result.functions[0].variables.size(), 3u);
+}
+
+TEST(SemaTest, ParamsAreVariables) {
+  SemaRun run = run_sema(R"(
+    void f(int a, double b) { a = 1; }
+  )");
+  EXPECT_FALSE(run.diags.has_errors());
+  EXPECT_EQ(run.result.functions[0].variables.size(), 2u);
+}
+
+TEST(SemaTest, RejectsUndeclaredVariable) {
+  SemaRun run = run_sema(R"(
+    void main() { x = 1; }
+  )");
+  EXPECT_TRUE(run.diags.has_errors());
+}
+
+TEST(SemaTest, RejectsRedeclaration) {
+  SemaRun run = run_sema(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *p;
+      p = NULL;
+      if (1 < 2) { struct node *p; p = NULL; }
+    }
+  )");
+  EXPECT_TRUE(run.diags.has_errors());
+}
+
+TEST(SemaTest, RejectsUnknownField) {
+  SemaRun run = run_sema(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      p->missing = NULL;
+    }
+  )");
+  EXPECT_TRUE(run.diags.has_errors());
+}
+
+TEST(SemaTest, RejectsArrowOnNonPointer) {
+  SemaRun run = run_sema(R"(
+    void main() { int i; i = 0; i->x = 1; }
+  )");
+  EXPECT_TRUE(run.diags.has_errors());
+}
+
+TEST(SemaTest, RejectsCrossTypePointerAssignment) {
+  SemaRun run = run_sema(R"(
+    struct a { struct a *n; };
+    struct b { struct b *n; };
+    void main() {
+      struct a *pa; struct b *pb;
+      pa = malloc(struct a);
+      pb = malloc(struct b);
+      pa = pb;
+    }
+  )");
+  EXPECT_TRUE(run.diags.has_errors());
+}
+
+TEST(SemaTest, MallocTypeFromAssignmentContext) {
+  SemaRun run = run_sema(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *p;
+      p = malloc(sizeof(p));
+    }
+  )");
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+}
+
+TEST(SemaTest, RejectsPointerArgumentsToCalls) {
+  SemaRun run = run_sema(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      visit(p);
+    }
+  )");
+  EXPECT_TRUE(run.diags.has_errors());
+}
+
+TEST(SemaTest, ScalarCallsAreOpaqueAndAllowed) {
+  SemaRun run = run_sema(R"(
+    void main() {
+      int i;
+      i = rand();
+      printf("x");
+    }
+  )");
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+}
+
+TEST(SemaTest, NullComparisonGetsPointerContext) {
+  SemaRun run = run_sema(R"(
+    struct node { struct node *nxt; };
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      if (p->nxt == NULL) { p = NULL; }
+    }
+  )");
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+}
+
+TEST(SemaTest, FieldTypesResolved) {
+  SemaRun run = run_sema(R"(
+    struct node { struct node *nxt; int v; };
+    void main() {
+      struct node *p; int x;
+      p = malloc(struct node);
+      x = p->v;
+      p = p->nxt;
+    }
+  )");
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+}
+
+TEST(SemaTest, FindByName) {
+  SemaRun run = run_sema(R"(
+    void foo() { }
+    void bar() { }
+  )");
+  const Symbol foo = run.unit.interner->lookup("foo");
+  ASSERT_TRUE(foo.valid());
+  ASSERT_NE(run.result.find(foo), nullptr);
+  EXPECT_EQ(run.result.find(Symbol()), nullptr);
+}
+
+}  // namespace
+}  // namespace psa::lang

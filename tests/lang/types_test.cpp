@@ -1,0 +1,87 @@
+// TypeTable and Type representation.
+#include "lang/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/interner.hpp"
+
+namespace psa::lang {
+namespace {
+
+TEST(TypeTest, ScalarConstruction) {
+  const Type t = Type::scalar_type(ScalarKind::kDouble);
+  EXPECT_EQ(t.kind, Type::Kind::kScalar);
+  EXPECT_FALSE(t.is_pointer());
+  EXPECT_FALSE(t.is_struct_pointer());
+}
+
+TEST(TypeTest, StructPointerConstruction) {
+  const Type t = Type::pointer_to_struct(static_cast<StructId>(3));
+  EXPECT_TRUE(t.is_pointer());
+  EXPECT_TRUE(t.is_struct_pointer());
+  EXPECT_EQ(*t.struct_id, static_cast<StructId>(3));
+}
+
+TEST(TypeTest, ScalarPointerIsNotStructPointer) {
+  const Type t = Type::pointer_to_scalar(ScalarKind::kChar);
+  EXPECT_TRUE(t.is_pointer());
+  EXPECT_FALSE(t.is_struct_pointer());
+}
+
+TEST(TypeTest, Equality) {
+  EXPECT_EQ(Type::scalar_type(ScalarKind::kInt),
+            Type::scalar_type(ScalarKind::kInt));
+  EXPECT_NE(Type::scalar_type(ScalarKind::kInt),
+            Type::scalar_type(ScalarKind::kFloat));
+  EXPECT_EQ(Type::pointer_to_struct(static_cast<StructId>(1)),
+            Type::pointer_to_struct(static_cast<StructId>(1)));
+  EXPECT_NE(Type::pointer_to_struct(static_cast<StructId>(1)),
+            Type::pointer_to_struct(static_cast<StructId>(2)));
+}
+
+TEST(TypeTableTest, DeclareIsIdempotent) {
+  support::Interner interner;
+  TypeTable table;
+  const auto a = table.declare_struct(interner.intern("a"));
+  const auto a2 = table.declare_struct(interner.intern("a"));
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(table.struct_count(), 1u);
+}
+
+TEST(TypeTableTest, FindStruct) {
+  support::Interner interner;
+  TypeTable table;
+  const auto a = table.declare_struct(interner.intern("a"));
+  EXPECT_EQ(table.find_struct(interner.intern("a")), a);
+  EXPECT_FALSE(table.find_struct(interner.intern("missing")).has_value());
+}
+
+TEST(TypeTableTest, FieldsAndSelectors) {
+  support::Interner interner;
+  TypeTable table;
+  const auto id = table.declare_struct(interner.intern("node"));
+  auto& decl = table.struct_decl(id);
+  decl.fields.push_back(Field{interner.intern("nxt"),
+                              Type::pointer_to_struct(id)});
+  decl.fields.push_back(
+      Field{interner.intern("v"), Type::scalar_type(ScalarKind::kInt)});
+
+  EXPECT_NE(decl.find_field(interner.intern("nxt")), nullptr);
+  EXPECT_EQ(decl.find_field(interner.intern("zzz")), nullptr);
+  EXPECT_EQ(decl.selectors().size(), 1u);
+  EXPECT_EQ(table.all_selectors().size(), 1u);
+}
+
+TEST(TypeTableTest, AllSelectorsDeduplicatesAcrossStructs) {
+  support::Interner interner;
+  TypeTable table;
+  const auto a = table.declare_struct(interner.intern("a"));
+  const auto b = table.declare_struct(interner.intern("b"));
+  const auto nxt = interner.intern("nxt");
+  table.struct_decl(a).fields.push_back(Field{nxt, Type::pointer_to_struct(a)});
+  table.struct_decl(b).fields.push_back(Field{nxt, Type::pointer_to_struct(b)});
+  EXPECT_EQ(table.all_selectors().size(), 1u);
+}
+
+}  // namespace
+}  // namespace psa::lang

@@ -1,0 +1,150 @@
+// Compatibility functions: C_SPATH / C_REFPAT / C_NODES / C_NODES_RSG.
+#include "rsg/compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/rsg_builder.hpp"
+
+namespace psa::rsg {
+namespace {
+
+using psa::testing::RsgBuilder;
+
+constexpr LevelPolicy kL1{AnalysisLevel::kL1};
+constexpr LevelPolicy kL2{AnalysisLevel::kL2};
+constexpr LevelPolicy kL3{AnalysisLevel::kL3};
+
+TEST(CSpathTest, L1ComparesZeroLengthOnly) {
+  RsgBuilder b;
+  const NodeRef h = b.node();
+  const NodeRef second = b.node();
+  const NodeRef third = b.node();
+  b.pvar("p", h).link(h, "nxt", second).link(second, "nxt", third);
+
+  const auto ctx = compute_compat_contexts(b.g);
+  // second (1 step from p) and third (2 steps): same zero-length SPATH (both
+  // empty), so L1 considers them compatible.
+  EXPECT_TRUE(c_spath(ctx[second], ctx[third], kL1));
+  // L2 additionally needs a shared one-length path; second has <p,nxt>,
+  // third has none.
+  EXPECT_FALSE(c_spath(ctx[second], ctx[third], kL2));
+  // The head (pvar-pointed) never matches the others at any level.
+  EXPECT_FALSE(c_spath(ctx[h], ctx[second], kL1));
+}
+
+TEST(CSpathTest, L2VacuouslyCompatibleWhenBothDeep) {
+  RsgBuilder b;
+  const NodeRef h = b.node();
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  const NodeRef d = b.node();
+  b.pvar("p", h).link(h, "nxt", a).link(a, "nxt", c).link(c, "nxt", d);
+  const auto ctx = compute_compat_contexts(b.g);
+  // c and d are both >= 2 steps away: one-length sets both empty.
+  EXPECT_TRUE(c_spath(ctx[c], ctx[d], kL2));
+}
+
+TEST(CSpathTest, L2SharedOneLengthPath) {
+  RsgBuilder b;
+  const NodeRef h = b.node();
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.pvar("p", h).link(h, "nxt", a).link(h, "nxt", c);
+  const auto ctx = compute_compat_contexts(b.g);
+  // Both reached via <p,nxt>: share a one-length path.
+  EXPECT_TRUE(c_spath(ctx[a], ctx[c], kL2));
+}
+
+TEST(CRefpatTest, EqualPatternsAreCompatible) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.selin(a, "nxt").selout(a, "nxt");
+  b.selin(c, "nxt").selout(c, "nxt");
+  EXPECT_TRUE(c_refpat(b.g.props(a), b.g.props(c)));
+}
+
+TEST(CRefpatTest, DefiniteVsImpossibleSeparates) {
+  // A list's last element (selout = {prv}) vs its middles (selout =
+  // {nxt, prv}): the middles definitely have nxt, the last cannot.
+  RsgBuilder b;
+  const NodeRef middle = b.node();
+  const NodeRef last = b.node();
+  b.selout(middle, "nxt").selout(middle, "prv");
+  b.selout(last, "prv");
+  EXPECT_FALSE(c_refpat(b.g.props(middle), b.g.props(last)));
+}
+
+TEST(CRefpatTest, DefiniteCoveredByPossibleIsCompatible) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.selout(a, "nxt");
+  b.pos_selout(c, "nxt");  // c possibly has nxt: compatible with definite
+  EXPECT_TRUE(c_refpat(b.g.props(a), b.g.props(c)));
+}
+
+TEST(CNodesTest, RequiresSameType) {
+  RsgBuilder b;
+  const NodeRef a = b.node(Cardinality::kOne, /*type=*/0);
+  const NodeRef c = b.node(Cardinality::kOne, /*type=*/1);
+  const auto ctx = compute_compat_contexts(b.g);
+  EXPECT_FALSE(c_nodes(b.g.props(a), ctx[a], b.g.props(c), ctx[c], kL1));
+}
+
+TEST(CNodesTest, RequiresSameSharing) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.shared(a);
+  const auto ctx = compute_compat_contexts(b.g);
+  EXPECT_FALSE(c_nodes(b.g.props(a), ctx[a], b.g.props(c), ctx[c], kL1));
+}
+
+TEST(CNodesTest, RequiresSameShsel) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.shsel(a, "nxt");
+  const auto ctx = compute_compat_contexts(b.g);
+  EXPECT_FALSE(c_nodes(b.g.props(a), ctx[a], b.g.props(c), ctx[c], kL1));
+}
+
+TEST(CNodesTest, TouchComparedOnlyAtL3) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.touch(a, "p");
+  const auto ctx = compute_compat_contexts(b.g);
+  EXPECT_TRUE(c_nodes(b.g.props(a), ctx[a], b.g.props(c), ctx[c], kL1));
+  EXPECT_TRUE(c_nodes(b.g.props(a), ctx[a], b.g.props(c), ctx[c], kL2));
+  EXPECT_FALSE(c_nodes(b.g.props(a), ctx[a], b.g.props(c), ctx[c], kL3));
+}
+
+TEST(CNodesRsgTest, AddsStructureRequirement) {
+  // Two isolated nodes (distinct components) are C_NODES-compatible but not
+  // C_NODES_RSG-compatible.
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  const auto ctx = compute_compat_contexts(b.g);
+  EXPECT_TRUE(c_nodes(b.g.props(a), ctx[a], b.g.props(c), ctx[c], kL1));
+  EXPECT_FALSE(c_nodes_rsg(b.g.props(a), ctx[a], b.g.props(c), ctx[c], kL1));
+}
+
+TEST(CNodesRsgTest, SameComponentCompatible) {
+  RsgBuilder b;
+  const NodeRef h = b.node();
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  const NodeRef d = b.node();
+  b.pvar("p", h).link(h, "nxt", a).link(a, "nxt", c).link(c, "nxt", d);
+  b.selin(c, "nxt").selin(d, "nxt");
+  b.selout(c, "nxt");
+  b.pos_selout(d, "nxt");
+  const auto ctx = compute_compat_contexts(b.g);
+  EXPECT_TRUE(c_nodes_rsg(b.g.props(c), ctx[c], b.g.props(d), ctx[d], kL1));
+}
+
+}  // namespace
+}  // namespace psa::rsg

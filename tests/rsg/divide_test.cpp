@@ -1,0 +1,128 @@
+// DIVIDE (§4.1): one graph per x->sel target plus the NULL variant.
+#include <gtest/gtest.h>
+
+#include "rsg/ops.hpp"
+#include "testing/rsg_builder.hpp"
+
+namespace psa::rsg {
+namespace {
+
+using psa::testing::RsgBuilder;
+
+TEST(DivideTest, UnboundPvarYieldsNothing) {
+  RsgBuilder b;
+  b.node();
+  const auto parts = divide(b.g, b.sym("x"), b.sym("nxt"));
+  EXPECT_TRUE(parts.empty());
+}
+
+TEST(DivideTest, NoLinkDefiniteOutYieldsNothing) {
+  // selout says nxt definitely exists but the graph has no such link: the
+  // configuration is contradictory.
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  b.pvar("x", a).selout(a, "nxt");
+  const auto parts = divide(b.g, b.sym("x"), b.sym("nxt"));
+  EXPECT_TRUE(parts.empty());
+}
+
+TEST(DivideTest, NoLinkNoSeloutYieldsNullVariantOnly) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  b.pvar("x", a);
+  const auto parts = divide(b.g, b.sym("x"), b.sym("nxt"));
+  ASSERT_EQ(parts.size(), 1u);
+  const NodeRef n = parts[0].pvar_target(b.sym("x"));
+  EXPECT_TRUE(parts[0].sel_targets(n, b.sym("nxt")).empty());
+}
+
+TEST(DivideTest, TwoTargetsDefiniteYieldTwoVariants) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  const NodeRef d = b.node();
+  b.pvar("x", a).pvar("c", c).pvar("d", d);
+  b.link(a, "nxt", c).link(a, "nxt", d);
+  b.selout(a, "nxt");
+  const auto parts = divide(b.g, b.sym("x"), b.sym("nxt"));
+  ASSERT_EQ(parts.size(), 2u);
+  for (const Rsg& part : parts) {
+    const NodeRef n = part.pvar_target(b.sym("x"));
+    EXPECT_EQ(part.sel_targets(n, b.sym("nxt")).size(), 1u);
+    // The chosen link becomes definite.
+    EXPECT_TRUE(part.props(n).selout.contains(b.sym("nxt")));
+  }
+}
+
+TEST(DivideTest, PossibleOutAddsNullVariant) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.pvar("x", a).pvar("y", c);
+  b.link(a, "nxt", c);
+  b.pos_selout(a, "nxt");
+  const auto parts = divide(b.g, b.sym("x"), b.sym("nxt"));
+  ASSERT_EQ(parts.size(), 2u);
+  int with_link = 0;
+  int without_link = 0;
+  for (const Rsg& part : parts) {
+    const NodeRef n = part.pvar_target(b.sym("x"));
+    if (part.sel_targets(n, b.sym("nxt")).empty()) {
+      ++without_link;
+      EXPECT_FALSE(part.props(n).pos_selout.contains(b.sym("nxt")));
+    } else {
+      ++with_link;
+    }
+  }
+  EXPECT_EQ(with_link, 1);
+  EXPECT_EQ(without_link, 1);
+}
+
+TEST(DivideTest, OtherSelectorsUntouched) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  const NodeRef d = b.node();
+  b.pvar("x", a).pvar("y", d);
+  b.link(a, "nxt", c).link(a, "prv", d);
+  b.selout(a, "nxt").selout(a, "prv");
+  const auto parts = divide(b.g, b.sym("x"), b.sym("nxt"));
+  ASSERT_EQ(parts.size(), 1u);
+  const NodeRef n = parts[0].pvar_target(b.sym("x"));
+  EXPECT_EQ(parts[0].sel_targets(n, b.sym("prv")).size(), 1u);
+}
+
+TEST(DivideTest, UnchosenTargetMayBePruned) {
+  // The unchosen target's definite selin loses its only witness: that
+  // variant removes the node entirely (Fig. 1's n2 removal in rsg''_2).
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node(Cardinality::kMany);
+  const NodeRef d = b.node();
+  b.pvar("x", a);
+  b.link(a, "nxt", c).link(a, "nxt", d);
+  b.pos_selout(a, "nxt");  // even allows the null variant
+  b.selin(c, "nxt");
+  b.selin(d, "nxt");
+  const auto parts = divide(b.g, b.sym("x"), b.sym("nxt"));
+  // Variants: null (both c and d die), choose-c (d dies), choose-d (c dies).
+  ASSERT_EQ(parts.size(), 3u);
+  for (const Rsg& part : parts) {
+    EXPECT_LE(part.node_count(), 2u);
+  }
+}
+
+TEST(DivideTest, InputGraphUnmodified) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  const NodeRef d = b.node();
+  b.pvar("x", a).pvar("c", c).pvar("d", d);
+  b.link(a, "nxt", c).link(a, "nxt", d);
+  b.selout(a, "nxt");
+  (void)divide(b.g, b.sym("x"), b.sym("nxt"));
+  EXPECT_EQ(b.g.sel_targets(a, b.sym("nxt")).size(), 2u);
+}
+
+}  // namespace
+}  // namespace psa::rsg

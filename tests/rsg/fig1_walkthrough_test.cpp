@@ -1,0 +1,183 @@
+// The complete Fig. 1 walkthrough: abstract interpretation of
+// `x->nxt = NULL` over the doubly-linked-list RSG of Fig. 1 (a).
+//
+//  (a) x -> n1, summary middles n2, last n3; nxt/prv with cycle links.
+//  (b) DIVIDE on (x, nxt): one graph per nxt-target of n1.
+//  (c) PRUNE: cycle-link and share-based pruning delete the spurious links
+//      (n3 -prv-> n1 in rsg'_1; n2 entirely in rsg'_2).
+//  (d) materialization of n4 out of n2 in rsg''_1.
+//  (e) the link removal itself (exercised end-to-end via the engine).
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "rsg/ops.hpp"
+#include "testing/rsg_builder.hpp"
+
+namespace psa::rsg {
+namespace {
+
+using psa::testing::Fig1Dll;
+
+TEST(Fig1Test, DivisionYieldsTwoVariants) {
+  Fig1Dll f;
+  const auto parts = divide(f.b.g, f.x, f.nxt);
+  // n1 -nxt-> n2 (three or more elements) and n1 -nxt-> n3 (exactly two).
+  ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST(Fig1Test, LongVariantKeepsMiddlesAndPrunesSpuriousBackPointer) {
+  Fig1Dll f;
+  const auto parts = divide(f.b.g, f.x, f.nxt);
+  const Rsg* with_middles = nullptr;
+  for (const Rsg& p : parts) {
+    if (p.node_count() == 3) with_middles = &p;
+  }
+  ASSERT_NE(with_middles, nullptr);
+  const NodeRef n1 = with_middles->pvar_target(f.x);
+  // n1's unique nxt target is the summary.
+  const auto targets = with_middles->sel_targets(n1, f.nxt);
+  ASSERT_EQ(targets.size(), 1u);
+  const NodeRef n2 = targets[0];
+  EXPECT_EQ(with_middles->props(n2).cardinality, Cardinality::kMany);
+  // The paper's rsg'_1 pruning: n3 -prv-> n1 violates n3's cycle links
+  // (n1's nxt no longer reaches n3 directly). Find n3 = the nxt-successor
+  // of n2 that is not n2.
+  NodeRef n3 = kNoNode;
+  for (const NodeRef t : with_middles->sel_targets(n2, f.nxt)) {
+    if (t != n2) n3 = t;
+  }
+  ASSERT_NE(n3, kNoNode);
+  EXPECT_FALSE(with_middles->has_link(n3, f.prv, n1));
+  // The legitimate back-pointer n2 -prv-> n1 stays.
+  EXPECT_TRUE(with_middles->has_link(n2, f.prv, n1));
+}
+
+TEST(Fig1Test, ShortVariantRemovesSummaryEntirely) {
+  // rsg''_2 of the paper: with n1 -nxt-> n3 chosen, n3 is not nxt-shared, so
+  // n2's nxt reference to n3 is spurious; n2 becomes unreachable and dies.
+  Fig1Dll f;
+  const auto parts = divide(f.b.g, f.x, f.nxt);
+  const Rsg* short_variant = nullptr;
+  for (const Rsg& p : parts) {
+    if (p.node_count() == 2) short_variant = &p;
+  }
+  ASSERT_NE(short_variant, nullptr);
+  const NodeRef n1 = short_variant->pvar_target(f.x);
+  const auto targets = short_variant->sel_targets(n1, f.nxt);
+  ASSERT_EQ(targets.size(), 1u);
+  const NodeRef n3 = targets[0];
+  EXPECT_EQ(short_variant->props(n3).cardinality, Cardinality::kOne);
+  // The two-element list: n3 points back at n1.
+  EXPECT_TRUE(short_variant->has_link(n3, f.prv, n1));
+}
+
+TEST(Fig1Test, MaterializationExtractsN4) {
+  Fig1Dll f;
+  const auto parts = divide(f.b.g, f.x, f.nxt);
+  const Rsg* with_middles = nullptr;
+  for (const Rsg& p : parts) {
+    if (p.node_count() == 3) with_middles = &p;
+  }
+  ASSERT_NE(with_middles, nullptr);
+  const NodeRef n1 = with_middles->pvar_target(f.x);
+
+  const auto mats = materialize(*with_middles, n1, f.nxt);
+  ASSERT_FALSE(mats.empty());
+  for (const auto& mat : mats) {
+    const NodeRef n4 = mat.one_node;
+    EXPECT_EQ(mat.graph.props(n4).cardinality, Cardinality::kOne);
+    // Fig. 1 (d): n1 -nxt-> n4, n4 -prv-> n1.
+    EXPECT_TRUE(mat.graph.has_link(n1, f.nxt, n4));
+    EXPECT_TRUE(mat.graph.has_link(n4, f.prv, n1));
+    // No spurious self links on the singleton.
+    EXPECT_FALSE(mat.graph.has_link(n4, f.nxt, n4));
+    EXPECT_FALSE(mat.graph.has_link(n4, f.prv, n4));
+  }
+}
+
+TEST(Fig1Test, EndToEndTruncationViaEngine) {
+  // Run the whole pipeline on a real program: build a DLL, then truncate it
+  // after the first element. At the end, x's structure must be a single
+  // element with nxt == NULL, and no graph may keep x's node nxt-linked.
+  constexpr std::string_view kSource = R"(
+    struct dnode { struct dnode *nxt; struct dnode *prv; int v; };
+    void main() {
+      struct dnode *list; struct dnode *tail; struct dnode *t;
+      struct dnode *x;
+      int i; int n;
+      list = malloc(sizeof(struct dnode));
+      list->nxt = NULL;
+      list->prv = NULL;
+      tail = list;
+      i = 0; n = 10;
+      while (i < n) {
+        t = malloc(sizeof(struct dnode));
+        t->nxt = NULL;
+        t->prv = tail;
+        tail->nxt = t;
+        tail = t;
+        i = i + 1;
+      }
+      t = NULL; tail = NULL;
+      x = list;
+      x->nxt = NULL;
+    }
+  )";
+  const auto program = analysis::prepare(kSource);
+  analysis::Options options;
+  options.level = AnalysisLevel::kL2;
+  const auto result = analysis::analyze_program(program, options);
+  ASSERT_TRUE(result.converged());
+  const auto& at_exit = result.at_exit(program.cfg);
+  ASSERT_FALSE(at_exit.empty());
+  const auto x = program.symbol("x");
+  for (const Rsg& g : at_exit.graphs()) {
+    const NodeRef xn = g.pvar_target(x);
+    ASSERT_NE(xn, kNoNode);
+    // x->nxt = NULL held at exit: no outgoing nxt link, selout without nxt.
+    EXPECT_TRUE(g.sel_targets(xn, program.symbol("nxt")).empty());
+    EXPECT_FALSE(g.props(xn).selout.contains(program.symbol("nxt")));
+  }
+}
+
+TEST(Fig1Test, CycleLinksRecordedDuringDllConstruction) {
+  // The engine must *discover* the nxt/prv cycle links while the program
+  // builds the list (they are what Fig. 1's pruning runs on).
+  constexpr std::string_view kSource = R"(
+    struct dnode { struct dnode *nxt; struct dnode *prv; int v; };
+    void main() {
+      struct dnode *list; struct dnode *tail; struct dnode *t;
+      int i; int n;
+      list = malloc(sizeof(struct dnode));
+      list->nxt = NULL;
+      list->prv = NULL;
+      tail = list;
+      i = 0; n = 10;
+      while (i < n) {
+        t = malloc(sizeof(struct dnode));
+        t->nxt = NULL;
+        t->prv = tail;
+        tail->nxt = t;
+        tail = t;
+        i = i + 1;
+      }
+      t = NULL;
+    }
+  )";
+  const auto program = analysis::prepare(kSource);
+  const auto result = analysis::analyze_program(program, {});
+  ASSERT_TRUE(result.converged());
+  const auto& at_exit = result.at_exit(program.cfg);
+  ASSERT_FALSE(at_exit.empty());
+  const SelPair nxt_prv{program.symbol("nxt"), program.symbol("prv")};
+  bool found = false;
+  for (const Rsg& g : at_exit.graphs()) {
+    for (const NodeRef n : g.node_refs()) {
+      if (g.props(n).cyclelinks.contains(nxt_prv)) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace psa::rsg

@@ -1,0 +1,32 @@
+#include "rsg/level.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psa::rsg {
+namespace {
+
+TEST(LevelTest, Names) {
+  EXPECT_EQ(to_string(AnalysisLevel::kL1), "L1");
+  EXPECT_EQ(to_string(AnalysisLevel::kL2), "L2");
+  EXPECT_EQ(to_string(AnalysisLevel::kL3), "L3");
+}
+
+TEST(LevelTest, PolicyKnobs) {
+  // L1: C_SPATH0 only, no TOUCH. L2: C_SPATH1. L3: C_SPATH1 + TOUCH.
+  constexpr LevelPolicy l1{AnalysisLevel::kL1};
+  constexpr LevelPolicy l2{AnalysisLevel::kL2};
+  constexpr LevelPolicy l3{AnalysisLevel::kL3};
+  static_assert(!l1.use_spath1() && !l1.use_touch());
+  static_assert(l2.use_spath1() && !l2.use_touch());
+  static_assert(l3.use_spath1() && l3.use_touch());
+  SUCCEED();
+}
+
+TEST(LevelTest, DefaultPolicyIsL1) {
+  constexpr LevelPolicy def{};
+  static_assert(def.level == AnalysisLevel::kL1);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace psa::rsg

@@ -1,0 +1,143 @@
+// Materialization (focus): extracting the single location x->sel denotes
+// out of a summary node (Fig. 1 (d) of the paper).
+#include <gtest/gtest.h>
+
+#include "rsg/ops.hpp"
+#include "testing/rsg_builder.hpp"
+
+namespace psa::rsg {
+namespace {
+
+using psa::testing::RsgBuilder;
+
+/// x -> a -nxt-> m(summary) -nxt-> last, a singly-linked list spine.
+struct ListWithSummary {
+  RsgBuilder b;
+  NodeRef a, m, last;
+
+  ListWithSummary() {
+    a = b.node(Cardinality::kOne);
+    m = b.node(Cardinality::kMany);
+    last = b.node(Cardinality::kOne);
+    b.pvar("x", a);
+    b.link(a, "nxt", m).selout(a, "nxt");
+    b.link(m, "nxt", m).link(m, "nxt", last);
+    b.selin(m, "nxt").selout(m, "nxt");
+    b.selin(last, "nxt");
+  }
+};
+
+TEST(MaterializeTest, CardinalityOneTargetPassesThrough) {
+  RsgBuilder b;
+  const NodeRef a = b.node(Cardinality::kOne);
+  const NodeRef t = b.node(Cardinality::kOne);
+  b.pvar("x", a).link(a, "nxt", t).selout(a, "nxt").selin(t, "nxt");
+  const auto mats = materialize(b.g, a, b.sym("nxt"));
+  ASSERT_EQ(mats.size(), 1u);
+  EXPECT_EQ(mats[0].one_node, t);
+  EXPECT_EQ(mats[0].graph.node_count(), 2u);
+}
+
+TEST(MaterializeTest, RequiresUniqueTarget) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  const NodeRef d = b.node();
+  b.pvar("x", a).link(a, "nxt", c).link(a, "nxt", d);
+  EXPECT_TRUE(materialize(b.g, a, b.sym("nxt")).empty());  // divide first
+}
+
+TEST(MaterializeTest, SummaryYieldsVariants) {
+  ListWithSummary l;
+  const auto mats = materialize(l.b.g, l.a, l.b.sym("nxt"));
+  ASSERT_GE(mats.size(), 1u);
+  ASSERT_LE(mats.size(), 2u);
+  for (const auto& mat : mats) {
+    // The focused node is cardinality one and is x->nxt's unique target.
+    EXPECT_EQ(mat.graph.props(mat.one_node).cardinality, Cardinality::kOne);
+    const auto targets = mat.graph.sel_targets(l.a, l.b.sym("nxt"));
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0], mat.one_node);
+  }
+}
+
+TEST(MaterializeTest, VariantAShrinksSummaryToOne) {
+  ListWithSummary l;
+  const auto mats = materialize(l.b.g, l.a, l.b.sym("nxt"));
+  bool found_in_place = false;
+  for (const auto& mat : mats) {
+    if (mat.one_node == l.m) {
+      found_in_place = true;
+      EXPECT_EQ(mat.graph.props(l.m).cardinality, Cardinality::kOne);
+    }
+  }
+  EXPECT_TRUE(found_in_place);
+}
+
+TEST(MaterializeTest, VariantBKeepsRest) {
+  ListWithSummary l;
+  const auto mats = materialize(l.b.g, l.a, l.b.sym("nxt"));
+  bool found_extracted = false;
+  for (const auto& mat : mats) {
+    if (mat.one_node == l.m) continue;
+    found_extracted = true;
+    // The rest summary m survives, now reached through the extracted node.
+    EXPECT_TRUE(mat.graph.alive(l.m));
+    EXPECT_EQ(mat.graph.props(l.m).cardinality, Cardinality::kMany);
+    EXPECT_TRUE(mat.graph.has_link(mat.one_node, l.b.sym("nxt"), l.m));
+    // The focused reference moved: no direct a -> m link remains.
+    EXPECT_FALSE(mat.graph.has_link(l.a, l.b.sym("nxt"), l.m));
+  }
+  EXPECT_TRUE(found_extracted);
+}
+
+TEST(MaterializeTest, NoSpuriousSelfLinkOnUnsharedExtraction) {
+  // SHSEL(m, nxt) = false and the focused link is definite: the extracted
+  // node must not keep a nxt self-loop (share pruning removes it).
+  ListWithSummary l;
+  const auto mats = materialize(l.b.g, l.a, l.b.sym("nxt"));
+  for (const auto& mat : mats) {
+    EXPECT_FALSE(
+        mat.graph.has_link(mat.one_node, l.b.sym("nxt"), mat.one_node));
+  }
+}
+
+TEST(MaterializeTest, ExtractedInheritsTouch) {
+  ListWithSummary l;
+  l.b.touch(l.m, "p");
+  const auto mats = materialize(l.b.g, l.a, l.b.sym("nxt"));
+  for (const auto& mat : mats) {
+    EXPECT_TRUE(mat.graph.props(mat.one_node).touch.contains(l.b.sym("p")));
+  }
+}
+
+TEST(MaterializeTest, DllMaterializationKeepsBackPointer) {
+  // Doubly-linked spine: extraction must produce rest -prv-> extracted
+  // (Fig. 1 (d): n2 -prv-> n4) and extracted -prv-> a.
+  RsgBuilder b;
+  const NodeRef a = b.node(Cardinality::kOne);
+  const NodeRef m = b.node(Cardinality::kMany);
+  b.pvar("x", a);
+  b.link(a, "nxt", m).selout(a, "nxt");
+  b.link(m, "nxt", m).link(m, "prv", m).link(m, "prv", a);
+  b.selin(m, "nxt").selout(m, "prv");
+  b.selin(a, "prv");
+  b.cyclelink(a, "nxt", "prv");
+  b.cyclelink(m, "nxt", "prv").cyclelink(m, "prv", "nxt");
+  b.shared(m);
+
+  const auto mats = materialize(b.g, a, b.sym("nxt"));
+  ASSERT_FALSE(mats.empty());
+  for (const auto& mat : mats) {
+    const NodeRef e = mat.one_node;
+    // The extracted first-middle points back to a.
+    EXPECT_TRUE(mat.graph.has_link(e, b.sym("prv"), a));
+    if (mat.graph.alive(m) && e != m) {
+      // Rest points back to the extracted node via prv.
+      EXPECT_TRUE(mat.graph.has_link(m, b.sym("prv"), e));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psa::rsg

@@ -1,0 +1,193 @@
+// PRUNE (§4.2): refpat node pruning, cycle-link link pruning, share-based
+// pruning, sharing refinement, infeasibility detection.
+#include <gtest/gtest.h>
+
+#include "rsg/ops.hpp"
+#include "testing/rsg_builder.hpp"
+
+namespace psa::rsg {
+namespace {
+
+using psa::testing::RsgBuilder;
+
+TEST(RefineSharingTest, ClearsUnsupportedShared) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.pvar("x", a).link(a, "nxt", c);
+  b.shared(c);
+  EXPECT_TRUE(refine_sharing(b.g));
+  EXPECT_FALSE(b.g.props(c).shared);
+}
+
+TEST(RefineSharingTest, KeepsSupportedShared) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef d = b.node();
+  const NodeRef c = b.node();
+  b.pvar("x", a).pvar("y", d);
+  b.link(a, "nxt", c).link(d, "nxt", c);
+  b.shared(c).shsel(c, "nxt");
+  refine_sharing(b.g);
+  EXPECT_TRUE(b.g.props(c).shared);
+  EXPECT_TRUE(b.g.props(c).shsel.contains(b.sym("nxt")));
+}
+
+TEST(RefineSharingTest, SummarySourceBlocksClearing) {
+  RsgBuilder b;
+  const NodeRef m = b.node(Cardinality::kMany);
+  const NodeRef c = b.node();
+  b.pvar("x", m).link(m, "nxt", c);
+  b.shsel(c, "nxt");
+  refine_sharing(b.g);
+  EXPECT_TRUE(b.g.props(c).shsel.contains(b.sym("nxt")));
+}
+
+TEST(PruneTest, NPruneRemovesUnsatisfiableSelout) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.pvar("x", a).link(a, "nxt", c);
+  b.selout(c, "nxt");  // definite out-selector with no link: impossible node
+  EXPECT_TRUE(prune(b.g));
+  EXPECT_FALSE(b.g.alive(c));
+  EXPECT_TRUE(b.g.alive(a));
+}
+
+TEST(PruneTest, NPruneRemovesUnsatisfiableSelin) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.pvar("x", a).link(a, "nxt", c);
+  b.selin(c, "prv");  // nothing references c via prv
+  EXPECT_TRUE(prune(b.g));
+  EXPECT_FALSE(b.g.alive(c));
+}
+
+TEST(PruneTest, PossibleSetsDoNotPrune) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  b.pvar("x", a).link(a, "nxt", c);
+  b.pos_selout(c, "nxt").pos_selin(c, "prv");
+  EXPECT_TRUE(prune(b.g));
+  EXPECT_TRUE(b.g.alive(c));
+}
+
+TEST(PruneTest, InfeasibleWhenPvarNodePruned) {
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  b.pvar("x", a);
+  b.selout(a, "nxt");  // x's node cannot exist
+  EXPECT_FALSE(prune(b.g));
+}
+
+TEST(PruneTest, CycleLinkPrunesContradictedLink) {
+  // a has cycle link <nxt, prv> but c does not point back via prv: the link
+  // a -nxt-> c is impossible.
+  RsgBuilder b;
+  const NodeRef a = b.node();
+  const NodeRef c = b.node();
+  const NodeRef d = b.node();
+  b.pvar("x", a).pvar("y", c).pvar("z", d);
+  b.link(a, "nxt", c).link(a, "nxt", d);
+  b.link(d, "prv", a);
+  b.cyclelink(a, "nxt", "prv");
+  EXPECT_TRUE(prune(b.g));
+  EXPECT_FALSE(b.g.has_link(a, b.sym("nxt"), c));
+  EXPECT_TRUE(b.g.has_link(a, b.sym("nxt"), d));
+}
+
+TEST(PruneTest, SharePruneRemovesSecondSelLink) {
+  // t is not SHSEL-shared via nxt and a's link is definite: the summary's
+  // may-link to t is spurious (the paper's n2 -nxt-> n3 removal).
+  RsgBuilder b;
+  const NodeRef a = b.node(Cardinality::kOne);
+  const NodeRef m = b.node(Cardinality::kMany);
+  const NodeRef t = b.node(Cardinality::kOne);
+  b.pvar("x", a);
+  b.link(a, "nxt", t).selout(a, "nxt");
+  b.link(a, "prv", m);  // keep m reachable
+  b.link(m, "nxt", t);
+  b.selin(t, "nxt");
+  EXPECT_TRUE(prune(b.g, PruneOptions{.share_pruning = true}));
+  EXPECT_FALSE(b.g.has_link(m, b.sym("nxt"), t));
+  EXPECT_TRUE(b.g.has_link(a, b.sym("nxt"), t));
+}
+
+TEST(PruneTest, SharePruneDisabledKeepsLink) {
+  RsgBuilder b;
+  const NodeRef a = b.node(Cardinality::kOne);
+  const NodeRef m = b.node(Cardinality::kMany);
+  const NodeRef t = b.node(Cardinality::kOne);
+  b.pvar("x", a);
+  b.link(a, "nxt", t).selout(a, "nxt");
+  b.link(a, "prv", m);
+  b.link(m, "nxt", t);
+  b.selin(t, "nxt");
+  EXPECT_TRUE(prune(b.g, PruneOptions{.share_pruning = false}));
+  EXPECT_TRUE(b.g.has_link(m, b.sym("nxt"), t));
+}
+
+TEST(PruneTest, SharePruneRespectsShselTrue) {
+  // When t *is* possibly shared via nxt, both links must stay.
+  RsgBuilder b;
+  const NodeRef a = b.node(Cardinality::kOne);
+  const NodeRef m = b.node(Cardinality::kMany);
+  const NodeRef t = b.node(Cardinality::kOne);
+  b.pvar("x", a);
+  b.link(a, "nxt", t).selout(a, "nxt");
+  b.link(a, "prv", m);
+  b.link(m, "nxt", t);
+  b.selin(t, "nxt").shsel(t, "nxt").shared(t);
+  EXPECT_TRUE(prune(b.g));
+  EXPECT_TRUE(b.g.has_link(m, b.sym("nxt"), t));
+}
+
+TEST(PruneTest, SharedFalseRuleCutsCrossSelectorLinks) {
+  // SHARED(t) = false allows at most one heap reference in total; a definite
+  // nxt-link makes the summary's ref-link spurious.
+  RsgBuilder b;
+  const NodeRef a = b.node(Cardinality::kOne);
+  const NodeRef m = b.node(Cardinality::kMany);
+  const NodeRef t = b.node(Cardinality::kOne);
+  b.pvar("x", a);
+  b.link(a, "nxt", t).selout(a, "nxt");
+  b.link(a, "aux", m);
+  b.link(m, "ref", t);
+  EXPECT_TRUE(prune(b.g));
+  EXPECT_FALSE(b.g.has_link(m, b.sym("ref"), t));
+}
+
+TEST(PruneTest, IterativeCascade) {
+  // Removing one link makes a node unreachable, whose removal must cascade.
+  RsgBuilder b;
+  const NodeRef a = b.node(Cardinality::kOne);
+  const NodeRef c = b.node(Cardinality::kOne);
+  const NodeRef d = b.node(Cardinality::kOne);
+  b.pvar("x", a);
+  b.link(a, "nxt", c);
+  b.link(c, "nxt", d);
+  b.cyclelink(a, "nxt", "prv");  // c does not point back: a->c dies
+  EXPECT_TRUE(prune(b.g));
+  // c and d both unreachable afterwards.
+  EXPECT_FALSE(b.g.alive(c));
+  EXPECT_FALSE(b.g.alive(d));
+  EXPECT_TRUE(b.g.alive(a));
+}
+
+TEST(PruneTest, StableGraphUntouched) {
+  RsgBuilder b;
+  const NodeRef a = b.node(Cardinality::kOne);
+  const NodeRef c = b.node(Cardinality::kMany);
+  b.pvar("x", a);
+  b.link(a, "nxt", c).selout(a, "nxt").selin(c, "nxt");
+  b.link(c, "nxt", c).pos_selout(c, "nxt");
+  const std::size_t links = b.g.link_count();
+  EXPECT_TRUE(prune(b.g));
+  EXPECT_EQ(b.g.link_count(), links);
+  EXPECT_EQ(b.g.node_count(), 2u);
+}
+
+}  // namespace
+}  // namespace psa::rsg

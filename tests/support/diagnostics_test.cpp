@@ -1,0 +1,45 @@
+#include "support/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psa::support {
+namespace {
+
+TEST(DiagnosticsTest, StartsClean) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 0u);
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(DiagnosticsTest, ErrorsAreCounted) {
+  DiagnosticEngine diags;
+  diags.error({1, 2}, "bad");
+  diags.error({3, 4}, "worse");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 2u);
+}
+
+TEST(DiagnosticsTest, WarningsDoNotCountAsErrors) {
+  DiagnosticEngine diags;
+  diags.warning({1, 1}, "hmm");
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.all().size(), 1u);
+}
+
+TEST(DiagnosticsTest, ToStringFormatsLineColSeverity) {
+  DiagnosticEngine diags;
+  diags.error({12, 7}, "unexpected token");
+  diags.warning({1, 1}, "unused");
+  const std::string text = diags.to_string();
+  EXPECT_NE(text.find("12:7: error: unexpected token"), std::string::npos);
+  EXPECT_NE(text.find("1:1: warning: unused"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, SourceLocValidity) {
+  EXPECT_FALSE(SourceLoc{}.valid());
+  EXPECT_TRUE((SourceLoc{1, 1}).valid());
+}
+
+}  // namespace
+}  // namespace psa::support

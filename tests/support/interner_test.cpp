@@ -1,0 +1,76 @@
+#include "support/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace psa::support {
+namespace {
+
+TEST(InternerTest, InternReturnsStableSymbol) {
+  Interner in;
+  const Symbol a = in.intern("alpha");
+  const Symbol b = in.intern("alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(InternerTest, DistinctStringsGetDistinctSymbols) {
+  Interner in;
+  EXPECT_NE(in.intern("alpha"), in.intern("beta"));
+}
+
+TEST(InternerTest, SpellingRoundTrips) {
+  Interner in;
+  const Symbol s = in.intern("nxt");
+  EXPECT_EQ(in.spelling(s), "nxt");
+}
+
+TEST(InternerTest, LookupWithoutInterning) {
+  Interner in;
+  EXPECT_FALSE(in.lookup("missing").valid());
+  in.intern("present");
+  EXPECT_TRUE(in.lookup("present").valid());
+  EXPECT_FALSE(in.lookup("missing").valid());
+}
+
+TEST(InternerTest, InvalidSymbolSpellsAsInvalid) {
+  Interner in;
+  EXPECT_EQ(in.spelling(Symbol()), "<invalid>");
+}
+
+TEST(InternerTest, SizeCountsDistinctStrings) {
+  Interner in;
+  EXPECT_EQ(in.size(), 0u);
+  in.intern("a");
+  in.intern("b");
+  in.intern("a");
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(InternerTest, SurvivesRehashGrowth) {
+  // Many interned strings force growth of the backing containers; earlier
+  // symbols must keep spelling correctly (guards the string_view keys).
+  Interner in;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 2000; ++i) {
+    syms.push_back(in.intern("sym_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(in.spelling(syms[static_cast<std::size_t>(i)]),
+              "sym_" + std::to_string(i));
+    EXPECT_EQ(in.lookup("sym_" + std::to_string(i)),
+              syms[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(InternerTest, SymbolOrderingFollowsInternOrder) {
+  Interner in;
+  const Symbol a = in.intern("zzz");
+  const Symbol b = in.intern("aaa");
+  EXPECT_LT(a, b);  // ids are allocation-ordered, not lexicographic
+}
+
+}  // namespace
+}  // namespace psa::support

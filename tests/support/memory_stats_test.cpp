@@ -1,0 +1,104 @@
+#include "support/memory_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psa::support {
+namespace {
+
+class MemoryStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MemoryStats::instance().reset(); }
+};
+
+TEST_F(MemoryStatsTest, StartsAtZeroAfterReset) {
+  const auto snap = MemoryStats::instance().snapshot();
+  EXPECT_EQ(snap.live_bytes, 0u);
+  EXPECT_EQ(snap.peak_bytes, 0u);
+  EXPECT_EQ(snap.total_allocated_bytes, 0u);
+}
+
+TEST_F(MemoryStatsTest, AddRemoveTracksLive) {
+  auto& stats = MemoryStats::instance();
+  stats.add(100);
+  stats.add(50);
+  EXPECT_EQ(stats.snapshot().live_bytes, 150u);
+  stats.remove(50);
+  EXPECT_EQ(stats.snapshot().live_bytes, 100u);
+  EXPECT_EQ(stats.snapshot().total_allocated_bytes, 150u);
+}
+
+TEST_F(MemoryStatsTest, PeakIsMonotone) {
+  auto& stats = MemoryStats::instance();
+  stats.add(100);
+  stats.remove(100);
+  stats.add(40);
+  EXPECT_EQ(stats.snapshot().peak_bytes, 100u);
+  stats.add(200);
+  EXPECT_EQ(stats.snapshot().peak_bytes, 240u);
+}
+
+TEST_F(MemoryStatsTest, TrackedFootprintRegistersLifetime) {
+  auto& stats = MemoryStats::instance();
+  {
+    TrackedFootprint fp(64);
+    EXPECT_EQ(stats.snapshot().live_bytes, 64u);
+  }
+  EXPECT_EQ(stats.snapshot().live_bytes, 0u);
+}
+
+TEST_F(MemoryStatsTest, TrackedFootprintResize) {
+  auto& stats = MemoryStats::instance();
+  TrackedFootprint fp(10);
+  fp.resize(50);
+  EXPECT_EQ(stats.snapshot().live_bytes, 50u);
+  fp.resize(20);
+  EXPECT_EQ(stats.snapshot().live_bytes, 20u);
+  EXPECT_EQ(fp.bytes(), 20u);
+}
+
+TEST_F(MemoryStatsTest, TrackedFootprintCopyRegistersBoth) {
+  auto& stats = MemoryStats::instance();
+  TrackedFootprint a(30);
+  TrackedFootprint b(a);
+  EXPECT_EQ(stats.snapshot().live_bytes, 60u);
+}
+
+TEST_F(MemoryStatsTest, TrackedFootprintMoveTransfersOwnership) {
+  auto& stats = MemoryStats::instance();
+  TrackedFootprint a(30);
+  TrackedFootprint b(std::move(a));
+  EXPECT_EQ(stats.snapshot().live_bytes, 30u);
+  EXPECT_EQ(b.bytes(), 30u);
+  EXPECT_EQ(a.bytes(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST_F(MemoryStatsTest, TrackedFootprintMoveAssign) {
+  auto& stats = MemoryStats::instance();
+  TrackedFootprint a(30);
+  TrackedFootprint b(40);
+  b = std::move(a);
+  EXPECT_EQ(stats.snapshot().live_bytes, 30u);
+  EXPECT_EQ(b.bytes(), 30u);
+}
+
+TEST_F(MemoryStatsTest, TrackedFootprintCopyAssignAdjusts) {
+  auto& stats = MemoryStats::instance();
+  TrackedFootprint a(30);
+  TrackedFootprint b(40);
+  b = a;
+  EXPECT_EQ(stats.snapshot().live_bytes, 60u);
+  EXPECT_EQ(b.bytes(), 30u);
+}
+
+TEST_F(MemoryStatsTest, NodeAndGraphCounters) {
+  auto& stats = MemoryStats::instance();
+  stats.note_node_created();
+  stats.note_node_created();
+  stats.note_graph_created();
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.nodes_created, 2u);
+  EXPECT_EQ(snap.graphs_created, 1u);
+}
+
+}  // namespace
+}  // namespace psa::support

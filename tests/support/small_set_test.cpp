@@ -1,0 +1,146 @@
+#include "support/small_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace psa::support {
+namespace {
+
+TEST(SmallSetTest, StartsEmpty) {
+  SmallSet<int> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(SmallSetTest, InsertReportsNovelty) {
+  SmallSet<int> s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(SmallSetTest, KeepsElementsSorted) {
+  SmallSet<int> s{5, 1, 3, 1, 5};
+  std::vector<int> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(SmallSetTest, EraseReportsPresence) {
+  SmallSet<int> s{1, 2, 3};
+  EXPECT_TRUE(s.erase(2));
+  EXPECT_FALSE(s.erase(2));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(SmallSetTest, EraseIf) {
+  SmallSet<int> s{1, 2, 3, 4, 5};
+  s.erase_if([](int v) { return v % 2 == 0; });
+  std::vector<int> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(SmallSetTest, UnionIntersectionDifference) {
+  SmallSet<int> a{1, 2, 3};
+  SmallSet<int> b{2, 3, 4};
+  EXPECT_EQ(set_union(a, b), (SmallSet<int>{1, 2, 3, 4}));
+  EXPECT_EQ(set_intersection(a, b), (SmallSet<int>{2, 3}));
+  EXPECT_EQ(set_difference(a, b), (SmallSet<int>{1}));
+  EXPECT_EQ(set_difference(b, a), (SmallSet<int>{4}));
+}
+
+TEST(SmallSetTest, Intersects) {
+  SmallSet<int> a{1, 3, 5};
+  SmallSet<int> b{2, 4, 5};
+  SmallSet<int> c{2, 4, 6};
+  EXPECT_TRUE(intersects(a, b));
+  EXPECT_FALSE(intersects(a, c));
+  EXPECT_FALSE(intersects(SmallSet<int>{}, a));
+}
+
+TEST(SmallSetTest, SubsetOf) {
+  SmallSet<int> a{1, 3};
+  SmallSet<int> b{1, 2, 3};
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(SmallSet<int>{}.is_subset_of(a));
+}
+
+TEST(SmallSetTest, EqualityIsOrderInsensitiveOnInit) {
+  SmallSet<int> a{3, 1, 2};
+  SmallSet<int> b{1, 2, 3};
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmallSetTest, HashEqualForEqualSets) {
+  SmallSet<int> a{3, 1, 2};
+  SmallSet<int> b{1, 2, 3};
+  auto h = [](int v) { return hash_value(v); };
+  EXPECT_EQ(a.hash(h), b.hash(h));
+}
+
+TEST(SmallSetTest, HashDiffersForDifferentSets) {
+  SmallSet<int> a{1, 2, 3};
+  SmallSet<int> b{1, 2, 4};
+  auto h = [](int v) { return hash_value(v); };
+  EXPECT_NE(a.hash(h), b.hash(h));
+}
+
+// Property sweep: SmallSet agrees with std::set under a random op sequence.
+class SmallSetPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SmallSetPropertyTest, AgreesWithStdSet) {
+  std::mt19937 rng(GetParam());
+  SmallSet<int> mine;
+  std::set<int> ref;
+  for (int step = 0; step < 500; ++step) {
+    const int v = static_cast<int>(rng() % 40);
+    switch (rng() % 3) {
+      case 0:
+        EXPECT_EQ(mine.insert(v), ref.insert(v).second);
+        break;
+      case 1:
+        EXPECT_EQ(mine.erase(v), ref.erase(v) != 0);
+        break;
+      default:
+        EXPECT_EQ(mine.contains(v), ref.count(v) != 0);
+        break;
+    }
+    ASSERT_EQ(mine.size(), ref.size());
+  }
+  EXPECT_TRUE(std::equal(mine.begin(), mine.end(), ref.begin(), ref.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallSetPropertyTest,
+                         ::testing::Range(0u, 8u));
+
+// Property sweep: algebraic identities of the set operations.
+class SmallSetAlgebraTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SmallSetAlgebraTest, AlgebraicIdentities) {
+  std::mt19937 rng(GetParam());
+  auto random_set = [&] {
+    SmallSet<int> s;
+    const std::size_t n = rng() % 12;
+    for (std::size_t i = 0; i < n; ++i) s.insert(static_cast<int>(rng() % 20));
+    return s;
+  };
+  const SmallSet<int> a = random_set();
+  const SmallSet<int> b = random_set();
+
+  EXPECT_EQ(set_union(a, b), set_union(b, a));
+  EXPECT_EQ(set_intersection(a, b), set_intersection(b, a));
+  EXPECT_TRUE(set_intersection(a, b).is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(set_union(a, b)));
+  EXPECT_EQ(set_union(set_difference(a, b), set_intersection(a, b)), a);
+  EXPECT_EQ(intersects(a, b), !set_intersection(a, b).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallSetAlgebraTest, ::testing::Range(0u, 16u));
+
+}  // namespace
+}  // namespace psa::support

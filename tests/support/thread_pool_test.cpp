@@ -1,0 +1,86 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace psa::support {
+namespace {
+
+TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleRunsInline) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {
+  auto compute = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<long> out(257, 0);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<long>(i) * static_cast<long>(i);
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(3));
+  EXPECT_EQ(compute(2), compute(8));
+}
+
+TEST(ThreadPoolTest, BackToBackParallelFors) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      total.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 20 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, MoreIterationsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(10000, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 10000u);
+}
+
+TEST(ThreadPoolTest, DestructionWithIdleWorkers) {
+  // Must not hang or leak: construct and destroy without submitting work.
+  for (int i = 0; i < 5; ++i) {
+    ThreadPool pool(4);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace psa::support

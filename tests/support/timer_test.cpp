@@ -1,0 +1,33 @@
+#include "support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace psa::support {
+namespace {
+
+TEST(TimerTest, ElapsedIsMonotone) {
+  WallTimer timer;
+  const double t1 = timer.elapsed_seconds();
+  const double t2 = timer.elapsed_seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(TimerTest, MeasuresSleeps) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.elapsed_seconds(), 0.015);
+  EXPECT_GE(timer.elapsed_ns(), 15'000'000u);
+}
+
+TEST(TimerTest, RestartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.restart();
+  EXPECT_LT(timer.elapsed_seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace psa::support

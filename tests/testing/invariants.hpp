@@ -1,0 +1,73 @@
+// Shared test helper: the structural invariants every RSG produced by the
+// engine must satisfy (see DESIGN.md §4).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rsg/rsg.hpp"
+#include "support/interner.hpp"
+
+namespace psa::testing {
+
+inline void verify_rsg_invariants(const rsg::Rsg& g,
+                                  const support::Interner& interner,
+                                  const std::string& where) {
+  using rsg::Cardinality;
+  using rsg::NodeRef;
+
+  for (const NodeRef n : g.node_refs()) {
+    const auto& p = g.props(n);
+
+    // Definite and possible reference-pattern sets stay disjoint.
+    EXPECT_FALSE(intersects(p.selin, p.pos_selin)) << where;
+    EXPECT_FALSE(intersects(p.selout, p.pos_selout)) << where;
+
+    // A definite out-selector has a witnessing link; same for in.
+    for (const auto sel : p.selout) {
+      EXPECT_FALSE(g.sel_targets(n, sel).empty())
+          << where << ": selout " << interner.spelling(sel)
+          << " without a link";
+    }
+    for (const auto sel : p.selin) {
+      bool witnessed = false;
+      for (const auto& in : g.in_links(n)) witnessed |= in.sel == sel;
+      EXPECT_TRUE(witnessed) << where << ": selin " << interner.spelling(sel)
+                             << " without a link";
+    }
+
+    // Every pvar-referenced node has cardinality one (the strong-update
+    // invariant the semantics depend on).
+    if (!g.pvars_of(n).empty()) {
+      EXPECT_EQ(p.cardinality, Cardinality::kOne) << where;
+    }
+  }
+
+  // PL points at alive nodes only; every node is reachable from some pvar.
+  const auto reachable = g.reachable_from_pvars();
+  for (const auto& [pvar, n] : g.pvar_links()) {
+    EXPECT_TRUE(g.alive(n)) << where;
+  }
+  for (const rsg::NodeRef n : g.node_refs()) {
+    EXPECT_TRUE(reachable[n]) << where << ": unreachable node survived gc";
+  }
+
+  // The in/out adjacency mirrors agree.
+  std::size_t out_total = 0;
+  std::size_t in_total = 0;
+  for (const rsg::NodeRef n : g.node_refs()) {
+    out_total += g.out_links(n).size();
+    in_total += g.in_links(n).size();
+    for (const auto& l : g.out_links(n)) {
+      bool mirrored = false;
+      for (const auto& in : g.in_links(l.target)) {
+        mirrored |= in.source == n && in.sel == l.sel;
+      }
+      EXPECT_TRUE(mirrored) << where;
+    }
+  }
+  EXPECT_EQ(out_total, in_total) << where;
+}
+
+}  // namespace psa::testing

@@ -1,0 +1,130 @@
+// Shared test helper: build hand-crafted RSGs with named pvars/selectors.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "rsg/ops.hpp"
+#include "rsg/rsg.hpp"
+#include "support/interner.hpp"
+
+namespace psa::testing {
+
+using rsg::Cardinality;
+using rsg::NodeProps;
+using rsg::NodeRef;
+using rsg::Rsg;
+using support::Symbol;
+
+/// Fluent helper around an Rsg plus an interner.
+class RsgBuilder {
+ public:
+  RsgBuilder() : interner_(std::make_shared<support::Interner>()) {}
+  explicit RsgBuilder(std::shared_ptr<support::Interner> interner)
+      : interner_(std::move(interner)) {}
+
+  [[nodiscard]] Symbol sym(std::string_view name) {
+    return interner_->intern(name);
+  }
+  [[nodiscard]] const support::Interner& interner() const { return *interner_; }
+  [[nodiscard]] std::shared_ptr<support::Interner> interner_ptr() const {
+    return interner_;
+  }
+
+  /// Add a node of struct type id `type` (default 0).
+  NodeRef node(Cardinality card = Cardinality::kOne, std::uint32_t type = 0) {
+    NodeProps p;
+    p.type = static_cast<lang::StructId>(type);
+    p.cardinality = card;
+    return g.add_node(std::move(p));
+  }
+
+  RsgBuilder& pvar(std::string_view name, NodeRef n) {
+    g.bind_pvar(sym(name), n);
+    return *this;
+  }
+
+  RsgBuilder& link(NodeRef from, std::string_view sel, NodeRef to) {
+    g.add_link(from, sym(sel), to);
+    return *this;
+  }
+
+  /// Mark sel as a definite out-selector of n (paired with link()).
+  RsgBuilder& selout(NodeRef n, std::string_view sel) {
+    g.props(n).selout.insert(sym(sel));
+    return *this;
+  }
+  RsgBuilder& selin(NodeRef n, std::string_view sel) {
+    g.props(n).selin.insert(sym(sel));
+    return *this;
+  }
+  RsgBuilder& pos_selout(NodeRef n, std::string_view sel) {
+    g.props(n).pos_selout.insert(sym(sel));
+    return *this;
+  }
+  RsgBuilder& pos_selin(NodeRef n, std::string_view sel) {
+    g.props(n).pos_selin.insert(sym(sel));
+    return *this;
+  }
+  RsgBuilder& cyclelink(NodeRef n, std::string_view out, std::string_view back) {
+    g.props(n).cyclelinks.insert(rsg::SelPair{sym(out), sym(back)});
+    return *this;
+  }
+  RsgBuilder& shared(NodeRef n, bool value = true) {
+    g.props(n).shared = value;
+    return *this;
+  }
+  RsgBuilder& shsel(NodeRef n, std::string_view sel) {
+    g.props(n).shsel.insert(sym(sel));
+    return *this;
+  }
+  RsgBuilder& touch(NodeRef n, std::string_view pvar_name) {
+    g.props(n).touch.insert(sym(pvar_name));
+    return *this;
+  }
+
+  Rsg g;
+
+ private:
+  std::shared_ptr<support::Interner> interner_;
+};
+
+/// The doubly-linked list RSG of the paper's Fig. 1 (a): x -> n1, summary
+/// middle n2, last n3, nxt/prv with full cycle links.
+struct Fig1Dll {
+  RsgBuilder b;
+  NodeRef n1, n2, n3;
+  Symbol x, nxt, prv;
+
+  Fig1Dll() {
+    x = b.sym("x");
+    nxt = b.sym("nxt");
+    prv = b.sym("prv");
+    n1 = b.node(Cardinality::kOne);
+    n2 = b.node(Cardinality::kMany);
+    n3 = b.node(Cardinality::kOne);
+    b.pvar("x", n1);
+    // Links: n1 -nxt-> {n2, n3}, n2 -nxt-> {n2, n3}; prv mirrors backwards,
+    // including the spurious candidates that PRUNE must remove after
+    // division (n3 -prv-> n1 etc. stay legitimate in the undivided graph).
+    b.link(n1, "nxt", n2).link(n1, "nxt", n3);
+    b.link(n2, "nxt", n2).link(n2, "nxt", n3);
+    b.link(n2, "prv", n1).link(n2, "prv", n2);
+    b.link(n3, "prv", n1).link(n3, "prv", n2);
+    // Reference patterns: first element has no prv-in; every element except
+    // the first is nxt-referenced; nxt is definite out except on the last.
+    b.selout(n1, "nxt");
+    b.selin(n2, "nxt").selout(n2, "nxt").selout(n2, "prv").selin(n2, "prv");
+    b.selin(n3, "nxt").selout(n3, "prv");
+    b.selin(n1, "prv");
+    // Cycle links: following nxt then prv (or prv then nxt) returns.
+    b.cyclelink(n1, "nxt", "prv");
+    b.cyclelink(n2, "nxt", "prv").cyclelink(n2, "prv", "nxt");
+    b.cyclelink(n3, "prv", "nxt");
+    // Sharing: every node referenced at most once per selector, but middles
+    // are referenced twice in total (prev's nxt + next's prv).
+    b.shared(n2).shared(n3);
+  }
+};
+
+}  // namespace psa::testing
