@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_widening.dir/ablation_widening.cpp.o"
+  "CMakeFiles/ablation_widening.dir/ablation_widening.cpp.o.d"
+  "ablation_widening"
+  "ablation_widening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_widening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

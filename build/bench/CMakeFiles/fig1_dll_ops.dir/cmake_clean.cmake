@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dll_ops.dir/fig1_dll_ops.cpp.o"
+  "CMakeFiles/fig1_dll_ops.dir/fig1_dll_ops.cpp.o.d"
+  "fig1_dll_ops"
+  "fig1_dll_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dll_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

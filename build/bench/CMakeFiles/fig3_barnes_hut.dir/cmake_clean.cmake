@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_barnes_hut.dir/fig3_barnes_hut.cpp.o"
+  "CMakeFiles/fig3_barnes_hut.dir/fig3_barnes_hut.cpp.o.d"
+  "fig3_barnes_hut"
+  "fig3_barnes_hut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_barnes_hut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

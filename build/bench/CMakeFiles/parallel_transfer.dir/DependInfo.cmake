@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/parallel_transfer.cpp" "bench/CMakeFiles/parallel_transfer.dir/parallel_transfer.cpp.o" "gcc" "bench/CMakeFiles/parallel_transfer.dir/parallel_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/psa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/psa_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/psa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsg/CMakeFiles/psa_rsg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/psa_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/psa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barnes_hut_progressive.dir/barnes_hut_progressive.cpp.o"
+  "CMakeFiles/barnes_hut_progressive.dir/barnes_hut_progressive.cpp.o.d"
+  "barnes_hut_progressive"
+  "barnes_hut_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barnes_hut_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelism_report.dir/parallelism_report.cpp.o"
+  "CMakeFiles/parallelism_report.dir/parallelism_report.cpp.o.d"
+  "parallelism_report"
+  "parallelism_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelism_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_cli.dir/psa_cli.cpp.o"
+  "CMakeFiles/psa_cli.dir/psa_cli.cpp.o.d"
+  "psa_cli"
+  "psa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/analyzer.cpp.o.d"
+  "/root/repo/src/analysis/engine.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/engine.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/engine.cpp.o.d"
+  "/root/repo/src/analysis/progressive.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/progressive.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/progressive.cpp.o.d"
+  "/root/repo/src/analysis/rsrsg.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/rsrsg.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/rsrsg.cpp.o.d"
+  "/root/repo/src/analysis/semantics.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/semantics.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rsg/CMakeFiles/psa_rsg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/psa_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/psa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

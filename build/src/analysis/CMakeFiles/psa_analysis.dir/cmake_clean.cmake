@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_analysis.dir/analyzer.cpp.o"
+  "CMakeFiles/psa_analysis.dir/analyzer.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/engine.cpp.o"
+  "CMakeFiles/psa_analysis.dir/engine.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/progressive.cpp.o"
+  "CMakeFiles/psa_analysis.dir/progressive.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/rsrsg.cpp.o"
+  "CMakeFiles/psa_analysis.dir/rsrsg.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/semantics.cpp.o"
+  "CMakeFiles/psa_analysis.dir/semantics.cpp.o.d"
+  "libpsa_analysis.a"
+  "libpsa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

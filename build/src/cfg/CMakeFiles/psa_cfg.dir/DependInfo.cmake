@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/cfg.cpp" "src/cfg/CMakeFiles/psa_cfg.dir/cfg.cpp.o" "gcc" "src/cfg/CMakeFiles/psa_cfg.dir/cfg.cpp.o.d"
+  "/root/repo/src/cfg/induction.cpp" "src/cfg/CMakeFiles/psa_cfg.dir/induction.cpp.o" "gcc" "src/cfg/CMakeFiles/psa_cfg.dir/induction.cpp.o.d"
+  "/root/repo/src/cfg/loops.cpp" "src/cfg/CMakeFiles/psa_cfg.dir/loops.cpp.o" "gcc" "src/cfg/CMakeFiles/psa_cfg.dir/loops.cpp.o.d"
+  "/root/repo/src/cfg/simple_stmt.cpp" "src/cfg/CMakeFiles/psa_cfg.dir/simple_stmt.cpp.o" "gcc" "src/cfg/CMakeFiles/psa_cfg.dir/simple_stmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/psa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

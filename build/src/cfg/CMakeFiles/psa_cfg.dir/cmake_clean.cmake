@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/psa_cfg.dir/cfg.cpp.o.d"
+  "CMakeFiles/psa_cfg.dir/induction.cpp.o"
+  "CMakeFiles/psa_cfg.dir/induction.cpp.o.d"
+  "CMakeFiles/psa_cfg.dir/loops.cpp.o"
+  "CMakeFiles/psa_cfg.dir/loops.cpp.o.d"
+  "CMakeFiles/psa_cfg.dir/simple_stmt.cpp.o"
+  "CMakeFiles/psa_cfg.dir/simple_stmt.cpp.o.d"
+  "libpsa_cfg.a"
+  "libpsa_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/dot.cpp" "src/client/CMakeFiles/psa_client.dir/dot.cpp.o" "gcc" "src/client/CMakeFiles/psa_client.dir/dot.cpp.o.d"
+  "/root/repo/src/client/parallelism.cpp" "src/client/CMakeFiles/psa_client.dir/parallelism.cpp.o" "gcc" "src/client/CMakeFiles/psa_client.dir/parallelism.cpp.o.d"
+  "/root/repo/src/client/queries.cpp" "src/client/CMakeFiles/psa_client.dir/queries.cpp.o" "gcc" "src/client/CMakeFiles/psa_client.dir/queries.cpp.o.d"
+  "/root/repo/src/client/report.cpp" "src/client/CMakeFiles/psa_client.dir/report.cpp.o" "gcc" "src/client/CMakeFiles/psa_client.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/psa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsg/CMakeFiles/psa_rsg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/psa_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/psa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_client.dir/dot.cpp.o"
+  "CMakeFiles/psa_client.dir/dot.cpp.o.d"
+  "CMakeFiles/psa_client.dir/parallelism.cpp.o"
+  "CMakeFiles/psa_client.dir/parallelism.cpp.o.d"
+  "CMakeFiles/psa_client.dir/queries.cpp.o"
+  "CMakeFiles/psa_client.dir/queries.cpp.o.d"
+  "CMakeFiles/psa_client.dir/report.cpp.o"
+  "CMakeFiles/psa_client.dir/report.cpp.o.d"
+  "libpsa_client.a"
+  "libpsa_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

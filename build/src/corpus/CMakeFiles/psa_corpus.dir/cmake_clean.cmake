@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/psa_corpus.dir/corpus.cpp.o.d"
+  "libpsa_corpus.a"
+  "libpsa_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_lang.dir/ast.cpp.o"
+  "CMakeFiles/psa_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/psa_lang.dir/lexer.cpp.o"
+  "CMakeFiles/psa_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/psa_lang.dir/parser.cpp.o"
+  "CMakeFiles/psa_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/psa_lang.dir/sema.cpp.o"
+  "CMakeFiles/psa_lang.dir/sema.cpp.o.d"
+  "CMakeFiles/psa_lang.dir/types.cpp.o"
+  "CMakeFiles/psa_lang.dir/types.cpp.o.d"
+  "libpsa_lang.a"
+  "libpsa_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

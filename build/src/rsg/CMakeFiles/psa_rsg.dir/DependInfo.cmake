@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsg/canon.cpp" "src/rsg/CMakeFiles/psa_rsg.dir/canon.cpp.o" "gcc" "src/rsg/CMakeFiles/psa_rsg.dir/canon.cpp.o.d"
+  "/root/repo/src/rsg/compat.cpp" "src/rsg/CMakeFiles/psa_rsg.dir/compat.cpp.o" "gcc" "src/rsg/CMakeFiles/psa_rsg.dir/compat.cpp.o.d"
+  "/root/repo/src/rsg/compress.cpp" "src/rsg/CMakeFiles/psa_rsg.dir/compress.cpp.o" "gcc" "src/rsg/CMakeFiles/psa_rsg.dir/compress.cpp.o.d"
+  "/root/repo/src/rsg/join.cpp" "src/rsg/CMakeFiles/psa_rsg.dir/join.cpp.o" "gcc" "src/rsg/CMakeFiles/psa_rsg.dir/join.cpp.o.d"
+  "/root/repo/src/rsg/prune.cpp" "src/rsg/CMakeFiles/psa_rsg.dir/prune.cpp.o" "gcc" "src/rsg/CMakeFiles/psa_rsg.dir/prune.cpp.o.d"
+  "/root/repo/src/rsg/rsg.cpp" "src/rsg/CMakeFiles/psa_rsg.dir/rsg.cpp.o" "gcc" "src/rsg/CMakeFiles/psa_rsg.dir/rsg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/psa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

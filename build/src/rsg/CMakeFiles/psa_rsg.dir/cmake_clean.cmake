@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_rsg.dir/canon.cpp.o"
+  "CMakeFiles/psa_rsg.dir/canon.cpp.o.d"
+  "CMakeFiles/psa_rsg.dir/compat.cpp.o"
+  "CMakeFiles/psa_rsg.dir/compat.cpp.o.d"
+  "CMakeFiles/psa_rsg.dir/compress.cpp.o"
+  "CMakeFiles/psa_rsg.dir/compress.cpp.o.d"
+  "CMakeFiles/psa_rsg.dir/join.cpp.o"
+  "CMakeFiles/psa_rsg.dir/join.cpp.o.d"
+  "CMakeFiles/psa_rsg.dir/prune.cpp.o"
+  "CMakeFiles/psa_rsg.dir/prune.cpp.o.d"
+  "CMakeFiles/psa_rsg.dir/rsg.cpp.o"
+  "CMakeFiles/psa_rsg.dir/rsg.cpp.o.d"
+  "libpsa_rsg.a"
+  "libpsa_rsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_rsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

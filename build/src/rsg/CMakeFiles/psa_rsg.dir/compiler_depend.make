@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for psa_rsg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/psa_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/psa_support.dir/interner.cpp.o"
+  "CMakeFiles/psa_support.dir/interner.cpp.o.d"
+  "CMakeFiles/psa_support.dir/memory_stats.cpp.o"
+  "CMakeFiles/psa_support.dir/memory_stats.cpp.o.d"
+  "CMakeFiles/psa_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/psa_support.dir/thread_pool.cpp.o.d"
+  "libpsa_support.a"
+  "libpsa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/engine_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/engine_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/progressive_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/progressive_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/rsrsg_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/rsrsg_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/semantics_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/semantics_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/touch_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/touch_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/transfer_unit_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/transfer_unit_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

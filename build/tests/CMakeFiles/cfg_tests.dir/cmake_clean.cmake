@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_tests.dir/cfg/cfg_structure_test.cpp.o"
+  "CMakeFiles/cfg_tests.dir/cfg/cfg_structure_test.cpp.o.d"
+  "CMakeFiles/cfg_tests.dir/cfg/induction_test.cpp.o"
+  "CMakeFiles/cfg_tests.dir/cfg/induction_test.cpp.o.d"
+  "CMakeFiles/cfg_tests.dir/cfg/lowering_test.cpp.o"
+  "CMakeFiles/cfg_tests.dir/cfg/lowering_test.cpp.o.d"
+  "CMakeFiles/cfg_tests.dir/cfg/simple_stmt_test.cpp.o"
+  "CMakeFiles/cfg_tests.dir/cfg/simple_stmt_test.cpp.o.d"
+  "cfg_tests"
+  "cfg_tests.pdb"
+  "cfg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_tests.dir/client/dot_test.cpp.o"
+  "CMakeFiles/client_tests.dir/client/dot_test.cpp.o.d"
+  "CMakeFiles/client_tests.dir/client/parallelism_test.cpp.o"
+  "CMakeFiles/client_tests.dir/client/parallelism_test.cpp.o.d"
+  "CMakeFiles/client_tests.dir/client/queries_test.cpp.o"
+  "CMakeFiles/client_tests.dir/client/queries_test.cpp.o.d"
+  "CMakeFiles/client_tests.dir/client/report_test.cpp.o"
+  "CMakeFiles/client_tests.dir/client/report_test.cpp.o.d"
+  "client_tests"
+  "client_tests.pdb"
+  "client_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/barnes_hut_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/barnes_hut_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/barnes_hut_test.cpp.o.d"
+  "/root/repo/tests/integration/concrete_soundness_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/concrete_soundness_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/concrete_soundness_test.cpp.o.d"
+  "/root/repo/tests/integration/corpus_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/corpus_test.cpp.o.d"
+  "/root/repo/tests/integration/destructive_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/destructive_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/destructive_test.cpp.o.d"
+  "/root/repo/tests/integration/fuzz_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration/properties_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/properties_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/properties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/psa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/psa_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/psa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsg/CMakeFiles/psa_rsg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/psa_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/psa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_tests.dir/lang/frontend_fuzz_test.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/frontend_fuzz_test.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/lang/lexer_test.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/lexer_test.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/lang/parser_test.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/parser_test.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/lang/sema_test.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/sema_test.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/lang/types_test.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/types_test.cpp.o.d"
+  "lang_tests"
+  "lang_tests.pdb"
+  "lang_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rsg/canon_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/canon_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/canon_test.cpp.o.d"
+  "/root/repo/tests/rsg/compat_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/compat_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/compat_test.cpp.o.d"
+  "/root/repo/tests/rsg/divide_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/divide_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/divide_test.cpp.o.d"
+  "/root/repo/tests/rsg/fig1_walkthrough_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/fig1_walkthrough_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/fig1_walkthrough_test.cpp.o.d"
+  "/root/repo/tests/rsg/join_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/join_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/join_test.cpp.o.d"
+  "/root/repo/tests/rsg/level_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/level_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/level_test.cpp.o.d"
+  "/root/repo/tests/rsg/materialize_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/materialize_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/materialize_test.cpp.o.d"
+  "/root/repo/tests/rsg/merge_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/merge_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/merge_test.cpp.o.d"
+  "/root/repo/tests/rsg/ops_edge_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/ops_edge_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/ops_edge_test.cpp.o.d"
+  "/root/repo/tests/rsg/prune_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/prune_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/prune_test.cpp.o.d"
+  "/root/repo/tests/rsg/rsg_test.cpp" "tests/CMakeFiles/rsg_tests.dir/rsg/rsg_test.cpp.o" "gcc" "tests/CMakeFiles/rsg_tests.dir/rsg/rsg_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/psa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/psa_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/psa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsg/CMakeFiles/psa_rsg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/psa_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/psa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

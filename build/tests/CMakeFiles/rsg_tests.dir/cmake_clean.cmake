@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsg_tests.dir/rsg/canon_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/canon_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/compat_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/compat_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/divide_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/divide_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/fig1_walkthrough_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/fig1_walkthrough_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/join_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/join_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/level_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/level_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/materialize_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/materialize_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/merge_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/merge_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/ops_edge_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/ops_edge_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/prune_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/prune_test.cpp.o.d"
+  "CMakeFiles/rsg_tests.dir/rsg/rsg_test.cpp.o"
+  "CMakeFiles/rsg_tests.dir/rsg/rsg_test.cpp.o.d"
+  "rsg_tests"
+  "rsg_tests.pdb"
+  "rsg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/diagnostics_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/diagnostics_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/hash_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/hash_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/interner_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/interner_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/memory_stats_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/memory_stats_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/small_set_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/small_set_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/thread_pool_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/thread_pool_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/timer_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/timer_test.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
