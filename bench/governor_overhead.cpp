@@ -1,0 +1,135 @@
+// Governor overhead: the degradation ladder must be free when nothing
+// trips. Paired benchmarks run the Fig. 2 / Fig. 3 workloads with the
+// governor effectively disarmed (no deadline, huge budgets, hard-fail
+// policy — the pre-governor configuration) and armed (degrade policy,
+// deadline and budgets set far above what the run needs, so every poll and
+// bookkeeping path executes but no rung ever fires). The target is < 3%
+// armed-vs-disarmed overhead.
+//
+// The custom main prints the standard google-benchmark output and then a
+// JSON overhead summary alongside the bench_util.hpp counter format:
+//   {"benchmark": "governor_overhead", "pairs": [
+//     {"workload": "sll", "disarmed_s": ..., "armed_s": ..., "overhead": ...}
+//   ]}
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "bench_util.hpp"
+#include "corpus/corpus.hpp"
+
+namespace {
+
+using namespace psa;
+
+// The Fig. 2 substrate (sll traversal pipeline), the Fig. 1 structure
+// (dll), and the Fig. 3 workload (reduced Barnes-Hut).
+const char* const kWorkloads[] = {"sll", "dll", "barnes_hut_small"};
+
+analysis::ProgramAnalysis& prepared(const std::string& name) {
+  static std::map<std::string, analysis::ProgramAnalysis> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(name,
+                      analysis::prepare(corpus::find_program(name)->source))
+             .first;
+  }
+  return it->second;
+}
+
+analysis::Options disarmed_options() {
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  options.budget_policy = analysis::BudgetPolicy::kHardFail;
+  return options;  // no deadline, default (never-tripping) budgets
+}
+
+analysis::Options armed_options() {
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  options.budget_policy = analysis::BudgetPolicy::kDegrade;
+  // Generous enough that nothing ever trips: we measure the governor's
+  // standby cost (polls, rung lookups, reapply fast paths), not degradation.
+  options.deadline_ms = 10ull * 60ull * 1000ull;
+  options.memory_budget_bytes = 8ull << 30;
+  options.max_node_visits = 2'000'000'000ull;
+  return options;
+}
+
+/// Mean seconds per analysis, measured outside google-benchmark for the
+/// JSON summary (the BM_ wrappers below give the usual per-workload view).
+double mean_seconds(const std::string& name, const analysis::Options& options,
+                    int reps) {
+  auto& program = prepared(name);
+  double total = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const auto result = analysis::analyze_program(program, options);
+    total += result.seconds;
+  }
+  return total / reps;
+}
+
+void BM_Governor_Disarmed(benchmark::State& state, const char* name) {
+  auto& program = prepared(name);
+  const auto options = disarmed_options();
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+    benchmark::DoNotOptimize(result.status);
+  }
+  bench::report_run(state, program, result);
+}
+
+void BM_Governor_Armed(benchmark::State& state, const char* name) {
+  auto& program = prepared(name);
+  const auto options = armed_options();
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+    benchmark::DoNotOptimize(result.status);
+  }
+  bench::report_run(state, program, result);
+  state.counters["degraded"] = result.degraded() ? 1.0 : 0.0;  // expect 0
+}
+
+void register_benchmarks() {
+  for (const char* name : kWorkloads) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Governor_Disarmed/") + name).c_str(),
+        [name](benchmark::State& s) { BM_Governor_Disarmed(s, name); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Governor_Armed/") + name).c_str(),
+        [name](benchmark::State& s) { BM_Governor_Armed(s, name); });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Paired overhead summary (JSON), warm-up rep discarded by the cache.
+  std::printf("{\"benchmark\": \"governor_overhead\", \"pairs\": [");
+  bool first = true;
+  for (const char* name : kWorkloads) {
+    const double disarmed = mean_seconds(name, disarmed_options(), 5);
+    const double armed = mean_seconds(name, armed_options(), 5);
+    const double overhead = disarmed > 0.0 ? (armed - disarmed) / disarmed
+                                           : 0.0;
+    std::printf("%s\n  {\"workload\": \"%s\", \"disarmed_s\": %.6f, "
+                "\"armed_s\": %.6f, \"overhead\": %.4f}",
+                first ? "" : ",", name, disarmed, armed, overhead);
+    first = false;
+  }
+  std::printf("\n]}\n");
+  return 0;
+}

@@ -3,8 +3,13 @@
 //
 //   $ ./corpus_report [program-name ...]
 //
-// Columns: analysis status, wall time, peak RSG bytes, statement visits, and
-// the size of the RSRSG at the function exit.
+// Columns: analysis status, wall time, peak RSG bytes, statement visits, the
+// size of the RSRSG at the function exit, and what the resource governor had
+// to do (blank when nothing tripped).
+//
+// Batch isolation: a program the frontend rejects is reported and skipped —
+// one pathological input never kills the run. The exit code is nonzero only
+// when every selected program failed.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -32,34 +37,40 @@ int main(int argc, char** argv) {
       selected.push_back(&p);
   }
 
-  std::printf("%-14s %-3s %-11s %10s %14s %8s %12s\n", "program", "lvl",
-              "status", "time(s)", "peak bytes", "visits", "exit graphs");
-  for (const corpus::CorpusProgram* p : selected) {
-    analysis::ProgramAnalysis prepared;
-    try {
-      prepared = analysis::prepare(p->source);
-    } catch (const analysis::FrontendError& e) {
-      std::cerr << p->name << ": frontend error:\n" << e.what();
-      return 1;
+  const std::vector<corpus::PreparedProgram> prepared_batch =
+      corpus::prepare_programs(selected);
+
+  std::printf("%-16s %-3s %-11s %10s %14s %8s %12s  %s\n", "program", "lvl",
+              "status", "time(s)", "peak bytes", "visits", "exit graphs",
+              "degradation");
+  std::size_t succeeded = 0;
+  for (const corpus::PreparedProgram& prepared : prepared_batch) {
+    if (!prepared.ok()) {
+      std::cerr << prepared.program->name << ": frontend error (skipped):\n"
+                << prepared.error;
+      continue;
     }
+    ++succeeded;
     for (const rsg::AnalysisLevel level :
          {rsg::AnalysisLevel::kL1, rsg::AnalysisLevel::kL2,
           rsg::AnalysisLevel::kL3}) {
       analysis::Options options;
       options.level = level;
       const analysis::AnalysisResult result =
-          analysis::analyze_program(prepared, options);
+          analysis::analyze_program(*prepared.analysis, options);
       const client::SetStats exit_stats =
-          client::stats(result.at_exit(prepared.cfg));
-      std::printf("%-14s %-3s %-11s %10.3f %14llu %8llu %12zu\n",
-                  std::string(p->name).c_str(),
+          client::stats(result.at_exit(prepared.analysis->cfg));
+      std::printf("%-16s %-3s %-11s %10.3f %14llu %8llu %12zu  %s\n",
+                  std::string(prepared.program->name).c_str(),
                   std::string(rsg::to_string(level)).c_str(),
                   std::string(analysis::to_string(result.status)).c_str(),
                   result.seconds,
                   static_cast<unsigned long long>(result.peak_bytes()),
                   static_cast<unsigned long long>(result.node_visits),
-                  exit_stats.graphs);
+                  exit_stats.graphs,
+                  result.degraded() ? result.degradation.summary().c_str()
+                                    : "");
     }
   }
-  return 0;
+  return succeeded == 0 ? 1 : 0;
 }

@@ -1,17 +1,25 @@
-// psa_cli — the command-line driver: analyze a C file from disk.
+// psa_cli — the command-line driver: analyze C files from disk.
 //
-//   $ ./psa_cli FILE.c [--function=NAME] [--level=1|2|3] [--progressive]
+//   $ ./psa_cli FILE.c [FILE.c ...]
+//                      [--function=NAME] [--level=1|2|3] [--progressive]
 //                      [--per-statement] [--dot=OUT.dot] [--annotate]
 //                      [--no-widen] [--threads=N] [--memory-budget=BYTES]
+//                      [--deadline-ms=MS] [--max-visits=N] [--hard-fail]
 //
 // Prints the analysis report (status, cost, exit-state shape facts, loop
-// parallelism); --dot writes the exit RSRSG as graphviz; --progressive runs
-// the L1 -> L2 -> L3 driver using "no structure possibly cyclic" as the
-// accuracy criterion.
+// parallelism) and, when the resource governor had to degrade, its summary;
+// --dot writes the exit RSRSG as graphviz; --progressive runs the
+// L1 -> L2 -> L3 driver using "no structure possibly cyclic" as the accuracy
+// criterion. --hard-fail restores the legacy abort-on-budget behavior.
+//
+// Batch isolation: each file is analyzed independently; a file the frontend
+// rejects is reported and skipped. The exit code is nonzero only when every
+// input failed.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/progressive.hpp"
 #include "client/dot.hpp"
@@ -24,7 +32,7 @@ namespace {
 using namespace psa;
 
 struct CliOptions {
-  std::string file;
+  std::vector<std::string> files;
   std::string function = "main";
   int level = 1;
   bool progressive = false;
@@ -34,7 +42,7 @@ struct CliOptions {
   analysis::Options engine;
 };
 
-bool parse_args(int argc, char** argv, CliOptions& out) {
+bool parse_args(int argc, char** argv, CliOptions& out) try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](std::string_view prefix) -> std::string {
@@ -60,33 +68,40 @@ bool parse_args(int argc, char** argv, CliOptions& out) {
     } else if (arg.rfind("--memory-budget=", 0) == 0) {
       out.engine.memory_budget_bytes =
           std::stoull(value_of("--memory-budget="));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      out.engine.deadline_ms = std::stoull(value_of("--deadline-ms="));
+    } else if (arg.rfind("--max-visits=", 0) == 0) {
+      out.engine.max_node_visits = std::stoull(value_of("--max-visits="));
+    } else if (arg == "--hard-fail") {
+      out.engine.budget_policy = analysis::BudgetPolicy::kHardFail;
     } else if (!arg.empty() && arg[0] != '-') {
-      out.file = arg;
+      out.files.push_back(arg);
     } else {
       return false;
     }
   }
-  return !out.file.empty();
+  return !out.files.empty();
+} catch (const std::exception&) {
+  return false;  // malformed numeric value (stoi/stoull)
 }
 
 int usage() {
-  std::cerr << "usage: psa_cli FILE.c [--function=NAME] [--level=1|2|3]\n"
-               "               [--progressive] [--per-statement] [--annotate]\n"
-               "               [--dot=OUT.dot] [--no-widen] [--threads=N]\n"
-               "               [--memory-budget=BYTES]\n";
+  std::cerr << "usage: psa_cli FILE.c [FILE.c ...] [--function=NAME]\n"
+               "               [--level=1|2|3] [--progressive]\n"
+               "               [--per-statement] [--annotate] [--dot=OUT.dot]\n"
+               "               [--no-widen] [--threads=N]\n"
+               "               [--memory-budget=BYTES] [--deadline-ms=MS]\n"
+               "               [--max-visits=N] [--hard-fail]\n";
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions cli;
-  if (!parse_args(argc, argv, cli)) return usage();
-
-  std::ifstream in(cli.file);
+/// Analyze one file end to end. Returns false on failure (unreadable file or
+/// frontend rejection) — the caller keeps going with the other inputs.
+bool run_file(const std::string& file, const CliOptions& cli) {
+  std::ifstream in(file);
   if (!in) {
-    std::cerr << "cannot open '" << cli.file << "'\n";
-    return 1;
+    std::cerr << "cannot open '" << file << "'\n";
+    return false;
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
@@ -112,8 +127,8 @@ int main(int argc, char** argv) {
              return true;
            }},
       };
-      const auto out =
-          analysis::run_progressive(program, criteria, cli.engine);
+      analysis::Options engine = cli.engine;
+      const auto out = analysis::run_progressive(program, criteria, engine);
       for (const auto& attempt : out.attempts) {
         std::cout << rsg::to_string(attempt.level) << ": "
                   << analysis::to_string(attempt.result.status);
@@ -122,14 +137,21 @@ int main(int argc, char** argv) {
           for (const auto& c : attempt.failed_criteria) std::cout << ' ' << c;
           std::cout << ')';
         }
+        if (!attempt.stop_reason.empty()) {
+          std::cout << " [stop: " << attempt.stop_reason << ']';
+        }
         std::cout << '\n';
       }
-      result = out.attempts.back().result;
-      std::cout << "final level: " << rsg::to_string(out.final_level())
+      if (out.resource_exhausted) {
+        std::cout << "stopped: " << out.stop_reason << '\n';
+      }
+      result = out.best().result;
+      std::cout << "final level: " << rsg::to_string(out.best().level)
                 << "\n\n";
     } else {
-      cli.engine.level = static_cast<rsg::AnalysisLevel>(cli.level);
-      result = analysis::analyze_program(program, cli.engine);
+      analysis::Options engine = cli.engine;
+      engine.level = static_cast<rsg::AnalysisLevel>(cli.level);
+      result = analysis::analyze_program(program, engine);
     }
 
     client::ReportOptions report;
@@ -148,8 +170,25 @@ int main(int argc, char** argv) {
       std::cout << "\nexit RSRSG written to " << cli.dot_path << '\n';
     }
   } catch (const analysis::FrontendError& e) {
-    std::cerr << "frontend error:\n" << e.what();
-    return 1;
+    std::cerr << file << ": frontend error (skipped):\n" << e.what();
+    return false;
   }
-  return 0;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) return usage();
+
+  std::size_t succeeded = 0;
+  for (std::size_t i = 0; i < cli.files.size(); ++i) {
+    if (cli.files.size() > 1) {
+      if (i != 0) std::cout << '\n';
+      std::cout << "=== " << cli.files[i] << " ===\n";
+    }
+    if (run_file(cli.files[i], cli)) ++succeeded;
+  }
+  return succeeded == 0 ? 1 : 0;
 }

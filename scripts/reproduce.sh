@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
-# One-shot reproduction: build, test, and regenerate every table/figure.
+# One-shot reproduction: build, test (plain and sanitized), and regenerate
+# every table/figure.
 #
 #   $ scripts/reproduce.sh [BUILD_DIR]
 #
-# Writes test_output.txt and bench_output.txt at the repository root.
+# Writes test_output.txt, test_output_sanitize.txt and bench_output.txt at
+# the repository root. Set PSA_SKIP_SANITIZE=1 to skip the ASan+UBSan pass
+# (it rebuilds the tree and roughly doubles the test wall-clock).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,6 +17,15 @@ cmake --build "$BUILD"
 
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
 
+# Tier-1 under AddressSanitizer + UndefinedBehaviorSanitizer (the `sanitize`
+# preset): memory errors and leaked thread-pool tasks in the governor's
+# cancellation paths show up here, not in the plain build.
+if [ "${PSA_SKIP_SANITIZE:-0}" != "1" ]; then
+  cmake -B build-sanitize -G Ninja -DPSA_SANITIZE=ON
+  cmake --build build-sanitize
+  ctest --test-dir build-sanitize 2>&1 | tee test_output_sanitize.txt
+fi
+
 {
   for b in "$BUILD"/bench/*; do
     if [ -x "$b" ] && [ -f "$b" ]; then
@@ -23,4 +35,4 @@ ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
   done
 } 2>&1 | tee bench_output.txt
 
-echo "done: test_output.txt, bench_output.txt"
+echo "done: test_output.txt, test_output_sanitize.txt, bench_output.txt"

@@ -32,7 +32,9 @@ ProgramAnalysis prepare(std::string_view source, std::string_view function) {
 
 AnalysisResult analyze_program(const ProgramAnalysis& program,
                                const Options& options) {
-  return analyze_cfg(program.cfg, program.induction, options);
+  Options opts = options;
+  opts.types = &program.unit.types;
+  return analyze_cfg(program.cfg, program.induction, opts);
 }
 
 AnalysisResult analyze_source(std::string_view source, const Options& options,

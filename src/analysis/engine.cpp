@@ -1,5 +1,6 @@
 #include "analysis/engine.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 
@@ -14,6 +15,8 @@ std::string_view to_string(AnalysisStatus status) {
     case AnalysisStatus::kOutOfMemory: return "out of memory budget";
     case AnalysisStatus::kIterationLimit: return "iteration limit";
     case AnalysisStatus::kSetLimit: return "RSRSG size limit";
+    case AnalysisStatus::kDeadline: return "deadline expired";
+    case AnalysisStatus::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -40,24 +43,198 @@ class Engine {
     AnalysisResult result;
     result.per_node.resize(cfg_.size());
 
+    ResourceGovernor governor(options_, cfg_);
+    const bool degrade = options_.budget_policy == BudgetPolicy::kDegrade;
+
     std::deque<cfg::NodeId> worklist;
     std::vector<bool> queued(cfg_.size(), false);
     worklist.push_back(cfg_.entry());
     queued[cfg_.entry()] = true;
 
+    // Requeue every statement: after a global degradation (drain, memory
+    // relief, visit ladder) all states got coarser, so everything must be
+    // re-transferred to restore the fixpoint.
+    const auto requeue_all = [&] {
+      for (cfg::NodeId n = 0; n < cfg_.size(); ++n) {
+        if (!queued[n]) {
+          queued[n] = true;
+          worklist.push_back(n);
+        }
+      }
+    };
+
     AnalysisStatus status = AnalysisStatus::kConverged;
     std::uint64_t visits = 0;
+    // The visit ladder: each trip of max_node_visits escalates every live
+    // statement one rung and grants another allowance of the original
+    // budget; once every statement sits at the top rung the count becomes
+    // unbounded (the widened lattice is finite, so the fixpoint terminates).
+    std::uint64_t visit_allowance = options_.max_node_visits;
+    bool visits_unbounded = false;
+    bool memory_checks = options_.memory_budget_bytes != 0;
+    int fruitless_reliefs = 0;
+    // A fan-out aborted on a *transient* memory spike: the partial outputs
+    // are freed on abort, so live bytes may be back under budget by the
+    // time the loop top re-checks — latch the trip so the loop top responds
+    // anyway instead of retrying the same doomed visit forever.
+    bool fanout_memory_trip = false;
+    cfg::NodeId fanout_trip_node = 0;
+    const auto memory_tripped = [&] {
+      return memory_checks &&
+             support::MemoryStats::instance().snapshot().live_bytes >
+                 options_.memory_budget_bytes;
+    };
 
     while (!worklist.empty()) {
-      if (++visits > options_.max_node_visits) {
-        status = AnalysisStatus::kIterationLimit;
+      // --- Cancellation and deadline (cooperative poll). -----------------
+      const auto interrupt = governor.poll();
+      if (interrupt == ResourceGovernor::Interrupt::kCancelled) {
+        status = AnalysisStatus::kCancelled;
         break;
       }
-      if (options_.memory_budget_bytes != 0 &&
-          support::MemoryStats::instance().snapshot().live_bytes >
-              options_.memory_budget_bytes) {
-        status = AnalysisStatus::kOutOfMemory;
-        break;
+      if (interrupt == ResourceGovernor::Interrupt::kDeadline) {
+        if (!degrade || !governor.begin_drain()) {
+          // Hard fail, or the 2x drain allowance itself ran out.
+          status = AnalysisStatus::kDeadline;
+          break;
+        }
+        // Drain: collapse every live state to the top rung, forget the
+        // transfer memoization (an interrupted fan-out may have recorded
+        // inputs whose outputs never landed — re-transferring everything
+        // restores soundness), and redo the now-cheap fixpoint within the
+        // extended allowance.
+        for (cfg::NodeId n = 0; n < cfg_.size(); ++n) {
+          if (!result.per_node[n].empty()) {
+            governor.collapse(n, result.per_node[n],
+                              AnalysisStatus::kDeadline);
+          }
+        }
+        governor.raise_floor(DegradationRung::kSummarize);
+        transfer_cache_.clear();
+        requeue_all();
+        continue;
+      }
+
+      // --- Visit budget. --------------------------------------------------
+      if (!visits_unbounded && visits >= visit_allowance) {
+        if (!degrade) {
+          status = AnalysisStatus::kIterationLimit;
+          break;
+        }
+        bool any = false;
+        for (cfg::NodeId n = 0; n < cfg_.size(); ++n) {
+          if (result.per_node[n].empty()) continue;
+          any |= governor.escalate(n, result.per_node[n],
+                                   AnalysisStatus::kIterationLimit) !=
+                 DegradationRung::kNone;
+        }
+        if (!any) {
+          // Every live statement is already maximally coarse; counting
+          // further visits buys nothing. Hold future states to the top rung
+          // and let the widened fixpoint run out.
+          governor.raise_floor(DegradationRung::kSummarize);
+          visits_unbounded = true;
+        } else {
+          visit_allowance += options_.max_node_visits;
+        }
+        requeue_all();
+        continue;
+      }
+      ++visits;
+
+      // --- Memory budget. -------------------------------------------------
+      if (memory_tripped() || fanout_memory_trip) {
+        const bool forced = fanout_memory_trip;
+        fanout_memory_trip = false;
+        if (!degrade) {
+          status = AnalysisStatus::kOutOfMemory;
+          break;
+        }
+        --visits;  // relief replaces this visit
+        const std::uint64_t target =
+            std::max<std::uint64_t>(1, options_.memory_budget_bytes / 2);
+        const auto live_bytes = [] {
+          return support::MemoryStats::instance().snapshot().live_bytes;
+        };
+        // Step 1: escalate the heaviest states down to half the budget
+        // (headroom: states escalated only to the line would trip again
+        // immediately), preserving the transfer memoization — clearing it
+        // forces a full recompute sweep, which is the expensive part of a
+        // relief.
+        std::vector<cfg::NodeId> escalated;
+        bool escalatable = true;
+        while (escalatable && live_bytes() > target) {
+          escalatable = false;
+          std::vector<cfg::NodeId> by_weight;
+          for (cfg::NodeId n = 0; n < cfg_.size(); ++n) {
+            if (!result.per_node[n].empty()) by_weight.push_back(n);
+          }
+          std::sort(by_weight.begin(), by_weight.end(),
+                    [&](cfg::NodeId a, cfg::NodeId b) {
+                      return result.per_node[a].footprint_bytes() >
+                             result.per_node[b].footprint_bytes();
+                    });
+          for (const cfg::NodeId n : by_weight) {
+            if (governor.escalate(n, result.per_node[n],
+                                  AnalysisStatus::kOutOfMemory) ==
+                DegradationRung::kNone) {
+              continue;
+            }
+            escalated.push_back(n);
+            escalatable = true;
+            if (live_bytes() <= target) break;
+          }
+        }
+        if (forced && escalated.empty()) {
+          // The trip came from an aborted fan-out whose spike has already
+          // drained: nothing is over the target now, but retrying the visit
+          // at its current precision would spike (and abort) again. Coarsen
+          // the aborted statement's *inputs* — its predecessors' states —
+          // so the retry shrinks.
+          for (const cfg::NodeId p : cfg_.node(fanout_trip_node).preds) {
+            if (result.per_node[p].empty()) continue;
+            if (governor.escalate(p, result.per_node[p],
+                                  AnalysisStatus::kOutOfMemory) !=
+                DegradationRung::kNone) {
+              escalated.push_back(p);
+            }
+          }
+        }
+        if (live_bytes() > target) {
+          // Step 2: the states alone cannot reach the target — the
+          // memoization cache is what the budget cannot afford. Without
+          // memoization every sweep recomputes its transfers, so precision
+          // is unaffordable too: drop the cache and hold every state,
+          // present and future, to the top rung. The frontier is then born
+          // coarse instead of re-tripping the budget (and re-wiping the
+          // cache) at every advance.
+          transfer_cache_.clear();
+          governor.raise_floor(DegradationRung::kSummarize);
+        }
+        if (live_bytes() > options_.memory_budget_bytes ||
+            (escalated.empty() && ++fruitless_reliefs >= 3)) {
+          // Even the maximally coarse states exceed the budget (or relief
+          // has nothing left to coarsen and keeps tripping on cache
+          // refills): the budget is unreachable for this input. Finish
+          // soundly over budget rather than die — exactly the Table-1
+          // Sparse-LU failure this governor exists to absorb.
+          governor.raise_floor(DegradationRung::kSummarize);
+          governor.note_memory_unreachable();
+          memory_checks = false;
+        }
+        if (!escalated.empty()) fruitless_reliefs = 0;
+        // Coarsened outputs must be re-consumed: requeue the successors of
+        // every escalated statement (a cache drop alone invalidates
+        // nothing — transfers are pure, memoization is only a shortcut).
+        for (const cfg::NodeId n : escalated) {
+          for (const cfg::NodeId s : cfg_.node(n).succs) {
+            if (!queued[s]) {
+              queued[s] = true;
+              worklist.push_back(s);
+            }
+          }
+        }
+        continue;
       }
 
       const cfg::NodeId id = worklist.front();
@@ -102,10 +279,49 @@ class Engine {
       const auto transfer_one = [&](std::size_t i) {
         produced[i] = execute_statement(*fresh[i], cfg_.node(id), ctx_);
       };
+      // The fan-out is where the combinatorial blow-ups live (a statement
+      // with thousands of fresh inputs, Table 1's Sparse-LU explosion), so
+      // the stop predicate covers the memory budget as well as
+      // deadline/cancel — a loop-top-only check would let a single visit
+      // run away unboundedly before the budget is ever consulted.
+      const auto abort_fanout = [&] {
+        return governor.interrupted() || memory_tripped();
+      };
       if (pool_ != nullptr && fresh.size() > 1) {
-        pool_->parallel_for(fresh.size(), transfer_one);
+        pool_->parallel_for(fresh.size(), transfer_one, abort_fanout);
       } else {
-        for (std::size_t i = 0; i < fresh.size(); ++i) transfer_one(i);
+        for (std::size_t i = 0; i < fresh.size(); ++i) {
+          if (abort_fanout()) break;
+          transfer_one(i);
+        }
+      }
+      if (abort_fanout()) {
+        // Outputs of an aborted fan-out are partial: un-record the inputs
+        // considered this visit so a later visit re-transfers them (entries
+        // were appended per bucket in fresh_keys order, so reverse pops
+        // restore the cache exactly). Without this the cache would keep
+        // claiming inputs whose outputs never landed — a transient memory
+        // spike that drains before the loop-top check would then lose
+        // may-facts for good.
+        for (auto it = fresh_keys.rbegin(); it != fresh_keys.rend(); ++it) {
+          const auto bucket = cache.by_fp.find(it->first);
+          bucket->second.pop_back();
+          if (bucket->second.empty()) cache.by_fp.erase(bucket);
+        }
+        if (!governor.interrupted()) {
+          // Not deadline or cancellation, so the memory budget tripped:
+          // latch it for the loop top, whose own check may already see live
+          // bytes back under budget.
+          fanout_memory_trip = true;
+          fanout_trip_node = id;
+        }
+        // Requeue the node and let the loop-top checks decide (drain,
+        // relief, or stop).
+        if (!queued[id]) {
+          queued[id] = true;
+          worklist.push_front(id);
+        }
+        continue;
       }
 
       // Accumulate into the node's RSRSG; propagate only on change.
@@ -116,14 +332,33 @@ class Engine {
                                                 options_.enable_join);
         }
       }
+      // A degraded statement is held to its rung: fresh precision inserted
+      // above is re-coarsened so cost can never creep back. An unchanged
+      // set is already conformant (every content change passes through this
+      // reapply, and escalation applies its transform directly), so the
+      // sweep is skipped — it is a full degrade pass over the set and would
+      // otherwise dominate the coarse fixpoint's cost.
+      if (changed) changed |= governor.reapply(id, result.per_node[id]);
       if (options_.widen_threshold != 0 &&
           result.per_node[id].size() > options_.widen_threshold) {
         changed |= result.per_node[id].widen(ctx_.policy,
                                              options_.widen_threshold);
       }
       if (result.per_node[id].size() > options_.max_rsgs_per_set) {
-        status = AnalysisStatus::kSetLimit;
-        break;
+        if (!degrade) {
+          status = AnalysisStatus::kSetLimit;
+          break;
+        }
+        // Escalate this statement until the set fits or the ladder tops
+        // out. At the top the widened set keeps one member per ALIAS
+        // pattern — if even that exceeds the cap the cap is unreachable and
+        // the (bounded) set is carried over it.
+        while (result.per_node[id].size() > options_.max_rsgs_per_set &&
+               governor.escalate(id, result.per_node[id],
+                                 AnalysisStatus::kSetLimit) !=
+                   DegradationRung::kNone) {
+          changed = true;
+        }
       }
 
       if (changed || visits == 1) {
@@ -140,6 +375,7 @@ class Engine {
     result.node_visits = visits;
     result.seconds = timer.elapsed_seconds();
     result.memory = support::MemoryStats::instance().snapshot();
+    result.degradation = governor.take_report();
     return result;
   }
 

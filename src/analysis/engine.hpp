@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/governor.hpp"
 #include "analysis/rsrsg.hpp"
 #include "analysis/semantics.hpp"
 #include "cfg/cfg.hpp"
@@ -15,6 +16,18 @@
 #include "support/memory_stats.hpp"
 
 namespace psa::analysis {
+
+/// What the engine does when a budget (visits, memory, RSRSG cardinality)
+/// trips mid-fixpoint.
+enum class BudgetPolicy : std::uint8_t {
+  /// Degrade through the governor's widening ladder and keep going: the run
+  /// always terminates with a sound, coarser result plus a
+  /// DegradationReport. The default — production analyzers never abort.
+  kDegrade,
+  /// Legacy behavior (and the paper's own failure mode): stop and report the
+  /// failed status. The client gets partial per-node states.
+  kHardFail,
+};
 
 struct Options {
   rsg::AnalysisLevel level = rsg::AnalysisLevel::kL1;
@@ -37,6 +50,29 @@ struct Options {
   std::uint64_t max_node_visits = 2'000'000;
   std::uint64_t memory_budget_bytes = 0;
 
+  /// Wall-clock deadline for one run in milliseconds (0 = none). On expiry
+  /// under kDegrade the engine collapses every state to the governor's top
+  /// rung and drains the remaining fixpoint within a grace period of one
+  /// more deadline (total <= 2x); if even the drain overruns — or under
+  /// kHardFail — the run stops with AnalysisStatus::kDeadline.
+  std::uint64_t deadline_ms = 0;
+
+  /// Optional cooperative cancellation; not owned, may be signalled from any
+  /// thread. A cancelled run stops at the next poll point with
+  /// AnalysisStatus::kCancelled (cancellation never drains: the caller asked
+  /// for the run to end, not for a coarser answer).
+  const CancelToken* cancel = nullptr;
+
+  /// Budget-breach handling; see BudgetPolicy.
+  BudgetPolicy budget_policy = BudgetPolicy::kDegrade;
+
+  /// Struct declarations of the analyzed unit; not owned. Set automatically
+  /// by analyze_program. Lets the governor's kSummarize rung saturate the
+  /// may-structure with every *type-correct* link, making its ⊤ a fixed
+  /// point under further joins (see rsg::summarize_top). Optional: without
+  /// it the top rung is unsaturated — still sound, slower to converge.
+  const lang::TypeTable* types = nullptr;
+
   /// Worker threads for the per-RSG transfer fan-out (see DESIGN.md §7).
   /// 1 = serial. Results are merged in input order, so any thread count
   /// produces identical RSRSGs.
@@ -53,9 +89,18 @@ enum class AnalysisStatus : std::uint8_t {
   kOutOfMemory,      // exceeded Options::memory_budget_bytes
   kIterationLimit,   // exceeded Options::max_node_visits
   kSetLimit,         // an RSRSG exceeded Options::max_rsgs_per_set
+  kDeadline,         // Options::deadline_ms expired (drain included)
+  kCancelled,        // the CancelToken was signalled
 };
 
 [[nodiscard]] std::string_view to_string(AnalysisStatus status);
+
+/// True for every status caused by resource exhaustion rather than a
+/// completed fixpoint — the progressive driver must not escalate past these
+/// (a higher level is strictly more expensive and fails the same way).
+[[nodiscard]] constexpr bool is_resource_status(AnalysisStatus s) noexcept {
+  return s != AnalysisStatus::kConverged;
+}
 
 struct AnalysisResult {
   AnalysisStatus status = AnalysisStatus::kConverged;
@@ -64,9 +109,15 @@ struct AnalysisResult {
   double seconds = 0.0;
   support::MemorySnapshot memory;
   std::uint64_t node_visits = 0;
+  /// What the governor had to do to keep the run alive (empty when no budget
+  /// tripped). A converged-but-degraded result is sound but coarser.
+  DegradationReport degradation;
 
   [[nodiscard]] bool converged() const noexcept {
     return status == AnalysisStatus::kConverged;
+  }
+  [[nodiscard]] bool degraded() const noexcept {
+    return !degradation.empty();
   }
   /// The RSRSG at the function exit.
   [[nodiscard]] const Rsrsg& at_exit(const cfg::Cfg& cfg) const {

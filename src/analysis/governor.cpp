@@ -1,0 +1,163 @@
+#include "analysis/governor.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "analysis/engine.hpp"
+#include "rsg/ops.hpp"
+
+namespace psa::analysis {
+
+std::string_view to_string(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kNone: return "none";
+    case DegradationRung::kWiden: return "widen";
+    case DegradationRung::kForceJoin: return "force-join";
+    case DegradationRung::kSummarize: return "summarize";
+  }
+  return "unknown";
+}
+
+std::size_t DegradationReport::degraded_node_count() const {
+  std::set<cfg::NodeId> nodes;
+  for (const DegradationEvent& e : events) nodes.insert(e.node);
+  return nodes.size();
+}
+
+DegradationRung DegradationReport::worst_rung() const {
+  DegradationRung worst = floor;
+  for (const DegradationEvent& e : events) worst = std::max(worst, e.rung);
+  return worst;
+}
+
+std::string DegradationReport::summary() const {
+  if (empty()) return "no degradation";
+  std::ostringstream os;
+  os << events.size() << " degradation(s) over " << degraded_node_count()
+     << " statement(s):";
+  for (std::size_t r = 1; r < rung_applications.size(); ++r) {
+    if (rung_applications[r] == 0) continue;
+    os << ' ' << to_string(static_cast<DegradationRung>(r)) << " x"
+       << rung_applications[r] << " (" << rung_seconds[r] << " s)";
+  }
+  if (floor != DegradationRung::kNone)
+    os << "; floor " << to_string(floor);
+  if (deadline_drain) os << "; deadline drain";
+  if (memory_budget_unreachable) os << "; memory budget unreachable";
+  return os.str();
+}
+
+ResourceGovernor::ResourceGovernor(const Options& options, const cfg::Cfg& cfg)
+    : policy_(options.policy()),
+      widen_threshold_(options.widen_threshold),
+      types_(options.types),
+      cancel_(options.cancel),
+      deadline_seconds_(static_cast<double>(options.deadline_ms) / 1000.0),
+      deadline_allowance_(deadline_seconds_),
+      rungs_(cfg.size(), DegradationRung::kNone) {
+  // The selector universe: every selector some statement mentions. The
+  // concrete store can only ever write these, so SHSEL over this set is the
+  // full ⊤ for the analyzed function.
+  std::set<rsg::Symbol> sels;
+  for (const cfg::CfgNode& node : cfg.nodes()) {
+    if (node.stmt.sel.valid()) sels.insert(node.stmt.sel);
+  }
+  selectors_.assign(sels.begin(), sels.end());
+}
+
+ResourceGovernor::Interrupt ResourceGovernor::poll() const {
+  if (cancel_ != nullptr && cancel_->cancelled()) return Interrupt::kCancelled;
+  if (deadline_seconds_ != 0.0 &&
+      timer_.elapsed_seconds() >= deadline_allowance_) {
+    return Interrupt::kDeadline;
+  }
+  return Interrupt::kNone;
+}
+
+bool ResourceGovernor::interrupted() const {
+  return poll() != Interrupt::kNone;
+}
+
+bool ResourceGovernor::begin_drain() {
+  if (draining_) return false;
+  draining_ = true;
+  deadline_allowance_ = 2.0 * deadline_seconds_;
+  report_.deadline_drain = true;
+  return true;
+}
+
+void ResourceGovernor::apply(cfg::NodeId node, DegradationRung rung,
+                             Rsrsg& set, AnalysisStatus trigger) {
+  support::WallTimer rung_timer;
+  DegradationEvent event;
+  event.node = node;
+  event.rung = rung;
+  event.trigger = trigger;
+  event.graphs_before = set.size();
+  switch (rung) {
+    case DegradationRung::kNone:
+      return;
+    case DegradationRung::kWiden:
+      set.widen(policy_, std::max<std::size_t>(1, widen_threshold_ / 2));
+      break;
+    case DegradationRung::kForceJoin:
+      set.degrade_members(policy_, [](rsg::Rsg& g) { rsg::drop_must_info(g); });
+      break;
+    case DegradationRung::kSummarize:
+      set.degrade_members(policy_, [this](rsg::Rsg& g) {
+        rsg::summarize_top(g, policy_, selectors_, types_);
+      });
+      break;
+  }
+  event.graphs_after = set.size();
+  const auto idx = static_cast<std::size_t>(rung);
+  report_.rung_applications[idx] += 1;
+  report_.rung_seconds[idx] += rung_timer.elapsed_seconds();
+  report_.events.push_back(event);
+}
+
+DegradationRung ResourceGovernor::escalate(cfg::NodeId node, Rsrsg& set,
+                                           AnalysisStatus trigger) {
+  const DegradationRung current = rung(node);
+  if (current == DegradationRung::kSummarize) return DegradationRung::kNone;
+  const auto next = static_cast<DegradationRung>(
+      static_cast<std::uint8_t>(current) + 1);
+  rungs_[node] = next;
+  apply(node, next, set, trigger);
+  return next;
+}
+
+void ResourceGovernor::collapse(cfg::NodeId node, Rsrsg& set,
+                                AnalysisStatus trigger) {
+  if (rung(node) == DegradationRung::kSummarize) return;
+  rungs_[node] = DegradationRung::kSummarize;
+  apply(node, DegradationRung::kSummarize, set, trigger);
+}
+
+bool ResourceGovernor::reapply(cfg::NodeId node, Rsrsg& set) {
+  switch (rung(node)) {
+    case DegradationRung::kNone:
+      return false;
+    case DegradationRung::kWiden:
+      // Once widened, the set folds every insert itself; widen() is then a
+      // cheap no-op. This matters for a raised floor: sets that were empty
+      // when the floor rose still enter widened mode here.
+      return set.widen(policy_, std::max<std::size_t>(1, widen_threshold_ / 2));
+    case DegradationRung::kForceJoin:
+      return set.degrade_members(
+          policy_, [](rsg::Rsg& g) { rsg::drop_must_info(g); });
+    case DegradationRung::kSummarize:
+      return set.degrade_members(policy_, [this](rsg::Rsg& g) {
+        rsg::summarize_top(g, policy_, selectors_, types_);
+      });
+  }
+  return false;
+}
+
+void ResourceGovernor::raise_floor(DegradationRung rung) {
+  floor_ = std::max(floor_, rung);
+  report_.floor = floor_;
+}
+
+}  // namespace psa::analysis

@@ -1,16 +1,55 @@
 #include "analysis/progressive.hpp"
 
+#include <cstdint>
+
+#include "support/timer.hpp"
+
 namespace psa::analysis {
+
+namespace {
+
+/// Why an attempt must not be escalated past: a failed resource status, or a
+/// converged-but-exhausted run (deadline drain, unreachable memory budget)
+/// whose budget a higher level would exhaust even faster. Returns an empty
+/// string when escalation is fine.
+std::string resource_stop_reason(const AnalysisResult& result) {
+  if (is_resource_status(result.status)) {
+    return std::string("resource exhaustion: ") + std::string(
+        to_string(result.status));
+  }
+  if (result.degradation.deadline_drain) {
+    return "converged only by deadline drain; a higher level would need more "
+           "time, not less";
+  }
+  if (result.degradation.memory_budget_unreachable) {
+    return "memory budget unreachable even at the top degradation rung";
+  }
+  return {};
+}
+
+}  // namespace
 
 ProgressiveResult run_progressive(const ProgramAnalysis& program,
                                   const std::vector<ShapeCriterion>& criteria,
                                   const Options& base) {
   ProgressiveResult out;
+  support::WallTimer ladder_timer;  // shared deadline budget for all levels
   for (const rsg::AnalysisLevel level :
        {rsg::AnalysisLevel::kL1, rsg::AnalysisLevel::kL2,
         rsg::AnalysisLevel::kL3}) {
     Options options = base;
     options.level = level;
+    if (base.deadline_ms != 0) {
+      const auto spent_ms = static_cast<std::uint64_t>(
+          ladder_timer.elapsed_seconds() * 1000.0);
+      if (spent_ms >= base.deadline_ms) {
+        out.resource_exhausted = true;
+        out.stop_reason = std::string("deadline budget exhausted before ") +
+                          std::string(rsg::to_string(level));
+        break;
+      }
+      options.deadline_ms = base.deadline_ms - spent_ms;
+    }
 
     LevelAttempt attempt;
     attempt.level = level;
@@ -20,11 +59,22 @@ ProgressiveResult run_progressive(const ProgramAnalysis& program,
       if (!c.check(program, attempt.result))
         attempt.failed_criteria.push_back(c.name);
     }
-    const bool ok =
-        attempt.failed_criteria.empty() && attempt.result.converged();
+    const bool converged = attempt.result.converged();
+    const bool ok = attempt.failed_criteria.empty() && converged;
+    std::string stop = resource_stop_reason(attempt.result);
+    if (converged) out.best_attempt = out.attempts.size();
+    attempt.stop_reason = stop;
     out.attempts.push_back(std::move(attempt));
     if (ok) {
       out.satisfied = true;
+      break;
+    }
+    if (!stop.empty()) {
+      // Resource failure is not an accuracy failure: escalating would cost
+      // strictly more and fail the same way. Stop here; best() points at the
+      // last converged attempt (the step-down answer).
+      out.resource_exhausted = true;
+      out.stop_reason = std::move(stop);
       break;
     }
   }

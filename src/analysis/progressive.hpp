@@ -27,11 +27,24 @@ struct LevelAttempt {
   rsg::AnalysisLevel level = rsg::AnalysisLevel::kL1;
   AnalysisResult result;
   std::vector<std::string> failed_criteria;
+  /// Why the driver stopped after this attempt instead of escalating; empty
+  /// for attempts that escalated normally or satisfied every criterion.
+  std::string stop_reason;
 };
 
 struct ProgressiveResult {
   std::vector<LevelAttempt> attempts;
   bool satisfied = false;
+  /// The driver stopped because a level ran out of resources (status, drain,
+  /// or unreachable memory budget) — not because accuracy was reached.
+  /// Escalating past a resource failure is pointless: a higher level is
+  /// strictly more expensive and exhausts the same budget.
+  bool resource_exhausted = false;
+  std::string stop_reason;
+  /// Index of the best usable attempt: the last one that converged (the
+  /// step-down answer when a later escalation exhausted its budget). Falls
+  /// back to the last attempt when none converged.
+  std::size_t best_attempt = 0;
 
   [[nodiscard]] const LevelAttempt& final_attempt() const {
     return attempts.back();
@@ -39,10 +52,20 @@ struct ProgressiveResult {
   [[nodiscard]] rsg::AnalysisLevel final_level() const {
     return attempts.back().level;
   }
+  /// The attempt a client should consume (see best_attempt).
+  [[nodiscard]] const LevelAttempt& best() const {
+    return attempts[best_attempt];
+  }
 };
 
 /// Run the progressive analysis. `base` supplies every option except the
 /// level, which the driver raises from L1 to L3 as needed.
+///
+/// Resource budgets are shared across the whole ladder: `base.deadline_ms`
+/// is the budget for *all* attempts together — each level gets whatever the
+/// previous ones left, and the driver stops (resource_exhausted) when
+/// nothing remains. A level that fails on resources short-circuits the
+/// ladder; the step-down answer is ProgressiveResult::best().
 [[nodiscard]] ProgressiveResult run_progressive(
     const ProgramAnalysis& program, const std::vector<ShapeCriterion>& criteria,
     const Options& base = {});

@@ -97,18 +97,52 @@ bool Rsrsg::merge(const Rsrsg& other, const LevelPolicy& policy,
 
 bool Rsrsg::widen(const LevelPolicy& policy, std::size_t max_graphs) {
   if (widened_ && graphs_.size() <= max_graphs) return false;
+  const bool was_widened = widened_;
   widened_ = true;
   // Re-insert every member through the widened-mode path: coarsen, then fold
   // ALIAS-equal members together. The result has at most one member per
   // ALIAS relation.
   std::vector<Rsg> members;
   members.swap(graphs_);
-  fingerprints_.clear();
+  std::vector<std::uint64_t> old_fps;
+  old_fps.swap(fingerprints_);
   contexts_.clear();
   for (Rsg& g : members) {
     insert(std::move(g), policy, /*enable_join=*/true);
   }
-  return true;
+  // A widened set may *legitimately* exceed max_graphs (one member per
+  // ALIAS pattern is the floor), so "still too big" is not "changed".
+  // Report change only when folding actually moved something — otherwise a
+  // caller re-widening an over-threshold set on every visit would requeue
+  // its successors forever.
+  if (!was_widened || graphs_.size() != old_fps.size()) return true;
+  for (std::size_t i = 0; i < old_fps.size(); ++i) {
+    if (fingerprints_[i] != old_fps[i]) return true;
+  }
+  return false;
+}
+
+bool Rsrsg::degrade_members(const LevelPolicy& policy,
+                            const std::function<void(Rsg&)>& transform) {
+  const bool was_widened = widened_;
+  widened_ = true;
+  std::vector<Rsg> members;
+  members.swap(graphs_);
+  std::vector<std::uint64_t> old_fps;
+  old_fps.swap(fingerprints_);
+  contexts_.clear();
+  for (Rsg& g : members) {
+    transform(g);
+    insert(std::move(g), policy, /*enable_join=*/true);
+  }
+  if (!was_widened || graphs_.size() != old_fps.size()) return true;
+  // Same cardinality: changed iff some member's fingerprint moved. (Order-
+  // sensitive and thus conservative — a spurious `true` only requeues the
+  // successors once more.)
+  for (std::size_t i = 0; i < old_fps.size(); ++i) {
+    if (fingerprints_[i] != old_fps[i]) return true;
+  }
+  return false;
 }
 
 std::size_t Rsrsg::footprint_bytes() const {

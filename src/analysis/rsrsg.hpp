@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +47,15 @@ class Rsrsg {
   bool widen(const LevelPolicy& policy, std::size_t max_graphs);
 
   [[nodiscard]] bool widened() const noexcept { return widened_; }
+
+  /// Degradation entry point for the resource governor: apply `transform` to
+  /// every member, then rebuild the set through the widened-mode insert path
+  /// (coarsen + force-join ALIAS-equal members). The set enters widened mode,
+  /// so later inserts stay coarse and the fixpoint terminates. `transform`
+  /// must only widen (merge nodes, grow may-info, shrink must-info) for the
+  /// result to stay sound. Returns true when the set changed.
+  bool degrade_members(const LevelPolicy& policy,
+                       const std::function<void(Rsg&)>& transform);
 
   [[nodiscard]] std::size_t size() const noexcept { return graphs_.size(); }
   [[nodiscard]] bool empty() const noexcept { return graphs_.empty(); }

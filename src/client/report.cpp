@@ -45,6 +45,11 @@ std::string format_analysis_report(const analysis::ProgramAnalysis& program,
      << result.seconds << " s, " << result.node_visits
      << " statement visits, peak " << result.peak_bytes()
      << " bytes of RSG storage\n";
+  if (options.degradation && result.degraded()) {
+    os << "degradation: " << result.degradation.summary() << '\n'
+       << "  (degraded states are sound over-approximations; precision, not "
+          "safety, was traded)\n";
+  }
   os << "cfg: " << program.cfg.size() << " statements, "
      << program.cfg.pointer_vars().size() << " pvars, "
      << program.cfg.loop_scopes().size() << " loops\n";

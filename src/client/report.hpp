@@ -16,6 +16,8 @@ struct ReportOptions {
   bool parallelism = true;
   /// Include per-struct sharing facts.
   bool sharing = true;
+  /// Include the governor's degradation section when a budget tripped.
+  bool degradation = true;
 };
 
 /// Render a human-readable report of one analysis run.

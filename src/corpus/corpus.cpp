@@ -1076,6 +1076,34 @@ const CorpusProgram* find_program(std::string_view name) {
   return nullptr;
 }
 
+std::vector<PreparedProgram> prepare_programs(
+    const std::vector<const CorpusProgram*>& selection) {
+  std::vector<PreparedProgram> out;
+  out.reserve(selection.size());
+  for (const CorpusProgram* p : selection) {
+    PreparedProgram prepared;
+    prepared.program = p;
+    if (p == nullptr) {
+      prepared.error = "null corpus entry";
+      out.push_back(std::move(prepared));
+      continue;
+    }
+    try {
+      prepared.analysis.emplace(analysis::prepare(p->source));
+    } catch (const analysis::FrontendError& e) {
+      prepared.error = e.what();
+    }
+    out.push_back(std::move(prepared));
+  }
+  return out;
+}
+
+std::vector<PreparedProgram> prepare_all() {
+  std::vector<const CorpusProgram*> selection;
+  for (const CorpusProgram& p : programs()) selection.push_back(&p);
+  return prepare_programs(selection);
+}
+
 const CorpusProgram& sparse_matvec() { return *find_program("sparse_matvec"); }
 const CorpusProgram& sparse_matmat() { return *find_program("sparse_matmat"); }
 const CorpusProgram& sparse_lu() { return *find_program("sparse_lu"); }

@@ -15,8 +15,12 @@
 // reversal) exercise individual operations and feed the unit tests.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
+
+#include "analysis/analyzer.hpp"
 
 namespace psa::corpus {
 
@@ -33,6 +37,27 @@ struct CorpusProgram {
 
 /// Lookup by name; nullptr when unknown.
 [[nodiscard]] const CorpusProgram* find_program(std::string_view name);
+
+/// One corpus entry pushed through the frontend, with failure isolated: a
+/// program whose frontend rejects it carries the diagnostics instead of an
+/// analysis, and never aborts the batch.
+struct PreparedProgram {
+  const CorpusProgram* program = nullptr;
+  std::optional<analysis::ProgramAnalysis> analysis;
+  std::string error;  // frontend diagnostics when !ok()
+
+  [[nodiscard]] bool ok() const noexcept { return analysis.has_value(); }
+};
+
+/// Prepare a selection of corpus entries, catching FrontendError per entry
+/// so one pathological input never kills a batch run. The output order
+/// matches the input order and every entry is present (failed ones carry
+/// their diagnostics).
+[[nodiscard]] std::vector<PreparedProgram> prepare_programs(
+    const std::vector<const CorpusProgram*>& selection);
+
+/// prepare_programs over the whole corpus, stable order.
+[[nodiscard]] std::vector<PreparedProgram> prepare_all();
 
 // Shorthand accessors for the paper's four codes.
 [[nodiscard]] const CorpusProgram& sparse_matvec();

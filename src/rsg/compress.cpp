@@ -153,4 +153,56 @@ void coarsen(Rsg& g, const LevelPolicy& policy) {
   compress(g, policy);
 }
 
+bool drop_must_info(Rsg& g) {
+  bool changed = false;
+  for (const NodeRef n : g.node_refs()) {
+    NodeProps& p = g.props(n);
+    for (const Symbol s : p.selin) changed |= p.pos_selin.insert(s);
+    for (const Symbol s : p.selout) changed |= p.pos_selout.insert(s);
+    changed |= !p.selin.empty() || !p.selout.empty() ||
+               !p.cyclelinks.empty() || !p.touch.empty();
+    p.selin.clear();
+    p.selout.clear();
+    p.cyclelinks.clear();
+    p.touch.clear();
+  }
+  return changed;
+}
+
+void summarize_top(Rsg& g, const LevelPolicy& policy,
+                   const std::vector<Symbol>& selectors,
+                   const lang::TypeTable* types) {
+  drop_must_info(g);
+  for (const NodeRef n : g.node_refs()) {
+    NodeProps& p = g.props(n);
+    p.shared = true;
+    for (const Symbol sel : selectors) p.shsel.insert(sel);
+    // Pvar-referenced nodes keep cardinality one (a concrete store binds a
+    // pvar to at most one location — the PL invariant, not a precision
+    // claim); everything else becomes a summary.
+    if (g.pvars_of(n).empty()) p.cardinality = Cardinality::kMany;
+  }
+  // Saturate the may-structure (see ops.hpp): every *type-correct* link is
+  // present, so joining any further transfer output cannot grow the graph.
+  if (types != nullptr) {
+    const auto refs = g.node_refs();
+    for (const NodeRef a : refs) {
+      const lang::StructDecl& decl = types->struct_decl(g.props(a).type);
+      for (const lang::Field& f : decl.fields) {
+        if (!f.is_selector()) continue;
+        g.props(a).pos_selout.insert(f.name);
+        for (const NodeRef b : refs) {
+          if (g.props(b).type != *f.type.struct_id) continue;
+          g.add_link(a, f.name, b);
+          g.props(b).pos_selin.insert(f.name);
+        }
+      }
+    }
+  }
+  // With uniform sharing bits and no must-information, coarsen's partition
+  // degenerates to (TYPE, SPATH0): one node per struct type plus one per
+  // pvar-reference combination — the coarsest graph for this ALIAS pattern.
+  coarsen(g, policy);
+}
+
 }  // namespace psa::rsg

@@ -94,4 +94,30 @@ void coarsen(Rsg& g, const LevelPolicy& policy);
 [[nodiscard]] Rsg force_join(const Rsg& a, const Rsg& b,
                              const LevelPolicy& policy);
 
+/// Degradation support (the resource governor's kForceJoin rung): demote
+/// every node's must-information to may-information — SELIN/SELOUT move to
+/// their possible counterparts, CYCLELINKS and TOUCH are cleared. Sound:
+/// must sets may only be under-approximated, possible sets only grown.
+/// Returns true when anything changed.
+bool drop_must_info(Rsg& g);
+
+/// Degradation support (the governor's kSummarize rung): the ⊤-like collapse
+/// for a fixed ALIAS pattern. Sets SHARED and SHSEL(sel) for every node and
+/// every selector of `selectors`, demotes must-information, marks every
+/// node not referenced by a pvar as a summary, then coarsens. Links are
+/// never deleted, pvar bindings are untouched, so the result covers every
+/// store the input covered.
+///
+/// When `types` is given, the may-structure is additionally *saturated*:
+/// every type-correct link (a selector field of the source's struct whose
+/// pointee is the target's struct) is present, with PosSELOUT/PosSELIN to
+/// match. Saturation makes ⊤ a fixed point under joining further transfer
+/// outputs — without it a degraded fixpoint climbs the link lattice one
+/// fold at a time, re-queuing successors on every climb. The saturation
+/// must stay *typed*: saturating untyped would let a later DIVIDE bind
+/// pvars to nodes of every type, exploding the ALIAS-pattern space.
+void summarize_top(Rsg& g, const LevelPolicy& policy,
+                   const std::vector<Symbol>& selectors,
+                   const lang::TypeTable* types = nullptr);
+
 }  // namespace psa::rsg

@@ -39,10 +39,14 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              const std::function<bool()>& stop) {
   if (n == 0) return;
   if (n == 1 || workers_.size() == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stop && stop()) return;
+      body(i);
+    }
     return;
   }
 
@@ -52,21 +56,30 @@ void ThreadPool::parallel_for(std::size_t n,
   struct SharedState {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
+    std::atomic<bool> stopped{false};
     std::size_t total;
     std::function<void(std::size_t)> body;
+    std::function<bool()> stop;
     std::mutex done_mutex;
     std::condition_variable done_cv;
   };
   auto state = std::make_shared<SharedState>();
   state->total = n;
   state->body = body;
+  state->stop = stop;
 
   auto run_chunk = [state] {
     std::size_t processed = 0;
     for (;;) {
       const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= state->total) break;
-      state->body(i);
+      // A skipped iteration still counts toward `done` below: the barrier
+      // always releases and no task outlives the call.
+      if (!state->stopped.load(std::memory_order_relaxed) && state->stop &&
+          state->stop()) {
+        state->stopped.store(true, std::memory_order_relaxed);
+      }
+      if (!state->stopped.load(std::memory_order_relaxed)) state->body(i);
       ++processed;
     }
     if (processed != 0 &&

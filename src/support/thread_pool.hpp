@@ -34,7 +34,16 @@ class ThreadPool {
   /// Iterations must be independent. Exceptions escaping `body` terminate
   /// (analysis transfer functions are noexcept by design); callers that can
   /// fail must capture their own error state.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  ///
+  /// When `stop` is non-empty it is polled before every iteration; once it
+  /// returns true the remaining iterations are skipped (their bodies never
+  /// run). The call still blocks until every iteration is either executed or
+  /// skipped, so no task outlives the call whatever the outcome — the
+  /// cooperative cancellation the analysis engine's deadline/cancel budget
+  /// needs (see analysis/governor.hpp). The caller is responsible for
+  /// noticing the stop and discarding/redoing the skipped work.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    const std::function<bool()>& stop = {});
 
  private:
   void worker_loop();

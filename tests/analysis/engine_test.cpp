@@ -78,20 +78,48 @@ TEST(EngineTest, PerNodeStatesCoverReachableStatements) {
   EXPECT_FALSE(result.per_node[program.cfg.exit()].empty());
 }
 
-TEST(EngineTest, IterationLimitReported) {
+TEST(EngineTest, IterationLimitReportedUnderHardFail) {
   const auto program = prepare(kListBuild);
   Options options;
   options.max_node_visits = 3;
+  options.budget_policy = BudgetPolicy::kHardFail;
   const auto result = analyze_program(program, options);
   EXPECT_EQ(result.status, AnalysisStatus::kIterationLimit);
 }
 
-TEST(EngineTest, MemoryBudgetReported) {
+TEST(EngineTest, IterationLimitDegradesToConvergence) {
+  const auto program = prepare(kListBuild);
+  Options options;
+  options.max_node_visits = 3;  // kDegrade is the default
+  const auto result = analyze_program(program, options);
+  EXPECT_EQ(result.status, AnalysisStatus::kConverged);
+  EXPECT_TRUE(result.degraded());
+}
+
+TEST(EngineTest, MemoryBudgetReportedUnderHardFail) {
+  const auto program = prepare(corpus::find_program("sparse_matvec")->source);
+  Options options;
+  options.memory_budget_bytes = 64 * 1024;  // far too small
+  options.budget_policy = BudgetPolicy::kHardFail;
+  const auto result = analyze_program(program, options);
+  EXPECT_EQ(result.status, AnalysisStatus::kOutOfMemory);
+}
+
+TEST(EngineTest, MemoryBudgetDegradesToConvergence) {
   const auto program = prepare(corpus::find_program("sparse_matvec")->source);
   Options options;
   options.memory_budget_bytes = 64 * 1024;  // far too small
   const auto result = analyze_program(program, options);
-  EXPECT_EQ(result.status, AnalysisStatus::kOutOfMemory);
+  EXPECT_EQ(result.status, AnalysisStatus::kConverged);
+  EXPECT_TRUE(result.degraded());
+}
+
+TEST(EngineTest, UndegradedRunReportsNothing) {
+  const auto program = prepare(kListBuild);
+  const auto result = analyze_program(program, {});
+  EXPECT_TRUE(result.converged());
+  EXPECT_FALSE(result.degraded());
+  EXPECT_EQ(result.degradation.summary(), "no degradation");
 }
 
 TEST(EngineTest, MemorySnapshotPopulated) {
@@ -152,6 +180,8 @@ TEST(EngineTest, StatusToString) {
   EXPECT_EQ(to_string(AnalysisStatus::kOutOfMemory), "out of memory budget");
   EXPECT_EQ(to_string(AnalysisStatus::kIterationLimit), "iteration limit");
   EXPECT_EQ(to_string(AnalysisStatus::kSetLimit), "RSRSG size limit");
+  EXPECT_EQ(to_string(AnalysisStatus::kDeadline), "deadline expired");
+  EXPECT_EQ(to_string(AnalysisStatus::kCancelled), "cancelled");
 }
 
 TEST(EngineTest, AllLevelsConvergeOnSmallPrograms) {

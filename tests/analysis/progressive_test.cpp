@@ -81,16 +81,45 @@ TEST(ProgressiveTest, NoCriteriaSatisfiedImmediately) {
   EXPECT_EQ(out.attempts.size(), 1u);
 }
 
-TEST(ProgressiveTest, OptionsPropagateToEveryLevel) {
+TEST(ProgressiveTest, ResourceFailureShortCircuitsEscalation) {
   const auto program = prepare(corpus::find_program("sll")->source);
   Options base;
   base.max_node_visits = 2;  // guarantees the guard-rail status
-  const auto out = run_progressive(program, {always_pass()}, base);
-  // The run cannot converge, so even a passing criterion does not satisfy.
+  base.budget_policy = BudgetPolicy::kHardFail;
+  // Even with a failing *accuracy* criterion, a resource failure must stop
+  // the ladder after one attempt: a higher level costs strictly more and
+  // exhausts the same budget.
+  const auto out = run_progressive(program, {always_fail()}, base);
   EXPECT_FALSE(out.satisfied);
+  ASSERT_EQ(out.attempts.size(), 1u);
+  EXPECT_EQ(out.attempts[0].result.status, AnalysisStatus::kIterationLimit);
+  EXPECT_TRUE(out.resource_exhausted);
+  EXPECT_FALSE(out.stop_reason.empty());
+  EXPECT_FALSE(out.attempts[0].stop_reason.empty());
+}
+
+TEST(ProgressiveTest, OptionsPropagateToEveryLevel) {
+  const auto program = prepare(corpus::find_program("sll")->source);
+  Options base;
+  base.max_node_visits = 2;  // trips the guard rail at every level
+  const auto out = run_progressive(program, {always_fail()}, base);
+  // Under the default degrade policy every level still converges (coarsely),
+  // so the failing criterion drives the ladder through all three levels —
+  // and the option visibly reached each of them via the degradation report.
+  EXPECT_FALSE(out.satisfied);
+  ASSERT_EQ(out.attempts.size(), 3u);
   for (const auto& attempt : out.attempts) {
-    EXPECT_EQ(attempt.result.status, AnalysisStatus::kIterationLimit);
+    EXPECT_EQ(attempt.result.status, AnalysisStatus::kConverged);
+    EXPECT_TRUE(attempt.result.degraded());
   }
+}
+
+TEST(ProgressiveTest, BestAttemptStepsDownToLastConverged) {
+  const auto program = prepare(corpus::find_program("sll")->source);
+  const auto out = run_progressive(program, {always_pass()});
+  ASSERT_FALSE(out.attempts.empty());
+  EXPECT_EQ(out.best_attempt, 0u);
+  EXPECT_TRUE(out.best().result.converged());
 }
 
 TEST(ProgressiveTest, BarnesHutSmallCriteriaFromThePaper) {

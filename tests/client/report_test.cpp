@@ -52,9 +52,23 @@ TEST(ReportTest, GuardRailStatusShown) {
       analysis::prepare(corpus::find_program("sll")->source);
   analysis::Options options;
   options.max_node_visits = 2;
+  options.budget_policy = analysis::BudgetPolicy::kHardFail;
   const auto result = analysis::analyze_program(program, options);
   const std::string report = format_analysis_report(program, result);
   EXPECT_NE(report.find("iteration limit"), std::string::npos);
+}
+
+TEST(ReportTest, DegradationSummaryShown) {
+  // Same budget under the default degrade policy: the run converges and the
+  // report explains what the governor had to do.
+  const auto program =
+      analysis::prepare(corpus::find_program("sll")->source);
+  analysis::Options options;
+  options.max_node_visits = 2;
+  const auto result = analysis::analyze_program(program, options);
+  ASSERT_EQ(result.status, analysis::AnalysisStatus::kConverged);
+  const std::string report = format_analysis_report(program, result);
+  EXPECT_NE(report.find("degradation"), std::string::npos);
 }
 
 }  // namespace

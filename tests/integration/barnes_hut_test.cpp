@@ -102,10 +102,12 @@ TEST(BarnesHutFullTest, OctreeUnsharedThroughTreeSelectors) {
 TEST(BarnesHutFullTest, MemoryBudgetReproducesTable1Oom) {
   // The paper: "our compiler runs out of memory in L2 and L3 in our 128 MB
   // Pentium III" (for Sparse LU) — the same failure mode is reproducible on
-  // any code by bounding the budget.
+  // any code by bounding the budget. kHardFail preserves the historical
+  // abort; the default policy degrades instead (see governor_test.cpp).
   const auto program = prepare(corpus::barnes_hut().source);
   analysis::Options options;
   options.memory_budget_bytes = 256 * 1024;
+  options.budget_policy = analysis::BudgetPolicy::kHardFail;
   const auto result = analysis::analyze_program(program, options);
   EXPECT_EQ(result.status, analysis::AnalysisStatus::kOutOfMemory);
 }

@@ -1,244 +1,26 @@
 // Soundness cross-validation against a concrete interpreter.
 //
-// The gold-standard check: execute programs on a *real* heap (branch
-// outcomes chosen randomly, loops bounded by the step budget), observe the
-// concrete final store, and require the abstract exit RSRSG to cover it:
-//
-//   1. some member graph matches the concrete pvar null-ness and aliasing,
-//   2. a location concretely referenced twice via one selector implies the
-//      abstract state admits SHSEL for that struct/selector,
-//   3. two pvars concretely reaching a common location imply
-//      regions_may_overlap says "maybe".
-//
-// Any violation is an unsound "definitely not" claim by the analysis.
+// The gold-standard check: execute programs on a *real* heap, observe the
+// concrete final store, and require the abstract exit RSRSG to cover it.
+// The interpreter and the coverage checks live in testing/concrete_oracle.hpp
+// (shared with the governor fault-injection suite); this file runs the
+// corpus-wide sweeps plus the region-overlap spot check.
 #include <gtest/gtest.h>
 
-#include <map>
-#include <optional>
-#include <random>
-#include <set>
+#include <string_view>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "client/queries.hpp"
 #include "corpus/corpus.hpp"
+#include "testing/concrete_oracle.hpp"
 
 namespace psa {
 namespace {
 
 using analysis::prepare;
-using analysis::ProgramAnalysis;
-using support::Symbol;
-
-// ---------------------------------------------------------------------------
-// A concrete heap and interpreter for the lowered CFG.
-// ---------------------------------------------------------------------------
-
-using LocId = int;
-constexpr LocId kNull = -1;
-
-struct ConcreteHeap {
-  // location -> selector -> location.
-  std::vector<std::map<Symbol, LocId>> fields;
-  std::vector<lang::StructId> type_of;
-  std::map<Symbol, LocId> env;  // pvar bindings (absent/kNull = NULL)
-
-  LocId alloc(lang::StructId type) {
-    fields.emplace_back();
-    type_of.push_back(type);
-    return static_cast<LocId>(fields.size() - 1);
-  }
-  LocId get(Symbol pvar) const {
-    auto it = env.find(pvar);
-    return it == env.end() ? kNull : it->second;
-  }
-};
-
-struct ConcreteOutcome {
-  ConcreteHeap heap;
-  bool completed = false;  // reached the CFG exit without a null dereference
-};
-
-/// Run the lowered program concretely; opaque branches flip a coin, NULL
-/// tests follow the heap. Loops terminate via the step budget (a cut-off
-/// run is discarded: it reached no final store).
-ConcreteOutcome run_concrete(const ProgramAnalysis& program, unsigned seed,
-                             int max_steps = 4000) {
-  std::mt19937 rng(seed);
-  ConcreteOutcome out;
-  ConcreteHeap& heap = out.heap;
-
-  cfg::NodeId at = program.cfg.entry();
-  for (int step = 0; step < max_steps; ++step) {
-    if (at == program.cfg.exit()) {
-      out.completed = true;
-      return out;
-    }
-    const auto& node = program.cfg.node(at);
-    const auto& s = node.stmt;
-    switch (s.op) {
-      case cfg::SimpleOp::kPtrNull:
-        heap.env.erase(s.x);
-        break;
-      case cfg::SimpleOp::kPtrMalloc:
-        heap.env[s.x] = heap.alloc(s.type);
-        break;
-      case cfg::SimpleOp::kPtrCopy: {
-        const LocId v = heap.get(s.y);
-        if (v == kNull) {
-          heap.env.erase(s.x);
-        } else {
-          heap.env[s.x] = v;
-        }
-        break;
-      }
-      case cfg::SimpleOp::kLoad: {
-        const LocId base = heap.get(s.y);
-        if (base == kNull) return out;  // null dereference: no final store
-        const auto it = heap.fields[static_cast<std::size_t>(base)].find(s.sel);
-        const LocId v =
-            it == heap.fields[static_cast<std::size_t>(base)].end() ? kNull
-                                                                    : it->second;
-        if (v == kNull) {
-          heap.env.erase(s.x);
-        } else {
-          heap.env[s.x] = v;
-        }
-        break;
-      }
-      case cfg::SimpleOp::kStore:
-      case cfg::SimpleOp::kStoreNull: {
-        const LocId base = heap.get(s.x);
-        if (base == kNull) return out;
-        const LocId v =
-            s.op == cfg::SimpleOp::kStore ? heap.get(s.y) : kNull;
-        if (v == kNull) {
-          heap.fields[static_cast<std::size_t>(base)].erase(s.sel);
-        } else {
-          heap.fields[static_cast<std::size_t>(base)][s.sel] = v;
-        }
-        break;
-      }
-      case cfg::SimpleOp::kFree:
-      case cfg::SimpleOp::kScalar:
-      case cfg::SimpleOp::kFieldRead:
-      case cfg::SimpleOp::kFieldWrite:
-      case cfg::SimpleOp::kTouchClear:
-      case cfg::SimpleOp::kNop:
-        break;
-      case cfg::SimpleOp::kBranch: {
-        // Choose a successor whose assume (if any) is satisfied.
-        std::vector<cfg::NodeId> viable;
-        for (const cfg::NodeId succ : node.succs) {
-          const auto& arm = program.cfg.node(succ).stmt;
-          if (arm.op == cfg::SimpleOp::kAssumeNull &&
-              heap.get(arm.x) != kNull) {
-            continue;
-          }
-          if (arm.op == cfg::SimpleOp::kAssumeNotNull &&
-              heap.get(arm.x) == kNull) {
-            continue;
-          }
-          viable.push_back(succ);
-        }
-        if (viable.empty()) return out;  // should not happen
-        at = viable[rng() % viable.size()];
-        continue;
-      }
-      case cfg::SimpleOp::kAssumeNull:
-      case cfg::SimpleOp::kAssumeNotNull:
-        // Reached only through a viable branch arm: already satisfied.
-        break;
-    }
-    if (node.succs.empty()) break;
-    at = node.succs[node.succs.size() == 1 ? 0 : rng() % node.succs.size()];
-  }
-  return out;  // budget exhausted mid-run: no final store to check
-}
-
-// ---------------------------------------------------------------------------
-// Coverage checks
-// ---------------------------------------------------------------------------
-
-/// Does some abstract exit graph match the concrete null-ness and aliasing?
-bool alias_pattern_covered(const ProgramAnalysis& program,
-                           const analysis::Rsrsg& at_exit,
-                           const ConcreteHeap& heap) {
-  for (const rsg::Rsg& g : at_exit.graphs()) {
-    bool ok = true;
-    for (const Symbol p : program.cfg.pointer_vars()) {
-      const bool concrete_bound = heap.get(p) != kNull;
-      const bool abstract_bound = g.pvar_target(p) != rsg::kNoNode;
-      if (concrete_bound != abstract_bound) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
-    for (const Symbol p : program.cfg.pointer_vars()) {
-      for (const Symbol q : program.cfg.pointer_vars()) {
-        if (!(p < q) || heap.get(p) == kNull || heap.get(q) == kNull) continue;
-        const bool concrete_alias = heap.get(p) == heap.get(q);
-        const bool abstract_alias = g.pvar_target(p) == g.pvar_target(q);
-        if (concrete_alias != abstract_alias) {
-          ok = false;
-          break;
-        }
-      }
-      if (!ok) break;
-    }
-    if (ok) return true;
-  }
-  return false;
-}
-
-/// Concrete (struct, selector) pairs where some location is referenced
-/// twice via that selector — restricted to locations reachable from pvars
-/// (the abstraction only tracks reachable memory).
-std::set<std::pair<lang::StructId, Symbol>> concrete_shsel(
-    const ConcreteHeap& heap) {
-  // Reachability from the environment.
-  std::vector<bool> reachable(heap.fields.size(), false);
-  std::vector<LocId> work;
-  for (const auto& [pvar, loc] : heap.env) {
-    if (loc != kNull && !reachable[static_cast<std::size_t>(loc)]) {
-      reachable[static_cast<std::size_t>(loc)] = true;
-      work.push_back(loc);
-    }
-  }
-  while (!work.empty()) {
-    const LocId l = work.back();
-    work.pop_back();
-    for (const auto& [sel, t] : heap.fields[static_cast<std::size_t>(l)]) {
-      if (t != kNull && !reachable[static_cast<std::size_t>(t)]) {
-        reachable[static_cast<std::size_t>(t)] = true;
-        work.push_back(t);
-      }
-    }
-  }
-
-  std::map<std::pair<Symbol, LocId>, int> refs;  // (sel, target) -> count
-  for (std::size_t l = 0; l < heap.fields.size(); ++l) {
-    if (!reachable[l]) continue;
-    for (const auto& [sel, t] : heap.fields[l]) {
-      if (t != kNull && reachable[static_cast<std::size_t>(t)]) {
-        ++refs[{sel, t}];
-      }
-    }
-  }
-  std::set<std::pair<lang::StructId, Symbol>> out;
-  for (const auto& [key, count] : refs) {
-    if (count >= 2) {
-      out.insert({heap.type_of[static_cast<std::size_t>(key.second)],
-                  key.first});
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// The sweeps
-// ---------------------------------------------------------------------------
+using oracle::ConcreteOutcome;
+using oracle::run_concrete;
 
 void check_program(std::string_view source, unsigned seeds,
                    rsg::AnalysisLevel level) {
@@ -250,28 +32,8 @@ void check_program(std::string_view source, unsigned seeds,
   ASSERT_TRUE(result.converged());
   const auto& at_exit = result.at_exit(program.cfg);
 
-  int checked = 0;
-  for (unsigned seed = 0; seed < seeds; ++seed) {
-    const ConcreteOutcome outcome = run_concrete(program, seed);
-    if (!outcome.completed) continue;
-    ++checked;
-
-    EXPECT_TRUE(alias_pattern_covered(program, at_exit, outcome.heap))
-        << "seed " << seed << ": concrete alias/null pattern not covered";
-
-    for (const auto& [type, sel] : concrete_shsel(outcome.heap)) {
-      const auto& decl = program.unit.types.struct_decl(type);
-      const std::string struct_name{program.interner().spelling(decl.name)};
-      const std::string sel_name{program.interner().spelling(sel)};
-      EXPECT_TRUE(client::may_be_shared_via(program, at_exit, struct_name,
-                                            sel_name))
-          << "seed " << seed << ": concrete double reference via "
-          << struct_name << "." << sel_name << " but the analysis proves it "
-          << "unshared (UNSOUND)";
-    }
-  }
   // The sweep must have exercised something.
-  EXPECT_GT(checked, 0);
+  EXPECT_GT(oracle::expect_covers_concrete(program, at_exit, seeds), 0);
 }
 
 class ConcreteSoundnessSweep

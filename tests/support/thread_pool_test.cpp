@@ -74,6 +74,28 @@ TEST(ThreadPoolTest, MoreIterationsThanThreads) {
   EXPECT_EQ(count.load(), 10000u);
 }
 
+TEST(ThreadPoolTest, StopPredicateSkipsRemainingIterations) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  // Stop as soon as a handful of iterations have run: the call must still
+  // return (every iteration executed or skipped — no leaked tasks) and must
+  // not have run all 100k bodies.
+  pool.parallel_for(
+      100000,
+      [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); },
+      [&] { return ran.load(std::memory_order_relaxed) >= 8; });
+  EXPECT_GE(ran.load(), 1u);
+  EXPECT_LT(ran.load(), 100000u);
+}
+
+TEST(ThreadPoolTest, StopPredicateAlreadyTrueRunsNothingSerial) {
+  ThreadPool pool(1);
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(
+      100, [&](std::size_t) { ran.fetch_add(1); }, [] { return true; });
+  EXPECT_EQ(ran.load(), 0u);
+}
+
 TEST(ThreadPoolTest, DestructionWithIdleWorkers) {
   // Must not hang or leak: construct and destroy without submitting work.
   for (int i = 0; i < 5; ++i) {
