@@ -1,0 +1,70 @@
+// Checker cost per corpus program: the memory-safety pass (docs/CHECKERS.md)
+// runs after the fixpoint, so its cost rides on an already-paid analysis.
+// This benchmark isolates the checker itself — the analysis runs once
+// outside the timed region; each iteration re-runs run_checkers over the
+// cached fixpoint. Counters record the finding counts so the JSON output
+// (--benchmark_format=json) doubles as a per-program findings ledger.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "checker/checker.hpp"
+
+namespace {
+
+using namespace psa;
+
+void BM_CheckerCost(benchmark::State& state, std::string_view source,
+                    rsg::AnalysisLevel level) {
+  const auto program = analysis::prepare(source);
+  analysis::Options options;
+  options.level = level;
+  options.types = &program.unit.types;
+  const auto result = analysis::analyze_program(program, options);
+
+  std::vector<checker::Finding> findings;
+  for (auto _ : state) {
+    findings = checker::run_checkers(program, result);
+    benchmark::DoNotOptimize(findings);
+  }
+  state.counters["analysis_seconds"] = result.seconds;
+  state.counters["findings"] = static_cast<double>(findings.size());
+  state.counters["null_deref"] = static_cast<double>(
+      checker::count_findings(findings, checker::CheckKind::kNullDeref));
+  state.counters["uaf"] = static_cast<double>(
+      checker::count_findings(findings, checker::CheckKind::kUseAfterFree));
+  state.counters["double_free"] = static_cast<double>(
+      checker::count_findings(findings, checker::CheckKind::kDoubleFree));
+  state.counters["leak"] = static_cast<double>(
+      checker::count_findings(findings, checker::CheckKind::kLeak));
+  state.counters["leak_at_exit"] = static_cast<double>(
+      checker::count_findings(findings, checker::CheckKind::kLeakAtExit));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Clean corpus at L2 (the progressive driver's common landing level); the
+  // four Table-1 codes run at L1 to keep the setup phase in seconds.
+  for (const corpus::CorpusProgram& p : corpus::all_programs()) {
+    const auto level =
+        p.in_table1 ? rsg::AnalysisLevel::kL1 : rsg::AnalysisLevel::kL2;
+    const std::string name = std::string("checker/") + std::string(p.name) +
+                             "/" + std::string(rsg::to_string(level));
+    benchmark::RegisterBenchmark(name.c_str(), BM_CheckerCost, p.source, level)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const corpus::BuggyProgram& p : corpus::buggy_programs()) {
+    const std::string name =
+        std::string("checker/") + std::string(p.name) + "/L2";
+    benchmark::RegisterBenchmark(name.c_str(), BM_CheckerCost, p.source,
+                                 rsg::AnalysisLevel::kL2)
+        ->Unit(benchmark::kMillisecond);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

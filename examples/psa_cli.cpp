@@ -3,6 +3,7 @@
 //   $ ./psa_cli FILE.c [FILE.c ...]
 //                      [--function=NAME] [--level=1|2|3] [--progressive]
 //                      [--per-statement] [--dot=OUT.dot] [--annotate]
+//                      [--check] [--sarif=OUT.sarif]
 //                      [--no-widen] [--threads=N] [--memory-budget=BYTES]
 //                      [--deadline-ms=MS] [--max-visits=N] [--hard-fail]
 //
@@ -11,6 +12,9 @@
 // --dot writes the exit RSRSG as graphviz; --progressive runs the
 // L1 -> L2 -> L3 driver using "no structure possibly cyclic" as the accuracy
 // criterion. --hard-fail restores the legacy abort-on-budget behavior.
+// --check runs the memory-safety checkers (docs/CHECKERS.md) over the
+// fixpoint and prints their findings; --sarif additionally writes them as a
+// SARIF 2.1.0 log (implies --check).
 //
 // Batch isolation: each file is analyzed independently; a file the frontend
 // rejects is reported and skipped. The exit code is nonzero only when every
@@ -22,6 +26,8 @@
 #include <vector>
 
 #include "analysis/progressive.hpp"
+#include "checker/checker.hpp"
+#include "checker/sarif.hpp"
 #include "client/dot.hpp"
 #include "client/parallelism.hpp"
 #include "client/queries.hpp"
@@ -38,6 +44,8 @@ struct CliOptions {
   bool progressive = false;
   bool per_statement = false;
   bool annotate = false;
+  bool check = false;
+  std::string sarif_path;
   std::string dot_path;
   analysis::Options engine;
 };
@@ -59,6 +67,11 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
       out.per_statement = true;
     } else if (arg == "--annotate") {
       out.annotate = true;
+    } else if (arg == "--check") {
+      out.check = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      out.sarif_path = value_of("--sarif=");
+      out.check = true;
     } else if (arg.rfind("--dot=", 0) == 0) {
       out.dot_path = value_of("--dot=");
     } else if (arg == "--no-widen") {
@@ -89,6 +102,7 @@ int usage() {
   std::cerr << "usage: psa_cli FILE.c [FILE.c ...] [--function=NAME]\n"
                "               [--level=1|2|3] [--progressive]\n"
                "               [--per-statement] [--annotate] [--dot=OUT.dot]\n"
+               "               [--check] [--sarif=OUT.sarif]\n"
                "               [--no-widen] [--threads=N]\n"
                "               [--memory-budget=BYTES] [--deadline-ms=MS]\n"
                "               [--max-visits=N] [--hard-fail]\n";
@@ -168,6 +182,19 @@ bool run_file(const std::string& file, const CliOptions& cli) {
       std::ofstream dot(cli.dot_path);
       dot << client::to_dot(result.at_exit(program.cfg), program.interner());
       std::cout << "\nexit RSRSG written to " << cli.dot_path << '\n';
+    }
+
+    if (cli.check) {
+      const auto findings = checker::run_checkers(program, result);
+      std::cout << "\nmemory-safety findings (" << findings.size() << "):\n"
+                << checker::format_findings(findings, program);
+      if (!cli.sarif_path.empty()) {
+        checker::SarifOptions sarif;
+        sarif.artifact_uri = file;
+        std::ofstream out(cli.sarif_path);
+        out << checker::to_sarif(findings, sarif);
+        std::cout << "SARIF log written to " << cli.sarif_path << '\n';
+      }
     }
   } catch (const analysis::FrontendError& e) {
     std::cerr << file << ": frontend error (skipped):\n" << e.what();

@@ -12,6 +12,25 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
+# Fail fast with an actionable message when the toolchain is missing —
+# better than a cryptic CMake trace three steps in.
+missing=""
+for tool in cmake ctest ninja; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    missing="$missing $tool"
+  fi
+done
+if ! command -v c++ >/dev/null 2>&1 && ! command -v g++ >/dev/null 2>&1 \
+    && ! command -v clang++ >/dev/null 2>&1; then
+  missing="$missing c++/g++/clang++"
+fi
+if [ -n "$missing" ]; then
+  echo "error: required tools not found:$missing" >&2
+  echo "install a C++20 compiler plus CMake >= 3.20 and Ninja, e.g.:" >&2
+  echo "  apt-get install build-essential cmake ninja-build" >&2
+  exit 1
+fi
+
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 

@@ -58,6 +58,7 @@ std::vector<Rsg> exec_malloc(const Rsg& in, const SimpleStmt& stmt,
   NodeProps props;
   props.type = stmt.type;
   props.cardinality = Cardinality::kOne;
+  if (stmt.loc.valid()) props.alloc_sites.insert(stmt.loc.line);
   // Fresh location: no references, every selector NULL.
   const NodeRef n = g.add_node(std::move(props));
   g.bind_pvar(stmt.x, n);
@@ -258,6 +259,30 @@ std::vector<Rsg> exec_assume(const Rsg& in, const SimpleStmt& stmt) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// free(x)
+// ---------------------------------------------------------------------------
+
+std::vector<Rsg> exec_free(const Rsg& in, const SimpleStmt& stmt,
+                           const TransferContext& ctx) {
+  std::vector<Rsg> out;
+  const NodeRef n = in.pvar_target(stmt.x);
+  if (n == kNoNode) {
+    // free(NULL) is well-defined and a no-op.
+    out.push_back(in);
+    return out;
+  }
+  // The pvar-referenced node has cardinality one (PL invariant), so marking
+  // it FREED frees exactly the location x denotes. The node keeps its
+  // bindings and links: x (and every alias) now dangles, and the checkers
+  // flag any later dereference or re-free of the node. Re-freeing an
+  // already-(maybe-)freed location leaves it definitely freed.
+  Rsg g = in;
+  g.props(n).free_state = rsg::FreeState::kFreed;
+  finish(g, ctx, out);
+  return out;
+}
+
 std::vector<Rsg> exec_touch_clear(const Rsg& in, const SimpleStmt& stmt,
                                   const TransferContext& ctx) {
   std::vector<Rsg> out;
@@ -306,9 +331,11 @@ std::vector<Rsg> execute_statement(const Rsg& in, const cfg::CfgNode& node,
     case SimpleOp::kTouchClear:
       return exec_touch_clear(in, stmt, ctx);
     case SimpleOp::kFree:
-      // free(x) is a no-op on the RSG: the freed location stays until it
-      // becomes unreachable (documented substitution; the paper's codes do
-      // not rely on reallocation behaviour).
+      // free(x) marks the (cardinality-one) target node FREED; links and
+      // bindings survive so dangling accesses stay expressible for the
+      // memory-safety checkers (src/checker/). The shape facts are
+      // unchanged — the paper's codes do not rely on reallocation.
+      return exec_free(in, stmt, ctx);
     case SimpleOp::kFieldRead:
     case SimpleOp::kFieldWrite:
     case SimpleOp::kScalar:

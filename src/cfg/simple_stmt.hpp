@@ -6,10 +6,11 @@
 // simple ones and temporal variables."
 //
 // The CFG builder lowers every statement of the C subset onto these six (plus
-// a handful of bookkeeping operations that carry no pointer semantics of
-// their own: opaque scalar statements, branch points, the edge refinements
-// assume(x==NULL)/assume(x!=NULL), TOUCH-scope clearing at loop exits, and
-// free()).
+// free(), which flips the target node's FREED property but leaves the shape
+// untouched, and a handful of bookkeeping operations that carry no pointer
+// semantics of their own: opaque scalar statements, branch points, the edge
+// refinements assume(x==NULL)/assume(x!=NULL), and TOUCH-scope clearing at
+// loop exits).
 #pragma once
 
 #include <cstdint>
@@ -34,7 +35,7 @@ enum class SimpleOp : std::uint8_t {
   kLoad,         // x = y->sel
 
   // Bookkeeping.
-  kFree,         // free(x): treated as a no-op on the RSG (documented)
+  kFree,         // free(x): marks the target node FREED (checker semantics)
   kFieldRead,    // <scalar> = x->sel (scalar field; no shape effect, kept
                  // for the dependence analysis of client passes)
   kFieldWrite,   // x->sel = <scalar> (likewise)

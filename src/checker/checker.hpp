@@ -1,0 +1,111 @@
+// Memory-safety checkers over the RSRSG fixpoint.
+//
+// A post-analysis pass: given the per-statement RSRSGs computed by the
+// engine, walk the CFG once and emit flow-sensitive diagnostics:
+//
+//   PSA-NULL-DEREF    the base pvar of a load/store may be NULL (unbound)
+//                     in some incoming configuration. Assume-edge
+//                     refinements are respected for free because the
+//                     incoming state is the union of the *predecessor*
+//                     outputs, after any kAssumeNull/kAssumeNotNull filter.
+//   PSA-USE-AFTER-FREE  the base pvar may reference a node whose FREE
+//                     state is kFreed/kMaybeFreed (see rsg/properties.hpp).
+//   PSA-DOUBLE-FREE   free(x) where x may reference an already-freed node.
+//   PSA-LEAK          a statement kills the last reference (pvar binding or
+//                     overwritten selector link) to a non-freed node: the
+//                     represented locations become unreachable.
+//   PSA-LEAK-AT-EXIT  a non-freed allocation is still live when the
+//                     function returns (reported at its malloc site).
+//
+// Severity policy: a defect present in *every* incoming configuration is an
+// error (it happens on all abstracted paths); present in only some is a
+// warning (may happen). Exit-leaks are notes — for many corpus functions
+// leaving the structure alive at exit is the intended behaviour.
+//
+// Soundness caveats are documented in docs/CHECKERS.md: the checkers are
+// sound for may-questions relative to the abstraction (no concrete
+// NULL-deref / use-after-free / double-free at a checked site escapes a
+// finding, including after governor degradation, because forced merges only
+// widen FreeState toward kMaybeFreed), while leak findings are may-leaks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+
+namespace psa::checker {
+
+using analysis::AnalysisResult;
+using analysis::ProgramAnalysis;
+
+enum class CheckKind : std::uint8_t {
+  kNullDeref,
+  kUseAfterFree,
+  kDoubleFree,
+  kLeak,
+  kLeakAtExit,
+};
+
+enum class CheckSeverity : std::uint8_t { kNote, kWarning, kError };
+
+[[nodiscard]] std::string_view to_string(CheckKind kind);
+[[nodiscard]] std::string_view to_string(CheckSeverity severity);
+/// Stable rule identifier, e.g. "PSA-NULL-DEREF" (used as the SARIF ruleId).
+[[nodiscard]] std::string_view rule_id(CheckKind kind);
+
+/// One step of a witness trace: a CFG statement on a shortest control-flow
+/// path from the function entry to the finding site.
+struct TraceStep {
+  support::SourceLoc loc;
+  std::string text;  // pretty-printed lowered statement
+};
+
+struct Finding {
+  CheckKind kind = CheckKind::kNullDeref;
+  CheckSeverity severity = CheckSeverity::kWarning;
+  cfg::NodeId site = cfg::kInvalidNode;
+  support::SourceLoc loc;
+  std::string stmt;     // pretty-printed offending statement
+  std::string message;  // one-line diagnostic
+  /// Rendering of the offending abstract node (type, cardinality, SHARED /
+  /// SHSEL bits, FREE state, SPATH pvars, alloc sites) from one witness
+  /// configuration; empty when the defect is "pvar unbound".
+  std::string witness_node;
+  /// Shortest entry-to-site CFG path (possibly truncated at the front).
+  std::vector<TraceStep> trace;
+  /// How many of the incoming configurations exhibit the defect.
+  std::size_t graphs_bad = 0;
+  std::size_t graphs_total = 0;
+};
+
+struct CheckOptions {
+  bool null_deref = true;
+  bool use_after_free = true;  // also covers double-free
+  bool leaks = true;
+  bool exit_leaks = true;
+  /// Attach entry-to-site witness traces (BFS shortest path).
+  bool witness_traces = true;
+  /// Keep at most this many steps per trace (the tail, nearest the site).
+  std::size_t max_trace_steps = 24;
+};
+
+/// Run every enabled checker over the fixpoint result. Findings are sorted
+/// by source location, then kind. Works on partial (hard-failed) results
+/// too: statements whose incoming state is empty are skipped.
+[[nodiscard]] std::vector<Finding> run_checkers(const ProgramAnalysis& program,
+                                                const AnalysisResult& result,
+                                                const CheckOptions& options = {});
+
+/// Human-readable rendering, one block per finding:
+///   <line>:<col>: <severity>: [<rule>] <message>
+///      at: <stmt>   witness: <node>   trace: ...
+[[nodiscard]] std::string format_findings(const std::vector<Finding>& findings,
+                                          const ProgramAnalysis& program);
+
+/// Count findings of one kind (for tests and reports).
+[[nodiscard]] std::size_t count_findings(const std::vector<Finding>& findings,
+                                         CheckKind kind);
+
+}  // namespace psa::checker

@@ -1,0 +1,33 @@
+// SARIF 2.1.0 serialization of checker findings.
+//
+// Emits the minimal valid subset of the Static Analysis Results Interchange
+// Format (OASIS sarif-2.1.0, schema
+// https://json.schemastore.org/sarif-2.1.0.json): one run, a tool.driver
+// with one reportingDescriptor per rule, and one result per finding with
+// level, message, physical location and a codeFlow carrying the witness
+// trace. Viewers (VS Code SARIF extension, GitHub code scanning) can load
+// the output directly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checker/checker.hpp"
+
+namespace psa::checker {
+
+struct SarifOptions {
+  /// artifactLocation.uri of every result (the analyzed source buffer).
+  std::string artifact_uri = "input.c";
+  std::string tool_name = "psa";
+  std::string tool_version = "0.2.0";
+  /// Pretty-print with two-space indentation (machine consumers accept both).
+  bool pretty = true;
+};
+
+/// Serialize `findings` as a complete SARIF 2.1.0 log (one run).
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings,
+                                   const SarifOptions& options = {});
+
+}  // namespace psa::checker

@@ -1013,6 +1013,162 @@ void main() {
 }
 )";
 
+// ---------------------------------------------------------------------------
+// Deliberately buggy variants (checker test corpus; see corpus.hpp). Each
+// seeds exactly one defect whose line number is recorded in the registry —
+// keep the sources stable or update the defect_line fields and the golden
+// files under tests/checker/golden/.
+// ---------------------------------------------------------------------------
+
+// Dangling traversal: the loop frees the current cell and then reads its
+// nxt selector from the freed memory.
+constexpr std::string_view kBugUafTraversalSource = R"(
+struct node { struct node *nxt; int v; };
+
+void main() {
+  struct node *list; struct node *p; struct node *t;
+  int i; int n;
+  list = NULL; i = 0; n = 10;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = list;
+    list = t;
+    i = i + 1;
+  }
+  t = NULL;
+  p = list;
+  while (p != NULL) {
+    free(p);
+    p = p->nxt;
+  }
+  p = NULL;
+}
+)";
+
+// The same cell freed through two aliases.
+constexpr std::string_view kBugDoubleFreeSource = R"(
+struct node { struct node *nxt; int v; };
+
+void main() {
+  struct node *a; struct node *b;
+  a = malloc(sizeof(struct node));
+  a->nxt = NULL;
+  b = a;
+  free(a);
+  free(b);
+  a = NULL; b = NULL;
+}
+)";
+
+// Lost head pointer: the only reference to the whole list is overwritten.
+constexpr std::string_view kBugLostHeadSource = R"(
+struct node { struct node *nxt; int v; };
+
+void main() {
+  struct node *list; struct node *t;
+  int i; int n;
+  list = NULL; i = 0; n = 10;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = list;
+    list = t;
+    i = i + 1;
+  }
+  t = NULL;
+  list = NULL;
+}
+)";
+
+// Unchecked allocation: p is only assigned on one branch, the dereference
+// below runs unconditionally (the classic unchecked-malloc-result shape —
+// in this mini-C, malloc itself never returns NULL, so the defect is the
+// conditionally-unassigned pointer).
+constexpr std::string_view kBugNullUncheckedSource = R"(
+struct node { struct node *nxt; int v; };
+
+void main() {
+  struct node *p;
+  int ok;
+  p = NULL; ok = 0;
+  if (ok > 0) {
+    p = malloc(sizeof(struct node));
+  }
+  p->nxt = NULL;
+  p = NULL;
+}
+)";
+
+// Queue drain that frees the cell before loading its successor.
+constexpr std::string_view kBugUafQueueSource = R"(
+struct qnode { struct qnode *nxt; int v; };
+
+void main() {
+  struct qnode *head; struct qnode *tail; struct qnode *t;
+  int i; int n;
+  head = NULL; tail = NULL; i = 0; n = 20;
+  while (i < n) {
+    t = malloc(sizeof(struct qnode));
+    t->nxt = NULL;
+    if (tail == NULL) {
+      head = t;
+      tail = t;
+    } else {
+      tail->nxt = t;
+      tail = t;
+    }
+    i = i + 1;
+  }
+  t = NULL;
+  while (head != NULL) {
+    t = head;
+    free(t);
+    head = t->nxt;
+    t = NULL;
+  }
+  tail = NULL;
+}
+)";
+
+// Selector overwrite that drops the last reference to the middle cell.
+constexpr std::string_view kBugLeakOverwriteSource = R"(
+struct node { struct node *nxt; int v; };
+
+void main() {
+  struct node *a; struct node *b; struct node *c;
+  a = malloc(sizeof(struct node));
+  b = malloc(sizeof(struct node));
+  c = malloc(sizeof(struct node));
+  a->nxt = b;
+  b->nxt = NULL;
+  c->nxt = NULL;
+  b = NULL;
+  a->nxt = c;
+}
+)";
+
+const std::vector<BuggyProgram>& buggy() {
+  static const std::vector<BuggyProgram> kBuggy = {
+      {"bug_uaf_traversal",
+       "dangling traversal: free(p) then p = p->nxt reads freed memory",
+       kBugUafTraversalSource, "PSA-USE-AFTER-FREE", 18},
+      {"bug_double_free", "the same cell freed through two aliases",
+       kBugDoubleFreeSource, "PSA-DOUBLE-FREE", 10},
+      {"bug_lost_head",
+       "lost head pointer: the only reference to the list is overwritten",
+       kBugLostHeadSource, "PSA-LEAK", 15},
+      {"bug_null_unchecked",
+       "conditionally-assigned pointer dereferenced unconditionally",
+       kBugNullUncheckedSource, "PSA-NULL-DEREF", 11},
+      {"bug_uaf_queue",
+       "queue drain that frees the cell before loading its successor",
+       kBugUafQueueSource, "PSA-USE-AFTER-FREE", 24},
+      {"bug_leak_overwrite",
+       "selector overwrite dropping the last reference to a cell",
+       kBugLeakOverwriteSource, "PSA-LEAK", 13},
+  };
+  return kBuggy;
+}
+
 const std::vector<CorpusProgram>& programs() {
   static const std::vector<CorpusProgram> kPrograms = {
       {"sll", "singly linked list: build then traverse", kSllSource, false},
@@ -1068,6 +1224,15 @@ const std::vector<CorpusProgram>& programs() {
 }  // namespace
 
 const std::vector<CorpusProgram>& all_programs() { return programs(); }
+
+const std::vector<BuggyProgram>& buggy_programs() { return buggy(); }
+
+const BuggyProgram* find_buggy_program(std::string_view name) {
+  for (const BuggyProgram& p : buggy()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
 
 const CorpusProgram* find_program(std::string_view name) {
   for (const CorpusProgram& p : programs()) {

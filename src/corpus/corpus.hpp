@@ -38,6 +38,27 @@ struct CorpusProgram {
 /// Lookup by name; nullptr when unknown.
 [[nodiscard]] const CorpusProgram* find_program(std::string_view name);
 
+/// A deliberately buggy corpus variant: a clean program with one seeded
+/// memory-safety defect at a known line. These feed the checker tests (the
+/// defect must be reported at exactly `defect_line` with `expected_rule`)
+/// and are kept out of all_programs() so the clean-corpus suites and the
+/// Table-1 harness never see them.
+struct BuggyProgram {
+  std::string_view name;
+  std::string_view description;
+  std::string_view source;
+  /// Rule the seeded defect must trigger, e.g. "PSA-USE-AFTER-FREE".
+  std::string_view expected_rule;
+  /// 1-based source line of the injected defect.
+  std::uint32_t defect_line = 0;
+};
+
+/// All deliberately-buggy programs, stable order.
+[[nodiscard]] const std::vector<BuggyProgram>& buggy_programs();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const BuggyProgram* find_buggy_program(std::string_view name);
+
 /// One corpus entry pushed through the frontend, with failure isolated: a
 /// program whose frontend rejects it carries the diagnostics instead of an
 /// analysis, and never aborts the batch.

@@ -54,6 +54,12 @@ bool common_compat(const NodeProps& pa, const NodeCompatContext& ca,
                    const NodeProps& pb, const NodeCompatContext& cb,
                    const LevelPolicy& policy) {
   if (pa.type != pb.type) return false;
+  // Freed and live locations never summarize together: a summary node's
+  // FREE state must describe every represented location, and mixing would
+  // either hide a use-after-free (freed folded into live) or flag every
+  // access to the structure (live folded into freed). ALLOCSITES, by
+  // contrast, is deliberately *not* compared — it is diagnostic payload.
+  if (pa.free_state != pb.free_state) return false;
   if (pa.shared != pb.shared) return false;
   if (pa.shsel != pb.shsel) return false;
   if (policy.use_touch() && pa.touch != pb.touch) return false;
@@ -102,6 +108,10 @@ NodeProps merge_node_props(const Rsg& ga, NodeRef na, const Rsg& gb,
   out.shared = a.shared || b.shared;
   out.shsel = set_union(a.shsel, b.shsel);
   out.touch = set_intersection(a.touch, b.touch);
+  // FREE widens to kMaybeFreed on a forced freed/live merge (the compat
+  // checks make equal-state merges the common case); ALLOCSITES unions.
+  out.free_state = merge_free_states(a.free_state, b.free_state);
+  out.alloc_sites = set_union(a.alloc_sites, b.alloc_sites);
 
   // Reference patterns (the paper's MERGE_NODES formulas):
   //   SELINset(n)    = SELINset(n1) ∩ SELINset(n2)

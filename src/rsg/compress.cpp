@@ -123,6 +123,11 @@ void coarsen(Rsg& g, const LevelPolicy& policy) {
       if (g.props(a).type != g.props(b).type) continue;
       if (g.props(a).shared != g.props(b).shared) continue;
       if (g.props(a).shsel != g.props(b).shsel) continue;
+      // Freed and live locations stay apart even under this widening, so the
+      // memory-safety checkers keep their precision through every governor
+      // rung (merge_node_props would otherwise widen to kMaybeFreed and turn
+      // each degradation into a flood of may-use-after-free findings).
+      if (g.props(a).free_state != g.props(b).free_state) continue;
       if (g.spath0(a) != g.spath0(b)) continue;
       uf.unite(a, b);
     }

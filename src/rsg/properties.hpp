@@ -16,6 +16,16 @@
 //   cardinality `one` = exactly one location per concrete configuration,
 //               `many` = one or more. (Reconstructed from reference [2]:
 //               strong updates and materialization decisions need it.)
+//   FREE        deallocation state (engineering addition for the memory-
+//               safety checkers, see docs/CHECKERS.md): kLive, kFreed
+//               (every represented location was passed to free()), or
+//               kMaybeFreed (a forced merge mixed freed and live locations).
+//               Freed and live nodes are never summarized together by the
+//               compatibility checks; only the governor's forced merges can
+//               produce kMaybeFreed.
+//   ALLOCSITES  source lines of the malloc statements that created the
+//               represented locations (union under every merge; ignored by
+//               the compatibility checks so summarization is unaffected).
 //
 // Derived properties (computed from the graph, never stored):
 //   STRUCTURE   connected-component identity
@@ -58,6 +68,26 @@ struct SimplePath {
 
 enum class Cardinality : std::uint8_t { kOne, kMany };
 
+/// Deallocation state of the represented locations.
+enum class FreeState : std::uint8_t {
+  kLive = 0,        // no represented location was freed
+  kFreed = 1,       // every represented location was freed
+  kMaybeFreed = 2,  // freed and live locations were (forcibly) merged
+};
+
+/// The sound combine when locations with different states are merged: equal
+/// states survive, mixtures widen to kMaybeFreed.
+[[nodiscard]] constexpr FreeState merge_free_states(FreeState a,
+                                                    FreeState b) noexcept {
+  return a == b ? a : FreeState::kMaybeFreed;
+}
+
+/// Any represented location may already have been freed — a dereference is
+/// then a (possible) use-after-free, a re-free a (possible) double free.
+[[nodiscard]] constexpr bool may_be_freed(FreeState s) noexcept {
+  return s != FreeState::kLive;
+}
+
 struct NodeProps {
   StructId type{};
   Cardinality cardinality = Cardinality::kOne;
@@ -69,6 +99,8 @@ struct NodeProps {
   SmallSet<Symbol> pos_selout;   // possible outgoing (disjoint from selout)
   SmallSet<SelPair> cyclelinks;
   SmallSet<Symbol> touch;        // induction pvars that visited (L3)
+  FreeState free_state = FreeState::kLive;
+  SmallSet<std::uint32_t> alloc_sites;  // malloc source lines
 
   friend bool operator==(const NodeProps&, const NodeProps&) = default;
 
@@ -89,6 +121,10 @@ struct NodeProps {
                                    support::hash_value(p.back.id()));
     }));
     h = hash_combine(h, touch.hash(sym_hash));
+    h = hash_combine(h, hash_value(free_state));
+    h = hash_combine(h, alloc_sites.hash([](std::uint32_t line) {
+      return support::hash_value(line);
+    }));
     return h;
   }
 
@@ -98,7 +134,8 @@ struct NodeProps {
            (shsel.size() + selin.size() + selout.size() + pos_selin.size() +
             pos_selout.size() + touch.size()) *
                sizeof(Symbol) +
-           cyclelinks.size() * sizeof(SelPair);
+           cyclelinks.size() * sizeof(SelPair) +
+           alloc_sites.size() * sizeof(std::uint32_t);
   }
 };
 

@@ -358,6 +358,15 @@ std::string Rsg::dump(const support::Interner& in) const {
         os << '<' << in.spelling(cl.out) << ',' << in.spelling(cl.back) << "> ";
       os << '}';
     }
+    if (p.free_state != FreeState::kLive) {
+      os << " freed="
+         << (p.free_state == FreeState::kFreed ? "yes" : "maybe");
+    }
+    if (!p.alloc_sites.empty()) {
+      os << " alloc={";
+      for (const std::uint32_t line : p.alloc_sites) os << line << ' ';
+      os << '}';
+    }
     os << "]\n";
     for (const Link& l : nodes_[i].out)
       os << "  n" << i << " -" << in.spelling(l.sel) << "-> n" << l.target

@@ -186,12 +186,42 @@ TEST(TransferUnitTest, BookkeepingOpsAreIdentity) {
   h.b.pvar("x", h.b.node());
   for (const auto op :
        {cfg::SimpleOp::kScalar, cfg::SimpleOp::kBranch, cfg::SimpleOp::kNop,
-        cfg::SimpleOp::kFieldRead, cfg::SimpleOp::kFieldWrite,
-        cfg::SimpleOp::kFree}) {
+        cfg::SimpleOp::kFieldRead, cfg::SimpleOp::kFieldWrite}) {
     const auto out = h.exec(op, "x", "", "nxt");
     ASSERT_EQ(out.size(), 1u);
     EXPECT_TRUE(rsg::rsg_equal(out[0], h.b.g));
   }
+}
+
+TEST(TransferUnitTest, FreeMarksTargetNodeFreed) {
+  Harness h;
+  h.b.pvar("x", h.b.node());
+  const auto out = h.exec(cfg::SimpleOp::kFree, "x");
+  ASSERT_EQ(out.size(), 1u);
+  const NodeRef n = out[0].pvar_target(h.b.sym("x"));
+  ASSERT_NE(n, kNoNode);  // x still dangles at the freed node
+  EXPECT_EQ(out[0].props(n).free_state, rsg::FreeState::kFreed);
+  // The only change is the FREED bit: the graphs differ exactly there.
+  EXPECT_FALSE(rsg::rsg_equal(out[0], h.b.g));
+}
+
+TEST(TransferUnitTest, FreeOfNullPointerIsIdentity) {
+  Harness h;
+  h.b.pvar("y", h.b.node());  // x stays unbound
+  const auto out = h.exec(cfg::SimpleOp::kFree, "x");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(rsg::rsg_equal(out[0], h.b.g));
+}
+
+TEST(TransferUnitTest, RefreeKeepsNodeDefinitelyFreed) {
+  Harness h;
+  const NodeRef n = h.b.node();
+  h.b.pvar("x", n);
+  h.b.g.props(n).free_state = rsg::FreeState::kMaybeFreed;
+  const auto out = h.exec(cfg::SimpleOp::kFree, "x");
+  ASSERT_EQ(out.size(), 1u);
+  const NodeRef gn = out[0].pvar_target(h.b.sym("x"));
+  EXPECT_EQ(out[0].props(gn).free_state, rsg::FreeState::kFreed);
 }
 
 TEST(TransferUnitTest, TouchClearRemovesInductionTouch) {

@@ -1,0 +1,148 @@
+// FREED-bit soundness fault injection (the governor_test pattern applied to
+// the memory-safety checkers): run the buggy and free()-using corpus
+// programs concretely, record every line where an execution really
+// dereferenced freed memory, re-freed it, or dereferenced NULL — then
+// demand the checker reports each such line, at every analysis level AND
+// under every governor degradation rung (tiny memory budgets force
+// widen/force-join/summarize; forced merges must widen FreeState to
+// kMaybeFreed, never back to kLive, so no concrete event may escape).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "checker/checker.hpp"
+#include "corpus/corpus.hpp"
+#include "testing/concrete_oracle.hpp"
+
+namespace psa::checker {
+namespace {
+
+using analysis::ProgramAnalysis;
+using rsg::AnalysisLevel;
+
+struct ConcreteEvents {
+  std::set<std::uint32_t> null_deref;
+  std::set<std::uint32_t> uaf;
+  std::set<std::uint32_t> double_free;
+};
+
+ConcreteEvents sweep_concrete(const ProgramAnalysis& program, unsigned seeds) {
+  ConcreteEvents events;
+  for (unsigned seed = 0; seed < seeds; ++seed) {
+    const auto outcome = oracle::run_concrete(program, seed);
+    events.null_deref.insert(outcome.null_deref_lines.begin(),
+                             outcome.null_deref_lines.end());
+    events.uaf.insert(outcome.uaf_lines.begin(), outcome.uaf_lines.end());
+    events.double_free.insert(outcome.double_free_lines.begin(),
+                              outcome.double_free_lines.end());
+  }
+  return events;
+}
+
+std::set<std::uint32_t> reported_lines(const std::vector<Finding>& findings,
+                                       CheckKind kind) {
+  std::set<std::uint32_t> lines;
+  for (const Finding& f : findings)
+    if (f.kind == kind) lines.insert(f.loc.line);
+  return lines;
+}
+
+/// Every concretely-observed defect line must carry the matching finding.
+void expect_covers_events(std::string_view label,
+                          const ConcreteEvents& events,
+                          const std::vector<Finding>& findings) {
+  const auto null_lines = reported_lines(findings, CheckKind::kNullDeref);
+  const auto uaf_lines = reported_lines(findings, CheckKind::kUseAfterFree);
+  const auto df_lines = reported_lines(findings, CheckKind::kDoubleFree);
+  for (const std::uint32_t line : events.null_deref) {
+    EXPECT_TRUE(null_lines.contains(line))
+        << label << ": concrete NULL dereference at line " << line
+        << " not reported (UNSOUND)";
+  }
+  for (const std::uint32_t line : events.uaf) {
+    EXPECT_TRUE(uaf_lines.contains(line))
+        << label << ": concrete use-after-free at line " << line
+        << " not reported (UNSOUND)";
+  }
+  for (const std::uint32_t line : events.double_free) {
+    EXPECT_TRUE(df_lines.contains(line))
+        << label << ": concrete double free at line " << line
+        << " not reported (UNSOUND)";
+  }
+}
+
+/// The analysis configurations under test: the three levels converged, plus
+/// degraded runs at every rung of the governor ladder (shrinking memory
+/// budgets; kDegrade keeps the run alive and coarsens the states).
+std::vector<std::pair<std::string, analysis::Options>> configurations() {
+  std::vector<std::pair<std::string, analysis::Options>> out;
+  for (const int level : {1, 2, 3}) {
+    analysis::Options options;
+    options.level = static_cast<AnalysisLevel>(level);
+    out.emplace_back("L" + std::to_string(level), options);
+  }
+  for (const std::size_t budget : {200'000u, 60'000u, 20'000u}) {
+    analysis::Options options;
+    options.level = AnalysisLevel::kL2;
+    options.memory_budget_bytes = budget;
+    options.budget_policy = analysis::BudgetPolicy::kDegrade;
+    out.emplace_back("L2/degraded-" + std::to_string(budget), options);
+  }
+  return out;
+}
+
+void run_soundness(std::string_view source, std::string_view name) {
+  const ProgramAnalysis program = analysis::prepare(source);
+  const ConcreteEvents events = sweep_concrete(program, 64);
+
+  for (auto& [label, options] : configurations()) {
+    options.types = &program.unit.types;
+    const auto result = analysis::analyze_program(program, options);
+    // Degraded runs must still have converged (that is the governor's
+    // contract under kDegrade); hard failures would void the coverage claim.
+    ASSERT_TRUE(result.converged())
+        << name << "/" << label << ": " << analysis::to_string(result.status);
+    const auto findings = run_checkers(program, result);
+    expect_covers_events(std::string(name) + "/" + label, events, findings);
+  }
+}
+
+TEST(FreedSoundness, BuggyCorpusEventsAreCoveredAtAllLevelsAndDegraded) {
+  for (const corpus::BuggyProgram& bug : corpus::buggy_programs()) {
+    run_soundness(bug.source, bug.name);
+  }
+}
+
+TEST(FreedSoundness, CleanFreeingProgramsHaveNoConcreteEvents) {
+  // queue and dll_delete free correctly: the concrete sweep itself must
+  // observe no misuse (guards the test corpus, not the analysis).
+  for (const std::string_view name : {"queue", "dll_delete"}) {
+    const corpus::CorpusProgram* p = corpus::find_program(name);
+    ASSERT_NE(p, nullptr);
+    const ProgramAnalysis program = analysis::prepare(p->source);
+    const ConcreteEvents events = sweep_concrete(program, 32);
+    EXPECT_TRUE(events.uaf.empty()) << name;
+    EXPECT_TRUE(events.double_free.empty()) << name;
+    EXPECT_TRUE(events.null_deref.empty()) << name;
+  }
+}
+
+TEST(FreedSoundness, ForcedMergeWidensFreeStateNotDrops) {
+  // Direct domain check: merging a freed and a live node must yield
+  // kMaybeFreed (never kLive) — the property the coverage above rests on.
+  using rsg::FreeState;
+  EXPECT_EQ(rsg::merge_free_states(FreeState::kFreed, FreeState::kLive),
+            FreeState::kMaybeFreed);
+  EXPECT_EQ(rsg::merge_free_states(FreeState::kLive, FreeState::kFreed),
+            FreeState::kMaybeFreed);
+  EXPECT_EQ(rsg::merge_free_states(FreeState::kFreed, FreeState::kFreed),
+            FreeState::kFreed);
+  EXPECT_EQ(rsg::merge_free_states(FreeState::kMaybeFreed, FreeState::kLive),
+            FreeState::kMaybeFreed);
+  EXPECT_TRUE(rsg::may_be_freed(FreeState::kMaybeFreed));
+  EXPECT_TRUE(rsg::may_be_freed(FreeState::kFreed));
+  EXPECT_FALSE(rsg::may_be_freed(FreeState::kLive));
+}
+
+}  // namespace
+}  // namespace psa::checker

@@ -1,0 +1,60 @@
+// Expected-findings golden files for the deliberately-buggy corpus: the
+// full formatted checker output at L3 is compared against
+// tests/checker/golden/<name>.txt. Regenerate after an intentional change
+// with PSA_UPDATE_GOLDEN=1 (the test then rewrites the files and fails so
+// the refresh is never silent).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "checker/checker.hpp"
+#include "corpus/corpus.hpp"
+
+#ifndef PSA_CHECKER_GOLDEN_DIR
+#error "PSA_CHECKER_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace psa::checker {
+namespace {
+
+std::string golden_path(std::string_view name) {
+  return std::string(PSA_CHECKER_GOLDEN_DIR) + "/" + std::string(name) +
+         ".txt";
+}
+
+std::string checker_output(const corpus::BuggyProgram& bug) {
+  const auto program = analysis::prepare(bug.source);
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL3;
+  options.types = &program.unit.types;
+  const auto result = analysis::analyze_program(program, options);
+  const auto findings = run_checkers(program, result);
+  return format_findings(findings, program);
+}
+
+TEST(CheckerGolden, BuggyCorpusOutputMatchesGoldenFiles) {
+  const bool update = std::getenv("PSA_UPDATE_GOLDEN") != nullptr;
+  for (const corpus::BuggyProgram& bug : corpus::buggy_programs()) {
+    const std::string actual = checker_output(bug);
+    const std::string path = golden_path(bug.name);
+    if (update) {
+      std::ofstream out(path);
+      out << actual;
+      ADD_FAILURE() << "golden file regenerated: " << path
+                    << " (rerun without PSA_UPDATE_GOLDEN)";
+      continue;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path
+                           << " (regenerate with PSA_UPDATE_GOLDEN=1)";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual, expected.str())
+        << bug.name << ": checker output diverged from " << path;
+  }
+}
+
+}  // namespace
+}  // namespace psa::checker

@@ -1,0 +1,77 @@
+// Checker precision across the progressive levels: rising from L1 (SPATH0)
+// through L2 (SPATH1) to L3 (TOUCH) refines the abstraction, so on the
+// *clean* corpus the may-defect noise (null-deref / UAF / double-free
+// warnings, all of them false positives there) must not increase — and at
+// L3 the UAF/double-free count must be exactly zero.
+#include <gtest/gtest.h>
+
+#include "checker/checker.hpp"
+#include "corpus/corpus.hpp"
+
+namespace psa::checker {
+namespace {
+
+using rsg::AnalysisLevel;
+
+std::size_t spurious_count(const std::vector<Finding>& findings) {
+  return count_findings(findings, CheckKind::kNullDeref) +
+         count_findings(findings, CheckKind::kUseAfterFree) +
+         count_findings(findings, CheckKind::kDoubleFree);
+}
+
+std::vector<Finding> check_at(const analysis::ProgramAnalysis& program,
+                              AnalysisLevel level) {
+  analysis::Options options;
+  options.level = level;
+  options.types = &program.unit.types;
+  const auto result = analysis::analyze_program(program, options);
+  return run_checkers(program, result);
+}
+
+TEST(CheckerPrecision, FalsePositivesDecreaseMonotonicallyL1ToL3) {
+  // The Table-1 codes are excluded for runtime (minutes at L3); every
+  // free()-using program and both progressive-escalation witnesses stay.
+  std::size_t total_l1 = 0;
+  std::size_t total_l2 = 0;
+  std::size_t total_l3 = 0;
+  for (const auto& prepared : corpus::prepare_all()) {
+    ASSERT_TRUE(prepared.ok()) << prepared.program->name;
+    if (prepared.program->in_table1) continue;
+    const auto& program = *prepared.analysis;
+    const std::size_t l1 = spurious_count(check_at(program, AnalysisLevel::kL1));
+    const std::size_t l2 = spurious_count(check_at(program, AnalysisLevel::kL2));
+    const std::size_t l3 = spurious_count(check_at(program, AnalysisLevel::kL3));
+    EXPECT_LE(l2, l1) << prepared.program->name
+                      << ": L2 noisier than L1 (" << l2 << " > " << l1 << ")";
+    EXPECT_LE(l3, l2) << prepared.program->name
+                      << ": L3 noisier than L2 (" << l3 << " > " << l2 << ")";
+    total_l1 += l1;
+    total_l2 += l2;
+    total_l3 += l3;
+  }
+  EXPECT_LE(total_l3, total_l2);
+  EXPECT_LE(total_l2, total_l1);
+}
+
+TEST(CheckerPrecision, SeededDefectsAreCaughtAtEveryLevel) {
+  // Precision improves toward L3, but soundness holds everywhere: the
+  // seeded defects must already be visible at the cheapest level.
+  for (const corpus::BuggyProgram& bug : corpus::buggy_programs()) {
+    const auto program = analysis::prepare(bug.source);
+    for (const AnalysisLevel level :
+         {AnalysisLevel::kL1, AnalysisLevel::kL2, AnalysisLevel::kL3}) {
+      const auto findings = check_at(program, level);
+      bool caught = false;
+      for (const Finding& f : findings) {
+        caught |= rule_id(f.kind) == bug.expected_rule &&
+                  f.loc.line == bug.defect_line;
+      }
+      EXPECT_TRUE(caught) << bug.name << " at L"
+                          << static_cast<int>(level) << ": seeded "
+                          << bug.expected_rule << " missed";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psa::checker

@@ -192,6 +192,88 @@ TEST(QueriesTest, CyclicStructureDetected) {
   EXPECT_EQ(classify_structure(program, at_exit, "a"), StructureKind::kCyclic);
 }
 
+/// Post-state of the first CFG statement matching `op` on pvar `name`
+/// (by the x operand); asserts the statement exists.
+const Rsrsg& state_after(const ProgramAnalysis& program,
+                         const AnalysisResult& result, cfg::SimpleOp op,
+                         std::string_view name) {
+  const support::Symbol sym = program.symbol(name);
+  for (cfg::NodeId id = 0; id < program.cfg.size(); ++id) {
+    const auto& stmt = program.cfg.node(id).stmt;
+    if (stmt.op == op && stmt.x == sym) return result.per_node[id];
+  }
+  ADD_FAILURE() << "no statement for " << name;
+  return result.per_node[program.cfg.entry()];
+}
+
+constexpr std::string_view kMaybeNullSource = R"(
+struct node { struct node *nxt; int v; };
+void main() {
+  struct node *p; struct node *q;
+  int c;
+  p = NULL; q = NULL; c = 0;
+  if (c > 0) {
+    p = malloc(sizeof(struct node));
+  }
+  if (p != NULL) {
+    q = p;
+  } else {
+    q = NULL;
+  }
+}
+)";
+
+TEST(QueriesTest, MayBeNullUnderAssumeEdgeRefinements) {
+  const auto program = prepare(kMaybeNullSource);
+  const auto result = analysis::analyze_program(program, {});
+  ASSERT_TRUE(result.converged());
+
+  // Before the test, p is NULL on one path and bound on the other.
+  EXPECT_TRUE(may_be_null(
+      program, state_after(program, result, cfg::SimpleOp::kBranch, ""), "p"));
+  // After assume(p != NULL) the unbound configuration is filtered out.
+  EXPECT_FALSE(may_be_null(
+      program, state_after(program, result, cfg::SimpleOp::kAssumeNotNull, "p"),
+      "p"));
+  // After assume(p == NULL) only the unbound configuration survives.
+  EXPECT_TRUE(may_be_null(
+      program, state_after(program, result, cfg::SimpleOp::kAssumeNull, "p"),
+      "p"));
+  // The refinement flows through the copy: q aliases the non-NULL p.
+  EXPECT_FALSE(may_be_null(
+      program, state_after(program, result, cfg::SimpleOp::kPtrCopy, "q"),
+      "q"));
+  // At exit both outcomes rejoin.
+  EXPECT_TRUE(may_be_null(program, result.at_exit(program.cfg), "p"));
+}
+
+TEST(QueriesTest, MayBeNullSurvivesGovernorDegradation) {
+  // Degraded (widened/summarized) states may only over-approximate: the
+  // assume-edge refinement must still filter unbound configurations, and
+  // the maybe-NULL answers must stay maybe — never flip to a wrong
+  // "definitely not NULL".
+  for (const std::size_t budget : {200'000u, 40'000u, 15'000u}) {
+    analysis::Options options;
+    options.memory_budget_bytes = budget;
+    options.budget_policy = analysis::BudgetPolicy::kDegrade;
+    const auto program = prepare(kMaybeNullSource);
+    options.types = &program.unit.types;
+    const auto result = analysis::analyze_program(program, options);
+    ASSERT_TRUE(result.converged()) << "budget " << budget;
+
+    EXPECT_FALSE(may_be_null(
+        program,
+        state_after(program, result, cfg::SimpleOp::kAssumeNotNull, "p"), "p"))
+        << "budget " << budget;
+    EXPECT_TRUE(may_be_null(
+        program, state_after(program, result, cfg::SimpleOp::kAssumeNull, "p"),
+        "p"))
+        << "budget " << budget;
+    EXPECT_TRUE(may_be_null(program, result.at_exit(program.cfg), "p"))
+        << "budget " << budget;
+  }
+}
+
 TEST(QueriesTest, MutualPairExplainedByCycleLinks) {
   // a <-> b through the same selector is fully described by cycle links and
   // is not reported as an unexplained cycle.

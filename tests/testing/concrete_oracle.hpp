@@ -42,6 +42,7 @@ struct ConcreteHeap {
   std::vector<std::map<Symbol, LocId>> fields;
   std::vector<lang::StructId> type_of;
   std::map<Symbol, LocId> env;  // pvar bindings (absent/kNull = NULL)
+  std::set<LocId> freed;        // locations passed to free()
 
   LocId alloc(lang::StructId type) {
     fields.emplace_back();
@@ -57,6 +58,13 @@ struct ConcreteHeap {
 struct ConcreteOutcome {
   ConcreteHeap heap;
   bool completed = false;  // reached the CFG exit without a null dereference
+  // Source lines where this execution concretely misbehaved. These are
+  // ground truth for the checker soundness tests: every line recorded here
+  // must carry the matching checker finding (the events are real even when
+  // the run was later cut off by the step budget).
+  std::set<std::uint32_t> null_deref_lines;
+  std::set<std::uint32_t> uaf_lines;          // dereference of freed memory
+  std::set<std::uint32_t> double_free_lines;  // re-free of freed memory
 };
 
 /// Run the lowered program concretely; opaque branches flip a coin, NULL
@@ -94,7 +102,12 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
       }
       case cfg::SimpleOp::kLoad: {
         const LocId base = heap.get(s.y);
-        if (base == kNull) return out;  // null dereference: no final store
+        if (base == kNull) {  // null dereference: no final store
+          if (s.loc.valid()) out.null_deref_lines.insert(s.loc.line);
+          return out;
+        }
+        if (heap.freed.contains(base) && s.loc.valid())
+          out.uaf_lines.insert(s.loc.line);
         const auto it =
             heap.fields[static_cast<std::size_t>(base)].find(s.sel);
         const LocId v =
@@ -111,7 +124,12 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
       case cfg::SimpleOp::kStore:
       case cfg::SimpleOp::kStoreNull: {
         const LocId base = heap.get(s.x);
-        if (base == kNull) return out;
+        if (base == kNull) {
+          if (s.loc.valid()) out.null_deref_lines.insert(s.loc.line);
+          return out;
+        }
+        if (heap.freed.contains(base) && s.loc.valid())
+          out.uaf_lines.insert(s.loc.line);
         const LocId v =
             s.op == cfg::SimpleOp::kStore ? heap.get(s.y) : kNull;
         if (v == kNull) {
@@ -121,10 +139,27 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
         }
         break;
       }
-      case cfg::SimpleOp::kFree:
-      case cfg::SimpleOp::kScalar:
+      case cfg::SimpleOp::kFree: {
+        const LocId v = heap.get(s.x);
+        if (v == kNull) break;  // free(NULL) is well-defined
+        if (!heap.freed.insert(v).second && s.loc.valid())
+          out.double_free_lines.insert(s.loc.line);
+        // The binding survives (dangles), matching the abstract semantics.
+        break;
+      }
       case cfg::SimpleOp::kFieldRead:
-      case cfg::SimpleOp::kFieldWrite:
+      case cfg::SimpleOp::kFieldWrite: {
+        // Scalar-field access still dereferences the base pointer.
+        const LocId base = heap.get(s.x);
+        if (base == kNull) {
+          if (s.loc.valid()) out.null_deref_lines.insert(s.loc.line);
+          return out;
+        }
+        if (heap.freed.contains(base) && s.loc.valid())
+          out.uaf_lines.insert(s.loc.line);
+        break;
+      }
+      case cfg::SimpleOp::kScalar:
       case cfg::SimpleOp::kTouchClear:
       case cfg::SimpleOp::kNop:
         break;
