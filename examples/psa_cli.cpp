@@ -6,19 +6,37 @@
 //                      [--check] [--sarif=OUT.sarif]
 //                      [--no-widen] [--threads=N] [--memory-budget=BYTES]
 //                      [--deadline-ms=MS] [--max-visits=N] [--hard-fail]
+//                      [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]
+//                      [--checkpoint=DIR] [--resume] [--corpus]
 //
-// Prints the analysis report (status, cost, exit-state shape facts, loop
-// parallelism) and, when the resource governor had to degrade, its summary;
-// --dot writes the exit RSRSG as graphviz; --progressive runs the
-// L1 -> L2 -> L3 driver using "no structure possibly cyclic" as the accuracy
-// criterion. --hard-fail restores the legacy abort-on-budget behavior.
-// --check runs the memory-safety checkers (docs/CHECKERS.md) over the
-// fixpoint and prints their findings; --sarif additionally writes them as a
-// SARIF 2.1.0 log (implies --check).
+// Two modes share one exit-code contract (see below):
 //
-// Batch isolation: each file is analyzed independently; a file the frontend
-// rejects is reported and skipped. The exit code is nonzero only when every
-// input failed.
+// DETAILED mode (default): each file is analyzed in-process and gets the
+// full report (status, cost, exit-state shape facts, loop parallelism,
+// governor summary); --dot writes the exit RSRSG as graphviz; --progressive
+// runs the L1 -> L2 -> L3 driver; --check prints the memory-safety findings
+// (docs/CHECKERS.md) and --sarif writes them as SARIF 2.1.0.
+//
+// BATCH mode (any of --isolate / --jobs / --timeout-ms / --checkpoint /
+// --resume / --corpus): the crash-isolated supervisor (docs/RESILIENCE.md)
+// runs every unit in a sandboxed worker process — a crash, hang or memory
+// blow-up costs one unit, never the batch. --timeout-ms arms the per-unit
+// watchdog, --jobs runs workers concurrently, --checkpoint journals
+// progress so a killed batch is resumable with --resume, --corpus analyzes
+// the bundled corpus programs, and --sarif merges the findings of every
+// completed unit into one SARIF log. The batch report on stdout is
+// deterministic: resuming an interrupted run reproduces the uninterrupted
+// report byte for byte. --isolate=off keeps the same reporting but runs
+// in-process (only exceptions are contained). Detailed-mode flags that need
+// a live analysis (--progressive, --per-statement, --annotate, --dot) are
+// rejected in batch mode.
+//
+// Exit codes (asserted by tests/driver/cli_integration_test.cpp):
+//   0  every unit analyzed, no findings
+//   1  every unit analyzed, memory-safety findings reported
+//   2  bad usage
+//   3  some units failed (crash / timeout / oom / exit / frontend error)
+//   4  every unit failed
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,6 +50,7 @@
 #include "client/parallelism.hpp"
 #include "client/queries.hpp"
 #include "client/report.hpp"
+#include "driver/supervisor.hpp"
 
 namespace {
 
@@ -48,6 +67,15 @@ struct CliOptions {
   std::string sarif_path;
   std::string dot_path;
   analysis::Options engine;
+
+  // Batch mode.
+  bool batch = false;
+  bool isolate = true;
+  std::size_t jobs = 1;
+  std::uint64_t timeout_ms = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
+  bool corpus = false;
 };
 
 bool parse_args(int argc, char** argv, CliOptions& out) try {
@@ -87,11 +115,43 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
       out.engine.max_node_visits = std::stoull(value_of("--max-visits="));
     } else if (arg == "--hard-fail") {
       out.engine.budget_policy = analysis::BudgetPolicy::kHardFail;
+    } else if (arg == "--isolate" || arg == "--isolate=on") {
+      out.batch = true;
+      out.isolate = true;
+    } else if (arg == "--isolate=off") {
+      out.batch = true;
+      out.isolate = false;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      out.batch = true;
+      out.jobs = std::stoul(value_of("--jobs="));
+      if (out.jobs == 0) return false;
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      out.batch = true;
+      out.timeout_ms = std::stoull(value_of("--timeout-ms="));
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      out.batch = true;
+      out.checkpoint_dir = value_of("--checkpoint=");
+    } else if (arg == "--resume") {
+      out.batch = true;
+      out.resume = true;
+    } else if (arg == "--corpus") {
+      out.batch = true;
+      out.corpus = true;
     } else if (!arg.empty() && arg[0] != '-') {
       out.files.push_back(arg);
     } else {
       return false;
     }
+  }
+  if (out.batch) {
+    // Batch reports come from serialized payloads; flags that need the live
+    // in-memory analysis are detailed-mode only.
+    if (out.progressive || out.per_statement || out.annotate ||
+        !out.dot_path.empty()) {
+      return false;
+    }
+    if (out.resume && out.checkpoint_dir.empty()) return false;
+    return !out.files.empty() || out.corpus;
   }
   return !out.files.empty();
 } catch (const std::exception&) {
@@ -99,19 +159,26 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
 }
 
 int usage() {
-  std::cerr << "usage: psa_cli FILE.c [FILE.c ...] [--function=NAME]\n"
-               "               [--level=1|2|3] [--progressive]\n"
-               "               [--per-statement] [--annotate] [--dot=OUT.dot]\n"
-               "               [--check] [--sarif=OUT.sarif]\n"
-               "               [--no-widen] [--threads=N]\n"
-               "               [--memory-budget=BYTES] [--deadline-ms=MS]\n"
-               "               [--max-visits=N] [--hard-fail]\n";
-  return 2;
+  std::cerr
+      << "usage: psa_cli FILE.c [FILE.c ...] [--function=NAME]\n"
+         "               [--level=1|2|3] [--progressive]\n"
+         "               [--per-statement] [--annotate] [--dot=OUT.dot]\n"
+         "               [--check] [--sarif=OUT.sarif]\n"
+         "               [--no-widen] [--threads=N]\n"
+         "               [--memory-budget=BYTES] [--deadline-ms=MS]\n"
+         "               [--max-visits=N] [--hard-fail]\n"
+         "       batch:  [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]\n"
+         "               [--checkpoint=DIR] [--resume] [--corpus]\n"
+         "exit codes: 0 ok, 1 findings, 2 bad usage, 3 some units failed,\n"
+         "            4 all units failed\n";
+  return driver::kExitBadUsage;
 }
 
-/// Analyze one file end to end. Returns false on failure (unreadable file or
+/// Analyze one file end to end in detailed mode. Returns the number of
+/// findings via `findings_out`; false on failure (unreadable file or
 /// frontend rejection) — the caller keeps going with the other inputs.
-bool run_file(const std::string& file, const CliOptions& cli) {
+bool run_file(const std::string& file, const CliOptions& cli,
+              std::size_t& findings_out) {
   std::ifstream in(file);
   if (!in) {
     std::cerr << "cannot open '" << file << "'\n";
@@ -186,6 +253,7 @@ bool run_file(const std::string& file, const CliOptions& cli) {
 
     if (cli.check) {
       const auto findings = checker::run_checkers(program, result);
+      findings_out += findings.size();
       std::cout << "\nmemory-safety findings (" << findings.size() << "):\n"
                 << checker::format_findings(findings, program);
       if (!cli.sarif_path.empty()) {
@@ -203,19 +271,73 @@ bool run_file(const std::string& file, const CliOptions& cli) {
   return true;
 }
 
+int run_batch_mode(const CliOptions& cli) {
+  std::vector<driver::AnalysisUnit> units;
+  for (const std::string& file : cli.files) {
+    driver::AnalysisUnit unit;
+    unit.name = file;
+    unit.function = cli.function;
+    unit.source_path = file;
+    units.push_back(std::move(unit));
+  }
+  if (cli.corpus) {
+    for (driver::AnalysisUnit& unit : driver::corpus_units()) {
+      unit.function = "main";  // corpus programs are whole `main` bodies
+      units.push_back(std::move(unit));
+    }
+  }
+
+  driver::BatchOptions batch;
+  batch.isolate = cli.isolate;
+  batch.jobs = cli.jobs;
+  batch.checkpoint_dir = cli.checkpoint_dir;
+  batch.resume = cli.resume;
+  batch.unit_timeout_ms = cli.timeout_ms;
+  batch.check = cli.check;
+  batch.engine = cli.engine;
+  batch.engine.level = static_cast<rsg::AnalysisLevel>(cli.level);
+  // Progress goes to stderr so stdout stays the deterministic batch report
+  // (the resume acceptance test compares it byte for byte).
+  batch.log = [](const std::string& line) { std::cerr << line << '\n'; };
+
+  driver::BatchResult result;
+  try {
+    result = driver::run_batch(units, batch);
+  } catch (const std::exception& e) {
+    std::cerr << "batch setup failed: " << e.what() << '\n';
+    return driver::kExitBadUsage;
+  }
+
+  std::cout << driver::format_batch_report(result);
+
+  if (!cli.sarif_path.empty()) {
+    std::ofstream out(cli.sarif_path);
+    out << checker::to_sarif_batch(driver::batch_findings(result));
+    std::cerr << "SARIF log written to " << cli.sarif_path << '\n';
+  }
+
+  return driver::batch_exit_code(result);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions cli;
   if (!parse_args(argc, argv, cli)) return usage();
 
+  if (cli.batch) return run_batch_mode(cli);
+
   std::size_t succeeded = 0;
+  std::size_t findings = 0;
   for (std::size_t i = 0; i < cli.files.size(); ++i) {
     if (cli.files.size() > 1) {
       if (i != 0) std::cout << '\n';
       std::cout << "=== " << cli.files[i] << " ===\n";
     }
-    if (run_file(cli.files[i], cli)) ++succeeded;
+    if (run_file(cli.files[i], cli, findings)) ++succeeded;
   }
-  return succeeded == 0 ? 1 : 0;
+  if (succeeded == 0) return driver::kExitAllUnitsFailed;
+  if (succeeded < cli.files.size()) return driver::kExitSomeUnitsFailed;
+  if (findings > 0) return driver::kExitFindings;
+  return driver::kExitOk;
 }

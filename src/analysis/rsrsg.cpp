@@ -145,6 +145,18 @@ bool Rsrsg::degrade_members(const LevelPolicy& policy,
   return false;
 }
 
+Rsrsg Rsrsg::restore(std::vector<Rsg> graphs, bool widened) {
+  Rsrsg set;
+  set.widened_ = widened;
+  set.graphs_ = std::move(graphs);
+  set.fingerprints_.reserve(set.graphs_.size());
+  for (const Rsg& g : set.graphs_) {
+    set.fingerprints_.push_back(rsg::fingerprint(g));
+  }
+  set.contexts_.assign(set.graphs_.size(), nullptr);
+  return set;
+}
+
 std::size_t Rsrsg::footprint_bytes() const {
   std::size_t bytes = 0;
   for (const Rsg& g : graphs_) bytes += g.footprint_bytes();

@@ -48,6 +48,13 @@ class Rsrsg {
 
   [[nodiscard]] bool widened() const noexcept { return widened_; }
 
+  /// Exact restore for the snapshot layer (rsg/serialize.hpp): adopt the
+  /// members verbatim — no join, no coarsening, no dedup — recomputing the
+  /// cached fingerprints. `deserialize(serialize(s))` must reproduce the set
+  /// member-for-member, so the restore path deliberately bypasses every
+  /// reduction insert() would apply.
+  [[nodiscard]] static Rsrsg restore(std::vector<Rsg> graphs, bool widened);
+
   /// Degradation entry point for the resource governor: apply `transform` to
   /// every member, then rebuild the set through the widened-mode insert path
   /// (coarsen + force-join ALIAS-equal members). The set enters widened mode,

@@ -152,7 +152,7 @@ std::size_t rule_index(CheckKind kind) {
   return 0;
 }
 
-void write_location(JsonWriter& w, const SarifOptions& options,
+void write_location(JsonWriter& w, std::string_view artifact_uri,
                     support::SourceLoc loc) {
   w.begin_object();
   w.key("physicalLocation");
@@ -160,7 +160,7 @@ void write_location(JsonWriter& w, const SarifOptions& options,
   w.key("artifactLocation");
   w.begin_object();
   w.key("uri");
-  w.value(options.artifact_uri);
+  w.value(artifact_uri);
   w.end_object();
   if (loc.valid()) {
     w.key("region");
@@ -175,10 +175,75 @@ void write_location(JsonWriter& w, const SarifOptions& options,
   w.end_object();
 }
 
+void write_result(JsonWriter& w, std::string_view artifact_uri,
+                  const Finding& f) {
+  w.begin_object();
+  w.key("ruleId");
+  w.value(rule_id(f.kind));
+  w.key("ruleIndex");
+  w.value(static_cast<std::uint64_t>(rule_index(f.kind)));
+  w.key("level");
+  w.value(sarif_level(f.severity));
+  w.key("message");
+  w.begin_object();
+  w.key("text");
+  std::string text(f.message);
+  if (!f.witness_node.empty()) text += " [witness: " + f.witness_node + "]";
+  w.value(text);
+  w.end_object();
+  w.key("locations");
+  w.begin_array();
+  write_location(w, artifact_uri, f.loc);
+  w.end_array();
+  if (!f.trace.empty()) {
+    w.key("codeFlows");
+    w.begin_array();
+    w.begin_object();
+    w.key("threadFlows");
+    w.begin_array();
+    w.begin_object();
+    w.key("locations");
+    w.begin_array();
+    for (const TraceStep& step : f.trace) {
+      w.begin_object();
+      w.key("location");
+      w.begin_object();
+      w.key("physicalLocation");
+      w.begin_object();
+      w.key("artifactLocation");
+      w.begin_object();
+      w.key("uri");
+      w.value(artifact_uri);
+      w.end_object();
+      if (step.loc.valid()) {
+        w.key("region");
+        w.begin_object();
+        w.key("startLine");
+        w.value(static_cast<std::uint64_t>(step.loc.line));
+        w.end_object();
+      }
+      w.end_object();
+      w.key("message");
+      w.begin_object();
+      w.key("text");
+      w.value(step.text);
+      w.end_object();
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_array();
+    w.end_object();
+    w.end_array();
+  }
+  w.end_object();
+}
+
 }  // namespace
 
-std::string to_sarif(const std::vector<Finding>& findings,
-                     const SarifOptions& options) {
+std::string to_sarif_batch(const std::vector<ArtifactFindings>& batch,
+                           const SarifOptions& options) {
   JsonWriter w(options.pretty);
   w.begin_object();
   w.key("$schema");
@@ -220,68 +285,10 @@ std::string to_sarif(const std::vector<Finding>& findings,
 
   w.key("results");
   w.begin_array();
-  for (const Finding& f : findings) {
-    w.begin_object();
-    w.key("ruleId");
-    w.value(rule_id(f.kind));
-    w.key("ruleIndex");
-    w.value(static_cast<std::uint64_t>(rule_index(f.kind)));
-    w.key("level");
-    w.value(sarif_level(f.severity));
-    w.key("message");
-    w.begin_object();
-    w.key("text");
-    std::string text(f.message);
-    if (!f.witness_node.empty()) text += " [witness: " + f.witness_node + "]";
-    w.value(text);
-    w.end_object();
-    w.key("locations");
-    w.begin_array();
-    write_location(w, options, f.loc);
-    w.end_array();
-    if (!f.trace.empty()) {
-      w.key("codeFlows");
-      w.begin_array();
-      w.begin_object();
-      w.key("threadFlows");
-      w.begin_array();
-      w.begin_object();
-      w.key("locations");
-      w.begin_array();
-      for (const TraceStep& step : f.trace) {
-        w.begin_object();
-        w.key("location");
-        w.begin_object();
-        w.key("physicalLocation");
-        w.begin_object();
-        w.key("artifactLocation");
-        w.begin_object();
-        w.key("uri");
-        w.value(options.artifact_uri);
-        w.end_object();
-        if (step.loc.valid()) {
-          w.key("region");
-          w.begin_object();
-          w.key("startLine");
-          w.value(static_cast<std::uint64_t>(step.loc.line));
-          w.end_object();
-        }
-        w.end_object();
-        w.key("message");
-        w.begin_object();
-        w.key("text");
-        w.value(step.text);
-        w.end_object();
-        w.end_object();
-        w.end_object();
-      }
-      w.end_array();
-      w.end_object();
-      w.end_array();
-      w.end_object();
-      w.end_array();
+  for (const ArtifactFindings& group : batch) {
+    for (const Finding& f : group.findings) {
+      write_result(w, group.artifact_uri, f);
     }
-    w.end_object();
   }
   w.end_array();
 
@@ -291,6 +298,14 @@ std::string to_sarif(const std::vector<Finding>& findings,
   std::string out = w.str();
   out += '\n';
   return out;
+}
+
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const SarifOptions& options) {
+  std::vector<ArtifactFindings> batch(1);
+  batch[0].artifact_uri = options.artifact_uri;
+  batch[0].findings = findings;
+  return to_sarif_batch(batch, options);
 }
 
 }  // namespace psa::checker

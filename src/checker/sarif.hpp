@@ -30,4 +30,18 @@ struct SarifOptions {
 [[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings,
                                    const SarifOptions& options = {});
 
+/// Findings of one analysis unit (one artifact) inside a batch run.
+struct ArtifactFindings {
+  /// artifactLocation.uri of this unit's results.
+  std::string artifact_uri;
+  std::vector<Finding> findings;
+};
+
+/// Merge the findings of many units — including the partial yield of a batch
+/// whose other units crashed or were quarantined — into ONE SARIF log with a
+/// single run, attributing each result to its own artifact.
+/// `options.artifact_uri` is ignored; each group carries its own.
+[[nodiscard]] std::string to_sarif_batch(
+    const std::vector<ArtifactFindings>& batch, const SarifOptions& options = {});
+
 }  // namespace psa::checker

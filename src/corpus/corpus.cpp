@@ -1269,6 +1269,13 @@ std::vector<PreparedProgram> prepare_all() {
   return prepare_programs(selection);
 }
 
+std::vector<UnitSource> unit_sources() {
+  std::vector<UnitSource> out;
+  out.reserve(programs().size());
+  for (const CorpusProgram& p : programs()) out.push_back({p.name, p.source});
+  return out;
+}
+
 const CorpusProgram& sparse_matvec() { return *find_program("sparse_matvec"); }
 const CorpusProgram& sparse_matmat() { return *find_program("sparse_matmat"); }
 const CorpusProgram& sparse_lu() { return *find_program("sparse_lu"); }

@@ -80,6 +80,19 @@ struct PreparedProgram {
 /// prepare_programs over the whole corpus, stable order.
 [[nodiscard]] std::vector<PreparedProgram> prepare_all();
 
+/// One corpus entry exposed as a batch analysis unit for the crash-isolated
+/// driver (src/driver/): a stable unit name plus the in-memory source. The
+/// corpus functions are all `main`, so the unit is (program × main).
+struct UnitSource {
+  std::string_view name;
+  std::string_view source;
+};
+
+/// The whole clean corpus as batch units, stable order (matches
+/// all_programs()). `psa_cli --corpus` and the fault-injection suites feed
+/// these through driver::run_batch.
+[[nodiscard]] std::vector<UnitSource> unit_sources();
+
 // Shorthand accessors for the paper's four codes.
 [[nodiscard]] const CorpusProgram& sparse_matvec();
 [[nodiscard]] const CorpusProgram& sparse_matmat();

@@ -1,0 +1,177 @@
+#include "driver/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/hash.hpp"
+
+namespace psa::driver {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kJournalHeader = "psa-journal v1";
+
+std::string escape_detail(std::string_view detail) {
+  std::string out;
+  out.reserve(detail.size());
+  for (const char c : detail) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_detail(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out += s[i] == 'n' ? '\n' : s[i];
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h = 0xcbf29ce484222325ull) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string unit_key(const AnalysisUnit& unit) {
+  std::string sanitized;
+  for (const char c : unit.name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                      c == '.';
+    sanitized += safe ? c : '_';
+    if (sanitized.size() >= 64) break;
+  }
+  if (sanitized.empty()) sanitized = "unit";
+  const std::uint64_t h = fnv1a(unit.function, fnv1a(unit.name) ^ 0x9e3779b9ull);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return sanitized + "-" + std::string(hex, 8);
+}
+
+Checkpoint::Checkpoint(std::string dir, bool resume) : dir_(std::move(dir)) {
+  fs::create_directories(dir_);
+  journal_path_ = (fs::path(dir_) / "journal.psaj").string();
+
+  if (resume) {
+    // Replay: the last outcome line per key wins; torn/unknown lines are
+    // skipped.
+    std::ifstream in(journal_path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream fields(line);
+      std::string tag;
+      fields >> tag;
+      if (tag != "outcome") continue;
+      std::string key, kind_str;
+      int exit_code = 0, signal = 0, attempts = 0, quarantined = 0;
+      if (!(fields >> key >> kind_str >> exit_code >> signal >> attempts >>
+            quarantined)) {
+        continue;
+      }
+      UnitOutcome outcome;
+      if (!parse_outcome_kind(kind_str, outcome.kind)) continue;
+      outcome.exit_code = exit_code;
+      outcome.signal = signal;
+      outcome.attempts = attempts;
+      outcome.quarantined = quarantined != 0;
+      std::string detail;
+      std::getline(fields, detail);
+      if (!detail.empty() && detail.front() == ' ') detail.erase(0, 1);
+      outcome.detail = unescape_detail(detail);
+      replayed_[key] = std::move(outcome);
+    }
+  } else {
+    // Fresh run into an existing directory: clear the previous journal and
+    // snapshots so stale state can never masquerade as this run's.
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name == "journal.psaj" || name.ends_with(".snap") ||
+          name.ends_with(".snap.tmp")) {
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  std::ofstream journal(journal_path_, std::ios::app);
+  if (!journal) {
+    throw std::runtime_error("checkpoint: cannot write journal at " +
+                             journal_path_);
+  }
+  if (fs::file_size(fs::path(journal_path_)) == 0) {
+    journal << kJournalHeader << '\n' << std::flush;
+  }
+}
+
+void Checkpoint::record_attempt(const std::string& key, int attempt) {
+  std::ofstream journal(journal_path_, std::ios::app);
+  journal << "attempt " << key << ' ' << attempt << '\n' << std::flush;
+}
+
+void Checkpoint::record_outcome(const std::string& key,
+                                const UnitOutcome& outcome) {
+  std::ofstream journal(journal_path_, std::ios::app);
+  journal << "outcome " << key << ' ' << to_string(outcome.kind) << ' '
+          << outcome.exit_code << ' ' << outcome.signal << ' '
+          << outcome.attempts << ' ' << (outcome.quarantined ? 1 : 0) << ' '
+          << escape_detail(outcome.detail) << '\n'
+          << std::flush;
+}
+
+const UnitOutcome* Checkpoint::replayed_outcome(const std::string& key) const {
+  const auto it = replayed_.find(key);
+  return it == replayed_.end() ? nullptr : &it->second;
+}
+
+std::string Checkpoint::snapshot_path(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".snap")).string();
+}
+
+std::string Checkpoint::snapshot_tmp_path(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".snap.tmp")).string();
+}
+
+std::optional<UnitPayload> Checkpoint::load_payload(const std::string& key,
+                                                    std::string* error) const {
+  const std::string path = snapshot_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "missing snapshot " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  try {
+    return deserialize_unit_payload(bytes);
+  } catch (const rsg::SnapshotError& e) {
+    if (error != nullptr) *error = std::string(e.what()) + " in " + path;
+    return std::nullopt;
+  }
+}
+
+}  // namespace psa::driver

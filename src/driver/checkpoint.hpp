@@ -1,0 +1,72 @@
+// The on-disk checkpoint of a batch run: an append-only journal of unit
+// attempts/outcomes plus one snapshot file per completed unit.
+//
+// Directory layout (--checkpoint=DIR):
+//   journal.psaj          append-only text journal (see below)
+//   <unit-key>.snap       UnitPayload snapshot (envelope-checksummed bytes)
+//   <unit-key>.snap.tmp   in-flight write; renamed to .snap on completion,
+//                         so the bare presence of .snap marks a finished
+//                         write (the checksum still guards its content)
+//
+// Journal format — line oriented, tolerant to a torn final line (a SIGKILLed
+// supervisor can lose at most the line being written):
+//   psa-journal v1
+//   attempt <key> <n>
+//   outcome <key> <kind> <exit> <signal> <attempts> <quarantined> <detail>
+// `detail` is the remainder of the line with newlines escaped as "\n".
+// The LAST outcome line per key wins on replay.
+//
+// Resume semantics (--resume): a unit whose replayed outcome is `ok` AND
+// whose snapshot validates is skipped and its payload served from disk; a
+// quarantined unit is skipped and its failure outcome replayed (it already
+// failed twice — rerunning it would hang the resumed batch on the same
+// defect); anything else — including a torn journal or a corrupt snapshot —
+// is re-run from scratch. Without --resume an existing checkpoint directory
+// is cleared first.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "driver/payload.hpp"
+#include "driver/unit.hpp"
+
+namespace psa::driver {
+
+/// Filesystem-safe stable key for a unit: sanitized name plus a hash of
+/// (name, function) so distinct units never collide.
+[[nodiscard]] std::string unit_key(const AnalysisUnit& unit);
+
+class Checkpoint {
+ public:
+  /// Open (and create) `dir`. With `resume` the existing journal is replayed
+  /// into memory; otherwise the directory is cleared. Throws
+  /// std::runtime_error when the directory cannot be created or written.
+  Checkpoint(std::string dir, bool resume);
+
+  /// Journal writes. Each record is flushed immediately.
+  void record_attempt(const std::string& key, int attempt);
+  void record_outcome(const std::string& key, const UnitOutcome& outcome);
+
+  /// Replayed terminal outcome of `key` from a previous run, if any.
+  [[nodiscard]] const UnitOutcome* replayed_outcome(
+      const std::string& key) const;
+
+  /// Snapshot paths for the worker protocol (write .tmp, rename to .snap).
+  [[nodiscard]] std::string snapshot_path(const std::string& key) const;
+  [[nodiscard]] std::string snapshot_tmp_path(const std::string& key) const;
+
+  /// Load + validate the snapshot of `key`. Returns nullopt (with the
+  /// diagnostic in `error`) when missing or corrupt — the caller re-runs the
+  /// unit; corruption never aborts a batch.
+  [[nodiscard]] std::optional<UnitPayload> load_payload(
+      const std::string& key, std::string* error) const;
+
+ private:
+  std::string dir_;
+  std::string journal_path_;
+  std::map<std::string, UnitOutcome> replayed_;
+};
+
+}  // namespace psa::driver

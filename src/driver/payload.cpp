@@ -1,0 +1,119 @@
+#include "driver/payload.hpp"
+
+namespace psa::driver {
+
+namespace {
+
+using rsg::ByteReader;
+using rsg::ByteWriter;
+using rsg::SnapshotError;
+
+void append_finding(ByteWriter& out, const checker::Finding& f) {
+  out.u8(static_cast<std::uint8_t>(f.kind));
+  out.u8(static_cast<std::uint8_t>(f.severity));
+  out.u32(f.site);
+  out.u32(f.loc.line);
+  out.u32(f.loc.column);
+  out.str(f.stmt);
+  out.str(f.message);
+  out.str(f.witness_node);
+  out.u64(f.graphs_bad);
+  out.u64(f.graphs_total);
+  out.u32(static_cast<std::uint32_t>(f.trace.size()));
+  for (const checker::TraceStep& step : f.trace) {
+    out.u32(step.loc.line);
+    out.u32(step.loc.column);
+    out.str(step.text);
+  }
+}
+
+checker::Finding read_finding(ByteReader& in) {
+  checker::Finding f;
+  const std::uint8_t kind = in.u8("finding kind");
+  if (kind > static_cast<std::uint8_t>(checker::CheckKind::kLeakAtExit)) {
+    throw SnapshotError("bad finding kind");
+  }
+  f.kind = static_cast<checker::CheckKind>(kind);
+  const std::uint8_t severity = in.u8("finding severity");
+  if (severity > static_cast<std::uint8_t>(checker::CheckSeverity::kError)) {
+    throw SnapshotError("bad finding severity");
+  }
+  f.severity = static_cast<checker::CheckSeverity>(severity);
+  f.site = in.u32("finding site");
+  f.loc.line = in.u32("finding line");
+  f.loc.column = in.u32("finding column");
+  f.stmt = std::string(in.str("finding stmt"));
+  f.message = std::string(in.str("finding message"));
+  f.witness_node = std::string(in.str("finding witness"));
+  f.graphs_bad = in.u64("finding graphs bad");
+  f.graphs_total = in.u64("finding graphs total");
+  const std::uint32_t steps = in.count("finding trace", 12);
+  f.trace.reserve(steps);
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    checker::TraceStep step;
+    step.loc.line = in.u32("trace line");
+    step.loc.column = in.u32("trace column");
+    step.text = std::string(in.str("trace text"));
+    f.trace.push_back(std::move(step));
+  }
+  return f;
+}
+
+}  // namespace
+
+std::string serialize_unit_payload(const UnitPayload& payload,
+                                   const support::Interner& interner) {
+  rsg::SymbolTableBuilder table(interner);
+  ByteWriter body;
+  body.str(payload.unit_name);
+  body.str(payload.function);
+  body.u8(payload.frontend_ok ? 1 : 0);
+  if (!payload.frontend_ok) {
+    body.str(payload.frontend_error);
+  } else {
+    body.u32(payload.exit_node);
+    analysis::append_analysis_result(body, payload.result, table);
+  }
+  body.u8(payload.checked ? 1 : 0);
+  body.u32(static_cast<std::uint32_t>(payload.findings.size()));
+  for (const checker::Finding& f : payload.findings) append_finding(body, f);
+
+  ByteWriter out;
+  table.write_table(out);
+  std::string bytes = out.take();
+  bytes += body.bytes();
+  return rsg::wrap_snapshot(std::move(bytes));
+}
+
+UnitPayload deserialize_unit_payload(std::string_view bytes) {
+  ByteReader in(rsg::unwrap_snapshot(bytes));
+  UnitPayload payload;
+  payload.interner = std::make_shared<support::Interner>();
+  const rsg::SymbolTableView table(in, *payload.interner);
+  payload.unit_name = std::string(in.str("unit name"));
+  payload.function = std::string(in.str("unit function"));
+  const std::uint8_t frontend_ok = in.u8("frontend flag");
+  if (frontend_ok > 1) throw SnapshotError("bad frontend flag");
+  payload.frontend_ok = frontend_ok != 0;
+  if (!payload.frontend_ok) {
+    payload.frontend_error = std::string(in.str("frontend error"));
+  } else {
+    payload.exit_node = in.u32("exit node");
+    payload.result = analysis::read_analysis_result(in, table);
+    if (payload.exit_node >= payload.result.per_node.size()) {
+      throw SnapshotError("exit node out of range");
+    }
+  }
+  const std::uint8_t checked = in.u8("checked flag");
+  if (checked > 1) throw SnapshotError("bad checked flag");
+  payload.checked = checked != 0;
+  const std::uint32_t findings = in.count("findings", 39);
+  payload.findings.reserve(findings);
+  for (std::uint32_t i = 0; i < findings; ++i) {
+    payload.findings.push_back(read_finding(in));
+  }
+  in.expect_end("unit payload");
+  return payload;
+}
+
+}  // namespace psa::driver

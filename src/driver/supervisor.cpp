@@ -1,0 +1,715 @@
+#include "driver/supervisor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "analysis/analyzer.hpp"
+#include "checker/checker.hpp"
+#include "corpus/corpus.hpp"
+#include "driver/checkpoint.hpp"
+#include "driver/fault.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PSA_DRIVER_HAS_FORK 1
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+#else
+#define PSA_DRIVER_HAS_FORK 0
+#endif
+
+namespace psa::driver {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+std::string describe(const UnitOutcome& outcome) {
+  std::ostringstream out;
+  out << to_string(outcome.kind);
+  switch (outcome.kind) {
+    case UnitOutcomeKind::kOk:
+    case UnitOutcomeKind::kFrontendError:
+    case UnitOutcomeKind::kTimeout:
+      break;
+    case UnitOutcomeKind::kExit:
+      out << " (code " << outcome.exit_code << ")";
+      break;
+    case UnitOutcomeKind::kCrash:
+      out << " (signal " << outcome.signal << ")";
+      break;
+    case UnitOutcomeKind::kOom:
+      break;
+  }
+  return out.str();
+}
+
+std::size_t BatchResult::ok_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(units.begin(), units.end(), [](const UnitReport& u) {
+        return !u.outcome.failed();
+      }));
+}
+
+std::size_t BatchResult::failed_count() const {
+  return units.size() - ok_count();
+}
+
+std::size_t BatchResult::quarantined_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(units.begin(), units.end(), [](const UnitReport& u) {
+        return u.outcome.quarantined;
+      }));
+}
+
+std::size_t BatchResult::from_checkpoint_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(units.begin(), units.end(), [](const UnitReport& u) {
+        return u.outcome.from_checkpoint;
+      }));
+}
+
+std::size_t BatchResult::finding_count() const {
+  std::size_t n = 0;
+  for (const UnitReport& u : units) {
+    if (u.payload) n += u.payload->findings.size();
+  }
+  return n;
+}
+
+bool isolation_supported() noexcept { return PSA_DRIVER_HAS_FORK != 0; }
+
+analysis::Options stepped_down(const analysis::Options& options) {
+  analysis::Options out = options;
+  if (out.widen_threshold == 0 || out.widen_threshold > 16) {
+    out.widen_threshold = std::max<std::size_t>(
+        8, out.widen_threshold == 0 ? 16 : out.widen_threshold / 2);
+  }
+  if (out.max_rsgs_per_set > 64) out.max_rsgs_per_set /= 2;
+  if (out.max_node_visits > 100'000) out.max_node_visits /= 2;
+  if (out.deadline_ms > 1000) out.deadline_ms /= 2;
+  return out;
+}
+
+std::string run_unit_serialized(const AnalysisUnit& unit,
+                                const analysis::Options& engine, bool check) {
+  UnitPayload payload;
+  payload.unit_name = unit.name;
+  payload.function = unit.function;
+
+  std::string source = unit.source;
+  if (source.empty() && !unit.source_path.empty()) {
+    std::ifstream in(unit.source_path, std::ios::binary);
+    if (!in) {
+      payload.frontend_ok = false;
+      payload.frontend_error = "cannot read " + unit.source_path;
+      const support::Interner empty;
+      return serialize_unit_payload(payload, empty);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  try {
+    const analysis::ProgramAnalysis program =
+        analysis::prepare(source, unit.function);
+    payload.result = analysis::analyze_program(program, engine);
+    payload.exit_node = program.cfg.exit();
+    if (check) {
+      payload.checked = true;
+      payload.findings = checker::run_checkers(program, payload.result);
+    }
+    return serialize_unit_payload(payload, program.interner());
+  } catch (const analysis::FrontendError& e) {
+    payload = UnitPayload{};
+    payload.unit_name = unit.name;
+    payload.function = unit.function;
+    payload.frontend_ok = false;
+    payload.frontend_error = e.what();
+    const support::Interner empty;
+    return serialize_unit_payload(payload, empty);
+  }
+}
+
+namespace {
+
+void log_line(const BatchOptions& options, const std::string& line) {
+  if (options.log) options.log(line);
+}
+
+/// Scratch snapshot directory when the batch has no --checkpoint: same
+/// write-tmp-then-rename worker protocol, deleted when the batch ends.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    static std::atomic<unsigned> counter{0};
+    const unsigned n = counter.fetch_add(1);
+    std::ostringstream name;
+    name << "psa-batch-"
+#if PSA_DRIVER_HAS_FORK
+         << static_cast<long>(::getpid())
+#else
+         << "x"
+#endif
+         << "-" << n;
+    path_ = (fs::temp_directory_path() / name.str()).string();
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  [[nodiscard]] std::string snapshot_path(const std::string& key) const {
+    return (fs::path(path_) / (key + ".snap")).string();
+  }
+  [[nodiscard]] std::string snapshot_tmp_path(const std::string& key) const {
+    return (fs::path(path_) / (key + ".snap.tmp")).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+/// Write bytes to `tmp`, fsync-close, rename to `final`. The rename is the
+/// completion marker: a half-written snapshot never carries the .snap name.
+bool write_snapshot_file(const std::string& tmp, const std::string& final_path,
+                         std::string_view bytes) {
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  return !ec;
+}
+
+std::optional<UnitPayload> load_snapshot_file(const std::string& path,
+                                              std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "missing snapshot " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  try {
+    return deserialize_unit_payload(bytes);
+  } catch (const rsg::SnapshotError& e) {
+    if (error != nullptr) *error = std::string(e.what()) + " in " + path;
+    return std::nullopt;
+  }
+}
+
+/// Turn a validated payload into the unit's outcome (+ report payload).
+void adopt_payload(UnitReport& report, UnitPayload&& payload, int attempts) {
+  if (payload.frontend_ok) {
+    report.outcome.kind = UnitOutcomeKind::kOk;
+    report.outcome.detail.clear();
+    report.payload = std::move(payload);
+  } else {
+    report.outcome.kind = UnitOutcomeKind::kFrontendError;
+    report.outcome.detail = payload.frontend_error;
+    report.payload.reset();
+  }
+  report.outcome.attempts = attempts;
+}
+
+struct SnapshotPaths {
+  std::string tmp;
+  std::string final_path;
+};
+
+#if PSA_DRIVER_HAS_FORK
+
+struct RunningWorker {
+  pid_t pid = -1;
+  std::size_t unit_index = 0;
+  int attempt = 1;
+  Clock::time_point start;
+  bool term_sent = false;
+  bool timed_out = false;
+  Clock::time_point term_time;
+};
+
+/// The worker body after fork(). Never returns.
+[[noreturn]] void run_worker(const AnalysisUnit& unit,
+                             const analysis::Options& engine,
+                             const UnitRunner& runner,
+                             const SnapshotPaths& paths) {
+#if defined(__linux__)
+  // Die with the supervisor: a SIGKILLed batch must not leave hung workers
+  // behind (the resume acceptance test kills the supervisor mid-run).
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  try {
+    // The deliberate-fault hook is honored ONLY here, inside the sandbox.
+    inject_fault(FaultPlan::from_env().for_unit(unit.name));
+    const std::string bytes = runner(unit, engine);
+    if (!write_snapshot_file(paths.tmp, paths.final_path, bytes)) {
+      std::fprintf(stderr, "psa worker: cannot write snapshot %s\n",
+                   paths.final_path.c_str());
+      ::_exit(1);
+    }
+    ::_exit(0);
+  } catch (const std::bad_alloc&) {
+    ::_exit(kOomExitCode);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psa worker: uncaught exception: %s\n", e.what());
+    ::_exit(kUncaughtExceptionExitCode);
+  } catch (...) {
+    ::_exit(kUncaughtExceptionExitCode);
+  }
+}
+
+/// Classify a reaped worker. `status` is the raw waitpid status.
+UnitOutcome classify_worker_death(int status, const RunningWorker& worker,
+                                  const SnapshotPaths& paths,
+                                  std::optional<UnitPayload>& payload_out) {
+  UnitOutcome outcome;
+  outcome.attempts = worker.attempt;
+
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    // Clean completion wins even when the watchdog's TERM raced it: the
+    // snapshot is the completion marker, and it validated or it didn't.
+    std::string error;
+    std::optional<UnitPayload> payload =
+        load_snapshot_file(paths.final_path, &error);
+    if (payload) {
+      if (payload->frontend_ok) {
+        outcome.kind = UnitOutcomeKind::kOk;
+        payload_out = std::move(payload);
+      } else {
+        outcome.kind = UnitOutcomeKind::kFrontendError;
+        outcome.detail = payload->frontend_error;
+      }
+      return outcome;
+    }
+    outcome.kind = UnitOutcomeKind::kExit;
+    outcome.exit_code = 0;
+    outcome.detail = "clean exit but " + error;
+    return outcome;
+  }
+
+  if (worker.timed_out) {
+    outcome.kind = UnitOutcomeKind::kTimeout;
+    if (WIFSIGNALED(status)) outcome.signal = WTERMSIG(status);
+    return outcome;
+  }
+
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    if (code == kOomExitCode) {
+      outcome.kind = UnitOutcomeKind::kOom;
+      outcome.exit_code = code;
+      outcome.detail = "allocation failure";
+    } else {
+      outcome.kind = UnitOutcomeKind::kExit;
+      outcome.exit_code = code;
+      if (code == kUncaughtExceptionExitCode) {
+        outcome.detail = "uncaught exception";
+      }
+    }
+    return outcome;
+  }
+
+  if (WIFSIGNALED(status)) {
+    outcome.kind = UnitOutcomeKind::kCrash;
+    outcome.signal = WTERMSIG(status);
+    return outcome;
+  }
+
+  outcome.kind = UnitOutcomeKind::kExit;
+  outcome.detail = "unrecognized wait status";
+  return outcome;
+}
+
+#endif  // PSA_DRIVER_HAS_FORK
+
+/// Shared batch bookkeeping: one pending attempt of one unit.
+struct PendingAttempt {
+  std::size_t unit_index = 0;
+  int attempt = 1;
+  analysis::Options engine;
+};
+
+}  // namespace
+
+BatchResult run_batch(const std::vector<AnalysisUnit>& units,
+                      const BatchOptions& options, const UnitRunner& runner) {
+  const UnitRunner effective_runner =
+      runner ? runner
+             : UnitRunner([&options](const AnalysisUnit& unit,
+                                     const analysis::Options& engine) {
+                 return run_unit_serialized(unit, engine, options.check);
+               });
+
+  BatchResult result;
+  result.units.resize(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    result.units[i].unit = units[i];
+  }
+
+  std::unique_ptr<Checkpoint> checkpoint;
+  std::unique_ptr<ScratchDir> scratch;
+  if (!options.checkpoint_dir.empty()) {
+    checkpoint =
+        std::make_unique<Checkpoint>(options.checkpoint_dir, options.resume);
+  } else {
+    scratch = std::make_unique<ScratchDir>();
+  }
+
+  std::vector<std::string> keys(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) keys[i] = unit_key(units[i]);
+
+  const auto paths_for = [&](std::size_t i) {
+    SnapshotPaths p;
+    if (checkpoint) {
+      p.tmp = checkpoint->snapshot_tmp_path(keys[i]);
+      p.final_path = checkpoint->snapshot_path(keys[i]);
+    } else {
+      p.tmp = scratch->snapshot_tmp_path(keys[i]);
+      p.final_path = scratch->snapshot_path(keys[i]);
+    }
+    return p;
+  };
+
+  // Resume: serve finished units from disk, replay quarantined failures,
+  // queue everything else.
+  std::deque<PendingAttempt> pending;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (checkpoint && options.resume) {
+      const UnitOutcome* replayed = checkpoint->replayed_outcome(keys[i]);
+      if (replayed != nullptr && replayed->kind == UnitOutcomeKind::kOk) {
+        std::string error;
+        std::optional<UnitPayload> payload =
+            checkpoint->load_payload(keys[i], &error);
+        if (payload) {
+          adopt_payload(result.units[i], std::move(*payload),
+                        replayed->attempts);
+          result.units[i].outcome.from_checkpoint = true;
+          log_line(options, "skip " + units[i].name + " (checkpointed)");
+          continue;
+        }
+        log_line(options,
+                 "re-run " + units[i].name + " (checkpoint invalid: " + error +
+                     ")");
+      } else if (replayed != nullptr && replayed->quarantined) {
+        result.units[i].outcome = *replayed;
+        result.units[i].outcome.from_checkpoint = true;
+        log_line(options, "skip " + units[i].name + " (quarantined: " +
+                              describe(*replayed) + ")");
+        continue;
+      }
+    }
+    pending.push_back(PendingAttempt{i, 1, options.engine});
+  }
+
+  const bool isolate =
+      options.isolate && isolation_supported() && PSA_DRIVER_HAS_FORK != 0;
+  if (options.isolate && !isolate) {
+    log_line(options,
+             "isolation unsupported on this platform; running in-process");
+  }
+  result.isolated = isolate;
+
+  const int max_attempts = std::max(1, options.max_attempts);
+
+  // Decide what to do with a classified failure: retry once at a stepped-down
+  // budget, or quarantine.
+  const auto settle = [&](std::size_t i, int attempt,
+                          const analysis::Options& engine,
+                          UnitOutcome outcome) {
+    if (retryable(outcome.kind) && attempt < max_attempts) {
+      log_line(options, "retry " + units[i].name + " (" + describe(outcome) +
+                            "), stepped-down budget");
+      if (checkpoint) checkpoint->record_outcome(keys[i], outcome);
+      pending.push_back(PendingAttempt{i, attempt + 1, stepped_down(engine)});
+      return;
+    }
+    if (outcome.failed() && retryable(outcome.kind)) {
+      outcome.quarantined = true;
+    }
+    result.units[i].outcome = outcome;
+    if (checkpoint) checkpoint->record_outcome(keys[i], outcome);
+    log_line(options, "done " + units[i].name + ": " + describe(outcome));
+  };
+
+  if (isolate) {
+#if PSA_DRIVER_HAS_FORK
+    const std::size_t jobs = std::max<std::size_t>(1, options.jobs);
+    std::vector<RunningWorker> running;
+
+    const auto spawn_next = [&]() {
+      const PendingAttempt next = pending.front();
+      pending.pop_front();
+      const AnalysisUnit& unit = units[next.unit_index];
+      const SnapshotPaths paths = paths_for(next.unit_index);
+      if (checkpoint) checkpoint->record_attempt(keys[next.unit_index],
+                                                 next.attempt);
+      log_line(options, (next.attempt > 1 ? "start (retry) " : "start ") +
+                            unit.name);
+      std::error_code ec;
+      fs::remove(paths.final_path, ec);  // stale result must not count
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        run_worker(unit, next.engine, effective_runner, paths);
+      }
+      if (pid < 0) {
+        // fork failure is a batch-level resource problem; treat the unit as
+        // an exit failure and keep going.
+        UnitOutcome outcome;
+        outcome.kind = UnitOutcomeKind::kExit;
+        outcome.attempts = next.attempt;
+        outcome.detail = "fork failed";
+        settle(next.unit_index, next.attempt, next.engine, outcome);
+        return;
+      }
+      RunningWorker worker;
+      worker.pid = pid;
+      worker.unit_index = next.unit_index;
+      worker.attempt = next.attempt;
+      worker.start = Clock::now();
+      running.push_back(worker);
+    };
+
+    // Engine options of the in-flight attempt, so retries step down from
+    // what actually ran.
+    const auto engine_for = [&](const RunningWorker& w) {
+      return w.attempt == 1 ? options.engine
+                            : [&] {
+                                analysis::Options e = options.engine;
+                                for (int a = 1; a < w.attempt; ++a) {
+                                  e = stepped_down(e);
+                                }
+                                return e;
+                              }();
+    };
+
+    while (!pending.empty() || !running.empty()) {
+      while (!pending.empty() && running.size() < jobs) spawn_next();
+
+      bool reaped = false;
+      for (std::size_t w = 0; w < running.size();) {
+        RunningWorker& worker = running[w];
+        int status = 0;
+        const pid_t r = ::waitpid(worker.pid, &status, WNOHANG);
+        if (r == worker.pid) {
+          std::optional<UnitPayload> payload;
+          UnitOutcome outcome = classify_worker_death(
+              status, worker, paths_for(worker.unit_index), payload);
+          if (outcome.kind == UnitOutcomeKind::kOk && payload) {
+            UnitReport& report = result.units[worker.unit_index];
+            adopt_payload(report, std::move(*payload), worker.attempt);
+            if (checkpoint) {
+              checkpoint->record_outcome(keys[worker.unit_index],
+                                         report.outcome);
+            }
+            log_line(options, "done " + units[worker.unit_index].name + ": " +
+                                  describe(report.outcome));
+          } else {
+            settle(worker.unit_index, worker.attempt, engine_for(worker),
+                   outcome);
+          }
+          running.erase(running.begin() + static_cast<std::ptrdiff_t>(w));
+          reaped = true;
+          continue;
+        }
+        if (r < 0) {
+          // Lost track of the child (should not happen); classify as exit.
+          UnitOutcome outcome;
+          outcome.kind = UnitOutcomeKind::kExit;
+          outcome.attempts = worker.attempt;
+          outcome.detail = "waitpid failed";
+          settle(worker.unit_index, worker.attempt, engine_for(worker),
+                 outcome);
+          running.erase(running.begin() + static_cast<std::ptrdiff_t>(w));
+          reaped = true;
+          continue;
+        }
+
+        // Still running: watchdog.
+        if (options.unit_timeout_ms > 0) {
+          const auto elapsed =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Clock::now() - worker.start)
+                  .count();
+          if (!worker.term_sent &&
+              elapsed >=
+                  static_cast<std::int64_t>(options.unit_timeout_ms)) {
+            worker.term_sent = true;
+            worker.timed_out = true;
+            worker.term_time = Clock::now();
+            ::kill(worker.pid, SIGTERM);
+            log_line(options, "timeout " + units[worker.unit_index].name +
+                                  " (SIGTERM)");
+          } else if (worker.term_sent) {
+            const auto grace =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - worker.term_time)
+                    .count();
+            if (grace >= static_cast<std::int64_t>(options.term_grace_ms)) {
+              ::kill(worker.pid, SIGKILL);
+            }
+          }
+        }
+        ++w;
+      }
+
+      if (!reaped) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+#endif  // PSA_DRIVER_HAS_FORK
+  } else {
+    // In-process fallback: same outcome taxonomy and checkpoint protocol,
+    // but exceptions are the only failures it can contain — a hard crash or
+    // hang takes the batch with it (which is why isolation is the default).
+    // No fault injection here: the hook is worker-only by contract.
+    while (!pending.empty()) {
+      const PendingAttempt next = pending.front();
+      pending.pop_front();
+      const AnalysisUnit& unit = units[next.unit_index];
+      const SnapshotPaths paths = paths_for(next.unit_index);
+      if (checkpoint) {
+        checkpoint->record_attempt(keys[next.unit_index], next.attempt);
+      }
+      log_line(options, (next.attempt > 1 ? "start (retry) " : "start ") +
+                            unit.name);
+      UnitOutcome outcome;
+      outcome.attempts = next.attempt;
+      try {
+        const std::string bytes = effective_runner(unit, next.engine);
+        write_snapshot_file(paths.tmp, paths.final_path, bytes);
+        UnitPayload payload = deserialize_unit_payload(bytes);
+        UnitReport& report = result.units[next.unit_index];
+        adopt_payload(report, std::move(payload), next.attempt);
+        if (checkpoint) {
+          checkpoint->record_outcome(keys[next.unit_index], report.outcome);
+        }
+        log_line(options,
+                 "done " + unit.name + ": " + describe(report.outcome));
+        continue;
+      } catch (const std::bad_alloc&) {
+        outcome.kind = UnitOutcomeKind::kOom;
+        outcome.detail = "allocation failure";
+      } catch (const rsg::SnapshotError& e) {
+        outcome.kind = UnitOutcomeKind::kExit;
+        outcome.detail = e.what();
+      } catch (const std::exception& e) {
+        outcome.kind = UnitOutcomeKind::kExit;
+        outcome.detail = e.what();
+      }
+      settle(next.unit_index, next.attempt, next.engine, outcome);
+    }
+  }
+
+  return result;
+}
+
+int batch_exit_code(const BatchResult& result) {
+  const std::size_t failed = result.failed_count();
+  if (!result.units.empty() && failed == result.units.size()) {
+    return kExitAllUnitsFailed;
+  }
+  if (failed > 0) return kExitSomeUnitsFailed;
+  if (result.finding_count() > 0) return kExitFindings;
+  return kExitOk;
+}
+
+std::string format_batch_report(const BatchResult& result) {
+  std::ostringstream out;
+  out << "batch: " << result.units.size() << " units, " << result.ok_count()
+      << " ok, " << result.failed_count() << " failed";
+  if (result.quarantined_count() > 0) {
+    out << " (" << result.quarantined_count() << " quarantined)";
+  }
+  if (result.from_checkpoint_count() > 0) {
+    out << ", " << result.from_checkpoint_count() << " from checkpoint";
+  }
+  out << ", mode " << (result.isolated ? "isolated" : "in-process") << '\n';
+
+  for (const UnitReport& u : result.units) {
+    out << "  " << u.unit.name << ": " << describe(u.outcome);
+    if (u.outcome.attempts > 1) out << ", attempts " << u.outcome.attempts;
+    if (u.outcome.quarantined) out << ", quarantined";
+    if (u.outcome.from_checkpoint) out << ", from checkpoint";
+    if (u.payload) {
+      out << " — " << to_string(u.payload->result.status) << ", "
+          << u.payload->exit_graphs() << " graphs / "
+          << u.payload->exit_nodes() << " nodes at exit";
+      if (u.payload->checked) {
+        out << ", " << u.payload->findings.size() << " findings";
+      }
+    } else if (!u.outcome.detail.empty()) {
+      std::string detail = u.outcome.detail;
+      std::replace(detail.begin(), detail.end(), '\n', ' ');
+      if (detail.size() > 120) {
+        detail.resize(117);
+        detail += "...";
+      }
+      out << " — " << detail;
+    }
+    out << '\n';
+  }
+
+  std::size_t errors = 0, warnings = 0, notes = 0;
+  for (const UnitReport& u : result.units) {
+    if (!u.payload) continue;
+    for (const checker::Finding& f : u.payload->findings) {
+      switch (f.severity) {
+        case checker::CheckSeverity::kError: ++errors; break;
+        case checker::CheckSeverity::kWarning: ++warnings; break;
+        case checker::CheckSeverity::kNote: ++notes; break;
+      }
+    }
+  }
+  out << "findings: " << result.finding_count() << " (" << errors
+      << " errors, " << warnings << " warnings, " << notes << " notes)\n";
+  return out.str();
+}
+
+std::vector<checker::ArtifactFindings> batch_findings(
+    const BatchResult& result) {
+  std::vector<checker::ArtifactFindings> groups;
+  for (const UnitReport& u : result.units) {
+    if (!u.payload || u.payload->findings.empty()) continue;
+    checker::ArtifactFindings group;
+    group.artifact_uri = u.unit.display_uri();
+    group.findings = u.payload->findings;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<AnalysisUnit> corpus_units() {
+  std::vector<AnalysisUnit> units;
+  for (const corpus::UnitSource& s : corpus::unit_sources()) {
+    AnalysisUnit unit;
+    unit.name = std::string(s.name);
+    unit.source = std::string(s.source);
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+}  // namespace psa::driver

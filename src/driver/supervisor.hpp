@@ -1,0 +1,146 @@
+// The crash-isolated batch supervisor.
+//
+// run_batch() analyzes a list of units so that NO single unit — pathological
+// input, analyzer defect, hang, or memory blow-up — can take down the batch:
+//
+//   * with isolation on (the default where fork() exists), every unit runs
+//     in its own forked worker process; the worker serializes its result
+//     (driver/payload.hpp) to a snapshot file and exits, and the supervisor
+//     validates and collects it;
+//   * a wall-clock watchdog SIGTERMs a worker that exceeds the per-unit
+//     budget and SIGKILLs it after a grace period;
+//   * every worker death is classified into a structured UnitOutcome
+//     (clean / frontend-error / nonzero-exit / signal / timeout / oom);
+//   * a failed unit is retried ONCE at a stepped-down governor budget
+//     (stepped_down()); failing again quarantines it — the batch always
+//     completes with every other result intact;
+//   * with --checkpoint, attempts/outcomes are journaled and snapshots kept,
+//     so an interrupted batch resumes: finished units are served from disk,
+//     quarantined units replay their outcome, everything else re-runs;
+//   * without fork (or with isolation off), units run in-process through the
+//     exact same outcome/checkpoint/reporting machinery — exceptions are
+//     contained per unit, but hard crashes and hangs are not (the governor's
+//     deadline is the only watchdog there).
+//
+// Worker-side fault injection (PSA_FAULT_AT, driver/fault.hpp) lets tests
+// and CI prove all of the above; see docs/RESILIENCE.md.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "checker/sarif.hpp"
+#include "driver/payload.hpp"
+#include "driver/unit.hpp"
+
+namespace psa::driver {
+
+/// Runs one unit end to end (frontend + fixpoint + optional checkers) and
+/// returns the *serialized* UnitPayload bytes. Runs inside the forked worker
+/// (or inline when isolation is off). Must contain FrontendError itself
+/// (payload with frontend_ok=false); any other exception is the worker's
+/// problem and classifies the unit.
+using UnitRunner =
+    std::function<std::string(const AnalysisUnit&, const analysis::Options&)>;
+
+/// The default runner: analyze at options.level, run the memory-safety
+/// checkers when `check`, serialize.
+[[nodiscard]] std::string run_unit_serialized(const AnalysisUnit& unit,
+                                              const analysis::Options& engine,
+                                              bool check);
+
+/// One retry step of the governor budget: roughly halves the widen
+/// threshold, visit budget, set limit and deadline (never below a sane
+/// floor) so the retry converges where the first attempt blew up.
+[[nodiscard]] analysis::Options stepped_down(const analysis::Options& options);
+
+struct BatchOptions {
+  /// Fork one sandboxed worker per unit. Auto-degrades (with a log line) to
+  /// the in-process path on platforms without fork.
+  bool isolate = true;
+  /// Concurrent workers (isolation only; the in-process path is serial).
+  std::size_t jobs = 1;
+  /// Checkpoint directory; empty disables checkpointing (workers then write
+  /// their IPC snapshots to a private temp dir).
+  std::string checkpoint_dir;
+  /// Resume from `checkpoint_dir` (see driver/checkpoint.hpp semantics).
+  bool resume = false;
+  /// Per-unit wall-clock budget in ms; 0 disables the watchdog.
+  std::uint64_t unit_timeout_ms = 0;
+  /// SIGTERM -> SIGKILL escalation grace.
+  std::uint64_t term_grace_ms = 2000;
+  /// Attempts per unit before quarantine (>= 1; 2 = the one-retry policy).
+  int max_attempts = 2;
+  /// Engine options of the first attempt.
+  analysis::Options engine;
+  /// Run the memory-safety checkers in every worker.
+  bool check = false;
+  /// Unit-level progress log (start / done / retry / skip lines); null = quiet.
+  std::function<void(const std::string&)> log;
+};
+
+struct UnitReport {
+  AnalysisUnit unit;
+  UnitOutcome outcome;
+  /// Present when outcome.kind == kOk.
+  std::optional<UnitPayload> payload;
+};
+
+struct BatchResult {
+  std::vector<UnitReport> units;  // input order
+  /// Whether workers were actually process-isolated.
+  bool isolated = false;
+
+  [[nodiscard]] std::size_t ok_count() const;
+  [[nodiscard]] std::size_t failed_count() const;
+  [[nodiscard]] std::size_t quarantined_count() const;
+  [[nodiscard]] std::size_t from_checkpoint_count() const;
+  [[nodiscard]] std::size_t finding_count() const;
+};
+
+/// True when this build/platform can fork sandboxed workers.
+[[nodiscard]] bool isolation_supported() noexcept;
+
+/// Run the batch. Never throws for per-unit failures; throws
+/// std::runtime_error only for batch-level setup failures (unwritable
+/// checkpoint directory).
+[[nodiscard]] BatchResult run_batch(const std::vector<AnalysisUnit>& units,
+                                    const BatchOptions& options,
+                                    const UnitRunner& runner = {});
+
+/// Documented process exit codes of batch drivers (psa_cli and tests assert
+/// these):
+///   0 every unit analyzed, no findings
+///   1 every unit analyzed, memory-safety findings reported
+///   2 bad usage (reserved for the CLI argument parser)
+///   3 some units failed (crash / timeout / oom / exit / frontend error)
+///   4 every unit failed
+enum BatchExitCode : int {
+  kExitOk = 0,
+  kExitFindings = 1,
+  kExitBadUsage = 2,
+  kExitSomeUnitsFailed = 3,
+  kExitAllUnitsFailed = 4,
+};
+
+[[nodiscard]] int batch_exit_code(const BatchResult& result);
+
+/// Deterministic batch report: unit outcomes, exit-state sizes and finding
+/// counts in input order — no wall-clock fields, so an uninterrupted run and
+/// a resumed run of the same batch render byte-identical reports.
+[[nodiscard]] std::string format_batch_report(const BatchResult& result);
+
+/// Per-artifact findings of the completed units, ready for
+/// checker::to_sarif_batch (partial batches merge into one SARIF log).
+[[nodiscard]] std::vector<checker::ArtifactFindings> batch_findings(
+    const BatchResult& result);
+
+/// The whole clean corpus as batch units (psa_cli --corpus and the
+/// fault-injection suites).
+[[nodiscard]] std::vector<AnalysisUnit> corpus_units();
+
+}  // namespace psa::driver

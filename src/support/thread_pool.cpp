@@ -1,6 +1,7 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
+#include <exception>
 
 namespace psa::support {
 
@@ -62,6 +63,10 @@ void ThreadPool::parallel_for(std::size_t n,
     std::function<bool()> stop;
     std::mutex done_mutex;
     std::condition_variable done_cv;
+    /// First exception thrown by a body; guarded by error_mutex. The barrier
+    /// still releases every iteration, then the caller rethrows it.
+    std::mutex error_mutex;
+    std::exception_ptr error;
   };
   auto state = std::make_shared<SharedState>();
   state->total = n;
@@ -79,7 +84,17 @@ void ThreadPool::parallel_for(std::size_t n,
           state->stop()) {
         state->stopped.store(true, std::memory_order_relaxed);
       }
-      if (!state->stopped.load(std::memory_order_relaxed)) state->body(i);
+      if (!state->stopped.load(std::memory_order_relaxed)) {
+        try {
+          state->body(i);
+        } catch (...) {
+          {
+            std::lock_guard lock(state->error_mutex);
+            if (!state->error) state->error = std::current_exception();
+          }
+          state->stopped.store(true, std::memory_order_relaxed);
+        }
+      }
       ++processed;
     }
     if (processed != 0 &&
@@ -100,10 +115,13 @@ void ThreadPool::parallel_for(std::size_t n,
 
   run_chunk();  // the calling thread participates
 
-  std::unique_lock lock(state->done_mutex);
-  state->done_cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == n;
-  });
+  {
+    std::unique_lock lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == n;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace psa::support

@@ -31,9 +31,11 @@ class ThreadPool {
   }
 
   /// Run body(i) for i in [0, n), blocking until all iterations finish.
-  /// Iterations must be independent. Exceptions escaping `body` terminate
-  /// (analysis transfer functions are noexcept by design); callers that can
-  /// fail must capture their own error state.
+  /// Iterations must be independent. The first exception thrown by a body —
+  /// on any thread — is captured, the remaining iterations are skipped (same
+  /// mechanism as `stop` below), and once every iteration has either run or
+  /// been skipped the exception is rethrown on the calling thread. At most
+  /// one exception propagates per call; later ones are dropped.
   ///
   /// When `stop` is non-empty it is polled before every iteration; once it
   /// returns true the remaining iterations are skipped (their bodies never

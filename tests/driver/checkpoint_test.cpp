@@ -1,0 +1,190 @@
+// Checkpoint journal + snapshot store: replay semantics (last outcome wins,
+// torn lines skipped), fresh-run clearing, and corruption tolerance of
+// load_payload (missing/garbage snapshots -> clean diagnostic, never UB).
+#include "driver/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace psa::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("psa-ckpt-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+AnalysisUnit unit(std::string name, std::string function = "main") {
+  AnalysisUnit u;
+  u.name = std::move(name);
+  u.function = std::move(function);
+  return u;
+}
+
+TEST_F(CheckpointTest, UnitKeysAreSanitizedAndDistinct) {
+  const std::string key = unit_key(unit("dir/prog.c"));
+  for (const char c : key) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                      c == '.';
+    EXPECT_TRUE(safe) << "unsafe char '" << c << "' in key " << key;
+  }
+  EXPECT_NE(unit_key(unit("a")), unit_key(unit("b")));
+  EXPECT_NE(unit_key(unit("a", "f")), unit_key(unit("a", "g")));
+  EXPECT_EQ(unit_key(unit("a", "f")), unit_key(unit("a", "f")));  // stable
+}
+
+TEST_F(CheckpointTest, OutcomeRoundTripsThroughResume) {
+  const std::string key = unit_key(unit("prog"));
+  {
+    Checkpoint ckpt(dir_, /*resume=*/false);
+    ckpt.record_attempt(key, 1);
+    UnitOutcome outcome;
+    outcome.kind = UnitOutcomeKind::kCrash;
+    outcome.signal = 6;
+    outcome.attempts = 2;
+    outcome.quarantined = true;
+    outcome.detail = "two\nlines";
+    ckpt.record_outcome(key, outcome);
+  }
+  Checkpoint resumed(dir_, /*resume=*/true);
+  const UnitOutcome* replayed = resumed.replayed_outcome(key);
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->kind, UnitOutcomeKind::kCrash);
+  EXPECT_EQ(replayed->signal, 6);
+  EXPECT_EQ(replayed->attempts, 2);
+  EXPECT_TRUE(replayed->quarantined);
+  EXPECT_EQ(replayed->detail, "two\nlines");
+}
+
+TEST_F(CheckpointTest, LastOutcomePerKeyWins) {
+  const std::string key = unit_key(unit("prog"));
+  {
+    Checkpoint ckpt(dir_, false);
+    UnitOutcome first;
+    first.kind = UnitOutcomeKind::kTimeout;
+    ckpt.record_outcome(key, first);
+    UnitOutcome second;
+    second.kind = UnitOutcomeKind::kOk;
+    second.attempts = 2;
+    ckpt.record_outcome(key, second);
+  }
+  Checkpoint resumed(dir_, true);
+  const UnitOutcome* replayed = resumed.replayed_outcome(key);
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->kind, UnitOutcomeKind::kOk);
+  EXPECT_EQ(replayed->attempts, 2);
+}
+
+TEST_F(CheckpointTest, TornFinalLineIsSkipped) {
+  const std::string key = unit_key(unit("prog"));
+  {
+    Checkpoint ckpt(dir_, false);
+    UnitOutcome outcome;
+    outcome.kind = UnitOutcomeKind::kOk;
+    ckpt.record_outcome(key, outcome);
+  }
+  {
+    // Simulate a SIGKILL mid-write: a half-written outcome line.
+    std::ofstream journal((fs::path(dir_) / "journal.psaj").string(),
+                          std::ios::app);
+    journal << "outcome " << key << " cra";  // no newline, torn fields
+  }
+  Checkpoint resumed(dir_, true);
+  const UnitOutcome* replayed = resumed.replayed_outcome(key);
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->kind, UnitOutcomeKind::kOk);  // torn line ignored
+}
+
+TEST_F(CheckpointTest, UnknownAndGarbageLinesAreSkipped) {
+  {
+    Checkpoint ckpt(dir_, false);
+  }
+  {
+    std::ofstream journal((fs::path(dir_) / "journal.psaj").string(),
+                          std::ios::app);
+    journal << "garbage line\n";
+    journal << "outcome key-with-no-fields\n";
+    journal << "outcome key unknown-kind 0 0 1 0 \n";
+  }
+  Checkpoint resumed(dir_, true);
+  EXPECT_EQ(resumed.replayed_outcome("key"), nullptr);
+  EXPECT_EQ(resumed.replayed_outcome("key-with-no-fields"), nullptr);
+}
+
+TEST_F(CheckpointTest, FreshRunClearsStaleJournalAndSnapshots) {
+  const std::string key = unit_key(unit("prog"));
+  {
+    Checkpoint ckpt(dir_, false);
+    UnitOutcome outcome;
+    outcome.kind = UnitOutcomeKind::kOk;
+    ckpt.record_outcome(key, outcome);
+    std::ofstream snap(ckpt.snapshot_path(key), std::ios::binary);
+    snap << "stale";
+  }
+  Checkpoint fresh(dir_, /*resume=*/false);
+  EXPECT_EQ(fresh.replayed_outcome(key), nullptr);
+  EXPECT_FALSE(fs::exists(fresh.snapshot_path(key)));
+}
+
+TEST_F(CheckpointTest, LoadPayloadReportsMissingSnapshot) {
+  Checkpoint ckpt(dir_, false);
+  std::string error;
+  EXPECT_FALSE(ckpt.load_payload("nope", &error).has_value());
+  EXPECT_NE(error.find("missing"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, LoadPayloadRejectsGarbageSnapshotCleanly) {
+  const std::string key = unit_key(unit("prog"));
+  Checkpoint ckpt(dir_, false);
+  {
+    std::ofstream snap(ckpt.snapshot_path(key), std::ios::binary);
+    snap << std::string(256, '\xfe');
+  }
+  std::string error;
+  EXPECT_FALSE(ckpt.load_payload(key, &error).has_value());
+  EXPECT_NE(error.find("snapshot"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, LoadPayloadRoundTripsARealPayload) {
+  const std::string key = unit_key(unit("prog"));
+  Checkpoint ckpt(dir_, false);
+
+  UnitPayload payload;
+  payload.unit_name = "prog";
+  payload.function = "main";
+  payload.frontend_ok = false;
+  payload.frontend_error = "1:1: error: made up";
+  const support::Interner interner;
+  {
+    std::ofstream snap(ckpt.snapshot_path(key), std::ios::binary);
+    const std::string bytes = serialize_unit_payload(payload, interner);
+    snap.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string error;
+  const auto loaded = ckpt.load_payload(key, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->unit_name, "prog");
+  EXPECT_FALSE(loaded->frontend_ok);
+  EXPECT_EQ(loaded->frontend_error, "1:1: error: made up");
+}
+
+}  // namespace
+}  // namespace psa::driver

@@ -1,0 +1,287 @@
+// End-to-end psa_cli integration: the documented exit-code contract, batch
+// mode with worker isolation, fault injection through the real binary, and
+// the resume proof — SIGKILL a checkpointed batch mid-run, rerun with
+// --resume, and the final report is byte-identical to an uninterrupted run
+// while the unit-level logs show the finished units being skipped.
+//
+// The binary under test is baked in via PSA_CLI_PATH (tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/program_gen.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#define PSA_CLI_TESTS_POSIX 1
+#else
+#define PSA_CLI_TESTS_POSIX 0
+#endif
+
+namespace psa {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+/// Run the CLI via popen, capturing stdout (stderr goes to the 2> file so
+/// log assertions can read it).
+RunResult run_cli(const std::string& args, const std::string& stderr_path) {
+  const std::string command = std::string(PSA_CLI_PATH) + " " + args + " 2>" +
+                              (stderr_path.empty() ? "/dev/null"
+                                                   : stderr_path);
+  RunResult result;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = std::fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.stdout_text.append(buffer.data(), n);
+  }
+  const int status = ::pclose(pipe);
+#if PSA_CLI_TESTS_POSIX
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#else
+  result.exit_code = status;
+#endif
+  return result;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("psa-cli-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write_file(const std::string& name, const std::string& text) {
+    const std::string path = (fs::path(dir_) / name).string();
+    std::ofstream out(path);
+    out << text;
+    return path;
+  }
+
+  std::string path_in(const std::string& name) const {
+    return (fs::path(dir_) / name).string();
+  }
+
+  std::string dir_;
+};
+
+constexpr const char* kCleanSource =
+    "struct node { struct node *next; int v; };\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  p->next = NULL;\n"
+    "  free(p);\n"
+    "  p = NULL;\n"
+    "}\n";
+
+constexpr const char* kLeakySource =
+    "struct node { struct node *next; int v; };\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  p->next = NULL;\n"
+    "}\n";
+
+TEST_F(CliTest, ExitCode0CleanAnalysis) {
+  const std::string file = write_file("clean.c", kCleanSource);
+  EXPECT_EQ(run_cli(file + " --check", "").exit_code, 0);
+}
+
+TEST_F(CliTest, ExitCode1Findings) {
+  const std::string file = write_file("leaky.c", kLeakySource);
+  EXPECT_EQ(run_cli(file + " --check", "").exit_code, 1);
+}
+
+TEST_F(CliTest, ExitCode2BadUsage) {
+  EXPECT_EQ(run_cli("", "").exit_code, 2);
+  EXPECT_EQ(run_cli("--bogus-flag file.c", "").exit_code, 2);
+  EXPECT_EQ(run_cli("--resume file.c", "").exit_code, 2);  // needs --checkpoint
+  EXPECT_EQ(run_cli("--isolate --progressive file.c", "").exit_code, 2);
+}
+
+TEST_F(CliTest, ExitCode3SomeUnitsFailed) {
+  const std::string good = write_file("good.c", kCleanSource);
+  EXPECT_EQ(run_cli(good + " " + path_in("missing.c"), "").exit_code, 3);
+}
+
+TEST_F(CliTest, ExitCode4AllUnitsFailed) {
+  EXPECT_EQ(run_cli(path_in("missing.c"), "").exit_code, 4);
+}
+
+TEST_F(CliTest, BatchModeExitCodesMatchDetailedMode) {
+  const std::string clean = write_file("clean.c", kCleanSource);
+  const std::string leaky = write_file("leaky.c", kLeakySource);
+  EXPECT_EQ(run_cli(clean + " --isolate --check", "").exit_code, 0);
+  EXPECT_EQ(run_cli(leaky + " --isolate --check", "").exit_code, 1);
+  EXPECT_EQ(
+      run_cli(clean + " " + path_in("nope.c") + " --isolate", "").exit_code,
+      3);
+  EXPECT_EQ(run_cli(path_in("nope.c") + " --isolate", "").exit_code, 4);
+}
+
+TEST_F(CliTest, BatchReportAndMergedSarif) {
+  const std::string clean = write_file("clean.c", kCleanSource);
+  const std::string leaky = write_file("leaky.c", kLeakySource);
+  const std::string sarif = path_in("out.sarif");
+  const RunResult result = run_cli(
+      clean + " " + leaky + " --isolate --check --sarif=" + sarif, "");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.stdout_text.find("batch: 2 units, 2 ok"),
+            std::string::npos)
+      << result.stdout_text;
+
+  const std::string log = slurp(sarif);
+  // One SARIF run, findings attributed per artifact.
+  EXPECT_NE(log.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(log.find("leaky.c"), std::string::npos);
+}
+
+#if PSA_CLI_TESTS_POSIX
+
+TEST_F(CliTest, FaultInjectionThroughTheRealBinary) {
+  const std::string a = write_file("a.c", kCleanSource);
+  const std::string b = write_file("b.c", kCleanSource);
+  const std::string stderr_path = path_in("stderr.log");
+
+  ::setenv("PSA_FAULT_AT", (a + ":crash").c_str(), 1);
+  const RunResult result =
+      run_cli(a + " " + b + " --isolate --jobs=2", stderr_path);
+  ::unsetenv("PSA_FAULT_AT");
+
+  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_NE(result.stdout_text.find("crash (signal"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("quarantined"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("b.c: ok"), std::string::npos);
+}
+
+/// Spawn the CLI detached (stdout/stderr to files), return its pid.
+pid_t spawn_cli(const std::vector<std::string>& args,
+                const std::string& stdout_path,
+                const std::string& stderr_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  (void)!::freopen(stdout_path.c_str(), "w", stdout);
+  (void)!::freopen(stderr_path.c_str(), "w", stderr);
+  std::vector<char*> argv;
+  static std::string binary = PSA_CLI_PATH;
+  argv.push_back(binary.data());
+  std::vector<std::string> owned = args;
+  for (std::string& a : owned) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(binary.c_str(), argv.data());
+  ::_exit(127);
+}
+
+// The resume acceptance proof: SIGKILL a checkpointed batch mid-run; rerun
+// with --resume; finished units are skipped (per the unit-level log) and the
+// final report is byte-identical to an uninterrupted run.
+TEST_F(CliTest, ResumeAfterSigkillReproducesTheUninterruptedReport) {
+  // Several units, serial, so the kill lands mid-batch deterministically
+  // enough: fuzz-generated programs each take a measurable slice at L2.
+  std::vector<std::string> files;
+  for (unsigned seed = 0; seed < 6; ++seed) {
+    files.push_back(write_file("gen" + std::to_string(seed) + ".c",
+                               testing::generate_program(seed)));
+  }
+
+  const std::string ckpt_a = path_in("ckpt-uninterrupted");
+  const std::string ckpt_b = path_in("ckpt-killed");
+
+  // Reference: uninterrupted run.
+  std::string ref_args = "--isolate --jobs=1 --level=2 --checkpoint=" + ckpt_a;
+  for (const std::string& f : files) ref_args += " " + f;
+  const RunResult reference = run_cli(ref_args, "");
+  ASSERT_EQ(reference.exit_code, 0) << reference.stdout_text;
+
+  // Victim: same batch, SIGKILLed once the journal shows progress.
+  std::vector<std::string> victim_args = {"--isolate", "--jobs=1",
+                                          "--level=2",
+                                          "--checkpoint=" + ckpt_b};
+  for (const std::string& f : files) victim_args.push_back(f);
+  const pid_t pid = spawn_cli(victim_args, path_in("victim.out"),
+                              path_in("victim.err"));
+  ASSERT_GT(pid, 0);
+
+  const std::string journal = (fs::path(ckpt_b) / "journal.psaj").string();
+  for (int spins = 0; spins < 20000; ++spins) {
+    const std::string text = slurp(journal);
+    std::size_t outcomes = 0;
+    for (std::size_t at = text.find("\noutcome ");
+         at != std::string::npos; at = text.find("\noutcome ", at + 1)) {
+      ++outcomes;
+    }
+    if (outcomes >= 2) break;  // mid-run: some done, some not
+    ::usleep(2000);
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "victim was not killed mid-run; batch too fast for the proof";
+
+  // Resume and compare byte for byte.
+  std::string resume_args =
+      "--isolate --jobs=1 --level=2 --resume --checkpoint=" + ckpt_b;
+  for (const std::string& f : files) resume_args += " " + f;
+  const std::string log_path = path_in("resume.err");
+  const RunResult resumed = run_cli(resume_args, log_path);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.stdout_text;
+
+  // Byte-identical final report modulo the from-checkpoint provenance
+  // markers (the report deliberately shows which units were served from
+  // disk; strip the marker before comparing).
+  std::string normalized = resumed.stdout_text;
+  std::string normalized_ref = reference.stdout_text;
+  const auto strip = [](std::string& s, const std::string& needle) {
+    for (std::size_t at = s.find(needle); at != std::string::npos;
+         at = s.find(needle)) {
+      s.erase(at, needle.size());
+    }
+  };
+  strip(normalized, ", from checkpoint");
+  // The summary line also counts checkpoint hits.
+  for (int n = 0; n <= 6; ++n) {
+    strip(normalized, ", " + std::to_string(n) + " from checkpoint");
+  }
+  EXPECT_EQ(normalized, normalized_ref);
+
+  // The unit-level log proves finished units were skipped, not re-run.
+  const std::string log = slurp(log_path);
+  EXPECT_NE(log.find("(checkpointed)"), std::string::npos) << log;
+}
+
+#endif  // PSA_CLI_TESTS_POSIX
+
+}  // namespace
+}  // namespace psa

@@ -1,0 +1,507 @@
+// The crash-isolated batch supervisor, exercised at the library level:
+// outcome classification, retry-then-quarantine, watchdog, checkpoint
+// resume, report determinism, and the fault-injection proof over real
+// corpus units. The psa_cli end of the same machinery (exit codes,
+// SIGKILL-resume) lives in cli_integration_test.cpp.
+#include "driver/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "driver/checkpoint.hpp"
+
+namespace psa::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kOkSource =
+    "struct node { struct node *next; int v; };\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  struct node *q;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  q = p;\n"
+    "  p->next = NULL;\n"
+    "}\n";
+
+AnalysisUnit inline_unit(std::string name,
+                         std::string_view source = kOkSource) {
+  AnalysisUnit u;
+  u.name = std::move(name);
+  u.source = std::string(source);
+  return u;
+}
+
+BatchOptions quiet_options() {
+  BatchOptions options;
+  options.isolate = false;
+  return options;
+}
+
+/// Scoped PSA_FAULT_AT (the worker-side injection knob).
+class ScopedFaultEnv {
+ public:
+  explicit ScopedFaultEnv(const std::string& spec) {
+    ::setenv("PSA_FAULT_AT", spec.c_str(), 1);
+  }
+  ~ScopedFaultEnv() { ::unsetenv("PSA_FAULT_AT"); }
+};
+
+TEST(SteppedDownTest, HalvesBudgetsWithFloors) {
+  analysis::Options options;
+  options.widen_threshold = 48;
+  options.max_node_visits = 2'000'000;
+  options.max_rsgs_per_set = 4096;
+  options.deadline_ms = 10'000;
+  const analysis::Options down = stepped_down(options);
+  EXPECT_LT(down.widen_threshold, options.widen_threshold);
+  EXPECT_LT(down.max_node_visits, options.max_node_visits);
+  EXPECT_LT(down.max_rsgs_per_set, options.max_rsgs_per_set);
+  EXPECT_LT(down.deadline_ms, options.deadline_ms);
+
+  // Repeated stepping never reaches useless budgets.
+  analysis::Options floor = options;
+  for (int i = 0; i < 20; ++i) floor = stepped_down(floor);
+  EXPECT_GE(floor.widen_threshold, 8u);
+  EXPECT_GE(floor.max_node_visits, 50'000u);
+  EXPECT_GE(floor.max_rsgs_per_set, 33u);
+}
+
+TEST(SteppedDownTest, DisabledWideningGetsEnabled) {
+  // widen_threshold 0 means "never widen" — the step-down must arm it, or
+  // the retry would blow up exactly like the first attempt.
+  analysis::Options options;
+  options.widen_threshold = 0;
+  EXPECT_GT(stepped_down(options).widen_threshold, 0u);
+}
+
+TEST(InProcessBatch, AnalyzesUnitsAndReportsOk) {
+  const std::vector<AnalysisUnit> units = {inline_unit("a"), inline_unit("b")};
+  const BatchResult result = run_batch(units, quiet_options());
+  ASSERT_EQ(result.units.size(), 2u);
+  EXPECT_FALSE(result.isolated);
+  for (const UnitReport& u : result.units) {
+    EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kOk);
+    EXPECT_EQ(u.outcome.attempts, 1);
+    ASSERT_TRUE(u.payload.has_value());
+    EXPECT_GT(u.payload->exit_graphs(), 0u);
+  }
+  EXPECT_EQ(batch_exit_code(result), kExitOk);
+}
+
+TEST(InProcessBatch, FrontendErrorIsIsolatedAndNeverRetried) {
+  const std::vector<AnalysisUnit> units = {
+      inline_unit("good"), inline_unit("bad", "void main() { syntax error")};
+  const BatchResult result = run_batch(units, quiet_options());
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kOk);
+  EXPECT_EQ(result.units[1].outcome.kind, UnitOutcomeKind::kFrontendError);
+  EXPECT_EQ(result.units[1].outcome.attempts, 1);  // deterministic: no retry
+  EXPECT_FALSE(result.units[1].outcome.quarantined);
+  EXPECT_FALSE(result.units[1].outcome.detail.empty());
+  EXPECT_EQ(batch_exit_code(result), kExitSomeUnitsFailed);
+}
+
+TEST(InProcessBatch, MissingFileIsAFrontendError) {
+  AnalysisUnit missing;
+  missing.name = "missing";
+  missing.source_path = "/nonexistent/psa/file.c";
+  const BatchResult result = run_batch({missing}, quiet_options());
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kFrontendError);
+  EXPECT_EQ(batch_exit_code(result), kExitAllUnitsFailed);
+}
+
+TEST(InProcessBatch, ThrowingRunnerIsRetriedThenQuarantined) {
+  int calls = 0;
+  const UnitRunner runner = [&](const AnalysisUnit&,
+                                const analysis::Options&) -> std::string {
+    ++calls;
+    throw std::runtime_error("synthetic analyzer defect");
+  };
+  const BatchResult result =
+      run_batch({inline_unit("doomed")}, quiet_options(), runner);
+  EXPECT_EQ(calls, 2);  // one retry at stepped-down budget
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kExit);
+  EXPECT_EQ(result.units[0].outcome.attempts, 2);
+  EXPECT_TRUE(result.units[0].outcome.quarantined);
+  EXPECT_NE(result.units[0].outcome.detail.find("synthetic"),
+            std::string::npos);
+}
+
+TEST(InProcessBatch, RetrySucceedsAtSteppedDownBudget) {
+  // Fails only at the first-attempt budget; the stepped-down retry works.
+  const analysis::Options defaults;
+  const UnitRunner runner = [&](const AnalysisUnit& unit,
+                                const analysis::Options& engine) {
+    if (engine.widen_threshold == defaults.widen_threshold) {
+      throw std::runtime_error("first attempt fails");
+    }
+    return run_unit_serialized(unit, engine, false);
+  };
+  const BatchResult result =
+      run_batch({inline_unit("flaky")}, quiet_options(), runner);
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kOk);
+  EXPECT_EQ(result.units[0].outcome.attempts, 2);
+  EXPECT_FALSE(result.units[0].outcome.quarantined);
+  ASSERT_TRUE(result.units[0].payload.has_value());
+}
+
+TEST(InProcessBatch, BadAllocClassifiesAsOom) {
+  const UnitRunner runner = [](const AnalysisUnit&,
+                               const analysis::Options&) -> std::string {
+    throw std::bad_alloc();
+  };
+  const BatchResult result =
+      run_batch({inline_unit("hungry")}, quiet_options(), runner);
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kOom);
+  EXPECT_TRUE(result.units[0].outcome.quarantined);
+}
+
+TEST(InProcessBatch, FaultEnvIsIgnoredOutsideWorkers) {
+  // The PSA_FAULT_AT hook is worker-only by contract: the in-process path
+  // must analyze normally even with a fault armed for its unit.
+  const ScopedFaultEnv env("safe:crash");
+  const BatchResult result =
+      run_batch({inline_unit("safe")}, quiet_options());
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kOk);
+}
+
+TEST(BatchExitCodeTest, DistinguishesAllOutcomes) {
+  const auto make = [](std::vector<UnitOutcomeKind> kinds,
+                       std::size_t findings_on_first) {
+    BatchResult r;
+    for (const auto kind : kinds) {
+      UnitReport u;
+      u.outcome.kind = kind;
+      if (kind == UnitOutcomeKind::kOk) {
+        u.payload.emplace();
+        u.payload->frontend_ok = true;
+        u.payload->result.per_node.resize(1);
+        if (findings_on_first > 0 && r.units.empty()) {
+          u.payload->findings.resize(findings_on_first);
+        }
+      }
+      r.units.push_back(std::move(u));
+    }
+    return r;
+  };
+  using K = UnitOutcomeKind;
+  EXPECT_EQ(batch_exit_code(make({K::kOk, K::kOk}, 0)), kExitOk);
+  EXPECT_EQ(batch_exit_code(make({K::kOk, K::kOk}, 2)), kExitFindings);
+  EXPECT_EQ(batch_exit_code(make({K::kOk, K::kCrash}, 0)),
+            kExitSomeUnitsFailed);
+  // Failures dominate findings: a partial batch is not a clean "1".
+  EXPECT_EQ(batch_exit_code(make({K::kOk, K::kTimeout}, 2)),
+            kExitSomeUnitsFailed);
+  EXPECT_EQ(batch_exit_code(make({K::kCrash, K::kOom}, 0)),
+            kExitAllUnitsFailed);
+}
+
+TEST(BatchReportTest, DeterministicAcrossRuns) {
+  const std::vector<AnalysisUnit> units = {inline_unit("a"), inline_unit("b")};
+  BatchOptions options = quiet_options();
+  options.check = true;
+  const std::string r1 = format_batch_report(run_batch(units, options));
+  const std::string r2 = format_batch_report(run_batch(units, options));
+  EXPECT_EQ(r1, r2);  // no timing fields, no ordering jitter
+  EXPECT_NE(r1.find("a: ok"), std::string::npos);
+}
+
+TEST(DescribeTest, RendersKindAndCause) {
+  UnitOutcome crash;
+  crash.kind = UnitOutcomeKind::kCrash;
+  crash.signal = 6;
+  EXPECT_EQ(describe(crash), "crash (signal 6)");
+  UnitOutcome exit_outcome;
+  exit_outcome.kind = UnitOutcomeKind::kExit;
+  exit_outcome.exit_code = 78;
+  EXPECT_EQ(describe(exit_outcome), "exit (code 78)");
+  EXPECT_EQ(describe(UnitOutcome{}), "ok");
+}
+
+TEST(CorpusUnitsTest, ExposesTheWholeCleanCorpus) {
+  const std::vector<AnalysisUnit> units = corpus_units();
+  EXPECT_GE(units.size(), 10u);
+  for (const AnalysisUnit& u : units) {
+    EXPECT_FALSE(u.name.empty());
+    EXPECT_FALSE(u.source.empty());
+    EXPECT_EQ(u.function, "main");
+  }
+}
+
+class CheckpointedBatch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("psa-batch-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointedBatch, ResumeServesFinishedUnitsFromDisk) {
+  const std::vector<AnalysisUnit> units = {inline_unit("a"), inline_unit("b")};
+  BatchOptions options = quiet_options();
+  options.checkpoint_dir = dir_;
+
+  const BatchResult first = run_batch(units, options);
+  ASSERT_EQ(batch_exit_code(first), kExitOk);
+
+  // Resume with a runner that must never be called: everything is served
+  // from the checkpoint.
+  options.resume = true;
+  int calls = 0;
+  const UnitRunner tripwire = [&](const AnalysisUnit& unit,
+                                  const analysis::Options& engine) {
+    ++calls;
+    return run_unit_serialized(unit, engine, false);
+  };
+  const BatchResult resumed = run_batch(units, options, tripwire);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(resumed.from_checkpoint_count(), 2u);
+  for (const UnitReport& u : resumed.units) {
+    EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kOk);
+    EXPECT_TRUE(u.outcome.from_checkpoint);
+    ASSERT_TRUE(u.payload.has_value());
+  }
+  // The deterministic report ignores provenance-independent fields only;
+  // the from-checkpoint marker is intentionally visible, so compare the
+  // payload-derived facts instead.
+  ASSERT_EQ(first.units.size(), resumed.units.size());
+  for (std::size_t i = 0; i < first.units.size(); ++i) {
+    EXPECT_EQ(first.units[i].payload->exit_graphs(),
+              resumed.units[i].payload->exit_graphs());
+    EXPECT_EQ(first.units[i].payload->exit_nodes(),
+              resumed.units[i].payload->exit_nodes());
+  }
+}
+
+TEST_F(CheckpointedBatch, ResumeReRunsUnfinishedUnits) {
+  const std::vector<AnalysisUnit> units = {inline_unit("done"),
+                                           inline_unit("pending")};
+  BatchOptions options = quiet_options();
+  options.checkpoint_dir = dir_;
+  (void)run_batch({units[0]}, options);  // only "done" completes
+
+  options.resume = true;
+  std::vector<std::string> ran;
+  const UnitRunner recorder = [&](const AnalysisUnit& unit,
+                                  const analysis::Options& engine) {
+    ran.push_back(unit.name);
+    return run_unit_serialized(unit, engine, false);
+  };
+  const BatchResult resumed = run_batch(units, options, recorder);
+  EXPECT_EQ(ran, std::vector<std::string>{"pending"});
+  EXPECT_EQ(resumed.units[0].outcome.from_checkpoint, true);
+  EXPECT_EQ(resumed.units[1].outcome.from_checkpoint, false);
+  EXPECT_EQ(batch_exit_code(resumed), kExitOk);
+}
+
+TEST_F(CheckpointedBatch, ResumeReplaysQuarantinedOutcomeWithoutReRunning) {
+  BatchOptions options = quiet_options();
+  options.checkpoint_dir = dir_;
+  const UnitRunner doomed = [](const AnalysisUnit&,
+                               const analysis::Options&) -> std::string {
+    throw std::runtime_error("always fails");
+  };
+  const BatchResult first = run_batch({inline_unit("u")}, options, doomed);
+  ASSERT_TRUE(first.units[0].outcome.quarantined);
+
+  options.resume = true;
+  int calls = 0;
+  const UnitRunner tripwire = [&](const AnalysisUnit& unit,
+                                  const analysis::Options& engine) {
+    ++calls;
+    return run_unit_serialized(unit, engine, false);
+  };
+  const BatchResult resumed = run_batch({inline_unit("u")}, options, tripwire);
+  EXPECT_EQ(calls, 0);  // it already failed twice; do not hang resume on it
+  EXPECT_EQ(resumed.units[0].outcome.kind, UnitOutcomeKind::kExit);
+  EXPECT_TRUE(resumed.units[0].outcome.quarantined);
+  EXPECT_TRUE(resumed.units[0].outcome.from_checkpoint);
+}
+
+TEST_F(CheckpointedBatch, CorruptSnapshotForcesCleanReRun) {
+  const std::vector<AnalysisUnit> units = {inline_unit("u")};
+  BatchOptions options = quiet_options();
+  options.checkpoint_dir = dir_;
+  (void)run_batch(units, options);
+
+  // Flip bytes in the completed snapshot; resume must detect the corruption
+  // and re-run the unit instead of serving garbage (or crashing).
+  const std::string snap =
+      Checkpoint(dir_, true).snapshot_path(unit_key(units[0]));
+  {
+    std::fstream f(snap,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(40);
+    f.put('\xba');
+    f.put('\xad');
+  }
+
+  options.resume = true;
+  int calls = 0;
+  const UnitRunner recorder = [&](const AnalysisUnit& unit,
+                                  const analysis::Options& engine) {
+    ++calls;
+    return run_unit_serialized(unit, engine, false);
+  };
+  const BatchResult resumed = run_batch(units, options, recorder);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(resumed.units[0].outcome.kind, UnitOutcomeKind::kOk);
+  EXPECT_FALSE(resumed.units[0].outcome.from_checkpoint);
+}
+
+// --- Isolation (fork) path ---------------------------------------------------
+
+class IsolatedBatch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!isolation_supported()) {
+      GTEST_SKIP() << "no fork() on this platform";
+    }
+  }
+};
+
+TEST_F(IsolatedBatch, RunsUnitsInWorkersAndCollectsPayloads) {
+  BatchOptions options;
+  options.isolate = true;
+  options.jobs = 2;
+  const BatchResult result =
+      run_batch({inline_unit("a"), inline_unit("b")}, options);
+  EXPECT_TRUE(result.isolated);
+  for (const UnitReport& u : result.units) {
+    EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kOk);
+    ASSERT_TRUE(u.payload.has_value());
+    EXPECT_GT(u.payload->exit_graphs(), 0u);
+  }
+}
+
+TEST_F(IsolatedBatch, WorkerResultsMatchInProcessResults) {
+  const std::vector<AnalysisUnit> units = {inline_unit("a")};
+  BatchOptions isolated;
+  isolated.isolate = true;
+  BatchOptions inproc = quiet_options();
+  const BatchResult a = run_batch(units, isolated);
+  const BatchResult b = run_batch(units, inproc);
+  ASSERT_TRUE(a.units[0].payload && b.units[0].payload);
+  const auto& ra = a.units[0].payload->result;
+  const auto& rb = b.units[0].payload->result;
+  ASSERT_EQ(ra.per_node.size(), rb.per_node.size());
+  for (std::size_t i = 0; i < ra.per_node.size(); ++i) {
+    EXPECT_TRUE(ra.per_node[i].equals(rb.per_node[i])) << "stmt " << i;
+  }
+}
+
+// The fault-injection proof at the heart of the tentpole: crash + hang +
+// oom seeded into three real corpus units; the isolated batch completes,
+// exactly those three fail with the right classifications and get
+// quarantined after one retry, and every other unit's result is identical
+// to the fault-free run.
+TEST_F(IsolatedBatch, FaultInjectionProofOverCorpusUnits) {
+  // Light corpus units only (the heavy ones would dominate the clock).
+  const std::vector<std::string> wanted = {"sll",   "dll",         "queue",
+                                           "list_reverse", "binary_tree",
+                                           "visit_marks"};
+  std::vector<AnalysisUnit> units;
+  for (const AnalysisUnit& u : corpus_units()) {
+    for (const std::string& name : wanted) {
+      if (u.name == name) units.push_back(u);
+    }
+  }
+  ASSERT_EQ(units.size(), wanted.size());
+
+  BatchOptions options;
+  options.isolate = true;
+  options.jobs = 4;
+  options.unit_timeout_ms = 8000;  // generous for the clean light units
+  options.term_grace_ms = 1000;
+
+  const BatchResult clean = run_batch(units, options);
+  for (const UnitReport& u : clean.units) {
+    ASSERT_EQ(u.outcome.kind, UnitOutcomeKind::kOk) << u.unit.name;
+  }
+
+  const ScopedFaultEnv env("dll:crash,queue:oom,visit_marks:hang");
+  const BatchResult faulted = run_batch(units, options);
+
+  ASSERT_EQ(faulted.units.size(), units.size());  // the batch completed
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const UnitReport& u = faulted.units[i];
+    if (u.unit.name == "dll") {
+      EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kCrash) << describe(u.outcome);
+      EXPECT_EQ(u.outcome.signal, SIGABRT);
+      EXPECT_EQ(u.outcome.attempts, 2);
+      EXPECT_TRUE(u.outcome.quarantined);
+    } else if (u.unit.name == "queue") {
+      EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kOom) << describe(u.outcome);
+      EXPECT_EQ(u.outcome.attempts, 2);
+      EXPECT_TRUE(u.outcome.quarantined);
+    } else if (u.unit.name == "visit_marks") {
+      EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kTimeout)
+          << describe(u.outcome);
+      EXPECT_EQ(u.outcome.attempts, 2);
+      EXPECT_TRUE(u.outcome.quarantined);
+    } else {
+      // Unfaulted units are byte-for-byte unaffected by their neighbors'
+      // deaths.
+      EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kOk) << u.unit.name;
+      ASSERT_TRUE(u.payload && clean.units[i].payload);
+      const auto& rf = u.payload->result;
+      const auto& rc = clean.units[i].payload->result;
+      ASSERT_EQ(rf.per_node.size(), rc.per_node.size());
+      for (std::size_t s = 0; s < rf.per_node.size(); ++s) {
+        EXPECT_TRUE(rf.per_node[s].equals(rc.per_node[s]))
+            << u.unit.name << " stmt " << s;
+      }
+    }
+  }
+  EXPECT_EQ(faulted.failed_count(), 3u);
+  EXPECT_EQ(faulted.quarantined_count(), 3u);
+  EXPECT_EQ(batch_exit_code(faulted), kExitSomeUnitsFailed);
+}
+
+TEST_F(IsolatedBatch, UncaughtWorkerExceptionClassifiesAsExit) {
+  const ScopedFaultEnv env("u:throw");
+  BatchOptions options;
+  options.isolate = true;
+  const BatchResult result = run_batch({inline_unit("u")}, options);
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kExit);
+  EXPECT_EQ(result.units[0].outcome.exit_code, kUncaughtExceptionExitCode);
+  EXPECT_TRUE(result.units[0].outcome.quarantined);
+}
+
+TEST_F(IsolatedBatch, HangWithoutWatchdogWouldBlock_SoWatchdogIsProvenHere) {
+  // One hanging unit, short budget: SIGTERM -> classified timeout, retried,
+  // quarantined; a clean sibling is untouched.
+  const ScopedFaultEnv env("stuck:hang");
+  BatchOptions options;
+  options.isolate = true;
+  options.jobs = 2;
+  options.unit_timeout_ms = 400;
+  options.term_grace_ms = 400;
+  options.max_attempts = 1;  // keep the clock short; retries proven above
+  const BatchResult result =
+      run_batch({inline_unit("stuck"), inline_unit("fine")}, options);
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kTimeout);
+  EXPECT_TRUE(result.units[0].outcome.quarantined);
+  EXPECT_EQ(result.units[1].outcome.kind, UnitOutcomeKind::kOk);
+}
+
+}  // namespace
+}  // namespace psa::driver

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace psa::support {
@@ -94,6 +95,48 @@ TEST(ThreadPoolTest, StopPredicateAlreadyTrueRunsNothingSerial) {
   pool.parallel_for(
       100, [&](std::size_t) { ran.fetch_add(1); }, [] { return true; });
   EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ThreadPoolTest, BodyExceptionRethrownOnCallingThread) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  constexpr std::size_t kN = 100000;
+  try {
+    pool.parallel_for(kN, [&](std::size_t i) {
+      if (i == 3) throw std::runtime_error("boom at 3");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the body exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 3");
+  }
+  // The throw stops the sweep: not every remaining iteration ran.
+  EXPECT_LT(ran.load(), kN);
+}
+
+TEST(ThreadPoolTest, BodyExceptionSerialPathPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t i) {
+                          if (i == 0) throw std::logic_error("serial boom");
+                        }),
+      std::logic_error);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  // Every iteration throws; exactly one exception must reach the caller and
+  // the pool must stay usable for the next parallel_for.
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [](std::size_t) { throw std::runtime_error("each"); }),
+      std::runtime_error);
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(100, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100u);
 }
 
 TEST(ThreadPoolTest, DestructionWithIdleWorkers) {

@@ -1,0 +1,93 @@
+// Shared random-program generator for fuzz-style sweeps (fuzz_test.cpp,
+// snapshot round-trip tests): syntactically-valid pointer programs over one
+// struct with two selectors and four pvars, random mixes of the six simple
+// statements under random control flow.
+#pragma once
+
+#include <random>
+#include <sstream>
+#include <string>
+
+namespace psa::testing {
+
+/// Deterministic in the seed. Statements may dereference possibly-NULL
+/// pointers — the abstract semantics drops those configurations.
+inline std::string generate_program(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::ostringstream os;
+  os << "struct node { struct node *s0; struct node *s1; int v; };\n";
+  os << "void main() {\n";
+  os << "  struct node *p0; struct node *p1; struct node *p2; "
+        "struct node *p3;\n";
+  os << "  int i; int n;\n";
+  os << "  p0 = NULL; p1 = NULL; p2 = NULL; p3 = NULL; i = 0; n = 10;\n";
+
+  auto pvar = [&] { return "p" + std::to_string(rng() % 4); };
+  auto sel = [&] { return "s" + std::to_string(rng() % 2); };
+
+  int depth = 0;
+  int open_loops = 0;
+  const int statements = 12 + static_cast<int>(rng() % 18);
+  for (int k = 0; k < statements; ++k) {
+    const std::string pad(static_cast<std::size_t>(2 * (depth + 1)), ' ');
+    switch (rng() % 10) {
+      case 0:
+        os << pad << pvar() << " = NULL;\n";
+        break;
+      case 1:
+      case 2:
+        os << pad << pvar() << " = malloc(sizeof(struct node));\n";
+        break;
+      case 3:
+        os << pad << pvar() << " = " << pvar() << ";\n";
+        break;
+      case 4:
+      case 5: {
+        const std::string x = pvar();
+        const std::string y = pvar();
+        os << pad << "if (" << y << " != NULL) { " << x << " = " << y << "->"
+           << sel() << "; }\n";
+        break;
+      }
+      case 6: {
+        const std::string x = pvar();
+        os << pad << "if (" << x << " != NULL) { " << x << "->" << sel()
+           << " = " << pvar() << "; }\n";
+        break;
+      }
+      case 7: {
+        const std::string x = pvar();
+        os << pad << "if (" << x << " != NULL) { " << x << "->" << sel()
+           << " = NULL; }\n";
+        break;
+      }
+      case 8:
+        if (depth < 2) {
+          os << pad << "while (i < n) {\n";
+          ++depth;
+          ++open_loops;
+        }
+        break;
+      default:
+        if (open_loops > 0) {
+          --depth;
+          --open_loops;
+          os << std::string(static_cast<std::size_t>(2 * (depth + 1)), ' ')
+             << "i = i + 1;\n"
+             << std::string(static_cast<std::size_t>(2 * (depth + 1)), ' ')
+             << "}\n";
+        }
+        break;
+    }
+  }
+  while (open_loops > 0) {
+    --depth;
+    --open_loops;
+    os << std::string(static_cast<std::size_t>(2 * (depth + 1)), ' ')
+       << "}\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace psa::testing
