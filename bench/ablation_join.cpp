@@ -51,17 +51,23 @@ void BM_Join(benchmark::State& state, const char* name, bool join) {
   state.counters["worst_set"] = static_cast<double>(g.worst_set);
 }
 
-void print_table() {
+void print_table(bench::BenchReport& report) {
   std::printf("\nAblation — RSG union (JOIN) at L2, widening off\n");
   std::printf("%-14s %-5s %10s %13s %10s  %s\n", "code", "join", "time",
               "total graphs", "worst set", "status");
-  for (const char* name : {"sll", "dll", "list_reverse", "two_lists"}) {
+  const std::vector<const char*> codes =
+      report.quick() ? std::vector<const char*>{"sll", "dll"}
+                     : std::vector<const char*>{"sll", "dll", "list_reverse",
+                                                "two_lists"};
+  for (const char* name : codes) {
     for (const bool join : {true, false}) {
       const auto program =
           analysis::prepare(corpus::find_program(name)->source);
       const auto result =
           analysis::analyze_program(program, options_with_join(join));
       const SetGrowth g = measure(result);
+      report.add(std::string(name) + (join ? "/join-on" : "/join-off"),
+                 program, result);
       std::printf("%-14s %-5s %10s %13zu %10zu  %s\n", name,
                   join ? "on" : "off",
                   bench::format_time(result.seconds).c_str(), g.total_graphs,
@@ -75,7 +81,9 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  psa::bench::BenchReport report("ablation_join", argc, argv);
+  print_table(report);
+  if (report.quick()) return 0;
   for (const char* name : {"sll", "dll", "list_reverse"}) {
     for (const bool join : {true, false}) {
       const std::string bench_name =

@@ -34,12 +34,16 @@ void BM_Pruning(benchmark::State& state, const char* name, bool share_pruning) {
   state.counters["state_nodes"] = static_cast<double>(total_state_nodes(result));
 }
 
-void print_table() {
+void print_table(bench::BenchReport& report) {
   std::printf("\nAblation — share-attribute pruning (L2)\n");
   std::printf("%-16s %-9s %10s %14s %12s %8s\n", "code", "pruning", "time",
               "peak bytes", "state nodes", "visits");
-  for (const char* name : {"sll", "dll", "binary_tree", "sparse_matvec",
-                           "barnes_hut_small"}) {
+  const std::vector<const char*> codes =
+      report.quick()
+          ? std::vector<const char*>{"sll", "dll"}
+          : std::vector<const char*>{"sll", "dll", "binary_tree",
+                                     "sparse_matvec", "barnes_hut_small"};
+  for (const char* name : codes) {
     for (const bool share : {true, false}) {
       const auto program =
           analysis::prepare(corpus::find_program(name)->source);
@@ -47,6 +51,8 @@ void print_table() {
       options.level = rsg::AnalysisLevel::kL2;
       options.share_pruning = share;
       const auto result = analysis::analyze_program(program, options);
+      report.add(std::string(name) + (share ? "/prune-on" : "/prune-off"),
+                 program, result);
       std::printf("%-16s %-9s %10s %14llu %12zu %8llu\n", name,
                   share ? "on" : "off",
                   bench::format_time(result.seconds).c_str(),
@@ -61,7 +67,9 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  psa::bench::BenchReport report("ablation_pruning", argc, argv);
+  print_table(report);
+  if (report.quick()) return 0;
   for (const char* name : {"sll", "dll", "binary_tree", "barnes_hut_small"}) {
     for (const bool share : {true, false}) {
       const std::string bench_name = std::string("ablation_pruning/") + name +

@@ -32,13 +32,17 @@ void BM_Widening(benchmark::State& state, const char* name,
   bench::report_run(state, program, result);
 }
 
-void print_table() {
+void print_table(bench::BenchReport& report) {
   std::printf("\nAblation — widening threshold (L2). 0 = pure paper "
               "semantics.\n");
   std::printf("%-18s %-6s %10s %14s %8s %12s  %s\n", "code", "thr", "time",
               "peak bytes", "visits", "exit graphs", "status");
-  for (const char* name :
-       {"sll", "binary_tree", "barnes_hut_small", "barnes_hut"}) {
+  const std::vector<const char*> codes =
+      report.quick()
+          ? std::vector<const char*>{"sll", "binary_tree"}
+          : std::vector<const char*>{"sll", "binary_tree",
+                                     "barnes_hut_small", "barnes_hut"};
+  for (const char* name : codes) {
     for (const std::size_t threshold : {std::size_t{0}, std::size_t{16},
                                         std::size_t{48}}) {
       // The full Barnes-Hut without widening exceeds any reasonable budget
@@ -50,6 +54,8 @@ void print_table() {
       const auto program =
           analysis::prepare(corpus::find_program(name)->source);
       const auto result = analysis::analyze_program(program, options);
+      report.add(std::string(name) + "/thr" + std::to_string(threshold),
+                 program, result);
       std::printf("%-18s %-6zu %10s %14llu %8llu %12zu  %s\n", name, threshold,
                   bench::format_time(result.seconds).c_str(),
                   static_cast<unsigned long long>(result.peak_bytes()),
@@ -64,7 +70,9 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  psa::bench::BenchReport report("ablation_widening", argc, argv);
+  print_table(report);
+  if (report.quick()) return 0;
   for (const char* name : {"sll", "binary_tree", "barnes_hut_small"}) {
     for (const std::size_t threshold : {std::size_t{0}, std::size_t{48}}) {
       const std::string bench_name = std::string("ablation_widening/") + name +

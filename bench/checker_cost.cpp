@@ -45,6 +45,30 @@ void BM_CheckerCost(benchmark::State& state, std::string_view source,
 }  // namespace
 
 int main(int argc, char** argv) {
+  psa::bench::BenchReport report("checker_cost", argc, argv);
+
+  // Canonical JSON rows: analysis cost per program plus a hand-timed
+  // checker pass (the checkers produce no AnalysisResult of their own).
+  // Quick mode keeps the two cheapest clean programs.
+  std::size_t emitted = 0;
+  for (const corpus::CorpusProgram& p : corpus::all_programs()) {
+    if (p.in_table1) continue;  // minutes-long setup; the gbench pass covers it
+    if (report.quick() && emitted >= 2) break;
+    const auto program = analysis::prepare(p.source);
+    analysis::Options options;
+    options.level = rsg::AnalysisLevel::kL2;
+    options.types = &program.unit.types;
+    const auto result = analysis::analyze_program(program, options);
+    report.add(std::string(p.name) + "/L2/analysis", program, result);
+    report.add_sample(std::string(p.name) + "/L2/checkers",
+                      psa::bench::time_op(3, [&] {
+                        benchmark::DoNotOptimize(
+                            checker::run_checkers(program, result));
+                      }));
+    ++emitted;
+  }
+  if (report.quick()) return 0;
+
   // Clean corpus at L2 (the progressive driver's common landing level); the
   // four Table-1 codes run at L1 to keep the setup phase in seconds.
   for (const corpus::CorpusProgram& p : corpus::all_programs()) {

@@ -72,10 +72,9 @@ void BM_Fig1_Compress(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig1_Compress);
 
-void BM_Fig1_EndToEndStatement(benchmark::State& state) {
-  // The complete sentence over the engine: build a DLL, execute
-  // x->nxt = NULL, reach the fixpoint.
-  constexpr std::string_view kSource = R"(
+// The complete sentence over the engine: build a DLL, execute
+// x->nxt = NULL, reach the fixpoint.
+constexpr std::string_view kFig1Source = R"(
     struct dnode { struct dnode *nxt; struct dnode *prv; int v; };
     void main() {
       struct dnode *list; struct dnode *tail; struct dnode *t;
@@ -99,7 +98,9 @@ void BM_Fig1_EndToEndStatement(benchmark::State& state) {
       x->nxt = NULL;
     }
   )";
-  const auto program = analysis::prepare(kSource);
+
+void BM_Fig1_EndToEndStatement(benchmark::State& state) {
+  const auto program = analysis::prepare(kFig1Source);
   analysis::Options options;
   options.level = rsg::AnalysisLevel::kL2;
   analysis::AnalysisResult result;
@@ -112,4 +113,41 @@ BENCHMARK(BM_Fig1_EndToEndStatement)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  psa::bench::BenchReport report("fig1_dll_ops", argc, argv);
+
+  // Canonical JSON rows: hand-timed pipeline phases on the Fig. 1 (a) RSG
+  // plus the end-to-end statement through the engine.
+  {
+    const int iters = report.quick() ? 10 : 100;
+    Fig1Dll f;
+    report.add_sample("divide", psa::bench::time_op(iters, [&] {
+                        benchmark::DoNotOptimize(
+                            rsg::divide(f.b.g, f.x, f.nxt));
+                      }));
+    report.add_sample("prune", psa::bench::time_op(iters, [&] {
+                        rsg::Rsg variant = f.b.g;
+                        variant.remove_link(f.n1, f.nxt, f.n2);
+                        variant.props(f.n1).selout.insert(f.nxt);
+                        benchmark::DoNotOptimize(rsg::prune(variant));
+                      }));
+    report.add_sample("compress", psa::bench::time_op(iters, [&] {
+                        rsg::Rsg copy = f.b.g;
+                        rsg::compress(
+                            copy, rsg::LevelPolicy{rsg::AnalysisLevel::kL2});
+                        benchmark::DoNotOptimize(copy);
+                      }));
+    const auto program = analysis::prepare(kFig1Source);
+    analysis::Options options;
+    options.level = rsg::AnalysisLevel::kL2;
+    const auto result = analysis::analyze_program(program, options);
+    report.add("end_to_end/L2", program, result);
+  }
+  if (report.quick()) return 0;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

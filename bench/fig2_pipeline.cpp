@@ -114,4 +114,52 @@ BENCHMARK(BM_Fig2_FingerprintEquality);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  psa::bench::BenchReport report("fig2_pipeline", argc, argv);
+
+  // Canonical JSON rows: the sll fixpoint behind the snapshot plus
+  // hand-timed pipeline stages over its loop-header RSRSG.
+  {
+    Snapshot& snap = snapshot();
+    report.add("sll/fixpoint", snap.program, snap.result);
+    const int iters = report.quick() ? 5 : 50;
+    const auto p = snap.program.symbol("p");
+    const auto nxt = snap.program.symbol("nxt");
+    report.add_sample("divide_prune", psa::bench::time_op(iters, [&] {
+      for (const rsg::Rsg& g : snap.set->graphs()) {
+        if (g.pvar_target(p) == rsg::kNoNode) continue;
+        benchmark::DoNotOptimize(rsg::divide(g, p, nxt));
+      }
+    }));
+    analysis::TransferContext ctx;
+    ctx.policy = rsg::LevelPolicy{rsg::AnalysisLevel::kL2};
+    ctx.cfg = &snap.program.cfg;
+    ctx.induction = &snap.program.induction;
+    const auto& node = snap.program.cfg.node(snap.load_stmt);
+    report.add_sample("abstract_interpretation",
+                      psa::bench::time_op(iters, [&] {
+                        for (const rsg::Rsg& g : snap.set->graphs()) {
+                          benchmark::DoNotOptimize(
+                              analysis::execute_statement(g, node, ctx));
+                        }
+                      }));
+    report.add_sample("union", psa::bench::time_op(iters, [&] {
+      const rsg::LevelPolicy policy{rsg::AnalysisLevel::kL2};
+      analysis::Rsrsg reduced;
+      for (const rsg::Rsg& g : snap.set->graphs()) reduced.insert(g, policy);
+      benchmark::DoNotOptimize(reduced);
+    }));
+    report.add_sample("fingerprint", psa::bench::time_op(iters, [&] {
+      for (const rsg::Rsg& g : snap.set->graphs()) {
+        benchmark::DoNotOptimize(rsg::fingerprint(g));
+      }
+    }));
+  }
+  if (report.quick()) return 0;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

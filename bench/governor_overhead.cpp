@@ -111,18 +111,35 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  register_benchmarks();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  psa::bench::BenchReport report("governor_overhead", argc, argv);
+  if (!report.quick()) {
+    register_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  // One representative run per workload and mode for the canonical JSON.
+  const std::vector<const char*> workloads =
+      report.quick() ? std::vector<const char*>{"sll", "dll"}
+                     : std::vector<const char*>(std::begin(kWorkloads),
+                                                std::end(kWorkloads));
+  for (const char* name : workloads) {
+    auto& program = prepared(name);
+    report.add(std::string(name) + "/disarmed", program,
+               analysis::analyze_program(program, disarmed_options()));
+    report.add(std::string(name) + "/armed", program,
+               analysis::analyze_program(program, armed_options()));
+  }
+  const int reps = report.quick() ? 2 : 5;
 
   // Paired overhead summary (JSON), warm-up rep discarded by the cache.
   std::printf("{\"benchmark\": \"governor_overhead\", \"pairs\": [");
   bool first = true;
-  for (const char* name : kWorkloads) {
-    const double disarmed = mean_seconds(name, disarmed_options(), 5);
-    const double armed = mean_seconds(name, armed_options(), 5);
+  for (const char* name : workloads) {
+    const double disarmed = mean_seconds(name, disarmed_options(), reps);
+    const double armed = mean_seconds(name, armed_options(), reps);
     const double overhead = disarmed > 0.0 ? (armed - disarmed) / disarmed
                                            : 0.0;
     std::printf("%s\n  {\"workload\": \"%s\", \"disarmed_s\": %.6f, "

@@ -25,11 +25,14 @@ void BM_Threads(benchmark::State& state, const char* name,
   bench::report_run(state, program, result);
 }
 
-void print_table() {
+void print_table(bench::BenchReport& report) {
   std::printf("\nThread scaling of the per-RSG transfer fan-out (L2)\n");
   std::printf("%-16s %-8s %10s %8s  %s\n", "code", "threads", "time", "visits",
               "status");
-  for (const char* name : {"sparse_matvec", "barnes_hut"}) {
+  const std::vector<const char*> codes =
+      report.quick() ? std::vector<const char*>{"sparse_matvec"}
+                     : std::vector<const char*>{"sparse_matvec", "barnes_hut"};
+  for (const char* name : codes) {
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
       const auto program =
           analysis::prepare(corpus::find_program(name)->source);
@@ -37,6 +40,8 @@ void print_table() {
       options.level = rsg::AnalysisLevel::kL2;
       options.threads = threads;
       const auto result = analysis::analyze_program(program, options);
+      report.add(std::string(name) + "/threads" + std::to_string(threads),
+                 program, result);
       std::printf("%-16s %-8zu %10s %8llu  %s\n", name, threads,
                   bench::format_time(result.seconds).c_str(),
                   static_cast<unsigned long long>(result.node_visits),
@@ -49,7 +54,9 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  psa::bench::BenchReport report("parallel_transfer", argc, argv);
+  print_table(report);
+  if (report.quick()) return 0;
   for (const char* name : {"sparse_matvec", "barnes_hut_small"}) {
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
       const std::string bench_name = std::string("parallel_transfer/") + name +

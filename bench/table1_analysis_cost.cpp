@@ -49,18 +49,32 @@ void BM_Table1(benchmark::State& state, const char* name,
   bench::report_run(state, program, result);
 }
 
-void print_table() {
+void print_table(bench::BenchReport& report) {
   std::printf("\nTable 1 reproduction — compiler time and space per code and "
               "level\n");
   std::printf("%-14s %-4s %12s %14s %10s  %s\n", "code", "lvl", "time",
               "space(bytes)", "visits", "status");
-  for (const char* name :
-       {"sparse_matvec", "sparse_matmat", "sparse_lu", "barnes_hut"}) {
+  // Quick mode (bench_smoke) keeps only the sparse codes at L1: the full
+  // grid pays the Barnes-Hut rows, which take minutes by design.
+  const std::vector<const char*> codes =
+      report.quick()
+          ? std::vector<const char*>{"sparse_matvec", "sparse_matmat",
+                                     "sparse_lu"}
+          : std::vector<const char*>{"sparse_matvec", "sparse_matmat",
+                                     "sparse_lu", "barnes_hut"};
+  const std::vector<rsg::AnalysisLevel> levels =
+      report.quick()
+          ? std::vector<rsg::AnalysisLevel>{rsg::AnalysisLevel::kL1}
+          : std::vector<rsg::AnalysisLevel>{rsg::AnalysisLevel::kL1,
+                                            rsg::AnalysisLevel::kL2,
+                                            rsg::AnalysisLevel::kL3};
+  for (const char* name : codes) {
     const auto program = analysis::prepare(corpus::find_program(name)->source);
-    for (const auto level : {rsg::AnalysisLevel::kL1, rsg::AnalysisLevel::kL2,
-                             rsg::AnalysisLevel::kL3}) {
+    for (const auto level : levels) {
       const auto result =
           analysis::analyze_program(program, options_for(name, level));
+      report.add(std::string(name) + "/" + std::string(rsg::to_string(level)),
+                 program, result);
       std::printf("%-14s %-4s %12s %14llu %10llu  %s\n", name,
                   std::string(rsg::to_string(level)).c_str(),
                   bench::format_time(result.seconds).c_str(),
@@ -75,7 +89,9 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  psa::bench::BenchReport report("table1_analysis_cost", argc, argv);
+  print_table(report);
+  if (report.quick()) return 0;
 
   for (const auto& [name, level] : std::vector<Cell>{
            {"sparse_matvec", rsg::AnalysisLevel::kL1},

@@ -4,10 +4,12 @@
 //                      [--function=NAME] [--level=1|2|3] [--progressive]
 //                      [--per-statement] [--dot=OUT.dot] [--annotate]
 //                      [--check] [--sarif=OUT.sarif]
+//                      [--profile] [--metrics-out=FILE.jsonl]
 //                      [--no-widen] [--threads=N] [--memory-budget=BYTES]
 //                      [--deadline-ms=MS] [--max-visits=N] [--hard-fail]
 //                      [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]
 //                      [--checkpoint=DIR] [--resume] [--corpus]
+//                      [--help]
 //
 // Two modes share one exit-code contract (see below):
 //
@@ -31,6 +33,13 @@
 // a live analysis (--progressive, --per-statement, --annotate, --dot) are
 // rejected in batch mode.
 //
+// OBSERVABILITY (both modes, docs/OBSERVABILITY.md): --profile prints the
+// phase-timer / operation-counter / gauge summary (stdout in detailed mode;
+// stderr in batch mode, where stdout is the deterministic report);
+// --metrics-out writes one psa.metrics.v1 JSONL record per analyzed unit
+// plus a final aggregate record that equals the element-wise sum of the
+// unit records.
+//
 // Exit codes (asserted by tests/driver/cli_integration_test.cpp):
 //   0  every unit analyzed, no findings
 //   1  every unit analyzed, memory-safety findings reported
@@ -43,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/profile.hpp"
 #include "analysis/progressive.hpp"
 #include "checker/checker.hpp"
 #include "checker/sarif.hpp"
@@ -64,6 +74,9 @@ struct CliOptions {
   bool per_statement = false;
   bool annotate = false;
   bool check = false;
+  bool help = false;
+  bool profile = false;
+  std::string metrics_path;
   std::string sarif_path;
   std::string dot_path;
   analysis::Options engine;
@@ -97,6 +110,14 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
       out.annotate = true;
     } else if (arg == "--check") {
       out.check = true;
+    } else if (arg == "--help") {
+      out.help = true;
+      return true;  // short-circuits: other arguments are not validated
+    } else if (arg == "--profile") {
+      out.profile = true;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      out.metrics_path = value_of("--metrics-out=");
+      if (out.metrics_path.empty()) return false;
     } else if (arg.rfind("--sarif=", 0) == 0) {
       out.sarif_path = value_of("--sarif=");
       out.check = true;
@@ -158,19 +179,26 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
   return false;  // malformed numeric value (stoi/stoull)
 }
 
+// The canonical flag reference. README.md embeds this text verbatim in a
+// fenced code block and tests/driver/cli_integration_test.cpp diffs the two
+// — update both together.
+constexpr const char* kHelpText =
+    "usage: psa_cli FILE.c [FILE.c ...] [--function=NAME]\n"
+    "               [--level=1|2|3] [--progressive]\n"
+    "               [--per-statement] [--annotate] [--dot=OUT.dot]\n"
+    "               [--check] [--sarif=OUT.sarif]\n"
+    "               [--profile] [--metrics-out=FILE.jsonl]\n"
+    "               [--no-widen] [--threads=N]\n"
+    "               [--memory-budget=BYTES] [--deadline-ms=MS]\n"
+    "               [--max-visits=N] [--hard-fail]\n"
+    "       batch:  [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]\n"
+    "               [--checkpoint=DIR] [--resume] [--corpus]\n"
+    "       --help  print this reference and exit\n"
+    "exit codes: 0 ok, 1 findings, 2 bad usage, 3 some units failed,\n"
+    "            4 all units failed\n";
+
 int usage() {
-  std::cerr
-      << "usage: psa_cli FILE.c [FILE.c ...] [--function=NAME]\n"
-         "               [--level=1|2|3] [--progressive]\n"
-         "               [--per-statement] [--annotate] [--dot=OUT.dot]\n"
-         "               [--check] [--sarif=OUT.sarif]\n"
-         "               [--no-widen] [--threads=N]\n"
-         "               [--memory-budget=BYTES] [--deadline-ms=MS]\n"
-         "               [--max-visits=N] [--hard-fail]\n"
-         "       batch:  [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]\n"
-         "               [--checkpoint=DIR] [--resume] [--corpus]\n"
-         "exit codes: 0 ok, 1 findings, 2 bad usage, 3 some units failed,\n"
-         "            4 all units failed\n";
+  std::cerr << kHelpText;
   return driver::kExitBadUsage;
 }
 
@@ -178,7 +206,8 @@ int usage() {
 /// findings via `findings_out`; false on failure (unreadable file or
 /// frontend rejection) — the caller keeps going with the other inputs.
 bool run_file(const std::string& file, const CliOptions& cli,
-              std::size_t& findings_out) {
+              std::size_t& findings_out,
+              std::vector<analysis::UnitMetrics>& metrics_out) {
   std::ifstream in(file);
   if (!in) {
     std::cerr << "cannot open '" << file << "'\n";
@@ -189,10 +218,14 @@ bool run_file(const std::string& file, const CliOptions& cli,
   const std::string source = buffer.str();
 
   try {
+    // Whole-file delta: parse + CFG + fixpoint + checkers. Closed right
+    // before the metric record is built.
+    const support::MetricsRegion unit_region;
     const analysis::ProgramAnalysis program =
         analysis::prepare(source, cli.function);
 
     analysis::AnalysisResult result;
+    std::string level_str;
     if (cli.progressive) {
       const std::vector<analysis::ShapeCriterion> criteria = {
           {"no-possibly-cyclic-structure",
@@ -227,11 +260,13 @@ bool run_file(const std::string& file, const CliOptions& cli,
         std::cout << "stopped: " << out.stop_reason << '\n';
       }
       result = out.best().result;
+      level_str = std::string(rsg::to_string(out.best().level));
       std::cout << "final level: " << rsg::to_string(out.best().level)
                 << "\n\n";
     } else {
       analysis::Options engine = cli.engine;
       engine.level = static_cast<rsg::AnalysisLevel>(cli.level);
+      level_str = std::string(rsg::to_string(engine.level));
       result = analysis::analyze_program(program, engine);
     }
 
@@ -263,6 +298,16 @@ bool run_file(const std::string& file, const CliOptions& cli,
         out << checker::to_sarif(findings, sarif);
         std::cout << "SARIF log written to " << cli.sarif_path << '\n';
       }
+    }
+
+    if (cli.profile || !cli.metrics_path.empty()) {
+      analysis::UnitMetrics m = analysis::collect_unit_metrics(
+          file, cli.function, level_str, result);
+      // Widen from the fixpoint-only result.ops to the whole-file delta so
+      // the parse/cfg/checker phase timers are attributed to this unit.
+      m.ops = unit_region.delta();
+      if (cli.profile) std::cout << '\n' << analysis::format_profile(m);
+      metrics_out.push_back(std::move(m));
     }
   } catch (const analysis::FrontendError& e) {
     std::cerr << file << ": frontend error (skipped):\n" << e.what();
@@ -316,6 +361,36 @@ int run_batch_mode(const CliOptions& cli) {
     std::cerr << "SARIF log written to " << cli.sarif_path << '\n';
   }
 
+  if (cli.profile || !cli.metrics_path.empty()) {
+    const std::string level_str(
+        rsg::to_string(static_cast<rsg::AnalysisLevel>(cli.level)));
+    std::vector<analysis::UnitMetrics> metrics;
+    for (const driver::UnitReport& ur : result.units) {
+      // Failed units (crash / timeout / frontend error) carry no analysis
+      // result to gauge; the batch report already accounts for them.
+      if (!ur.payload || !ur.payload->frontend_ok) continue;
+      analysis::UnitMetrics m = analysis::collect_unit_metrics(
+          ur.unit.name, ur.unit.function, level_str, ur.payload->result);
+      // The worker-side whole-unit delta (frontend + fixpoint + checkers),
+      // shipped inside the payload — valid across forked and in-process
+      // workers alike.
+      m.ops = ur.payload->metrics;
+      metrics.push_back(std::move(m));
+    }
+    const analysis::UnitMetrics aggregate =
+        analysis::aggregate_metrics(metrics);
+    if (!cli.metrics_path.empty()) {
+      std::ofstream out(cli.metrics_path);
+      for (const analysis::UnitMetrics& m : metrics) {
+        out << analysis::to_metrics_json(m, "unit");
+      }
+      out << analysis::to_metrics_json(aggregate, "aggregate");
+      std::cerr << "metrics written to " << cli.metrics_path << '\n';
+    }
+    // stderr: stdout must stay the byte-deterministic batch report.
+    if (cli.profile) std::cerr << analysis::format_profile(aggregate);
+  }
+
   return driver::batch_exit_code(result);
 }
 
@@ -324,17 +399,31 @@ int run_batch_mode(const CliOptions& cli) {
 int main(int argc, char** argv) {
   CliOptions cli;
   if (!parse_args(argc, argv, cli)) return usage();
+  if (cli.help) {
+    std::cout << kHelpText;
+    return driver::kExitOk;
+  }
 
   if (cli.batch) return run_batch_mode(cli);
 
   std::size_t succeeded = 0;
   std::size_t findings = 0;
+  std::vector<analysis::UnitMetrics> metrics;
   for (std::size_t i = 0; i < cli.files.size(); ++i) {
     if (cli.files.size() > 1) {
       if (i != 0) std::cout << '\n';
       std::cout << "=== " << cli.files[i] << " ===\n";
     }
-    if (run_file(cli.files[i], cli, findings)) ++succeeded;
+    if (run_file(cli.files[i], cli, findings, metrics)) ++succeeded;
+  }
+  if (!cli.metrics_path.empty()) {
+    std::ofstream out(cli.metrics_path);
+    for (const analysis::UnitMetrics& m : metrics) {
+      out << analysis::to_metrics_json(m, "unit");
+    }
+    out << analysis::to_metrics_json(analysis::aggregate_metrics(metrics),
+                                     "aggregate");
+    std::cout << "metrics written to " << cli.metrics_path << '\n';
   }
   if (succeeded == 0) return driver::kExitAllUnitsFailed;
   if (succeeded < cli.files.size()) return driver::kExitSomeUnitsFailed;

@@ -2,17 +2,23 @@
 
 #include <sstream>
 
+#include "support/metrics.hpp"
+
 namespace psa::analysis {
 
 ProgramAnalysis prepare(std::string_view source, std::string_view function) {
   support::DiagnosticEngine diags;
 
   ProgramAnalysis program;
-  program.unit = lang::parse_source(source, diags);
-  if (diags.has_errors()) throw FrontendError(diags.to_string());
+  {
+    PSA_PHASE_TIMER(parse_timer, support::Counter::kPhaseParseWallNs,
+                    support::Counter::kPhaseParseCpuNs);
+    program.unit = lang::parse_source(source, diags);
+    if (diags.has_errors()) throw FrontendError(diags.to_string());
 
-  program.sema = lang::analyze(program.unit, diags);
-  if (diags.has_errors()) throw FrontendError(diags.to_string());
+    program.sema = lang::analyze(program.unit, diags);
+    if (diags.has_errors()) throw FrontendError(diags.to_string());
+  }
 
   const support::Symbol fn_sym = program.unit.interner->lookup(function);
   const lang::FunctionInfo* info =
@@ -23,6 +29,8 @@ ProgramAnalysis prepare(std::string_view source, std::string_view function) {
     throw FrontendError(os.str());
   }
 
+  PSA_PHASE_TIMER(cfg_timer, support::Counter::kPhaseCfgWallNs,
+                  support::Counter::kPhaseCfgCpuNs);
   program.cfg = cfg::build_cfg(program.unit, *info, diags);
   if (diags.has_errors()) throw FrontendError(diags.to_string());
 

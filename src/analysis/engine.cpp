@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -37,7 +38,14 @@ class Engine {
   }
 
   AnalysisResult run() {
-    support::MemoryStats::instance().reset();
+    // Attribution windows instead of the old global MemoryStats reset: a
+    // reset would zero live_bytes while payload graphs of *earlier* units in
+    // the same process are still alive, underflowing the gauge when they
+    // die. Regions snapshot a baseline and report per-run deltas.
+    support::MemoryRegion memory_region;
+    support::MetricsRegion ops_region;
+    PSA_PHASE_TIMER(fixpoint_timer, fixpoint_wall_counter(),
+                    fixpoint_cpu_counter());
     support::WallTimer timer;
 
     AnalysisResult result;
@@ -48,6 +56,7 @@ class Engine {
 
     std::deque<cfg::NodeId> worklist;
     std::vector<bool> queued(cfg_.size(), false);
+    std::vector<bool> visited(cfg_.size(), false);
     worklist.push_back(cfg_.entry());
     queued[cfg_.entry()] = true;
 
@@ -80,9 +89,8 @@ class Engine {
     bool fanout_memory_trip = false;
     cfg::NodeId fanout_trip_node = 0;
     const auto memory_tripped = [&] {
-      return memory_checks &&
-             support::MemoryStats::instance().snapshot().live_bytes >
-                 options_.memory_budget_bytes;
+      return memory_checks && memory_region.delta().live_bytes >
+                                  options_.memory_budget_bytes;
     };
 
     while (!worklist.empty()) {
@@ -141,6 +149,7 @@ class Engine {
         continue;
       }
       ++visits;
+      PSA_COUNT(support::Counter::kWorklistVisits);
 
       // --- Memory budget. -------------------------------------------------
       if (memory_tripped() || fanout_memory_trip) {
@@ -153,8 +162,8 @@ class Engine {
         --visits;  // relief replaces this visit
         const std::uint64_t target =
             std::max<std::uint64_t>(1, options_.memory_budget_bytes / 2);
-        const auto live_bytes = [] {
-          return support::MemoryStats::instance().snapshot().live_bytes;
+        const auto live_bytes = [&] {
+          return memory_region.delta().live_bytes;
         };
         // Step 1: escalate the heaviest states down to half the budget
         // (headroom: states escalated only to the line would trip again
@@ -240,6 +249,11 @@ class Engine {
       const cfg::NodeId id = worklist.front();
       worklist.pop_front();
       queued[id] = false;
+      if (visited[id]) {
+        PSA_COUNT(support::Counter::kWorklistRevisits);
+      } else {
+        visited[id] = true;
+      }
 
       // Input: the union of the predecessors' RSRSGs (the entry's input is
       // the single empty configuration: every pvar NULL). The reduction
@@ -254,8 +268,12 @@ class Engine {
       const auto consider = [&](const rsg::Rsg& g, std::uint64_t fp) {
         auto& bucket = cache.by_fp[fp];
         for (const rsg::Rsg& known : bucket) {
-          if (rsg::rsg_equal(known, g)) return;
+          if (rsg::rsg_equal(known, g)) {
+            PSA_COUNT(support::Counter::kTransferCacheHits);
+            return;
+          }
         }
+        PSA_COUNT(support::Counter::kTransferCacheMisses);
         bucket.push_back(g);
         fresh_keys.emplace_back(fp, bucket.size() - 1);
       };
@@ -341,6 +359,7 @@ class Engine {
       if (changed) changed |= governor.reapply(id, result.per_node[id]);
       if (options_.widen_threshold != 0 &&
           result.per_node[id].size() > options_.widen_threshold) {
+        PSA_COUNT(support::Counter::kWidenings);
         changed |= result.per_node[id].widen(ctx_.policy,
                                              options_.widen_threshold);
       }
@@ -374,9 +393,33 @@ class Engine {
     result.status = status;
     result.node_visits = visits;
     result.seconds = timer.elapsed_seconds();
-    result.memory = support::MemoryStats::instance().snapshot();
+    result.memory = memory_region.delta();
     result.degradation = governor.take_report();
+    result.ops = ops_region.delta();
     return result;
+  }
+
+  [[nodiscard]] support::Counter fixpoint_wall_counter() const {
+    switch (options_.level) {
+      case rsg::AnalysisLevel::kL1:
+        return support::Counter::kPhaseFixpointL1WallNs;
+      case rsg::AnalysisLevel::kL2:
+        return support::Counter::kPhaseFixpointL2WallNs;
+      case rsg::AnalysisLevel::kL3:
+        return support::Counter::kPhaseFixpointL3WallNs;
+    }
+    return support::Counter::kPhaseFixpointL1WallNs;
+  }
+  [[nodiscard]] support::Counter fixpoint_cpu_counter() const {
+    switch (options_.level) {
+      case rsg::AnalysisLevel::kL1:
+        return support::Counter::kPhaseFixpointL1CpuNs;
+      case rsg::AnalysisLevel::kL2:
+        return support::Counter::kPhaseFixpointL2CpuNs;
+      case rsg::AnalysisLevel::kL3:
+        return support::Counter::kPhaseFixpointL3CpuNs;
+    }
+    return support::Counter::kPhaseFixpointL1CpuNs;
   }
 
  private:

@@ -14,6 +14,7 @@
 #include "cfg/cfg.hpp"
 #include "cfg/induction.hpp"
 #include "support/memory_stats.hpp"
+#include "support/metrics.hpp"
 
 namespace psa::analysis {
 
@@ -112,6 +113,10 @@ struct AnalysisResult {
   /// What the governor had to do to keep the run alive (empty when no budget
   /// tripped). A converged-but-degraded result is sound but coarser.
   DegradationReport degradation;
+  /// Operation-counter deltas of this run (all-zero in PSA_METRICS=0
+  /// builds). The non-timer counters are deterministic for a fixed input and
+  /// options; see support/metrics.hpp and docs/OBSERVABILITY.md.
+  support::MetricsSnapshot ops;
 
   [[nodiscard]] bool converged() const noexcept {
     return status == AnalysisStatus::kConverged;
@@ -129,8 +134,9 @@ struct AnalysisResult {
   }
 };
 
-/// Run the fixpoint. Resets the global MemoryStats at entry so the result's
-/// memory snapshot covers exactly this run.
+/// Run the fixpoint. Opens a support::MemoryRegion for the duration so the
+/// result's memory snapshot covers exactly this run even when other
+/// allocations (earlier units of an in-process batch) share the process.
 [[nodiscard]] AnalysisResult analyze_cfg(const cfg::Cfg& cfg,
                                          const cfg::InductionInfo& induction,
                                          const Options& options = {});

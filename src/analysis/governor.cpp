@@ -6,6 +6,7 @@
 
 #include "analysis/engine.hpp"
 #include "rsg/ops.hpp"
+#include "support/metrics.hpp"
 
 namespace psa::analysis {
 
@@ -81,6 +82,7 @@ bool ResourceGovernor::interrupted() const {
 
 bool ResourceGovernor::begin_drain() {
   if (draining_) return false;
+  PSA_COUNT(support::Counter::kGovernorDrains);
   draining_ = true;
   deadline_allowance_ = 2.0 * deadline_seconds_;
   report_.deadline_drain = true;
@@ -123,6 +125,7 @@ DegradationRung ResourceGovernor::escalate(cfg::NodeId node, Rsrsg& set,
   if (current == DegradationRung::kSummarize) return DegradationRung::kNone;
   const auto next = static_cast<DegradationRung>(
       static_cast<std::uint8_t>(current) + 1);
+  PSA_COUNT(support::Counter::kGovernorEscalations);
   rungs_[node] = next;
   apply(node, next, set, trigger);
   return next;
@@ -131,11 +134,14 @@ DegradationRung ResourceGovernor::escalate(cfg::NodeId node, Rsrsg& set,
 void ResourceGovernor::collapse(cfg::NodeId node, Rsrsg& set,
                                 AnalysisStatus trigger) {
   if (rung(node) == DegradationRung::kSummarize) return;
+  PSA_COUNT(support::Counter::kGovernorCollapses);
   rungs_[node] = DegradationRung::kSummarize;
   apply(node, DegradationRung::kSummarize, set, trigger);
 }
 
 bool ResourceGovernor::reapply(cfg::NodeId node, Rsrsg& set) {
+  if (rung(node) != DegradationRung::kNone)
+    PSA_COUNT(support::Counter::kGovernorReapplies);
   switch (rung(node)) {
     case DegradationRung::kNone:
       return false;

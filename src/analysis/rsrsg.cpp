@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/metrics.hpp"
+
 namespace psa::analysis {
 
 bool Rsrsg::insert(Rsg g, const LevelPolicy& policy, bool enable_join) {
@@ -59,13 +61,20 @@ bool Rsrsg::insert_with_fp(Rsg g, std::uint64_t fp, const LevelPolicy& policy,
     // and member contexts cached across inserts.
     std::shared_ptr<const std::vector<rsg::NodeCompatContext>> g_ctx;
     for (std::size_t i = 0; i < graphs_.size(); ++i) {
-      if (!rsg::alias_equal(graphs_[i], g)) continue;  // cheap pre-filter
+      PSA_COUNT(support::Counter::kJoinAttempts);
+      if (!rsg::alias_equal(graphs_[i], g)) {  // cheap pre-filter
+        PSA_COUNT(support::Counter::kJoinRejectedAlias);
+        continue;
+      }
       if (g_ctx == nullptr) {
         g_ctx = std::make_shared<const std::vector<rsg::NodeCompatContext>>(
             rsg::compute_compat_contexts(g));
       }
-      if (rsg::compatible_with_contexts(graphs_[i], member_contexts(i), g,
-                                        *g_ctx, policy)) {
+      if (!rsg::compatible_with_contexts(graphs_[i], member_contexts(i), g,
+                                         *g_ctx, policy)) {
+        PSA_COUNT(support::Counter::kJoinRejectedCompat);
+      } else {
+        PSA_COUNT(support::Counter::kJoinAccepts);
         Rsg joined = rsg::join(graphs_[i], g, policy);
         graphs_.erase(graphs_.begin() + static_cast<std::ptrdiff_t>(i));
         fingerprints_.erase(fingerprints_.begin() +

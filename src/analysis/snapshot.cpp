@@ -67,6 +67,24 @@ DegradationReport read_degradation(ByteReader& in) {
 
 }  // namespace
 
+void append_metrics(ByteWriter& out, const support::MetricsSnapshot& ops) {
+  out.u32(static_cast<std::uint32_t>(support::kCounterCount));
+  for (const std::uint64_t v : ops.values) out.u64(v);
+}
+
+support::MetricsSnapshot read_metrics(ByteReader& in) {
+  // Writer and reader are the same build, so the counter vocabulary must
+  // match exactly; anything else is corruption (or a stale checkpoint from a
+  // different binary — equally unusable).
+  const std::uint32_t count = in.u32("ops counter count");
+  if (count != support::kCounterCount) {
+    throw SnapshotError("ops counter count mismatch");
+  }
+  support::MetricsSnapshot ops;
+  for (std::uint64_t& v : ops.values) v = in.u64("ops counter");
+  return ops;
+}
+
 void append_rsrsg(ByteWriter& out, const Rsrsg& set,
                   SymbolTableBuilder& table) {
   out.u8(set.widened() ? 1 : 0);
@@ -97,6 +115,7 @@ void append_analysis_result(ByteWriter& out, const AnalysisResult& result,
   out.u64(result.memory.nodes_created);
   out.u64(result.memory.graphs_created);
   append_degradation(out, result.degradation);
+  append_metrics(out, result.ops);
   out.u32(static_cast<std::uint32_t>(result.per_node.size()));
   for (const Rsrsg& set : result.per_node) append_rsrsg(out, set, table);
 }
@@ -113,6 +132,7 @@ AnalysisResult read_analysis_result(ByteReader& in,
   result.memory.nodes_created = in.u64("nodes created");
   result.memory.graphs_created = in.u64("graphs created");
   result.degradation = read_degradation(in);
+  result.ops = read_metrics(in);
   const std::uint32_t nodes = in.count("per-node states", 5);
   result.per_node.reserve(nodes);
   for (std::uint32_t i = 0; i < nodes; ++i) {

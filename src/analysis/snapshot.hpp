@@ -26,6 +26,9 @@ using rsg::SnapshotError;
 
 // Record-level API (for embedding in larger payloads, e.g. the batch
 // driver's UnitPayload).
+void append_metrics(rsg::ByteWriter& out, const support::MetricsSnapshot& ops);
+[[nodiscard]] support::MetricsSnapshot read_metrics(rsg::ByteReader& in);
+
 void append_rsrsg(rsg::ByteWriter& out, const Rsrsg& set,
                   rsg::SymbolTableBuilder& table);
 [[nodiscard]] Rsrsg read_rsrsg(rsg::ByteReader& in,

@@ -7,6 +7,8 @@
 #include <queue>
 #include <sstream>
 
+#include "support/metrics.hpp"
+
 namespace psa::checker {
 
 std::string_view to_string(CheckKind kind) {
@@ -474,6 +476,8 @@ struct Checker {
 std::vector<Finding> run_checkers(const ProgramAnalysis& program,
                                   const AnalysisResult& result,
                                   const CheckOptions& options) {
+  PSA_PHASE_TIMER(checker_timer, support::Counter::kPhaseCheckerWallNs,
+                  support::Counter::kPhaseCheckerCpuNs);
   Checker checker{program, result, options, {}};
   checker.run();
   return std::move(checker.findings);

@@ -1,5 +1,7 @@
 #include "driver/payload.hpp"
 
+#include "support/metrics.hpp"
+
 namespace psa::driver {
 
 namespace {
@@ -63,6 +65,8 @@ checker::Finding read_finding(ByteReader& in) {
 
 std::string serialize_unit_payload(const UnitPayload& payload,
                                    const support::Interner& interner) {
+  PSA_PHASE_TIMER(serialize_timer, support::Counter::kPhaseSerializeWallNs,
+                  support::Counter::kPhaseSerializeCpuNs);
   rsg::SymbolTableBuilder table(interner);
   ByteWriter body;
   body.str(payload.unit_name);
@@ -77,6 +81,7 @@ std::string serialize_unit_payload(const UnitPayload& payload,
   body.u8(payload.checked ? 1 : 0);
   body.u32(static_cast<std::uint32_t>(payload.findings.size()));
   for (const checker::Finding& f : payload.findings) append_finding(body, f);
+  analysis::append_metrics(body, payload.metrics);
 
   ByteWriter out;
   table.write_table(out);
@@ -112,6 +117,7 @@ UnitPayload deserialize_unit_payload(std::string_view bytes) {
   for (std::uint32_t i = 0; i < findings; ++i) {
     payload.findings.push_back(read_finding(in));
   }
+  payload.metrics = analysis::read_metrics(in);
   in.expect_end("unit payload");
   return payload;
 }

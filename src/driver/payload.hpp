@@ -41,6 +41,15 @@ struct UnitPayload {
   bool checked = false;
   std::vector<checker::Finding> findings;
 
+  /// Whole-unit operation counters and phase timers (frontend + fixpoint +
+  /// checkers), captured as a support::MetricsRegion delta around the
+  /// worker's run. Superset of result.ops, which covers the fixpoint only.
+  /// All-zero in PSA_METRICS=0 builds. The serialize phase itself cannot be
+  /// timed here (the payload is closed before serialization finishes), so
+  /// phase_serialize_* is measured by the caller of
+  /// serialize_unit_payload — see docs/OBSERVABILITY.md.
+  support::MetricsSnapshot metrics;
+
   /// Owns the symbols referenced by `result` after deserialization. Null for
   /// payloads built in place (their symbols belong to the live frontend).
   std::shared_ptr<support::Interner> interner;

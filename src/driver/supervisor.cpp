@@ -18,6 +18,7 @@
 #include "corpus/corpus.hpp"
 #include "driver/checkpoint.hpp"
 #include "driver/fault.hpp"
+#include "support/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PSA_DRIVER_HAS_FORK 1
@@ -106,6 +107,10 @@ analysis::Options stepped_down(const analysis::Options& options) {
 
 std::string run_unit_serialized(const AnalysisUnit& unit,
                                 const analysis::Options& engine, bool check) {
+  // Whole-unit counter attribution (frontend + fixpoint + checkers). In a
+  // forked worker the delta equals the absolute registry values; on the
+  // in-process path the region keeps earlier units' operations out.
+  const support::MetricsRegion unit_metrics;
   UnitPayload payload;
   payload.unit_name = unit.name;
   payload.function = unit.function;
@@ -133,6 +138,7 @@ std::string run_unit_serialized(const AnalysisUnit& unit,
       payload.checked = true;
       payload.findings = checker::run_checkers(program, payload.result);
     }
+    payload.metrics = unit_metrics.delta();
     return serialize_unit_payload(payload, program.interner());
   } catch (const analysis::FrontendError& e) {
     payload = UnitPayload{};
@@ -140,6 +146,7 @@ std::string run_unit_serialized(const AnalysisUnit& unit,
     payload.function = unit.function;
     payload.frontend_ok = false;
     payload.frontend_error = e.what();
+    payload.metrics = unit_metrics.delta();
     const support::Interner empty;
     return serialize_unit_payload(payload, empty);
   }

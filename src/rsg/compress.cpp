@@ -2,6 +2,7 @@
 #include <numeric>
 
 #include "rsg/ops.hpp"
+#include "support/metrics.hpp"
 
 namespace psa::rsg {
 
@@ -53,8 +54,10 @@ bool compress_once(Rsg& g, const LevelPolicy& policy) {
   std::vector<std::vector<NodeRef>> classes(g.node_capacity());
   for (const NodeRef n : refs) classes[uf.find(n)].push_back(n);
 
+  std::uint64_t merged_nodes = 0;
   for (const auto& members : classes) {
     if (members.size() < 2) continue;
+    merged_nodes += members.size() - 1;
     const NodeRef rep = members[0];
 
     // MERGE_COMP_NODES: fold the members' properties pairwise, in ascending
@@ -93,12 +96,14 @@ bool compress_once(Rsg& g, const LevelPolicy& policy) {
     }
     g.props(rep) = merged;
   }
+  PSA_COUNT_N(support::Counter::kCompressMerges, merged_nodes);
   return true;
 }
 
 }  // namespace
 
 void compress(Rsg& g, const LevelPolicy& policy) {
+  PSA_COUNT(support::Counter::kCompressCalls);
   while (compress_once(g, policy)) {
   }
   g.gc();
@@ -107,6 +112,7 @@ void compress(Rsg& g, const LevelPolicy& policy) {
 }
 
 void coarsen(Rsg& g, const LevelPolicy& policy) {
+  PSA_COUNT(support::Counter::kCoarsenCalls);
   const auto refs = g.node_refs();
   if (refs.size() < 2) return;
 
@@ -177,6 +183,7 @@ bool drop_must_info(Rsg& g) {
 void summarize_top(Rsg& g, const LevelPolicy& policy,
                    const std::vector<Symbol>& selectors,
                    const lang::TypeTable* types) {
+  PSA_COUNT(support::Counter::kSummarizeTopCalls);
   drop_must_info(g);
   for (const NodeRef n : g.node_refs()) {
     NodeProps& p = g.props(n);

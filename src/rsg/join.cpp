@@ -2,6 +2,7 @@
 #include <numeric>
 
 #include "rsg/ops.hpp"
+#include "support/metrics.hpp"
 
 namespace psa::rsg {
 
@@ -185,6 +186,7 @@ Rsg join(const Rsg& a, const Rsg& b, const LevelPolicy& policy) {
 }
 
 Rsg force_join(const Rsg& a, const Rsg& b, const LevelPolicy& policy) {
+  PSA_COUNT(support::Counter::kForceJoins);
   return join_impl(a, b, policy, /*force=*/true);
 }
 

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "rsg/ops.hpp"
+#include "support/metrics.hpp"
 
 namespace psa::rsg {
 
@@ -47,11 +48,16 @@ bool share_prune_links(Rsg& g) {
       for (const InLink& other : incoming) {
         if (other.sel != definite.sel) continue;
         if (other.source == definite.source) continue;
-        if (g.remove_link(other.source, other.sel, t)) changed = true;
+        if (g.remove_link(other.source, other.sel, t)) {
+          PSA_COUNT(support::Counter::kPruneLinksRemoved);
+          changed = true;
+        }
       }
       // A self-link via the same selector is equally impossible.
-      if (definite.source != t && g.remove_link(t, definite.sel, t))
+      if (definite.source != t && g.remove_link(t, definite.sel, t)) {
+        PSA_COUNT(support::Counter::kPruneLinksRemoved);
         changed = true;
+      }
     }
 
     // All-selector rule via SHARED(t) = false: at most one heap reference in
@@ -62,7 +68,10 @@ bool share_prune_links(Rsg& g) {
         for (const InLink& other : incoming) {
           if (other.source == definite.source && other.sel == definite.sel)
             continue;
-          if (g.remove_link(other.source, other.sel, t)) changed = true;
+          if (g.remove_link(other.source, other.sel, t)) {
+            PSA_COUNT(support::Counter::kPruneLinksRemoved);
+            changed = true;
+          }
         }
         break;
       }
@@ -81,7 +90,10 @@ bool cyclelink_prune(Rsg& g) {
       for (const SelPair cl : g.props(n1).cyclelinks) {
         if (cl.out != l.sel) continue;
         if (!g.has_link(l.target, cl.back, n1)) {
-          if (g.remove_link(n1, l.sel, l.target)) changed = true;
+          if (g.remove_link(n1, l.sel, l.target)) {
+            PSA_COUNT(support::Counter::kPruneLinksRemoved);
+            changed = true;
+          }
           break;
         }
       }
@@ -132,12 +144,26 @@ NodePruneResult refpat_prune(Rsg& g) {
 }  // namespace
 
 bool prune(Rsg& g, const PruneOptions& opts) {
+  PSA_COUNT(support::Counter::kPruneCalls);
+  // Counting sits on the structural mutations (remove_link/remove_node), one
+  // tally flush per call — negligible next to the graph work itself.
+  const std::uint64_t nodes_before = g.node_count();
+  std::uint64_t iterations = 0;
+  const auto flush = [&](bool infeasible) {
+    PSA_COUNT_N(support::Counter::kPruneIterations, iterations);
+    const std::uint64_t nodes_now = g.node_count();
+    PSA_COUNT_N(support::Counter::kPruneNodesRemoved,
+                nodes_before >= nodes_now ? nodes_before - nodes_now : 0);
+    if (infeasible) PSA_COUNT(support::Counter::kPruneInfeasible);
+  };
   for (;;) {
+    ++iterations;
     bool changed = refine_sharing(g);
     if (opts.share_pruning) changed |= share_prune_links(g);
     changed |= cyclelink_prune(g);
     switch (refpat_prune(g)) {
       case NodePruneResult::kInfeasible:
+        flush(/*infeasible=*/true);
         return false;
       case NodePruneResult::kChanged:
         changed = true;
@@ -146,12 +172,16 @@ bool prune(Rsg& g, const PruneOptions& opts) {
         break;
     }
     changed |= g.gc();
-    if (!changed) return true;
+    if (!changed) {
+      flush(/*infeasible=*/false);
+      return true;
+    }
   }
 }
 
 std::vector<Rsg> divide(const Rsg& g, Symbol x, Symbol sel,
                         const PruneOptions& opts) {
+  PSA_COUNT(support::Counter::kDivideCalls);
   std::vector<Rsg> out;
   const NodeRef n = g.pvar_target(x);
   if (n == kNoNode) return out;
@@ -176,11 +206,13 @@ std::vector<Rsg> divide(const Rsg& g, Symbol x, Symbol sel,
     variant.props(n).selout.insert(sel);
     if (prune(variant, opts)) out.push_back(std::move(variant));
   }
+  PSA_COUNT_N(support::Counter::kDivideVariants, out.size());
   return out;
 }
 
 std::vector<Materialized> materialize(const Rsg& g, NodeRef from, Symbol sel,
                                       const PruneOptions& opts) {
+  PSA_COUNT(support::Counter::kMaterializeCalls);
   std::vector<Materialized> out;
   const auto targets = g.sel_targets(from, sel);
   if (targets.size() != 1) return out;  // caller must divide first
@@ -189,6 +221,7 @@ std::vector<Materialized> materialize(const Rsg& g, NodeRef from, Symbol sel,
   if (g.props(m).cardinality == Cardinality::kOne) {
     Materialized mat{g, m};
     if (prune(mat.graph, opts)) out.push_back(std::move(mat));
+    PSA_COUNT_N(support::Counter::kMaterializeVariants, out.size());
     return out;
   }
 
@@ -242,6 +275,7 @@ std::vector<Materialized> materialize(const Rsg& g, NodeRef from, Symbol sel,
     }
   }
 
+  PSA_COUNT_N(support::Counter::kMaterializeVariants, out.size());
   return out;
 }
 

@@ -17,6 +17,17 @@ void MemoryStats::add(std::size_t bytes) noexcept {
          !peak_bytes_.compare_exchange_weak(peak, live,
                                             std::memory_order_relaxed)) {
   }
+  // Region high-water marks. The common case (no open region) is one relaxed
+  // load; with regions open, one load per slot plus a CAS only on new peaks.
+  if (active_regions_.load(std::memory_order_relaxed) == 0) return;
+  for (RegionSlot& slot : regions_) {
+    if (!slot.active.load(std::memory_order_relaxed)) continue;
+    auto region_peak = slot.peak.load(std::memory_order_relaxed);
+    while (live > region_peak &&
+           !slot.peak.compare_exchange_weak(region_peak, live,
+                                            std::memory_order_relaxed)) {
+    }
+  }
 }
 
 void MemoryStats::remove(std::size_t bytes) noexcept {
@@ -39,6 +50,52 @@ void MemoryStats::reset() noexcept {
   total_bytes_.store(0, std::memory_order_relaxed);
   nodes_created_.store(0, std::memory_order_relaxed);
   graphs_created_.store(0, std::memory_order_relaxed);
+}
+
+MemoryRegion::MemoryRegion() noexcept {
+  MemoryStats& stats = MemoryStats::instance();
+  baseline_ = stats.snapshot();
+  for (std::size_t i = 0; i < MemoryStats::kMaxRegions; ++i) {
+    bool expected = false;
+    if (stats.regions_[i].active.compare_exchange_strong(
+            expected, true, std::memory_order_relaxed)) {
+      // Seed the slot's peak with the current live level *before* announcing
+      // the region, so delta() never reports below the baseline.
+      stats.regions_[i].peak.store(baseline_.live_bytes,
+                                   std::memory_order_relaxed);
+      slot_ = i;
+      stats.active_regions_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // All slots taken: degraded mode, peak tracking falls back to live delta.
+}
+
+MemoryRegion::~MemoryRegion() {
+  if (slot_ == SIZE_MAX) return;
+  MemoryStats& stats = MemoryStats::instance();
+  stats.active_regions_.fetch_sub(1, std::memory_order_relaxed);
+  stats.regions_[slot_].active.store(false, std::memory_order_relaxed);
+}
+
+MemorySnapshot MemoryRegion::delta() const noexcept {
+  MemoryStats& stats = MemoryStats::instance();
+  const MemorySnapshot now = stats.snapshot();
+  const auto clamped = [](std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : 0;
+  };
+  MemorySnapshot d;
+  d.live_bytes = clamped(now.live_bytes, baseline_.live_bytes);
+  const std::uint64_t region_peak =
+      slot_ == SIZE_MAX
+          ? now.live_bytes
+          : stats.regions_[slot_].peak.load(std::memory_order_relaxed);
+  d.peak_bytes = clamped(region_peak, baseline_.live_bytes);
+  d.total_allocated_bytes =
+      clamped(now.total_allocated_bytes, baseline_.total_allocated_bytes);
+  d.nodes_created = clamped(now.nodes_created, baseline_.nodes_created);
+  d.graphs_created = clamped(now.graphs_created, baseline_.graphs_created);
+  return d;
 }
 
 TrackedFootprint::TrackedFootprint(std::size_t bytes) noexcept : bytes_(bytes) {

@@ -23,6 +23,14 @@ struct MemorySnapshot {
 
 /// Process-wide accounting (atomic: the engine may run per-RSG transfers on a
 /// thread pool). `reset()` between benchmark runs.
+///
+/// The counters are process-global, which makes per-run attribution wrong as
+/// soon as runs share a process: the engine used to reset() at entry, so an
+/// in-process batch zeroing live_bytes while earlier units' payload graphs
+/// were still alive would underflow the gauge when those graphs died. Use a
+/// MemoryRegion instead: a region snapshots a baseline at open, tracks its
+/// own peak from there, and reports clamped deltas — concurrent regions and
+/// surviving allocations from before the region never bleed in.
 class MemoryStats {
  public:
   static MemoryStats& instance();
@@ -36,11 +44,45 @@ class MemoryStats {
   void reset() noexcept;
 
  private:
+  friend class MemoryRegion;
+  /// Concurrently open regions (engine run + any caller-side region).
+  static constexpr std::size_t kMaxRegions = 8;
+  struct RegionSlot {
+    std::atomic<bool> active{false};
+    std::atomic<std::uint64_t> peak{0};  // max live_bytes_ while active
+  };
+
   std::atomic<std::uint64_t> live_bytes_{0};
   std::atomic<std::uint64_t> peak_bytes_{0};
   std::atomic<std::uint64_t> total_bytes_{0};
   std::atomic<std::uint64_t> nodes_created_{0};
   std::atomic<std::uint64_t> graphs_created_{0};
+  std::atomic<std::size_t> active_regions_{0};
+  RegionSlot regions_[kMaxRegions];
+};
+
+/// Scoped attribution window over the global accounting. delta() yields a
+/// MemorySnapshot relative to the region's baseline:
+///   * live_bytes — growth since open, clamped at 0 (allocations from before
+///     the region may die inside it);
+///   * peak_bytes — the region's own high-water mark above its baseline;
+///   * total/nodes/graphs — amounts added during the region.
+/// At most MemoryStats::kMaxRegions regions can be open at once; further
+/// regions degrade gracefully (peak falls back to the clamped live delta,
+/// still monotonic and underflow-free).
+class MemoryRegion {
+ public:
+  MemoryRegion() noexcept;
+  ~MemoryRegion();
+
+  MemoryRegion(const MemoryRegion&) = delete;
+  MemoryRegion& operator=(const MemoryRegion&) = delete;
+
+  [[nodiscard]] MemorySnapshot delta() const noexcept;
+
+ private:
+  MemorySnapshot baseline_;
+  std::size_t slot_ = SIZE_MAX;  // SIZE_MAX = no slot (degraded mode)
 };
 
 /// RAII registration of a fixed-size footprint.

@@ -1,0 +1,247 @@
+// The observability layer: monotonic operation counters and phase timers.
+//
+// The paper's evaluation is a cost story — which statements trigger
+// expensive COMPRESS/JOIN/PRUNE/materialization work, how node populations
+// grow per level, where the progressive ladder pays off. This registry makes
+// that cost first-class: the RSG kernel, the fixpoint engine and the
+// governor count every operation here, and the analysis layer
+// (analysis/profile.hpp) turns snapshots into `--profile` tables and
+// versioned JSONL records. docs/OBSERVABILITY.md maps every counter to its
+// paper concept.
+//
+// Design constraints, in order:
+//   1. Cheap when on: one relaxed atomic add per counted *operation* (an
+//      operation is a graph transform, orders of magnitude heavier than the
+//      increment). Hot loops accumulate locally and flush once per call.
+//   2. Free when off: compiling with -DPSA_METRICS=0 expands every PSA_COUNT
+//      site to an unevaluated no-op (arguments are only sizeof-inspected, so
+//      metrics-only locals stay "used" without emitting code) and routes the
+//      conceptual sink through the zero-size NoopMetricsSink.
+//   3. ODR-safe across mixed builds: class layouts never depend on
+//      PSA_METRICS — only the function-style macros switch. A TU compiled
+//      with metrics off can link against a library compiled with them on.
+//
+// Counters are process-global and monotonic (they only ever grow — tested in
+// tests/support/metrics_test.cpp). Interval attribution uses MetricsRegion:
+// snapshot at scope entry, delta() at exit. Deltas of the *operation*
+// counters are deterministic for a fixed input and options (the engine's
+// thread fan-out merges in input order); the *_ns timer counters are wall or
+// CPU time and never deterministic — is_timer() lets consumers split them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#ifndef PSA_METRICS
+#define PSA_METRICS 1
+#endif
+
+namespace psa::support {
+
+/// Every counter the analyzer maintains. Operation counters first, then the
+/// phase timers (nanosecond-valued; see is_timer). Keep counter_name() and
+/// docs/OBSERVABILITY.md in sync when editing.
+enum class Counter : std::uint16_t {
+  // COMPRESS (§3.1) — summarization sweeps and the nodes they eliminate.
+  kCompressCalls,
+  kCompressMerges,  // nodes removed by merging into a summary class
+  kCoarsenCalls,    // widening-grade COMPRESS (TYPE/SPATH0 skeleton)
+  kSummarizeTopCalls,
+
+  // JOIN (§4.3) — candidate pairings considered by the RSRSG reduction.
+  kJoinAttempts,
+  kJoinAccepts,
+  kJoinRejectedAlias,   // ALIAS relations differ (cheap pre-filter)
+  kJoinRejectedCompat,  // ALIAS-equal but COMPATIBLE fails
+  kForceJoins,          // widening joins (ignore COMPATIBLE)
+
+  // PRUNE (§4.2) — iterations of the prune fixpoint and what it deleted.
+  kPruneCalls,
+  kPruneIterations,
+  kPruneLinksRemoved,  // share-attribute + cycle-link contradictions
+  kPruneNodesRemoved,  // reference-pattern violations (N_PRUNE)
+  kPruneInfeasible,    // whole graph variants discarded as contradictory
+
+  // DIVIDE (§4.1) and materialization.
+  kDivideCalls,
+  kDivideVariants,
+  kMaterializeCalls,
+  kMaterializeVariants,
+
+  // Fixpoint engine.
+  kWorklistVisits,
+  kWorklistRevisits,     // visits beyond the first per CFG node
+  kTransferCacheHits,    // input graph already transferred at this node
+  kTransferCacheMisses,  // fresh input graph (a real transfer)
+  kWidenings,            // RSRSG widen() trips at Options::widen_threshold
+
+  // Resource governor (docs/RESILIENCE.md ladder).
+  kGovernorEscalations,
+  kGovernorCollapses,
+  kGovernorReapplies,
+  kGovernorDrains,
+
+  // Phase timers, nanoseconds (wall = steady clock, cpu = process CPU).
+  // Everything from kPhaseParseWallNs on is a timer; see is_timer().
+  kPhaseParseWallNs,
+  kPhaseParseCpuNs,
+  kPhaseCfgWallNs,
+  kPhaseCfgCpuNs,
+  kPhaseFixpointL1WallNs,
+  kPhaseFixpointL1CpuNs,
+  kPhaseFixpointL2WallNs,
+  kPhaseFixpointL2CpuNs,
+  kPhaseFixpointL3WallNs,
+  kPhaseFixpointL3CpuNs,
+  kPhaseCheckerWallNs,
+  kPhaseCheckerCpuNs,
+  kPhaseSerializeWallNs,
+  kPhaseSerializeCpuNs,
+
+  kCount,
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Stable snake_case identifier (the JSONL key). Unique per counter.
+[[nodiscard]] std::string_view counter_name(Counter c) noexcept;
+
+/// True for the *_ns phase timers: time-valued, never deterministic. The
+/// determinism contract (and the batch report) covers only non-timer
+/// counters.
+[[nodiscard]] constexpr bool is_timer(Counter c) noexcept {
+  return c >= Counter::kPhaseParseWallNs && c < Counter::kCount;
+}
+
+/// Plain-value snapshot of every counter; the unit of aggregation,
+/// serialization and region deltas.
+struct MetricsSnapshot {
+  std::array<std::uint64_t, kCounterCount> values{};
+
+  [[nodiscard]] std::uint64_t operator[](Counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t& at(Counter c) noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+
+  MetricsSnapshot& operator+=(const MetricsSnapshot& other) noexcept {
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+      values[i] += other.values[i];
+    return *this;
+  }
+  /// Per-counter difference, clamped at zero (counters are monotonic; the
+  /// clamp only matters against snapshots from unrelated baselines).
+  [[nodiscard]] MetricsSnapshot since(
+      const MetricsSnapshot& baseline) const noexcept {
+    MetricsSnapshot d;
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      d.values[i] =
+          values[i] >= baseline.values[i] ? values[i] - baseline.values[i] : 0;
+    }
+    return d;
+  }
+  /// Equality over the deterministic (non-timer) counters only.
+  [[nodiscard]] bool same_operations(
+      const MetricsSnapshot& other) const noexcept {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      if (is_timer(static_cast<Counter>(i))) continue;
+      if (values[i] != other.values[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// The process-global registry. All mutation is relaxed-atomic: counters are
+/// independent monotonic tallies, no ordering is implied between them.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance() noexcept {
+    static MetricsRegistry registry;
+    return registry;
+  }
+
+  void add(Counter c, std::uint64_t n) noexcept {
+    counters_[static_cast<std::size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const noexcept {
+    MetricsSnapshot s;
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+      s.values[i] = counters_[i].load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  MetricsRegistry() = default;
+  std::array<std::atomic<std::uint64_t>, kCounterCount> counters_{};
+};
+
+/// The compile-out sink: when PSA_METRICS=0, every counting site conceptually
+/// targets this. Zero-size and stateless, so the optimizer erases it — the
+/// metrics-off build test asserts std::is_empty_v<NoopMetricsSink> and that
+/// no registry value moves.
+struct NoopMetricsSink {
+  static constexpr void add(Counter, std::uint64_t) noexcept {}
+};
+
+/// Interval attribution: counter deltas between construction and delta().
+/// Nests freely (a region is just a baseline snapshot). With metrics off,
+/// every delta is all-zero.
+class MetricsRegion {
+ public:
+  MetricsRegion() : baseline_(MetricsRegistry::instance().snapshot()) {}
+
+  [[nodiscard]] MetricsSnapshot delta() const noexcept {
+    return MetricsRegistry::instance().snapshot().since(baseline_);
+  }
+
+ private:
+  MetricsSnapshot baseline_;
+};
+
+/// Nanoseconds of CPU time consumed by the whole process.
+[[nodiscard]] std::uint64_t process_cpu_ns() noexcept;
+
+/// RAII phase timer: adds elapsed wall + process-CPU nanoseconds to the two
+/// given timer counters at scope exit. Instantiate through PSA_PHASE_TIMER
+/// so metrics-off builds pay nothing.
+class PhaseTimer {
+ public:
+  PhaseTimer(Counter wall, Counter cpu) noexcept;
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  Counter wall_;
+  Counter cpu_;
+  std::uint64_t wall_start_ns_;
+  std::uint64_t cpu_start_ns_;
+};
+
+}  // namespace psa::support
+
+// Counting-site macros. Only these switch on PSA_METRICS — class layouts
+// above are identical in both modes, so mixed-setting TUs link safely.
+#if PSA_METRICS
+#define PSA_COUNT(counter) \
+  (::psa::support::MetricsRegistry::instance().add((counter), 1))
+#define PSA_COUNT_N(counter, n) \
+  (::psa::support::MetricsRegistry::instance().add((counter), (n)))
+#define PSA_PHASE_TIMER(var, wall, cpu) \
+  const ::psa::support::PhaseTimer var((wall), (cpu))
+#else
+// Arguments appear only inside sizeof, so they are never evaluated but
+// metrics-only locals still count as used under -Werror=unused.
+#define PSA_COUNT(counter) ((void)sizeof(((void)(counter), 0)))
+#define PSA_COUNT_N(counter, n) \
+  ((void)sizeof(((void)(counter), (void)(n), 0)))
+#define PSA_PHASE_TIMER(var, wall, cpu) \
+  ((void)sizeof(((void)(wall), (void)(cpu), 0)))
+#endif

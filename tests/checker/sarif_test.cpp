@@ -1,116 +1,17 @@
 // SARIF 2.1.0 output validation: the emitted log must be well-formed JSON
-// (checked with a minimal RFC 8259 parser below — the repo deliberately has
-// no JSON dependency) and carry the required SARIF skeleton: version,
-// tool.driver.name, rules, and one result per finding with ruleId, level,
-// message and a physical location.
+// (checked with the minimal RFC 8259 parser in tests/testing/json.hpp — the
+// repo deliberately has no JSON dependency) and carry the required SARIF
+// skeleton: version, tool.driver.name, rules, and one result per finding
+// with ruleId, level, message and a physical location.
 #include <gtest/gtest.h>
-
-#include <cctype>
-#include <optional>
 
 #include "checker/checker.hpp"
 #include "checker/sarif.hpp"
 #include "corpus/corpus.hpp"
+#include "testing/json.hpp"
 
 namespace psa::checker {
 namespace {
-
-// --- a minimal validating JSON parser --------------------------------------
-
-struct JsonParser {
-  std::string_view text;
-  std::size_t pos = 0;
-
-  void skip_ws() {
-    while (pos < text.size() && std::isspace(static_cast<unsigned char>(
-                                    text[pos]))) {
-      ++pos;
-    }
-  }
-  bool eat(char c) {
-    skip_ws();
-    if (pos < text.size() && text[pos] == c) {
-      ++pos;
-      return true;
-    }
-    return false;
-  }
-  bool parse_string() {
-    skip_ws();
-    if (pos >= text.size() || text[pos] != '"') return false;
-    ++pos;
-    while (pos < text.size() && text[pos] != '"') {
-      if (text[pos] == '\\') {
-        ++pos;
-        if (pos >= text.size()) return false;
-        const char e = text[pos];
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos;
-            if (pos >= text.size() ||
-                !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
-              return false;
-            }
-          }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
-                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
-          return false;
-        }
-      } else if (static_cast<unsigned char>(text[pos]) < 0x20) {
-        return false;  // raw control character: invalid JSON
-      }
-      ++pos;
-    }
-    return eat('"');
-  }
-  bool parse_number() {
-    skip_ws();
-    const std::size_t start = pos;
-    if (pos < text.size() && text[pos] == '-') ++pos;
-    while (pos < text.size() &&
-           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
-            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
-            text[pos] == '+' || text[pos] == '-')) {
-      ++pos;
-    }
-    return pos > start;
-  }
-  bool parse_value() {  // NOLINT(misc-no-recursion)
-    skip_ws();
-    if (pos >= text.size()) return false;
-    const char c = text[pos];
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return parse_string();
-    if (text.substr(pos, 4) == "true") { pos += 4; return true; }
-    if (text.substr(pos, 5) == "false") { pos += 5; return true; }
-    if (text.substr(pos, 4) == "null") { pos += 4; return true; }
-    return parse_number();
-  }
-  bool parse_object() {  // NOLINT(misc-no-recursion)
-    if (!eat('{')) return false;
-    skip_ws();
-    if (eat('}')) return true;
-    do {
-      if (!parse_string() || !eat(':') || !parse_value()) return false;
-    } while (eat(','));
-    return eat('}');
-  }
-  bool parse_array() {  // NOLINT(misc-no-recursion)
-    if (!eat('[')) return false;
-    skip_ws();
-    if (eat(']')) return true;
-    do {
-      if (!parse_value()) return false;
-    } while (eat(','));
-    return eat(']');
-  }
-  bool parse_document() {
-    const bool ok = parse_value();
-    skip_ws();
-    return ok && pos == text.size();
-  }
-};
 
 std::vector<Finding> findings_for(std::string_view program_name) {
   const corpus::BuggyProgram* bug = corpus::find_buggy_program(program_name);
@@ -127,7 +28,7 @@ TEST(SarifOutput, IsWellFormedJson) {
   const auto findings = findings_for("bug_double_free");
   ASSERT_FALSE(findings.empty());
   const std::string sarif = to_sarif(findings);
-  JsonParser parser{sarif};
+  testing::JsonParser parser{sarif};
   EXPECT_TRUE(parser.parse_document()) << "invalid JSON near offset "
                                        << parser.pos << ":\n"
                                        << sarif;
@@ -138,7 +39,7 @@ TEST(SarifOutput, CompactModeIsAlsoWellFormed) {
   SarifOptions options;
   options.pretty = false;
   const std::string sarif = to_sarif(findings, options);
-  JsonParser parser{sarif};
+  testing::JsonParser parser{sarif};
   EXPECT_TRUE(parser.parse_document());
   EXPECT_EQ(sarif.find('\n'), sarif.size() - 1);  // single line + newline
 }
@@ -168,7 +69,7 @@ TEST(SarifOutput, ArtifactUriIsConfigurable) {
 
 TEST(SarifOutput, EmptyFindingsYieldEmptyResultsArray) {
   const std::string sarif = to_sarif({});
-  JsonParser parser{sarif};
+  testing::JsonParser parser{sarif};
   EXPECT_TRUE(parser.parse_document());
   EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
 }
@@ -181,7 +82,7 @@ TEST(SarifOutput, EscapesSpecialCharactersInMessages) {
   findings[0].message = "quote \" backslash \\ newline \n tab \t done";
   findings[0].stmt = "x = y";
   const std::string sarif = to_sarif(findings);
-  JsonParser parser{sarif};
+  testing::JsonParser parser{sarif};
   EXPECT_TRUE(parser.parse_document()) << sarif;
   EXPECT_NE(sarif.find("quote \\\" backslash \\\\ newline \\n tab \\t done"),
             std::string::npos);

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "support/metrics.hpp"
+#include "testing/json.hpp"
 #include "testing/program_gen.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -164,6 +166,146 @@ TEST_F(CliTest, BatchReportAndMergedSarif) {
   // One SARIF run, findings attributed per artifact.
   EXPECT_NE(log.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(log.find("leaky.c"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpPrintsTheReferenceAndExitsOk) {
+  const RunResult result = run_cli("--help", "");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text.rfind("usage: psa_cli", 0), 0u)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("--metrics-out"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("exit codes:"), std::string::npos);
+}
+
+// The docs contract: README.md embeds the --help text verbatim in a fenced
+// code block; the two must stay byte-identical (see kHelpText in
+// examples/psa_cli.cpp). PSA_README_PATH is baked in by tests/CMakeLists.txt.
+TEST_F(CliTest, HelpMatchesTheReadmeFlagBlock) {
+  const std::string readme = slurp(PSA_README_PATH);
+  ASSERT_FALSE(readme.empty()) << "cannot read " << PSA_README_PATH;
+  const std::size_t start = readme.find("usage: psa_cli");
+  ASSERT_NE(start, std::string::npos)
+      << "README.md lost its embedded --help block";
+  const std::size_t fence = readme.find("\n```", start);
+  ASSERT_NE(fence, std::string::npos);
+  const std::string block = readme.substr(start, fence + 1 - start);
+
+  const RunResult help = run_cli("--help", "");
+  ASSERT_EQ(help.exit_code, 0);
+  EXPECT_EQ(block, help.stdout_text)
+      << "README flag block and `psa_cli --help` drifted apart; update both";
+}
+
+/// Parse a JSONL metrics file into unit records + the single aggregate.
+struct MetricsFile {
+  std::vector<testing::JsonValue> units;
+  testing::JsonValue aggregate;
+  bool ok = false;
+};
+
+MetricsFile read_metrics_file(const std::string& path) {
+  MetricsFile out;
+  std::ifstream in(path);
+  std::string line;
+  std::size_t aggregates = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto doc = testing::parse_json(line);
+    if (!doc || !doc->is_object()) return out;
+    if (doc->str("schema") != "psa.metrics.v1") return out;
+    if (doc->str("kind") == "aggregate") {
+      out.aggregate = std::move(*doc);
+      ++aggregates;
+    } else if (doc->str("kind") == "unit") {
+      out.units.push_back(std::move(*doc));
+    } else {
+      return out;
+    }
+  }
+  out.ok = aggregates == 1 && !out.units.empty();
+  return out;
+}
+
+/// The per-counter value of one record's "ops" object.
+double ops_value(const testing::JsonValue& record, const std::string& key) {
+  const testing::JsonValue* ops = record.find("ops");
+  return ops == nullptr ? -1 : ops->num(key);
+}
+
+// The supervisor-merge acceptance proof: in both isolation modes the
+// aggregate record equals the element-wise sum of the per-unit records, and
+// the deterministic (non-timer) operation counters are identical whether
+// units ran forked or in-process.
+TEST_F(CliTest, MetricsAggregateEqualsSumInBothIsolateModes) {
+  const std::string a = write_file("a.c", kCleanSource);
+  const std::string b = write_file("b.c", kLeakySource);
+  const std::string on_path = path_in("on.jsonl");
+  const std::string off_path = path_in("off.jsonl");
+
+  ASSERT_EQ(run_cli(a + " " + b + " --isolate=on --jobs=2 --metrics-out=" +
+                        on_path,
+                    "")
+                .exit_code,
+            0);
+  ASSERT_EQ(run_cli(a + " " + b + " --isolate=off --metrics-out=" + off_path,
+                    "")
+                .exit_code,
+            0);
+
+  for (const std::string& path : {on_path, off_path}) {
+    const MetricsFile file = read_metrics_file(path);
+    ASSERT_TRUE(file.ok) << path;
+    ASSERT_EQ(file.units.size(), 2u) << path;
+    for (std::size_t i = 0; i < support::kCounterCount; ++i) {
+      const auto c = static_cast<support::Counter>(i);
+      const std::string key{support::counter_name(c)};
+      double sum = 0;
+      for (const auto& unit : file.units) sum += ops_value(unit, key);
+      EXPECT_DOUBLE_EQ(ops_value(file.aggregate, key), sum)
+          << path << " " << key;
+    }
+  }
+
+  // Determinism across isolation: forked and in-process workers count the
+  // same operations (unit order in the report is the input order).
+  const MetricsFile forked = read_metrics_file(on_path);
+  const MetricsFile inproc = read_metrics_file(off_path);
+  ASSERT_EQ(forked.units.size(), inproc.units.size());
+  for (std::size_t u = 0; u < forked.units.size(); ++u) {
+    EXPECT_EQ(forked.units[u].str("unit"), inproc.units[u].str("unit"));
+    for (std::size_t i = 0; i < support::kCounterCount; ++i) {
+      const auto c = static_cast<support::Counter>(i);
+      if (support::is_timer(c)) continue;
+      const std::string key{support::counter_name(c)};
+      EXPECT_DOUBLE_EQ(ops_value(forked.units[u], key),
+                       ops_value(inproc.units[u], key))
+          << forked.units[u].str("unit") << " " << key;
+    }
+  }
+}
+
+TEST_F(CliTest, MetricsOutWorksInDetailedMode) {
+  const std::string file = write_file("clean.c", kCleanSource);
+  const std::string path = path_in("detailed.jsonl");
+  const RunResult result = run_cli(file + " --metrics-out=" + path, "");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("metrics written to"), std::string::npos);
+  const MetricsFile metrics = read_metrics_file(path);
+  ASSERT_TRUE(metrics.ok);
+  ASSERT_EQ(metrics.units.size(), 1u);
+  EXPECT_EQ(metrics.units[0].str("unit"), file);
+  EXPECT_EQ(metrics.units[0].str("status"), "converged");
+  EXPECT_EQ(metrics.aggregate.str("level"), "-");
+}
+
+TEST_F(CliTest, ProfileFlagPrintsTheTable) {
+  const std::string file = write_file("clean.c", kCleanSource);
+  const RunResult result = run_cli(file + " --profile", "");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("phases:"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("rsg operations:"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("gauges:"), std::string::npos);
 }
 
 #if PSA_CLI_TESTS_POSIX

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 namespace psa::support {
 namespace {
 
@@ -98,6 +101,99 @@ TEST_F(MemoryStatsTest, NodeAndGraphCounters) {
   const auto snap = stats.snapshot();
   EXPECT_EQ(snap.nodes_created, 2u);
   EXPECT_EQ(snap.graphs_created, 1u);
+}
+
+// --- MemoryRegion: scoped per-run attribution -------------------------------
+
+TEST_F(MemoryStatsTest, RegionDeltaCoversOnlyTheRegion) {
+  auto& stats = MemoryStats::instance();
+  stats.add(1000);  // pre-existing allocation (an earlier in-process unit)
+  MemoryRegion region;
+  stats.add(250);
+  const auto delta = region.delta();
+  EXPECT_EQ(delta.live_bytes, 250u);
+  EXPECT_EQ(delta.peak_bytes, 250u);
+  EXPECT_EQ(delta.total_allocated_bytes, 250u);
+  stats.remove(1250);
+}
+
+// The regression this API exists for: the engine used to reset() the global
+// gauge at run entry, so when an earlier unit's surviving graphs (allocated
+// before the run) were freed afterwards, live_bytes underflowed. A region
+// must instead clamp: older allocations dying inside the region cannot push
+// its delta negative.
+TEST_F(MemoryStatsTest, BaselineFootprintFreedInsideRegionClampsToZero) {
+  auto& stats = MemoryStats::instance();
+  stats.add(500);  // belongs to a previous unit
+  MemoryRegion region;
+  stats.remove(500);  // previous unit's payload dies mid-region
+  const auto delta = region.delta();
+  EXPECT_EQ(delta.live_bytes, 0u);  // clamped, not underflowed
+  // The clamp is against the baseline, not per allocation: new growth first
+  // refills the freed baseline footprint. total_allocated attributes it.
+  stats.add(70);
+  EXPECT_EQ(region.delta().live_bytes, 0u);
+  EXPECT_EQ(region.delta().total_allocated_bytes, 70u);
+  stats.remove(70);
+}
+
+TEST_F(MemoryStatsTest, RegionPeakIsItsOwnHighWaterMark) {
+  auto& stats = MemoryStats::instance();
+  stats.add(300);
+  stats.remove(300);  // global peak now 300, live 0
+  MemoryRegion region;
+  stats.add(120);
+  stats.remove(120);
+  stats.add(40);
+  const auto delta = region.delta();
+  // The region's peak is 120 (its own max), not the global 300.
+  EXPECT_EQ(delta.peak_bytes, 120u);
+  EXPECT_EQ(delta.live_bytes, 40u);
+  stats.remove(40);
+}
+
+TEST_F(MemoryStatsTest, ConcurrentRegionsDoNotBleed) {
+  auto& stats = MemoryStats::instance();
+  MemoryRegion outer;
+  stats.add(100);
+  {
+    MemoryRegion inner;
+    stats.add(60);
+    EXPECT_EQ(inner.delta().live_bytes, 60u);
+    EXPECT_EQ(inner.delta().peak_bytes, 60u);
+    stats.remove(60);
+    EXPECT_EQ(inner.delta().live_bytes, 0u);
+  }
+  EXPECT_EQ(outer.delta().live_bytes, 100u);
+  EXPECT_EQ(outer.delta().peak_bytes, 160u);
+  stats.remove(100);
+}
+
+TEST_F(MemoryStatsTest, ExhaustedSlotsDegradeGracefully) {
+  auto& stats = MemoryStats::instance();
+  // Fill every slot, then open one more region: it must still deliver a
+  // clamped, underflow-free delta (peak falls back to the live delta).
+  std::vector<std::unique_ptr<MemoryRegion>> regions;
+  for (std::size_t i = 0; i < 8; ++i) {
+    regions.push_back(std::make_unique<MemoryRegion>());
+  }
+  MemoryRegion overflow;
+  stats.add(90);
+  const auto delta = overflow.delta();
+  EXPECT_EQ(delta.live_bytes, 90u);
+  EXPECT_EQ(delta.peak_bytes, 90u);
+  stats.remove(90);
+  EXPECT_EQ(overflow.delta().live_bytes, 0u);
+}
+
+TEST_F(MemoryStatsTest, SlotsAreReusableAfterRelease) {
+  auto& stats = MemoryStats::instance();
+  for (int round = 0; round < 20; ++round) {
+    MemoryRegion region;
+    stats.add(10);
+    EXPECT_EQ(region.delta().peak_bytes, 10u);
+    stats.remove(10);
+  }
 }
 
 }  // namespace

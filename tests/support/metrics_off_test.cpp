@@ -1,0 +1,60 @@
+// Compiled with -DPSA_METRICS=0 (see tests/CMakeLists.txt): proves the
+// compile-out contract from support/metrics.hpp. The binary still links
+// against libraries built with metrics ON — class layouts are identical in
+// both modes, only the function-style macros switch — so this is also the
+// mixed-build ODR check.
+#include "support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+static_assert(PSA_METRICS == 0,
+              "this TU must be compiled with -DPSA_METRICS=0");
+
+namespace psa::support {
+namespace {
+
+Counter bump(int& hits) {
+  ++hits;
+  return Counter::kJoinAttempts;
+}
+
+TEST(MetricsOff, SinkIsZeroSize) {
+  EXPECT_TRUE(std::is_empty_v<NoopMetricsSink>);
+}
+
+TEST(MetricsOff, MacroArgumentsAreNeverEvaluated) {
+  int hits = 0;
+  PSA_COUNT(bump(hits));
+  PSA_COUNT_N(bump(hits), 5);
+  PSA_PHASE_TIMER(t, bump(hits), bump(hits));
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(MetricsOff, CountingSitesLeaveTheRegistryUntouched) {
+  const MetricsSnapshot before = MetricsRegistry::instance().snapshot();
+  PSA_COUNT(Counter::kCompressCalls);
+  PSA_COUNT_N(Counter::kJoinAttempts, 42);
+  {
+    PSA_PHASE_TIMER(t, Counter::kPhaseCfgWallNs, Counter::kPhaseCfgCpuNs);
+  }
+  const MetricsSnapshot after = MetricsRegistry::instance().snapshot();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    EXPECT_EQ(before.values[i], after.values[i])
+        << counter_name(static_cast<Counter>(i));
+  }
+}
+
+TEST(MetricsOff, RegionDeltaIsAllZero) {
+  const MetricsRegion region;
+  PSA_COUNT(Counter::kPruneCalls);
+  PSA_COUNT_N(Counter::kWorklistVisits, 9);
+  const MetricsSnapshot delta = region.delta();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    EXPECT_EQ(delta.values[i], 0u) << counter_name(static_cast<Counter>(i));
+  }
+}
+
+}  // namespace
+}  // namespace psa::support

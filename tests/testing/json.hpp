@@ -1,0 +1,303 @@
+// A minimal validating RFC 8259 JSON parser for tests — the repo
+// deliberately has no JSON dependency. Two layers:
+//
+//  * JsonParser: pure syntax validation (is this text well-formed JSON?),
+//    originally written for the SARIF output tests.
+//  * parse_json/JsonValue: a tiny DOM on top of the same grammar, enough
+//    for the metrics tests to read back JSONL records (objects, arrays,
+//    strings, numbers, bools, null) and assert on field values.
+//
+// Numbers are held as double, which is exact for the integer counters the
+// metrics tests compare (all well below 2^53).
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psa::testing {
+
+// --- syntax-only validation -------------------------------------------------
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[pos]))) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool parse_string() {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') {
+        ++pos;
+        if (pos >= text.size()) return false;
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (pos >= text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(text[pos]) < 0x20) {
+        return false;  // raw control character: invalid JSON
+      }
+      ++pos;
+    }
+    return eat('"');
+  }
+  bool parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    return pos > start;
+  }
+  bool parse_value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos >= text.size()) return false;
+    const char c = text[pos];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (text.substr(pos, 4) == "true") { pos += 4; return true; }
+    if (text.substr(pos, 5) == "false") { pos += 5; return true; }
+    if (text.substr(pos, 4) == "null") { pos += 4; return true; }
+    return parse_number();
+  }
+  bool parse_object() {  // NOLINT(misc-no-recursion)
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    do {
+      if (!parse_string() || !eat(':') || !parse_value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  bool parse_array() {  // NOLINT(misc-no-recursion)
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    do {
+      if (!parse_value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+  bool parse_document() {
+    const bool ok = parse_value();
+    skip_ws();
+    return ok && pos == text.size();
+  }
+};
+
+// --- a tiny DOM -------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  /// Object member or nullptr.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  /// Member's number, or `fallback` when absent / not a number.
+  [[nodiscard]] double num(const std::string& key, double fallback = -1) const {
+    const JsonValue* v = find(key);
+    return (v != nullptr && v->kind == Kind::kNumber) ? v->number : fallback;
+  }
+  /// Member's string, or "" when absent / not a string.
+  [[nodiscard]] std::string str(const std::string& key) const {
+    const JsonValue* v = find(key);
+    return (v != nullptr && v->kind == Kind::kString) ? v->string : "";
+  }
+};
+
+namespace json_detail {
+
+struct DomParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[pos]))) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  std::optional<std::string> parse_string() {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return std::nullopt;
+    ++pos;
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') {
+        ++pos;
+        if (pos >= text.size()) return std::nullopt;
+        switch (text[pos]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++pos;
+              if (pos >= text.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+                return std::nullopt;
+              }
+              const char h = text[pos];
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         h <= '9' ? h - '0'
+                                  : (std::tolower(h) - 'a' + 10));
+            }
+            // Tests only round-trip ASCII escapes; anything else keeps a
+            // replacement byte so lengths stay sane.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else if (static_cast<unsigned char>(text[pos]) < 0x20) {
+        return std::nullopt;
+      } else {
+        out += text[pos];
+      }
+      ++pos;
+    }
+    if (!eat('"')) return std::nullopt;
+    return out;
+  }
+  std::optional<JsonValue> parse_value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos >= text.size()) return std::nullopt;
+    JsonValue v;
+    const char c = text[pos];
+    if (c == '{') {
+      if (!eat('{')) return std::nullopt;
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (eat('}')) return v;
+      do {
+        auto key = parse_string();
+        if (!key || !eat(':')) return std::nullopt;
+        auto member = parse_value();
+        if (!member) return std::nullopt;
+        v.object.emplace(std::move(*key), std::move(*member));
+      } while (eat(','));
+      if (!eat('}')) return std::nullopt;
+      return v;
+    }
+    if (c == '[') {
+      if (!eat('[')) return std::nullopt;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (eat(']')) return v;
+      do {
+        auto member = parse_value();
+        if (!member) return std::nullopt;
+        v.array.push_back(std::move(*member));
+      } while (eat(','));
+      if (!eat(']')) return std::nullopt;
+      return v;
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      v.kind = JsonValue::Kind::kString;
+      v.string = std::move(*s);
+      return v;
+    }
+    if (text.substr(pos, 4) == "true") {
+      pos += 4;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (text.substr(pos, 5) == "false") {
+      pos += 5;
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (text.substr(pos, 4) == "null") {
+      pos += 4;
+      return v;
+    }
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return std::nullopt;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(std::string(text.substr(start, pos - start)));
+    return v;
+  }
+};
+
+}  // namespace json_detail
+
+/// Parse one JSON document (must consume the whole text, trailing
+/// whitespace allowed). nullopt on any syntax error.
+inline std::optional<JsonValue> parse_json(std::string_view text) {
+  json_detail::DomParser p{text};
+  auto v = p.parse_value();
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace psa::testing
