@@ -9,6 +9,7 @@
 //                      [--deadline-ms=MS] [--max-visits=N] [--hard-fail]
 //                      [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]
 //                      [--checkpoint=DIR] [--resume] [--corpus]
+//                      [--corpus-dirty] [--strict-frontend]
 //                      [--help]
 //
 // Two modes share one exit-code contract (see below):
@@ -26,7 +27,16 @@
 // watchdog, --jobs runs workers concurrently, --checkpoint journals
 // progress so a killed batch is resumable with --resume, --corpus analyzes
 // the bundled corpus programs, and --sarif merges the findings of every
-// completed unit into one SARIF log. The batch report on stdout is
+// completed unit into one SARIF log. Batch workers run the SALVAGE
+// frontend by default (docs/RESILIENCE.md): a unit mixing analyzable
+// functions with unsupported C completes as a *partial* unit — skipped
+// declarations are stubbed, unsupported statements lower to sound havoc,
+// findings whose every witness crosses havocked state are downgraded to
+// "possible (degraded frontend)" — instead of failing with a frontend
+// error. --strict-frontend restores the fail-fast behavior (any
+// unsupported construct rejects the unit); --corpus-dirty analyzes the
+// bundled dirty corpus (salvage acceptance fixtures). The batch report on
+// stdout is
 // deterministic: resuming an interrupted run reproduces the uninterrupted
 // report byte for byte. --isolate=off keeps the same reporting but runs
 // in-process (only exceptions are contained). Detailed-mode flags that need
@@ -89,6 +99,8 @@ struct CliOptions {
   std::string checkpoint_dir;
   bool resume = false;
   bool corpus = false;
+  bool corpus_dirty = false;
+  bool strict_frontend = false;
 };
 
 bool parse_args(int argc, char** argv, CliOptions& out) try {
@@ -158,6 +170,12 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
     } else if (arg == "--corpus") {
       out.batch = true;
       out.corpus = true;
+    } else if (arg == "--corpus-dirty") {
+      out.batch = true;
+      out.corpus_dirty = true;
+    } else if (arg == "--strict-frontend") {
+      out.batch = true;
+      out.strict_frontend = true;
     } else if (!arg.empty() && arg[0] != '-') {
       out.files.push_back(arg);
     } else {
@@ -172,7 +190,7 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
       return false;
     }
     if (out.resume && out.checkpoint_dir.empty()) return false;
-    return !out.files.empty() || out.corpus;
+    return !out.files.empty() || out.corpus || out.corpus_dirty;
   }
   return !out.files.empty();
 } catch (const std::exception&) {
@@ -193,9 +211,10 @@ constexpr const char* kHelpText =
     "               [--max-visits=N] [--hard-fail]\n"
     "       batch:  [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]\n"
     "               [--checkpoint=DIR] [--resume] [--corpus]\n"
+    "               [--corpus-dirty] [--strict-frontend]\n"
     "       --help  print this reference and exit\n"
     "exit codes: 0 ok, 1 findings, 2 bad usage, 3 some units failed,\n"
-    "            4 all units failed\n";
+    "            4 all units failed (partial units count as analyzed)\n";
 
 int usage() {
   std::cerr << kHelpText;
@@ -331,6 +350,12 @@ int run_batch_mode(const CliOptions& cli) {
       units.push_back(std::move(unit));
     }
   }
+  if (cli.corpus_dirty) {
+    for (driver::AnalysisUnit& unit : driver::corpus_dirty_units()) {
+      unit.function = "main";
+      units.push_back(std::move(unit));
+    }
+  }
 
   driver::BatchOptions batch;
   batch.isolate = cli.isolate;
@@ -339,6 +364,7 @@ int run_batch_mode(const CliOptions& cli) {
   batch.resume = cli.resume;
   batch.unit_timeout_ms = cli.timeout_ms;
   batch.check = cli.check;
+  batch.strict_frontend = cli.strict_frontend;
   batch.engine = cli.engine;
   batch.engine.level = static_cast<rsg::AnalysisLevel>(cli.level);
   // Progress goes to stderr so stdout stays the deterministic batch report

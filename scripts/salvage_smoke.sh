@@ -1,0 +1,96 @@
+#!/usr/bin/env sh
+# Salvage-mode drill against the real psa_cli binary: run the dirty corpus
+# (units mixing analyzable functions with unsupported C) under forked
+# isolation and assert that every unit completes as partial — never
+# frontend-error — with its findings downgraded, not dropped; that
+# --strict-frontend restores the historical fail-fast behavior; and that a
+# checkpointed partial batch resumes byte-identically.
+#
+#   $ scripts/salvage_smoke.sh [BUILD_DIR]     # default: build
+#
+# The same properties are unit-tested in tests/driver/ and
+# tests/integration/salvage_soundness_test.cpp; this script drives the
+# shipped binary end to end, the way an operator would. See
+# docs/RESILIENCE.md ("The salvage-mode frontend").
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+CLI="$BUILD/examples/psa_cli"
+
+if [ ! -x "$CLI" ]; then
+  echo "salvage_smoke: $CLI not found or not executable; build first" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "salvage_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+echo "== scenario 1: dirty corpus under forked isolation completes as partial"
+status=0
+"$CLI" --corpus-dirty --isolate --jobs=4 --timeout-ms=60000 --check \
+  >"$WORK/report.txt" 2>"$WORK/log.txt" || status=$?
+# Findings are expected (exit 1); any other exit means units failed.
+[ "$status" -le 1 ] || fail "dirty batch exited $status, want 0 or 1"
+grep -q "frontend-error" "$WORK/report.txt" &&
+  fail "a salvageable unit was dropped as frontend-error"
+grep -q "0 failed" "$WORK/report.txt" || fail "dirty batch reported failures"
+grep -q "(4 partial)" "$WORK/report.txt" ||
+  fail "dirty units did not complete as partial"
+grep -q "possible (degraded frontend)" "$WORK/report.txt" ||
+  fail "no finding reports degraded confidence"
+for u in dirty_sll_trace dirty_tree_goto dirty_dll_dot dirty_reverse_cast; do
+  grep -q "^  $u: partial" "$WORK/report.txt" || fail "$u is not partial"
+done
+
+echo "== scenario 2: in-process mode produces the identical report"
+status=0
+"$CLI" --corpus-dirty --isolate=off --check >"$WORK/inproc.txt" 2>/dev/null ||
+  status=$?
+[ "$status" -le 1 ] || fail "in-process dirty batch exited $status"
+# The report is deterministic apart from the mode line.
+sed "s/, mode .*$//" "$WORK/report.txt" >"$WORK/report-normalized.txt"
+sed "s/, mode .*$//" "$WORK/inproc.txt" >"$WORK/inproc-normalized.txt"
+cmp -s "$WORK/report-normalized.txt" "$WORK/inproc-normalized.txt" || {
+  diff -u "$WORK/report-normalized.txt" "$WORK/inproc-normalized.txt" >&2 ||
+    true
+  fail "forked and in-process reports differ"
+}
+
+echo "== scenario 3: --strict-frontend restores fail-fast rejection"
+status=0
+"$CLI" --corpus-dirty --isolate --strict-frontend \
+  >"$WORK/strict.txt" 2>/dev/null || status=$?
+[ "$status" -eq 4 ] || fail "strict batch exited $status, want 4 (all failed)"
+[ "$(grep -c "frontend-error" "$WORK/strict.txt")" -eq 4 ] ||
+  fail "strict mode did not reject every dirty unit"
+grep -q "partial" "$WORK/strict.txt" &&
+  fail "strict mode produced a partial unit"
+
+echo "== scenario 4: a checkpointed partial batch resumes byte-identically"
+CKPT="$WORK/ckpt"
+status=0
+"$CLI" --corpus-dirty --isolate --jobs=1 --timeout-ms=60000 --check \
+  --checkpoint="$CKPT" >"$WORK/first.txt" 2>/dev/null || status=$?
+[ "$status" -le 1 ] || fail "checkpointed dirty batch exited $status"
+status=0
+"$CLI" --corpus-dirty --isolate --jobs=1 --timeout-ms=60000 --check \
+  --checkpoint="$CKPT" --resume >"$WORK/resumed.txt" 2>"$WORK/resume.log" ||
+  status=$?
+[ "$status" -le 1 ] || fail "resumed dirty batch exited $status"
+[ "$(grep -c "(checkpointed)" "$WORK/resume.log")" -eq 4 ] ||
+  fail "resume re-ran units instead of serving partial outcomes from disk"
+# Byte-identical report modulo the from-checkpoint provenance markers.
+sed -e "s/, [0-9]* from checkpoint//" -e "s/, from checkpoint//" \
+  "$WORK/resumed.txt" >"$WORK/resumed-normalized.txt"
+cmp -s "$WORK/resumed-normalized.txt" "$WORK/first.txt" || {
+  diff -u "$WORK/first.txt" "$WORK/resumed-normalized.txt" >&2 || true
+  fail "resumed report differs from the uninterrupted run"
+}
+
+echo "salvage_smoke: all scenarios passed"

@@ -6,8 +6,10 @@
 
 namespace psa::analysis {
 
-ProgramAnalysis prepare(std::string_view source, std::string_view function) {
+ProgramAnalysis prepare(std::string_view source, std::string_view function,
+                        const FrontendOptions& frontend) {
   support::DiagnosticEngine diags;
+  diags.set_salvage(frontend.salvage);
 
   ProgramAnalysis program;
   {
@@ -20,21 +22,67 @@ ProgramAnalysis prepare(std::string_view source, std::string_view function) {
     if (diags.has_errors()) throw FrontendError(diags.to_string());
   }
 
+  program.salvage.functions_analyzable = program.sema.functions.size();
+  program.salvage.functions_total =
+      program.sema.functions.size() + program.unit.skipped.size();
+
+  // A unit is dropped only when nothing parses: salvage with zero surviving
+  // functions is indistinguishable from a rejected unit.
+  if (frontend.salvage && program.sema.functions.empty()) {
+    std::string detail = diags.to_string();
+    if (detail.empty()) detail = "no function survived the salvage frontend";
+    throw FrontendError(std::move(detail));
+  }
+
   const support::Symbol fn_sym = program.unit.interner->lookup(function);
   const lang::FunctionInfo* info =
       fn_sym.valid() ? program.sema.find(fn_sym) : nullptr;
   if (info == nullptr) {
     std::ostringstream os;
-    os << "function '" << function << "' not found";
+    // Distinguish "never existed" from "existed but could not be salvaged":
+    // the latter carries the stub's demoted diagnostics.
+    const lang::SkippedDecl* stub = nullptr;
+    for (const auto& sk : program.unit.skipped) {
+      if (fn_sym.valid() && sk.name == fn_sym) stub = &sk;
+    }
+    if (stub != nullptr) {
+      os << "function '" << function << "' could not be salvaged:";
+      for (const auto& d : stub->diagnostics) {
+        os << '\n' << support::to_string(d);
+      }
+    } else {
+      os << "function '" << function << "' not found";
+    }
     throw FrontendError(os.str());
   }
 
-  PSA_PHASE_TIMER(cfg_timer, support::Counter::kPhaseCfgWallNs,
-                  support::Counter::kPhaseCfgCpuNs);
-  program.cfg = cfg::build_cfg(program.unit, *info, diags);
-  if (diags.has_errors()) throw FrontendError(diags.to_string());
+  {
+    PSA_PHASE_TIMER(cfg_timer, support::Counter::kPhaseCfgWallNs,
+                    support::Counter::kPhaseCfgCpuNs);
+    program.cfg = cfg::build_cfg(program.unit, *info, diags);
+    if (diags.has_errors()) throw FrontendError(diags.to_string());
+  }
 
   program.induction = cfg::detect_induction_pvars(program.cfg);
+
+  // Salvage accounting (all zero on a clean strict or salvage run).
+  for (const auto& node : program.cfg.nodes()) {
+    if (node.stmt.op == cfg::SimpleOp::kHavoc) ++program.salvage.havoc_sites;
+  }
+  program.salvage.skipped_decls = program.unit.skipped.size();
+  program.salvage.unsupported_count = diags.unsupported_count();
+  if (program.salvage.degraded()) {
+    std::ostringstream os;
+    for (const auto& d : diags.all()) {
+      if (d.severity == support::Severity::kUnsupported) {
+        os << support::to_string(d) << '\n';
+      }
+    }
+    program.salvage.diagnostics = os.str();
+    PSA_COUNT_N(support::Counter::kHavocSites, program.salvage.havoc_sites);
+    PSA_COUNT_N(support::Counter::kSkippedDecls, program.salvage.skipped_decls);
+    PSA_COUNT(support::Counter::kSalvagedUnits);
+  }
   return program;
 }
 
@@ -46,8 +94,9 @@ AnalysisResult analyze_program(const ProgramAnalysis& program,
 }
 
 AnalysisResult analyze_source(std::string_view source, const Options& options,
-                              std::string_view function) {
-  const ProgramAnalysis program = prepare(source, function);
+                              std::string_view function,
+                              const FrontendOptions& frontend) {
+  const ProgramAnalysis program = prepare(source, function, frontend);
   return analyze_program(program, options);
 }
 

@@ -24,12 +24,44 @@ class FrontendError : public std::runtime_error {
       : std::runtime_error(std::move(diagnostics)) {}
 };
 
+/// Frontend behavior knobs.
+struct FrontendOptions {
+  /// Salvage mode: instead of failing the unit, unparseable declarations are
+  /// stubbed out (lang::SkippedDecl) and unsupported constructs inside
+  /// otherwise-analyzable functions lower to sound kHavoc statements. The
+  /// unit fails only when the *target function* itself cannot be salvaged.
+  bool salvage = false;
+};
+
+/// What salvage mode had to give up (all zero on a clean frontend run).
+struct SalvageInfo {
+  /// Top-level declarations stubbed out by parser or sema recovery.
+  std::size_t skipped_decls = 0;
+  /// kHavoc statements in the target function's CFG.
+  std::size_t havoc_sites = 0;
+  /// Diagnostics recorded (or demoted) as Severity::kUnsupported.
+  std::size_t unsupported_count = 0;
+  /// Functions that survived the frontend / functions the parser saw
+  /// (stubbed declarations included in the denominator).
+  std::size_t functions_analyzable = 0;
+  std::size_t functions_total = 0;
+  /// Rendered diagnostics explaining every degradation (empty when clean).
+  std::string diagnostics;
+
+  /// True when any part of the frontend had to degrade; drivers map this to
+  /// UnitOutcomeKind::kPartial.
+  [[nodiscard]] bool degraded() const {
+    return skipped_decls != 0 || havoc_sites != 0 || unsupported_count != 0;
+  }
+};
+
 /// Everything derived from one function of one source buffer.
 struct ProgramAnalysis {
   lang::TranslationUnit unit;
   lang::SemaResult sema;
   cfg::Cfg cfg;
   cfg::InductionInfo induction;
+  SalvageInfo salvage;
 
   [[nodiscard]] const support::Interner& interner() const {
     return *unit.interner;
@@ -40,17 +72,21 @@ struct ProgramAnalysis {
 };
 
 /// Parse + sema + lower `function` of `source`. Throws FrontendError when
-/// the frontend reports errors or the function does not exist.
+/// the frontend reports errors or the function does not exist. With
+/// `frontend.salvage` set, only an unsalvageable *target function* (or a
+/// unit in which nothing parses) throws; other degradations are recorded in
+/// ProgramAnalysis::salvage.
 [[nodiscard]] ProgramAnalysis prepare(std::string_view source,
-                                      std::string_view function = "main");
+                                      std::string_view function = "main",
+                                      const FrontendOptions& frontend = {});
 
 /// Run the fixpoint over a prepared program.
 [[nodiscard]] AnalysisResult analyze_program(const ProgramAnalysis& program,
                                              const Options& options = {});
 
 /// Convenience: prepare + analyze in one call.
-[[nodiscard]] AnalysisResult analyze_source(std::string_view source,
-                                            const Options& options = {},
-                                            std::string_view function = "main");
+[[nodiscard]] AnalysisResult analyze_source(
+    std::string_view source, const Options& options = {},
+    std::string_view function = "main", const FrontendOptions& frontend = {});
 
 }  // namespace psa::analysis

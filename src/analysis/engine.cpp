@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <set>
 #include <unordered_map>
 
 #include "support/metrics.hpp"
@@ -33,6 +34,17 @@ class Engine {
     ctx_.prune = options.prune_options();
     ctx_.cfg = &cfg;
     ctx_.induction = &induction;
+    ctx_.types = options.types;
+    // Selector universe for the kHavoc transfer — same construction as the
+    // governor's (every selector some statement mentions).
+    {
+      std::set<rsg::Symbol> sels;
+      for (const cfg::CfgNode& node : cfg.nodes()) {
+        if (node.stmt.sel.valid()) sels.insert(node.stmt.sel);
+      }
+      selectors_.assign(sels.begin(), sels.end());
+    }
+    ctx_.selectors = &selectors_;
     if (options.threads > 1)
       pool_ = std::make_unique<support::ThreadPool>(options.threads);
   }
@@ -432,6 +444,7 @@ class Engine {
   const cfg::Cfg& cfg_;
   const Options& options_;
   TransferContext ctx_;
+  std::vector<rsg::Symbol> selectors_;  // kHavoc selector universe
   std::unique_ptr<support::ThreadPool> pool_;
   std::unordered_map<cfg::NodeId, TransferCache> transfer_cache_;
 };

@@ -1,5 +1,6 @@
 #include "analysis/semantics.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace psa::analysis {
@@ -283,6 +284,128 @@ std::vector<Rsg> exec_free(const Rsg& in, const SimpleStmt& stmt,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// havoc — salvage-mode over-approximation of unsupported constructs
+// (docs/RESILIENCE.md). Soundness is proven by the concrete-interpreter
+// oracle (tests/testing/concrete_oracle.hpp): every produced variant set
+// covers every concrete outcome the oracle's havoc semantics can choose.
+// ---------------------------------------------------------------------------
+
+/// havoc(*): an unknown call (or other opaque statement) may have rewritten
+/// every heap cell it can reach. C passes pointers by value, so pvar
+/// *bindings* survive; every heap link and property may have changed. The
+/// governor's top widening rung is exactly that over-approximation: saturate
+/// the may-structure with every type-correct link, drop all must-info, keep
+/// the ALIAS pattern (rsg::summarize_top). Envelope limit (documented):
+/// unknown code is modeled as not *freeing* memory; fresh callee allocations
+/// only become relevant when a later unsupported expression is assigned,
+/// which the rebind form covers.
+std::vector<Rsg> exec_havoc_global(const Rsg& in, const TransferContext& ctx) {
+  std::vector<Rsg> out;
+  Rsg g = in;
+  static const std::vector<Symbol> kNoSelectors;
+  const std::vector<Symbol>& sels =
+      ctx.selectors != nullptr ? *ctx.selectors : kNoSelectors;
+  rsg::summarize_top(g, ctx.policy, sels, ctx.types);
+  for (const NodeRef n : g.node_refs()) g.props(n).havoc = true;
+  g.set_havoc(true);
+  finish(g, ctx, out);
+  return out;
+}
+
+/// havoc(x): x = <unknown side-effect-free expression of struct type T>
+/// (side effects are lowered as a preceding havoc(*) by the CFG builder).
+/// The unknown value is covered by three variant families:
+///   1. NULL                          -> x unbound
+///   2. the value of another pvar     -> x aliased to each type-T node some
+///      (or x's old value)               pvar references
+///   3. any other location (interior  -> x bound to a fresh typed-⊤ node:
+///      cell, fresh allocation, ...)     SHARED, saturated SHSEL and
+///                                       possible reference patterns, linked
+///                                       both ways with every type-correct
+///                                       peer; no must-info (⊤ makes no
+///                                       definite claims).
+/// Every variant is HAVOC-tainted so downstream findings report at degraded
+/// confidence.
+std::vector<Rsg> exec_havoc_rebind(const Rsg& in, const SimpleStmt& stmt,
+                                   const TransferContext& ctx) {
+  std::vector<Rsg> out;
+
+  // Variant 1: the unknown expression was NULL.
+  {
+    Rsg g = in;
+    g.unbind_pvar(stmt.x);
+    g.set_havoc(true);
+    finish(g, ctx, out);
+  }
+
+  // Variant 2: x now aliases a location some pvar already references
+  // (including x's own old target: "the value did not change").
+  std::vector<NodeRef> alias_targets;
+  for (const auto& [pvar, t] : in.pvar_links()) {
+    if (in.props(t).type != stmt.type) continue;
+    if (std::find(alias_targets.begin(), alias_targets.end(), t) ==
+        alias_targets.end()) {
+      alias_targets.push_back(t);
+    }
+  }
+  for (const NodeRef t : alias_targets) {
+    Rsg g = in;
+    g.unbind_pvar(stmt.x);
+    g.bind_pvar(stmt.x, t);
+    g.props(t).havoc = true;
+    g.set_havoc(true);
+    finish(g, ctx, out);
+  }
+
+  // Variant 3: any other type-T location.
+  {
+    Rsg g = in;
+    g.unbind_pvar(stmt.x);
+    NodeProps props;
+    props.type = stmt.type;
+    props.cardinality = Cardinality::kOne;  // PL invariant
+    props.shared = true;
+    props.havoc = true;
+    const NodeRef n = g.add_node(std::move(props));
+    g.bind_pvar(stmt.x, n);
+    if (ctx.types != nullptr) {
+      // Saturate both directions with every type-correct link so the node
+      // covers interior cells of the existing structure as well as memory
+      // the analyzed code has never seen.
+      const auto refs = g.node_refs();
+      for (const NodeRef b : refs) {
+        const lang::StructDecl& decl = ctx.types->struct_decl(g.props(b).type);
+        for (const lang::Field& f : decl.fields) {
+          if (!f.is_selector()) continue;
+          if (*f.type.struct_id == stmt.type) {
+            g.add_link(b, f.name, n);
+            g.props(b).pos_selout.insert(f.name);
+            g.props(n).pos_selin.insert(f.name);
+            g.props(n).shsel.insert(f.name);
+          }
+          if (b == n) {
+            // Outgoing saturation from the unknown node itself.
+            for (const NodeRef tgt : refs) {
+              if (g.props(tgt).type != *f.type.struct_id) continue;
+              g.add_link(n, f.name, tgt);
+              g.props(n).pos_selout.insert(f.name);
+              g.props(tgt).pos_selin.insert(f.name);
+            }
+          }
+        }
+      }
+    } else if (ctx.selectors != nullptr) {
+      // No type table: saturate the sharing bits over the selector universe
+      // (no links can be added type-correctly — still sound, coarser).
+      for (const Symbol sel : *ctx.selectors) g.props(n).shsel.insert(sel);
+    }
+    g.set_havoc(true);
+    finish(g, ctx, out);
+  }
+  return out;
+}
+
 std::vector<Rsg> exec_touch_clear(const Rsg& in, const SimpleStmt& stmt,
                                   const TransferContext& ctx) {
   std::vector<Rsg> out;
@@ -336,6 +459,9 @@ std::vector<Rsg> execute_statement(const Rsg& in, const cfg::CfgNode& node,
       // memory-safety checkers (src/checker/). The shape facts are
       // unchanged — the paper's codes do not rely on reallocation.
       return exec_free(in, stmt, ctx);
+    case SimpleOp::kHavoc:
+      return stmt.x.valid() ? exec_havoc_rebind(in, stmt, ctx)
+                            : exec_havoc_global(in, ctx);
     case SimpleOp::kFieldRead:
     case SimpleOp::kFieldWrite:
     case SimpleOp::kScalar:

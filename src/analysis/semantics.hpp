@@ -24,6 +24,14 @@ struct TransferContext {
   rsg::PruneOptions prune;
   const cfg::Cfg* cfg = nullptr;
   const cfg::InductionInfo* induction = nullptr;
+  /// Struct table for the kHavoc transfer's typed ⊤ saturation (may be null:
+  /// the fresh summary node is then unsaturated — still sound, coarser).
+  /// Set by the engine from Options::types.
+  const lang::TypeTable* types = nullptr;
+  /// Selector universe of the analyzed function (every selector some
+  /// statement mentions) for the global-havoc summarize_top collapse; may be
+  /// null (treated as empty). Set by the engine.
+  const std::vector<support::Symbol>* selectors = nullptr;
 };
 
 /// Abstractly execute the statement of `node` over `in`.

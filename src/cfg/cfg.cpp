@@ -139,7 +139,7 @@ class CfgBuilder {
         const Symbol base = lower_path(*expr.lhs, kill_list);
         if (!base.valid()) return Symbol();
         if (!expr.type.is_struct_pointer()) {
-          diags_.error(expr.loc, "pointer path ends in a non-pointer field");
+          diags_.unsupported(expr.loc, "pointer path ends in a non-pointer field");
           return Symbol();
         }
         const Symbol t = new_temp(*expr.type.struct_id);
@@ -152,7 +152,7 @@ class CfgBuilder {
         return t;
       }
       default:
-        diags_.error(expr.loc, "expression is not a pointer access path");
+        diags_.unsupported(expr.loc, "expression is not a pointer access path");
         return Symbol();
     }
   }
@@ -163,6 +163,49 @@ class CfgBuilder {
     if (e.kind == ExprKind::kMalloc) return &e;
     if (e.kind == ExprKind::kCast) return as_malloc(*e.lhs);
     return nullptr;
+  }
+
+  // -------------------------------------------------------------------------
+  // Salvage mode: havoc lowering
+  // -------------------------------------------------------------------------
+
+  /// True when sema marked any node of this expression tree unsupported.
+  static bool subtree_unsupported(const Expr& e) {
+    if (e.unsupported) return true;
+    if (e.lhs && subtree_unsupported(*e.lhs)) return true;
+    if (e.rhs && subtree_unsupported(*e.rhs)) return true;
+    for (const auto& a : e.args) {
+      if (subtree_unsupported(*a)) return true;
+    }
+    return false;
+  }
+
+  /// True when the tree contains an unsupported call (sema marks the call
+  /// itself when a struct pointer escapes into it — the unknown callee may
+  /// then mutate anything reachable, so the statement needs a global havoc).
+  static bool contains_unsupported_call(const Expr& e) {
+    if (e.kind == ExprKind::kCall && e.unsupported) return true;
+    if (e.lhs && contains_unsupported_call(*e.lhs)) return true;
+    if (e.rhs && contains_unsupported_call(*e.rhs)) return true;
+    for (const auto& a : e.args) {
+      if (contains_unsupported_call(*a)) return true;
+    }
+    return false;
+  }
+
+  /// havoc(*): the statement may rewrite anything reachable; the transfer
+  /// function collapses the graph to typed ⊤ and taints it.
+  void emit_havoc_global(support::SourceLoc loc) {
+    emit(make(SimpleOp::kHavoc, loc));
+  }
+
+  /// havoc(x): x is re-bound to an arbitrary type-correct value; the heap
+  /// shape reachable from other pvars is preserved.
+  void emit_havoc_rebind(Symbol x, StructId type, support::SourceLoc loc) {
+    SimpleStmt s = make(SimpleOp::kHavoc, loc);
+    s.x = x;
+    s.type = type;
+    emit(std::move(s));
   }
 
   static const Expr* strip_casts(const Expr& e) {
@@ -207,7 +250,22 @@ class CfgBuilder {
   }
 
   void lower_assign(const Expr& lhs, const Expr& rhs, support::SourceLoc loc) {
+    const bool tainted = subtree_unsupported(lhs) || subtree_unsupported(rhs);
+    const bool mutating =
+        contains_unsupported_call(lhs) || contains_unsupported_call(rhs);
+
     if (!lhs.type.is_struct_pointer()) {
+      if (tainted) {
+        // Unsupported reads cannot change the heap shape; only an unknown
+        // call that received a struct pointer can. Skip the field-access
+        // markers — an unsupported path could register bogus selectors.
+        if (mutating) {
+          emit_havoc_global(loc);
+        } else {
+          emit(make(SimpleOp::kScalar, loc));
+        }
+        return;
+      }
       // Scalar effect only: no shape change, but client passes need the
       // field accesses for dependence reasoning.
       std::vector<Symbol> kill_list;
@@ -225,6 +283,21 @@ class CfgBuilder {
       }
       if (accesses == 0) emit(make(SimpleOp::kScalar, loc));
       kill_temps(kill_list, loc);
+      return;
+    }
+
+    if (tainted) {
+      // Pointer assignment with an unsupported part. An unknown mutating
+      // call first havocs everything it could reach; then, when the target
+      // is a plain (supported) variable, the assignment itself is a sound
+      // re-bind of just that variable. Any other target could write to an
+      // arbitrary heap cell: global havoc.
+      if (mutating) emit_havoc_global(loc);
+      if (lhs.kind == ExprKind::kVarRef && !lhs.unsupported) {
+        emit_havoc_rebind(lhs.name, *lhs.type.struct_id, loc);
+      } else if (!mutating) {
+        emit_havoc_global(loc);
+      }
       return;
     }
 
@@ -257,9 +330,15 @@ class CfgBuilder {
             s.y = base;
             s.sel = src->name;
             emit(std::move(s));
+          } else if (diags_.salvage()) {
+            // Source path unrecoverable: x still receives *some* value.
+            emit_havoc_rebind(x, *lhs.type.struct_id, loc);
           }
         } else {
-          diags_.error(rhs.loc, "unsupported pointer assignment source");
+          diags_.unsupported(rhs.loc, "unsupported pointer assignment source");
+          if (diags_.salvage()) {
+            emit_havoc_rebind(x, *lhs.type.struct_id, loc);
+          }
         }
       }
     } else if (lhs.kind == ExprKind::kFieldAccess) {
@@ -279,6 +358,9 @@ class CfgBuilder {
       } else {
         src = lower_path(*strip_casts(rhs), kill_list);
         if (!src.valid()) {
+          // Storing an unrecoverable source into a heap cell: any cell of
+          // the written struct type could now hold anything.
+          if (diags_.salvage()) emit_havoc_global(loc);
           kill_temps(kill_list, loc);
           return;
         }
@@ -298,9 +380,12 @@ class CfgBuilder {
           s.sel = lhs.name;
           emit(std::move(s));
         }
+      } else if (diags_.salvage()) {
+        emit_havoc_global(loc);
       }
     } else {
-      diags_.error(lhs.loc, "unsupported assignment target");
+      diags_.unsupported(lhs.loc, "unsupported assignment target");
+      if (diags_.salvage()) emit_havoc_global(loc);
     }
 
     kill_temps(kill_list, loc);
@@ -320,7 +405,15 @@ class CfgBuilder {
 
   Branch lower_condition(const Expr& cond) {
     std::vector<Symbol> kill_list;
-    const auto arms = classify_condition(cond, kill_list);
+    if (contains_unsupported_call(cond)) {
+      // Evaluating the condition calls unknown code with a struct pointer;
+      // havoc before branching. The condition itself then classifies as
+      // opaque below (unsupported subexpressions carry scalar types).
+      emit_havoc_global(cond.loc);
+    }
+    const auto arms = subtree_unsupported(cond)
+                          ? CondShape{}
+                          : classify_condition(cond, kill_list);
     const NodeId branch = emit(make(SimpleOp::kBranch, cond.loc));
 
     Branch out{};
@@ -457,10 +550,22 @@ class CfgBuilder {
         lower_assign(*stmt.lhs, *stmt.rhs, stmt.loc);
         break;
       case StmtKind::kExpr:
-        emit(make(SimpleOp::kScalar, stmt.loc));
+        if (contains_unsupported_call(*stmt.lhs)) {
+          emit_havoc_global(stmt.loc);
+        } else {
+          emit(make(SimpleOp::kScalar, stmt.loc));
+        }
         break;
       case StmtKind::kFree: {
         std::vector<Symbol> kill_list;
+        if (subtree_unsupported(*stmt.lhs)) {
+          // free() of an unsupported path: some cell may be released and the
+          // path evaluation may call unknown code. (The salvage envelope
+          // documents that havoc'd frees are modeled as leaks, not
+          // deallocations — see docs/RESILIENCE.md.)
+          emit_havoc_global(stmt.loc);
+          break;
+        }
         if (stmt.lhs->type.is_struct_pointer()) {
           const Symbol v = lower_path_for_condition(*stmt.lhs, kill_list);
           SimpleStmt s = make(SimpleOp::kFree, stmt.loc);
@@ -488,7 +593,13 @@ class CfgBuilder {
         visit_for(stmt);
         break;
       case StmtKind::kReturn:
-        if (stmt.lhs != nullptr) emit(make(SimpleOp::kScalar, stmt.loc));
+        if (stmt.lhs != nullptr) {
+          if (contains_unsupported_call(*stmt.lhs)) {
+            emit_havoc_global(stmt.loc);
+          } else {
+            emit(make(SimpleOp::kScalar, stmt.loc));
+          }
+        }
         if (cursor_ != kInvalidNode) cfg_.add_edge(cursor_, cfg_.exit_);
         cursor_ = kInvalidNode;
         break;

@@ -56,6 +56,13 @@ std::string to_string(const SimpleStmt& stmt, const support::Interner& in) {
     case SimpleOp::kNop:
       os << "<nop>";
       break;
+    case SimpleOp::kHavoc:
+      if (stmt.x.valid()) {
+        os << "havoc(" << in.spelling(stmt.x) << ")";
+      } else {
+        os << "havoc(*)";
+      }
+      break;
   }
   return os.str();
 }

@@ -45,6 +45,14 @@ enum class SimpleOp : std::uint8_t {
   kAssumeNotNull,// edge refinement: x != NULL holds on this path
   kTouchClear,   // leaving loop `loop_id`: drop its induction pvars from TOUCH
   kNop,          // entry/exit/join points
+
+  // Salvage mode (docs/RESILIENCE.md): sound over-approximation of a
+  // statement outside the analyzable subset.
+  kHavoc,        // x valid: x = <unknown expr of struct `type`> — rebind x to
+                 // any type-correct value. x invalid: an unknown call (or
+                 // other opaque mutation) — every reachable cell may have
+                 // been rewritten; the transfer saturates may-info and drops
+                 // must-info (rsg::summarize_top).
 };
 
 /// One executable statement of the lowered program.

@@ -226,7 +226,7 @@ struct Checker {
 
   void add(CheckKind kind, CheckSeverity severity, NodeId site,
            std::string message, std::string witness, std::size_t bad,
-           std::size_t total) {
+           std::size_t total, bool degraded = false) {
     Finding f;
     f.kind = kind;
     f.severity = severity;
@@ -238,9 +238,26 @@ struct Checker {
     f.witness_node = std::move(witness);
     f.graphs_bad = bad;
     f.graphs_total = total;
+    f.degraded = degraded;
+    if (degraded) {
+      // Confidence taint: no untainted configuration witnesses the defect,
+      // so a havoc over-approximation may have fabricated it. Downgrade but
+      // never drop.
+      if (f.severity == CheckSeverity::kError)
+        f.severity = CheckSeverity::kWarning;
+      f.message += " — possible (degraded frontend)";
+    }
     if (options.witness_traces)
       f.trace = witness_trace(program, site, options.max_trace_steps);
     findings.push_back(std::move(f));
+  }
+
+  /// A configuration's defect witness is havoc-tainted when the graph went
+  /// through a havoc transfer (graph bit survives JOIN) or the specific
+  /// witness node carries the taint (node bit survives COMPRESS merges).
+  static bool tainted_witness(const Rsg& g, NodeRef n) {
+    if (g.havoc()) return true;
+    return n != kNoNode && g.props(n).havoc;
   }
 
   [[nodiscard]] std::string_view spell(Symbol s) const {
@@ -255,17 +272,21 @@ struct Checker {
     if (!base) return;
 
     std::size_t null_bad = 0;
+    std::size_t null_clean = 0;
     std::size_t freed_bad = 0;
+    std::size_t freed_clean = 0;
     bool all_freed_definite = true;
     std::string witness;
     for (const Rsg* g : in) {
       const NodeRef n = g->pvar_target(*base);
       if (n == kNoNode) {
         ++null_bad;
+        if (!tainted_witness(*g, n)) ++null_clean;
         continue;
       }
       if (rsg::may_be_freed(g->props(n).free_state)) {
         ++freed_bad;
+        if (!tainted_witness(*g, n)) ++freed_clean;
         all_freed_definite &=
             g->props(n).free_state == FreeState::kFreed;
         if (witness.empty()) witness = render_node(program, *g, n);
@@ -280,7 +301,8 @@ struct Checker {
           << in.size() << " incoming configurations)";
       add(CheckKind::kNullDeref,
           definite ? CheckSeverity::kError : CheckSeverity::kWarning, id,
-          msg.str(), /*witness=*/"", null_bad, in.size());
+          msg.str(), /*witness=*/"", null_bad, in.size(),
+          /*degraded=*/null_clean == 0);
     }
     if (options.use_after_free && freed_bad > 0) {
       const bool definite =
@@ -291,7 +313,8 @@ struct Checker {
           << " incoming configurations reference freed memory)";
       add(CheckKind::kUseAfterFree,
           definite ? CheckSeverity::kError : CheckSeverity::kWarning, id,
-          msg.str(), std::move(witness), freed_bad, in.size());
+          msg.str(), std::move(witness), freed_bad, in.size(),
+          /*degraded=*/freed_clean == 0);
     }
   }
 
@@ -302,6 +325,7 @@ struct Checker {
     if (stmt.op != SimpleOp::kFree || !options.use_after_free) return;
 
     std::size_t bad = 0;
+    std::size_t clean = 0;
     bool all_definite = true;
     std::string witness;
     for (const Rsg* g : in) {
@@ -309,6 +333,7 @@ struct Checker {
       if (n == kNoNode) continue;  // free(NULL) is well-defined
       if (!rsg::may_be_freed(g->props(n).free_state)) continue;
       ++bad;
+      if (!tainted_witness(*g, n)) ++clean;
       all_definite &= g->props(n).free_state == FreeState::kFreed;
       if (witness.empty()) witness = render_node(program, *g, n);
     }
@@ -319,7 +344,8 @@ struct Checker {
         << in.size() << " incoming configurations already freed it)";
     add(CheckKind::kDoubleFree,
         definite ? CheckSeverity::kError : CheckSeverity::kWarning, id,
-        msg.str(), std::move(witness), bad, in.size());
+        msg.str(), std::move(witness), bad, in.size(),
+        /*degraded=*/clean == 0);
   }
 
   // --- leaks at reference kills -------------------------------------------
@@ -331,12 +357,14 @@ struct Checker {
     const cfg::SimpleStmt& stmt = program.cfg.node(id).stmt;
 
     std::size_t bad = 0;
+    std::size_t clean = 0;
     std::string witness;
     std::string sites;
     for (const Rsg* g : in) {
       const NodeRef victim = leaked_victim(stmt, *g);
       if (victim == kNoNode) continue;
       ++bad;
+      if (!tainted_witness(*g, victim)) ++clean;
       if (witness.empty()) {
         witness = render_node(program, *g, victim);
         sites = alloc_sites_of(*g, victim);
@@ -350,7 +378,7 @@ struct Checker {
     msg << " is lost here (" << bad << " of " << in.size()
         << " incoming configurations)";
     add(CheckKind::kLeak, CheckSeverity::kWarning, id, msg.str(),
-        std::move(witness), bad, in.size());
+        std::move(witness), bad, in.size(), /*degraded=*/clean == 0);
   }
 
   /// The node `stmt` makes unreachable in `g`, or kNoNode. Simulates only
@@ -409,15 +437,21 @@ struct Checker {
 
     // One finding per allocation site still live in some exit graph; nodes
     // without a recorded site fold into a line-0 bucket reported at exit.
-    std::map<std::uint32_t, std::pair<std::size_t, std::string>> by_line;
+    struct ExitSlot {
+      std::size_t bad = 0;
+      bool clean = false;  // some untainted witness exists
+      std::string witness;
+    };
+    std::map<std::uint32_t, ExitSlot> by_line;
     for (const Rsg& g : set.graphs()) {
       for (const NodeRef n : g.node_refs()) {
         const rsg::NodeProps& props = g.props(n);
         if (props.free_state == FreeState::kFreed) continue;
         auto note = [&](std::uint32_t line) {
-          auto& slot = by_line[line];
-          ++slot.first;
-          if (slot.second.empty()) slot.second = render_node(program, g, n);
+          ExitSlot& slot = by_line[line];
+          ++slot.bad;
+          if (!tainted_witness(g, n)) slot.clean = true;
+          if (slot.witness.empty()) slot.witness = render_node(program, g, n);
         };
         if (props.alloc_sites.empty()) {
           note(0);
@@ -443,8 +477,10 @@ struct Checker {
             << " may still be live at function exit (never freed)";
       }
       f.message = msg.str();
-      f.witness_node = std::move(slot.second);
-      f.graphs_bad = slot.first;
+      if (!slot.clean) f.message += " — possible (degraded frontend)";
+      f.degraded = !slot.clean;
+      f.witness_node = std::move(slot.witness);
+      f.graphs_bad = slot.bad;
       f.graphs_total = set.size();
       findings.push_back(std::move(f));
     }

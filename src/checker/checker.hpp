@@ -78,6 +78,13 @@ struct Finding {
   /// How many of the incoming configurations exhibit the defect.
   std::size_t graphs_bad = 0;
   std::size_t graphs_total = 0;
+  /// Every witnessing configuration was havoc-tainted (salvage-mode
+  /// frontend, see docs/RESILIENCE.md): the defect may be an artifact of
+  /// the sound over-approximation of unsupported code. Degraded findings
+  /// are reported at most at kWarning and flagged "possible (degraded
+  /// frontend)" — never dropped. A single untainted witness keeps the
+  /// finding at full confidence.
+  bool degraded = false;
 };
 
 struct CheckOptions {

@@ -66,6 +66,14 @@ class JsonWriter {
     os_ << v;
     first_ = false;
   }
+  /// Deliberately not an overload of value(): a string literal would
+  /// pointer-convert to bool and win overload resolution.
+  void value_bool(bool v) {
+    comma();
+    newline();
+    os_ << (v ? "true" : "false");
+    first_ = false;
+  }
 
   [[nodiscard]] std::string str() const { return os_.str(); }
 
@@ -195,6 +203,18 @@ void write_result(JsonWriter& w, std::string_view artifact_uri,
   w.begin_array();
   write_location(w, artifact_uri, f.loc);
   w.end_array();
+  if (f.degraded) {
+    // Salvage-mode confidence taint (partialFingerprints-adjacent): every
+    // witness of this result went through a havoc over-approximation of
+    // unsupported code, so the defect is possible rather than established.
+    w.key("properties");
+    w.begin_object();
+    w.key("degradedFrontend");
+    w.value_bool(true);
+    w.key("confidence");
+    w.value("possible");
+    w.end_object();
+  }
   if (!f.trace.empty()) {
     w.key("codeFlows");
     w.begin_array();

@@ -1169,6 +1169,166 @@ const std::vector<BuggyProgram>& buggy() {
   return kBuggy;
 }
 
+// ---------------------------------------------------------------------------
+// Dirty programs (salvage-mode acceptance fixtures)
+//
+// Each mixes a clean list/tree kernel the analysis fully understands with
+// exactly the kind of real-C cruft the frontend cannot model: an unknown
+// extern call, a '.' field access, a cast to an undeclared struct, an
+// unparseable declaration. Under the salvage frontend every one of these
+// must complete as a *partial* unit with the golden degradation counts in
+// dirty(); under --strict-frontend every one must be a frontend error.
+// ---------------------------------------------------------------------------
+
+// Unknown extern call taking the list: the callee may rewrite anything
+// reachable from the argument, so the call lowers to one global havoc.
+// The traversal after the call still runs (over the havoc envelope), so
+// findings survive — confidence-tainted, not dropped.
+constexpr std::string_view kDirtySllTraceSource = R"(
+struct node { struct node *nxt; int val; };
+
+void main() {
+  struct node *list; struct node *t; struct node *p;
+  int i; int n;
+  list = NULL; i = 0; n = 100;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = list;
+    t->val = i;
+    list = t;
+    i = i + 1;
+  }
+  t = NULL;
+  trace_list(list);
+  p = list;
+  while (p != NULL) {
+    p->val = p->val + 1;
+    p = p->nxt;
+  }
+}
+)";
+
+// An unparseable helper declaration (goto is outside the grammar): the
+// parser stubs the whole declaration and resynchronizes at its closing
+// brace, and `main` analyzes untouched.
+constexpr std::string_view kDirtyTreeGotoSource = R"(
+struct tnode { struct tnode *lft; struct tnode *rgt; int key; };
+
+void validate() {
+  goto done;
+done:
+  return;
+}
+
+void main() {
+  struct tnode *root; struct tnode *nw; struct tnode *cur;
+  int i; int n;
+  root = malloc(sizeof(struct tnode));
+  root->lft = NULL;
+  root->rgt = NULL;
+  i = 0; n = 10;
+  while (i < n) {
+    nw = malloc(sizeof(struct tnode));
+    nw->lft = NULL;
+    nw->rgt = NULL;
+    cur = root;
+    if (cur->lft == NULL) {
+      cur->lft = nw;
+    } else {
+      cur->rgt = nw;
+    }
+    i = i + 1;
+  }
+}
+)";
+
+// A '.' field access on a pointer (by-value struct semantics the analysis
+// does not model): the scalar store havocs — no kHavoc statement is needed
+// because scalars are opaque to the shape domain — but the unit is still
+// degraded and its findings are confidence-tainted.
+constexpr std::string_view kDirtyDllDotSource = R"(
+struct dnode { struct dnode *nxt; struct dnode *prv; int val; };
+
+void main() {
+  struct dnode *list; struct dnode *tail; struct dnode *t; struct dnode *p;
+  int i; int n;
+  i = 0; n = 100;
+  list = malloc(sizeof(struct dnode));
+  list->nxt = NULL;
+  list->prv = NULL;
+  tail = list;
+  while (i < n) {
+    t = malloc(sizeof(struct dnode));
+    t->nxt = NULL;
+    t->prv = tail;
+    tail->nxt = t;
+    tail = t;
+    i = i + 1;
+  }
+  tail.val = 7;
+  t = NULL;
+  p = list;
+  while (p != NULL) {
+    p->val = 0;
+    p = p->nxt;
+  }
+}
+)";
+
+// A cast to an undeclared struct rebinds one pointer: the assignment
+// lowers to a typed havoc rebind of `t` (unbound / aliased / fresh ⊤
+// cell), and the destructive reversal after it still analyzes.
+constexpr std::string_view kDirtyReverseCastSource = R"(
+struct node { struct node *nxt; int val; };
+
+void main() {
+  struct node *list; struct node *rev; struct node *t;
+  int i; int n;
+  list = NULL; i = 0; n = 100;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = list;
+    list = t;
+    i = i + 1;
+  }
+  t = (struct packet *)recv_any();
+  rev = NULL;
+  while (list != NULL) {
+    t = list->nxt;
+    list->nxt = rev;
+    rev = list;
+    list = t;
+  }
+  t = NULL;
+}
+)";
+
+const std::vector<DirtyProgram>& dirty() {
+  static const std::vector<DirtyProgram> kDirty = {
+      {"dirty_sll_trace",
+       "unknown extern call over the list: one global havoc, traversal "
+       "analyzed over the havoc envelope",
+       kDirtySllTraceSource, /*havoc=*/1, /*skipped=*/0, /*analyzable=*/1,
+       /*total=*/1},
+      {"dirty_tree_goto",
+       "unparseable helper declaration (goto): skipped decl, main analyzed "
+       "untouched",
+       kDirtyTreeGotoSource, /*havoc=*/0, /*skipped=*/1, /*analyzable=*/1,
+       /*total=*/2},
+      {"dirty_dll_dot",
+       "'.' field access on a pointer: degraded without a havoc statement "
+       "(scalars are opaque)",
+       kDirtyDllDotSource, /*havoc=*/0, /*skipped=*/0, /*analyzable=*/1,
+       /*total=*/1},
+      {"dirty_reverse_cast",
+       "cast to an undeclared struct: typed havoc rebind of one pointer, "
+       "destructive reversal still analyzed",
+       kDirtyReverseCastSource, /*havoc=*/1, /*skipped=*/0, /*analyzable=*/1,
+       /*total=*/1},
+  };
+  return kDirty;
+}
+
 const std::vector<CorpusProgram>& programs() {
   static const std::vector<CorpusProgram> kPrograms = {
       {"sll", "singly linked list: build then traverse", kSllSource, false},
@@ -1227,6 +1387,15 @@ const std::vector<CorpusProgram>& all_programs() { return programs(); }
 
 const std::vector<BuggyProgram>& buggy_programs() { return buggy(); }
 
+const std::vector<DirtyProgram>& dirty_programs() { return dirty(); }
+
+const DirtyProgram* find_dirty_program(std::string_view name) {
+  for (const DirtyProgram& p : dirty()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
 const BuggyProgram* find_buggy_program(std::string_view name) {
   for (const BuggyProgram& p : buggy()) {
     if (p.name == name) return &p;
@@ -1273,6 +1442,13 @@ std::vector<UnitSource> unit_sources() {
   std::vector<UnitSource> out;
   out.reserve(programs().size());
   for (const CorpusProgram& p : programs()) out.push_back({p.name, p.source});
+  return out;
+}
+
+std::vector<UnitSource> dirty_unit_sources() {
+  std::vector<UnitSource> out;
+  out.reserve(dirty().size());
+  for (const DirtyProgram& p : dirty()) out.push_back({p.name, p.source});
   return out;
 }
 

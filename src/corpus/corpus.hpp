@@ -59,6 +59,32 @@ struct BuggyProgram {
 /// Lookup by name; nullptr when unknown.
 [[nodiscard]] const BuggyProgram* find_buggy_program(std::string_view name);
 
+/// A dirty corpus entry: realistic list/tree code mixed with constructs
+/// outside the analyzable subset (unknown extern calls, '.' accesses, casts
+/// to unknown structs, unparseable declarations). These are the acceptance
+/// fixtures of the salvage-mode frontend (docs/RESILIENCE.md): under
+/// salvage every entry must complete as a *partial* unit — never a
+/// frontend error — with the exact degradation counts below, and under
+/// --strict-frontend every entry must be rejected. Kept out of
+/// all_programs() so the clean-corpus suites never see them.
+struct DirtyProgram {
+  std::string_view name;
+  std::string_view description;
+  std::string_view source;
+  /// Golden salvage outcome (asserted by tests/driver/salvage_golden_test
+  /// and scripts/salvage_smoke.sh).
+  std::uint32_t expected_havoc_sites = 0;
+  std::uint32_t expected_skipped_decls = 0;
+  std::uint32_t expected_functions_analyzable = 0;
+  std::uint32_t expected_functions_total = 0;
+};
+
+/// All dirty programs, stable order.
+[[nodiscard]] const std::vector<DirtyProgram>& dirty_programs();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const DirtyProgram* find_dirty_program(std::string_view name);
+
 /// One corpus entry pushed through the frontend, with failure isolated: a
 /// program whose frontend rejects it carries the diagnostics instead of an
 /// analysis, and never aborts the batch.
@@ -92,6 +118,11 @@ struct UnitSource {
 /// all_programs()). `psa_cli --corpus` and the fault-injection suites feed
 /// these through driver::run_batch.
 [[nodiscard]] std::vector<UnitSource> unit_sources();
+
+/// The dirty corpus as batch units, stable order (matches
+/// dirty_programs()). `psa_cli --corpus-dirty` and the salvage smoke test
+/// feed these through driver::run_batch.
+[[nodiscard]] std::vector<UnitSource> dirty_unit_sources();
 
 // Shorthand accessors for the paper's four codes.
 [[nodiscard]] const CorpusProgram& sparse_matvec();

@@ -21,6 +21,7 @@ void append_finding(ByteWriter& out, const checker::Finding& f) {
   out.str(f.witness_node);
   out.u64(f.graphs_bad);
   out.u64(f.graphs_total);
+  out.u8(f.degraded ? 1 : 0);
   out.u32(static_cast<std::uint32_t>(f.trace.size()));
   for (const checker::TraceStep& step : f.trace) {
     out.u32(step.loc.line);
@@ -49,6 +50,9 @@ checker::Finding read_finding(ByteReader& in) {
   f.witness_node = std::string(in.str("finding witness"));
   f.graphs_bad = in.u64("finding graphs bad");
   f.graphs_total = in.u64("finding graphs total");
+  const std::uint8_t degraded = in.u8("finding degraded flag");
+  if (degraded > 1) throw SnapshotError("bad finding degraded flag");
+  f.degraded = degraded != 0;
   const std::uint32_t steps = in.count("finding trace", 12);
   f.trace.reserve(steps);
   for (std::uint32_t i = 0; i < steps; ++i) {
@@ -77,6 +81,13 @@ std::string serialize_unit_payload(const UnitPayload& payload,
   } else {
     body.u32(payload.exit_node);
     analysis::append_analysis_result(body, payload.result, table);
+    // Salvage-mode degradation summary (all zero on a clean frontend).
+    body.u32(payload.skipped_decls);
+    body.u32(payload.havoc_sites);
+    body.u32(payload.unsupported_count);
+    body.u32(payload.functions_analyzable);
+    body.u32(payload.functions_total);
+    body.str(payload.salvage_diagnostics);
   }
   body.u8(payload.checked ? 1 : 0);
   body.u32(static_cast<std::uint32_t>(payload.findings.size()));
@@ -108,6 +119,15 @@ UnitPayload deserialize_unit_payload(std::string_view bytes) {
     if (payload.exit_node >= payload.result.per_node.size()) {
       throw SnapshotError("exit node out of range");
     }
+    payload.skipped_decls = in.u32("salvage skipped decls");
+    payload.havoc_sites = in.u32("salvage havoc sites");
+    payload.unsupported_count = in.u32("salvage unsupported count");
+    payload.functions_analyzable = in.u32("salvage functions analyzable");
+    payload.functions_total = in.u32("salvage functions total");
+    if (payload.functions_analyzable > payload.functions_total) {
+      throw SnapshotError("salvage function counts inconsistent");
+    }
+    payload.salvage_diagnostics = std::string(in.str("salvage diagnostics"));
   }
   const std::uint8_t checked = in.u8("checked flag");
   if (checked > 1) throw SnapshotError("bad checked flag");

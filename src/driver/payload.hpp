@@ -37,6 +37,17 @@ struct UnitPayload {
   /// result.per_node, validated on load.
   std::uint32_t exit_node = 0;
 
+  /// Salvage-mode degradation summary (frontend_ok only; all zero on a
+  /// clean run). Mirrors analysis::SalvageInfo — nonzero degradation maps
+  /// the unit outcome to UnitOutcomeKind::kPartial.
+  std::uint32_t skipped_decls = 0;
+  std::uint32_t havoc_sites = 0;
+  std::uint32_t unsupported_count = 0;
+  std::uint32_t functions_analyzable = 0;
+  std::uint32_t functions_total = 0;
+  /// Rendered kUnsupported diagnostics explaining every degradation.
+  std::string salvage_diagnostics;
+
   /// Checker findings (present when the batch ran with --check).
   bool checked = false;
   std::vector<checker::Finding> findings;
@@ -53,6 +64,13 @@ struct UnitPayload {
   /// Owns the symbols referenced by `result` after deserialization. Null for
   /// payloads built in place (their symbols belong to the live frontend).
   std::shared_ptr<support::Interner> interner;
+
+  /// The frontend degraded (salvage mode); the supervisor maps this to
+  /// UnitOutcomeKind::kPartial.
+  [[nodiscard]] bool degraded() const {
+    return frontend_ok && (skipped_decls != 0 || havoc_sites != 0 ||
+                           unsupported_count != 0);
+  }
 
   /// Exit-state shape of the unit (deterministic report fields).
   [[nodiscard]] std::size_t exit_graphs() const {

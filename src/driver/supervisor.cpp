@@ -45,6 +45,7 @@ std::string describe(const UnitOutcome& outcome) {
     case UnitOutcomeKind::kOk:
     case UnitOutcomeKind::kFrontendError:
     case UnitOutcomeKind::kTimeout:
+    case UnitOutcomeKind::kPartial:
       break;
     case UnitOutcomeKind::kExit:
       out << " (code " << outcome.exit_code << ")";
@@ -67,6 +68,13 @@ std::size_t BatchResult::ok_count() const {
 
 std::size_t BatchResult::failed_count() const {
   return units.size() - ok_count();
+}
+
+std::size_t BatchResult::partial_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(units.begin(), units.end(), [](const UnitReport& u) {
+        return u.outcome.kind == UnitOutcomeKind::kPartial;
+      }));
 }
 
 std::size_t BatchResult::quarantined_count() const {
@@ -106,7 +114,8 @@ analysis::Options stepped_down(const analysis::Options& options) {
 }
 
 std::string run_unit_serialized(const AnalysisUnit& unit,
-                                const analysis::Options& engine, bool check) {
+                                const analysis::Options& engine, bool check,
+                                bool salvage) {
   // Whole-unit counter attribution (frontend + fixpoint + checkers). In a
   // forked worker the delta equals the absolute registry values; on the
   // in-process path the region keeps earlier units' operations out.
@@ -130,10 +139,23 @@ std::string run_unit_serialized(const AnalysisUnit& unit,
   }
 
   try {
+    analysis::FrontendOptions frontend;
+    frontend.salvage = salvage;
     const analysis::ProgramAnalysis program =
-        analysis::prepare(source, unit.function);
+        analysis::prepare(source, unit.function, frontend);
     payload.result = analysis::analyze_program(program, engine);
     payload.exit_node = program.cfg.exit();
+    payload.skipped_decls =
+        static_cast<std::uint32_t>(program.salvage.skipped_decls);
+    payload.havoc_sites =
+        static_cast<std::uint32_t>(program.salvage.havoc_sites);
+    payload.unsupported_count =
+        static_cast<std::uint32_t>(program.salvage.unsupported_count);
+    payload.functions_analyzable =
+        static_cast<std::uint32_t>(program.salvage.functions_analyzable);
+    payload.functions_total =
+        static_cast<std::uint32_t>(program.salvage.functions_total);
+    payload.salvage_diagnostics = program.salvage.diagnostics;
     if (check) {
       payload.checked = true;
       payload.findings = checker::run_checkers(program, payload.result);
@@ -230,8 +252,17 @@ std::optional<UnitPayload> load_snapshot_file(const std::string& path,
 /// Turn a validated payload into the unit's outcome (+ report payload).
 void adopt_payload(UnitReport& report, UnitPayload&& payload, int attempts) {
   if (payload.frontend_ok) {
-    report.outcome.kind = UnitOutcomeKind::kOk;
-    report.outcome.detail.clear();
+    if (payload.degraded()) {
+      report.outcome.kind = UnitOutcomeKind::kPartial;
+      std::ostringstream detail;
+      detail << "analyzed " << payload.functions_analyzable << " of "
+             << payload.functions_total << " functions, "
+             << payload.havoc_sites << " havoc sites";
+      report.outcome.detail = detail.str();
+    } else {
+      report.outcome.kind = UnitOutcomeKind::kOk;
+      report.outcome.detail.clear();
+    }
     report.payload = std::move(payload);
   } else {
     report.outcome.kind = UnitOutcomeKind::kFrontendError;
@@ -367,7 +398,8 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
       runner ? runner
              : UnitRunner([&options](const AnalysisUnit& unit,
                                      const analysis::Options& engine) {
-                 return run_unit_serialized(unit, engine, options.check);
+                 return run_unit_serialized(unit, engine, options.check,
+                                            !options.strict_frontend);
                });
 
   BatchResult result;
@@ -406,7 +438,9 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
   for (std::size_t i = 0; i < units.size(); ++i) {
     if (checkpoint && options.resume) {
       const UnitOutcome* replayed = checkpoint->replayed_outcome(keys[i]);
-      if (replayed != nullptr && replayed->kind == UnitOutcomeKind::kOk) {
+      if (replayed != nullptr &&
+          (replayed->kind == UnitOutcomeKind::kOk ||
+           replayed->kind == UnitOutcomeKind::kPartial)) {
         std::string error;
         std::optional<UnitPayload> payload =
             checkpoint->load_payload(keys[i], &error);
@@ -647,6 +681,9 @@ std::string format_batch_report(const BatchResult& result) {
   std::ostringstream out;
   out << "batch: " << result.units.size() << " units, " << result.ok_count()
       << " ok, " << result.failed_count() << " failed";
+  if (result.partial_count() > 0) {
+    out << " (" << result.partial_count() << " partial)";
+  }
   if (result.quarantined_count() > 0) {
     out << " (" << result.quarantined_count() << " quarantined)";
   }
@@ -667,6 +704,10 @@ std::string format_batch_report(const BatchResult& result) {
       if (u.payload->checked) {
         out << ", " << u.payload->findings.size() << " findings";
       }
+      if (u.outcome.kind == UnitOutcomeKind::kPartial &&
+          !u.outcome.detail.empty()) {
+        out << " [" << u.outcome.detail << "]";
+      }
     } else if (!u.outcome.detail.empty()) {
       std::string detail = u.outcome.detail;
       std::replace(detail.begin(), detail.end(), '\n', ' ');
@@ -679,7 +720,7 @@ std::string format_batch_report(const BatchResult& result) {
     out << '\n';
   }
 
-  std::size_t errors = 0, warnings = 0, notes = 0;
+  std::size_t errors = 0, warnings = 0, notes = 0, degraded = 0;
   for (const UnitReport& u : result.units) {
     if (!u.payload) continue;
     for (const checker::Finding& f : u.payload->findings) {
@@ -688,10 +729,15 @@ std::string format_batch_report(const BatchResult& result) {
         case checker::CheckSeverity::kWarning: ++warnings; break;
         case checker::CheckSeverity::kNote: ++notes; break;
       }
+      if (f.degraded) ++degraded;
     }
   }
   out << "findings: " << result.finding_count() << " (" << errors
-      << " errors, " << warnings << " warnings, " << notes << " notes)\n";
+      << " errors, " << warnings << " warnings, " << notes << " notes)";
+  if (degraded > 0) {
+    out << ", " << degraded << " possible (degraded frontend)";
+  }
+  out << '\n';
   return out.str();
 }
 
@@ -711,6 +757,17 @@ std::vector<checker::ArtifactFindings> batch_findings(
 std::vector<AnalysisUnit> corpus_units() {
   std::vector<AnalysisUnit> units;
   for (const corpus::UnitSource& s : corpus::unit_sources()) {
+    AnalysisUnit unit;
+    unit.name = std::string(s.name);
+    unit.source = std::string(s.source);
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+std::vector<AnalysisUnit> corpus_dirty_units() {
+  std::vector<AnalysisUnit> units;
+  for (const corpus::UnitSource& s : corpus::dirty_unit_sources()) {
     AnalysisUnit unit;
     unit.name = std::string(s.name);
     unit.source = std::string(s.source);

@@ -48,10 +48,12 @@ using UnitRunner =
     std::function<std::string(const AnalysisUnit&, const analysis::Options&)>;
 
 /// The default runner: analyze at options.level, run the memory-safety
-/// checkers when `check`, serialize.
+/// checkers when `check`, serialize. `salvage` enables the salvage-mode
+/// frontend (the batch default): unsupported constructs degrade to sound
+/// havoc semantics instead of failing the unit.
 [[nodiscard]] std::string run_unit_serialized(const AnalysisUnit& unit,
                                               const analysis::Options& engine,
-                                              bool check);
+                                              bool check, bool salvage = true);
 
 /// One retry step of the governor budget: roughly halves the widen
 /// threshold, visit budget, set limit and deadline (never below a sane
@@ -79,6 +81,9 @@ struct BatchOptions {
   analysis::Options engine;
   /// Run the memory-safety checkers in every worker.
   bool check = false;
+  /// Disable the salvage-mode frontend: restore strict fail-fast behavior
+  /// where every unsupported construct is a unit-level frontend error.
+  bool strict_frontend = false;
   /// Unit-level progress log (start / done / retry / skip lines); null = quiet.
   std::function<void(const std::string&)> log;
 };
@@ -86,7 +91,7 @@ struct BatchOptions {
 struct UnitReport {
   AnalysisUnit unit;
   UnitOutcome outcome;
-  /// Present when outcome.kind == kOk.
+  /// Present when outcome.kind == kOk or kPartial.
   std::optional<UnitPayload> payload;
 };
 
@@ -97,6 +102,9 @@ struct BatchResult {
 
   [[nodiscard]] std::size_t ok_count() const;
   [[nodiscard]] std::size_t failed_count() const;
+  /// Units that completed with a degraded (salvage-mode) frontend. These
+  /// are a subset of the analyzed units, not of failed_count().
+  [[nodiscard]] std::size_t partial_count() const;
   [[nodiscard]] std::size_t quarantined_count() const;
   [[nodiscard]] std::size_t from_checkpoint_count() const;
   [[nodiscard]] std::size_t finding_count() const;
@@ -113,7 +121,8 @@ struct BatchResult {
                                     const UnitRunner& runner = {});
 
 /// Documented process exit codes of batch drivers (psa_cli and tests assert
-/// these):
+/// these). Partial units (salvage-mode degraded frontend) count as analyzed:
+/// a batch of ok + partial units exits 0 or 1, never 3.
 ///   0 every unit analyzed, no findings
 ///   1 every unit analyzed, memory-safety findings reported
 ///   2 bad usage (reserved for the CLI argument parser)
@@ -142,5 +151,10 @@ enum BatchExitCode : int {
 /// The whole clean corpus as batch units (psa_cli --corpus and the
 /// fault-injection suites).
 [[nodiscard]] std::vector<AnalysisUnit> corpus_units();
+
+/// The dirty corpus as batch units (psa_cli --corpus-dirty and the salvage
+/// smoke test): every unit degrades under the salvage frontend but must
+/// still complete as kPartial, never kFrontendError.
+[[nodiscard]] std::vector<AnalysisUnit> corpus_dirty_units();
 
 }  // namespace psa::driver

@@ -50,6 +50,11 @@ enum class UnitOutcomeKind : std::uint8_t {
   /// The worker ran out of memory (allocation failure reported via the
   /// dedicated exit code, see kOomExitCode).
   kOom = 5,
+  /// Worker completed in salvage mode with a degraded frontend: some
+  /// declarations were stubbed out and/or unsupported constructs were
+  /// lowered to havoc. The result snapshot validated and findings are
+  /// usable, but confidence-tainted (see docs/RESILIENCE.md).
+  kPartial = 6,
 };
 
 /// Worker exit-code protocol (anything else nonzero classifies as kExit).
@@ -64,6 +69,7 @@ inline constexpr int kUncaughtExceptionExitCode = 78;
     case UnitOutcomeKind::kCrash: return "crash";
     case UnitOutcomeKind::kTimeout: return "timeout";
     case UnitOutcomeKind::kOom: return "oom";
+    case UnitOutcomeKind::kPartial: return "partial";
   }
   return "?";
 }
@@ -74,7 +80,8 @@ inline constexpr int kUncaughtExceptionExitCode = 78;
   for (const auto kind :
        {UnitOutcomeKind::kOk, UnitOutcomeKind::kFrontendError,
         UnitOutcomeKind::kExit, UnitOutcomeKind::kCrash,
-        UnitOutcomeKind::kTimeout, UnitOutcomeKind::kOom}) {
+        UnitOutcomeKind::kTimeout, UnitOutcomeKind::kOom,
+        UnitOutcomeKind::kPartial}) {
     if (s == to_string(kind)) {
       out = kind;
       return true;
@@ -85,9 +92,10 @@ inline constexpr int kUncaughtExceptionExitCode = 78;
 
 /// A failed unit (for retry, quarantine and batch exit codes). Frontend
 /// rejections count as failures of the *input*, not of the worker: they are
-/// deterministic, so they are never retried or quarantined.
+/// deterministic, so they are never retried or quarantined. Partial units
+/// succeeded — degraded, but with a validated result.
 [[nodiscard]] constexpr bool unit_failed(UnitOutcomeKind kind) {
-  return kind != UnitOutcomeKind::kOk;
+  return kind != UnitOutcomeKind::kOk && kind != UnitOutcomeKind::kPartial;
 }
 
 /// A worker-death failure eligible for the retry-then-quarantine policy.

@@ -67,6 +67,10 @@ struct Expr {
 
   // Filled in by Sema.
   Type type;
+  /// Salvage mode: sema flagged this expression as outside the analyzable
+  /// subset (the diagnostic was recorded as Severity::kUnsupported). The CFG
+  /// builder lowers statements containing such expressions to kHavoc.
+  bool unsupported = false;
 };
 
 [[nodiscard]] ExprPtr make_expr(ExprKind kind, SourceLoc loc);
@@ -139,12 +143,24 @@ struct FunctionDecl {
   SourceLoc loc;
 };
 
+/// A declaration the salvage-mode parser could not parse: the tokens were
+/// skipped (balanced-brace recovery) and the diagnostics it produced were
+/// demoted to Severity::kUnsupported and attached here. The rest of the unit
+/// parses as if the declaration were absent.
+struct SkippedDecl {
+  Symbol name;  // best-effort: the declared identifier, may be invalid
+  SourceLoc loc;
+  std::vector<support::Diagnostic> diagnostics;
+};
+
 /// A parsed translation unit: struct declarations live in the TypeTable, the
 /// functions here. The interner is shared with every later phase.
 struct TranslationUnit {
   std::shared_ptr<support::Interner> interner;
   TypeTable types;
   std::vector<FunctionDecl> functions;
+  /// Salvage mode: declarations stubbed out by parser or sema recovery.
+  std::vector<SkippedDecl> skipped;
 
   [[nodiscard]] const FunctionDecl* find_function(std::string_view name) const;
 };

@@ -83,6 +83,7 @@ std::string_view token_kind_name(TokenKind kind) {
     case TokenKind::kNot: return "'!'";
     case TokenKind::kPlusPlus: return "'++'";
     case TokenKind::kMinusMinus: return "'--'";
+    case TokenKind::kUnknown: return "unknown character";
   }
   return "unknown token";
 }
@@ -221,6 +222,10 @@ Token Lexer::next() {
       return finish(match('&') ? TokenKind::kAndAnd : TokenKind::kAmp);
     case '|':
       if (match('|')) return finish(TokenKind::kOrOr);
+      if (diags_.salvage()) {
+        diags_.unsupported(loc, "unexpected character '|'");
+        return finish(TokenKind::kUnknown);
+      }
       diags_.error(loc, "unexpected character '|'");
       return finish(TokenKind::kEof);
     case '+':
@@ -257,6 +262,14 @@ Token Lexer::next() {
       return finish(TokenKind::kCharLiteral);
     }
     default:
+      // Salvage keeps lexing: the unknown character becomes a token no
+      // parse rule accepts, so only the declaration containing it is lost.
+      // Strict mode preserves the historical hard stop (kEof ends parsing).
+      if (diags_.salvage()) {
+        diags_.unsupported(loc, std::string("unexpected character '") + c +
+                                    "'");
+        return finish(TokenKind::kUnknown);
+      }
       diags_.error(loc, std::string("unexpected character '") + c + "'");
       return finish(TokenKind::kEof);
   }

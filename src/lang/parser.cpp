@@ -51,11 +51,48 @@ void Parser::synchronize() {
   }
 }
 
+std::size_t Parser::find_decl_end(std::size_t from) const {
+  std::size_t i = from;
+  int depth = 0;
+  bool seen_brace = false;
+  while (tokens_[i].kind != TokenKind::kEof) {
+    const TokenKind k = tokens_[i].kind;
+    if (k == TokenKind::kLBrace) {
+      ++depth;
+      seen_brace = true;
+    } else if (k == TokenKind::kRBrace) {
+      if (depth > 0) --depth;
+      if (seen_brace && depth == 0) {
+        // Struct declarations end "};": swallow the trailing semicolon.
+        if (tokens_[i + 1].kind == TokenKind::kSemicolon) return i + 2;
+        return i + 1;
+      }
+    } else if (k == TokenKind::kSemicolon && !seen_brace && depth == 0) {
+      return i + 1;
+    }
+    ++i;
+  }
+  return i;
+}
+
+Symbol Parser::decl_name_hint(std::size_t from, std::size_t end) const {
+  for (std::size_t i = from; i < end && i < tokens_.size(); ++i) {
+    if (tokens_[i].kind == TokenKind::kIdentifier) {
+      return interner_->intern(tokens_[i].text);
+    }
+  }
+  return Symbol();
+}
+
 TranslationUnit Parser::parse_unit() {
   TranslationUnit unit;
   unit.interner = interner_;
   while (!check(TokenKind::kEof)) {
-    if (diags_.error_count() > 50) break;  // avoid error cascades
+    if (!diags_.salvage() && diags_.error_count() > 50) break;  // error cascade
+    const std::size_t start = pos_;
+    const std::size_t diag_mark = diags_.size();
+    const std::size_t error_mark = diags_.error_count();
+    const std::size_t function_mark = unit.functions.size();
     if (check(TokenKind::kKwStruct) && peek(1).kind == TokenKind::kIdentifier &&
         peek(2).kind == TokenKind::kLBrace) {
       parse_struct_decl(unit);
@@ -63,7 +100,32 @@ TranslationUnit Parser::parse_unit() {
       parse_function(unit);
     } else {
       diags_.error(peek().loc, "expected struct declaration or function");
-      synchronize();
+      // Skip the whole stray declaration, never stopping unconsumed on a '}'
+      // (the old synchronize() did, re-erroring on the same token until the
+      // cascade cap silently swallowed every later declaration's
+      // diagnostics).
+      pos_ = find_decl_end(start);
+      continue;
+    }
+    if (diags_.salvage() && diags_.error_count() > error_mark) {
+      // Salvage: this declaration did not parse — stub it instead of
+      // poisoning the unit. Its syntax errors become attached kUnsupported
+      // notes, the token stream re-syncs at the declaration's balanced end,
+      // and whatever partial FunctionDecl was produced is discarded.
+      unit.functions.resize(function_mark);
+      diags_.demote_errors_from(diag_mark);
+      SkippedDecl skipped;
+      const std::size_t end = find_decl_end(start);
+      skipped.loc = tokens_[start].loc;
+      skipped.name = decl_name_hint(start, end);
+      for (std::size_t i = diag_mark; i < diags_.size(); ++i) {
+        skipped.diagnostics.push_back(diags_.all()[i]);
+      }
+      unit.skipped.push_back(std::move(skipped));
+      // Re-sync at the declaration's syntactic boundary whether recovery
+      // undershot (stopped mid-body) or overshot (swallowed into the next
+      // declaration). `end > start` always, so the loop makes progress.
+      pos_ = end;
     }
   }
   return unit;

@@ -41,6 +41,15 @@ class Parser {
   bool accept(TokenKind kind);
   const Token& expect(TokenKind kind, std::string_view context);
   void synchronize();
+  /// Index one past the end of the top-level declaration starting at `from`:
+  /// after the matching '}' of its first brace (plus a trailing ';'), or
+  /// after a top-level ';' when no brace opens first, or EOF. Used by both
+  /// strict-mode recovery (so errors after a brace-closed stray never loop on
+  /// the same token and later declarations keep their diagnostics) and
+  /// salvage-mode SkippedDecl stubbing.
+  [[nodiscard]] std::size_t find_decl_end(std::size_t from) const;
+  /// Best-effort declared name in [from, end): the first identifier.
+  [[nodiscard]] Symbol decl_name_hint(std::size_t from, std::size_t end) const;
 
   // Declarations.
   void parse_struct_decl(TranslationUnit& unit);

@@ -105,7 +105,9 @@ class FunctionSema {
     const Type& lhs_ty = stmt.lhs->type;
     if (!lhs_ty.is_struct_pointer()) return;  // scalar: opaque to the analysis
 
-    // Pointer assignments must have a shape-expressible rhs.
+    // Pointer assignments must have a shape-expressible rhs. In salvage mode
+    // the offending rhs is marked unsupported and the CFG builder lowers the
+    // assignment to a sound kHavoc instead of aborting the unit.
     switch (stmt.rhs->kind) {
       case ExprKind::kNullLit:
       case ExprKind::kMalloc:
@@ -114,21 +116,25 @@ class FunctionSema {
       case ExprKind::kCast:
         break;
       case ExprKind::kCall:
-        diags_.error(stmt.rhs->loc,
-                     "calls returning struct pointers are not supported "
-                     "(the paper's analysis is intraprocedural)");
+        diags_.unsupported(stmt.rhs->loc,
+                           "calls returning struct pointers are not supported "
+                           "(the paper's analysis is intraprocedural)");
+        stmt.rhs->unsupported = true;
         break;
       default:
-        diags_.error(stmt.rhs->loc,
-                     "unsupported right-hand side for a pointer assignment");
+        diags_.unsupported(stmt.rhs->loc,
+                           "unsupported right-hand side for a pointer "
+                           "assignment");
+        stmt.rhs->unsupported = true;
         break;
     }
 
     if (stmt.rhs->type.is_struct_pointer() &&
         stmt.rhs->type.struct_id != lhs_ty.struct_id &&
         stmt.rhs->kind != ExprKind::kNullLit) {
-      diags_.error(stmt.rhs->loc, "pointer assignment between different "
-                                  "struct types");
+      diags_.unsupported(stmt.rhs->loc, "pointer assignment between different "
+                                        "struct types");
+      stmt.rhs->unsupported = true;
     }
   }
 
@@ -159,7 +165,8 @@ class FunctionSema {
           std::ostringstream os;
           os << "use of undeclared variable '"
              << unit_.interner->spelling(expr.name) << "'";
-          diags_.error(expr.loc, os.str());
+          diags_.unsupported(expr.loc, os.str());
+          expr.unsupported = true;
           expr.type = Type::scalar_type(ScalarKind::kInt);
         }
         break;
@@ -169,14 +176,17 @@ class FunctionSema {
         const Type& base = expr.lhs->type;
         if (expr.via_arrow) {
           if (!base.is_struct_pointer()) {
-            diags_.error(expr.loc, "'->' applied to a non-struct-pointer");
+            diags_.unsupported(expr.loc, "'->' applied to a non-struct-pointer");
+            expr.unsupported = true;
             expr.type = Type::scalar_type(ScalarKind::kInt);
             return;
           }
         } else {
-          diags_.error(expr.loc,
-                       "'.' field access requires by-value structs, which are "
-                       "not supported; use '->'");
+          diags_.unsupported(
+              expr.loc,
+              "'.' field access requires by-value structs, which are "
+              "not supported; use '->'");
+          expr.unsupported = true;
           expr.type = Type::scalar_type(ScalarKind::kInt);
           return;
         }
@@ -186,7 +196,8 @@ class FunctionSema {
           std::ostringstream os;
           os << "struct '" << unit_.interner->spelling(decl.name)
              << "' has no field '" << unit_.interner->spelling(expr.name) << "'";
-          diags_.error(expr.loc, os.str());
+          diags_.unsupported(expr.loc, os.str());
+          expr.unsupported = true;
           expr.type = Type::scalar_type(ScalarKind::kInt);
           return;
         }
@@ -198,9 +209,11 @@ class FunctionSema {
         if (expr.unary_op == UnaryOp::kDeref || expr.unary_op == UnaryOp::kAddrOf) {
           if (expr.lhs->type.is_struct_pointer() ||
               expr.lhs->type.kind == Type::Kind::kStruct) {
-            diags_.error(expr.loc,
-                         "'*'/'&' on struct values are not supported; the "
-                         "analysis works on '->' access paths");
+            diags_.unsupported(
+                expr.loc,
+                "'*'/'&' on struct values are not supported; the "
+                "analysis works on '->' access paths");
+            expr.unsupported = true;
           }
         }
         expr.type = Type::scalar_type(ScalarKind::kInt);
@@ -219,16 +232,19 @@ class FunctionSema {
             std::ostringstream os;
             os << "malloc of unknown struct '"
                << unit_.interner->spelling(expr.type_name) << "'";
-            diags_.error(expr.loc, os.str());
+            diags_.unsupported(expr.loc, os.str());
+            expr.unsupported = true;
             expr.type = Type::pointer_to_scalar(ScalarKind::kVoid);
           }
         } else if (expected != nullptr && expected->is_struct_pointer()) {
           expr.type = *expected;
           expr.type_name = unit_.types.struct_decl(*expected->struct_id).name;
         } else {
-          diags_.error(expr.loc,
-                       "cannot resolve the struct type of this malloc; write "
-                       "malloc(sizeof(struct T)) or cast the result");
+          diags_.unsupported(
+              expr.loc,
+              "cannot resolve the struct type of this malloc; write "
+              "malloc(sizeof(struct T)) or cast the result");
+          expr.unsupported = true;
           expr.type = Type::pointer_to_scalar(ScalarKind::kVoid);
         }
         break;
@@ -240,10 +256,14 @@ class FunctionSema {
         for (auto& a : expr.args) {
           visit_expr(*a, nullptr);
           if (a->type.is_struct_pointer()) {
-            diags_.error(a->loc,
-                         "passing struct pointers to calls is not supported "
-                         "(the paper's analysis is intraprocedural; inline "
-                         "the callee as the authors did for Barnes-Hut)");
+            diags_.unsupported(
+                a->loc,
+                "passing struct pointers to calls is not supported "
+                "(the paper's analysis is intraprocedural; inline "
+                "the callee as the authors did for Barnes-Hut)");
+            // The unknown callee may rewrite anything reachable from the
+            // argument: the whole call is the unsupported (havoc) site.
+            expr.unsupported = true;
           }
         }
         expr.type = Type::scalar_type(ScalarKind::kInt);
@@ -257,7 +277,8 @@ class FunctionSema {
           std::ostringstream os;
           os << "cast to unknown struct '"
              << unit_.interner->spelling(expr.type_name) << "'";
-          diags_.error(expr.loc, os.str());
+          diags_.unsupported(expr.loc, os.str());
+          expr.unsupported = true;
           visit_expr(*expr.lhs, nullptr);
           expr.type = Type::pointer_to_scalar(ScalarKind::kVoid);
         }
@@ -279,8 +300,27 @@ SemaResult analyze(TranslationUnit& unit, support::DiagnosticEngine& diags) {
   SemaResult result;
   result.functions.reserve(unit.functions.size());
   for (const auto& fn : unit.functions) {
+    const std::size_t diag_mark = diags.size();
+    const std::size_t error_mark = diags.error_count();
     FunctionSema sema(unit, fn, diags);
-    result.functions.push_back(sema.run());
+    FunctionInfo info = sema.run();
+    if (diags.salvage() && diags.error_count() > error_mark) {
+      // Hard sema errors (e.g. redeclarations) make the function's variable
+      // environment ambiguous; stub the whole function rather than analyze a
+      // guess. Its FunctionDecl stays in unit.functions (FunctionInfo::decl
+      // pointers index into it) but no FunctionInfo is produced, so no later
+      // phase sees it.
+      diags.demote_errors_from(diag_mark);
+      SkippedDecl skipped;
+      skipped.name = fn.name;
+      skipped.loc = fn.loc;
+      for (std::size_t i = diag_mark; i < diags.size(); ++i) {
+        skipped.diagnostics.push_back(diags.all()[i]);
+      }
+      unit.skipped.push_back(std::move(skipped));
+      continue;
+    }
+    result.functions.push_back(std::move(info));
   }
   return result;
 }

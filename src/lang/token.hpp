@@ -75,6 +75,12 @@ enum class TokenKind : std::uint8_t {
   kNot,
   kPlusPlus,
   kMinusMinus,
+
+  /// A character outside the lexical grammar, produced only by the salvage
+  /// frontend (strict mode hard-errors instead). Never matches any parse
+  /// rule, so the declaration containing it fails to parse and is stubbed —
+  /// but lexing continues and the rest of the unit stays analyzable.
+  kUnknown,
 };
 
 /// Spelling of a token kind for diagnostics.

@@ -69,7 +69,10 @@ std::vector<std::uint64_t> refine_colors(const Rsg& g) {
 
 std::uint64_t fingerprint(const Rsg& g) {
   const auto color = refine_colors(g);
-  std::uint64_t h = 0x9e3779b9;
+  // Graph-level salvage taint is part of the identity: a tainted
+  // configuration never dedups against its untainted twin (the taint would
+  // silently vanish from the set).
+  std::uint64_t h = hash_combine(0x9e3779b9, hash_value(g.havoc() ? 1 : 0));
   for (const NodeRef n : g.node_refs())
     h = hash_accumulate_unordered(h, mix64(color[n]));
   for (const auto& [pvar, n] : g.pvar_links())
@@ -151,6 +154,7 @@ class IsoMatcher {
 }  // namespace
 
 bool rsg_equal(const Rsg& a, const Rsg& b) {
+  if (a.havoc() != b.havoc()) return false;
   if (a.node_count() != b.node_count()) return false;
   if (a.link_count() != b.link_count()) return false;
   if (a.pvar_links().size() != b.pvar_links().size()) return false;

@@ -112,6 +112,10 @@ NodeProps merge_node_props(const Rsg& ga, NodeRef na, const Rsg& gb,
   // checks make equal-state merges the common case); ALLOCSITES unions.
   out.free_state = merge_free_states(a.free_state, b.free_state);
   out.alloc_sites = set_union(a.alloc_sites, b.alloc_sites);
+  // HAVOC taint sticks: a summary containing any havoc-widened location is
+  // itself speculative. Like ALLOCSITES it is not a compatibility criterion,
+  // so carrying it never changes which nodes summarize.
+  out.havoc = a.havoc || b.havoc;
 
   // Reference patterns (the paper's MERGE_NODES formulas):
   //   SELINset(n)    = SELINset(n1) ∩ SELINset(n2)

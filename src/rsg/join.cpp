@@ -115,6 +115,8 @@ Rsg join_impl(const Rsg& a, const Rsg& b, const LevelPolicy& policy,
   };
 
   Rsg out;
+  // Graph-level salvage taint is sticky through every join.
+  out.set_havoc(a.havoc() || b.havoc());
   std::vector<NodeRef> map(refs_a.size() + refs_b.size(), kNoNode);
   for (std::size_t rep = 0; rep < classes.size(); ++rep) {
     const auto& members = classes[rep];

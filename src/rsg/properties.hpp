@@ -26,6 +26,14 @@
 //   ALLOCSITES  source lines of the malloc statements that created the
 //               represented locations (union under every merge; ignored by
 //               the compatibility checks so summarization is unaffected).
+//   HAVOC       taint (engineering addition for the salvage-mode frontend,
+//               see docs/RESILIENCE.md): the node's properties were widened
+//               by a kHavoc transfer — an unsupported construct may have
+//               rewritten the represented locations. OR-combined under every
+//               merge; like ALLOCSITES it is ignored by the compatibility
+//               checks, so summarization and precision are unaffected. The
+//               checker downgrades findings whose witness touches tainted
+//               state from "definite" to "possible (degraded frontend)".
 //
 // Derived properties (computed from the graph, never stored):
 //   STRUCTURE   connected-component identity
@@ -101,6 +109,7 @@ struct NodeProps {
   SmallSet<Symbol> touch;        // induction pvars that visited (L3)
   FreeState free_state = FreeState::kLive;
   SmallSet<std::uint32_t> alloc_sites;  // malloc source lines
+  bool havoc = false;  // salvage taint: widened by a kHavoc transfer
 
   friend bool operator==(const NodeProps&, const NodeProps&) = default;
 
@@ -125,6 +134,7 @@ struct NodeProps {
     h = hash_combine(h, alloc_sites.hash([](std::uint32_t line) {
       return support::hash_value(line);
     }));
+    h = hash_combine(h, hash_value(static_cast<int>(havoc)));
     return h;
   }
 

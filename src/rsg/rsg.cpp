@@ -9,7 +9,10 @@ namespace psa::rsg {
 Rsg::Rsg() { support::MemoryStats::instance().note_graph_created(); }
 
 Rsg::Rsg(const Rsg& other)
-    : nodes_(other.nodes_), alive_count_(other.alive_count_), pl_(other.pl_) {
+    : nodes_(other.nodes_),
+      alive_count_(other.alive_count_),
+      pl_(other.pl_),
+      havoc_(other.havoc_) {
   support::MemoryStats::instance().note_graph_created();
   refresh_footprint();
 }
@@ -19,6 +22,7 @@ Rsg& Rsg::operator=(const Rsg& other) {
     nodes_ = other.nodes_;
     alive_count_ = other.alive_count_;
     pl_ = other.pl_;
+    havoc_ = other.havoc_;
     refresh_footprint();
   }
   return *this;

@@ -127,6 +127,15 @@ class Rsg {
   /// one, sel is in its definite SELOUTset and `to` is its unique sel-target.
   [[nodiscard]] bool definite_link(NodeRef from, Symbol sel, NodeRef to) const;
 
+  // --- Salvage taint -----------------------------------------------------------
+
+  /// Sticky graph-level HAVOC taint: true once any kHavoc transfer widened
+  /// this configuration (even a variant that left no tainted node behind,
+  /// e.g. "the unknown expression was NULL" unbinds the pvar). OR-combined by
+  /// JOIN/force_join, serialized with the graph; see docs/RESILIENCE.md.
+  [[nodiscard]] bool havoc() const noexcept { return havoc_; }
+  void set_havoc(bool on) noexcept { havoc_ = on; }
+
   // --- Maintenance -------------------------------------------------------------
 
   /// Remove nodes unreachable from every pvar. Returns true if changed.
@@ -151,6 +160,7 @@ class Rsg {
   std::vector<Node> nodes_;
   std::size_t alive_count_ = 0;
   std::vector<std::pair<Symbol, NodeRef>> pl_;  // sorted by pvar
+  bool havoc_ = false;
   support::TrackedFootprint footprint_;
 };
 

@@ -229,6 +229,7 @@ void append_props(ByteWriter& out, const NodeProps& p,
   out.u8(static_cast<std::uint8_t>(p.cardinality));
   out.u8(p.shared ? 1 : 0);
   out.u8(static_cast<std::uint8_t>(p.free_state));
+  out.u8(p.havoc ? 1 : 0);
   append_symbol_set(out, p.shsel, table);
   append_symbol_set(out, p.selin, table);
   append_symbol_set(out, p.selout, table);
@@ -262,6 +263,9 @@ NodeProps read_props(ByteReader& in, const SymbolTableView& table) {
   const std::uint8_t free_state = in.u8("free state");
   if (free_state > 2) throw SnapshotError("bad free state");
   p.free_state = static_cast<FreeState>(free_state);
+  const std::uint8_t havoc = in.u8("havoc flag");
+  if (havoc > 1) throw SnapshotError("bad havoc flag");
+  p.havoc = havoc != 0;
   p.shsel = read_symbol_set(in, table, "shsel");
   p.selin = read_symbol_set(in, table, "selin");
   p.selout = read_symbol_set(in, table, "selout");
@@ -285,6 +289,7 @@ NodeProps read_props(ByteReader& in, const SymbolTableView& table) {
 }  // namespace
 
 void append_rsg(ByteWriter& out, const Rsg& g, SymbolTableBuilder& table) {
+  out.u8(g.havoc() ? 1 : 0);
   // Alive nodes, renumbered densely in ref order.
   const std::vector<NodeRef> refs = g.node_refs();
   std::vector<std::uint32_t> dense(g.node_capacity(),
@@ -328,9 +333,12 @@ void append_rsg(ByteWriter& out, const Rsg& g, SymbolTableBuilder& table) {
 
 Rsg read_rsg(ByteReader& in, const SymbolTableView& table) {
   Rsg g;
-  // A minimal node record is 39 bytes: type + three flag bytes + eight empty
+  const std::uint8_t graph_havoc = in.u8("graph havoc flag");
+  if (graph_havoc > 1) throw SnapshotError("bad graph havoc flag");
+  g.set_havoc(graph_havoc != 0);
+  // A minimal node record is 40 bytes: type + four flag bytes + eight empty
   // set counts.
-  const std::uint32_t node_count = in.count("node count", 39);
+  const std::uint32_t node_count = in.count("node count", 40);
   for (std::uint32_t i = 0; i < node_count; ++i) {
     (void)g.add_node(read_props(in, table));
   }

@@ -10,7 +10,7 @@
 //
 //   offset  size  field
 //   0       8     magic "PSASNAP1"
-//   8       4     format version (little-endian u32, currently 1)
+//   8       4     format version (little-endian u32, currently 2)
 //   12      4     flags (reserved, 0)
 //   16      8     payload size in bytes (little-endian u64)
 //   24      8     FNV-1a 64-bit checksum of the payload bytes
@@ -55,8 +55,10 @@ class SnapshotError : public std::runtime_error {
       : std::runtime_error("snapshot: " + what) {}
 };
 
-/// The format version written by this build.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// The format version written by this build. v2 added the salvage-mode HAVOC
+/// taint (one flag byte per node record, one per graph record); v1 snapshots
+/// are rejected with a version mismatch rather than misread.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 // --- Byte-level primitives ---------------------------------------------------
 

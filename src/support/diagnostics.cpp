@@ -4,7 +4,6 @@
 
 namespace psa::support {
 
-namespace {
 std::string_view severity_name(Severity sev) {
   switch (sev) {
     case Severity::kNote:
@@ -13,22 +12,37 @@ std::string_view severity_name(Severity sev) {
       return "warning";
     case Severity::kError:
       return "error";
+    case Severity::kUnsupported:
+      return "unsupported";
   }
   return "unknown";
 }
-}  // namespace
+
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.loc.line << ':' << d.loc.column << ": " << severity_name(d.severity)
+     << ": " << d.message;
+  return os.str();
+}
 
 void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
   if (sev == Severity::kError) ++error_count_;
+  if (sev == Severity::kUnsupported) ++unsupported_count_;
   diagnostics_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+void DiagnosticEngine::demote_errors_from(std::size_t first) {
+  for (std::size_t i = first; i < diagnostics_.size(); ++i) {
+    if (diagnostics_[i].severity != Severity::kError) continue;
+    diagnostics_[i].severity = Severity::kUnsupported;
+    --error_count_;
+    ++unsupported_count_;
+  }
 }
 
 std::string DiagnosticEngine::to_string() const {
   std::ostringstream os;
-  for (const auto& d : diagnostics_) {
-    os << d.loc.line << ':' << d.loc.column << ": " << severity_name(d.severity)
-       << ": " << d.message << '\n';
-  }
+  for (const auto& d : diagnostics_) os << support::to_string(d) << '\n';
   return os.str();
 }
 

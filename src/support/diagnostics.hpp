@@ -17,13 +17,25 @@ struct SourceLoc {
   friend bool operator==(SourceLoc, SourceLoc) = default;
 };
 
-enum class Severity : std::uint8_t { kNote, kWarning, kError };
+enum class Severity : std::uint8_t {
+  kNote,
+  kWarning,
+  kError,
+  /// A construct outside the analyzable subset, demoted from kError by the
+  /// salvage-mode frontend: the statement lowers to a sound havoc (or the
+  /// declaration to a SkippedDecl stub) instead of poisoning the unit.
+  /// Never counts toward has_errors().
+  kUnsupported,
+};
 
 struct Diagnostic {
   Severity severity = Severity::kError;
   SourceLoc loc;
   std::string message;
 };
+
+/// "line:col: severity: message" (no trailing newline).
+[[nodiscard]] std::string to_string(const Diagnostic& d);
 
 /// Collects diagnostics; the driver decides whether to print or assert.
 class DiagnosticEngine {
@@ -35,12 +47,35 @@ class DiagnosticEngine {
   void warning(SourceLoc loc, std::string message) {
     report(Severity::kWarning, loc, std::move(message));
   }
+  /// Report an out-of-subset construct. Strict mode (the default) keeps the
+  /// historical behavior: a hard kError. Salvage mode records kUnsupported,
+  /// which does not trip has_errors() — the caller lowers the construct to a
+  /// havoc instead of aborting the unit.
+  void unsupported(SourceLoc loc, std::string message) {
+    report(salvage_ ? Severity::kUnsupported : Severity::kError, loc,
+           std::move(message));
+  }
+
+  void set_salvage(bool on) noexcept { salvage_ = on; }
+  [[nodiscard]] bool salvage() const noexcept { return salvage_; }
 
   [[nodiscard]] bool has_errors() const noexcept { return error_count_ != 0; }
   [[nodiscard]] std::size_t error_count() const noexcept { return error_count_; }
+  [[nodiscard]] std::size_t unsupported_count() const noexcept {
+    return unsupported_count_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return diagnostics_.size();
+  }
   [[nodiscard]] const std::vector<Diagnostic>& all() const noexcept {
     return diagnostics_;
   }
+
+  /// Demote every kError recorded at index >= first to kUnsupported. The
+  /// parser's salvage recovery uses this after stubbing out an unparseable
+  /// declaration: its syntax errors become attached notes of the SkippedDecl
+  /// rather than unit-poisoning errors.
+  void demote_errors_from(std::size_t first);
 
   /// Render all diagnostics as "line:col: severity: message" lines.
   [[nodiscard]] std::string to_string() const;
@@ -48,6 +83,8 @@ class DiagnosticEngine {
  private:
   std::vector<Diagnostic> diagnostics_;
   std::size_t error_count_ = 0;
+  std::size_t unsupported_count_ = 0;
+  bool salvage_ = false;
 };
 
 }  // namespace psa::support

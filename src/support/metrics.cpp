@@ -34,6 +34,9 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kGovernorCollapses: return "governor_collapses";
     case Counter::kGovernorReapplies: return "governor_reapplies";
     case Counter::kGovernorDrains: return "governor_drains";
+    case Counter::kHavocSites: return "havoc_sites";
+    case Counter::kSkippedDecls: return "skipped_decls";
+    case Counter::kSalvagedUnits: return "salvaged_units";
     case Counter::kPhaseParseWallNs: return "phase_parse_wall_ns";
     case Counter::kPhaseParseCpuNs: return "phase_parse_cpu_ns";
     case Counter::kPhaseCfgWallNs: return "phase_cfg_wall_ns";

@@ -83,6 +83,11 @@ enum class Counter : std::uint16_t {
   kGovernorReapplies,
   kGovernorDrains,
 
+  // Salvage-mode frontend (docs/RESILIENCE.md).
+  kHavocSites,     // kHavoc statements lowered into analyzed CFGs
+  kSkippedDecls,   // declarations stubbed out by parser/sema recovery
+  kSalvagedUnits,  // prepared units that degraded but still analyzed
+
   // Phase timers, nanoseconds (wall = steady clock, cpu = process CPU).
   // Everything from kPhaseParseWallNs on is a timer; see is_timer().
   kPhaseParseWallNs,

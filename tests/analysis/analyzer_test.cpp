@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/metrics.hpp"
+
 namespace psa::analysis {
 namespace {
 
@@ -73,6 +75,38 @@ TEST(AnalyzerTest, EmptyMainConverges) {
   const AnalysisResult result = analyze_source("void main() { }");
   EXPECT_TRUE(result.converged());
 }
+
+#if PSA_METRICS
+TEST(AnalyzerTest, SalvagedPrepareBumpsTheSalvageCounters) {
+  FrontendOptions frontend;
+  frontend.salvage = true;
+  const support::MetricsRegion region;
+  const auto program = prepare(R"(
+    struct node { struct node *nxt; };
+    void broken() { x = ; }
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      trace(p);
+    }
+  )", "main", frontend);
+  EXPECT_EQ(program.salvage.havoc_sites, 1u);
+  EXPECT_EQ(program.salvage.skipped_decls, 1u);
+  const support::MetricsSnapshot delta = region.delta();
+  EXPECT_EQ(delta[support::Counter::kHavocSites], 1u);
+  EXPECT_EQ(delta[support::Counter::kSkippedDecls], 1u);
+  EXPECT_EQ(delta[support::Counter::kSalvagedUnits], 1u);
+}
+
+TEST(AnalyzerTest, CleanPrepareLeavesTheSalvageCountersUntouched) {
+  const support::MetricsRegion region;
+  (void)prepare("void main() { }");
+  const support::MetricsSnapshot delta = region.delta();
+  EXPECT_EQ(delta[support::Counter::kHavocSites], 0u);
+  EXPECT_EQ(delta[support::Counter::kSkippedDecls], 0u);
+  EXPECT_EQ(delta[support::Counter::kSalvagedUnits], 0u);
+}
+#endif  // PSA_METRICS
 
 }  // namespace
 }  // namespace psa::analysis

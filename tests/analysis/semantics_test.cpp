@@ -290,5 +290,98 @@ TEST(SemanticsTest, FreeIsShapeNoop) {
   }
 }
 
+/// Same as run() but through the salvage frontend, so unsupported constructs
+/// lower to kHavoc instead of failing prepare().
+RunResult run_salvage(std::string_view body, std::size_t expected_havoc) {
+  RunResult r;
+  FrontendOptions frontend;
+  frontend.salvage = true;
+  r.program = prepare(std::string(kPrelude) + "void main() {" +
+                          std::string(body) + "}",
+                      "main", frontend);
+  EXPECT_EQ(r.program.salvage.havoc_sites, expected_havoc);
+  Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  options.types = &r.program.unit.types;
+  r.result = analyze_program(r.program, options);
+  EXPECT_TRUE(r.result.converged());
+  EXPECT_FALSE(r.result.at_exit(r.program.cfg).empty());
+  return r;
+}
+
+TEST(SemanticsTest, HavocRebindCoversNullAliasAndFreshTop) {
+  // A cast through an unknown struct type is out of subset: salvage lowers
+  // the assignment to havoc(y), whose post-state must cover NULL, aliasing
+  // any same-type pvar target, and a fresh unknown location — every variant
+  // HAVOC-tainted. (A bare unknown-call rhs would add a second, global
+  // havoc site for its side effects; the side-effect-free cast keeps this a
+  // pure rebind.)
+  const RunResult r = run_salvage(R"(
+    struct node *x; struct node *y;
+    x = malloc(struct node);
+    y = (struct packet *)x;
+  )", 1);
+  const support::Symbol sx = r.program.symbol("x");
+  const support::Symbol sy = r.program.symbol("y");
+  bool saw_null = false;
+  bool saw_alias = false;
+  bool saw_fresh = false;
+  for (const Rsg& g : r.result.at_exit(r.program.cfg).graphs()) {
+    EXPECT_TRUE(g.havoc());  // graph-level taint is sticky on every variant
+    const NodeRef ny = g.pvar_target(sy);
+    if (ny == kNoNode) {
+      saw_null = true;
+    } else if (ny == g.pvar_target(sx)) {
+      saw_alias = true;
+      EXPECT_TRUE(g.props(ny).havoc);
+    } else {
+      saw_fresh = true;
+      EXPECT_TRUE(g.props(ny).havoc);
+      EXPECT_TRUE(g.props(ny).shared);
+    }
+  }
+  EXPECT_TRUE(saw_null);
+  EXPECT_TRUE(saw_alias);
+  EXPECT_TRUE(saw_fresh);
+}
+
+TEST(SemanticsTest, HavocGlobalSummarizesAndTaintsEverything) {
+  // `trace(x)` passes a struct pointer to unknown code: salvage lowers it to
+  // a global havoc — the whole graph coarsens to typed ⊤ and every node
+  // carries the taint bit.
+  const RunResult r = run_salvage(R"(
+    struct node *x;
+    x = malloc(struct node);
+    x->nxt = malloc(struct node);
+    trace(x);
+  )", 1);
+  for (const Rsg& g : r.result.at_exit(r.program.cfg).graphs()) {
+    EXPECT_TRUE(g.havoc());
+    EXPECT_GT(g.node_count(), 0u);
+    for (const NodeRef n : g.node_refs()) EXPECT_TRUE(g.props(n).havoc);
+    // x is still bound: unknown code receives the pointer by value and
+    // cannot rebind the caller's variable.
+    EXPECT_NE(g.pvar_target(r.program.symbol("x")), kNoNode);
+  }
+}
+
+TEST(SemanticsTest, HavocTaintSurvivesSubsequentCleanStatements) {
+  // The taint introduced by the havoc must flow through JOIN/COMPRESS into
+  // later program points, not just the statement's own post-state.
+  const RunResult r = run_salvage(R"(
+    struct node *x; struct node *y;
+    y = malloc(struct node);
+    x = (struct packet *)y;
+    y->nxt = x;
+  )", 1);
+  bool saw_tainted_target = false;
+  for (const Rsg& g : r.result.at_exit(r.program.cfg).graphs()) {
+    EXPECT_TRUE(g.havoc());
+    const NodeRef nx = g.pvar_target(r.program.symbol("x"));
+    if (nx != kNoNode && g.props(nx).havoc) saw_tainted_target = true;
+  }
+  EXPECT_TRUE(saw_tainted_target);
+}
+
 }  // namespace
 }  // namespace psa::analysis

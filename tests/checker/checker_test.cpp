@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "checker/checker.hpp"
+#include "checker/sarif.hpp"
 #include "corpus/corpus.hpp"
 
 namespace psa::checker {
@@ -382,6 +383,80 @@ TEST(CheckerOnPartialResults, HardFailedRunStillChecksAnalyzedPrefix) {
   ASSERT_FALSE(result.converged());
   const auto findings = run_checkers(program, result);  // must not crash
   (void)findings;
+}
+
+// --- Salvage-mode confidence taint ----------------------------------------
+
+CheckRun run_check_salvage(std::string_view source) {
+  analysis::FrontendOptions frontend;
+  frontend.salvage = true;
+  CheckRun out{analysis::prepare(source, "main", frontend), {}, {}};
+  analysis::Options base;
+  base.level = AnalysisLevel::kL2;
+  base.types = &out.program.unit.types;
+  out.result = analysis::analyze_program(out.program, base);
+  out.findings = run_checkers(out.program, out.result);
+  return out;
+}
+
+TEST(SalvageTaint, FindingWithOnlyTaintedWitnessesIsDegradedNotDropped) {
+  // The deref of p follows a havoc of p: every configuration that witnesses
+  // the null dereference crossed havocked state, so the finding is reported
+  // at degraded confidence — downgraded, never dropped.
+  const auto run = run_check_salvage(R"(
+struct node { struct node *nxt; int v; };
+void main() {
+  struct node *p;
+  p = malloc(sizeof(struct node));
+  p = (struct packet *)p;
+  p->nxt = NULL;
+}
+)");
+  const auto nulls = of_kind(run.findings, CheckKind::kNullDeref);
+  ASSERT_EQ(nulls.size(), 1u);
+  EXPECT_TRUE(nulls[0]->degraded);
+  EXPECT_LE(nulls[0]->severity, CheckSeverity::kWarning);
+  EXPECT_NE(nulls[0]->message.find("possible (degraded frontend)"),
+            std::string::npos);
+}
+
+TEST(SalvageTaint, CleanWitnessKeepsFullConfidenceInAPartialUnit) {
+  // Taint is per-witness, not unit-wide: a skipped sibling declaration does
+  // not degrade findings whose witnesses never touch havocked state.
+  const auto run = run_check_salvage(R"(
+struct node { struct node *nxt; int v; };
+void broken() { x = ; }
+void main() {
+  struct node *p;
+  int c;
+  p = NULL; c = 0;
+  if (c > 0) {
+    p = malloc(sizeof(struct node));
+  }
+  p->nxt = NULL;
+}
+)");
+  EXPECT_EQ(run.program.salvage.skipped_decls, 1u);
+  const auto nulls = of_kind(run.findings, CheckKind::kNullDeref);
+  ASSERT_EQ(nulls.size(), 1u);
+  EXPECT_FALSE(nulls[0]->degraded);
+  EXPECT_EQ(nulls[0]->message.find("possible (degraded frontend)"),
+            std::string::npos);
+}
+
+TEST(SalvageTaint, DegradedFindingCarriesSarifConfidenceProperties) {
+  const auto run = run_check_salvage(R"(
+struct node { struct node *nxt; int v; };
+void main() {
+  struct node *p;
+  p = malloc(sizeof(struct node));
+  p = (struct packet *)p;
+  p->nxt = NULL;
+}
+)");
+  const std::string sarif = to_sarif(run.findings);
+  EXPECT_NE(sarif.find("\"degradedFrontend\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"confidence\""), std::string::npos);
 }
 
 }  // namespace

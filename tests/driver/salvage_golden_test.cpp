@@ -1,0 +1,95 @@
+// Expected-outcome golden files for the dirty corpus: the full deterministic
+// batch report of a salvage-mode --check run over corpus_dirty_units() is
+// compared against tests/driver/golden/<file>. Regenerate after an
+// intentional change with PSA_UPDATE_GOLDEN=1 (the test then rewrites the
+// files and fails so the refresh is never silent).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "corpus/corpus.hpp"
+#include "driver/supervisor.hpp"
+
+#ifndef PSA_SALVAGE_GOLDEN_DIR
+#error "PSA_SALVAGE_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace psa::driver {
+namespace {
+
+std::string golden_path(std::string_view file) {
+  return std::string(PSA_SALVAGE_GOLDEN_DIR) + "/" + std::string(file);
+}
+
+void expect_matches_golden(const std::string& actual,
+                           std::string_view file) {
+  const std::string path = golden_path(file);
+  if (std::getenv("PSA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << actual;
+    ADD_FAILURE() << "golden file regenerated: " << path
+                  << " (rerun without PSA_UPDATE_GOLDEN)";
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with PSA_UPDATE_GOLDEN=1)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "batch report diverged from " << path;
+}
+
+BatchResult run_dirty_batch(bool strict) {
+  BatchOptions options;
+  options.isolate = false;  // deterministic + fast; fork parity is covered
+                            // by scripts/salvage_smoke.sh
+  options.check = true;
+  options.strict_frontend = strict;
+  options.engine.level = rsg::AnalysisLevel::kL3;
+  return run_batch(corpus_dirty_units(), options);
+}
+
+TEST(SalvageGolden, DirtyBatchReportMatchesGoldenFile) {
+  const BatchResult result = run_dirty_batch(/*strict=*/false);
+  expect_matches_golden(format_batch_report(result), "dirty_batch.txt");
+}
+
+TEST(SalvageGolden, DirtyBatchOutcomesMatchCorpusExpectations) {
+  const BatchResult result = run_dirty_batch(/*strict=*/false);
+  ASSERT_EQ(result.units.size(), corpus::dirty_programs().size());
+  EXPECT_EQ(result.partial_count(), result.units.size());
+  EXPECT_EQ(result.failed_count(), 0u);
+  EXPECT_EQ(batch_exit_code(result), kExitFindings);
+  for (const UnitReport& u : result.units) {
+    const auto* p = corpus::find_dirty_program(u.unit.name);
+    ASSERT_NE(p, nullptr) << u.unit.name;
+    EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kPartial) << u.unit.name;
+    ASSERT_TRUE(u.payload.has_value()) << u.unit.name;
+    EXPECT_EQ(u.payload->havoc_sites, p->expected_havoc_sites) << u.unit.name;
+    EXPECT_EQ(u.payload->skipped_decls, p->expected_skipped_decls)
+        << u.unit.name;
+    EXPECT_EQ(u.payload->functions_analyzable,
+              p->expected_functions_analyzable)
+        << u.unit.name;
+    EXPECT_EQ(u.payload->functions_total, p->expected_functions_total)
+        << u.unit.name;
+    // Degraded findings are downgraded, never dropped: every dirty unit
+    // still reports at least one finding.
+    EXPECT_FALSE(u.payload->findings.empty()) << u.unit.name;
+  }
+}
+
+TEST(SalvageGolden, StrictFrontendRejectsEveryDirtyUnit) {
+  const BatchResult result = run_dirty_batch(/*strict=*/true);
+  ASSERT_EQ(result.units.size(), corpus::dirty_programs().size());
+  EXPECT_EQ(result.partial_count(), 0u);
+  EXPECT_EQ(batch_exit_code(result), kExitAllUnitsFailed);
+  for (const UnitReport& u : result.units)
+    EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kFrontendError) << u.unit.name;
+}
+
+}  // namespace
+}  // namespace psa::driver

@@ -503,5 +503,105 @@ TEST_F(IsolatedBatch, HangWithoutWatchdogWouldBlock_SoWatchdogIsProvenHere) {
   EXPECT_EQ(result.units[1].outcome.kind, UnitOutcomeKind::kOk);
 }
 
+// --- Salvage-mode partial outcomes ----------------------------------------
+
+// `trace(p)` passes a struct pointer to unknown code: the salvage frontend
+// lowers it to one global havoc instead of rejecting the unit.
+constexpr std::string_view kDirtyInlineSource =
+    "struct node { struct node *next; int v; };\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  trace(p);\n"
+    "  p->next = NULL;\n"
+    "}\n";
+
+TEST(SalvageBatch, DegradedUnitCompletesAsPartialWithDetail) {
+  const BatchResult result =
+      run_batch({inline_unit("dirty", kDirtyInlineSource)}, quiet_options());
+  ASSERT_EQ(result.units.size(), 1u);
+  const UnitReport& u = result.units[0];
+  EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kPartial);
+  EXPECT_EQ(u.outcome.detail, "analyzed 1 of 1 functions, 1 havoc sites");
+  ASSERT_TRUE(u.payload.has_value());
+  EXPECT_TRUE(u.payload->degraded());
+  EXPECT_EQ(u.payload->havoc_sites, 1u);
+  // Partial counts as analyzed for the exit-code contract.
+  EXPECT_EQ(result.partial_count(), 1u);
+  EXPECT_EQ(result.failed_count(), 0u);
+  EXPECT_EQ(batch_exit_code(result), kExitOk);
+}
+
+TEST(SalvageBatch, StrictFrontendOptionRestoresFailFast) {
+  BatchOptions options = quiet_options();
+  options.strict_frontend = true;
+  const BatchResult result =
+      run_batch({inline_unit("dirty", kDirtyInlineSource)}, options);
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kFrontendError);
+  EXPECT_EQ(batch_exit_code(result), kExitAllUnitsFailed);
+}
+
+TEST(SalvageBatch, ForkedWorkerProducesTheSamePartialOutcome) {
+  if (!isolation_supported()) GTEST_SKIP() << "no fork on this platform";
+  BatchOptions options;
+  options.isolate = true;
+  const BatchResult result =
+      run_batch({inline_unit("dirty", kDirtyInlineSource)}, options);
+  ASSERT_EQ(result.units.size(), 1u);
+  EXPECT_TRUE(result.isolated);
+  EXPECT_EQ(result.units[0].outcome.kind, UnitOutcomeKind::kPartial);
+  EXPECT_EQ(result.units[0].outcome.detail,
+            "analyzed 1 of 1 functions, 1 havoc sites");
+  EXPECT_EQ(batch_exit_code(result), kExitOk);
+}
+
+TEST(SalvageBatch, PayloadRoundTripsSalvageCountsAndDegradedFindings) {
+  const AnalysisUnit unit = inline_unit("dirty", kDirtyInlineSource);
+  const std::string bytes =
+      run_unit_serialized(unit, analysis::Options{}, /*check=*/true);
+  const UnitPayload payload = deserialize_unit_payload(bytes);
+  EXPECT_TRUE(payload.frontend_ok);
+  EXPECT_TRUE(payload.degraded());
+  EXPECT_EQ(payload.havoc_sites, 1u);
+  EXPECT_EQ(payload.functions_analyzable, 1u);
+  EXPECT_EQ(payload.functions_total, 1u);
+  EXPECT_GE(payload.unsupported_count, 1u);
+  EXPECT_FALSE(payload.salvage_diagnostics.empty());
+  // The deref of p after the havoc has only tainted witnesses: its finding
+  // survives the wire round-trip with the degraded bit set.
+  ASSERT_TRUE(payload.checked);
+  bool any_degraded = false;
+  for (const auto& f : payload.findings) any_degraded |= f.degraded;
+  EXPECT_TRUE(any_degraded);
+}
+
+TEST_F(CheckpointedBatch, ResumePreservesThePartialOutcome) {
+  const std::vector<AnalysisUnit> units = {
+      inline_unit("dirty", kDirtyInlineSource)};
+  BatchOptions options = quiet_options();
+  options.checkpoint_dir = dir_;
+  const BatchResult first = run_batch(units, options);
+  ASSERT_EQ(first.units[0].outcome.kind, UnitOutcomeKind::kPartial);
+
+  options.resume = true;
+  int calls = 0;
+  const UnitRunner tripwire = [&](const AnalysisUnit& unit,
+                                  const analysis::Options& engine) {
+    ++calls;
+    return run_unit_serialized(unit, engine, false);
+  };
+  const BatchResult resumed = run_batch(units, options, tripwire);
+  EXPECT_EQ(calls, 0);
+  ASSERT_EQ(resumed.units.size(), 1u);
+  const UnitReport& u = resumed.units[0];
+  EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kPartial);
+  EXPECT_TRUE(u.outcome.from_checkpoint);
+  EXPECT_EQ(u.outcome.detail, first.units[0].outcome.detail);
+  ASSERT_TRUE(u.payload.has_value());
+  EXPECT_EQ(u.payload->havoc_sites, first.units[0].payload->havoc_sites);
+  EXPECT_EQ(u.payload->salvage_diagnostics,
+            first.units[0].payload->salvage_diagnostics);
+}
+
 }  // namespace
 }  // namespace psa::driver

@@ -1,0 +1,110 @@
+// Salvage-mode soundness regression (docs/RESILIENCE.md).
+//
+// The concrete interpreter executes each dirty-corpus unit — playing the
+// adversary at every kHavoc site, within the documented salvage envelope —
+// and the abstract exit RSRSG of the salvaged analysis must cover every
+// completed concrete run. Checked at L1, L2 and L3, and under deterministic
+// governor degradation (the havoc transfer and the widening ladder compose).
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "analysis/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "testing/concrete_oracle.hpp"
+
+namespace psa {
+namespace {
+
+analysis::ProgramAnalysis prepare_salvaged(std::string_view source) {
+  analysis::FrontendOptions frontend;
+  frontend.salvage = true;
+  return analysis::prepare(source, "main", frontend);
+}
+
+void check_level(const analysis::ProgramAnalysis& program,
+                 rsg::AnalysisLevel level, unsigned seeds) {
+  analysis::Options options;
+  options.level = level;
+  options.types = &program.unit.types;
+  options.max_node_visits = 200'000;
+  const auto result = analysis::analyze_program(program, options);
+  ASSERT_TRUE(result.converged());
+  EXPECT_GT(oracle::expect_covers_concrete(program,
+                                           result.at_exit(program.cfg), seeds),
+            0);
+}
+
+class SalvageSoundnessSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SalvageSoundnessSweep, SalvagedAbstractionCoversConcreteAtL1) {
+  const auto program =
+      prepare_salvaged(corpus::find_dirty_program(GetParam())->source);
+  ASSERT_TRUE(program.salvage.degraded());
+  check_level(program, rsg::AnalysisLevel::kL1, 40);
+}
+
+TEST_P(SalvageSoundnessSweep, SalvagedAbstractionCoversConcreteAtL2) {
+  const auto program =
+      prepare_salvaged(corpus::find_dirty_program(GetParam())->source);
+  check_level(program, rsg::AnalysisLevel::kL2, 40);
+}
+
+TEST_P(SalvageSoundnessSweep, SalvagedAbstractionCoversConcreteAtL3) {
+  const auto program =
+      prepare_salvaged(corpus::find_dirty_program(GetParam())->source);
+  check_level(program, rsg::AnalysisLevel::kL3, 40);
+}
+
+TEST_P(SalvageSoundnessSweep, GovernorDegradedSalvagedRunStaysSound) {
+  // Deterministic degradation: a one-visit budget forces the widening
+  // ladder on top of the havoc transfer. The result must still converge
+  // and still cover the concrete adversary.
+  const auto program =
+      prepare_salvaged(corpus::find_dirty_program(GetParam())->source);
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  options.types = &program.unit.types;
+  options.max_node_visits = 1;
+  const auto result = analysis::analyze_program(program, options);
+  ASSERT_EQ(result.status, analysis::AnalysisStatus::kConverged);
+  ASSERT_TRUE(result.degraded());
+  EXPECT_GT(oracle::expect_covers_concrete(program,
+                                           result.at_exit(program.cfg), 40),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(DirtyCorpus, SalvageSoundnessSweep,
+                         ::testing::Values("dirty_sll_trace",
+                                           "dirty_tree_goto", "dirty_dll_dot",
+                                           "dirty_reverse_cast"));
+
+// The golden degradation counts of every dirty program (also asserted end
+// to end by scripts/salvage_smoke.sh through the real binary).
+TEST(SalvageSoundnessTest, DirtyCorpusGoldenDegradationCounts) {
+  for (const corpus::DirtyProgram& p : corpus::dirty_programs()) {
+    const auto program = prepare_salvaged(p.source);
+    EXPECT_EQ(program.salvage.havoc_sites, p.expected_havoc_sites) << p.name;
+    EXPECT_EQ(program.salvage.skipped_decls, p.expected_skipped_decls)
+        << p.name;
+    EXPECT_EQ(program.salvage.functions_analyzable,
+              p.expected_functions_analyzable)
+        << p.name;
+    EXPECT_EQ(program.salvage.functions_total, p.expected_functions_total)
+        << p.name;
+    EXPECT_TRUE(program.salvage.degraded()) << p.name;
+    EXPECT_FALSE(program.salvage.diagnostics.empty()) << p.name;
+  }
+}
+
+// Strict mode must reject every dirty program — the salvage frontend never
+// changes what the strict frontend accepts.
+TEST(SalvageSoundnessTest, StrictFrontendRejectsEveryDirtyProgram) {
+  for (const corpus::DirtyProgram& p : corpus::dirty_programs()) {
+    EXPECT_THROW(analysis::prepare(p.source), analysis::FrontendError)
+        << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace psa

@@ -124,5 +124,39 @@ TEST(LexerTest, CompoundAssignments) {
                                     TokenKind::kPlusPlus, TokenKind::kEof}));
 }
 
+TEST(LexerTest, StrictModeStopsAtUnexpectedCharacter) {
+  // The historical contract: an unknown character is a hard error and the
+  // token stream ends, so nothing after it is ever parsed.
+  support::DiagnosticEngine diags;
+  const auto toks = lex("a $ b", diags);
+  EXPECT_TRUE(diags.has_errors());
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[1].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, SalvageModeKeepsLexingPastUnexpectedCharacters) {
+  support::DiagnosticEngine diags;
+  diags.set_salvage(true);
+  const auto toks = lex("a $ b : c", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.unsupported_count(), 2u);
+  std::vector<TokenKind> got;
+  for (const Token& t : toks) got.push_back(t.kind);
+  EXPECT_EQ(got, (std::vector<TokenKind>{
+                     TokenKind::kIdentifier, TokenKind::kUnknown,
+                     TokenKind::kIdentifier, TokenKind::kUnknown,
+                     TokenKind::kIdentifier, TokenKind::kEof}));
+}
+
+TEST(LexerTest, SalvageModeSinglePipeBecomesUnknownToken) {
+  support::DiagnosticEngine diags;
+  diags.set_salvage(true);
+  const auto toks = lex("a | b || c", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(toks[1].kind, TokenKind::kUnknown);
+  EXPECT_EQ(toks[3].kind, TokenKind::kOrOr);
+}
+
 }  // namespace
 }  // namespace psa::lang

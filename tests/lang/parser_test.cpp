@@ -231,5 +231,76 @@ TEST(ParserTest, ScalarArraysAcceptedAsOpaque) {
   EXPECT_EQ(unit.types.all_selectors().size(), 1u);
 }
 
+// Two unparseable functions bracketing a good one: per-declaration recovery
+// must surface a diagnostic for EACH bad declaration (synchronize() used to
+// swallow everything after the first) and still parse the good function.
+constexpr std::string_view kTwoBadDeclsSource = R"(
+  struct node { struct node *nxt; };
+  void broken1() { x = ; }
+  void ok() { struct node *p; p = NULL; }
+  void broken2() { free(); }
+)";
+
+TEST(ParserTest, StrictModeKeepsDiagnosticsOfEveryBadDeclaration) {
+  support::DiagnosticEngine diags;
+  const TranslationUnit unit = parse_source(kTwoBadDeclsSource, diags);
+  EXPECT_GE(diags.error_count(), 2u);
+  // One error in broken1 (line 3) and one in broken2 (line 5) — recovery
+  // after the first bad declaration must not eat the second's diagnostic.
+  bool saw_first = false;
+  bool saw_second = false;
+  for (const auto& d : diags.all()) {
+    saw_first |= d.loc.line == 3;
+    saw_second |= d.loc.line == 5;
+  }
+  EXPECT_TRUE(saw_first) << diags.to_string();
+  EXPECT_TRUE(saw_second) << diags.to_string();
+  ASSERT_NE(unit.find_function("ok"), nullptr);
+  EXPECT_TRUE(unit.skipped.empty());  // stubs are salvage-mode only
+}
+
+TEST(ParserTest, SalvageModeStubsEveryBadDeclarationAndKeepsTheRest) {
+  support::DiagnosticEngine diags;
+  diags.set_salvage(true);
+  const TranslationUnit unit = parse_source(kTwoBadDeclsSource, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  EXPECT_GE(diags.unsupported_count(), 2u);
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_NE(unit.find_function("ok"), nullptr);
+  ASSERT_EQ(unit.skipped.size(), 2u);
+  EXPECT_EQ(unit.interner->spelling(unit.skipped[0].name), "broken1");
+  EXPECT_EQ(unit.interner->spelling(unit.skipped[1].name), "broken2");
+  // The demoted syntax errors travel with the stub that caused them.
+  for (const auto& s : unit.skipped) {
+    ASSERT_FALSE(s.diagnostics.empty());
+    for (const auto& d : s.diagnostics)
+      EXPECT_EQ(d.severity, support::Severity::kUnsupported);
+  }
+}
+
+TEST(ParserTest, SalvageModeStubsDeclarationWithUnknownCharacter) {
+  // ':' lexes to kUnknown in salvage mode; the containing declaration fails
+  // to parse and is stubbed, everything after it survives.
+  support::DiagnosticEngine diags;
+  diags.set_salvage(true);
+  const TranslationUnit unit = parse_source(R"(
+    void labeled() { goto done; done: return; }
+    void main() { int i; i = 0; }
+  )", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  EXPECT_NE(unit.find_function("main"), nullptr);
+  ASSERT_EQ(unit.skipped.size(), 1u);
+  EXPECT_EQ(unit.interner->spelling(unit.skipped[0].name), "labeled");
+}
+
+TEST(ParserTest, SalvageModeUnitWhereNothingParsesStillReportsStubs) {
+  support::DiagnosticEngine diags;
+  diags.set_salvage(true);
+  const TranslationUnit unit = parse_source("void broken() { x = ; }", diags);
+  EXPECT_TRUE(unit.functions.empty());
+  EXPECT_EQ(unit.skipped.size(), 1u);
+  EXPECT_FALSE(diags.has_errors());
+}
+
 }  // namespace
 }  // namespace psa::lang

@@ -165,5 +165,74 @@ TEST(SemaTest, FindByName) {
   EXPECT_EQ(run.result.find(Symbol()), nullptr);
 }
 
+SemaRun run_sema_salvage(std::string_view src) {
+  SemaRun run;
+  run.diags.set_salvage(true);
+  run.unit = parse_source(src, run.diags);
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+  run.result = analyze(run.unit, run.diags);
+  return run;
+}
+
+// An unknown extern taking a struct-pointer argument is a hard error in
+// strict mode but only kUnsupported in salvage mode: the call will lower to
+// a havoc and the function stays analyzable.
+constexpr std::string_view kStructPtrCallSource = R"(
+  struct node { struct node *nxt; };
+  void main() {
+    struct node *p;
+    p = malloc(struct node);
+    trace(p);
+  }
+)";
+
+TEST(SemaTest, SalvageModeDowngradesUnsupportedConstructs) {
+  SemaRun run = run_sema_salvage(kStructPtrCallSource);
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+  EXPECT_GE(run.diags.unsupported_count(), 1u);
+  // The function is NOT stubbed: later phases still analyze it.
+  ASSERT_EQ(run.result.functions.size(), 1u);
+  EXPECT_TRUE(run.unit.skipped.empty());
+}
+
+TEST(SemaTest, StrictModeStillRejectsUnsupportedConstructs) {
+  SemaRun run;
+  run.unit = parse_source(kStructPtrCallSource, run.diags);
+  ASSERT_FALSE(run.diags.has_errors());
+  run.result = analyze(run.unit, run.diags);
+  EXPECT_TRUE(run.diags.has_errors());
+}
+
+TEST(SemaTest, SalvageModeDowngradesUndeclaredVariableToHavoc) {
+  // An undeclared variable is itself only kUnsupported: the statement will
+  // lower to a havoc and the function stays analyzable.
+  SemaRun run = run_sema_salvage(R"(
+    struct node { struct node *nxt; };
+    void main() { struct node *p; p = NULL; undeclared = p; }
+  )");
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+  EXPECT_GE(run.diags.unsupported_count(), 1u);
+  ASSERT_EQ(run.result.functions.size(), 1u);
+  EXPECT_TRUE(run.unit.skipped.empty());
+}
+
+TEST(SemaTest, SalvageModeStubsFunctionWithHardSemaErrors) {
+  // A redeclaration makes the function's variable environment ambiguous —
+  // salvage stubs the whole function instead of analyzing a guess, and the
+  // sibling function is unaffected.
+  SemaRun run = run_sema_salvage(R"(
+    struct node { struct node *nxt; };
+    void broken() { struct node *p; struct node *p; p = NULL; }
+    void main() { struct node *p; p = NULL; }
+  )");
+  EXPECT_FALSE(run.diags.has_errors()) << run.diags.to_string();
+  ASSERT_EQ(run.result.functions.size(), 1u);
+  EXPECT_EQ(run.unit.interner->spelling(run.result.functions[0].decl->name),
+            "main");
+  ASSERT_EQ(run.unit.skipped.size(), 1u);
+  EXPECT_EQ(run.unit.interner->spelling(run.unit.skipped[0].name), "broken");
+  EXPECT_FALSE(run.unit.skipped[0].diagnostics.empty());
+}
+
 }  // namespace
 }  // namespace psa::lang

@@ -104,6 +104,31 @@ TEST(RsgRoundTrip, HandBuiltGraphIsCanonIdentical) {
   EXPECT_EQ(fingerprint(g), fingerprint(back));
 }
 
+TEST(RsgRoundTrip, HavocTaintBitsRoundTrip) {
+  // v2 of the wire format added the salvage-mode HAVOC taint: one byte per
+  // node plus one graph-level byte. Both must survive the round-trip.
+  RsgBuilder b;
+  Rsg g = sample_graph(b);
+  const auto refs = g.node_refs();
+  ASSERT_GE(refs.size(), 2u);
+  g.props(refs[0]).havoc = true;
+  g.set_havoc(true);
+  const std::string bytes = serialize_rsg(g, b.interner());
+
+  const Rsg back = deserialize_rsg(bytes, *b.interner_ptr());
+  EXPECT_TRUE(rsg_equal(g, back));
+  EXPECT_TRUE(back.havoc());
+  const auto back_refs = back.node_refs();
+  EXPECT_TRUE(back.props(back_refs[0]).havoc);
+  EXPECT_FALSE(back.props(back_refs[1]).havoc);
+  // A graph without taint must not gain it.
+  b.g.set_havoc(false);
+  for (const NodeRef n : b.g.node_refs()) b.g.props(n).havoc = false;
+  const Rsg clean = deserialize_rsg(serialize_rsg(b.g, b.interner()),
+                                    *b.interner_ptr());
+  EXPECT_FALSE(clean.havoc());
+}
+
 TEST(RsgRoundTrip, EmptyGraph) {
   support::Interner interner;
   const Rsg g;

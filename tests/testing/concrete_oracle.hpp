@@ -163,6 +163,80 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
       case cfg::SimpleOp::kTouchClear:
       case cfg::SimpleOp::kNop:
         break;
+      case cfg::SimpleOp::kHavoc: {
+        // Code the frontend could not model ran here (salvage mode). The
+        // interpreter plays the adversary inside the documented envelope
+        // (docs/RESILIENCE.md): the unknown code sees only what escaped to
+        // it, so it may rewrite reachable pointer fields and produce NULL,
+        // fresh memory, or any reachable cell — but it never frees and
+        // never rebinds the caller's variables (C is pass-by-value).
+        std::vector<bool> reachable(heap.fields.size(), false);
+        {
+          std::vector<LocId> work;
+          for (const auto& [pvar, loc] : heap.env) {
+            if (loc != kNull && !reachable[static_cast<std::size_t>(loc)]) {
+              reachable[static_cast<std::size_t>(loc)] = true;
+              work.push_back(loc);
+            }
+          }
+          while (!work.empty()) {
+            const LocId l = work.back();
+            work.pop_back();
+            for (const auto& [sel, t] :
+                 heap.fields[static_cast<std::size_t>(l)]) {
+              if (t != kNull && !reachable[static_cast<std::size_t>(t)]) {
+                reachable[static_cast<std::size_t>(t)] = true;
+                work.push_back(t);
+              }
+            }
+          }
+        }
+        if (s.x.valid()) {
+          // havoc(x, T): rebind x to NULL, a fresh cell, or any reachable
+          // non-freed cell of type T.
+          std::vector<LocId> candidates;
+          for (std::size_t l = 0; l < heap.fields.size(); ++l) {
+            if (reachable[l] && heap.type_of[l] == s.type &&
+                !heap.freed.contains(static_cast<LocId>(l))) {
+              candidates.push_back(static_cast<LocId>(l));
+            }
+          }
+          const std::size_t pick = rng() % (candidates.size() + 2);
+          if (pick == 0) {
+            heap.env.erase(s.x);
+          } else if (pick == 1) {
+            heap.env[s.x] = heap.alloc(s.type);
+          } else {
+            heap.env[s.x] = candidates[pick - 2];
+          }
+        } else {
+          // havoc(*): rewrite a random subset of reachable pointer fields
+          // to NULL or a type-correct reachable cell.
+          for (std::size_t l = 0; l < heap.fields.size(); ++l) {
+            if (!reachable[l]) continue;
+            const lang::StructDecl& decl =
+                program.unit.types.struct_decl(heap.type_of[l]);
+            for (const lang::Field& f : decl.fields) {
+              if (!f.is_selector()) continue;
+              if (rng() % 2 == 0) continue;  // this field survives unchanged
+              std::vector<LocId> targets;
+              for (std::size_t t = 0; t < heap.fields.size(); ++t) {
+                if (reachable[t] && heap.type_of[t] == *f.type.struct_id &&
+                    !heap.freed.contains(static_cast<LocId>(t))) {
+                  targets.push_back(static_cast<LocId>(t));
+                }
+              }
+              const std::size_t pick = rng() % (targets.size() + 1);
+              if (pick == 0) {
+                heap.fields[l].erase(f.name);
+              } else {
+                heap.fields[l][f.name] = targets[pick - 1];
+              }
+            }
+          }
+        }
+        break;
+      }
       case cfg::SimpleOp::kBranch: {
         // Choose a successor whose assume (if any) is satisfied.
         std::vector<cfg::NodeId> viable;
