@@ -130,6 +130,10 @@ class BenchReport {
     runs_.push_back(std::move(run));
   }
 
+  /// Pre-built row (benches that time whole batches and attach their own
+  /// counter deltas, e.g. cache_warm's hit/miss proof).
+  void add_run(BenchRun run) { runs_.push_back(std::move(run)); }
+
  private:
   void write() const {
     std::string path;

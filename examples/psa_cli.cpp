@@ -10,6 +10,7 @@
 //                      [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]
 //                      [--checkpoint=DIR] [--resume] [--corpus]
 //                      [--corpus-dirty] [--strict-frontend]
+//                      [--cache-dir=DIR] [--serve=SOCK] [--connect=SOCK]
 //                      [--help]
 //
 // Two modes share one exit-code contract (see below):
@@ -43,6 +44,16 @@
 // a live analysis (--progressive, --per-statement, --annotate, --dot) are
 // rejected in batch mode.
 //
+// SERVICE mode (docs/SERVICE.md): --serve=SOCK runs the persistent analysis
+// daemon on a unix socket with the content-addressed result cache
+// (--cache-dir) resident; SIGTERM drains it gracefully (exit 0). --connect
+// =SOCK sends a batch to a running daemon and falls back to local analysis
+// (same report, byte for byte) when the daemon is dead or busy past the
+// retry budget. --cache-dir also works without a daemon: batch workers look
+// up each unit's content-addressed key and skip the fixpoint on a hit, so a
+// warm re-run re-analyzes only edited units. Daemon knobs via environment:
+// PSA_SERVE_INFLIGHT (handler cap), PSA_SERVE_REQUEST_DEADLINE_MS.
+//
 // OBSERVABILITY (both modes, docs/OBSERVABILITY.md): --profile prints the
 // phase-timer / operation-counter / gauge summary (stdout in detailed mode;
 // stderr in batch mode, where stdout is the deterministic report);
@@ -56,6 +67,7 @@
 //   2  bad usage
 //   3  some units failed (crash / timeout / oom / exit / frontend error)
 //   4  every unit failed
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -71,6 +83,8 @@
 #include "client/queries.hpp"
 #include "client/report.hpp"
 #include "driver/supervisor.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
 
 namespace {
 
@@ -101,6 +115,11 @@ struct CliOptions {
   bool corpus = false;
   bool corpus_dirty = false;
   bool strict_frontend = false;
+
+  // Service mode (docs/SERVICE.md).
+  std::string cache_dir;
+  std::string serve_socket;
+  std::string connect_socket;
 };
 
 bool parse_args(int argc, char** argv, CliOptions& out) try {
@@ -176,11 +195,28 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
     } else if (arg == "--strict-frontend") {
       out.batch = true;
       out.strict_frontend = true;
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      out.batch = true;
+      out.cache_dir = value_of("--cache-dir=");
+      if (out.cache_dir.empty()) return false;
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      out.serve_socket = value_of("--serve=");
+      if (out.serve_socket.empty()) return false;
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      out.batch = true;
+      out.connect_socket = value_of("--connect=");
+      if (out.connect_socket.empty()) return false;
     } else if (!arg.empty() && arg[0] != '-') {
       out.files.push_back(arg);
     } else {
       return false;
     }
+  }
+  if (!out.serve_socket.empty()) {
+    // Serve mode is exclusive: the daemon takes work over the socket, not
+    // from the command line.
+    return out.files.empty() && !out.corpus && !out.corpus_dirty &&
+           out.connect_socket.empty();
   }
   if (out.batch) {
     // Batch reports come from serialized payloads; flags that need the live
@@ -212,6 +248,8 @@ constexpr const char* kHelpText =
     "       batch:  [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]\n"
     "               [--checkpoint=DIR] [--resume] [--corpus]\n"
     "               [--corpus-dirty] [--strict-frontend]\n"
+    "               [--cache-dir=DIR]\n"
+    "       serve:  [--serve=SOCK] [--connect=SOCK] [--cache-dir=DIR]\n"
     "       --help  print this reference and exit\n"
     "exit codes: 0 ok, 1 findings, 2 bad usage, 3 some units failed,\n"
     "            4 all units failed (partial units count as analyzed)\n";
@@ -362,6 +400,7 @@ int run_batch_mode(const CliOptions& cli) {
   batch.jobs = cli.jobs;
   batch.checkpoint_dir = cli.checkpoint_dir;
   batch.resume = cli.resume;
+  batch.cache_dir = cli.cache_dir;
   batch.unit_timeout_ms = cli.timeout_ms;
   batch.check = cli.check;
   batch.strict_frontend = cli.strict_frontend;
@@ -373,7 +412,22 @@ int run_batch_mode(const CliOptions& cli) {
 
   driver::BatchResult result;
   try {
-    result = driver::run_batch(units, batch);
+    if (!cli.connect_socket.empty()) {
+      // Via the daemon, with the availability contract of
+      // service/client.hpp: retries with backoff, then an in-process
+      // fallback with the exact same options — a dead daemon never fails
+      // the build, and the report is byte-identical either way.
+      service::ClientOptions connect;
+      connect.socket_path = cli.connect_socket;
+      connect.log = [](const std::string& line) {
+        std::cerr << line << '\n';
+      };
+      service::RequestOutcome outcome =
+          service::run_request(units, batch, connect);
+      result = std::move(outcome.result);
+    } else {
+      result = driver::run_batch(units, batch);
+    }
   } catch (const std::exception& e) {
     std::cerr << "batch setup failed: " << e.what() << '\n';
     return driver::kExitBadUsage;
@@ -420,6 +474,29 @@ int run_batch_mode(const CliOptions& cli) {
   return driver::batch_exit_code(result);
 }
 
+int run_serve_mode(const CliOptions& cli) {
+  service::DaemonOptions daemon;
+  daemon.socket_path = cli.serve_socket;
+  daemon.cache_dir = cli.cache_dir;
+  daemon.jobs = cli.jobs;
+  if (const char* env = std::getenv("PSA_SERVE_INFLIGHT")) {
+    try {
+      daemon.max_inflight = std::max<std::size_t>(1, std::stoul(env));
+    } catch (const std::exception&) {
+      std::cerr << "serve: ignoring malformed PSA_SERVE_INFLIGHT\n";
+    }
+  }
+  if (const char* env = std::getenv("PSA_SERVE_REQUEST_DEADLINE_MS")) {
+    try {
+      daemon.request_deadline_ms = std::stoull(env);
+    } catch (const std::exception&) {
+      std::cerr << "serve: ignoring malformed PSA_SERVE_REQUEST_DEADLINE_MS\n";
+    }
+  }
+  daemon.log = [](const std::string& line) { std::cerr << line << '\n'; };
+  return service::run_daemon(daemon);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -430,6 +507,7 @@ int main(int argc, char** argv) {
     return driver::kExitOk;
   }
 
+  if (!cli.serve_socket.empty()) return run_serve_mode(cli);
   if (cli.batch) return run_batch_mode(cli);
 
   std::size_t succeeded = 0;

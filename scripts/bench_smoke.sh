@@ -7,6 +7,13 @@
 #   OUT_DIR    where the BENCH_*.json files land (default: a temp dir;
 #              exported to the benches as PSA_BENCH_DIR)
 #
+# Beyond the schema check, every fresh report is diffed structurally against
+# its committed canonical baseline in bench/baselines/: same schema, same
+# run configs, same counter vocabulary. Timing VALUES are machine-dependent
+# and not compared — the diff catches silently dropped rows, renamed
+# configs, and counter-vocabulary drift that would desynchronize
+# EXPERIMENTS.md from the committed numbers.
+#
 # Exit 0 when every bench runs and every JSON validates; non-zero otherwise.
 # CI runs this as the bench-smoke job and uploads OUT_DIR as an artifact.
 set -u
@@ -27,7 +34,10 @@ BENCHES=(
   parallel_transfer
   governor_overhead
   checker_cost
+  cache_warm
 )
+
+BASELINE_DIR="$(cd "$(dirname "$0")/.." && pwd)/bench/baselines"
 
 fail=0
 for bench in "${BENCHES[@]}"; do
@@ -44,11 +54,11 @@ for bench in "${BENCHES[@]}"; do
   fi
 done
 
-python3 - "$OUT_DIR" "${BENCHES[@]}" <<'EOF'
+python3 - "$OUT_DIR" "$BASELINE_DIR" "${BENCHES[@]}" <<'EOF'
 import json
 import sys
 
-out_dir, benches = sys.argv[1], sys.argv[2:]
+out_dir, baseline_dir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
 RUN_FIELDS = {
     "config": str,
     "seconds": (int, float),
@@ -89,12 +99,41 @@ for bench in benches:
                    if not isinstance(v, int) or v < 0]
             if bad:
                 errors.append(f"runs[{i}].ops non-counter values: {bad}")
+    # Structural diff against the committed canonical baseline: the set of
+    # run configs and the counter vocabulary must match (values are machine-
+    # and build-dependent and deliberately not compared).
+    base_path = f"{baseline_dir}/BENCH_{bench}.json"
+    try:
+        with open(base_path) as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"baseline {base_path}: {e}")
+        base = {"runs": []}
+    if base.get("schema") != doc.get("schema"):
+        errors.append(
+            f"schema drift vs baseline: {doc.get('schema')!r} != "
+            f"{base.get('schema')!r}")
+    fresh_configs = [r.get("config") for r in runs]
+    base_configs = [r.get("config") for r in base.get("runs", [])]
+    if fresh_configs != base_configs:
+        errors.append(
+            f"run configs drifted from baseline: {fresh_configs} != "
+            f"{base_configs} (regenerate bench/baselines with --quick)")
+    for i, run in enumerate(runs):
+        if i >= len(base.get("runs", [])):
+            break
+        fresh_ops = set((run.get("ops") or {}).keys())
+        base_ops = set((base["runs"][i].get("ops") or {}).keys())
+        if fresh_ops != base_ops:
+            errors.append(
+                f"runs[{i}] counter vocabulary drifted from baseline: "
+                f"+{sorted(fresh_ops - base_ops)} -{sorted(base_ops - fresh_ops)}")
     if errors:
         status = 1
         for e in errors:
             print(f"bench_smoke: {path}: {e}", file=sys.stderr)
     else:
-        print(f"bench_smoke: {path}: ok ({len(runs)} runs)")
+        print(f"bench_smoke: {path}: ok ({len(runs)} runs, baseline match)")
 sys.exit(status)
 EOF
 [[ $? -ne 0 ]] && fail=1

@@ -1,0 +1,166 @@
+#!/usr/bin/env sh
+# Live-fire drill of the analysis daemon + result cache (docs/SERVICE.md)
+# against the shipped psa_cli binary:
+#
+#   1. cold batch through --connect, then a warm re-run — both byte-identical
+#      to a local (daemon-less) run, with cache entries on disk;
+#   2. daemon-side connection drops mid-request (PSA_FAULT_AT=...:sockdrop) —
+#      the client retries, gives up, analyzes locally, same report;
+#   3. daemon SIGKILLed mid-request — the client falls back and the build
+#      still exits 0;
+#   4. a cache entry corrupted on disk — the next run self-heals (quarantine
+#      + recompute) and reproduces the identical report;
+#   5. SIGTERM — the daemon drains gracefully: exit 0, socket unlinked,
+#      journal sealed, no .tmp stragglers in the cache directory.
+#
+#   $ scripts/service_drill.sh [BUILD_DIR]     # default: build
+#
+# The same properties are unit-tested in tests/cache/ and tests/service/;
+# this script drives the real binary end to end, the way an operator would,
+# and is what the CI service-drill job executes.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+CLI="$BUILD/examples/psa_cli"
+
+if [ ! -x "$CLI" ]; then
+  echo "service_drill: $CLI not found or not executable; build first" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "service_drill: FAIL: $1" >&2
+  [ -f "$WORK/daemon.err" ] && sed 's/^/  daemon: /' "$WORK/daemon.err" >&2
+  exit 1
+}
+
+SOCK="$WORK/psa.sock"
+CACHE="$WORK/cache"
+
+cat >"$WORK/clean.c" <<'EOF'
+struct node { struct node *next; int v; };
+void main() {
+  struct node *p;
+  p = malloc(sizeof(struct node));
+  p->next = NULL;
+  free(p);
+  p = NULL;
+}
+EOF
+cat >"$WORK/leaky.c" <<'EOF'
+struct node { struct node *next; int v; };
+void main() {
+  struct node *p;
+  p = malloc(sizeof(struct node));
+  p->next = NULL;
+}
+EOF
+
+start_daemon() {
+  # $@: extra environment (NAME=VALUE) for fault injection.
+  env "$@" "$CLI" --serve="$SOCK" --cache-dir="$CACHE" \
+    >"$WORK/daemon.out" 2>"$WORK/daemon.err" &
+  DAEMON_PID=$!
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "daemon did not create $SOCK"
+    sleep 0.1
+  done
+}
+
+stop_daemon_hard() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+  rm -f "$SOCK"
+}
+
+FILES="$WORK/clean.c $WORK/leaky.c"
+
+echo "== reference: local batch (no daemon, no cache)"
+status=0
+$CLI $FILES --isolate --check >"$WORK/local.txt" 2>/dev/null || status=$?
+[ "$status" -eq 1 ] || fail "local reference exited $status, want 1 (findings)"
+
+echo "== scenario 1: cold + warm runs through the daemon, byte-identical"
+start_daemon
+status=0
+$CLI $FILES --check --connect="$SOCK" >"$WORK/cold.txt" 2>/dev/null ||
+  status=$?
+[ "$status" -eq 1 ] || fail "cold connect run exited $status, want 1"
+cmp -s "$WORK/cold.txt" "$WORK/local.txt" ||
+  fail "cold daemon report differs from local report"
+[ -n "$(find "$CACHE" -maxdepth 1 -name '*.entry' 2>/dev/null)" ] ||
+  fail "no cache entries stored"
+status=0
+$CLI $FILES --check --connect="$SOCK" >"$WORK/warm.txt" 2>/dev/null ||
+  status=$?
+[ "$status" -eq 1 ] || fail "warm connect run exited $status, want 1"
+cmp -s "$WORK/warm.txt" "$WORK/local.txt" ||
+  fail "warm (cached) report differs from local report"
+stop_daemon_hard
+
+echo "== scenario 2: daemon drops the connection mid-request -> fallback"
+start_daemon PSA_FAULT_AT="$WORK/clean.c:sockdrop"
+status=0
+$CLI $FILES --check --connect="$SOCK" >"$WORK/drop.txt" 2>"$WORK/drop.log" ||
+  status=$?
+[ "$status" -eq 1 ] || fail "sockdrop run exited $status, want 1"
+cmp -s "$WORK/drop.txt" "$WORK/local.txt" ||
+  fail "sockdrop fallback report differs from local report"
+grep -q "analyzing locally" "$WORK/drop.log" ||
+  fail "client did not report the local fallback"
+stop_daemon_hard
+
+echo "== scenario 3: daemon SIGKILLed mid-request -> fallback, build exits 0"
+start_daemon
+( sleep 0.05 && kill -9 "$DAEMON_PID" ) 2>/dev/null &
+KILLER=$!
+status=0
+$CLI "$WORK/clean.c" --check --connect="$SOCK" \
+  >"$WORK/killed.txt" 2>/dev/null || status=$?
+wait "$KILLER" 2>/dev/null || true
+[ "$status" -eq 0 ] ||
+  fail "clean-unit run exited $status after daemon SIGKILL, want 0"
+grep -q "clean.c: ok" "$WORK/killed.txt" ||
+  fail "clean unit not analyzed after daemon SIGKILL"
+stop_daemon_hard
+
+echo "== scenario 4: corrupt cache entry self-heals with an identical report"
+entry="$(find "$CACHE" -maxdepth 1 -name '*.entry' | head -n 1)"
+[ -n "$entry" ] || fail "no cache entry to corrupt"
+# Flip one byte in the middle of the entry.
+size=$(wc -c <"$entry")
+printf '\377' | dd of="$entry" bs=1 seek=$((size / 2)) conv=notrunc 2>/dev/null
+start_daemon
+status=0
+$CLI $FILES --check --connect="$SOCK" >"$WORK/healed.txt" 2>/dev/null ||
+  status=$?
+[ "$status" -eq 1 ] || fail "self-heal run exited $status, want 1"
+cmp -s "$WORK/healed.txt" "$WORK/local.txt" ||
+  fail "self-healed report differs from local report"
+[ -n "$(find "$CACHE/quarantine" -type f 2>/dev/null)" ] ||
+  fail "corrupt entry was not quarantined"
+
+echo "== scenario 5: SIGTERM drains gracefully, seals the journal"
+kill -TERM "$DAEMON_PID"
+status=0
+wait "$DAEMON_PID" || status=$?
+DAEMON_PID=""
+[ "$status" -eq 0 ] || fail "daemon drain exited $status, want 0"
+[ ! -S "$SOCK" ] || fail "socket not unlinked on drain"
+grep -q "sealed" "$CACHE/service.journal" || fail "journal not sealed"
+[ -z "$(find "$CACHE" -maxdepth 1 -name '*.tmp.*' 2>/dev/null)" ] ||
+  fail "stray .tmp files left in the cache directory"
+
+echo "service_drill: all scenarios passed"

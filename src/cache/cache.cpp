@@ -1,0 +1,205 @@
+#include "cache/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "rsg/serialize.hpp"
+#include "support/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define PSA_CACHE_HAS_PID 1
+#else
+#define PSA_CACHE_HAS_PID 0
+#endif
+
+namespace psa::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kEntrySuffix = ".entry";
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Envelope-level validation: magic, version, size and checksum — cheap and
+/// catches every torn write and bit flip. Payload-level skew is left to the
+/// caller's full deserialization (see ResultCache::evict).
+bool envelope_valid(std::string_view bytes, std::string& diagnostic) {
+  try {
+    (void)rsg::unwrap_snapshot(bytes);
+    return true;
+  } catch (const rsg::SnapshotError& e) {
+    diagnostic = e.what();
+    return false;
+  }
+}
+
+std::uint64_t writer_id() {
+#if PSA_CACHE_HAS_PID
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // Probe writability now: a cache that cannot store is a configuration
+  // error, not something to discover one silent store-failure at a time.
+  const std::string probe =
+      (fs::path(dir_) / (".probe." + std::to_string(writer_id()))).string();
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cache: cannot write to " + dir_);
+    }
+  }
+  fs::remove(probe, ec);
+}
+
+std::string ResultCache::entry_path(const CacheKey& key) const {
+  return (fs::path(dir_) / (key.hex() + std::string(kEntrySuffix))).string();
+}
+
+ResultCache::Lookup ResultCache::lookup(const CacheKey& key) {
+  Lookup result;
+  const std::string path = entry_path(key);
+  std::string bytes;
+  if (!read_file(path, bytes)) {
+    result.status = Lookup::Status::kMiss;
+    PSA_COUNT(support::Counter::kCacheMisses);
+    return result;
+  }
+  std::string diagnostic;
+  if (!envelope_valid(bytes, diagnostic)) {
+    quarantine(path, diagnostic);
+    result.status = Lookup::Status::kEvicted;
+    result.diagnostic = diagnostic;
+    PSA_COUNT(support::Counter::kCacheMisses);
+    return result;
+  }
+  result.status = Lookup::Status::kHit;
+  result.bytes = std::move(bytes);
+  PSA_COUNT(support::Counter::kCacheHits);
+  return result;
+}
+
+bool ResultCache::store(const CacheKey& key, std::string_view bytes,
+                        StoreFault fault) {
+  const std::string final_path = entry_path(key);
+
+  if (fault == StoreFault::kTear) {
+    // Injected torn write: half the bytes, straight to the final path, no
+    // rename guard — the worst crash the real write path is designed to
+    // make impossible. The next lookup must evict it.
+    std::ofstream out(final_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    PSA_COUNT(support::Counter::kCacheStores);
+    return true;
+  }
+
+  const std::string tmp =
+      final_path + ".tmp." + std::to_string(writer_id()) + "-" +
+      std::to_string(tmp_seq_++);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+
+  if (fault == StoreFault::kFlip) {
+    // Injected single-bit rot in the middle of a completed entry; the
+    // PSASNAP1 checksum must catch it on the next lookup.
+    std::fstream flip(final_path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    if (flip) {
+      const std::streamoff off =
+          static_cast<std::streamoff>(bytes.size() / 2);
+      flip.seekg(off);
+      char c = 0;
+      flip.get(c);
+      flip.seekp(off);
+      flip.put(static_cast<char>(c ^ 0x01));
+    }
+  }
+
+  PSA_COUNT(support::Counter::kCacheStores);
+  return true;
+}
+
+void ResultCache::evict(const CacheKey& key, std::string_view reason) {
+  quarantine(entry_path(key), reason);
+}
+
+void ResultCache::quarantine(const std::string& path,
+                             std::string_view reason) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return;
+  const fs::path qdir = fs::path(dir_) / "quarantine";
+  fs::create_directories(qdir, ec);
+  const std::string target =
+      (qdir / (fs::path(path).filename().string() + "." +
+               std::to_string(writer_id()) + "-" +
+               std::to_string(tmp_seq_++)))
+          .string();
+  fs::rename(path, target, ec);
+  if (ec) fs::remove(path, ec);  // quarantine failed: removal still heals
+  (void)reason;  // surfaced through Lookup::diagnostic / caller logs
+  PSA_COUNT(support::Counter::kCacheEvictions);
+}
+
+ResultCache::RecoveryReport ResultCache::recover() {
+  RecoveryReport report;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(std::string(kEntrySuffix) + ".tmp.") != std::string::npos) {
+      // A writer died mid-store; the rename never happened, so the bytes
+      // were never trusted. Sweep the straggler.
+      fs::remove(entry.path(), ec);
+      ++report.tmp_removed;
+      PSA_COUNT(support::Counter::kCacheEvictions);
+      continue;
+    }
+    if (!name.ends_with(kEntrySuffix)) continue;
+    std::string bytes;
+    std::string diagnostic = "unreadable entry";
+    if (read_file(entry.path().string(), bytes) &&
+        envelope_valid(bytes, diagnostic)) {
+      ++report.entries_kept;
+    } else {
+      quarantine(entry.path().string(), diagnostic);
+      ++report.quarantined;
+    }
+  }
+  return report;
+}
+
+}  // namespace psa::cache

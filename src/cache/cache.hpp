@@ -1,0 +1,116 @@
+// The crash-safe, content-addressed, on-disk result cache (docs/SERVICE.md).
+//
+// One entry per CacheKey (cache/key.hpp), holding the serialized UnitPayload
+// bytes of a completed analysis — the same PSASNAP1-enveloped, checksummed
+// format the batch driver already uses for IPC and checkpoints, so every
+// read is self-validating.
+//
+// Directory layout (--cache-dir=DIR):
+//   <32-hex-key>.entry            one validated result payload
+//   <key>.entry.tmp.<pid>-<seq>   in-flight write; renamed to .entry on
+//                                 completion (writer-unique suffix, so
+//                                 concurrent workers never clobber each
+//                                 other's half-written bytes)
+//   quarantine/                   entries that failed validation, kept for
+//                                 post-mortem instead of silently deleted
+//   service.journal               daemon request journal (src/service)
+//
+// Robustness contract — every failure mode is contained, never propagated:
+//   * lookup() verifies the PSASNAP1 envelope checksum; a corrupt, truncated
+//     or version-skewed entry is EVICTED (quarantined) and reported as a
+//     miss — hostile bytes are never returned to a caller;
+//   * deep validation failures the cache cannot see (payload-level skew
+//     caught only by full deserialization) are reported back through
+//     evict() and handled the same way;
+//   * store() writes tmp-then-rename, so a crash mid-write leaves only a
+//     .tmp straggler that recover() sweeps; store failures (disk full,
+//     permissions) degrade to "no cache" — they never fail the analysis;
+//   * recover() is the startup scan: stray .tmp files are deleted, every
+//     entry's envelope is re-verified, and invalid entries are quarantined.
+//
+// All methods are nothrow-by-contract except the constructor (an unusable
+// directory is a configuration error the caller must see). Counting goes
+// through the global metrics registry: cache_hits / cache_misses /
+// cache_stores / cache_evictions / cache_self_heals (self-heals are counted
+// by the caller that recomputes after an eviction — see
+// driver::run_unit_serialized).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cache/key.hpp"
+
+namespace psa::cache {
+
+/// Deliberate store-side fault injection (docs/RESILIENCE.md), mapped from
+/// driver::FaultKind by the worker. Tear = truncated bytes written straight
+/// to the final path (a simulated crash with no rename guard); flip = one
+/// bit flipped after a completed store.
+enum class StoreFault : std::uint8_t { kNone, kTear, kFlip };
+
+class ResultCache {
+ public:
+  /// Open (and create) `dir`. Throws std::runtime_error when the directory
+  /// cannot be created or written — a misconfigured cache must be loud, a
+  /// degraded one silent.
+  explicit ResultCache(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  struct Lookup {
+    enum class Status : std::uint8_t {
+      kHit,      // bytes hold a checksum-valid entry
+      kMiss,     // no entry on disk
+      kEvicted,  // entry existed but failed validation; quarantined
+    };
+    Status status = Status::kMiss;
+    std::string bytes;
+    std::string diagnostic;  // kEvicted: what was wrong with the entry
+  };
+
+  /// Envelope-validated entry bytes for `key`. Counts cache_hits on kHit and
+  /// cache_misses on kMiss/kEvicted (an evicted entry IS a miss — the caller
+  /// recomputes); eviction additionally counts cache_evictions.
+  [[nodiscard]] Lookup lookup(const CacheKey& key);
+
+  /// Atomically store entry bytes (write .tmp, rename). Returns false on I/O
+  /// failure; never throws. Counts cache_stores on success.
+  bool store(const CacheKey& key, std::string_view bytes,
+             StoreFault fault = StoreFault::kNone);
+
+  /// Remove an entry the *caller* proved invalid (deep deserialization
+  /// failure after an envelope-valid lookup). Quarantines and counts
+  /// cache_evictions.
+  void evict(const CacheKey& key, std::string_view reason);
+
+  struct RecoveryReport {
+    std::size_t entries_kept = 0;
+    std::size_t tmp_removed = 0;
+    std::size_t quarantined = 0;
+
+    [[nodiscard]] bool clean() const noexcept {
+      return tmp_removed == 0 && quarantined == 0;
+    }
+  };
+
+  /// Startup scan of the whole directory: delete stray .tmp files, verify
+  /// every entry envelope, quarantine what fails. Never throws — an
+  /// unreadable entry is quarantined (or deleted if even that fails).
+  RecoveryReport recover();
+
+  /// Path of the entry for `key` (tests and the fault drill corrupt it).
+  [[nodiscard]] std::string entry_path(const CacheKey& key) const;
+
+ private:
+  /// Move `path` to quarantine/ (unique suffix), or delete it when the move
+  /// fails. Counts cache_evictions.
+  void quarantine(const std::string& path, std::string_view reason);
+
+  std::string dir_;
+  std::uint32_t tmp_seq_ = 0;
+};
+
+}  // namespace psa::cache

@@ -1,0 +1,48 @@
+// Content-addressed cache keys for per-unit analysis results.
+//
+// A key is a 128-bit hash of everything the serialized UnitPayload depends
+// on: the lowered CFG of the analyzed function (statements with their
+// operand spellings, malloc/havoc struct types, successor edges, loop
+// nesting and source locations — findings quote line numbers, so a line
+// shift is a real output change), the pvar typing environment, the full
+// struct table (the governor's ⊤ saturation reads it), the salvage
+// degradation summary (the payload replays those fields verbatim), the
+// analysis options that steer the fixpoint, and the checker on/off switch.
+//
+// Deliberately excluded: the unit *name* (two files with identical content
+// share one entry — that is the "content-addressed" in the name),
+// Options::threads (the engine contract guarantees thread-count-independent
+// results), and wall-clock state of any kind.
+//
+// Version skew is part of the key: the PSASNAP1 format version and the
+// metrics counter vocabulary are mixed in, so a binary with a different wire
+// format computes different keys and never trusts a stale entry — and even a
+// same-key entry from a skewed build fails its deep validation and is
+// evicted (see cache.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+
+namespace psa::cache {
+
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+
+  /// 32 lowercase hex chars; the cache entry's file stem.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Key of one prepared unit under one engine configuration. `check` covers
+/// the checker findings embedded in the payload; `salvage` the frontend mode
+/// that produced the CFG.
+[[nodiscard]] CacheKey cache_key(const analysis::ProgramAnalysis& program,
+                                 const analysis::Options& options, bool check,
+                                 bool salvage);
+
+}  // namespace psa::cache

@@ -77,6 +77,19 @@ Checkpoint::Checkpoint(std::string dir, bool resume) : dir_(std::move(dir)) {
   journal_path_ = (fs::path(dir_) / "journal.psaj").string();
 
   if (resume) {
+    // A worker killed mid-write leaves its .snap.tmp behind; the rename
+    // never happened, so the bytes were never a result. Sweep them before
+    // replay — a stray tmp must neither shadow a re-run's write nor survive
+    // as junk in a directory the resume contract calls recovered.
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (!name.ends_with(".snap.tmp")) continue;
+      fs::remove(entry.path(), ec);
+      recovery_notes_.push_back("checkpoint: removed stale in-flight snapshot " +
+                                name + " (writer died mid-write)");
+    }
+
     // Replay: the last outcome line per key wins; torn/unknown lines are
     // skipped.
     std::ifstream in(journal_path_);
@@ -113,6 +126,23 @@ Checkpoint::Checkpoint(std::string dir, bool resume) : dir_(std::move(dir)) {
       if (name == "journal.psaj" || name.ends_with(".snap") ||
           name.ends_with(".snap.tmp")) {
         fs::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  // A torn final line (writer died mid-write, even inside the header) is
+  // skipped by replay — but it must also not glue itself onto the next
+  // record we append. Terminate it first.
+  {
+    std::error_code ec;
+    const auto size = fs::file_size(journal_path_, ec);
+    if (!ec && size > 0) {
+      std::ifstream tail(journal_path_, std::ios::binary);
+      tail.seekg(-1, std::ios::end);
+      char last = '\n';
+      if (tail.get(last) && last != '\n') {
+        std::ofstream fix(journal_path_, std::ios::app);
+        fix << '\n' << std::flush;
       }
     }
   }

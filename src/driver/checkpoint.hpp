@@ -28,6 +28,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "driver/payload.hpp"
 #include "driver/unit.hpp"
@@ -63,10 +64,20 @@ class Checkpoint {
   [[nodiscard]] std::optional<UnitPayload> load_payload(
       const std::string& key, std::string* error) const;
 
+  /// Diagnostics produced while opening the directory: on --resume, a stray
+  /// .snap.tmp left by a worker killed mid-write is deleted (its rename
+  /// never happened, so it was never a result) and noted here. The
+  /// supervisor forwards these to the batch log.
+  [[nodiscard]] const std::vector<std::string>& recovery_notes()
+      const noexcept {
+    return recovery_notes_;
+  }
+
  private:
   std::string dir_;
   std::string journal_path_;
   std::map<std::string, UnitOutcome> replayed_;
+  std::vector<std::string> recovery_notes_;
 };
 
 }  // namespace psa::driver

@@ -16,6 +16,9 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kHang: return "hang";
     case FaultKind::kOom: return "oom";
     case FaultKind::kThrow: return "throw";
+    case FaultKind::kCacheTear: return "cachetear";
+    case FaultKind::kCacheFlip: return "cacheflip";
+    case FaultKind::kSockDrop: return "sockdrop";
   }
   return "?";
 }
@@ -24,7 +27,9 @@ namespace {
 
 bool parse_kind(std::string_view s, FaultKind& out) {
   for (const auto kind : {FaultKind::kCrash, FaultKind::kSegv, FaultKind::kHang,
-                          FaultKind::kOom, FaultKind::kThrow}) {
+                          FaultKind::kOom, FaultKind::kThrow,
+                          FaultKind::kCacheTear, FaultKind::kCacheFlip,
+                          FaultKind::kSockDrop}) {
     if (s == to_string(kind)) {
       out = kind;
       return true;
@@ -80,6 +85,10 @@ void inject_fault(FaultKind kind) {
       throw std::bad_alloc();
     case FaultKind::kThrow:
       throw std::runtime_error("injected fault: throw");
+    case FaultKind::kCacheTear:
+    case FaultKind::kCacheFlip:
+    case FaultKind::kSockDrop:
+      return;  // honored at their dedicated fault points, not here
   }
 }
 

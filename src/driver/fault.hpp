@@ -21,6 +21,18 @@
 //          allocator's real out-of-memory behavior, which sanitizers change.
 //   throw  throw std::runtime_error — an uncaught analyzer exception
 //          (exit code kUncaughtExceptionExitCode).
+//
+// Cache and socket fault points (docs/SERVICE.md) — these do not kill the
+// worker; they corrupt its side effects so the self-healing paths can be
+// proven:
+//   cachetear  the result-cache store writes a truncated entry directly to
+//              the final path, simulating a crash mid-write with no rename
+//              guard. The next lookup must reject and evict it.
+//   cacheflip  the store completes, then one bit of the entry is flipped on
+//              disk. The PSASNAP1 checksum must catch it on the next lookup.
+//   sockdrop   a service daemon's request handler closes the connection and
+//              exits without replying — the client sees a connection reset
+//              and must retry, then fall back to in-process analysis.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +49,9 @@ enum class FaultKind : std::uint8_t {
   kHang,
   kOom,
   kThrow,
+  kCacheTear,
+  kCacheFlip,
+  kSockDrop,
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -59,7 +74,9 @@ class FaultPlan {
 };
 
 /// Trigger `kind` at the call site. kNone returns immediately; kOom and
-/// kThrow raise; kCrash, kSegv and kHang never return.
+/// kThrow raise; kCrash, kSegv and kHang never return. The cache/socket
+/// kinds are no-ops here: they are honored at their dedicated fault points
+/// (cache store, daemon reply) rather than at worker startup.
 void inject_fault(FaultKind kind);
 
 }  // namespace psa::driver

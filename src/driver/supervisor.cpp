@@ -14,6 +14,8 @@
 #include <thread>
 
 #include "analysis/analyzer.hpp"
+#include "cache/cache.hpp"
+#include "cache/key.hpp"
 #include "checker/checker.hpp"
 #include "corpus/corpus.hpp"
 #include "driver/checkpoint.hpp"
@@ -113,9 +115,38 @@ analysis::Options stepped_down(const analysis::Options& options) {
   return out;
 }
 
+namespace {
+
+/// A result is cached only when re-running it would reproduce it exactly:
+/// the fixpoint converged, and no wall-clock deadline could have shaped the
+/// degradation it carries (visit/memory/set budgets are deterministic;
+/// deadline expiry is not, so a deadline run that degraded at all is not
+/// trusted to be repeatable).
+bool cacheable(const UnitPayload& payload, const analysis::Options& engine) {
+  return payload.frontend_ok && payload.result.converged() &&
+         (engine.deadline_ms == 0 || payload.result.degradation.empty());
+}
+
+/// PSA_FAULT_AT cache fault points (docs/RESILIENCE.md). Unlike the
+/// process-killing kinds, these are honored wherever the store runs — the
+/// corruption they plant is contained by the cache's own validation, so
+/// there is nothing to sandbox.
+cache::StoreFault store_fault_for(const AnalysisUnit& unit) {
+  switch (FaultPlan::from_env().for_unit(unit.name)) {
+    case FaultKind::kCacheTear:
+      return cache::StoreFault::kTear;
+    case FaultKind::kCacheFlip:
+      return cache::StoreFault::kFlip;
+    default:
+      return cache::StoreFault::kNone;
+  }
+}
+
+}  // namespace
+
 std::string run_unit_serialized(const AnalysisUnit& unit,
                                 const analysis::Options& engine, bool check,
-                                bool salvage) {
+                                bool salvage, cache::ResultCache* cache) {
   // Whole-unit counter attribution (frontend + fixpoint + checkers). In a
   // forked worker the delta equals the absolute registry values; on the
   // in-process path the region keeps earlier units' operations out.
@@ -143,6 +174,44 @@ std::string run_unit_serialized(const AnalysisUnit& unit,
     frontend.salvage = salvage;
     const analysis::ProgramAnalysis program =
         analysis::prepare(source, unit.function, frontend);
+
+    // Cache lookup sits after the frontend (cheap) and before the fixpoint
+    // (the expensive part a hit skips). The key is content-addressed over
+    // the lowered CFG + options, so an edited unit misses while its
+    // untouched neighbors hit.
+    cache::CacheKey key;
+    if (cache != nullptr) {
+      key = cache::cache_key(program, engine, check, salvage);
+      bool self_heal = false;
+      {
+        PSA_PHASE_TIMER(lookup_timer, support::Counter::kPhaseCacheLookupWallNs,
+                        support::Counter::kPhaseCacheLookupCpuNs);
+        cache::ResultCache::Lookup found = cache->lookup(key);
+        if (found.status == cache::ResultCache::Lookup::Status::kHit) {
+          try {
+            UnitPayload cached = deserialize_unit_payload(found.bytes);
+            // Re-issue under this run's identity and metrics: the report
+            // fields (result, findings, salvage summary) are byte-equal to a
+            // cold run; only the truthful counters (cache_hits, lookup
+            // timers) differ in the metrics stream.
+            cached.unit_name = unit.name;
+            cached.function = unit.function;
+            cached.metrics = unit_metrics.delta();
+            return serialize_unit_payload(cached, *cached.interner);
+          } catch (const rsg::SnapshotError& e) {
+            // Envelope-valid but payload-skewed (or hostile): evict and
+            // recompute — a cache entry is never allowed to fail a unit.
+            cache->evict(key, e.what());
+            self_heal = true;
+          }
+        } else if (found.status ==
+                   cache::ResultCache::Lookup::Status::kEvicted) {
+          self_heal = true;
+        }
+      }
+      if (self_heal) PSA_COUNT(support::Counter::kCacheSelfHeals);
+    }
+
     payload.result = analysis::analyze_program(program, engine);
     payload.exit_node = program.cfg.exit();
     payload.skipped_decls =
@@ -161,7 +230,12 @@ std::string run_unit_serialized(const AnalysisUnit& unit,
       payload.findings = checker::run_checkers(program, payload.result);
     }
     payload.metrics = unit_metrics.delta();
-    return serialize_unit_payload(payload, program.interner());
+    std::string bytes = serialize_unit_payload(payload, program.interner());
+    if (cache != nullptr && cacheable(payload, engine)) {
+      // Store failure (disk full, permissions) degrades to "no cache".
+      (void)cache->store(key, bytes, store_fault_for(unit));
+    }
+    return bytes;
   } catch (const analysis::FrontendError& e) {
     payload = UnitPayload{};
     payload.unit_name = unit.name;
@@ -394,12 +468,33 @@ struct PendingAttempt {
 
 BatchResult run_batch(const std::vector<AnalysisUnit>& units,
                       const BatchOptions& options, const UnitRunner& runner) {
+  // Open + recover the result cache before anything runs: stray tmp files
+  // from a killed writer are swept and corrupt entries quarantined exactly
+  // once, so every worker that follows sees a verified directory. An
+  // unusable cache dir throws — same batch-level setup contract as an
+  // unwritable checkpoint dir. The shared_ptr keeps the cache alive inside
+  // the runner closure (and across fork, where each worker gets its copy).
+  std::shared_ptr<cache::ResultCache> cache;
+  if (!options.cache_dir.empty()) {
+    cache = std::make_shared<cache::ResultCache>(options.cache_dir);
+    const cache::ResultCache::RecoveryReport recovered = cache->recover();
+    std::ostringstream line;
+    line << "cache " << cache->dir() << ": " << recovered.entries_kept
+         << " entries";
+    if (!recovered.clean()) {
+      line << ", swept " << recovered.tmp_removed << " tmp, quarantined "
+           << recovered.quarantined;
+    }
+    log_line(options, line.str());
+  }
+
   const UnitRunner effective_runner =
       runner ? runner
-             : UnitRunner([&options](const AnalysisUnit& unit,
-                                     const analysis::Options& engine) {
+             : UnitRunner([&options, cache](const AnalysisUnit& unit,
+                                            const analysis::Options& engine) {
                  return run_unit_serialized(unit, engine, options.check,
-                                            !options.strict_frontend);
+                                            !options.strict_frontend,
+                                            cache.get());
                });
 
   BatchResult result;
@@ -413,6 +508,9 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
   if (!options.checkpoint_dir.empty()) {
     checkpoint =
         std::make_unique<Checkpoint>(options.checkpoint_dir, options.resume);
+    for (const std::string& note : checkpoint->recovery_notes()) {
+      log_line(options, note);
+    }
   } else {
     scratch = std::make_unique<ScratchDir>();
   }

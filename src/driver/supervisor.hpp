@@ -37,6 +37,10 @@
 #include "driver/payload.hpp"
 #include "driver/unit.hpp"
 
+namespace psa::cache {
+class ResultCache;
+}  // namespace psa::cache
+
 namespace psa::driver {
 
 /// Runs one unit end to end (frontend + fixpoint + optional checkers) and
@@ -51,9 +55,22 @@ using UnitRunner =
 /// checkers when `check`, serialize. `salvage` enables the salvage-mode
 /// frontend (the batch default): unsupported constructs degrade to sound
 /// havoc semantics instead of failing the unit.
+///
+/// With a non-null `cache` (the content-addressed result cache,
+/// cache/cache.hpp), the lowered unit is looked up after the frontend runs:
+/// a checksum-valid, deeply-deserializable entry skips the fixpoint and
+/// checkers entirely (the payload is re-issued under the current unit name
+/// with this run's metrics delta, so the batch report is byte-identical to a
+/// cold run); a corrupt or version-skewed entry is evicted, recomputed, and
+/// stored back (counted as cache_self_heals). Cacheable results — converged,
+/// and not possibly shaped by a wall-clock deadline — are stored after a
+/// miss. Cache failures of any kind degrade to "no cache": they never fail
+/// the unit.
 [[nodiscard]] std::string run_unit_serialized(const AnalysisUnit& unit,
                                               const analysis::Options& engine,
-                                              bool check, bool salvage = true);
+                                              bool check, bool salvage = true,
+                                              cache::ResultCache* cache =
+                                                  nullptr);
 
 /// One retry step of the governor budget: roughly halves the widen
 /// threshold, visit budget, set limit and deadline (never below a sane
@@ -69,6 +86,12 @@ struct BatchOptions {
   /// Checkpoint directory; empty disables checkpointing (workers then write
   /// their IPC snapshots to a private temp dir).
   std::string checkpoint_dir;
+  /// Content-addressed result cache directory (cache/cache.hpp); empty
+  /// disables caching. Opened (and recovered: stray tmp files swept, corrupt
+  /// entries quarantined) once at batch start; each worker then looks its
+  /// unit up after the frontend and skips the fixpoint on a validated hit.
+  /// Only the default runner consults the cache.
+  std::string cache_dir;
   /// Resume from `checkpoint_dir` (see driver/checkpoint.hpp semantics).
   bool resume = false;
   /// Per-unit wall-clock budget in ms; 0 disables the watchdog.

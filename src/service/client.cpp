@@ -1,0 +1,175 @@
+#include "service/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "rsg/serialize.hpp"
+#include "service/protocol.hpp"
+#include "support/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PSA_SERVICE_HAS_SOCKETS 1
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define PSA_SERVICE_HAS_SOCKETS 0
+#endif
+
+namespace psa::service {
+
+namespace {
+
+void log_line(const ClientOptions& options, const std::string& line) {
+  if (options.log) options.log(line);
+}
+
+#if PSA_SERVICE_HAS_SOCKETS
+
+int connect_unix(const std::string& path) {
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Deterministic per-process jitter stream (splitmix64 over pid + attempt):
+/// no wall clock, but distinct processes still desynchronize.
+std::uint64_t jitter_bits(int attempt) {
+  std::uint64_t x = static_cast<std::uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(attempt);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+#endif  // PSA_SERVICE_HAS_SOCKETS
+
+void backoff_sleep(const ClientOptions& options, int attempt) {
+#if PSA_SERVICE_HAS_SOCKETS
+  std::uint64_t delay = options.backoff_base_ms;
+  for (int i = 1; i < attempt; ++i) {
+    delay = std::min(options.backoff_cap_ms, delay * 2);
+  }
+  // +/-50% jitter, floor 1ms, so retry waves from many clients spread out.
+  const std::uint64_t half = std::max<std::uint64_t>(1, delay / 2);
+  delay = half + jitter_bits(attempt) % (delay - half + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+#else
+  (void)options;
+  (void)attempt;
+#endif
+}
+
+}  // namespace
+
+RequestOutcome run_request(const std::vector<driver::AnalysisUnit>& units,
+                           const driver::BatchOptions& batch,
+                           const ClientOptions& client) {
+  RequestOutcome outcome;
+
+#if PSA_SERVICE_HAS_SOCKETS
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ServiceRequest request;
+  request.units = units;
+  request.engine = batch.engine;
+  request.check = batch.check;
+  request.strict_frontend = batch.strict_frontend;
+  request.unit_timeout_ms = batch.unit_timeout_ms;
+  const std::string body = encode_request(request);
+
+  const int max_attempts = std::max(1, client.max_attempts);
+  std::string last_error = "no attempt made";
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      PSA_COUNT(support::Counter::kServiceRetries);
+      backoff_sleep(client, attempt - 1);
+    }
+    outcome.attempts = attempt;
+
+    const int fd = connect_unix(client.socket_path);
+    if (fd < 0) {
+      last_error = "cannot connect to " + client.socket_path;
+      log_line(client, "connect: " + last_error + " (attempt " +
+                           std::to_string(attempt) + ")");
+      continue;
+    }
+
+    std::string error;
+    Frame reply;
+    const bool ok =
+        send_frame(fd, MsgType::kRequest, body, client.io_timeout_ms,
+                   &error) &&
+        recv_frame(fd, reply, client.io_timeout_ms, &error);
+    ::close(fd);
+
+    if (!ok) {
+      // Dead handler, reset, timeout: indistinguishable from the client's
+      // side and all retryable.
+      last_error = error;
+      log_line(client, "connect: " + error + " (attempt " +
+                           std::to_string(attempt) + ")");
+      continue;
+    }
+    if (reply.type == MsgType::kBusy) {
+      last_error = "daemon busy";
+      log_line(client, "connect: daemon busy (attempt " +
+                           std::to_string(attempt) + ")");
+      continue;
+    }
+    if (reply.type == MsgType::kError) {
+      last_error = "daemon error: " + reply.body;
+      log_line(client, "connect: " + last_error + " (attempt " +
+                           std::to_string(attempt) + ")");
+      continue;
+    }
+    if (reply.type != MsgType::kResponse) {
+      last_error = "unexpected reply frame";
+      continue;
+    }
+    try {
+      outcome.result = decode_response(reply.body);
+      outcome.via_service = true;
+      return outcome;
+    } catch (const rsg::SnapshotError& e) {
+      last_error = std::string("undecodable response: ") + e.what();
+      log_line(client, "connect: " + last_error);
+      continue;
+    }
+  }
+#else
+  std::string last_error = "sockets unsupported on this platform";
+#endif
+
+  if (!client.fallback) {
+    outcome.error = last_error;
+    return outcome;
+  }
+
+  // The availability contract: a dead daemon never fails a build. Run the
+  // exact same batch locally — same options, isolation included — so the
+  // report is byte-identical to the daemon's.
+  log_line(client, "connect: service unavailable (" + last_error +
+                       "), analyzing locally");
+  outcome.result = driver::run_batch(units, batch);
+  outcome.via_service = false;
+  return outcome;
+}
+
+}  // namespace psa::service

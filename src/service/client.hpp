@@ -1,0 +1,61 @@
+// The thin analysis-service client (psa_cli --connect, docs/SERVICE.md).
+//
+// Sends one batch request to a daemon and returns the decoded BatchResult.
+// The availability contract is absolute: a dead, busy, crashing or draining
+// daemon NEVER fails the caller's build —
+//   * `busy` frames, connection failures and resets are retried with
+//     jittered exponential backoff (counted as service_retries);
+//   * when the retry budget is exhausted (or the response is undecodable),
+//     the client falls back to running the batch in-process through the
+//     same driver::run_batch with the same options, so the report it
+//     returns is byte-identical to what a healthy daemon would have sent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/supervisor.hpp"
+#include "driver/unit.hpp"
+
+namespace psa::service {
+
+struct ClientOptions {
+  /// Daemon socket path.
+  std::string socket_path;
+  /// Connection attempts before falling back (>= 1).
+  int max_attempts = 5;
+  /// Exponential backoff between attempts: base doubles per retry, capped,
+  /// with +/-50% deterministic jitter so a fleet of clients desynchronizes.
+  std::uint64_t backoff_base_ms = 50;
+  std::uint64_t backoff_cap_ms = 2000;
+  /// Per-frame socket I/O timeout.
+  std::uint64_t io_timeout_ms = 60'000;
+  /// Allow the in-process fallback. Off only for tests that must observe a
+  /// hard service failure.
+  bool fallback = true;
+  /// Progress log (retry / fallback lines); null = quiet.
+  std::function<void(const std::string&)> log;
+};
+
+struct RequestOutcome {
+  driver::BatchResult result;
+  /// True when the result came from the daemon; false for the local
+  /// fallback.
+  bool via_service = false;
+  /// Connection attempts consumed (for tests and logs).
+  int attempts = 0;
+  /// With fallback disabled and no service reply: why.
+  std::string error;
+};
+
+/// Run `units` via the daemon at `client.socket_path`, falling back to a
+/// local driver::run_batch(units, batch) when the service cannot answer.
+/// `batch` supplies both the request parameters sent to the daemon (engine,
+/// check, strict_frontend, unit_timeout_ms) and the fallback configuration.
+[[nodiscard]] RequestOutcome run_request(
+    const std::vector<driver::AnalysisUnit>& units,
+    const driver::BatchOptions& batch, const ClientOptions& client);
+
+}  // namespace psa::service

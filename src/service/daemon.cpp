@@ -1,0 +1,374 @@
+#include "service/daemon.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "driver/fault.hpp"
+#include "driver/supervisor.hpp"
+#include "rsg/serialize.hpp"
+#include "service/protocol.hpp"
+#include "support/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PSA_SERVICE_HAS_SOCKETS 1
+#include <csignal>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+#else
+#define PSA_SERVICE_HAS_SOCKETS 0
+#endif
+
+namespace psa::service {
+
+#if PSA_SERVICE_HAS_SOCKETS
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void on_term_signal(int) { g_drain_requested = 1; }
+
+void log_line(const DaemonOptions& options, const std::string& line) {
+  if (options.log) options.log(line);
+}
+
+/// Append-only request journal next to the cache (or the socket). Best
+/// effort: journal failures never fail the daemon.
+class ServiceJournal {
+ public:
+  explicit ServiceJournal(const DaemonOptions& options) {
+    const std::string dir =
+        options.cache_dir.empty()
+            ? fs::path(options.socket_path).parent_path().string()
+            : options.cache_dir;
+    if (dir.empty()) return;
+    path_ = (fs::path(dir) / "service.journal").string();
+    std::ofstream out(path_, std::ios::app);
+    if (out) out << "psa-service-journal v1\n" << std::flush;
+  }
+
+  void record(const std::string& line) {
+    if (path_.empty()) return;
+    std::ofstream out(path_, std::ios::app);
+    if (out) out << line << '\n' << std::flush;
+  }
+
+  /// The drain marker: a journal whose last line is "sealed" belonged to a
+  /// daemon that exited gracefully with no request in flight.
+  void seal() { record("sealed"); }
+
+ private:
+  std::string path_;
+};
+
+struct Handler {
+  pid_t pid = -1;
+  int conn_fd = -1;  // the parent's copy, for crash/deadline error frames
+  Clock::time_point start;
+  bool deadline_killed = false;
+};
+
+/// Bind the listening socket, recovering a stale socket file (bind says
+/// in-use but nobody accepts connections there). -1 on failure.
+int bind_listener(const DaemonOptions& options, std::string* error) {
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + options.socket_path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, options.socket_path.c_str(),
+              options.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "cannot create socket";
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (errno != EADDRINUSE) {
+      *error = "cannot bind " + options.socket_path;
+      ::close(fd);
+      return -1;
+    }
+    // A socket file exists. A live daemon answers a connect; a dead one
+    // refuses — then the file is stale and safe to reclaim.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    const bool live =
+        probe >= 0 &&
+        ::connect(probe, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof addr) == 0;
+    if (probe >= 0) ::close(probe);
+    if (live) {
+      *error = "another daemon is already serving " + options.socket_path;
+      ::close(fd);
+      return -1;
+    }
+    ::unlink(options.socket_path.c_str());
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      *error = "cannot rebind " + options.socket_path;
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (::listen(fd, 64) != 0) {
+    *error = "cannot listen on " + options.socket_path;
+    ::close(fd);
+    ::unlink(options.socket_path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+/// The handler-child body: one request, one reply, exit. Never returns.
+[[noreturn]] void run_handler(int conn_fd, const DaemonOptions& options) {
+#if defined(__linux__)
+  // Die with the daemon: a SIGKILLed daemon must leave no orphan handlers
+  // (the client then sees a reset and falls back to local analysis).
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  std::string error;
+  Frame frame;
+  if (!recv_frame(conn_fd, frame, options.io_timeout_ms, &error)) {
+    ::_exit(0);  // client went away or sent garbage; nothing to answer
+  }
+  if (frame.type == MsgType::kPing) {
+    (void)send_frame(conn_fd, MsgType::kPong, "", options.io_timeout_ms,
+                     &error);
+    ::_exit(0);
+  }
+  if (frame.type != MsgType::kRequest) {
+    (void)send_frame(conn_fd, MsgType::kError, "expected a request frame",
+                     options.io_timeout_ms, &error);
+    ::_exit(0);
+  }
+
+  try {
+    const ServiceRequest request = decode_request(frame.body);
+
+    // PSA_FAULT_AT sockdrop (docs/SERVICE.md): hang up without replying, as
+    // a handler dying between accept and reply would. The client must treat
+    // it as a connection reset — retry, then fall back.
+    for (const driver::AnalysisUnit& unit : request.units) {
+      if (driver::FaultPlan::from_env().for_unit(unit.name) ==
+          driver::FaultKind::kSockDrop) {
+        ::close(conn_fd);
+        ::_exit(0);
+      }
+    }
+
+    driver::BatchOptions batch;
+    batch.isolate = true;
+    batch.jobs = options.jobs;
+    batch.cache_dir = options.cache_dir;
+    batch.engine = request.engine;
+    batch.check = request.check;
+    batch.strict_frontend = request.strict_frontend;
+    batch.unit_timeout_ms = request.unit_timeout_ms;
+    const driver::BatchResult result = driver::run_batch(request.units, batch);
+
+    (void)send_frame(conn_fd, MsgType::kResponse, encode_response(result),
+                     options.io_timeout_ms, &error);
+    ::_exit(0);
+  } catch (const rsg::SnapshotError& e) {
+    (void)send_frame(conn_fd, MsgType::kError, e.what(),
+                     options.io_timeout_ms, &error);
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    (void)send_frame(conn_fd, MsgType::kError, e.what(),
+                     options.io_timeout_ms, &error);
+    ::_exit(1);
+  }
+}
+
+/// Best-effort error frame on the parent's fd copy after a handler died
+/// without replying. A short timeout: the client may already be gone.
+void send_handler_error(int conn_fd, std::string_view what) {
+  std::string error;
+  (void)send_frame(conn_fd, MsgType::kError, what, 1000, &error);
+}
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& options) {
+  std::string error;
+
+  // Open + recover the cache before accepting anything, so a torn directory
+  // (crashed previous daemon) is repaired exactly once, up front.
+  if (!options.cache_dir.empty()) {
+    try {
+      cache::ResultCache cache(options.cache_dir);
+      const cache::ResultCache::RecoveryReport recovered = cache.recover();
+      std::ostringstream line;
+      line << "serve: cache " << options.cache_dir << ": "
+           << recovered.entries_kept << " entries";
+      if (!recovered.clean()) {
+        line << ", swept " << recovered.tmp_removed << " tmp, quarantined "
+             << recovered.quarantined;
+      }
+      log_line(options, line.str());
+    } catch (const std::exception& e) {
+      log_line(options, std::string("serve: ") + e.what());
+      return 1;
+    }
+  }
+
+  const int listen_fd = bind_listener(options, &error);
+  if (listen_fd < 0) {
+    log_line(options, "serve: " + error);
+    return 1;
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+  g_drain_requested = 0;
+  std::signal(SIGTERM, on_term_signal);
+  std::signal(SIGINT, on_term_signal);
+
+  ServiceJournal journal(options);
+  journal.record("start inflight=" + std::to_string(options.max_inflight));
+  log_line(options, "serve: listening on " + options.socket_path);
+
+  std::vector<Handler> handlers;
+
+  const auto reap = [&](bool killing_overdue) {
+    for (std::size_t h = 0; h < handlers.size();) {
+      Handler& handler = handlers[h];
+
+      if (killing_overdue && options.request_deadline_ms > 0 &&
+          !handler.deadline_killed) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - handler.start)
+                .count();
+        if (elapsed >= static_cast<std::int64_t>(options.request_deadline_ms)) {
+          handler.deadline_killed = true;
+          ::kill(handler.pid, SIGKILL);
+          log_line(options, "serve: request deadline exceeded, killed handler");
+        }
+      }
+
+      int status = 0;
+      const pid_t r = ::waitpid(handler.pid, &status, WNOHANG);
+      if (r != handler.pid) {
+        ++h;
+        continue;
+      }
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (handler.deadline_killed) {
+        send_handler_error(handler.conn_fd, "request deadline exceeded");
+        journal.record("done deadline");
+      } else if (!clean) {
+        // The handler crashed (or exited reporting failure) before/while
+        // replying: the client must hear an explicit error, not silence.
+        send_handler_error(handler.conn_fd, "request handler died");
+        journal.record("done crashed");
+      } else {
+        journal.record("done ok");
+      }
+      PSA_COUNT_N(support::Counter::kPhaseRequestWallNs,
+                  static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now() - handler.start)
+                          .count()));
+      ::close(handler.conn_fd);
+      handlers.erase(handlers.begin() + static_cast<std::ptrdiff_t>(h));
+    }
+  };
+
+  while (g_drain_requested == 0) {
+    reap(/*killing_overdue=*/true);
+
+    struct pollfd p {};
+    p.fd = listen_fd;
+    p.events = POLLIN;
+    const int ready = ::poll(&p, 1, 50);
+    if (ready <= 0) continue;  // timeout or EINTR: loop re-checks drain flag
+
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+
+    if (handlers.size() >= std::max<std::size_t>(1, options.max_inflight)) {
+      // Bounded-queue backpressure: shed explicitly so the client backs off
+      // instead of stacking requests behind a saturated daemon.
+      PSA_COUNT(support::Counter::kServiceBusyRejections);
+      journal.record("busy");
+      log_line(options, "serve: busy, shedding request");
+      std::string send_error;
+      (void)send_frame(conn_fd, MsgType::kBusy, "", 1000, &send_error);
+      ::close(conn_fd);
+      continue;
+    }
+
+    PSA_COUNT(support::Counter::kServiceRequests);
+    journal.record("accept");
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(listen_fd);
+      run_handler(conn_fd, options);
+    }
+    if (pid < 0) {
+      send_handler_error(conn_fd, "cannot fork request handler");
+      ::close(conn_fd);
+      journal.record("done forkfail");
+      continue;
+    }
+    Handler handler;
+    handler.pid = pid;
+    handler.conn_fd = conn_fd;
+    handler.start = Clock::now();
+    handlers.push_back(handler);
+  }
+
+  // Graceful drain: stop accepting, let in-flight requests finish, then
+  // seal. The socket disappears first so new clients fail fast to their
+  // local fallback instead of connecting to a daemon that won't answer.
+  log_line(options, "serve: drain requested");
+  ::close(listen_fd);
+  ::unlink(options.socket_path.c_str());
+  const Clock::time_point drain_deadline =
+      Clock::now() + std::chrono::milliseconds(options.drain_grace_ms);
+  while (!handlers.empty() && Clock::now() < drain_deadline) {
+    reap(/*killing_overdue=*/true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (Handler& handler : handlers) {
+    // Past the grace period: the drain must terminate anyway.
+    ::kill(handler.pid, SIGKILL);
+    ::waitpid(handler.pid, nullptr, 0);
+    send_handler_error(handler.conn_fd, "daemon draining");
+    ::close(handler.conn_fd);
+  }
+  handlers.clear();
+  journal.seal();
+  log_line(options, "serve: drained, journal sealed");
+  return 0;
+}
+
+#else  // !PSA_SERVICE_HAS_SOCKETS
+
+int run_daemon(const DaemonOptions& options) {
+  if (options.log) options.log("serve: sockets unsupported on this platform");
+  return 1;
+}
+
+#endif
+
+}  // namespace psa::service

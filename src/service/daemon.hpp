@@ -1,0 +1,66 @@
+// The persistent analysis daemon (psa_cli --serve, docs/SERVICE.md).
+//
+// A single-threaded accept loop on a unix-domain socket, with the result
+// cache resident. Each accepted request is handled in a forked child (the
+// daemon itself stays single-threaded, so forking is safe), which runs the
+// batch through the crash-isolated supervisor and replies with one response
+// frame. The parent keeps its copy of every connection fd, so a handler that
+// crashes still costs the client only an error frame — never a silent hang.
+//
+// Robustness envelope:
+//   * load shedding: when max_inflight handlers are already running, a new
+//     connection gets an immediate `busy` frame (counted as
+//     service_busy_rejections) instead of queueing unboundedly;
+//   * per-request deadline: a handler that exceeds request_deadline_ms is
+//     SIGKILLed and its client gets an error frame;
+//   * worker crashes: contained twice — per unit by the supervisor's fork
+//     isolation inside the handler, and per request by the handler fork
+//     itself;
+//   * graceful drain: SIGTERM (or SIGINT) stops accepting, lets in-flight
+//     handlers finish within drain_grace_ms, seals the service journal with
+//     a final "sealed" line, removes the socket and exits 0;
+//   * stale socket: a leftover socket file from a dead daemon (connect
+//     refused) is unlinked and rebound; a live daemon on the same path is a
+//     startup error;
+//   * handlers die with the daemon (PDEATHSIG), so a SIGKILLed daemon leaves
+//     no orphans — clients see the connection reset and fall back to local
+//     analysis (service/client.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "analysis/engine.hpp"
+
+namespace psa::service {
+
+struct DaemonOptions {
+  /// Unix-domain socket path to bind.
+  std::string socket_path;
+  /// Result cache directory handed to every handler's supervisor; empty
+  /// disables caching. The `service.journal` lives here too (when set).
+  std::string cache_dir;
+  /// Handler concurrency cap; connections beyond it are shed with `busy`.
+  /// Env override: PSA_SERVE_INFLIGHT.
+  std::size_t max_inflight = 2;
+  /// Worker concurrency inside each handler's supervisor.
+  std::size_t jobs = 1;
+  /// Whole-request wall-clock deadline in ms; 0 disables. A handler past it
+  /// is SIGKILLed and the client gets an error frame. Env override:
+  /// PSA_SERVE_REQUEST_DEADLINE_MS.
+  std::uint64_t request_deadline_ms = 0;
+  /// How long a SIGTERM drain waits for in-flight handlers before SIGKILL.
+  std::uint64_t drain_grace_ms = 30'000;
+  /// Per-frame socket I/O timeout for handlers.
+  std::uint64_t io_timeout_ms = 30'000;
+  /// Progress log (start / accept / busy / done / drain lines); null = quiet.
+  std::function<void(const std::string&)> log;
+};
+
+/// Run the daemon until SIGTERM/SIGINT. Returns a process exit code: 0 after
+/// a graceful drain, 1 on a setup failure (bad socket path, bind failure,
+/// unusable cache dir, platform without sockets).
+[[nodiscard]] int run_daemon(const DaemonOptions& options);
+
+}  // namespace psa::service

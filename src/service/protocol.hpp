@@ -1,0 +1,91 @@
+// The psa analysis-service wire protocol (docs/SERVICE.md).
+//
+// Length-prefixed, checksummed frames over a unix-domain stream socket:
+//
+//   offset  size  field
+//   0       8     magic "PSARPC1\n"
+//   8       1     message type (MsgType)
+//   9       8     body size in bytes (little-endian u64, capped)
+//   17      8     FNV-1a 64-bit checksum of the body
+//   25      n     body
+//
+// Bodies are built from the same bounds-checked little-endian primitives as
+// the snapshot format (rsg::ByteWriter / ByteReader), and per-unit results
+// travel as full PSASNAP1-enveloped UnitPayload bytes — so a response is
+// validated twice: once at the frame checksum, once per payload envelope.
+//
+// Robustness contract: recv_frame never trusts the peer. The magic and type
+// are validated, the body size is capped (kMaxFrameBody) before any
+// allocation, the checksum is verified before the body is handed to a
+// decoder, and the decoders themselves throw rsg::SnapshotError on any
+// malformed field rather than exhibiting UB. A frame-level failure returns
+// false with a diagnostic; it never kills the caller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/supervisor.hpp"
+#include "driver/unit.hpp"
+
+namespace psa::service {
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,   // client -> daemon: a batch to analyze
+  kResponse = 2,  // daemon -> client: the batch result
+  kBusy = 3,      // daemon -> client: load shed, retry with backoff
+  kError = 4,     // daemon -> client: request failed (handler crash, decode)
+  kPing = 5,      // client -> daemon: liveness probe
+  kPong = 6,      // daemon -> client: liveness reply
+};
+
+[[nodiscard]] std::string_view to_string(MsgType type);
+
+/// Upper bound on a frame body, enforced before allocation on receive: a
+/// corrupt or hostile length field must not drive a pathological allocation.
+inline constexpr std::uint64_t kMaxFrameBody = 256ull << 20;  // 256 MiB
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string body;
+};
+
+/// Write one frame to `fd`, honoring `timeout_ms` per poll (0 = no timeout).
+/// Returns false (with a diagnostic in `error`) on timeout or I/O failure;
+/// never throws, never raises SIGPIPE (callers ignore it process-wide).
+bool send_frame(int fd, MsgType type, std::string_view body,
+                std::uint64_t timeout_ms, std::string* error);
+
+/// Read one validated frame from `fd`. False on timeout, EOF, bad magic,
+/// oversized body or checksum mismatch — with the reason in `error`.
+bool recv_frame(int fd, Frame& out, std::uint64_t timeout_ms,
+                std::string* error);
+
+// --- Request / response bodies ----------------------------------------------
+
+/// One batch analysis request. Carries everything the daemon needs to run
+/// driver::run_batch on its side: the units and the engine/checker options.
+/// Scheduling knobs (jobs, cache dir, isolation) are the daemon's own
+/// configuration — a client cannot steer them.
+struct ServiceRequest {
+  std::vector<driver::AnalysisUnit> units;
+  analysis::Options engine;
+  bool check = false;
+  bool strict_frontend = false;
+  std::uint64_t unit_timeout_ms = 0;
+};
+
+[[nodiscard]] std::string encode_request(const ServiceRequest& request);
+/// Throws rsg::SnapshotError on any malformed field.
+[[nodiscard]] ServiceRequest decode_request(std::string_view body);
+
+/// Encode a completed batch: per unit, the identity, the structured outcome
+/// and (when present) the full serialized UnitPayload bytes.
+[[nodiscard]] std::string encode_response(const driver::BatchResult& result);
+/// Throws rsg::SnapshotError on any malformed field (including a payload
+/// whose own envelope fails validation).
+[[nodiscard]] driver::BatchResult decode_response(std::string_view body);
+
+}  // namespace psa::service

@@ -37,6 +37,14 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kHavocSites: return "havoc_sites";
     case Counter::kSkippedDecls: return "skipped_decls";
     case Counter::kSalvagedUnits: return "salvaged_units";
+    case Counter::kCacheHits: return "cache_hits";
+    case Counter::kCacheMisses: return "cache_misses";
+    case Counter::kCacheStores: return "cache_stores";
+    case Counter::kCacheEvictions: return "cache_evictions";
+    case Counter::kCacheSelfHeals: return "cache_self_heals";
+    case Counter::kServiceRequests: return "service_requests";
+    case Counter::kServiceBusyRejections: return "service_busy_rejections";
+    case Counter::kServiceRetries: return "service_retries";
     case Counter::kPhaseParseWallNs: return "phase_parse_wall_ns";
     case Counter::kPhaseParseCpuNs: return "phase_parse_cpu_ns";
     case Counter::kPhaseCfgWallNs: return "phase_cfg_wall_ns";
@@ -51,6 +59,10 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kPhaseCheckerCpuNs: return "phase_checker_cpu_ns";
     case Counter::kPhaseSerializeWallNs: return "phase_serialize_wall_ns";
     case Counter::kPhaseSerializeCpuNs: return "phase_serialize_cpu_ns";
+    case Counter::kPhaseCacheLookupWallNs: return "phase_cache_lookup_wall_ns";
+    case Counter::kPhaseCacheLookupCpuNs: return "phase_cache_lookup_cpu_ns";
+    case Counter::kPhaseRequestWallNs: return "phase_request_wall_ns";
+    case Counter::kPhaseRequestCpuNs: return "phase_request_cpu_ns";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -88,6 +88,18 @@ enum class Counter : std::uint16_t {
   kSkippedDecls,   // declarations stubbed out by parser/sema recovery
   kSalvagedUnits,  // prepared units that degraded but still analyzed
 
+  // Content-addressed result cache (docs/SERVICE.md).
+  kCacheHits,       // lookups served from a validated cache entry
+  kCacheMisses,     // lookups that fell through to a real analysis
+  kCacheStores,     // entries written (atomic tmp-rename)
+  kCacheEvictions,  // entries removed: corrupt, version-skewed, or stray
+  kCacheSelfHeals,  // corrupt entries evicted and transparently recomputed
+
+  // Service daemon + client (docs/SERVICE.md).
+  kServiceRequests,        // requests a daemon accepted for processing
+  kServiceBusyRejections,  // requests shed with an explicit busy reply
+  kServiceRetries,         // client retries after busy / connection failure
+
   // Phase timers, nanoseconds (wall = steady clock, cpu = process CPU).
   // Everything from kPhaseParseWallNs on is a timer; see is_timer().
   kPhaseParseWallNs,
@@ -104,6 +116,10 @@ enum class Counter : std::uint16_t {
   kPhaseCheckerCpuNs,
   kPhaseSerializeWallNs,
   kPhaseSerializeCpuNs,
+  kPhaseCacheLookupWallNs,
+  kPhaseCacheLookupCpuNs,
+  kPhaseRequestWallNs,  // service daemon: whole-request latency
+  kPhaseRequestCpuNs,
 
   kCount,
 };

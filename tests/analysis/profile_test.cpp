@@ -177,6 +177,16 @@ TEST(ProfileTest, MetricsJsonRoundTripsThroughTheParser) {
     const std::string key{counter_name(c)};
     EXPECT_DOUBLE_EQ(ops->num(key), static_cast<double>(m.ops[c])) << key;
   }
+  // The service-layer vocabulary (docs/SERVICE.md) is part of the stable
+  // schema: these counters must be present under exactly these names even
+  // when zero — consumers key on them for cache hit-rate dashboards.
+  for (const char* key :
+       {"cache_hits", "cache_misses", "cache_stores", "cache_evictions",
+        "cache_self_heals", "service_requests", "service_busy_rejections",
+        "service_retries", "phase_cache_lookup_wall_ns",
+        "phase_request_wall_ns"}) {
+    EXPECT_NE(ops->find(key), nullptr) << key;
+  }
 
   const testing::JsonValue* gauges = doc->find("gauges");
   ASSERT_NE(gauges, nullptr);

@@ -112,6 +112,73 @@ TEST_F(CheckpointTest, TornFinalLineIsSkipped) {
   EXPECT_EQ(replayed->kind, UnitOutcomeKind::kOk);  // torn line ignored
 }
 
+TEST_F(CheckpointTest, TornFirstLineIsSkipped) {
+  // A supervisor SIGKILLed while writing the very FIRST journal line (even
+  // the header can be torn): resume must treat the journal as empty, not
+  // crash or misparse.
+  fs::create_directories(dir_);
+  {
+    std::ofstream journal((fs::path(dir_) / "journal.psaj").string(),
+                          std::ios::binary);
+    journal << "psa-jour";  // torn header, no newline
+  }
+  Checkpoint resumed(dir_, /*resume=*/true);
+  EXPECT_EQ(resumed.replayed_outcome(unit_key(unit("prog"))), nullptr);
+  // The checkpoint stays usable: new records append and replay next time.
+  UnitOutcome outcome;
+  outcome.kind = UnitOutcomeKind::kOk;
+  resumed.record_outcome(unit_key(unit("prog")), outcome);
+  Checkpoint again(dir_, /*resume=*/true);
+  ASSERT_NE(again.replayed_outcome(unit_key(unit("prog"))), nullptr);
+}
+
+TEST_F(CheckpointTest, ZeroByteJournalIsRecovered) {
+  // Crash between open and the first header write: a zero-byte journal.
+  fs::create_directories(dir_);
+  { std::ofstream journal((fs::path(dir_) / "journal.psaj").string()); }
+  ASSERT_EQ(fs::file_size(fs::path(dir_) / "journal.psaj"), 0u);
+  Checkpoint resumed(dir_, /*resume=*/true);
+  EXPECT_EQ(resumed.replayed_outcome(unit_key(unit("prog"))), nullptr);
+  // The constructor re-seeds the header into the empty file.
+  EXPECT_GT(fs::file_size(fs::path(dir_) / "journal.psaj"), 0u);
+}
+
+TEST_F(CheckpointTest, ResumeSweepsStrayInFlightSnapshot) {
+  // A worker killed mid-write leaves <key>.snap.tmp; its rename never
+  // happened, so the bytes were never a result. Resume must delete it (with
+  // a diagnostic) rather than trip over it.
+  const std::string key = unit_key(unit("prog"));
+  std::string tmp_path;
+  {
+    Checkpoint ckpt(dir_, /*resume=*/false);
+    UnitOutcome outcome;
+    outcome.kind = UnitOutcomeKind::kOk;
+    ckpt.record_outcome(key, outcome);
+    tmp_path = ckpt.snapshot_tmp_path(key);
+    std::ofstream tmp(tmp_path, std::ios::binary);
+    tmp << "half-writ";
+  }
+  ASSERT_TRUE(fs::exists(tmp_path));
+  Checkpoint resumed(dir_, /*resume=*/true);
+  EXPECT_FALSE(fs::exists(tmp_path));
+  ASSERT_EQ(resumed.recovery_notes().size(), 1u);
+  EXPECT_NE(resumed.recovery_notes()[0].find(".snap.tmp"), std::string::npos);
+  // The journal replay itself is unaffected by the sweep.
+  ASSERT_NE(resumed.replayed_outcome(key), nullptr);
+  EXPECT_EQ(resumed.replayed_outcome(key)->kind, UnitOutcomeKind::kOk);
+}
+
+TEST_F(CheckpointTest, FreshRunDoesNotReportRecoveryNotes) {
+  fs::create_directories(dir_);
+  {
+    std::ofstream tmp((fs::path(dir_) / "stale.snap.tmp").string());
+    tmp << "half";
+  }
+  Checkpoint fresh(dir_, /*resume=*/false);  // clearing is not "recovery"
+  EXPECT_TRUE(fresh.recovery_notes().empty());
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "stale.snap.tmp"));
+}
+
 TEST_F(CheckpointTest, UnknownAndGarbageLinesAreSkipped) {
   {
     Checkpoint ckpt(dir_, false);

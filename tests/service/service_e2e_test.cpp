@@ -1,0 +1,249 @@
+// End-to-end daemon mode through the real psa_cli binary (PSA_CLI_PATH):
+// --serve + --connect produce the same report as a local batch run, SIGTERM
+// drains gracefully (exit 0, sealed journal), and a dead daemon never fails
+// a build — the client retries, falls back in-process, and still reports
+// identically. The finer-grained fault drills (SIGKILL mid-request, corrupt
+// cache entries) live in scripts/service_drill.sh.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define PSA_SERVICE_E2E 1
+#else
+#define PSA_SERVICE_E2E 0
+#endif
+
+#if PSA_SERVICE_E2E
+
+namespace psa::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kLeakySource =
+    "struct node { struct node *next; int v; };\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  p->next = NULL;\n"
+    "}\n";
+
+constexpr const char* kCleanSource =
+    "struct node { struct node *next; int v; };\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  p->next = NULL;\n"
+    "  free(p);\n"
+    "  p = NULL;\n"
+    "}\n";
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+RunResult run_cli(const std::string& args, const std::string& stderr_path) {
+  const std::string command = std::string(PSA_CLI_PATH) + " " + args + " 2>" +
+                              (stderr_path.empty() ? "/dev/null"
+                                                   : stderr_path);
+  RunResult result;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = std::fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.stdout_text.append(buffer.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class ServiceE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("psa-svc-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    daemon_pid_ = -1;
+  }
+  void TearDown() override {
+    if (daemon_pid_ > 0) {
+      ::kill(daemon_pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(daemon_pid_, &status, 0);
+    }
+    fs::remove_all(dir_);
+  }
+
+  std::string write_file(const std::string& name, const std::string& text) {
+    const std::string path = (fs::path(dir_) / name).string();
+    std::ofstream out(path);
+    out << text;
+    return path;
+  }
+
+  std::string path_in(const std::string& name) const {
+    return (fs::path(dir_) / name).string();
+  }
+
+  /// Spawn `psa_cli --serve=<sock> --cache-dir=<cache>` detached and wait
+  /// until the socket accepts a connection. Asserts on startup failure.
+  void start_daemon() {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      (void)!::freopen(path_in("daemon.out").c_str(), "w", stdout);
+      (void)!::freopen(path_in("daemon.err").c_str(), "w", stderr);
+      static std::string binary = PSA_CLI_PATH;
+      std::string serve = "--serve=" + socket_path();
+      std::string cache = "--cache-dir=" + cache_dir();
+      char* argv[] = {binary.data(), serve.data(), cache.data(), nullptr};
+      ::execv(binary.c_str(), argv);
+      ::_exit(127);
+    }
+    ASSERT_GT(pid, 0);
+    daemon_pid_ = pid;
+    for (int spins = 0; spins < 5000; ++spins) {
+      if (probe_socket()) return;
+      ::usleep(2000);
+    }
+    FAIL() << "daemon never came up: " << slurp(path_in("daemon.err"));
+  }
+
+  [[nodiscard]] bool probe_socket() const {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = socket_path();
+    if (path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return false;
+    }
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    const bool up = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof(addr)) == 0;
+    ::close(fd);
+    return up;
+  }
+
+  [[nodiscard]] std::string socket_path() const { return path_in("psa.sock"); }
+  [[nodiscard]] std::string cache_dir() const { return path_in("cache"); }
+
+  std::string dir_;
+  pid_t daemon_pid_ = -1;
+};
+
+TEST_F(ServiceE2eTest, ConnectReportMatchesLocalBatchByteForByte) {
+  const std::string leaky = write_file("leaky.c", kLeakySource);
+  const std::string clean = write_file("clean.c", kCleanSource);
+  const std::string files = leaky + " " + clean;
+
+  // Reference: plain local batch, no service, no cache.
+  const RunResult local = run_cli(files + " --isolate --check", "");
+  ASSERT_EQ(local.exit_code, 1) << local.stdout_text;
+
+  start_daemon();
+  const RunResult remote = run_cli(
+      files + " --check --connect=" + socket_path(), path_in("client.err"));
+  EXPECT_EQ(remote.exit_code, local.exit_code);
+  EXPECT_EQ(remote.stdout_text, local.stdout_text)
+      << "client stderr: " << slurp(path_in("client.err"));
+
+  // A second request over the same daemon is served from the warm cache and
+  // still renders the identical report.
+  const RunResult warm = run_cli(
+      files + " --check --connect=" + socket_path(), "");
+  EXPECT_EQ(warm.stdout_text, local.stdout_text);
+  EXPECT_FALSE(fs::is_empty(cache_dir()));  // entries actually landed
+}
+
+TEST_F(ServiceE2eTest, SigtermDrainsGracefullyAndSealsTheJournal) {
+  start_daemon();
+  // One request so the journal has traffic to account for.
+  const std::string leaky = write_file("leaky.c", kLeakySource);
+  ASSERT_EQ(
+      run_cli(leaky + " --check --connect=" + socket_path(), "").exit_code, 1);
+
+  ASSERT_EQ(::kill(daemon_pid_, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon_pid_, &status, 0), daemon_pid_);
+  daemon_pid_ = -1;
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);  // graceful drain is a clean exit
+
+  // The socket is gone (no client can half-connect to a corpse) and the
+  // journal ends with the seal.
+  EXPECT_FALSE(fs::exists(socket_path()));
+  const std::string journal =
+      slurp((fs::path(cache_dir()) / "service.journal").string());
+  EXPECT_NE(journal.find("start"), std::string::npos) << journal;
+  EXPECT_NE(journal.find("done ok"), std::string::npos) << journal;
+  EXPECT_NE(journal.find("sealed"), std::string::npos) << journal;
+}
+
+TEST_F(ServiceE2eTest, DeadDaemonFallsBackAndNeverFailsTheBuild) {
+  // No daemon at all: the client must retry, give up, analyze locally, and
+  // produce the exact local report — a dead daemon costs latency, not
+  // correctness.
+  const std::string leaky = write_file("leaky.c", kLeakySource);
+  const RunResult local = run_cli(leaky + " --isolate --check", "");
+  ASSERT_EQ(local.exit_code, 1);
+
+  const RunResult fallback =
+      run_cli(leaky + " --check --connect=" + path_in("no-such.sock"),
+              path_in("client.err"));
+  EXPECT_EQ(fallback.exit_code, local.exit_code);
+  EXPECT_EQ(fallback.stdout_text, local.stdout_text);
+  const std::string log = slurp(path_in("client.err"));
+  EXPECT_NE(log.find("analyzing locally"), std::string::npos) << log;
+}
+
+TEST_F(ServiceE2eTest, StaleSocketFileIsRecoveredOnStartup) {
+  // A previous daemon died without unlinking its socket. The next --serve
+  // must detect the corpse (connect refused), unlink, and bind fresh.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path().c_str());
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);  // bound but never listening: a dead daemon's leftover
+  ASSERT_TRUE(fs::exists(socket_path()));
+
+  start_daemon();  // asserts the socket accepts connections
+  const std::string leaky = write_file("leaky.c", kLeakySource);
+  EXPECT_EQ(
+      run_cli(leaky + " --check --connect=" + socket_path(), "").exit_code, 1);
+}
+
+}  // namespace
+}  // namespace psa::service
+
+#endif  // PSA_SERVICE_E2E
