@@ -1,0 +1,86 @@
+// Interprocedural summary payoff: the multi-function corpus pipeline
+// (list_pipeline — build/fold/free helpers around one list) analyzed with
+// function summaries against the same unit forced onto the call-havoc
+// fallback (--no-summaries). Two canonical rows:
+//
+//   list_pipeline/summarized   bottom-up summaries, every call site modeled
+//   list_pipeline/havoc        summaries disabled — each call is a global
+//                              havoc plus free-widening, the pre-IPA cost
+//
+// The counter deltas in "ops" double as the acceptance proof: the
+// summarized row shows call_havoc_fallback == 0 with summary_applied
+// covering every call site; the havoc row shows the inverse. The havoc row
+// is *cheaper* per fixpoint pass but destroys precision — exit_graphs and
+// the checker-facing taint tell that story, not wall time alone.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "bench_util.hpp"
+#include "corpus/corpus.hpp"
+
+namespace {
+
+using namespace psa;
+
+analysis::ProgramAnalysis& pipeline() {
+  static analysis::ProgramAnalysis program =
+      analysis::prepare(corpus::find_program("list_pipeline")->source);
+  return program;
+}
+
+analysis::Options summarized_options() {
+  analysis::Options options;
+  options.level = rsg::AnalysisLevel::kL2;
+  return options;
+}
+
+analysis::Options havoc_options() {
+  analysis::Options options = summarized_options();
+  options.enable_summaries = false;
+  return options;
+}
+
+void BM_Ipa_Summarized(benchmark::State& state) {
+  auto& program = pipeline();
+  const auto options = summarized_options();
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+    benchmark::DoNotOptimize(result.status);
+  }
+  bench::report_run(state, program, result);
+}
+BENCHMARK(BM_Ipa_Summarized);
+
+void BM_Ipa_ForcedHavoc(benchmark::State& state) {
+  auto& program = pipeline();
+  const auto options = havoc_options();
+  analysis::AnalysisResult result;
+  for (auto _ : state) {
+    result = analysis::analyze_program(program, options);
+    benchmark::DoNotOptimize(result.status);
+  }
+  bench::report_run(state, program, result);
+}
+BENCHMARK(BM_Ipa_ForcedHavoc);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  psa::bench::BenchReport report("ipa_summary", argc, argv);
+  if (!report.quick()) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  auto& program = pipeline();
+  report.add("list_pipeline/summarized", program,
+             analysis::analyze_program(program, summarized_options()));
+  report.add("list_pipeline/havoc", program,
+             analysis::analyze_program(program, havoc_options()));
+  return 0;
+}

@@ -6,6 +6,7 @@
 //                      [--check] [--sarif=OUT.sarif]
 //                      [--profile] [--metrics-out=FILE.jsonl]
 //                      [--no-widen] [--threads=N] [--memory-budget=BYTES]
+//                      [--no-summaries] [--summary-iters=N]
 //                      [--deadline-ms=MS] [--max-visits=N] [--hard-fail]
 //                      [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]
 //                      [--checkpoint=DIR] [--resume] [--corpus]
@@ -156,6 +157,10 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
       out.dot_path = value_of("--dot=");
     } else if (arg == "--no-widen") {
       out.engine.widen_threshold = 0;
+    } else if (arg == "--no-summaries") {
+      out.engine.enable_summaries = false;
+    } else if (arg.rfind("--summary-iters=", 0) == 0) {
+      out.engine.max_summary_iters = std::stoull(value_of("--summary-iters="));
     } else if (arg.rfind("--threads=", 0) == 0) {
       out.engine.threads = std::stoul(value_of("--threads="));
     } else if (arg.rfind("--memory-budget=", 0) == 0) {
@@ -243,6 +248,7 @@ constexpr const char* kHelpText =
     "               [--check] [--sarif=OUT.sarif]\n"
     "               [--profile] [--metrics-out=FILE.jsonl]\n"
     "               [--no-widen] [--threads=N]\n"
+    "               [--no-summaries] [--summary-iters=N]\n"
     "               [--memory-budget=BYTES] [--deadline-ms=MS]\n"
     "               [--max-visits=N] [--hard-fail]\n"
     "       batch:  [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]\n"

@@ -35,6 +35,7 @@ BENCHES=(
   governor_overhead
   checker_cost
   cache_warm
+  ipa_summary
 )
 
 BASELINE_DIR="$(cd "$(dirname "$0")/.." && pwd)/bench/baselines"

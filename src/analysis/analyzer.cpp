@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "ipa/summarize.hpp"
 #include "support/metrics.hpp"
 
 namespace psa::analysis {
@@ -65,6 +66,26 @@ ProgramAnalysis prepare(std::string_view source, std::string_view function,
 
   program.induction = cfg::detect_induction_pvars(program.cfg);
 
+  // Lower every other sema-surviving function for the interprocedural
+  // summary computation. Each gets its own salvage-mode diagnostic engine:
+  // a helper that cannot be lowered is simply absent from unit_cfgs (its
+  // call sites havoc-fallback) and never fails the unit or pollutes the
+  // target's diagnostics.
+  for (const auto& fi : program.sema.functions) {
+    if (&fi == info) {
+      program.unit_cfgs.push_back(
+          {fi.decl->name, program.cfg, program.induction});
+      continue;
+    }
+    support::DiagnosticEngine local;
+    local.set_salvage(true);
+    cfg::Cfg helper_cfg = cfg::build_cfg(program.unit, fi, local);
+    if (local.has_errors()) continue;
+    cfg::InductionInfo helper_ind = cfg::detect_induction_pvars(helper_cfg);
+    program.unit_cfgs.push_back(
+        {fi.decl->name, std::move(helper_cfg), std::move(helper_ind)});
+  }
+
   // Salvage accounting (all zero on a clean strict or salvage run).
   for (const auto& node : program.cfg.nodes()) {
     if (node.stmt.op == cfg::SimpleOp::kHavoc) ++program.salvage.havoc_sites;
@@ -90,7 +111,37 @@ AnalysisResult analyze_program(const ProgramAnalysis& program,
                                const Options& options) {
   Options opts = options;
   opts.types = &program.unit.types;
-  return analyze_cfg(program.cfg, program.induction, opts);
+
+  // The unit's ops delta spans the summary pass too: a caller reading
+  // result.ops sees summary_computed / summary_fixpoint_iters and the
+  // phase_ipa timers next to the engine counters, not just the final run.
+  support::MetricsRegion unit_region;
+
+  // Interprocedural summary pass (src/ipa): computed once per unit, applied
+  // by the kCall transfer of every analysis run below. Skipped entirely when
+  // no CFG contains a call — the common single-function case pays nothing.
+  ipa::SummaryTable summaries;
+  if (opts.enable_summaries && opts.summaries == nullptr) {
+    bool any_call = false;
+    for (const auto& fc : program.unit_cfgs) {
+      for (const auto& node : fc.cfg.nodes()) {
+        if (node.stmt.op == cfg::SimpleOp::kCall) {
+          any_call = true;
+          break;
+        }
+      }
+      if (any_call) break;
+    }
+    if (any_call) {
+      PSA_PHASE_TIMER(ipa_timer, support::Counter::kPhaseIpaWallNs,
+                      support::Counter::kPhaseIpaCpuNs);
+      summaries = ipa::compute_summaries(program, opts);
+      opts.summaries = &summaries;
+    }
+  }
+  AnalysisResult result = analyze_cfg(program.cfg, program.induction, opts);
+  result.ops = unit_region.delta();
+  return result;
 }
 
 AnalysisResult analyze_source(std::string_view source, const Options& options,

@@ -55,6 +55,16 @@ struct SalvageInfo {
   }
 };
 
+/// One analyzable function of the unit with its lowered CFG — input to the
+/// interprocedural summary computation (src/ipa) and to the cross-function
+/// oracle. The target function appears here too (same CFG as
+/// ProgramAnalysis::cfg).
+struct FunctionCfg {
+  support::Symbol name;
+  cfg::Cfg cfg;
+  cfg::InductionInfo induction;
+};
+
 /// Everything derived from one function of one source buffer.
 struct ProgramAnalysis {
   lang::TranslationUnit unit;
@@ -62,12 +72,23 @@ struct ProgramAnalysis {
   cfg::Cfg cfg;
   cfg::InductionInfo induction;
   SalvageInfo salvage;
+  /// CFGs of every function that survived sema *and* lowered cleanly under
+  /// a salvage-mode diagnostic engine, in declaration order. Functions
+  /// missing here are never summarized; their call sites take the havoc
+  /// fallback.
+  std::vector<FunctionCfg> unit_cfgs;
 
   [[nodiscard]] const support::Interner& interner() const {
     return *unit.interner;
   }
   [[nodiscard]] support::Symbol symbol(std::string_view name) const {
     return unit.interner->lookup(name);
+  }
+  [[nodiscard]] const FunctionCfg* find_cfg(support::Symbol name) const {
+    for (const auto& fc : unit_cfgs) {
+      if (fc.name == name) return &fc;
+    }
+    return nullptr;
   }
 };
 

@@ -35,6 +35,7 @@ class Engine {
     ctx_.cfg = &cfg;
     ctx_.induction = &induction;
     ctx_.types = options.types;
+    ctx_.summaries = options.enable_summaries ? options.summaries : nullptr;
     // Selector universe for the kHavoc transfer — same construction as the
     // governor's (every selector some statement mentions).
     {
@@ -290,8 +291,17 @@ class Engine {
         fresh_keys.emplace_back(fp, bucket.size() - 1);
       };
       if (id == cfg_.entry() && cache.by_fp.empty()) {
-        rsg::Rsg empty;
-        consider(empty, rsg::fingerprint(empty));
+        if (options_.entry_states != nullptr &&
+            !options_.entry_states->empty()) {
+          // Summary runs start from the callee's abstracted parameter
+          // bindings instead of the all-NULL configuration.
+          for (const rsg::Rsg& g : *options_.entry_states) {
+            consider(g, rsg::fingerprint(g));
+          }
+        } else {
+          rsg::Rsg empty;
+          consider(empty, rsg::fingerprint(empty));
+        }
       }
       for (const cfg::NodeId p : cfg_.node(id).preds) {
         const Rsrsg& pred_out = result.per_node[p];

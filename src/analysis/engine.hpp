@@ -79,6 +79,28 @@ struct Options {
   /// produces identical RSRSGs.
   std::size_t threads = 1;
 
+  // --- Interprocedural analysis (src/ipa, docs/ALGORITHMS.md). ------------
+
+  /// Master switch for the summary pass: analyze_program computes function
+  /// summaries for the unit and kCall statements apply them. Off, every
+  /// call site takes the sound havoc fallback (the PR 5 behavior).
+  bool enable_summaries = true;
+  /// Kleene iteration cap for recursive call-graph SCCs; an over-cap cycle
+  /// falls back to havoc at its call sites (summaries stay analyzed=false).
+  std::size_t max_summary_iters = 8;
+  /// Node-visit budget for each per-callee summary fixpoint (smaller than
+  /// max_node_visits: a summary that needs the full intraprocedural budget
+  /// is not worth its cost — the callee degrades to havoc instead).
+  std::uint64_t summary_visit_budget = 200'000;
+  /// Summary table for the kCall transfer; not owned. Set automatically by
+  /// analyze_program (null or missing entries fall back to havoc).
+  const ipa::SummaryTable* summaries = nullptr;
+  /// Entry states for the fixpoint instead of the single empty
+  /// configuration; not owned. Used by the summary computation to start a
+  /// callee from its abstracted parameter bindings. Null or empty = the
+  /// usual empty-graph entry.
+  const std::vector<rsg::Rsg>* entry_states = nullptr;
+
   [[nodiscard]] rsg::LevelPolicy policy() const { return {level}; }
   [[nodiscard]] rsg::PruneOptions prune_options() const {
     return {share_pruning};

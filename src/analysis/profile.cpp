@@ -270,6 +270,8 @@ std::string format_profile(const UnitMetrics& m) {
                     Counter::kPhaseParseCpuNs);
   profile_phase_row(os, ops, "cfg", Counter::kPhaseCfgWallNs,
                     Counter::kPhaseCfgCpuNs);
+  profile_phase_row(os, ops, "ipa", Counter::kPhaseIpaWallNs,
+                    Counter::kPhaseIpaCpuNs);
   profile_phase_row(os, ops, "fixpoint L1", Counter::kPhaseFixpointL1WallNs,
                     Counter::kPhaseFixpointL1CpuNs);
   profile_phase_row(os, ops, "fixpoint L2", Counter::kPhaseFixpointL2WallNs,

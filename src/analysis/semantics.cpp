@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
+
+#include "support/metrics.hpp"
 
 namespace psa::analysis {
 
@@ -327,15 +330,21 @@ std::vector<Rsg> exec_havoc_global(const Rsg& in, const TransferContext& ctx) {
 ///                                       definite claims).
 /// Every variant is HAVOC-tainted so downstream findings report at degraded
 /// confidence.
-std::vector<Rsg> exec_havoc_rebind(const Rsg& in, const SimpleStmt& stmt,
-                                   const TransferContext& ctx) {
+/// Shared core of the kHavoc rebind transfer and the summary entry
+/// abstraction (bind_unknown_param). `taint_graph` distinguishes them: a
+/// havoc'd statement degrades the whole graph, an unknown-but-well-formed
+/// caller value at a summary entry does not. The node-level havoc marks are
+/// set either way — under taint they drive the checker's witness downgrade,
+/// in summary runs they mark "may derive from caller memory".
+std::vector<Rsg> rebind_unknown(const Rsg& in, Symbol x, lang::StructId type,
+                                const TransferContext& ctx, bool taint_graph) {
   std::vector<Rsg> out;
 
   // Variant 1: the unknown expression was NULL.
   {
     Rsg g = in;
-    g.unbind_pvar(stmt.x);
-    g.set_havoc(true);
+    g.unbind_pvar(x);
+    if (taint_graph) g.set_havoc(true);
     finish(g, ctx, out);
   }
 
@@ -343,7 +352,7 @@ std::vector<Rsg> exec_havoc_rebind(const Rsg& in, const SimpleStmt& stmt,
   // (including x's own old target: "the value did not change").
   std::vector<NodeRef> alias_targets;
   for (const auto& [pvar, t] : in.pvar_links()) {
-    if (in.props(t).type != stmt.type) continue;
+    if (in.props(t).type != type) continue;
     if (std::find(alias_targets.begin(), alias_targets.end(), t) ==
         alias_targets.end()) {
       alias_targets.push_back(t);
@@ -351,24 +360,24 @@ std::vector<Rsg> exec_havoc_rebind(const Rsg& in, const SimpleStmt& stmt,
   }
   for (const NodeRef t : alias_targets) {
     Rsg g = in;
-    g.unbind_pvar(stmt.x);
-    g.bind_pvar(stmt.x, t);
+    g.unbind_pvar(x);
+    g.bind_pvar(x, t);
     g.props(t).havoc = true;
-    g.set_havoc(true);
+    if (taint_graph) g.set_havoc(true);
     finish(g, ctx, out);
   }
 
   // Variant 3: any other type-T location.
   {
     Rsg g = in;
-    g.unbind_pvar(stmt.x);
+    g.unbind_pvar(x);
     NodeProps props;
-    props.type = stmt.type;
+    props.type = type;
     props.cardinality = Cardinality::kOne;  // PL invariant
     props.shared = true;
     props.havoc = true;
     const NodeRef n = g.add_node(std::move(props));
-    g.bind_pvar(stmt.x, n);
+    g.bind_pvar(x, n);
     if (ctx.types != nullptr) {
       // Saturate both directions with every type-correct link so the node
       // covers interior cells of the existing structure as well as memory
@@ -378,7 +387,7 @@ std::vector<Rsg> exec_havoc_rebind(const Rsg& in, const SimpleStmt& stmt,
         const lang::StructDecl& decl = ctx.types->struct_decl(g.props(b).type);
         for (const lang::Field& f : decl.fields) {
           if (!f.is_selector()) continue;
-          if (*f.type.struct_id == stmt.type) {
+          if (*f.type.struct_id == type) {
             g.add_link(b, f.name, n);
             g.props(b).pos_selout.insert(f.name);
             g.props(n).pos_selin.insert(f.name);
@@ -400,9 +409,275 @@ std::vector<Rsg> exec_havoc_rebind(const Rsg& in, const SimpleStmt& stmt,
       // (no links can be added type-correctly — still sound, coarser).
       for (const Symbol sel : *ctx.selectors) g.props(n).shsel.insert(sel);
     }
-    g.set_havoc(true);
+    if (taint_graph) g.set_havoc(true);
     finish(g, ctx, out);
   }
+  return out;
+}
+
+std::vector<Rsg> exec_havoc_rebind(const Rsg& in, const SimpleStmt& stmt,
+                                   const TransferContext& ctx) {
+  return rebind_unknown(in, stmt.x, stmt.type, ctx, /*taint_graph=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// x = callee(args...) — interprocedural summary application
+// (docs/ALGORITHMS.md). With no usable summary the transfer degenerates to
+// the PR 5 lowering of an unknown call: global havoc plus an unknown-value
+// rebind of the destination.
+// ---------------------------------------------------------------------------
+
+/// The heap region a callee can observe or mutate: every node reachable from
+/// the argument bindings over may-links. The subset has no globals, so this
+/// is reachability-closed and complete: an abstract link exists whenever the
+/// corresponding concrete link is possible, hence every concrete cell the
+/// callee can reach is represented by a node in this set.
+std::vector<NodeRef> callee_region(const Rsg& g, const SimpleStmt& stmt) {
+  std::vector<NodeRef> region;
+  std::set<NodeRef> seen;
+  std::vector<NodeRef> work;
+  for (const Symbol a : stmt.args) {
+    const NodeRef t = g.pvar_target(a);
+    if (t != kNoNode && seen.insert(t).second) work.push_back(t);
+  }
+  while (!work.empty()) {
+    const NodeRef n = work.back();
+    work.pop_back();
+    region.push_back(n);
+    for (const rsg::Link& l : g.out_links(n)) {
+      if (seen.insert(l.target).second) work.push_back(l.target);
+    }
+  }
+  std::sort(region.begin(), region.end());
+  return region;
+}
+
+/// Saturate every type-correct may-link between `n` and the `peers` cells:
+/// out-links (and a self-link) always — the callee may have written any of
+/// n's fields; in-links from the peers only when `in_links_too` — a cell
+/// that escapes solely through the return value has no region in-refs.
+void saturate_with(Rsg& g, NodeRef n, const std::vector<NodeRef>& peers,
+                   bool in_links_too, const TransferContext& ctx) {
+  if (ctx.types == nullptr) {
+    // No struct table: no link can be added type-correctly; saturating the
+    // sharing bits keeps the result sound, just coarser.
+    g.props(n).shared = true;
+    if (ctx.selectors != nullptr) {
+      for (const Symbol sel : *ctx.selectors) g.props(n).shsel.insert(sel);
+    }
+    return;
+  }
+  std::vector<NodeRef> all = peers;
+  all.push_back(n);  // the callee may have linked the cell to itself
+  const lang::StructDecl& n_decl = ctx.types->struct_decl(g.props(n).type);
+  for (const lang::Field& f : n_decl.fields) {
+    if (!f.is_selector()) continue;
+    for (const NodeRef b : all) {
+      if (g.props(b).type != *f.type.struct_id) continue;
+      g.add_link(n, f.name, b);
+      g.props(n).pos_selout.insert(f.name);
+      g.props(b).pos_selin.insert(f.name);
+    }
+  }
+  if (!in_links_too) return;
+  g.props(n).shared = true;
+  for (const NodeRef b : peers) {
+    const lang::StructDecl& decl = ctx.types->struct_decl(g.props(b).type);
+    for (const lang::Field& f : decl.fields) {
+      if (!f.is_selector()) continue;
+      if (*f.type.struct_id != g.props(n).type) continue;
+      g.add_link(b, f.name, n);
+      g.props(b).pos_selout.insert(f.name);
+      g.props(n).pos_selin.insert(f.name);
+      g.props(n).shsel.insert(f.name);
+    }
+  }
+}
+
+std::vector<Rsg> exec_call_fallback(const Rsg& in, const SimpleStmt& stmt,
+                                    const TransferContext& ctx) {
+  PSA_COUNT(support::Counter::kCallHavocFallback);
+  std::vector<Rsg> mid = exec_havoc_global(in, ctx);
+  // Unlike the extern-call envelope (unknown code never frees,
+  // docs/RESILIENCE.md), the callee here is real in-unit code that may well
+  // contain free() — its effect must stay covered even though its summary
+  // was unusable, so every reachable live cell widens to maybe-freed.
+  for (Rsg& g : mid) {
+    for (const NodeRef n : g.node_refs()) {
+      rsg::FreeState& fs = g.props(n).free_state;
+      if (fs == rsg::FreeState::kLive) fs = rsg::FreeState::kMaybeFreed;
+    }
+  }
+  if (!stmt.x.valid()) return mid;
+  SimpleStmt rebind;
+  rebind.op = SimpleOp::kHavoc;
+  rebind.x = stmt.x;
+  rebind.type = stmt.type;
+  rebind.loc = stmt.loc;
+  std::vector<Rsg> out;
+  for (const Rsg& g : mid) {
+    for (Rsg& v : exec_havoc_rebind(g, rebind, ctx)) {
+      // The returned value may itself be a cell the callee freed (the
+      // rebind's fresh-⊤ variant is born live; the alias variants were
+      // widened above).
+      const NodeRef t = v.pvar_target(stmt.x);
+      if (t != kNoNode && v.props(t).free_state == rsg::FreeState::kLive) {
+        v.props(t).free_state = rsg::FreeState::kMaybeFreed;
+      }
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::vector<Rsg> exec_call(const Rsg& in, const cfg::CfgNode& node,
+                           const TransferContext& ctx) {
+  const SimpleStmt& stmt = node.stmt;
+  const ipa::FunctionSummary* sum = nullptr;
+  if (ctx.summaries != nullptr) {
+    const auto it = ctx.summaries->find(stmt.callee);
+    if (it != ctx.summaries->end() && it->second.analyzed) sum = &it->second;
+  }
+  if (sum == nullptr) return exec_call_fallback(in, stmt, ctx);
+  PSA_COUNT(support::Counter::kSummaryApplied);
+
+  static const std::vector<Symbol> kNoSelectors;
+  const std::vector<Symbol>& sels =
+      ctx.selectors != nullptr ? *ctx.selectors : kNoSelectors;
+
+  Rsg g = in;
+  const std::vector<NodeRef> region = callee_region(g, stmt);
+
+  if (sum->may_free) {
+    // The callee may free any argument-reachable cell; live cells widen to
+    // kMaybeFreed (already-freed ones stay as they are).
+    for (const NodeRef n : region) {
+      rsg::FreeState& fs = g.props(n).free_state;
+      if (fs == rsg::FreeState::kLive) fs = rsg::FreeState::kMaybeFreed;
+    }
+  }
+
+  // `linkable` collects the cells a callee-written pointer field may target:
+  // the region itself plus any fresh allocations the callee linked in.
+  std::vector<NodeRef> linkable = region;
+  if (sum->mutates_heap && !region.empty()) {
+    rsg::summarize_region(g, region, sels, ctx.types);
+    for (const auto& [type_raw, lines] : sum->alloc_types) {
+      // A summary node covering every cell of this type the callee may have
+      // allocated and linked into caller-visible memory.
+      NodeProps props;
+      props.type = static_cast<lang::StructId>(type_raw);
+      props.cardinality = Cardinality::kMany;
+      props.shared = true;
+      for (const Symbol sel : sels) props.shsel.insert(sel);
+      for (const std::uint32_t line : lines) props.alloc_sites.insert(line);
+      linkable.push_back(g.add_node(std::move(props)));
+    }
+    if (ctx.types != nullptr && linkable.size() > region.size()) {
+      // Saturate type-correct may-links across region ∪ fresh (the
+      // region-internal links were already saturated above).
+      for (const NodeRef a : linkable) {
+        const lang::StructDecl& decl = ctx.types->struct_decl(g.props(a).type);
+        for (const lang::Field& f : decl.fields) {
+          if (!f.is_selector()) continue;
+          for (const NodeRef b : linkable) {
+            if (g.props(b).type != *f.type.struct_id) continue;
+            g.add_link(a, f.name, b);
+            g.props(a).pos_selout.insert(f.name);
+            g.props(b).pos_selin.insert(f.name);
+          }
+        }
+      }
+    }
+  }
+
+  if (sum->havoc_tainted) {
+    // The callee's own analysis degraded: everything it could have touched
+    // carries the taint, and downstream findings report at degraded
+    // confidence — the same contract as a direct havoc.
+    for (const NodeRef n : linkable) g.props(n).havoc = true;
+    g.set_havoc(true);
+  }
+
+  std::vector<Rsg> out;
+  if (!stmt.x.valid()) {
+    finish(g, ctx, out);
+    return out;
+  }
+
+  // Return-value variants, one family per possible origin. An empty mask
+  // means the callee never completes normally — the continuation is
+  // unreachable and any abstraction of it is sound; NULL is the cheapest.
+  const std::uint8_t kinds = sum->ret_kinds != 0 ? sum->ret_kinds : ipa::kRetNull;
+
+  if ((kinds & ipa::kRetNull) != 0) {
+    Rsg v = g;
+    v.unbind_pvar(stmt.x);
+    finish(v, ctx, out);
+  }
+
+  if ((kinds & ipa::kRetParamDerived) != 0) {
+    // The returned cell already lives in the argument region. Alias family:
+    // x re-bound to each pvar-referenced region cell of the return type.
+    std::vector<NodeRef> alias_targets;
+    for (const auto& [pvar, t] : g.pvar_links()) {
+      if (g.props(t).type != stmt.type) continue;
+      if (!std::binary_search(region.begin(), region.end(), t)) continue;
+      if (std::find(alias_targets.begin(), alias_targets.end(), t) ==
+          alias_targets.end()) {
+        alias_targets.push_back(t);
+      }
+    }
+    for (const NodeRef t : alias_targets) {
+      Rsg v = g;
+      v.unbind_pvar(stmt.x);
+      v.bind_pvar(stmt.x, t);
+      finish(v, ctx, out);
+    }
+    // Interior family: a region cell no pvar references (e.g. the tail of a
+    // walked list) — a fresh cardinality-one cell linked both ways with
+    // every type-correct peer of the region.
+    {
+      Rsg v = g;
+      v.unbind_pvar(stmt.x);
+      NodeProps props;
+      props.type = stmt.type;
+      props.cardinality = Cardinality::kOne;  // PL invariant
+      props.shared = true;
+      for (const Symbol sel : sels) props.shsel.insert(sel);
+      if (sum->may_free) props.free_state = rsg::FreeState::kMaybeFreed;
+      if (sum->havoc_tainted) props.havoc = true;
+      const NodeRef n = v.add_node(std::move(props));
+      v.bind_pvar(stmt.x, n);
+      saturate_with(v, n, linkable, /*in_links_too=*/true, ctx);
+      finish(v, ctx, out);
+    }
+  }
+
+  if ((kinds & ipa::kRetFresh) != 0) {
+    // A cell the callee allocated. Its fields may point anywhere into the
+    // region; other region cells point at it only if the callee also
+    // mutated the region (otherwise it escapes solely through the return
+    // value).
+    Rsg v = g;
+    v.unbind_pvar(stmt.x);
+    NodeProps props;
+    props.type = stmt.type;
+    props.cardinality = Cardinality::kOne;
+    const auto alloc_it = sum->alloc_types.find(lang::raw(stmt.type));
+    if (alloc_it != sum->alloc_types.end()) {
+      for (const std::uint32_t line : alloc_it->second) {
+        props.alloc_sites.insert(line);
+      }
+    }
+    if (sum->ret_maybe_freed) props.free_state = rsg::FreeState::kMaybeFreed;
+    if (sum->havoc_tainted) props.havoc = true;
+    const NodeRef n = v.add_node(std::move(props));
+    v.bind_pvar(stmt.x, n);
+    saturate_with(v, n, linkable, /*in_links_too=*/sum->mutates_heap, ctx);
+    finish(v, ctx, out);
+  }
+
   return out;
 }
 
@@ -433,6 +708,12 @@ std::vector<Rsg> exec_touch_clear(const Rsg& in, const SimpleStmt& stmt,
 
 }  // namespace
 
+std::vector<Rsg> bind_unknown_param(const Rsg& in, Symbol param,
+                                    lang::StructId type,
+                                    const TransferContext& ctx) {
+  return rebind_unknown(in, param, type, ctx, /*taint_graph=*/false);
+}
+
 std::vector<Rsg> execute_statement(const Rsg& in, const cfg::CfgNode& node,
                                    const TransferContext& ctx) {
   const SimpleStmt& stmt = node.stmt;
@@ -462,6 +743,8 @@ std::vector<Rsg> execute_statement(const Rsg& in, const cfg::CfgNode& node,
     case SimpleOp::kHavoc:
       return stmt.x.valid() ? exec_havoc_rebind(in, stmt, ctx)
                             : exec_havoc_global(in, ctx);
+    case SimpleOp::kCall:
+      return exec_call(in, node, ctx);
     case SimpleOp::kFieldRead:
     case SimpleOp::kFieldWrite:
     case SimpleOp::kScalar:

@@ -14,6 +14,7 @@
 
 #include "cfg/cfg.hpp"
 #include "cfg/induction.hpp"
+#include "ipa/summary.hpp"
 #include "rsg/level.hpp"
 #include "rsg/ops.hpp"
 
@@ -32,11 +33,28 @@ struct TransferContext {
   /// statement mentions) for the global-havoc summarize_top collapse; may be
   /// null (treated as empty). Set by the engine.
   const std::vector<support::Symbol>* selectors = nullptr;
+  /// Function summaries for the kCall transfer (docs/ALGORITHMS.md). Null or
+  /// missing/unanalyzed entries make call sites fall back to the sound havoc
+  /// transfer. Set by the engine from Options::summaries.
+  const ipa::SummaryTable* summaries = nullptr;
 };
 
 /// Abstractly execute the statement of `node` over `in`.
 [[nodiscard]] std::vector<rsg::Rsg> execute_statement(const rsg::Rsg& in,
                                                       const cfg::CfgNode& node,
                                                       const TransferContext& ctx);
+
+/// Entry abstraction for the summary computation (src/ipa): bind `param` to
+/// an unknown caller value of struct type `type`. Produces the same three
+/// variant families as the kHavoc rebind transfer — NULL, alias with an
+/// existing pvar target, fresh saturated ⊤ node — but WITHOUT the
+/// graph-level havoc taint: an unknown entry state is not a degradation.
+/// The node-level havoc marks stay and double as "argument-region" markers
+/// inside the summary run (they are OR-sticky under every merge, join and
+/// materialization, so an exit-state cell may derive from caller memory iff
+/// its node carries the mark).
+[[nodiscard]] std::vector<rsg::Rsg> bind_unknown_param(
+    const rsg::Rsg& in, support::Symbol param, lang::StructId type,
+    const TransferContext& ctx);
 
 }  // namespace psa::analysis

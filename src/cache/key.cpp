@@ -69,7 +69,7 @@ CacheKey cache_key(const analysis::ProgramAnalysis& program,
   const lang::TypeTable& types = program.unit.types;
   KeyBuilder key;
 
-  key.str("psa-cache-key v1");
+  key.str("psa-cache-key v2");
   // Wire-format vocabulary: a skewed build must compute different keys.
   key.u32(rsg::kSnapshotVersion);
   key.u32(static_cast<std::uint32_t>(support::kCounterCount));
@@ -86,6 +86,11 @@ CacheKey cache_key(const analysis::ProgramAnalysis& program,
   key.u8(static_cast<std::uint8_t>(options.budget_policy));
   key.u8(check ? 1 : 0);
   key.u8(salvage ? 1 : 0);
+  // Interprocedural knobs: summaries change which transfer runs at every
+  // call site, so flipping them must never resurface a stale entry.
+  key.u8(options.enable_summaries ? 1 : 0);
+  key.u64(options.max_summary_iters);
+  key.u64(options.summary_visit_budget);
 
   // The struct table: names, field order, field types. Declaration order is
   // deterministic for a given source.
@@ -108,47 +113,67 @@ CacheKey cache_key(const analysis::ProgramAnalysis& program,
     }
   }
 
-  // Pvar typing environment, in spelling order so the key is a function of
-  // content rather than interner id assignment.
-  std::vector<support::Symbol> pvars = program.cfg.pointer_vars();
-  std::sort(pvars.begin(), pvars.end(),
-            [&](support::Symbol a, support::Symbol b) {
-              return interner.spelling(a) < interner.spelling(b);
-            });
-  key.u32(static_cast<std::uint32_t>(pvars.size()));
-  for (const support::Symbol pvar : pvars) {
-    key.str(interner.spelling(pvar));
-    const auto it = program.cfg.pvar_struct().find(pvar);
-    if (it != program.cfg.pvar_struct().end()) {
-      append_struct_name(key, types, it->second, interner);
-    } else {
-      key.str("");
+  // One lowered CFG: pvar typing (spelling order, so the key is a function
+  // of content rather than interner id assignment), then every statement
+  // field (spellings, not symbol ids), successor edges and loop nesting.
+  // Source locations are included because the cached findings quote them.
+  const auto hash_cfg = [&](const cfg::Cfg& cfg) {
+    std::vector<support::Symbol> pvars = cfg.pointer_vars();
+    std::sort(pvars.begin(), pvars.end(),
+              [&](support::Symbol a, support::Symbol b) {
+                return interner.spelling(a) < interner.spelling(b);
+              });
+    key.u32(static_cast<std::uint32_t>(pvars.size()));
+    for (const support::Symbol pvar : pvars) {
+      key.str(interner.spelling(pvar));
+      const auto it = cfg.pvar_struct().find(pvar);
+      if (it != cfg.pvar_struct().end()) {
+        append_struct_name(key, types, it->second, interner);
+      } else {
+        key.str("");
+      }
     }
-  }
 
-  // The lowered CFG: every statement field (spellings, not symbol ids),
-  // successor edges and loop nesting. Source locations are included because
-  // the cached findings quote them.
-  key.u32(static_cast<std::uint32_t>(program.cfg.size()));
-  key.u32(program.cfg.entry());
-  key.u32(program.cfg.exit());
-  for (const cfg::CfgNode& node : program.cfg.nodes()) {
-    const cfg::SimpleStmt& stmt = node.stmt;
-    key.u8(static_cast<std::uint8_t>(stmt.op));
-    key.str(stmt.x.valid() ? interner.spelling(stmt.x) : "");
-    key.str(stmt.y.valid() ? interner.spelling(stmt.y) : "");
-    key.str(stmt.sel.valid() ? interner.spelling(stmt.sel) : "");
-    if (stmt.op == cfg::SimpleOp::kPtrMalloc ||
-        stmt.op == cfg::SimpleOp::kHavoc) {
-      append_struct_name(key, types, stmt.type, interner);
+    key.u32(static_cast<std::uint32_t>(cfg.size()));
+    key.u32(cfg.entry());
+    key.u32(cfg.exit());
+    for (const cfg::CfgNode& node : cfg.nodes()) {
+      const cfg::SimpleStmt& stmt = node.stmt;
+      key.u8(static_cast<std::uint8_t>(stmt.op));
+      key.str(stmt.x.valid() ? interner.spelling(stmt.x) : "");
+      key.str(stmt.y.valid() ? interner.spelling(stmt.y) : "");
+      key.str(stmt.sel.valid() ? interner.spelling(stmt.sel) : "");
+      if (stmt.op == cfg::SimpleOp::kPtrMalloc ||
+          stmt.op == cfg::SimpleOp::kHavoc ||
+          stmt.op == cfg::SimpleOp::kCall) {
+        append_struct_name(key, types, stmt.type, interner);
+      }
+      if (stmt.op == cfg::SimpleOp::kCall) {
+        key.str(stmt.callee.valid() ? interner.spelling(stmt.callee) : "");
+        key.u32(static_cast<std::uint32_t>(stmt.args.size()));
+        for (const support::Symbol arg : stmt.args) {
+          key.str(arg.valid() ? interner.spelling(arg) : "");
+        }
+      }
+      key.u32(stmt.loop_id);
+      key.u32(stmt.loc.line);
+      key.u32(stmt.loc.column);
+      key.u32(static_cast<std::uint32_t>(node.succs.size()));
+      for (const cfg::NodeId succ : node.succs) key.u32(succ);
+      key.u32(static_cast<std::uint32_t>(node.loops.size()));
+      for (const std::uint32_t loop : node.loops) key.u32(loop);
     }
-    key.u32(stmt.loop_id);
-    key.u32(stmt.loc.line);
-    key.u32(stmt.loc.column);
-    key.u32(static_cast<std::uint32_t>(node.succs.size()));
-    for (const cfg::NodeId succ : node.succs) key.u32(succ);
-    key.u32(static_cast<std::uint32_t>(node.loops.size()));
-    for (const std::uint32_t loop : node.loops) key.u32(loop);
+  };
+
+  hash_cfg(program.cfg);
+
+  // The rest of the unit: function summaries feed the target function's
+  // result, so editing *any* sibling body (or adding/removing one) must
+  // invalidate the entry even when the target's own CFG is unchanged.
+  key.u32(static_cast<std::uint32_t>(program.unit_cfgs.size()));
+  for (const analysis::FunctionCfg& fc : program.unit_cfgs) {
+    key.str(interner.spelling(fc.name));
+    hash_cfg(fc.cfg);
   }
 
   // Salvage degradation summary: the payload replays these fields, so two

@@ -55,12 +55,21 @@ class CfgBuilder {
       if (ty.is_struct_pointer()) cfg_.pvar_struct_[sym] = *ty.struct_id;
     }
 
+    // Struct-pointer-returning functions materialize every `return expr` in
+    // the reserved __ret pvar; callee summaries read it at the exit node.
+    if (fn_.decl->return_type.is_struct_pointer()) {
+      ret_struct_ = *fn_.decl->return_type.struct_id;
+      ret_var_ = unit_.interner->intern("__ret");
+      cfg_.pvar_struct_[ret_var_] = ret_struct_;
+    }
+
     visit_stmt(*fn_.decl->body);
     if (cursor_ != kInvalidNode) cfg_.add_edge(cursor_, cfg_.exit_);
 
     // Final pvar list: declared pvars plus lowering temporaries.
     cfg_.pointer_vars_ = fn_.pointer_vars;
     for (const auto& t : temps_) cfg_.pointer_vars_.push_back(t);
+    if (ret_var_.valid()) cfg_.pointer_vars_.push_back(ret_var_);
     std::sort(cfg_.pointer_vars_.begin(), cfg_.pointer_vars_.end());
     return std::move(cfg_);
   }
@@ -151,6 +160,17 @@ class CfgBuilder {
         emit(std::move(s));
         return t;
       }
+      case ExprKind::kCall:
+        // A summarizable call returning a struct pointer is a valid path
+        // root: lower it into a temporary, e.g. `f(p)->nxt`.
+        if (expr.summarizable && expr.type.is_struct_pointer()) {
+          const Symbol t = new_temp(*expr.type.struct_id);
+          kill_list.push_back(t);
+          emit_call(expr, t, kill_list);
+          return t;
+        }
+        diags_.unsupported(expr.loc, "expression is not a pointer access path");
+        return Symbol();
       default:
         diags_.unsupported(expr.loc, "expression is not a pointer access path");
         return Symbol();
@@ -213,12 +233,110 @@ class CfgBuilder {
   }
 
   // -------------------------------------------------------------------------
+  // Interprocedural calls
+  // -------------------------------------------------------------------------
+
+  /// The in-unit FunctionDecl sema resolved a summarizable call against.
+  [[nodiscard]] const lang::FunctionDecl* find_callee(Symbol name) const {
+    for (const auto& f : unit_.functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+
+  /// True for a summarizable call whose lowering needs a kCall statement:
+  /// it passes or returns struct pointers. Pure scalar in-unit calls have no
+  /// caller-visible shape effect (the subset has no globals), so they stay
+  /// opaque kScalar statements.
+  static bool is_effect_call(const Expr& e) {
+    if (e.kind != ExprKind::kCall || !e.summarizable) return false;
+    if (e.type.is_struct_pointer()) return true;
+    for (const auto& a : e.args) {
+      if (a->type.is_struct_pointer()) return true;
+    }
+    return false;
+  }
+
+  static bool contains_effect_call(const Expr& e) {
+    if (is_effect_call(e)) return true;
+    if (e.lhs && contains_effect_call(*e.lhs)) return true;
+    if (e.rhs && contains_effect_call(*e.rhs)) return true;
+    for (const auto& a : e.args) {
+      if (contains_effect_call(*a)) return true;
+    }
+    return false;
+  }
+
+  /// Lower one summarizable call to a kCall statement carrying the callee
+  /// name and one pvar per struct-pointer argument. `dest` receives the
+  /// return value (invalid for value-discarded calls). When an argument
+  /// cannot be lowered to a pvar the call degrades to the PR 5 havoc
+  /// over-approximation instead.
+  void emit_call(const Expr& call, Symbol dest,
+                 std::vector<Symbol>& kill_list) {
+    const lang::FunctionDecl* callee = find_callee(call.name);
+    if (callee == nullptr || callee->params.size() != call.args.size()) {
+      // Sema guarantees resolution for summarizable calls; degrade soundly
+      // if the invariant ever breaks.
+      emit_havoc_global(call.loc);
+      if (dest.valid()) {
+        emit_havoc_rebind(dest, *call.type.struct_id, call.loc);
+      }
+      return;
+    }
+    SimpleStmt s = make(SimpleOp::kCall, call.loc);
+    s.callee = call.name;
+    for (std::size_t i = 0; i < call.args.size(); ++i) {
+      const Expr& arg = *call.args[i];
+      if (!callee->params[i].type.is_struct_pointer()) {
+        // Scalar argument: no region contribution, but it may read fields
+        // and contain further summarizable calls of its own.
+        lower_scalar_reads(arg, kill_list);
+        continue;
+      }
+      const Expr* stripped = strip_casts(arg);
+      Symbol a;
+      if (stripped->kind == ExprKind::kNullLit) {
+        a = new_temp(*callee->params[i].type.struct_id);
+        kill_list.push_back(a);
+        SimpleStmt sn = make(SimpleOp::kPtrNull, arg.loc);
+        sn.x = a;
+        emit(std::move(sn));
+      } else if (const Expr* m = as_malloc(arg)) {
+        a = new_temp(*m->type.struct_id);
+        kill_list.push_back(a);
+        SimpleStmt sm = make(SimpleOp::kPtrMalloc, arg.loc);
+        sm.x = a;
+        sm.type = *m->type.struct_id;
+        emit(std::move(sm));
+      } else {
+        a = lower_path(*stripped, kill_list);
+      }
+      if (!a.valid()) {
+        // Argument path unrecoverable: the callee may reach anything.
+        emit_havoc_global(call.loc);
+        if (dest.valid()) {
+          emit_havoc_rebind(dest, *call.type.struct_id, call.loc);
+        }
+        return;
+      }
+      s.args.push_back(a);
+    }
+    if (dest.valid()) {
+      s.x = dest;
+      s.type = *call.type.struct_id;
+    }
+    emit(std::move(s));
+  }
+
+  // -------------------------------------------------------------------------
   // Assignments
   // -------------------------------------------------------------------------
 
   /// Emit kFieldRead markers for every scalar field read through a struct
   /// pointer inside `e` (client passes consume them; the shape transfer is
-  /// the identity). Returns how many reads were emitted.
+  /// the identity) and kCall statements for every summarizable call with
+  /// pointer effects. Returns how many reads/calls were emitted.
   int lower_scalar_reads(const Expr& e, std::vector<Symbol>& kill_list) {
     switch (e.kind) {
       case ExprKind::kFieldAccess:
@@ -231,6 +349,12 @@ class CfgBuilder {
             emit(std::move(s));
             return 1;
           }
+          return 0;
+        }
+        // Pointer-typed access in a scalar context: the base may still
+        // contain a summarizable call whose effects must be applied.
+        if (e.type.is_struct_pointer() && e.lhs != nullptr) {
+          return lower_scalar_reads(*e.lhs, kill_list);
         }
         return 0;
       case ExprKind::kUnary:
@@ -240,6 +364,15 @@ class CfgBuilder {
         return lower_scalar_reads(*e.lhs, kill_list) +
                lower_scalar_reads(*e.rhs, kill_list);
       case ExprKind::kCall: {
+        if (is_effect_call(e)) {
+          Symbol dest;
+          if (e.type.is_struct_pointer()) {
+            dest = new_temp(*e.type.struct_id);
+            kill_list.push_back(dest);
+          }
+          emit_call(e, dest, kill_list);
+          return 1;
+        }
         int reads = 0;
         for (const auto& a : e.args) reads += lower_scalar_reads(*a, kill_list);
         return reads;
@@ -334,6 +467,10 @@ class CfgBuilder {
             // Source path unrecoverable: x still receives *some* value.
             emit_havoc_rebind(x, *lhs.type.struct_id, loc);
           }
+        } else if (src->kind == ExprKind::kCall && src->summarizable &&
+                   src->type.is_struct_pointer()) {
+          // x = f(args): a kCall statement binds x from the callee summary.
+          emit_call(*src, x, kill_list);
         } else {
           diags_.unsupported(rhs.loc, "unsupported pointer assignment source");
           if (diags_.salvage()) {
@@ -411,7 +548,16 @@ class CfgBuilder {
       // opaque below (unsupported subexpressions carry scalar types).
       emit_havoc_global(cond.loc);
     }
-    const auto arms = subtree_unsupported(cond)
+    bool force_opaque = false;
+    if (contains_effect_call(cond)) {
+      // Summarizable calls inside a condition: apply their heap effects
+      // before branching, then treat the condition as opaque — once the
+      // effects are separated the call result is no longer a refinable
+      // null-test subject.
+      lower_scalar_reads(cond, kill_list);
+      force_opaque = true;
+    }
+    const auto arms = (subtree_unsupported(cond) || force_opaque)
                           ? CondShape{}
                           : classify_condition(cond, kill_list);
     const NodeId branch = emit(make(SimpleOp::kBranch, cond.loc));
@@ -552,6 +698,13 @@ class CfgBuilder {
       case StmtKind::kExpr:
         if (contains_unsupported_call(*stmt.lhs)) {
           emit_havoc_global(stmt.loc);
+        } else if (contains_effect_call(*stmt.lhs)) {
+          // Value-discarded summarizable call(s), e.g. `append(l, n);`.
+          std::vector<Symbol> kill_list;
+          if (lower_scalar_reads(*stmt.lhs, kill_list) == 0) {
+            emit(make(SimpleOp::kScalar, stmt.loc));
+          }
+          kill_temps(kill_list, stmt.loc);
         } else {
           emit(make(SimpleOp::kScalar, stmt.loc));
         }
@@ -594,8 +747,16 @@ class CfgBuilder {
         break;
       case StmtKind::kReturn:
         if (stmt.lhs != nullptr) {
-          if (contains_unsupported_call(*stmt.lhs)) {
+          if (ret_var_.valid()) {
+            lower_return_value(*stmt.lhs, stmt.loc);
+          } else if (contains_unsupported_call(*stmt.lhs)) {
             emit_havoc_global(stmt.loc);
+          } else if (contains_effect_call(*stmt.lhs)) {
+            std::vector<Symbol> kill_list;
+            if (lower_scalar_reads(*stmt.lhs, kill_list) == 0) {
+              emit(make(SimpleOp::kScalar, stmt.loc));
+            }
+            kill_temps(kill_list, stmt.loc);
           } else {
             emit(make(SimpleOp::kScalar, stmt.loc));
           }
@@ -622,6 +783,31 @@ class CfgBuilder {
       case StmtKind::kEmpty:
         break;
     }
+  }
+
+  /// `return expr;` in a struct-pointer-returning function: materialize the
+  /// value in the reserved __ret pvar so a caller's summary can read it.
+  void lower_return_value(const Expr& value, support::SourceLoc loc) {
+    Expr ref;
+    ref.kind = ExprKind::kVarRef;
+    ref.loc = loc;
+    ref.name = ret_var_;
+    ref.type = fn_.decl->return_type;
+
+    const Expr* m = as_malloc(value);
+    const bool typed_ok =
+        value.kind == ExprKind::kNullLit ||
+        (m != nullptr && m->type.is_struct_pointer() &&
+         *m->type.struct_id == ret_struct_) ||
+        (value.type.is_struct_pointer() &&
+         *value.type.struct_id == ret_struct_);
+    if (subtree_unsupported(value) || typed_ok) {
+      lower_assign(ref, value, loc);
+      return;
+    }
+    // Returning a scalar or mistyped value from a pointer function: __ret
+    // holds an unknown value of the declared type.
+    emit_havoc_rebind(ret_var_, ret_struct_, loc);
   }
 
   void visit_if(const Stmt& stmt) {
@@ -769,6 +955,8 @@ class CfgBuilder {
   std::vector<LoopCtx> loop_ctx_;
   std::vector<Symbol> temps_;
   int temp_counter_ = 0;
+  Symbol ret_var_;          // valid only for struct-pointer-returning functions
+  StructId ret_struct_{};
 };
 
 Cfg build_cfg(lang::TranslationUnit& unit, const lang::FunctionInfo& fn,

@@ -63,6 +63,16 @@ std::string to_string(const SimpleStmt& stmt, const support::Interner& in) {
         os << "havoc(*)";
       }
       break;
+    case SimpleOp::kCall: {
+      if (stmt.x.valid()) os << in.spelling(stmt.x) << " = ";
+      os << "call " << in.spelling(stmt.callee) << "(";
+      for (std::size_t i = 0; i < stmt.args.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << in.spelling(stmt.args[i]);
+      }
+      os << ")";
+      break;
+    }
   }
   return os.str();
 }

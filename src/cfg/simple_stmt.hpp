@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "lang/types.hpp"
 #include "support/diagnostics.hpp"
@@ -53,6 +54,13 @@ enum class SimpleOp : std::uint8_t {
                  // other opaque mutation) — every reachable cell may have
                  // been rewritten; the transfer saturates may-info and drops
                  // must-info (rsg::summarize_top).
+
+  // Interprocedural analysis (docs/ALGORITHMS.md): a call to an in-unit
+  // function. The transfer applies the callee's summary to the region of the
+  // caller's heap reachable from the argument pvars; with no summary
+  // available (extern, skipped callee, over-budget SCC) it falls back to the
+  // kHavoc over-approximation.
+  kCall,         // x = callee(args...) — x invalid for value-discarded calls
 };
 
 /// One executable statement of the lowered program.
@@ -61,8 +69,11 @@ struct SimpleStmt {
   Symbol x;            // destination pvar / store base / assume subject
   Symbol y;            // source pvar (kPtrCopy, kStore, kLoad)
   Symbol sel;          // selector (kStoreNull, kStore, kLoad)
-  StructId type{};     // kPtrMalloc: allocated struct
+  StructId type{};     // kPtrMalloc: allocated struct; kCall: return struct
+                       // (only meaningful when x is valid)
   std::uint32_t loop_id = 0;  // kTouchClear
+  Symbol callee;              // kCall: in-unit function name
+  std::vector<Symbol> args;   // kCall: struct-pointer arguments, in order
   support::SourceLoc loc;
 
   [[nodiscard]] bool is_pointer_op() const noexcept {

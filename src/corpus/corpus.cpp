@@ -506,6 +506,57 @@ void main() {
 }
 )";
 
+// The interprocedural witness: one list threaded through three helpers —
+// an allocating builder, a read-only fold, a freeing teardown. Every call
+// is an in-unit call the bottom-up summary pass can model, so the whole
+// unit analyzes with zero havoc sites and zero call fallbacks
+// (tests/ipa/summary_test.cpp pins the counters); before function
+// summaries each of the five call sites was a whole-graph havoc.
+constexpr std::string_view kListPipelineSource = R"(
+struct node { struct node *nxt; int val; };
+
+struct node *push(struct node *list) {
+  struct node *t;
+  t = malloc(sizeof(struct node));
+  t->nxt = list;
+  t->val = 1;
+  return t;
+}
+
+int sum(struct node *list) {
+  struct node *p;
+  int acc;
+  acc = 0;
+  p = list;
+  while (p != NULL) {
+    acc = acc + p->val;
+    p = p->nxt;
+  }
+  return acc;
+}
+
+void release(struct node *list) {
+  struct node *t;
+  while (list != NULL) {
+    t = list;
+    list = list->nxt;
+    free(t);
+  }
+}
+
+void main() {
+  struct node *l;
+  int i; int total;
+  l = NULL; i = 0;
+  while (i < 3) {
+    l = push(l);
+    i = i + 1;
+  }
+  total = sum(l);
+  release(l);
+}
+)";
+
 // ---------------------------------------------------------------------------
 // Table-1 codes
 // ---------------------------------------------------------------------------
@@ -1303,6 +1354,42 @@ void main() {
 }
 )";
 
+// An in-unit helper next to an unknown extern: the burn-down witness for
+// interprocedural summaries. scrub() is summarized — its call site costs
+// no havoc — so the unit's degradation budget is exactly the one extern
+// call. Before summaries this unit would have counted two havoc sites.
+constexpr std::string_view kDirtyMixedCallsSource = R"(
+struct node { struct node *nxt; int val; };
+
+void scrub(struct node *l) {
+  while (l != NULL) {
+    l->val = 0;
+    l = l->nxt;
+  }
+}
+
+void main() {
+  struct node *list; struct node *t; struct node *p;
+  int i; int n;
+  list = NULL; i = 0; n = 100;
+  while (i < n) {
+    t = malloc(sizeof(struct node));
+    t->nxt = list;
+    t->val = i;
+    list = t;
+    i = i + 1;
+  }
+  t = NULL;
+  scrub(list);
+  audit_list(list);
+  p = list;
+  while (p != NULL) {
+    p->val = p->val + 1;
+    p = p->nxt;
+  }
+}
+)";
+
 const std::vector<DirtyProgram>& dirty() {
   static const std::vector<DirtyProgram> kDirty = {
       {"dirty_sll_trace",
@@ -1325,6 +1412,11 @@ const std::vector<DirtyProgram>& dirty() {
        "destructive reversal still analyzed",
        kDirtyReverseCastSource, /*havoc=*/1, /*skipped=*/0, /*analyzable=*/1,
        /*total=*/1},
+      {"dirty_mixed_calls",
+       "in-unit helper call summarized (no havoc) beside an unknown extern "
+       "(one havoc): the interprocedural burn-down witness",
+       kDirtyMixedCallsSource, /*havoc=*/1, /*skipped=*/0, /*analyzable=*/2,
+       /*total=*/2},
   };
   return kDirty;
 }
@@ -1365,6 +1457,10 @@ const std::vector<CorpusProgram>& programs() {
        "traversal recording visited nodes — the L2 -> L3 progressive "
        "escalation witness (TOUCH)",
        kVisitMarksSource, false},
+      {"list_pipeline",
+       "one list threaded through build/fold/free helpers — the "
+       "interprocedural-summary witness (every call summarized, zero havoc)",
+       kListPipelineSource, false},
       {"sparse_matvec", "sparse Matrix-vector product (Table 1, S.Mat-Vec)",
        kSparseMatVecSource, true},
       {"sparse_matmat", "sparse Matrix-Matrix product (Table 1, S.Mat-Mat)",

@@ -1,0 +1,81 @@
+#include "ipa/callgraph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace psa::ipa {
+
+namespace {
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+CallGraph::CallGraph(const std::vector<CallGraphNode>& functions) {
+  const std::size_t n = functions.size();
+  edges_.resize(n);
+
+  // Resolve callees by name, first definition winning — the same rule sema
+  // uses, so a kCall statement always maps to the summary that will be
+  // computed for it.
+  auto resolve = [&](Symbol name) -> std::size_t {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (functions[j].name == name) return j;
+    }
+    return n;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (functions[i].cfg == nullptr) continue;
+    for (const cfg::CfgNode& node : functions[i].cfg->nodes()) {
+      if (node.stmt.op != cfg::SimpleOp::kCall) continue;
+      const std::size_t j = resolve(node.stmt.callee);
+      if (j < n) edges_[i].push_back(j);
+    }
+    std::sort(edges_[i].begin(), edges_[i].end());
+    edges_[i].erase(std::unique(edges_[i].begin(), edges_[i].end()),
+                    edges_[i].end());
+  }
+
+  index_.assign(n, kUnvisited);
+  lowlink_.assign(n, 0);
+  on_stack_.assign(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (index_[v] == kUnvisited) strongconnect(v);
+  }
+}
+
+void CallGraph::strongconnect(std::size_t v) {
+  index_[v] = lowlink_[v] = next_index_++;
+  stack_.push_back(v);
+  on_stack_[v] = true;
+
+  for (const std::size_t w : edges_[v]) {
+    if (index_[w] == kUnvisited) {
+      strongconnect(w);
+      lowlink_[v] = std::min(lowlink_[v], lowlink_[w]);
+    } else if (on_stack_[w]) {
+      lowlink_[v] = std::min(lowlink_[v], index_[w]);
+    }
+  }
+
+  if (lowlink_[v] == index_[v]) {
+    std::vector<std::size_t> scc;
+    std::size_t w;
+    do {
+      w = stack_.back();
+      stack_.pop_back();
+      on_stack_[w] = false;
+      scc.push_back(w);
+    } while (w != v);
+    std::sort(scc.begin(), scc.end());
+    sccs_.push_back(std::move(scc));
+  }
+}
+
+bool CallGraph::recursive(const std::vector<std::size_t>& scc) const {
+  if (scc.size() > 1) return true;
+  if (scc.empty()) return false;
+  const std::size_t v = scc.front();
+  return std::find(edges_[v].begin(), edges_[v].end(), v) != edges_[v].end();
+}
+
+}  // namespace psa::ipa

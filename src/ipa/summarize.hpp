@@ -1,0 +1,27 @@
+// Bottom-up summary computation over the call-graph SCCs (docs/ALGORITHMS.md).
+//
+// Every analyzable function of the unit is analyzed once (non-recursive
+// case) or Kleene-iterated to a stable summary table (recursive SCCs, capped
+// at Options::max_summary_iters) in callee-first order, so each analysis run
+// already has final summaries for every call that leaves its SCC. The
+// per-callee run starts from the entry abstraction of its struct-pointer
+// parameters (analysis::bind_unknown_param) and is budgeted by
+// Options::summary_visit_budget; a run that fails to converge — or an SCC
+// whose iteration cap trips — leaves `analyzed == false`, and the kCall
+// transfer havoc-falls-back at those sites.
+#pragma once
+
+#include "analysis/analyzer.hpp"
+#include "ipa/summary.hpp"
+
+namespace psa::ipa {
+
+/// Compute the summary table for every function in `program.unit_cfgs`.
+/// `options` provides the analysis level, budgets and IPA knobs; its
+/// `summaries`/`entry_states` fields are ignored (they are outputs of this
+/// pass, not inputs).
+[[nodiscard]] SummaryTable compute_summaries(
+    const analysis::ProgramAnalysis& program,
+    const analysis::Options& options);
+
+}  // namespace psa::ipa

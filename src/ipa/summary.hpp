@@ -1,0 +1,90 @@
+// Function summaries for the interprocedural analysis (docs/ALGORITHMS.md).
+//
+// A summary is the caller-visible projection of a callee's effect, computed
+// once per function (bottom-up over the call-graph SCCs, see summarize.hpp)
+// and applied at every call site by the kCall transfer in
+// analysis/semantics.cpp. The language subset has no globals, so everything
+// a callee can reach — and therefore everything it can mutate — is the heap
+// region reachable from its struct-pointer arguments. That makes a small,
+// reusable record sufficient:
+//
+//   mutates_heap   the callee may write a pointer field of an argument-
+//                  reachable cell. The call site then region-havocs the
+//                  argument-reachable subgraph (rsg::summarize_region) —
+//                  still far more precise than the whole-graph havoc of the
+//                  PR 5 salvage lowering, which also destroys state the
+//                  callee could never see.
+//   may_free       the callee may free an argument-reachable cell; the
+//                  region's live nodes widen to kMaybeFreed.
+//   alloc_types    struct types (with callee source lines) the callee may
+//                  allocate and link into caller-visible memory.
+//   ret_kinds      what the returned struct pointer can be: NULL, a cell
+//                  already in the argument region, and/or a fresh cell.
+//   havoc_tainted  the callee's own analysis degraded (a havoc fallback or a
+//                  governor rung fired inside it); call sites propagate the
+//                  taint so checker findings stay "possible", exactly as the
+//                  salvage envelope demands. Clean summaries set no taint —
+//                  summary-derived witnesses keep full confidence.
+//
+// `analyzed == false` marks a function whose summary could not be computed
+// (over-budget SCC fixpoint, non-converged run): call sites fall back to the
+// sound kHavoc transfer and count kCallHavocFallback.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "lang/types.hpp"
+#include "support/interner.hpp"
+
+namespace psa::ipa {
+
+using support::Symbol;
+
+/// Bitmask of possible return-value origins for a struct-pointer-returning
+/// callee, extracted from the __ret pvar binding in its exit states.
+inline constexpr std::uint8_t kRetNull = 1;          // __ret unbound
+inline constexpr std::uint8_t kRetParamDerived = 2;  // argument-reachable cell
+inline constexpr std::uint8_t kRetFresh = 4;         // callee-allocated cell
+
+struct FunctionSummary {
+  Symbol function;
+  /// Struct-pointer parameters in declaration order; kCall arg pvars bind to
+  /// these positionally.
+  std::vector<Symbol> params;
+
+  /// False: no usable summary (call sites take the havoc fallback).
+  bool analyzed = false;
+  /// The callee's own analysis degraded; applied summaries taint the graph.
+  bool havoc_tainted = false;
+  /// The callee may write a pointer field of an argument-reachable cell.
+  bool mutates_heap = false;
+  /// The callee may free an argument-reachable cell.
+  bool may_free = false;
+
+  /// Struct types the callee (or its callees) may allocate, keyed by
+  /// raw(StructId), each with the malloc source lines for leak findings.
+  std::map<std::uint32_t, std::set<std::uint32_t>> alloc_types;
+
+  /// kRet* bitmask; 0 when the callee never completes or has no
+  /// struct-pointer return type.
+  std::uint8_t ret_kinds = 0;
+  std::optional<lang::StructId> ret_type;
+  /// A kRetFresh return value may already be freed (the callee freed its own
+  /// allocation before returning it). Param-derived returns don't need this:
+  /// freeing an argument-reachable cell sets may_free, which widens the
+  /// whole region.
+  bool ret_maybe_freed = false;
+
+  friend bool operator==(const FunctionSummary&,
+                         const FunctionSummary&) = default;
+};
+
+/// Callee name -> summary. std::map keeps iteration deterministic (Symbol
+/// ids follow interning order, which is a function of the source).
+using SummaryTable = std::map<Symbol, FunctionSummary>;
+
+}  // namespace psa::ipa

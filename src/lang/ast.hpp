@@ -71,6 +71,11 @@ struct Expr {
   /// subset (the diagnostic was recorded as Severity::kUnsupported). The CFG
   /// builder lowers statements containing such expressions to kHavoc.
   bool unsupported = false;
+  /// kCall only: sema resolved the callee to an in-unit function with a
+  /// matching signature, so the CFG builder may lower the call to a kCall
+  /// statement and the engine may apply a function summary instead of the
+  /// havoc over-approximation.
+  bool summarizable = false;
 };
 
 [[nodiscard]] ExprPtr make_expr(ExprKind kind, SourceLoc loc);

@@ -7,6 +7,19 @@ namespace psa::lang {
 
 namespace {
 
+/// True when the expression or any subexpression was flagged unsupported.
+/// Call arguments with degraded subtrees cannot be lowered to pvars, so the
+/// whole call must stay on the havoc path.
+[[nodiscard]] bool subtree_unsupported(const Expr& e) {
+  if (e.unsupported) return true;
+  if (e.lhs != nullptr && subtree_unsupported(*e.lhs)) return true;
+  if (e.rhs != nullptr && subtree_unsupported(*e.rhs)) return true;
+  for (const auto& a : e.args) {
+    if (a != nullptr && subtree_unsupported(*a)) return true;
+  }
+  return false;
+}
+
 class FunctionSema {
  public:
   FunctionSema(TranslationUnit& unit, const FunctionDecl& fn,
@@ -116,10 +129,16 @@ class FunctionSema {
       case ExprKind::kCast:
         break;
       case ExprKind::kCall:
-        diags_.unsupported(stmt.rhs->loc,
-                           "calls returning struct pointers are not supported "
-                           "(the paper's analysis is intraprocedural)");
-        stmt.rhs->unsupported = true;
+        // Summarizable in-unit calls returning a struct pointer lower to a
+        // kCall statement (summary-based interprocedural analysis); any
+        // other call keeps the PR 5 havoc behavior.
+        if (!stmt.rhs->summarizable || !stmt.rhs->type.is_struct_pointer()) {
+          diags_.unsupported(stmt.rhs->loc,
+                             "calls returning struct pointers are only "
+                             "supported for in-unit callees with matching "
+                             "signatures; this call lowers to a havoc");
+          stmt.rhs->unsupported = true;
+        }
         break;
       default:
         diags_.unsupported(stmt.rhs->loc,
@@ -252,22 +271,66 @@ class FunctionSema {
       case ExprKind::kSizeof:
         expr.type = Type::scalar_type(ScalarKind::kInt);
         break;
-      case ExprKind::kCall:
-        for (auto& a : expr.args) {
-          visit_expr(*a, nullptr);
-          if (a->type.is_struct_pointer()) {
-            diags_.unsupported(
-                a->loc,
-                "passing struct pointers to calls is not supported "
-                "(the paper's analysis is intraprocedural; inline "
-                "the callee as the authors did for Barnes-Hut)");
-            // The unknown callee may rewrite anything reachable from the
-            // argument: the whole call is the unsupported (havoc) site.
-            expr.unsupported = true;
+      case ExprKind::kCall: {
+        // Interprocedural analysis (docs/ALGORITHMS.md): resolve an in-unit
+        // callee. When the callee is defined in this unit with a matching
+        // signature the call is `summarizable` — CFG lowering emits a kCall
+        // statement and the engine applies the callee's function summary.
+        // Any other call with struct-pointer arguments stays an unsupported
+        // (havoc) site, exactly as in the PR 5 salvage frontend.
+        const FunctionDecl* callee = nullptr;
+        for (const auto& f : unit_.functions) {
+          if (f.name == expr.name) {
+            callee = &f;
+            break;
           }
         }
-        expr.type = Type::scalar_type(ScalarKind::kInt);
+        const bool arity_ok =
+            callee != nullptr && callee->params.size() == expr.args.size();
+        bool summarizable = arity_ok;
+        bool any_ptr_arg = false;
+        for (std::size_t i = 0; i < expr.args.size(); ++i) {
+          Expr& a = *expr.args[i];
+          const Type* param_ty = arity_ok ? &callee->params[i].type : nullptr;
+          visit_expr(a, param_ty);
+          if (a.type.is_struct_pointer()) any_ptr_arg = true;
+          if (!arity_ok) continue;
+          if (param_ty->is_struct_pointer()) {
+            // A struct-pointer parameter must receive a struct pointer of
+            // the same type, or the summary's region tracking breaks down.
+            if (!(a.type.is_struct_pointer() &&
+                  a.type.struct_id == param_ty->struct_id)) {
+              summarizable = false;
+            }
+          } else if (a.type.is_struct_pointer()) {
+            // Pointer passed where the callee expects a scalar: it would
+            // escape the summary's argument region.
+            summarizable = false;
+          }
+          // Degraded argument subtrees cannot be lowered to argument pvars.
+          if (subtree_unsupported(a)) summarizable = false;
+        }
+        if (summarizable && callee->return_type.kind == Type::Kind::kStruct) {
+          summarizable = false;  // by-value struct returns are unsupported
+        }
+        if (summarizable) {
+          expr.summarizable = true;
+          expr.type = callee->return_type;
+        } else {
+          if (any_ptr_arg) {
+            // The unknown callee may rewrite anything reachable from the
+            // argument: the whole call is the unsupported (havoc) site.
+            diags_.unsupported(
+                expr.loc,
+                "passing struct pointers to calls is only supported for "
+                "in-unit callees with matching signatures; this call "
+                "lowers to a havoc");
+            expr.unsupported = true;
+          }
+          expr.type = Type::scalar_type(ScalarKind::kInt);
+        }
         break;
+      }
       case ExprKind::kCast: {
         if (auto id = unit_.types.find_struct(expr.type_name)) {
           const Type cast_ty = Type::pointer_to_struct(*id);

@@ -180,13 +180,20 @@ bool drop_must_info(Rsg& g) {
   return changed;
 }
 
-void summarize_top(Rsg& g, const LevelPolicy& policy,
-                   const std::vector<Symbol>& selectors,
-                   const lang::TypeTable* types) {
-  PSA_COUNT(support::Counter::kSummarizeTopCalls);
-  drop_must_info(g);
-  for (const NodeRef n : g.node_refs()) {
+void summarize_region(Rsg& g, const std::vector<NodeRef>& region,
+                      const std::vector<Symbol>& selectors,
+                      const lang::TypeTable* types) {
+  for (const NodeRef n : region) {
     NodeProps& p = g.props(n);
+    // Region-scoped must-info demotion (drop_must_info restricted to the
+    // region): the unknown code may have rewritten every field of these
+    // cells, so no definite reference pattern survives.
+    for (const Symbol s : p.selin) p.pos_selin.insert(s);
+    for (const Symbol s : p.selout) p.pos_selout.insert(s);
+    p.selin.clear();
+    p.selout.clear();
+    p.cyclelinks.clear();
+    p.touch.clear();
     p.shared = true;
     for (const Symbol sel : selectors) p.shsel.insert(sel);
     // Pvar-referenced nodes keep cardinality one (a concrete store binds a
@@ -194,16 +201,18 @@ void summarize_top(Rsg& g, const LevelPolicy& policy,
     // claim); everything else becomes a summary.
     if (g.pvars_of(n).empty()) p.cardinality = Cardinality::kMany;
   }
-  // Saturate the may-structure (see ops.hpp): every *type-correct* link is
-  // present, so joining any further transfer output cannot grow the graph.
+  // Saturate the may-structure (see ops.hpp) within the region: every
+  // *type-correct* link between region cells is present. Links from outside
+  // the region into it survive untouched — the unknown code cannot create a
+  // link whose *source* cell it cannot reach, so no outside-in saturation is
+  // needed.
   if (types != nullptr) {
-    const auto refs = g.node_refs();
-    for (const NodeRef a : refs) {
+    for (const NodeRef a : region) {
       const lang::StructDecl& decl = types->struct_decl(g.props(a).type);
       for (const lang::Field& f : decl.fields) {
         if (!f.is_selector()) continue;
         g.props(a).pos_selout.insert(f.name);
-        for (const NodeRef b : refs) {
+        for (const NodeRef b : region) {
           if (g.props(b).type != *f.type.struct_id) continue;
           g.add_link(a, f.name, b);
           g.props(b).pos_selin.insert(f.name);
@@ -211,9 +220,19 @@ void summarize_top(Rsg& g, const LevelPolicy& policy,
       }
     }
   }
-  // With uniform sharing bits and no must-information, coarsen's partition
-  // degenerates to (TYPE, SPATH0): one node per struct type plus one per
-  // pvar-reference combination — the coarsest graph for this ALIAS pattern.
+}
+
+void summarize_top(Rsg& g, const LevelPolicy& policy,
+                   const std::vector<Symbol>& selectors,
+                   const lang::TypeTable* types) {
+  PSA_COUNT(support::Counter::kSummarizeTopCalls);
+  // The whole-graph collapse is the region collapse over every node...
+  summarize_region(g, g.node_refs(), selectors, types);
+  // ...followed by coarsening: with uniform sharing bits and no
+  // must-information the partition degenerates to (TYPE, SPATH0) — one node
+  // per struct type plus one per pvar-reference combination, the coarsest
+  // graph for this ALIAS pattern. (Region-scoped callers skip this: coarsen
+  // is a global operation and would collapse caller-private state too.)
   coarsen(g, policy);
 }
 

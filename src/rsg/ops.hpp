@@ -120,4 +120,16 @@ void summarize_top(Rsg& g, const LevelPolicy& policy,
                    const std::vector<Symbol>& selectors,
                    const lang::TypeTable* types = nullptr);
 
+/// Region-scoped ⊤ collapse for the interprocedural kCall transfer: the
+/// summarize_top widening restricted to `region` (the argument-reachable
+/// subgraph a callee could mutate). Must-information of region nodes is
+/// demoted, their sharing bits saturate, non-pvar-referenced region nodes
+/// become summaries, and every type-correct link *within* the region is
+/// added. Nodes outside the region — caller state the callee can never
+/// reach — are untouched, and no coarsen runs (it is a global operation;
+/// the caller's finish/compress pass compacts instead).
+void summarize_region(Rsg& g, const std::vector<NodeRef>& region,
+                      const std::vector<Symbol>& selectors,
+                      const lang::TypeTable* types = nullptr);
+
 }  // namespace psa::rsg

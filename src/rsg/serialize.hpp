@@ -56,9 +56,12 @@ class SnapshotError : public std::runtime_error {
 };
 
 /// The format version written by this build. v2 added the salvage-mode HAVOC
-/// taint (one flag byte per node record, one per graph record); v1 snapshots
+/// taint (one flag byte per node record, one per graph record); v3 grew the
+/// embedded metrics vocabulary with the interprocedural-summary counters and
+/// the phase_ipa timers (the metrics array is length-checked against
+/// kCounterCount, so the growth is a wire-format change). Older snapshots
 /// are rejected with a version mismatch rather than misread.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 // --- Byte-level primitives ---------------------------------------------------
 

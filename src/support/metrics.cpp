@@ -37,6 +37,10 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kHavocSites: return "havoc_sites";
     case Counter::kSkippedDecls: return "skipped_decls";
     case Counter::kSalvagedUnits: return "salvaged_units";
+    case Counter::kSummaryComputed: return "summary_computed";
+    case Counter::kSummaryApplied: return "summary_applied";
+    case Counter::kSummaryFixpointIters: return "summary_fixpoint_iters";
+    case Counter::kCallHavocFallback: return "call_havoc_fallback";
     case Counter::kCacheHits: return "cache_hits";
     case Counter::kCacheMisses: return "cache_misses";
     case Counter::kCacheStores: return "cache_stores";
@@ -49,6 +53,8 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kPhaseParseCpuNs: return "phase_parse_cpu_ns";
     case Counter::kPhaseCfgWallNs: return "phase_cfg_wall_ns";
     case Counter::kPhaseCfgCpuNs: return "phase_cfg_cpu_ns";
+    case Counter::kPhaseIpaWallNs: return "phase_ipa_wall_ns";
+    case Counter::kPhaseIpaCpuNs: return "phase_ipa_cpu_ns";
     case Counter::kPhaseFixpointL1WallNs: return "phase_fixpoint_l1_wall_ns";
     case Counter::kPhaseFixpointL1CpuNs: return "phase_fixpoint_l1_cpu_ns";
     case Counter::kPhaseFixpointL2WallNs: return "phase_fixpoint_l2_wall_ns";

@@ -88,6 +88,12 @@ enum class Counter : std::uint16_t {
   kSkippedDecls,   // declarations stubbed out by parser/sema recovery
   kSalvagedUnits,  // prepared units that degraded but still analyzed
 
+  // Interprocedural summary analysis (docs/ALGORITHMS.md).
+  kSummaryComputed,       // function summaries computed bottom-up
+  kSummaryApplied,        // kCall transfers that applied a callee summary
+  kSummaryFixpointIters,  // SCC summary-fixpoint iterations (Kleene rounds)
+  kCallHavocFallback,     // kCall transfers that fell back to sound havoc
+
   // Content-addressed result cache (docs/SERVICE.md).
   kCacheHits,       // lookups served from a validated cache entry
   kCacheMisses,     // lookups that fell through to a real analysis
@@ -106,6 +112,8 @@ enum class Counter : std::uint16_t {
   kPhaseParseCpuNs,
   kPhaseCfgWallNs,
   kPhaseCfgCpuNs,
+  kPhaseIpaWallNs,  // call graph + bottom-up summary computation
+  kPhaseIpaCpuNs,
   kPhaseFixpointL1WallNs,
   kPhaseFixpointL1CpuNs,
   kPhaseFixpointL2WallNs,

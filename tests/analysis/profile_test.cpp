@@ -187,6 +187,14 @@ TEST(ProfileTest, MetricsJsonRoundTripsThroughTheParser) {
         "phase_request_wall_ns"}) {
     EXPECT_NE(ops->find(key), nullptr) << key;
   }
+  // The interprocedural vocabulary (docs/OBSERVABILITY.md): summary
+  // production/consumption and the havoc-fallback rate, plus the phase_ipa
+  // timers — dashboards track fallback/applied as the precision burn-down.
+  for (const char* key :
+       {"summary_computed", "summary_applied", "summary_fixpoint_iters",
+        "call_havoc_fallback", "phase_ipa_wall_ns", "phase_ipa_cpu_ns"}) {
+    EXPECT_NE(ops->find(key), nullptr) << key;
+  }
 
   const testing::JsonValue* gauges = doc->find("gauges");
   ASSERT_NE(gauges, nullptr);

@@ -115,6 +115,44 @@ TEST(CacheKeyTest, EngineOptionsAreInTheKey) {
   EXPECT_NE(base, key_of(kSourceA, deadline));
 }
 
+TEST(CacheKeyTest, SummaryOptionsAreInTheKey) {
+  // Summaries change which transfer runs at every call site; flipping any
+  // interprocedural knob must not resurface an entry computed without it.
+  analysis::Options off;
+  off.enable_summaries = false;
+  analysis::Options iters;
+  iters.max_summary_iters += 3;
+  analysis::Options budget;
+  budget.summary_visit_budget += 1000;
+  const CacheKey base = key_of(kSourceA);
+  EXPECT_NE(base, key_of(kSourceA, off));
+  EXPECT_NE(base, key_of(kSourceA, iters));
+  EXPECT_NE(base, key_of(kSourceA, budget));
+}
+
+TEST(CacheKeyTest, SiblingFunctionBodyIsInTheKey) {
+  // The target function's own CFG is identical in both units; only the
+  // helper it calls changed. The summary feeds the cached result, so the
+  // key must move.
+  constexpr std::string_view kCallerTemplate =
+      "struct node { struct node *next; };\n"
+      "void tweak(struct node *a) {\n"
+      "%s"
+      "}\n"
+      "void main() {\n"
+      "  struct node *p;\n"
+      "  p = malloc(sizeof(struct node));\n"
+      "  tweak(p);\n"
+      "}\n";
+  const auto with_body = [&](std::string_view body) {
+    std::string src(kCallerTemplate);
+    src.replace(src.find("%s"), 2, body);
+    return src;
+  };
+  EXPECT_NE(key_of(with_body("  a->next = NULL;\n")),
+            key_of(with_body("  free(a);\n")));
+}
+
 TEST(CacheKeyTest, CheckerSwitchIsInTheKey) {
   EXPECT_NE(key_of(kSourceA, {}, /*check=*/true),
             key_of(kSourceA, {}, /*check=*/false));

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include "analysis/analyzer.hpp"
+#include "checker/checker.hpp"
 #include "client/queries.hpp"
 #include "corpus/corpus.hpp"
+#include "support/metrics.hpp"
 
 namespace psa {
 namespace {
@@ -127,6 +129,44 @@ TEST(CorpusTest, VisitMarksEveryNodeMarkedOnce) {
     EXPECT_FALSE(client::may_be_shared_via(program, at_exit, "node", "ref"))
         << rsg::to_string(level);
   }
+}
+
+TEST(CorpusTest, ListPipelinePreparesWithoutDegradation) {
+  // The interprocedural witness: three helpers plus main, all in the
+  // analyzable subset — no salvage, no havoc sites, four lowered CFGs.
+  const auto program = prepare(corpus::find_program("list_pipeline")->source);
+  EXPECT_FALSE(program.salvage.degraded());
+  EXPECT_EQ(program.salvage.havoc_sites, 0u);
+  EXPECT_EQ(program.unit_cfgs.size(), 4u);
+}
+
+TEST(CorpusTest, ListPipelineSummarizesEveryCallAndStaysClean) {
+  const auto program = prepare(corpus::find_program("list_pipeline")->source);
+#if PSA_METRICS
+  const support::MetricsRegion region;
+#endif
+  const auto result = analysis::analyze_program(program, {});
+  ASSERT_TRUE(result.converged());
+  EXPECT_FALSE(result.degraded());
+#if PSA_METRICS
+  // The burn-down: before summaries, each of the five call sites was a
+  // whole-graph havoc; now every one is a summary application.
+  const auto delta = region.delta();
+  EXPECT_EQ(delta[support::Counter::kCallHavocFallback], 0u);
+  EXPECT_GE(delta[support::Counter::kSummaryApplied], 5u);
+  EXPECT_GE(delta[support::Counter::kSummaryComputed], 3u);
+#endif
+  // Golden findings: exactly one note. release() is summarized, so the
+  // region widens to maybe-freed rather than freed — the summary cannot
+  // prove the teardown freed *every* cell, and the checkers honestly report
+  // the residue as a may-still-be-live note. Crucially it is a full-
+  // confidence finding (degraded == false): summaries, unlike the old call
+  // havoc, taint nothing.
+  const auto findings = checker::run_checkers(program, result);
+  ASSERT_EQ(findings.size(), 1u)
+      << checker::format_findings(findings, program);
+  EXPECT_EQ(findings[0].kind, checker::CheckKind::kLeakAtExit);
+  EXPECT_FALSE(findings[0].degraded);
 }
 
 }  // namespace

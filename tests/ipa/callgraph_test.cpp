@@ -1,0 +1,144 @@
+// Call graph construction and Tarjan SCC condensation over lowered CFGs.
+#include "ipa/callgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+
+namespace psa::ipa {
+namespace {
+
+std::vector<CallGraphNode> nodes_of(const analysis::ProgramAnalysis& program) {
+  std::vector<CallGraphNode> nodes;
+  for (const auto& fc : program.unit_cfgs) nodes.push_back({fc.name, &fc.cfg});
+  return nodes;
+}
+
+std::size_t index_of(const analysis::ProgramAnalysis& program,
+                     std::string_view name) {
+  const support::Symbol sym = program.symbol(name);
+  for (std::size_t i = 0; i < program.unit_cfgs.size(); ++i) {
+    if (program.unit_cfgs[i].name == sym) return i;
+  }
+  ADD_FAILURE() << "function not lowered: " << name;
+  return static_cast<std::size_t>(-1);
+}
+
+/// Position of the SCC containing function index `idx` in the bottom-up
+/// order.
+std::size_t scc_position(const CallGraph& cg, std::size_t idx) {
+  for (std::size_t k = 0; k < cg.sccs().size(); ++k) {
+    for (const std::size_t v : cg.sccs()[k]) {
+      if (v == idx) return k;
+    }
+  }
+  ADD_FAILURE() << "function " << idx << " in no SCC";
+  return static_cast<std::size_t>(-1);
+}
+
+TEST(CallGraphTest, StraightLineChainComesOutCalleeFirst) {
+  const auto program = analysis::prepare(R"(
+    struct node { struct node *nxt; };
+    struct node *leaf(struct node *l) { return l; }
+    struct node *mid(struct node *l) { struct node *r; r = leaf(l); return r; }
+    void main() {
+      struct node *p;
+      p = NULL;
+      p = mid(p);
+    }
+  )");
+  ASSERT_EQ(program.unit_cfgs.size(), 3u);
+  const CallGraph cg(nodes_of(program));
+  ASSERT_EQ(cg.sccs().size(), 3u);
+  // Bottom-up: every SCC follows the SCCs of its callees.
+  EXPECT_LT(scc_position(cg, index_of(program, "leaf")),
+            scc_position(cg, index_of(program, "mid")));
+  EXPECT_LT(scc_position(cg, index_of(program, "mid")),
+            scc_position(cg, index_of(program, "main")));
+  for (const auto& scc : cg.sccs()) EXPECT_FALSE(cg.recursive(scc));
+}
+
+TEST(CallGraphTest, SelfRecursionIsASingletonRecursiveScc) {
+  const auto program = analysis::prepare(R"(
+    struct node { struct node *nxt; };
+    struct node *walk(struct node *l) {
+      struct node *r;
+      if (l == NULL) { return NULL; }
+      r = walk(l->nxt);
+      return r;
+    }
+    void main() {
+      struct node *p;
+      p = malloc(struct node);
+      p = walk(p);
+    }
+  )");
+  const CallGraph cg(nodes_of(program));
+  const std::size_t walk = index_of(program, "walk");
+  bool found = false;
+  for (const auto& scc : cg.sccs()) {
+    if (scc.size() == 1 && scc.front() == walk) {
+      EXPECT_TRUE(cg.recursive(scc));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CallGraphTest, MutualRecursionFusesIntoOneScc) {
+  const auto program = analysis::prepare(R"(
+    struct node { struct node *nxt; };
+    struct node *odd(struct node *l) {
+      struct node *r;
+      if (l == NULL) { return NULL; }
+      r = even(l->nxt);
+      return r;
+    }
+    struct node *even(struct node *l) {
+      struct node *r;
+      if (l == NULL) { return NULL; }
+      r = odd(l->nxt);
+      return r;
+    }
+    void main() {
+      struct node *p;
+      p = NULL;
+      p = odd(p);
+    }
+  )");
+  const CallGraph cg(nodes_of(program));
+  const std::size_t odd = index_of(program, "odd");
+  const std::size_t even = index_of(program, "even");
+  bool fused = false;
+  for (const auto& scc : cg.sccs()) {
+    if (scc.size() == 2) {
+      EXPECT_TRUE(cg.recursive(scc));
+      EXPECT_TRUE((scc[0] == std::min(odd, even) &&
+                   scc[1] == std::max(odd, even)));
+      fused = true;
+    }
+  }
+  EXPECT_TRUE(fused);
+  // main's SCC comes after the recursive pair.
+  EXPECT_GT(scc_position(cg, index_of(program, "main")),
+            scc_position(cg, odd));
+}
+
+TEST(CallGraphTest, DuplicateCallSitesCollapseToOneEdge) {
+  const auto program = analysis::prepare(R"(
+    struct node { struct node *nxt; };
+    struct node *mk() { struct node *t; t = malloc(struct node); return t; }
+    void main() {
+      struct node *a; struct node *b;
+      a = mk();
+      b = mk();
+    }
+  )");
+  const CallGraph cg(nodes_of(program));
+  const std::size_t main_i = index_of(program, "main");
+  ASSERT_LT(main_i, cg.edges().size());
+  EXPECT_EQ(cg.edges()[main_i].size(), 1u);
+}
+
+}  // namespace
+}  // namespace psa::ipa

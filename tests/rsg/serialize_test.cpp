@@ -54,6 +54,21 @@ TEST(SerializeEnvelope, RejectsWrongVersion) {
   EXPECT_THROW((void)unwrap_snapshot(bytes), SnapshotError);
 }
 
+TEST(SerializeEnvelope, VersionIsPinnedAndPredecessorsAreRejected) {
+  // v3: the metrics array grew by the interprocedural counters and the
+  // phase_ipa timers (src/rsg/serialize.hpp). A version bump without
+  // updating this pin is a wire-format change nobody signed off on.
+  EXPECT_EQ(kSnapshotVersion, 3u);
+  // Every prior version (v1 pre-metrics, v2 pre-IPA) must be rejected —
+  // stale cache entries and checkpoints re-analyze rather than misparse.
+  for (std::uint8_t old = 0; old < kSnapshotVersion; ++old) {
+    std::string bytes = wrap_snapshot("payload");
+    bytes[8] = static_cast<char>(old);
+    EXPECT_THROW((void)unwrap_snapshot(bytes), SnapshotError)
+        << "version " << static_cast<int>(old);
+  }
+}
+
 TEST(SerializeEnvelope, RejectsWrongChecksum) {
   std::string bytes = wrap_snapshot("payload");
   bytes[24] = static_cast<char>(bytes[24] ^ 0x01);

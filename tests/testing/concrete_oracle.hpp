@@ -67,22 +67,96 @@ struct ConcreteOutcome {
   std::set<std::uint32_t> double_free_lines;  // re-free of freed memory
 };
 
-/// Run the lowered program concretely; opaque branches flip a coin, NULL
-/// tests follow the heap. Loops terminate via the step budget (a cut-off
-/// run is discarded: it reached no final store).
-inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
-                                    unsigned seed, int max_steps = 4000) {
-  std::mt19937 rng(seed);
-  ConcreteOutcome out;
-  ConcreteHeap& heap = out.heap;
-
-  cfg::NodeId at = program.cfg.entry();
-  for (int step = 0; step < max_steps; ++step) {
-    if (at == program.cfg.exit()) {
-      out.completed = true;
-      return out;
+/// Locations reachable from the current environment over the heap's fields.
+inline std::vector<bool> reachable_set(const ConcreteHeap& heap) {
+  std::vector<bool> reachable(heap.fields.size(), false);
+  std::vector<LocId> work;
+  for (const auto& [pvar, loc] : heap.env) {
+    if (loc != kNull && !reachable[static_cast<std::size_t>(loc)]) {
+      reachable[static_cast<std::size_t>(loc)] = true;
+      work.push_back(loc);
     }
-    const auto& node = program.cfg.node(at);
+  }
+  while (!work.empty()) {
+    const LocId l = work.back();
+    work.pop_back();
+    for (const auto& [sel, t] : heap.fields[static_cast<std::size_t>(l)]) {
+      if (t != kNull && !reachable[static_cast<std::size_t>(t)]) {
+        reachable[static_cast<std::size_t>(t)] = true;
+        work.push_back(t);
+      }
+    }
+  }
+  return reachable;
+}
+
+/// Adversary for havoc'd code (docs/RESILIENCE.md): rewrite a random subset
+/// of reachable pointer fields to NULL or a type-correct reachable cell.
+/// The unknown code sees only what escaped to it; it never frees and never
+/// rebinds the caller's variables.
+inline void adversary_mutate(const analysis::ProgramAnalysis& program,
+                             ConcreteHeap& heap, std::mt19937& rng) {
+  const std::vector<bool> reachable = reachable_set(heap);
+  for (std::size_t l = 0; l < heap.fields.size(); ++l) {
+    if (!reachable[l]) continue;
+    const lang::StructDecl& decl =
+        program.unit.types.struct_decl(heap.type_of[l]);
+    for (const lang::Field& f : decl.fields) {
+      if (!f.is_selector()) continue;
+      if (rng() % 2 == 0) continue;  // this field survives unchanged
+      std::vector<LocId> targets;
+      for (std::size_t t = 0; t < heap.fields.size(); ++t) {
+        if (reachable[t] && heap.type_of[t] == *f.type.struct_id &&
+            !heap.freed.contains(static_cast<LocId>(t))) {
+          targets.push_back(static_cast<LocId>(t));
+        }
+      }
+      const std::size_t pick = rng() % (targets.size() + 1);
+      if (pick == 0) {
+        heap.fields[l].erase(f.name);
+      } else {
+        heap.fields[l][f.name] = targets[pick - 1];
+      }
+    }
+  }
+}
+
+/// Adversary rebind: x becomes NULL, a fresh cell, or any reachable
+/// non-freed cell of type T.
+inline void adversary_rebind(ConcreteHeap& heap, std::mt19937& rng, Symbol x,
+                             lang::StructId type) {
+  const std::vector<bool> reachable = reachable_set(heap);
+  std::vector<LocId> candidates;
+  for (std::size_t l = 0; l < heap.fields.size(); ++l) {
+    if (reachable[l] && heap.type_of[l] == type &&
+        !heap.freed.contains(static_cast<LocId>(l))) {
+      candidates.push_back(static_cast<LocId>(l));
+    }
+  }
+  const std::size_t pick = rng() % (candidates.size() + 2);
+  if (pick == 0) {
+    heap.env.erase(x);
+  } else if (pick == 1) {
+    heap.env[x] = heap.alloc(type);
+  } else {
+    heap.env[x] = candidates[pick - 2];
+  }
+}
+
+/// Execute one CFG against the shared heap. Returns true when the exit was
+/// reached; false when the run died (null dereference) or the shared step
+/// budget ran out — either way there is no final store to check. kCall
+/// statements push a real call frame (fresh environment, positional
+/// struct-pointer parameter binding, `__ret` read-back) and recurse into the
+/// callee's CFG from ProgramAnalysis::unit_cfgs; a callee with no lowered
+/// CFG gets the same havoc adversary the analysis falls back to.
+inline bool run_cfg(const analysis::ProgramAnalysis& program,
+                    const cfg::Cfg& cfg, ConcreteHeap& heap, std::mt19937& rng,
+                    int& budget, ConcreteOutcome& out, int depth) {
+  cfg::NodeId at = cfg.entry();
+  while (budget-- > 0) {
+    if (at == cfg.exit()) return true;
+    const auto& node = cfg.node(at);
     const auto& s = node.stmt;
     switch (s.op) {
       case cfg::SimpleOp::kPtrNull:
@@ -104,7 +178,7 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
         const LocId base = heap.get(s.y);
         if (base == kNull) {  // null dereference: no final store
           if (s.loc.valid()) out.null_deref_lines.insert(s.loc.line);
-          return out;
+          return false;
         }
         if (heap.freed.contains(base) && s.loc.valid())
           out.uaf_lines.insert(s.loc.line);
@@ -126,7 +200,7 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
         const LocId base = heap.get(s.x);
         if (base == kNull) {
           if (s.loc.valid()) out.null_deref_lines.insert(s.loc.line);
-          return out;
+          return false;
         }
         if (heap.freed.contains(base) && s.loc.valid())
           out.uaf_lines.insert(s.loc.line);
@@ -153,7 +227,7 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
         const LocId base = heap.get(s.x);
         if (base == kNull) {
           if (s.loc.valid()) out.null_deref_lines.insert(s.loc.line);
-          return out;
+          return false;
         }
         if (heap.freed.contains(base) && s.loc.valid())
           out.uaf_lines.insert(s.loc.line);
@@ -170,69 +244,55 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
         // it, so it may rewrite reachable pointer fields and produce NULL,
         // fresh memory, or any reachable cell — but it never frees and
         // never rebinds the caller's variables (C is pass-by-value).
-        std::vector<bool> reachable(heap.fields.size(), false);
-        {
-          std::vector<LocId> work;
-          for (const auto& [pvar, loc] : heap.env) {
-            if (loc != kNull && !reachable[static_cast<std::size_t>(loc)]) {
-              reachable[static_cast<std::size_t>(loc)] = true;
-              work.push_back(loc);
-            }
-          }
-          while (!work.empty()) {
-            const LocId l = work.back();
-            work.pop_back();
-            for (const auto& [sel, t] :
-                 heap.fields[static_cast<std::size_t>(l)]) {
-              if (t != kNull && !reachable[static_cast<std::size_t>(t)]) {
-                reachable[static_cast<std::size_t>(t)] = true;
-                work.push_back(t);
-              }
-            }
-          }
-        }
         if (s.x.valid()) {
-          // havoc(x, T): rebind x to NULL, a fresh cell, or any reachable
-          // non-freed cell of type T.
-          std::vector<LocId> candidates;
-          for (std::size_t l = 0; l < heap.fields.size(); ++l) {
-            if (reachable[l] && heap.type_of[l] == s.type &&
-                !heap.freed.contains(static_cast<LocId>(l))) {
-              candidates.push_back(static_cast<LocId>(l));
-            }
-          }
-          const std::size_t pick = rng() % (candidates.size() + 2);
-          if (pick == 0) {
-            heap.env.erase(s.x);
-          } else if (pick == 1) {
-            heap.env[s.x] = heap.alloc(s.type);
-          } else {
-            heap.env[s.x] = candidates[pick - 2];
-          }
+          adversary_rebind(heap, rng, s.x, s.type);
         } else {
-          // havoc(*): rewrite a random subset of reachable pointer fields
-          // to NULL or a type-correct reachable cell.
-          for (std::size_t l = 0; l < heap.fields.size(); ++l) {
-            if (!reachable[l]) continue;
-            const lang::StructDecl& decl =
-                program.unit.types.struct_decl(heap.type_of[l]);
-            for (const lang::Field& f : decl.fields) {
-              if (!f.is_selector()) continue;
-              if (rng() % 2 == 0) continue;  // this field survives unchanged
-              std::vector<LocId> targets;
-              for (std::size_t t = 0; t < heap.fields.size(); ++t) {
-                if (reachable[t] && heap.type_of[t] == *f.type.struct_id &&
-                    !heap.freed.contains(static_cast<LocId>(t))) {
-                  targets.push_back(static_cast<LocId>(t));
-                }
-              }
-              const std::size_t pick = rng() % (targets.size() + 1);
-              if (pick == 0) {
-                heap.fields[l].erase(f.name);
-              } else {
-                heap.fields[l][f.name] = targets[pick - 1];
-              }
+          adversary_mutate(program, heap, rng);
+        }
+        break;
+      }
+      case cfg::SimpleOp::kCall: {
+        const analysis::FunctionCfg* callee = program.find_cfg(s.callee);
+        const lang::FunctionInfo* info = program.sema.find(s.callee);
+        if (callee == nullptr || info == nullptr) {
+          // No lowered CFG for the callee — the analysis took the havoc
+          // fallback here, so the oracle plays the same adversary.
+          adversary_mutate(program, heap, rng);
+          if (s.x.valid()) adversary_rebind(heap, rng, s.x, s.type);
+          break;
+        }
+        if (depth >= 64) return false;  // runaway recursion: no final store
+        // Push a frame: fresh environment with the struct-pointer
+        // parameters bound positionally to the argument values (scalars are
+        // not tracked). C is pass-by-value, so the callee shares the heap
+        // but never the caller's bindings.
+        std::map<Symbol, LocId> saved = std::move(heap.env);
+        heap.env.clear();
+        std::size_t ai = 0;
+        for (const lang::Param& p : info->decl->params) {
+          if (!p.type.is_struct_pointer()) continue;
+          if (ai < s.args.size()) {
+            const auto it = saved.find(s.args[ai]);
+            if (it != saved.end() && it->second != kNull) {
+              heap.env[p.name] = it->second;
             }
+          }
+          ++ai;
+        }
+        const bool completed =
+            run_cfg(program, callee->cfg, heap, rng, budget, out, depth + 1);
+        LocId ret = kNull;
+        if (completed) {
+          const Symbol ret_sym = program.unit.interner->lookup("__ret");
+          if (ret_sym.valid()) ret = heap.get(ret_sym);
+        }
+        heap.env = std::move(saved);
+        if (!completed) return false;  // the callee died: no final store
+        if (s.x.valid()) {
+          if (ret == kNull) {
+            heap.env.erase(s.x);
+          } else {
+            heap.env[s.x] = ret;
           }
         }
         break;
@@ -241,7 +301,7 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
         // Choose a successor whose assume (if any) is satisfied.
         std::vector<cfg::NodeId> viable;
         for (const cfg::NodeId succ : node.succs) {
-          const auto& arm = program.cfg.node(succ).stmt;
+          const auto& arm = cfg.node(succ).stmt;
           if (arm.op == cfg::SimpleOp::kAssumeNull &&
               heap.get(arm.x) != kNull) {
             continue;
@@ -252,7 +312,7 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
           }
           viable.push_back(succ);
         }
-        if (viable.empty()) return out;  // should not happen
+        if (viable.empty()) return false;  // should not happen
         at = viable[rng() % viable.size()];
         continue;
       }
@@ -264,7 +324,22 @@ inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
     if (node.succs.empty()) break;
     at = node.succs[node.succs.size() == 1 ? 0 : rng() % node.succs.size()];
   }
-  return out;  // budget exhausted mid-run: no final store to check
+  return false;  // budget exhausted mid-run: no final store to check
+}
+
+/// Run the lowered program concretely from its target function; opaque
+/// branches flip a coin, NULL tests follow the heap, calls execute their
+/// callee's CFG in a real call frame. Loops and recursion terminate via the
+/// shared step budget (a cut-off run is discarded: it reached no final
+/// store).
+inline ConcreteOutcome run_concrete(const analysis::ProgramAnalysis& program,
+                                    unsigned seed, int max_steps = 4000) {
+  std::mt19937 rng(seed);
+  ConcreteOutcome out;
+  int budget = max_steps;
+  out.completed =
+      run_cfg(program, program.cfg, out.heap, rng, budget, out, /*depth=*/0);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
