@@ -29,6 +29,11 @@ class CallGraph {
  public:
   explicit CallGraph(const std::vector<CallGraphNode>& functions);
 
+  /// Condense a pre-resolved adjacency list (callee indices per caller).
+  /// Used by tests to exercise graph shapes a parsed unit cannot reach
+  /// cheaply (e.g. call chains deep enough to overflow a recursive walk).
+  explicit CallGraph(std::vector<std::vector<std::size_t>> edges);
+
   /// Strongly connected components in bottom-up order (Tarjan pop order:
   /// all call edges leaving an SCC go to an earlier entry of this list).
   /// Members are indices into the constructor's `functions`, sorted
@@ -47,6 +52,7 @@ class CallGraph {
   [[nodiscard]] bool recursive(const std::vector<std::size_t>& scc) const;
 
  private:
+  void condense();
   void strongconnect(std::size_t v);
 
   std::vector<std::vector<std::size_t>> edges_;

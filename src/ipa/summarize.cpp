@@ -198,30 +198,34 @@ FunctionSummary summarize_one(const ProgramAnalysis& program,
       case cfg::SimpleOp::kCall: {
         // Effects propagate from the callee's summary, but only when the
         // arguments can actually carry caller memory into it. A missing or
-        // unanalyzed callee took the havoc fallback: treat as mutating
-        // (same no-free envelope as kHavoc; the taint reaches the exit).
+        // unanalyzed callee took exec_call_fallback inside this very run —
+        // real in-unit code that may free or allocate caller-reachable
+        // memory, neither of which this projection can represent (may_free
+        // would stay false, alloc sites would vanish). If the site is
+        // reachable at all, degrade the whole summary to unanalyzed so this
+        // function's own call sites take the same sound fallback instead of
+        // an under-approximating summary.
         const auto it = table.find(stmt.callee);
-        const FunctionSummary* cs =
-            (it != table.end() && it->second.analyzed) ? &it->second : nullptr;
-        if (cs != nullptr) {
-          for (const auto& [type_raw, lines] : cs->alloc_types) {
-            s.alloc_types[type_raw].insert(lines.begin(), lines.end());
-          }
-        }
-        const bool needs_reach_check =
-            cs == nullptr || cs->mutates_heap || cs->may_free;
-        if (needs_reach_check) {
+        if (it == table.end() || !it->second.analyzed) {
           collect_inputs(id);
-          bool reaches = false;
+          if (!inputs.empty()) {
+            s.analyzed = false;
+            return s;
+          }
+          break;
+        }
+        const FunctionSummary& cs = it->second;
+        for (const auto& [type_raw, lines] : cs.alloc_types) {
+          s.alloc_types[type_raw].insert(lines.begin(), lines.end());
+        }
+        if (cs.mutates_heap || cs.may_free) {
+          collect_inputs(id);
           for (const Rsg* g : inputs) {
             if (may_reach_marked(*g, stmt.args)) {
-              reaches = true;
+              if (cs.mutates_heap) s.mutates_heap = true;
+              if (cs.may_free) s.may_free = true;
               break;
             }
-          }
-          if (reaches) {
-            if (cs == nullptr || cs->mutates_heap) s.mutates_heap = true;
-            if (cs != nullptr && cs->may_free) s.may_free = true;
           }
         }
         break;

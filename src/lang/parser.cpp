@@ -254,6 +254,11 @@ void Parser::parse_function(TranslationUnit& unit) {
         const Type base = parse_type_spec(unit);
         const Type ty = apply_pointers(base);
         const Token& pname = expect(TokenKind::kIdentifier, "as parameter name");
+        if (ty.kind == Type::Kind::kStruct) {
+          diags_.error(
+              pname.loc,
+              "by-value struct parameters are not supported; use a pointer");
+        }
         fn.params.push_back(Param{interner_->intern(pname.text), ty});
       } while (accept(TokenKind::kComma));
     }

@@ -302,6 +302,11 @@ class FunctionSema {
                   a.type.struct_id == param_ty->struct_id)) {
               summarizable = false;
             }
+          } else if (param_ty->kind == Type::Kind::kStruct) {
+            // A by-value struct parameter would copy pointer fields past
+            // the summary's argument region. The parser rejects these
+            // declarations; a salvaged unit may still carry one.
+            summarizable = false;
           } else if (a.type.is_struct_pointer()) {
             // Pointer passed where the callee expects a scalar: it would
             // escape the summary's argument region.

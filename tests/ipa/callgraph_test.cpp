@@ -140,5 +140,33 @@ TEST(CallGraphTest, DuplicateCallSitesCollapseToOneEdge) {
   EXPECT_EQ(cg.edges()[main_i].size(), 1u);
 }
 
+TEST(CallGraphTest, DeepCallChainDoesNotOverflowTheStack) {
+  // A 200k-deep straight chain f0 -> f1 -> ... would blow the native stack
+  // under a recursive Tarjan; the iterative walk must condense it and keep
+  // the bottom-up order (the chain's leaf comes out first).
+  constexpr std::size_t kDepth = 200000;
+  std::vector<std::vector<std::size_t>> edges(kDepth);
+  for (std::size_t i = 0; i + 1 < kDepth; ++i) edges[i].push_back(i + 1);
+  const CallGraph cg(std::move(edges));
+  ASSERT_EQ(cg.sccs().size(), kDepth);
+  EXPECT_EQ(cg.sccs().front().front(), kDepth - 1);
+  EXPECT_EQ(cg.sccs().back().front(), 0u);
+  for (const auto& scc : cg.sccs()) EXPECT_FALSE(cg.recursive(scc));
+}
+
+TEST(CallGraphTest, DeepChainIntoACycleCondensesIteratively) {
+  // Same depth, but the chain lands in a 2-cycle at the bottom: the cycle
+  // must fuse into one recursive SCC and still come out first.
+  constexpr std::size_t kDepth = 100000;
+  std::vector<std::vector<std::size_t>> edges(kDepth);
+  for (std::size_t i = 0; i + 1 < kDepth; ++i) edges[i].push_back(i + 1);
+  edges[kDepth - 1].push_back(kDepth - 2);  // close the bottom cycle
+  const CallGraph cg(std::move(edges));
+  ASSERT_EQ(cg.sccs().size(), kDepth - 1);
+  ASSERT_EQ(cg.sccs().front().size(), 2u);
+  EXPECT_TRUE(cg.recursive(cg.sccs().front()));
+  EXPECT_EQ(cg.sccs().back().front(), 0u);
+}
+
 }  // namespace
 }  // namespace psa::ipa

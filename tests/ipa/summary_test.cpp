@@ -235,6 +235,48 @@ TEST(SummaryTest, OverBudgetSccFallsBackToHavocSoundly) {
 }
 #endif  // PSA_METRICS
 
+TEST(SummaryTest, WrapperOfUnanalyzedFreeingCalleeDegradesToFallback) {
+  // spin() frees argument-reachable cells but its SCC can never stabilize
+  // under max_summary_iters = 0, so its summary is unanalyzed. wrap() is a
+  // thin wrapper around it: projecting wrap as analyzed would claim
+  // may_free == false (and drop spin's alloc sites), hiding use-after-free
+  // at wrap's call sites. The wrapper must degrade to unanalyzed too, so
+  // its callers take the sound havoc fallback.
+  const ProgramAnalysis program = analysis::prepare(R"(
+    struct node { struct node *nxt; };
+    void spin(struct node *l) {
+      struct node *t;
+      if (l != NULL) {
+        t = l->nxt;
+        free(l);
+        spin(t);
+      }
+    }
+    void wrap(struct node *l) {
+      spin(l);
+    }
+    void main() {
+      struct node *x; struct node *p;
+      x = malloc(struct node);
+      wrap(x);
+      p = x->nxt;
+    }
+  )");
+  Options options;
+  options.max_summary_iters = 0;
+  const SummaryTable table = compute_summaries(program, options);
+  EXPECT_FALSE(summary_of(table, program, "spin").analyzed);
+  EXPECT_FALSE(summary_of(table, program, "wrap").analyzed);
+
+  // End to end: the load through x after wrap(x) must surface as a
+  // use-after-free — the fallback widens the region to maybe-freed.
+  const AnalysisResult result = analysis::analyze_program(program, options);
+  ASSERT_TRUE(result.converged());
+  const auto findings = checker::run_checkers(program, result);
+  EXPECT_GE(checker::count_findings(findings, checker::CheckKind::kUseAfterFree),
+            1u);
+}
+
 TEST(SummaryTest, CheckerKeepsFullConfidenceThroughCleanSummaries) {
   // main leaks the list push() built: a real finding whose witness flows
   // through a summarized call — it must NOT be downgraded to "possible".

@@ -204,6 +204,22 @@ TEST(ParserTest, RejectsByValueStructLocals) {
   )"));
 }
 
+TEST(ParserTest, RejectsByValueStructParameters) {
+  // A by-value struct parameter would copy pointer fields past the summary
+  // argument region, like the field/local forms above.
+  EXPECT_TRUE(parse_fails(R"(
+    struct node { struct node *nxt; };
+    void take(struct node n) { }
+  )"));
+  // The pointer form stays accepted.
+  const TranslationUnit unit = parse_ok(R"(
+    struct node { struct node *nxt; };
+    void take(struct node *n) { }
+  )");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_EQ(unit.functions[0].params.size(), 1u);
+}
+
 TEST(ParserTest, RejectsGarbage) {
   EXPECT_TRUE(parse_fails("@@@"));
   EXPECT_TRUE(parse_fails("void main() { while } "));
