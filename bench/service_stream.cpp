@@ -1,0 +1,262 @@
+// Streaming service-path cost (docs/SERVICE.md): what a batch costs when it
+// is streamed from the analysis daemon instead of analyzed in-process, and
+// what a mid-stream daemon death costs on top. Three canonical rows, each a
+// full client request against a real forked daemon on a temp socket:
+//
+//   daemon/cold    fresh cache — every unit analyzed in the handler, each
+//                  result streamed as a unit_result frame
+//   daemon/warm    identical re-request — the handler answers from the warm
+//                  result cache, so the row times protocol + disk, not
+//                  analysis
+//   daemon/resume  the handler tears the stream mid-frame on the last unit
+//                  (PSA_FAULT_AT=...:streamtear) — the client keeps the
+//                  units already streamed, reconnects, and falls back
+//                  locally for only the remainder
+//
+// The client-side counter deltas land in each row's "ops" object, so the
+// JSON doubles as the acceptance proof: cold/warm stream without a single
+// reconnect, resume shows reconnects >= 1 and resumed_units >= 1 while the
+// report stays byte-identical. The google-benchmark pass re-times the warm
+// stream per iteration for statistical depth.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/supervisor.hpp"
+#include "support/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PSA_BENCH_HAS_SOCKETS 1
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#endif
+
+namespace {
+
+using namespace psa;
+namespace fs = std::filesystem;
+
+std::vector<driver::AnalysisUnit> bench_units(bool quick) {
+  std::vector<driver::AnalysisUnit> units;
+  for (const corpus::CorpusProgram& p : corpus::all_programs()) {
+    if (p.in_table1) continue;  // keep the batch in seconds, not minutes
+    driver::AnalysisUnit unit;
+    unit.name = std::string(p.name) + ".c";
+    unit.source = std::string(p.source);
+    units.push_back(std::move(unit));
+    if (quick && units.size() >= 2) break;
+  }
+  return units;
+}
+
+driver::BatchOptions request_options() {
+  driver::BatchOptions options;
+  options.isolate = false;  // fallback path: keep counters in this process
+  options.check = true;
+  options.engine.level = rsg::AnalysisLevel::kL2;
+  return options;
+}
+
+#ifdef PSA_BENCH_HAS_SOCKETS
+
+/// A real daemon in a forked child, drained with SIGTERM on stop(). The
+/// fault spec (PSA_FAULT_AT syntax) is planted in the child's environment
+/// only, so the bench process itself stays fault-free.
+class DaemonHarness {
+ public:
+  bool start(const std::string& socket_path, const std::string& cache_dir,
+             const std::string& fault_spec) {
+    socket_path_ = socket_path;
+    fs::remove(socket_path);
+    pid_ = ::fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      if (fault_spec.empty()) {
+        ::unsetenv("PSA_FAULT_AT");
+      } else {
+        ::setenv("PSA_FAULT_AT", fault_spec.c_str(), 1);
+      }
+      service::DaemonOptions options;
+      options.socket_path = socket_path;
+      options.cache_dir = cache_dir;
+      options.heartbeat_ms = 200;
+      std::_Exit(service::run_daemon(options));
+    }
+    for (int i = 0; i < 500; ++i) {
+      if (fs::exists(socket_path_)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stop();
+    return false;
+  }
+
+  void stop() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    fs::remove(socket_path_);
+  }
+
+  ~DaemonHarness() { stop(); }
+
+ private:
+  pid_t pid_ = -1;
+  std::string socket_path_;
+};
+
+service::ClientOptions stream_client(const std::string& socket_path) {
+  service::ClientOptions client;
+  client.socket_path = socket_path;
+  client.max_attempts = 2;  // one reconnect, then the local fallback
+  client.backoff_base_ms = 1;
+  client.backoff_cap_ms = 4;
+  client.io_timeout_ms = 30'000;
+  return client;
+}
+
+/// One streamed request, timed, with the client-side counter delta.
+std::pair<double, support::MetricsSnapshot> timed_request(
+    const std::vector<driver::AnalysisUnit>& units,
+    const driver::BatchOptions& options, const service::ClientOptions& client,
+    service::RequestOutcome* outcome_out = nullptr) {
+  support::MetricsRegion region;
+  const auto start = std::chrono::steady_clock::now();
+  service::RequestOutcome outcome =
+      service::run_request(units, options, client);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (outcome.result.failed_count() != 0) {
+    std::fprintf(stderr, "service_stream: %zu units failed\n",
+                 outcome.result.failed_count());
+  }
+  if (outcome_out != nullptr) *outcome_out = std::move(outcome);
+  return {elapsed.count(), region.delta()};
+}
+
+#endif  // PSA_BENCH_HAS_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  psa::bench::BenchReport report("service_stream", argc, argv);
+  const auto units = bench_units(report.quick());
+
+#ifndef PSA_BENCH_HAS_SOCKETS
+  // No unix-domain sockets: keep the report structurally valid (same rows,
+  // same counter vocabulary) so bench_smoke's baseline diff still runs.
+  std::fprintf(stderr,
+               "service_stream: unix sockets unavailable, rows are zero\n");
+  report.add_sample("daemon/cold", 0.0);
+  report.add_sample("daemon/warm", 0.0);
+  report.add_sample("daemon/resume", 0.0);
+  (void)units;
+  return 0;
+#else
+  const fs::path work = fs::temp_directory_path() / "psa-bench-stream";
+  fs::remove_all(work);
+  fs::create_directories(work);
+  const std::string sock = (work / "psa.sock").string();
+  const std::string cache = (work / "cache").string();
+  const driver::BatchOptions options = request_options();
+  const service::ClientOptions client = stream_client(sock);
+
+  const auto add_row = [&](std::string config, double seconds,
+                           const support::MetricsSnapshot& ops) {
+    psa::bench::BenchRun run;
+    run.config = std::move(config);
+    run.seconds = seconds;
+    run.ops = ops;
+    report.add_run(std::move(run));
+  };
+
+  DaemonHarness daemon;
+  if (!daemon.start(sock, cache, "")) {
+    std::fprintf(stderr, "service_stream: daemon did not come up\n");
+    return 1;
+  }
+
+  service::RequestOutcome cold_outcome;
+  const auto [cold_s, cold_ops] =
+      timed_request(units, options, client, &cold_outcome);
+  add_row("daemon/cold", cold_s, cold_ops);
+
+  service::RequestOutcome warm_outcome;
+  const auto [warm_s, warm_ops] =
+      timed_request(units, options, client, &warm_outcome);
+  add_row("daemon/warm", warm_s, warm_ops);
+
+  if (!cold_outcome.via_service || !warm_outcome.via_service) {
+    std::fprintf(stderr, "service_stream: cold/warm rows fell back locally\n");
+  }
+
+  // The resume row gets its own daemon (streamtear on the last unit) and a
+  // fresh cache, so the tear costs a real recomputation, not a cache hit.
+  daemon.stop();
+  const std::string resume_cache = (work / "cache-resume").string();
+  DaemonHarness torn_daemon;
+  if (!torn_daemon.start(sock, resume_cache,
+                         units.back().name + ":streamtear")) {
+    std::fprintf(stderr, "service_stream: torn daemon did not come up\n");
+    return 1;
+  }
+  service::RequestOutcome resume_outcome;
+  const auto [resume_s, resume_ops] =
+      timed_request(units, options, client, &resume_outcome);
+  add_row("daemon/resume", resume_s, resume_ops);
+  torn_daemon.stop();
+
+  std::fprintf(
+      stderr,
+      "service_stream: cold %.3fs, warm %.3fs (%.1fx), resume %.3fs; "
+      "resume reconnects %d, resumed units %llu, streamed %zu/%zu\n",
+      cold_s, warm_s, warm_s > 0 ? cold_s / warm_s : 0.0, resume_s,
+      resume_outcome.reconnects,
+      static_cast<unsigned long long>(
+          resume_ops[support::Counter::kResumedUnits]),
+      resume_outcome.streamed_units, units.size());
+
+  if (report.quick()) {
+    fs::remove_all(work);
+    return 0;
+  }
+
+  // Statistical pass: re-time the warm stream against a persistent daemon.
+  DaemonHarness bm_daemon;
+  if (!bm_daemon.start(sock, cache, "")) {
+    std::fprintf(stderr, "service_stream: bm daemon did not come up\n");
+    return 1;
+  }
+  benchmark::RegisterBenchmark("stream/warm",
+                               [&units, &options, &client](
+                                   benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   benchmark::DoNotOptimize(
+                                       service::run_request(units, options,
+                                                            client));
+                                 }
+                               })
+      ->Unit(benchmark::kMillisecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bm_daemon.stop();
+  fs::remove_all(work);
+  return 0;
+#endif
+}

@@ -11,7 +11,9 @@
 //                      [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]
 //                      [--checkpoint=DIR] [--resume] [--corpus]
 //                      [--corpus-dirty] [--strict-frontend]
-//                      [--cache-dir=DIR] [--serve=SOCK] [--connect=SOCK]
+//                      [--cache-dir=DIR] [--cache-max-bytes=N]
+//                      [--cache-max-age=SECONDS]
+//                      [--serve=SOCK] [--connect=SOCK]
 //                      [--help]
 //
 // Two modes share one exit-code contract (see below):
@@ -48,12 +50,19 @@
 // SERVICE mode (docs/SERVICE.md): --serve=SOCK runs the persistent analysis
 // daemon on a unix socket with the content-addressed result cache
 // (--cache-dir) resident; SIGTERM drains it gracefully (exit 0). --connect
-// =SOCK sends a batch to a running daemon and falls back to local analysis
-// (same report, byte for byte) when the daemon is dead or busy past the
-// retry budget. --cache-dir also works without a daemon: batch workers look
+// =SOCK streams a batch from a running daemon (PSARPC2): unit results arrive
+// one frame at a time, a torn stream is resumed over a fresh connection
+// re-requesting only the unfinished units, and past the retry budget the
+// remainder falls back to local analysis — the report is byte-identical
+// either way. --cache-dir also works without a daemon: batch workers look
 // up each unit's content-addressed key and skip the fixpoint on a hit, so a
-// warm re-run re-analyzes only edited units. Daemon knobs via environment:
-// PSA_SERVE_INFLIGHT (handler cap), PSA_SERVE_REQUEST_DEADLINE_MS.
+// warm re-run re-analyzes only edited units. --cache-max-bytes /
+// --cache-max-age bound the cache: after the batch (or, for the daemon,
+// after each request) entries unused past the age limit expire and the
+// oldest are evicted until the directory fits the byte cap (crash-safe,
+// concurrent-sweeper-safe; docs/SERVICE.md). Daemon knobs via environment:
+// PSA_SERVE_INFLIGHT (handler cap), PSA_SERVE_QUEUE (waiting connections),
+// PSA_SERVE_HEARTBEAT_MS (stream liveness), PSA_SERVE_REQUEST_DEADLINE_MS.
 //
 // OBSERVABILITY (both modes, docs/OBSERVABILITY.md): --profile prints the
 // phase-timer / operation-counter / gauge summary (stdout in detailed mode;
@@ -68,6 +77,7 @@
 //   2  bad usage
 //   3  some units failed (crash / timeout / oom / exit / frontend error)
 //   4  every unit failed
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -119,6 +129,8 @@ struct CliOptions {
 
   // Service mode (docs/SERVICE.md).
   std::string cache_dir;
+  std::uint64_t cache_max_bytes = 0;
+  std::uint64_t cache_max_age_s = 0;
   std::string serve_socket;
   std::string connect_socket;
 };
@@ -204,6 +216,14 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
       out.batch = true;
       out.cache_dir = value_of("--cache-dir=");
       if (out.cache_dir.empty()) return false;
+    } else if (arg.rfind("--cache-max-bytes=", 0) == 0) {
+      out.batch = true;
+      out.cache_max_bytes = std::stoull(value_of("--cache-max-bytes="));
+      if (out.cache_max_bytes == 0) return false;
+    } else if (arg.rfind("--cache-max-age=", 0) == 0) {
+      out.batch = true;
+      out.cache_max_age_s = std::stoull(value_of("--cache-max-age="));
+      if (out.cache_max_age_s == 0) return false;
     } else if (arg.rfind("--serve=", 0) == 0) {
       out.serve_socket = value_of("--serve=");
       if (out.serve_socket.empty()) return false;
@@ -254,8 +274,10 @@ constexpr const char* kHelpText =
     "       batch:  [--isolate[=on|off]] [--jobs=N] [--timeout-ms=MS]\n"
     "               [--checkpoint=DIR] [--resume] [--corpus]\n"
     "               [--corpus-dirty] [--strict-frontend]\n"
-    "               [--cache-dir=DIR]\n"
+    "               [--cache-dir=DIR] [--cache-max-bytes=N]\n"
+    "               [--cache-max-age=SECONDS]\n"
     "       serve:  [--serve=SOCK] [--connect=SOCK] [--cache-dir=DIR]\n"
+    "               [--cache-max-bytes=N] [--cache-max-age=SECONDS]\n"
     "       --help  print this reference and exit\n"
     "exit codes: 0 ok, 1 findings, 2 bad usage, 3 some units failed,\n"
     "            4 all units failed (partial units count as analyzed)\n";
@@ -407,6 +429,8 @@ int run_batch_mode(const CliOptions& cli) {
   batch.checkpoint_dir = cli.checkpoint_dir;
   batch.resume = cli.resume;
   batch.cache_dir = cli.cache_dir;
+  batch.cache_max_bytes = cli.cache_max_bytes;
+  batch.cache_max_age_ms = cli.cache_max_age_s * 1000;
   batch.unit_timeout_ms = cli.timeout_ms;
   batch.check = cli.check;
   batch.strict_frontend = cli.strict_frontend;
@@ -484,12 +508,28 @@ int run_serve_mode(const CliOptions& cli) {
   service::DaemonOptions daemon;
   daemon.socket_path = cli.serve_socket;
   daemon.cache_dir = cli.cache_dir;
+  daemon.cache_max_bytes = cli.cache_max_bytes;
+  daemon.cache_max_age_ms = cli.cache_max_age_s * 1000;
   daemon.jobs = cli.jobs;
   if (const char* env = std::getenv("PSA_SERVE_INFLIGHT")) {
     try {
       daemon.max_inflight = std::max<std::size_t>(1, std::stoul(env));
     } catch (const std::exception&) {
       std::cerr << "serve: ignoring malformed PSA_SERVE_INFLIGHT\n";
+    }
+  }
+  if (const char* env = std::getenv("PSA_SERVE_QUEUE")) {
+    try {
+      daemon.max_queued = std::stoul(env);
+    } catch (const std::exception&) {
+      std::cerr << "serve: ignoring malformed PSA_SERVE_QUEUE\n";
+    }
+  }
+  if (const char* env = std::getenv("PSA_SERVE_HEARTBEAT_MS")) {
+    try {
+      daemon.heartbeat_ms = std::stoull(env);
+    } catch (const std::exception&) {
+      std::cerr << "serve: ignoring malformed PSA_SERVE_HEARTBEAT_MS\n";
     }
   }
   if (const char* env = std::getenv("PSA_SERVE_REQUEST_DEADLINE_MS")) {

@@ -6,12 +6,17 @@
 #      to a local (daemon-less) run, with cache entries on disk;
 #   2. daemon-side connection drops mid-request (PSA_FAULT_AT=...:sockdrop) —
 #      the client retries, gives up, analyzes locally, same report;
-#   3. daemon SIGKILLed mid-request — the client falls back and the build
+#   3. the handler dies mid-stream after half a frame
+#      (PSA_FAULT_AT=...:streamtear) — the client keeps the units already
+#      streamed, reconnects for only the remainder, same report;
+#   4. daemon SIGKILLed mid-request — the client falls back and the build
 #      still exits 0;
-#   4. a cache entry corrupted on disk — the next run self-heals (quarantine
+#   5. a cache entry corrupted on disk — the next run self-heals (quarantine
 #      + recompute) and reproduces the identical report;
-#   5. SIGTERM — the daemon drains gracefully: exit 0, socket unlinked,
-#      journal sealed, no .tmp stragglers in the cache directory.
+#   6. SIGTERM — the daemon drains gracefully: exit 0, socket unlinked,
+#      journal sealed, no .tmp stragglers in the cache directory;
+#   7. --cache-max-bytes bounds the cache — the post-batch sweep evicts down
+#      to the cap, journaling every decision, without changing the report.
 #
 #   $ scripts/service_drill.sh [BUILD_DIR]     # default: build
 #
@@ -118,11 +123,23 @@ $CLI $FILES --check --connect="$SOCK" >"$WORK/drop.txt" 2>"$WORK/drop.log" ||
 [ "$status" -eq 1 ] || fail "sockdrop run exited $status, want 1"
 cmp -s "$WORK/drop.txt" "$WORK/local.txt" ||
   fail "sockdrop fallback report differs from local report"
-grep -q "analyzing locally" "$WORK/drop.log" ||
+grep -q "remaining units locally" "$WORK/drop.log" ||
   fail "client did not report the local fallback"
 stop_daemon_hard
 
-echo "== scenario 3: daemon SIGKILLed mid-request -> fallback, build exits 0"
+echo "== scenario 3: handler dies mid-stream -> client resumes the remainder"
+start_daemon PSA_FAULT_AT="$WORK/leaky.c:streamtear"
+status=0
+$CLI $FILES --check --connect="$SOCK" >"$WORK/tear.txt" 2>"$WORK/tear.log" ||
+  status=$?
+[ "$status" -eq 1 ] || fail "streamtear run exited $status, want 1"
+cmp -s "$WORK/tear.txt" "$WORK/local.txt" ||
+  fail "post-tear report differs from local report"
+grep -q "stream torn" "$WORK/tear.log" ||
+  fail "client did not detect the torn stream"
+stop_daemon_hard
+
+echo "== scenario 4: daemon SIGKILLed mid-request -> fallback, build exits 0"
 start_daemon
 ( sleep 0.05 && kill -9 "$DAEMON_PID" ) 2>/dev/null &
 KILLER=$!
@@ -136,7 +153,7 @@ grep -q "clean.c: ok" "$WORK/killed.txt" ||
   fail "clean unit not analyzed after daemon SIGKILL"
 stop_daemon_hard
 
-echo "== scenario 4: corrupt cache entry self-heals with an identical report"
+echo "== scenario 5: corrupt cache entry self-heals with an identical report"
 entry="$(find "$CACHE" -maxdepth 1 -name '*.entry' | head -n 1)"
 [ -n "$entry" ] || fail "no cache entry to corrupt"
 # Flip one byte in the middle of the entry.
@@ -152,7 +169,7 @@ cmp -s "$WORK/healed.txt" "$WORK/local.txt" ||
 [ -n "$(find "$CACHE/quarantine" -type f 2>/dev/null)" ] ||
   fail "corrupt entry was not quarantined"
 
-echo "== scenario 5: SIGTERM drains gracefully, seals the journal"
+echo "== scenario 6: SIGTERM drains gracefully, seals the journal"
 kill -TERM "$DAEMON_PID"
 status=0
 wait "$DAEMON_PID" || status=$?
@@ -162,5 +179,21 @@ DAEMON_PID=""
 grep -q "sealed" "$CACHE/service.journal" || fail "journal not sealed"
 [ -z "$(find "$CACHE" -maxdepth 1 -name '*.tmp.*' 2>/dev/null)" ] ||
   fail "stray .tmp files left in the cache directory"
+
+echo "== scenario 7: --cache-max-bytes bounds the cache without changing output"
+[ -n "$(find "$CACHE" -maxdepth 1 -name '*.entry' 2>/dev/null)" ] ||
+  fail "expected warm cache entries before the sweep scenario"
+status=0
+$CLI $FILES --isolate --check --cache-dir="$CACHE" --cache-max-bytes=1 \
+  >"$WORK/swept.txt" 2>/dev/null || status=$?
+[ "$status" -eq 1 ] || fail "bounded-cache run exited $status, want 1"
+cmp -s "$WORK/swept.txt" "$WORK/local.txt" ||
+  fail "bounded-cache report differs from local report"
+# A 1-byte cap cannot hold any entry: the post-batch sweep must have
+# evicted everything, journaling its decisions.
+[ -z "$(find "$CACHE" -maxdepth 1 -name '*.entry' 2>/dev/null)" ] ||
+  fail "entries left above the byte cap"
+grep -q "sweep end" "$CACHE/sweep.journal" ||
+  fail "sweep journal missing or unsealed"
 
 echo "service_drill: all scenarios passed"

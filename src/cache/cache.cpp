@@ -1,18 +1,25 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "rsg/serialize.hpp"
 #include "support/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 #define PSA_CACHE_HAS_PID 1
+#define PSA_CACHE_HAS_FLOCK 1
 #else
 #define PSA_CACHE_HAS_PID 0
+#define PSA_CACHE_HAS_FLOCK 0
 #endif
 
 namespace psa::cache {
@@ -53,6 +60,61 @@ std::uint64_t writer_id() {
 #endif
 }
 
+/// Advisory sweep lock: one sweeper per cache directory at a time. A busy
+/// lock means another daemon/client is already bounding the cache — skipping
+/// is the correct (and the only race-free) answer. The lock dies with the
+/// holder's fd, so a SIGKILLed sweeper never wedges the directory.
+class SweepLock {
+ public:
+  explicit SweepLock(const std::string& dir) {
+#if PSA_CACHE_HAS_FLOCK
+    const std::string path = (fs::path(dir) / "sweep.lock").string();
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+#else
+    (void)dir;
+#endif
+  }
+  ~SweepLock() {
+#if PSA_CACHE_HAS_FLOCK
+    if (fd_ >= 0) ::close(fd_);  // closing releases the flock
+#endif
+  }
+  SweepLock(const SweepLock&) = delete;
+  SweepLock& operator=(const SweepLock&) = delete;
+
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// One journaled sweep: decisions are appended (and flushed) BEFORE the
+/// entry is touched, so a sweeper killed mid-eviction leaves a journal that
+/// explains exactly what it was doing. Best effort — journal failures never
+/// fail the sweep.
+class SweepJournal {
+ public:
+  explicit SweepJournal(const std::string& dir)
+      : out_((fs::path(dir) / "sweep.journal").string(),
+             std::ios::app | std::ios::binary) {
+    std::error_code ec;
+    if (out_ && fs::file_size(fs::path(dir) / "sweep.journal", ec) == 0) {
+      out_ << "psa-sweep-journal v1\n" << std::flush;
+    }
+  }
+
+  void record(const std::string& line) {
+    if (out_) out_ << line << '\n' << std::flush;
+  }
+
+ private:
+  std::ofstream out_;
+};
+
 }  // namespace
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
@@ -75,9 +137,18 @@ std::string ResultCache::entry_path(const CacheKey& key) const {
   return (fs::path(dir_) / (key.hex() + std::string(kEntrySuffix))).string();
 }
 
-ResultCache::Lookup ResultCache::lookup(const CacheKey& key) {
+ResultCache::Lookup ResultCache::lookup(const CacheKey& key,
+                                        LookupFault fault) {
   Lookup result;
   const std::string path = entry_path(key);
+  if (fault == LookupFault::kEvictRace) {
+    // Injected sweep race: the eviction's unlink lands in the window between
+    // the caller's decision to read and the read itself. Because policy
+    // evictions are atomic unlinks, the loser of the race sees a whole-file
+    // miss — never torn bytes — which is exactly what this proves.
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
   std::string bytes;
   if (!read_file(path, bytes)) {
     result.status = Lookup::Status::kMiss;
@@ -92,6 +163,10 @@ ResultCache::Lookup ResultCache::lookup(const CacheKey& key) {
     PSA_COUNT(support::Counter::kCacheMisses);
     return result;
   }
+  // Touch: sweep() evicts least-recently-USED, so a hit refreshes the
+  // entry's mtime. Best effort — a failed touch only ages the entry.
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   result.status = Lookup::Status::kHit;
   result.bytes = std::move(bytes);
   PSA_COUNT(support::Counter::kCacheHits);
@@ -199,6 +274,103 @@ ResultCache::RecoveryReport ResultCache::recover() {
       ++report.quarantined;
     }
   }
+  return report;
+}
+
+ResultCache::SweepReport ResultCache::sweep(const SweepLimits& limits) {
+  SweepReport report;
+  if (!limits.bounded()) return report;
+  const SweepLock lock(dir_);
+  if (!lock.held()) return report;  // a concurrent sweeper is on it
+  report.ran = true;
+  PSA_COUNT(support::Counter::kCacheSweepRuns);
+  SweepJournal journal(dir_);
+  journal.record("sweep start writer=" + std::to_string(writer_id()) +
+                 " max_bytes=" + std::to_string(limits.max_bytes) +
+                 " max_age_ms=" + std::to_string(limits.max_age_ms));
+
+  struct EntryInfo {
+    std::string path;
+    std::string name;
+    std::uint64_t bytes = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<EntryInfo> entries;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    EntryInfo info;
+    info.name = entry.path().filename().string();
+    if (!info.name.ends_with(kEntrySuffix)) continue;
+    info.path = entry.path().string();
+    info.bytes = static_cast<std::uint64_t>(entry.file_size(ec));
+    if (ec) continue;  // vanished under us (concurrent writer): skip
+    info.mtime = entry.last_write_time(ec);
+    if (ec) continue;
+    entries.push_back(std::move(info));
+  }
+  report.scanned = entries.size();
+  for (const EntryInfo& e : entries) report.bytes_before += e.bytes;
+  report.bytes_after = report.bytes_before;
+
+  // The journal precedes the unlink (crash-safety: a dead sweeper's journal
+  // explains the directory) and the unlink is atomic (concurrency: a reader
+  // mid-lookup keeps its open fd or takes a clean miss — never torn bytes).
+  const auto evict_entry = [&](const EntryInfo& e, std::string_view why) {
+    std::string bytes;
+    std::string diagnostic = "unreadable entry";
+    if (!read_file(e.path, bytes) || !envelope_valid(bytes, diagnostic)) {
+      // Suspicious under the sweep's feet: quarantine, never delete — the
+      // post-mortem trail matters more than the disk it occupies.
+      journal.record("quarantine " + e.name + " " + diagnostic);
+      quarantine(e.path, diagnostic);
+      ++report.quarantined;
+      report.bytes_after -= std::min(report.bytes_after, e.bytes);
+      return;
+    }
+    journal.record("evict " + e.name + " " + std::to_string(e.bytes) +
+                   " reason=" + std::string(why));
+    std::error_code remove_ec;
+    if (fs::remove(e.path, remove_ec)) {
+      ++report.evicted;
+      report.bytes_after -= std::min(report.bytes_after, e.bytes);
+      PSA_COUNT(support::Counter::kCacheSweepEvictions);
+      PSA_COUNT_N(support::Counter::kCacheSweepBytes, e.bytes);
+    }
+  };
+
+  // Pass 1: age expiry.
+  std::vector<EntryInfo> kept;
+  if (limits.max_age_ms > 0) {
+    const auto now = fs::file_time_type::clock::now();
+    const auto horizon = std::chrono::milliseconds(limits.max_age_ms);
+    for (const EntryInfo& e : entries) {
+      if (now - e.mtime > horizon) {
+        evict_entry(e, "age");
+      } else {
+        kept.push_back(e);
+      }
+    }
+  } else {
+    kept = std::move(entries);
+  }
+
+  // Pass 2: oldest-first until the survivors fit the byte cap.
+  if (limits.max_bytes > 0 && report.bytes_after > limits.max_bytes) {
+    std::sort(kept.begin(), kept.end(),
+              [](const EntryInfo& a, const EntryInfo& b) {
+                return a.mtime < b.mtime;
+              });
+    for (const EntryInfo& e : kept) {
+      if (report.bytes_after <= limits.max_bytes) break;
+      evict_entry(e, "size");
+    }
+  }
+
+  journal.record("sweep end scanned=" + std::to_string(report.scanned) +
+                 " evicted=" + std::to_string(report.evicted) +
+                 " quarantined=" + std::to_string(report.quarantined) +
+                 " bytes=" + std::to_string(report.bytes_after));
   return report;
 }
 

@@ -14,6 +14,9 @@
 //   quarantine/                   entries that failed validation, kept for
 //                                 post-mortem instead of silently deleted
 //   service.journal               daemon request journal (src/service)
+//   sweep.lock                    advisory flock taken by sweep(); a second
+//                                 concurrent sweeper skips instead of racing
+//   sweep.journal                 append-only record of every sweep decision
 //
 // Robustness contract — every failure mode is contained, never propagated:
 //   * lookup() verifies the PSASNAP1 envelope checksum; a corrupt, truncated
@@ -26,7 +29,18 @@
 //     .tmp straggler that recover() sweeps; store failures (disk full,
 //     permissions) degrade to "no cache" — they never fail the analysis;
 //   * recover() is the startup scan: stray .tmp files are deleted, every
-//     entry's envelope is re-verified, and invalid entries are quarantined.
+//     entry's envelope is re-verified, and invalid entries are quarantined;
+//   * sweep() bounds the cache (--cache-max-bytes / --cache-max-age): age
+//     expiry first, then oldest-first eviction until the directory fits the
+//     byte cap. lookup() touches an entry's mtime on every hit, so recency
+//     is use-recency, not write-recency. The sweep is crash-safe and safe
+//     under concurrent daemons/clients sharing the directory: an advisory
+//     flock serializes sweepers (a busy lock skips the sweep — someone else
+//     is already bounding the cache), every decision is journaled before the
+//     entry is touched, policy evictions use atomic unlink (a concurrent
+//     reader that already opened the file keeps a consistent view; one that
+//     hasn't gets a clean miss), and anything suspicious — an entry that
+//     fails envelope validation mid-sweep — is quarantined, never deleted.
 //
 // All methods are nothrow-by-contract except the constructor (an unusable
 // directory is a configuration error the caller must see). Counting goes
@@ -51,6 +65,12 @@ namespace psa::cache {
 /// bit flipped after a completed store.
 enum class StoreFault : std::uint8_t { kNone, kTear, kFlip };
 
+/// Lookup-side fault injection (driver::FaultKind::kEvictRace): the entry
+/// vanishes between the caller's decision to read and the read itself — the
+/// exact window a concurrent sweeper's unlink can land in. Must degrade to a
+/// clean miss.
+enum class LookupFault : std::uint8_t { kNone, kEvictRace };
+
 class ResultCache {
  public:
   /// Open (and create) `dir`. Throws std::runtime_error when the directory
@@ -73,8 +93,11 @@ class ResultCache {
 
   /// Envelope-validated entry bytes for `key`. Counts cache_hits on kHit and
   /// cache_misses on kMiss/kEvicted (an evicted entry IS a miss — the caller
-  /// recomputes); eviction additionally counts cache_evictions.
-  [[nodiscard]] Lookup lookup(const CacheKey& key);
+  /// recomputes); eviction additionally counts cache_evictions. A hit
+  /// touches the entry's mtime (best effort) so sweep() evicts by recency of
+  /// use. `fault` injects the sweep-race window (LookupFault).
+  [[nodiscard]] Lookup lookup(const CacheKey& key,
+                              LookupFault fault = LookupFault::kNone);
 
   /// Atomically store entry bytes (write .tmp, rename). Returns false on I/O
   /// failure; never throws. Counts cache_stores on success.
@@ -100,6 +123,38 @@ class ResultCache {
   /// every entry envelope, quarantine what fails. Never throws — an
   /// unreadable entry is quarantined (or deleted if even that fails).
   RecoveryReport recover();
+
+  /// Eviction policy for sweep(). Zero fields are unbounded.
+  struct SweepLimits {
+    std::uint64_t max_bytes = 0;  // total .entry bytes the cache may hold
+    std::uint64_t max_age_ms = 0;  // entries unused longer than this expire
+
+    [[nodiscard]] bool bounded() const noexcept {
+      return max_bytes > 0 || max_age_ms > 0;
+    }
+  };
+
+  struct SweepReport {
+    /// False when another sweeper held the advisory lock (its sweep counts)
+    /// or the limits were unbounded — nothing was scanned.
+    bool ran = false;
+    std::size_t scanned = 0;      // entries examined
+    std::size_t evicted = 0;      // valid entries removed by the policy
+    std::size_t quarantined = 0;  // suspicious entries moved, not deleted
+    std::uint64_t bytes_before = 0;
+    std::uint64_t bytes_after = 0;
+
+    [[nodiscard]] std::uint64_t bytes_reclaimed() const noexcept {
+      return bytes_before >= bytes_after ? bytes_before - bytes_after : 0;
+    }
+  };
+
+  /// Bound the cache to `limits`: expire entries unused for max_age_ms, then
+  /// unlink oldest-first until the directory fits max_bytes. Crash-safe and
+  /// concurrent-safe (see the header comment); never throws, and a sweep
+  /// failure of any kind degrades to "cache unbounded a little longer".
+  /// Counts cache_sweep_runs / cache_sweep_evictions / cache_sweep_bytes.
+  SweepReport sweep(const SweepLimits& limits);
 
   /// Path of the entry for `key` (tests and the fault drill corrupt it).
   [[nodiscard]] std::string entry_path(const CacheKey& key) const;

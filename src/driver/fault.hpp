@@ -33,6 +33,14 @@
 //   sockdrop   a service daemon's request handler closes the connection and
 //              exits without replying — the client sees a connection reset
 //              and must retry, then fall back to in-process analysis.
+//   streamtear a streaming handler writes HALF of the faulted unit's result
+//              frame and hangs up mid-frame. The client must detect the torn
+//              stream (short read / checksum), keep every unit already
+//              received, and reconnect for only the unfinished ones.
+//   evictrace  a cache lookup loses the race against a concurrent sweep:
+//              the entry vanishes between the decision to read and the read
+//              itself. Must surface as a clean miss (recompute), never as
+//              torn bytes.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +60,8 @@ enum class FaultKind : std::uint8_t {
   kCacheTear,
   kCacheFlip,
   kSockDrop,
+  kStreamTear,
+  kEvictRace,
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);

@@ -142,6 +142,12 @@ cache::StoreFault store_fault_for(const AnalysisUnit& unit) {
   }
 }
 
+cache::LookupFault lookup_fault_for(const AnalysisUnit& unit) {
+  return FaultPlan::from_env().for_unit(unit.name) == FaultKind::kEvictRace
+             ? cache::LookupFault::kEvictRace
+             : cache::LookupFault::kNone;
+}
+
 }  // namespace
 
 std::string run_unit_serialized(const AnalysisUnit& unit,
@@ -186,7 +192,8 @@ std::string run_unit_serialized(const AnalysisUnit& unit,
       {
         PSA_PHASE_TIMER(lookup_timer, support::Counter::kPhaseCacheLookupWallNs,
                         support::Counter::kPhaseCacheLookupCpuNs);
-        cache::ResultCache::Lookup found = cache->lookup(key);
+        cache::ResultCache::Lookup found =
+            cache->lookup(key, lookup_fault_for(unit));
         if (found.status == cache::ResultCache::Lookup::Status::kHit) {
           try {
             UnitPayload cached = deserialize_unit_payload(found.bytes);
@@ -503,6 +510,15 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
     result.units[i].unit = units[i];
   }
 
+  // Streaming hook dispatch: exactly once per unit, at the moment its
+  // outcome is final and recorded in `result`.
+  const auto notify_done = [&](std::size_t i) {
+    if (options.on_unit_done) options.on_unit_done(i, result.units[i]);
+  };
+  const auto tick = [&] {
+    if (options.on_tick) options.on_tick();
+  };
+
   std::unique_ptr<Checkpoint> checkpoint;
   std::unique_ptr<ScratchDir> scratch;
   if (!options.checkpoint_dir.empty()) {
@@ -547,6 +563,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
                         replayed->attempts);
           result.units[i].outcome.from_checkpoint = true;
           log_line(options, "skip " + units[i].name + " (checkpointed)");
+          notify_done(i);
           continue;
         }
         log_line(options,
@@ -557,6 +574,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
         result.units[i].outcome.from_checkpoint = true;
         log_line(options, "skip " + units[i].name + " (quarantined: " +
                               describe(*replayed) + ")");
+        notify_done(i);
         continue;
       }
     }
@@ -591,6 +609,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
     result.units[i].outcome = outcome;
     if (checkpoint) checkpoint->record_outcome(keys[i], outcome);
     log_line(options, "done " + units[i].name + ": " + describe(outcome));
+    notify_done(i);
   };
 
   if (isolate) {
@@ -645,6 +664,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
     };
 
     while (!pending.empty() || !running.empty()) {
+      tick();
       while (!pending.empty() && running.size() < jobs) spawn_next();
 
       bool reaped = false;
@@ -665,6 +685,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
             }
             log_line(options, "done " + units[worker.unit_index].name + ": " +
                                   describe(report.outcome));
+            notify_done(worker.unit_index);
           } else {
             settle(worker.unit_index, worker.attempt, engine_for(worker),
                    outcome);
@@ -725,6 +746,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
     // hang takes the batch with it (which is why isolation is the default).
     // No fault injection here: the hook is worker-only by contract.
     while (!pending.empty()) {
+      tick();
       const PendingAttempt next = pending.front();
       pending.pop_front();
       const AnalysisUnit& unit = units[next.unit_index];
@@ -747,6 +769,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
         }
         log_line(options,
                  "done " + unit.name + ": " + describe(report.outcome));
+        notify_done(next.unit_index);
         continue;
       } catch (const std::bad_alloc&) {
         outcome.kind = UnitOutcomeKind::kOom;
@@ -760,6 +783,25 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
       }
       settle(next.unit_index, next.attempt, next.engine, outcome);
     }
+  }
+
+  // Bound the cache once the batch is done: every result this run produced
+  // is already stored, so the sweep sees the directory at its peak. A busy
+  // sweep lock means a concurrent batch/daemon is already bounding it.
+  if (cache && (options.cache_max_bytes > 0 || options.cache_max_age_ms > 0)) {
+    cache::ResultCache::SweepLimits limits;
+    limits.max_bytes = options.cache_max_bytes;
+    limits.max_age_ms = options.cache_max_age_ms;
+    const cache::ResultCache::SweepReport swept = cache->sweep(limits);
+    std::ostringstream line;
+    if (swept.ran) {
+      line << "cache sweep: " << swept.evicted << " evicted, "
+           << swept.quarantined << " quarantined, " << swept.bytes_after
+           << " bytes kept";
+    } else {
+      line << "cache sweep: skipped (another sweeper holds the lock)";
+    }
+    log_line(options, line.str());
   }
 
   return result;

@@ -77,6 +77,8 @@ using UnitRunner =
 /// floor) so the retry converges where the first attempt blew up.
 [[nodiscard]] analysis::Options stepped_down(const analysis::Options& options);
 
+struct UnitReport;
+
 struct BatchOptions {
   /// Fork one sandboxed worker per unit. Auto-degrades (with a log line) to
   /// the in-process path on platforms without fork.
@@ -92,6 +94,12 @@ struct BatchOptions {
   /// unit up after the frontend and skips the fixpoint on a validated hit.
   /// Only the default runner consults the cache.
   std::string cache_dir;
+  /// Bounded-cache policy (cache::ResultCache::SweepLimits semantics): when
+  /// either is non-zero the cache is swept after the batch completes — age
+  /// expiry, then oldest-first eviction below the byte cap. Zeros leave the
+  /// cache unbounded (the pre-sweep behavior).
+  std::uint64_t cache_max_bytes = 0;
+  std::uint64_t cache_max_age_ms = 0;
   /// Resume from `checkpoint_dir` (see driver/checkpoint.hpp semantics).
   bool resume = false;
   /// Per-unit wall-clock budget in ms; 0 disables the watchdog.
@@ -109,6 +117,17 @@ struct BatchOptions {
   bool strict_frontend = false;
   /// Unit-level progress log (start / done / retry / skip lines); null = quiet.
   std::function<void(const std::string&)> log;
+  /// Streaming hook: called exactly once per unit, in settle order (not
+  /// input order), the moment its outcome becomes terminal — ok, partial,
+  /// failed, quarantined, or served from a checkpoint. Retries do not fire
+  /// it. The index is the unit's position in the input list; the report
+  /// reference is only valid for the duration of the call. The service
+  /// daemon streams one PSARPC2 frame per invocation (docs/SERVICE.md).
+  std::function<void(std::size_t, const UnitReport&)> on_unit_done;
+  /// Idle hook: called from the supervisor's wait loop a few times per
+  /// second while workers run (and between units in-process) — never
+  /// concurrently. The daemon's heartbeat timer.
+  std::function<void()> on_tick;
 };
 
 struct UnitReport {

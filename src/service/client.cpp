@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 #include <thread>
 
+#include "driver/checkpoint.hpp"
 #include "rsg/serialize.hpp"
 #include "service/protocol.hpp"
 #include "support/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PSA_SERVICE_HAS_SOCKETS 1
-#include <csignal>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/un.h>
@@ -76,6 +79,41 @@ void backoff_sleep(const ClientOptions& options, int attempt) {
 #endif
 }
 
+#if PSA_SERVICE_HAS_SOCKETS
+
+/// Journal one streamed unit into the checkpoint exactly as a local
+/// supervisor would have: attempt line, snapshot (tmp-then-rename, so a
+/// client killed mid-write leaves no trusted half-snapshot), outcome line.
+/// Best effort — a full disk degrades to "streamed but not journaled",
+/// never to a failed unit.
+void journal_streamed_unit(driver::Checkpoint& checkpoint,
+                           const driver::UnitReport& report,
+                           const std::string& payload_bytes) {
+  namespace fs = std::filesystem;
+  const std::string key = driver::unit_key(report.unit);
+  checkpoint.record_attempt(key, std::max(1, report.outcome.attempts));
+  if (!payload_bytes.empty()) {
+    const std::string tmp = checkpoint.snapshot_tmp_path(key);
+    bool written = false;
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (out) {
+        out.write(payload_bytes.data(),
+                  static_cast<std::streamsize>(payload_bytes.size()));
+        written = static_cast<bool>(out);
+      }
+    }
+    std::error_code ec;
+    if (written) {
+      fs::rename(tmp, checkpoint.snapshot_path(key), ec);
+    }
+    if (!written || ec) fs::remove(tmp, ec);
+  }
+  checkpoint.record_outcome(key, report.outcome);
+}
+
+#endif  // PSA_SERVICE_HAS_SOCKETS
+
 }  // namespace
 
 RequestOutcome run_request(const std::vector<driver::AnalysisUnit>& units,
@@ -84,19 +122,43 @@ RequestOutcome run_request(const std::vector<driver::AnalysisUnit>& units,
   RequestOutcome outcome;
 
 #if PSA_SERVICE_HAS_SOCKETS
-  std::signal(SIGPIPE, SIG_IGN);
+  if (units.empty()) {
+    outcome.result = driver::run_batch(units, batch);
+    outcome.via_service = false;
+    return outcome;
+  }
 
-  ServiceRequest request;
-  request.units = units;
-  request.engine = batch.engine;
-  request.check = batch.check;
-  request.strict_frontend = batch.strict_frontend;
-  request.unit_timeout_ms = batch.unit_timeout_ms;
-  const std::string body = encode_request(request);
+  // Results by ORIGINAL index: the stream delivers units in settle order
+  // (and across reconnects, in fragments), but the final report must be in
+  // input order and byte-identical to an uninterrupted run.
+  std::vector<std::optional<driver::UnitReport>> results(units.size());
+  std::vector<std::size_t> remaining;
+  remaining.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) remaining.push_back(i);
+  bool isolated = true;  // AND over every source that contributed results
 
+  // As-they-arrive journaling: with --checkpoint, a streamed unit is on disk
+  // before the next frame is read, so killing the client (or losing the
+  // daemon AND the fallback) still leaves a resumable checkpoint.
+  std::optional<driver::Checkpoint> checkpoint;
+  if (!batch.checkpoint_dir.empty()) {
+    try {
+      checkpoint.emplace(batch.checkpoint_dir, batch.resume);
+      for (const std::string& note : checkpoint->recovery_notes()) {
+        log_line(client, note);
+      }
+    } catch (const std::exception& e) {
+      log_line(client, std::string("connect: checkpoint unavailable (") +
+                           e.what() + "), streaming without journaling");
+    }
+  }
+
+  const std::size_t total = units.size();
+  std::size_t finished = 0;
   const int max_attempts = std::max(1, client.max_attempts);
   std::string last_error = "no attempt made";
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+  for (int attempt = 1; attempt <= max_attempts && !remaining.empty();
+       ++attempt) {
     if (attempt > 1) {
       PSA_COUNT(support::Counter::kServiceRetries);
       backoff_sleep(client, attempt - 1);
@@ -111,64 +173,189 @@ RequestOutcome run_request(const std::vector<driver::AnalysisUnit>& units,
       continue;
     }
 
+    // Resume semantics live in the request itself: only the units this
+    // client has not yet received are asked for.
+    ServiceRequest request;
+    request.units.reserve(remaining.size());
+    for (const std::size_t idx : remaining) request.units.push_back(units[idx]);
+    request.engine = batch.engine;
+    request.check = batch.check;
+    request.strict_frontend = batch.strict_frontend;
+    request.unit_timeout_ms = batch.unit_timeout_ms;
+
     std::string error;
-    Frame reply;
-    const bool ok =
-        send_frame(fd, MsgType::kRequest, body, client.io_timeout_ms,
-                   &error) &&
-        recv_frame(fd, reply, client.io_timeout_ms, &error);
+    bool torn = false;           // stream broke without a summary
+    bool summary_seen = false;
+    std::uint64_t last_seq = 0;  // stream frames must strictly increase
+    if (!send_frame(fd, MsgType::kRequest, encode_request(request),
+                    client.io_timeout_ms, &error)) {
+      last_error = error;
+      torn = true;
+    } else {
+      while (true) {
+        Frame reply;
+        if (!recv_frame(fd, reply, client.io_timeout_ms, &error)) {
+          // Dead daemon, SIGKILLed handler, reset, torn half-frame, timeout:
+          // indistinguishable from this side, and all resumable.
+          last_error = error;
+          torn = true;
+          break;
+        }
+        if (reply.type == MsgType::kBusy) {
+          last_error = "daemon busy";
+          break;
+        }
+        if (reply.type == MsgType::kError) {
+          last_error = "daemon error: " + reply.body;
+          break;
+        }
+        try {
+          if (reply.type == MsgType::kHeartbeat) {
+            const HeartbeatFrame heartbeat = decode_heartbeat(reply.body);
+            if (heartbeat.seq <= last_seq) {
+              throw rsg::SnapshotError("stream sequence not increasing");
+            }
+            last_seq = heartbeat.seq;
+            continue;
+          }
+          if (reply.type == MsgType::kUnitResult) {
+            UnitResultFrame unit_result = decode_unit_result(reply.body);
+            if (unit_result.seq <= last_seq) {
+              throw rsg::SnapshotError("stream sequence not increasing");
+            }
+            last_seq = unit_result.seq;
+            if (unit_result.unit_index >= remaining.size()) {
+              throw rsg::SnapshotError("unit index out of request range");
+            }
+            const std::size_t orig = remaining[unit_result.unit_index];
+            if (unit_result.report.unit.name != units[orig].name) {
+              throw rsg::SnapshotError("unit identity mismatch in stream");
+            }
+            if (!results[orig]) {
+              if (checkpoint) {
+                journal_streamed_unit(*checkpoint, unit_result.report,
+                                      unit_result.payload_bytes);
+              }
+              results[orig] = std::move(unit_result.report);
+              ++finished;
+              ++outcome.streamed_units;
+              log_line(client, "connect: streamed " + units[orig].name + " (" +
+                                   std::to_string(finished) + "/" +
+                                   std::to_string(total) + ")");
+            }
+            continue;
+          }
+          if (reply.type == MsgType::kSummary) {
+            const SummaryFrame summary = decode_summary(reply.body);
+            if (summary.seq <= last_seq) {
+              throw rsg::SnapshotError("stream sequence not increasing");
+            }
+            summary_seen = true;
+            isolated = isolated && summary.isolated;
+            break;
+          }
+          last_error = "unexpected reply frame";
+          torn = true;
+          break;
+        } catch (const rsg::SnapshotError& e) {
+          // A frame that passed the checksum but not the decoder is as
+          // untrustworthy as a torn one: drop the stream, keep the units
+          // validated before it, resume on a fresh connection.
+          last_error = std::string("undecodable stream frame: ") + e.what();
+          torn = true;
+          break;
+        }
+      }
+    }
     ::close(fd);
 
-    if (!ok) {
-      // Dead handler, reset, timeout: indistinguishable from the client's
-      // side and all retryable.
-      last_error = error;
-      log_line(client, "connect: " + error + " (attempt " +
-                           std::to_string(attempt) + ")");
-      continue;
+    std::vector<std::size_t> still;
+    for (const std::size_t idx : remaining) {
+      if (!results[idx]) still.push_back(idx);
     }
-    if (reply.type == MsgType::kBusy) {
-      last_error = "daemon busy";
-      log_line(client, "connect: daemon busy (attempt " +
-                           std::to_string(attempt) + ")");
-      continue;
+    if (summary_seen && !still.empty()) {
+      // The daemon declared the batch complete but this client is missing
+      // units — a protocol anomaly; treat like any retryable failure.
+      last_error = "summary frame with units missing";
     }
-    if (reply.type == MsgType::kError) {
-      last_error = "daemon error: " + reply.body;
-      log_line(client, "connect: " + last_error + " (attempt " +
-                           std::to_string(attempt) + ")");
-      continue;
+    if (torn) {
+      outcome.reconnects += 1;
+      PSA_COUNT(support::Counter::kReconnects);
+      PSA_COUNT_N(support::Counter::kResumedUnits, finished);
+      log_line(client, "connect: stream torn (" + last_error + "), retained " +
+                           std::to_string(finished) + "/" +
+                           std::to_string(total) + " units, " +
+                           std::to_string(still.size()) + " outstanding");
     }
-    if (reply.type != MsgType::kResponse) {
-      last_error = "unexpected reply frame";
-      continue;
-    }
-    try {
-      outcome.result = decode_response(reply.body);
-      outcome.via_service = true;
-      return outcome;
-    } catch (const rsg::SnapshotError& e) {
-      last_error = std::string("undecodable response: ") + e.what();
-      log_line(client, "connect: " + last_error);
-      continue;
-    }
+    remaining = std::move(still);
   }
+
+  if (remaining.empty()) {
+    outcome.via_service = true;
+  } else {
 #else
   std::string last_error = "sockets unsupported on this platform";
+  std::vector<std::optional<driver::UnitReport>> results(units.size());
+  std::vector<std::size_t> remaining;
+  for (std::size_t i = 0; i < units.size(); ++i) remaining.push_back(i);
+  bool isolated = true;
+  {
 #endif
+    if (!client.fallback) {
+      outcome.error = last_error;
+      return outcome;
+    }
 
-  if (!client.fallback) {
-    outcome.error = last_error;
-    return outcome;
+    // The availability contract: a dead daemon never fails a build — and a
+    // torn one never discards streamed work. Run exactly the still-missing
+    // units locally with the same options, isolation included.
+    log_line(client, "connect: service unavailable (" + last_error +
+                         "), analyzing " + std::to_string(remaining.size()) +
+                         " remaining units locally");
+    std::vector<driver::AnalysisUnit> fallback_units;
+    fallback_units.reserve(remaining.size());
+    for (const std::size_t idx : remaining) {
+      fallback_units.push_back(units[idx]);
+    }
+    driver::BatchOptions fallback_batch = batch;
+#if PSA_SERVICE_HAS_SOCKETS
+    if (checkpoint) {
+      // The client already opened (and, without --resume, cleared) the
+      // checkpoint and journaled the streamed units into it. The fallback
+      // must RESUME that directory — reopening it fresh would erase them.
+      // The missing units have no journal entries, so none of them are
+      // spuriously served from disk.
+      fallback_batch.resume = true;
+      checkpoint.reset();  // hand the journal over to the supervisor
+    }
+#endif
+    const driver::BatchResult local =
+        driver::run_batch(fallback_units, fallback_batch);
+    isolated = isolated && local.isolated;
+    for (std::size_t i = 0;
+         i < local.units.size() && i < remaining.size(); ++i) {
+      results[remaining[i]] = local.units[i];
+    }
+    outcome.via_service = false;
   }
 
-  // The availability contract: a dead daemon never fails a build. Run the
-  // exact same batch locally — same options, isolation included — so the
-  // report is byte-identical to the daemon's.
-  log_line(client, "connect: service unavailable (" + last_error +
-                       "), analyzing locally");
-  outcome.result = driver::run_batch(units, batch);
-  outcome.via_service = false;
+  driver::BatchResult assembled;
+  assembled.isolated = isolated;
+  assembled.units.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (results[i]) {
+      assembled.units.push_back(std::move(*results[i]));
+    } else {
+      // Unreachable unless the fallback itself under-reported; surface the
+      // unit as failed rather than silently dropping it from the report.
+      driver::UnitReport missing;
+      missing.unit = units[i];
+      missing.outcome.kind = driver::UnitOutcomeKind::kExit;
+      missing.outcome.detail = "unit missing from service stream and fallback";
+      assembled.units.push_back(std::move(missing));
+    }
+  }
+  outcome.result = std::move(assembled);
   return outcome;
 }
 

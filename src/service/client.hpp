@@ -1,14 +1,27 @@
-// The thin analysis-service client (psa_cli --connect, docs/SERVICE.md).
+// The streaming analysis-service client (psa_cli --connect, docs/SERVICE.md).
 //
-// Sends one batch request to a daemon and returns the decoded BatchResult.
-// The availability contract is absolute: a dead, busy, crashing or draining
-// daemon NEVER fails the caller's build —
-//   * `busy` frames, connection failures and resets are retried with
-//     jittered exponential backoff (counted as service_retries);
-//   * when the retry budget is exhausted (or the response is undecodable),
-//     the client falls back to running the batch in-process through the
-//     same driver::run_batch with the same options, so the report it
-//     returns is byte-identical to what a healthy daemon would have sent.
+// Sends one batch request to a daemon and consumes the PSARPC2 reply stream:
+// unit results are accepted (and journaled) the moment they arrive, not when
+// the batch ends. The availability contract is absolute: a dead, busy,
+// crashing, draining or mid-stream-dying daemon NEVER fails the caller's
+// build, and never costs it work already received —
+//   * every validated unit_result frame is kept immediately; with
+//     --checkpoint it is also journaled into the PSASNAP1 checkpoint
+//     (driver/checkpoint.hpp) as it arrives, so even killing the CLIENT
+//     mid-stream preserves the streamed units for a --resume run;
+//   * a torn stream (daemon SIGKILLed, handler crash, reset, timeout) is
+//     counted as a reconnect: the client backs off, reconnects, and
+//     re-requests ONLY the units it has not yet received (counted as
+//     resumed_units) — a daemon killed after streaming k of n units costs
+//     at most the in-flight remainder, never the k;
+//   * `busy` frames, connection failures and undecodable frames are retried
+//     with jittered exponential backoff (counted as service_retries);
+//   * when the retry budget is exhausted, the client falls back to running
+//     exactly the still-missing units in-process through the same
+//     driver::run_batch with the same options, and merges them with the
+//     streamed results in input order — so the final report is
+//     byte-identical to what an uninterrupted daemon (or a pure-local run)
+//     would have produced.
 #pragma once
 
 #include <cstdint>
@@ -24,36 +37,44 @@ namespace psa::service {
 struct ClientOptions {
   /// Daemon socket path.
   std::string socket_path;
-  /// Connection attempts before falling back (>= 1).
+  /// Connection attempts before falling back (>= 1). A reconnect after a
+  /// mid-stream tear consumes one attempt, like any other retry.
   int max_attempts = 5;
   /// Exponential backoff between attempts: base doubles per retry, capped,
   /// with +/-50% deterministic jitter so a fleet of clients desynchronizes.
   std::uint64_t backoff_base_ms = 50;
   std::uint64_t backoff_cap_ms = 2000;
-  /// Per-frame socket I/O timeout.
+  /// Per-frame socket I/O timeout. The daemon's heartbeat frames keep a
+  /// healthy-but-slow stream inside this budget.
   std::uint64_t io_timeout_ms = 60'000;
   /// Allow the in-process fallback. Off only for tests that must observe a
   /// hard service failure.
   bool fallback = true;
-  /// Progress log (retry / fallback lines); null = quiet.
+  /// Progress log (streamed / retry / fallback lines); null = quiet.
   std::function<void(const std::string&)> log;
 };
 
 struct RequestOutcome {
   driver::BatchResult result;
-  /// True when the result came from the daemon; false for the local
-  /// fallback.
+  /// True when every unit came from the daemon; false as soon as the local
+  /// fallback computed any of them.
   bool via_service = false;
   /// Connection attempts consumed (for tests and logs).
   int attempts = 0;
-  /// With fallback disabled and no service reply: why.
+  /// Streams that tore mid-flight and were re-established (or re-tried).
+  int reconnects = 0;
+  /// Unit results received over the wire, across all attempts.
+  std::size_t streamed_units = 0;
+  /// With fallback disabled and no complete service reply: why.
   std::string error;
 };
 
 /// Run `units` via the daemon at `client.socket_path`, falling back to a
-/// local driver::run_batch(units, batch) when the service cannot answer.
-/// `batch` supplies both the request parameters sent to the daemon (engine,
-/// check, strict_frontend, unit_timeout_ms) and the fallback configuration.
+/// local driver::run_batch over whatever units the stream(s) did not
+/// deliver. `batch` supplies both the request parameters sent to the daemon
+/// (engine, check, strict_frontend, unit_timeout_ms) and the fallback
+/// configuration; its checkpoint_dir (when set) additionally journals every
+/// streamed unit as it arrives.
 [[nodiscard]] RequestOutcome run_request(
     const std::vector<driver::AnalysisUnit>& units,
     const driver::BatchOptions& batch, const ClientOptions& client);

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -43,6 +45,31 @@ using Clock = std::chrono::steady_clock;
 volatile std::sig_atomic_t g_drain_requested = 0;
 
 void on_term_signal(int) { g_drain_requested = 1; }
+
+/// Scoped SIGPIPE-ignore with sigaction save/restore. The protocol layer's
+/// MSG_NOSIGNAL already makes our own sends SIGPIPE-free; this is
+/// defense-in-depth for anything a handler's children write to an inherited
+/// fd — and unlike the old `std::signal(SIGPIPE, SIG_IGN)` it hands the
+/// process's previous disposition back when run_daemon returns, so a host
+/// embedding the daemon keeps its own signal setup.
+class ScopedSigpipeIgnore {
+ public:
+  ScopedSigpipeIgnore() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigemptyset(&ignore.sa_mask);
+    saved_ok_ = ::sigaction(SIGPIPE, &ignore, &saved_) == 0;
+  }
+  ~ScopedSigpipeIgnore() {
+    if (saved_ok_) (void)::sigaction(SIGPIPE, &saved_, nullptr);
+  }
+  ScopedSigpipeIgnore(const ScopedSigpipeIgnore&) = delete;
+  ScopedSigpipeIgnore& operator=(const ScopedSigpipeIgnore&) = delete;
+
+ private:
+  struct sigaction saved_ {};
+  bool saved_ok_ = false;
+};
 
 void log_line(const DaemonOptions& options, const std::string& line) {
   if (options.log) options.log(line);
@@ -138,11 +165,12 @@ int bind_listener(const DaemonOptions& options, std::string* error) {
   return fd;
 }
 
-/// The handler-child body: one request, one reply, exit. Never returns.
+/// The handler-child body: one request in, a stream of frames out, exit.
+/// Never returns.
 [[noreturn]] void run_handler(int conn_fd, const DaemonOptions& options) {
 #if defined(__linux__)
   // Die with the daemon: a SIGKILLed daemon must leave no orphan handlers
-  // (the client then sees a reset and falls back to local analysis).
+  // (the client then sees the stream tear and reconnects or falls back).
   ::prctl(PR_SET_PDEATHSIG, SIGKILL);
 #endif
   std::string error;
@@ -163,13 +191,13 @@ int bind_listener(const DaemonOptions& options, std::string* error) {
 
   try {
     const ServiceRequest request = decode_request(frame.body);
+    const driver::FaultPlan plan = driver::FaultPlan::from_env();
 
     // PSA_FAULT_AT sockdrop (docs/SERVICE.md): hang up without replying, as
-    // a handler dying between accept and reply would. The client must treat
-    // it as a connection reset — retry, then fall back.
+    // a handler dying between accept and the first frame would. The client
+    // must treat it as a connection reset — retry, then fall back.
     for (const driver::AnalysisUnit& unit : request.units) {
-      if (driver::FaultPlan::from_env().for_unit(unit.name) ==
-          driver::FaultKind::kSockDrop) {
+      if (plan.for_unit(unit.name) == driver::FaultKind::kSockDrop) {
         ::close(conn_fd);
         ::_exit(0);
       }
@@ -183,10 +211,78 @@ int bind_listener(const DaemonOptions& options, std::string* error) {
     batch.check = request.check;
     batch.strict_frontend = request.strict_frontend;
     batch.unit_timeout_ms = request.unit_timeout_ms;
+    // Sweeping is the daemon parent's job (one sweeper, post-reap) — a
+    // handler bounding the cache mid-batch could evict its own warm entries.
+
+    const std::uint64_t total = request.units.size();
+    std::uint64_t seq = 0;        // shared by unit/heartbeat/summary frames
+    std::uint64_t done = 0;       // settled units (for heartbeats)
+    std::uint64_t streamed = 0;   // unit_result frames actually delivered
+    bool client_gone = false;
+    Clock::time_point last_frame = Clock::now();
+
+    // Deliver pre-encoded frame bytes. On a send failure the client is gone
+    // (reset, or its own timeout): stop streaming but KEEP COMPUTING — every
+    // finished unit still lands in the shared cache, which is what makes the
+    // reconnecting client's re-request cheap.
+    const auto stream_bytes = [&](const std::string& bytes) {
+      if (client_gone) return;
+      std::string send_error;
+      if (!send_bytes(conn_fd, bytes, options.io_timeout_ms, &send_error)) {
+        client_gone = true;
+        return;
+      }
+      PSA_COUNT(support::Counter::kStreamFrames);
+      last_frame = Clock::now();
+    };
+
+    batch.on_unit_done = [&](std::size_t index,
+                             const driver::UnitReport& report) {
+      ++done;
+      const std::string bytes = encode_frame(
+          MsgType::kUnitResult,
+          encode_unit_result(++seq, static_cast<std::uint32_t>(index),
+                             report));
+      if (plan.for_unit(report.unit.name) == driver::FaultKind::kStreamTear) {
+        // PSA_FAULT_AT streamtear: half a frame, then hangup — the worst
+        // mid-stream death. The client must discard the torn bytes, keep
+        // every already-validated unit, and resume over a fresh connection.
+        std::string send_error;
+        (void)send_bytes(conn_fd,
+                         std::string_view(bytes).substr(0, bytes.size() / 2),
+                         options.io_timeout_ms, &send_error);
+        ::shutdown(conn_fd, SHUT_RDWR);
+        ::close(conn_fd);
+        ::_exit(0);
+      }
+      stream_bytes(bytes);
+      if (!client_gone) ++streamed;
+    };
+
+    batch.on_tick = [&]() {
+      if (client_gone || options.heartbeat_ms == 0) return;
+      const auto quiet =
+          std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                last_frame)
+              .count();
+      if (quiet < static_cast<std::int64_t>(options.heartbeat_ms)) return;
+      HeartbeatFrame hb;
+      hb.seq = ++seq;
+      hb.units_done = done;
+      hb.units_total = total;
+      stream_bytes(encode_frame(MsgType::kHeartbeat, encode_heartbeat(hb)));
+    };
+
     const driver::BatchResult result = driver::run_batch(request.units, batch);
 
-    (void)send_frame(conn_fd, MsgType::kResponse, encode_response(result),
-                     options.io_timeout_ms, &error);
+    if (!client_gone) {
+      SummaryFrame summary;
+      summary.seq = ++seq;
+      summary.isolated = result.isolated;
+      summary.units_total = total;
+      summary.units_streamed = streamed;
+      stream_bytes(encode_frame(MsgType::kSummary, encode_summary(summary)));
+    }
     ::_exit(0);
   } catch (const rsg::SnapshotError& e) {
     (void)send_frame(conn_fd, MsgType::kError, e.what(),
@@ -212,11 +308,28 @@ int run_daemon(const DaemonOptions& options) {
   std::string error;
 
   // Open + recover the cache before accepting anything, so a torn directory
-  // (crashed previous daemon) is repaired exactly once, up front.
+  // (crashed previous daemon) is repaired exactly once, up front. The
+  // handle stays open for the daemon's life: the parent is the sweeper.
+  std::optional<cache::ResultCache> cache;
+  cache::ResultCache::SweepLimits sweep_limits;
+  sweep_limits.max_bytes = options.cache_max_bytes;
+  sweep_limits.max_age_ms = options.cache_max_age_ms;
+  const auto sweep_cache = [&](std::string_view when) {
+    if (!cache || !sweep_limits.bounded()) return;
+    const cache::ResultCache::SweepReport swept = cache->sweep(sweep_limits);
+    if (!swept.ran) return;  // a concurrent sweeper holds the lock
+    if (swept.evicted > 0 || swept.quarantined > 0) {
+      std::ostringstream line;
+      line << "serve: cache sweep (" << when << "): " << swept.evicted
+           << " evicted, " << swept.quarantined << " quarantined, "
+           << swept.bytes_after << " bytes kept";
+      log_line(options, line.str());
+    }
+  };
   if (!options.cache_dir.empty()) {
     try {
-      cache::ResultCache cache(options.cache_dir);
-      const cache::ResultCache::RecoveryReport recovered = cache.recover();
+      cache.emplace(options.cache_dir);
+      const cache::ResultCache::RecoveryReport recovered = cache->recover();
       std::ostringstream line;
       line << "serve: cache " << options.cache_dir << ": "
            << recovered.entries_kept << " entries";
@@ -225,6 +338,7 @@ int run_daemon(const DaemonOptions& options) {
              << recovered.quarantined;
       }
       log_line(options, line.str());
+      sweep_cache("startup");
     } catch (const std::exception& e) {
       log_line(options, std::string("serve: ") + e.what());
       return 1;
@@ -237,18 +351,43 @@ int run_daemon(const DaemonOptions& options) {
     return 1;
   }
 
-  std::signal(SIGPIPE, SIG_IGN);
+  const ScopedSigpipeIgnore sigpipe_guard;
   g_drain_requested = 0;
   std::signal(SIGTERM, on_term_signal);
   std::signal(SIGINT, on_term_signal);
 
   ServiceJournal journal(options);
-  journal.record("start inflight=" + std::to_string(options.max_inflight));
+  journal.record("start inflight=" + std::to_string(options.max_inflight) +
+                 " queue=" + std::to_string(options.max_queued));
   log_line(options, "serve: listening on " + options.socket_path);
 
+  const std::size_t max_inflight = std::max<std::size_t>(1, options.max_inflight);
   std::vector<Handler> handlers;
+  std::deque<int> pending;  // accepted fds waiting for a handler slot (FIFO)
+
+  const auto spawn = [&](int conn_fd) {
+    PSA_COUNT(support::Counter::kServiceRequests);
+    journal.record("accept");
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(listen_fd);
+      run_handler(conn_fd, options);
+    }
+    if (pid < 0) {
+      send_handler_error(conn_fd, "cannot fork request handler");
+      ::close(conn_fd);
+      journal.record("done forkfail");
+      return;
+    }
+    Handler handler;
+    handler.pid = pid;
+    handler.conn_fd = conn_fd;
+    handler.start = Clock::now();
+    handlers.push_back(handler);
+  };
 
   const auto reap = [&](bool killing_overdue) {
+    bool reaped = false;
     for (std::size_t h = 0; h < handlers.size();) {
       Handler& handler = handlers[h];
 
@@ -276,8 +415,8 @@ int run_daemon(const DaemonOptions& options) {
         send_handler_error(handler.conn_fd, "request deadline exceeded");
         journal.record("done deadline");
       } else if (!clean) {
-        // The handler crashed (or exited reporting failure) before/while
-        // replying: the client must hear an explicit error, not silence.
+        // The handler crashed (or exited reporting failure) mid-stream: the
+        // client must hear an explicit error, not silence.
         send_handler_error(handler.conn_fd, "request handler died");
         journal.record("done crashed");
       } else {
@@ -290,6 +429,14 @@ int run_daemon(const DaemonOptions& options) {
                           .count()));
       ::close(handler.conn_fd);
       handlers.erase(handlers.begin() + static_cast<std::ptrdiff_t>(h));
+      reaped = true;
+    }
+    if (reaped) sweep_cache("post-request");
+    // Freed slots pull waiting connections FIFO — the multiplexing step.
+    while (handlers.size() < max_inflight && !pending.empty()) {
+      const int conn_fd = pending.front();
+      pending.pop_front();
+      spawn(conn_fd);
     }
   };
 
@@ -305,36 +452,28 @@ int run_daemon(const DaemonOptions& options) {
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) continue;
 
-    if (handlers.size() >= std::max<std::size_t>(1, options.max_inflight)) {
-      // Bounded-queue backpressure: shed explicitly so the client backs off
-      // instead of stacking requests behind a saturated daemon.
-      PSA_COUNT(support::Counter::kServiceBusyRejections);
-      journal.record("busy");
-      log_line(options, "serve: busy, shedding request");
-      std::string send_error;
-      (void)send_frame(conn_fd, MsgType::kBusy, "", 1000, &send_error);
-      ::close(conn_fd);
+    if (handlers.size() < max_inflight) {
+      spawn(conn_fd);
       continue;
     }
-
-    PSA_COUNT(support::Counter::kServiceRequests);
-    journal.record("accept");
-    const pid_t pid = ::fork();
-    if (pid == 0) {
-      ::close(listen_fd);
-      run_handler(conn_fd, options);
-    }
-    if (pid < 0) {
-      send_handler_error(conn_fd, "cannot fork request handler");
-      ::close(conn_fd);
-      journal.record("done forkfail");
+    if (pending.size() < options.max_queued) {
+      // Park the connection; its request bytes sit in the socket buffer and
+      // the handler reads them when a slot frees up. The client just sees a
+      // longer wait for its first frame.
+      journal.record("queued");
+      log_line(options, "serve: saturated, queued connection (" +
+                            std::to_string(pending.size() + 1) + " waiting)");
+      pending.push_back(conn_fd);
       continue;
     }
-    Handler handler;
-    handler.pid = pid;
-    handler.conn_fd = conn_fd;
-    handler.start = Clock::now();
-    handlers.push_back(handler);
+    // Past both caps: shed explicitly so the client backs off instead of
+    // stacking unboundedly behind a saturated daemon.
+    PSA_COUNT(support::Counter::kServiceBusyRejections);
+    journal.record("busy");
+    log_line(options, "serve: busy, shedding request");
+    std::string send_error;
+    (void)send_frame(conn_fd, MsgType::kBusy, "", 1000, &send_error);
+    ::close(conn_fd);
   }
 
   // Graceful drain: stop accepting, let in-flight requests finish, then
@@ -343,6 +482,12 @@ int run_daemon(const DaemonOptions& options) {
   log_line(options, "serve: drain requested");
   ::close(listen_fd);
   ::unlink(options.socket_path.c_str());
+  for (const int conn_fd : pending) {
+    // Still-queued connections never got a handler; answer them explicitly.
+    send_handler_error(conn_fd, "daemon draining");
+    ::close(conn_fd);
+  }
+  pending.clear();
   const Clock::time_point drain_deadline =
       Clock::now() + std::chrono::milliseconds(options.drain_grace_ms);
   while (!handlers.empty() && Clock::now() < drain_deadline) {

@@ -3,28 +3,46 @@
 // A single-threaded accept loop on a unix-domain socket, with the result
 // cache resident. Each accepted request is handled in a forked child (the
 // daemon itself stays single-threaded, so forking is safe), which runs the
-// batch through the crash-isolated supervisor and replies with one response
-// frame. The parent keeps its copy of every connection fd, so a handler that
-// crashes still costs the client only an error frame — never a silent hang.
+// batch through the crash-isolated supervisor and STREAMS the reply
+// (PSARPC2): one unit_result frame the moment each unit settles, heartbeat
+// frames while long units run, and a terminal summary frame. The parent
+// keeps its copy of every connection fd, so a handler that crashes still
+// costs the client only an error frame — never a silent hang.
 //
 // Robustness envelope:
-//   * load shedding: when max_inflight handlers are already running, a new
-//     connection gets an immediate `busy` frame (counted as
-//     service_busy_rejections) instead of queueing unboundedly;
+//   * multiplexing: up to max_inflight handlers run concurrently; the next
+//     max_queued connections wait in an accept queue (their clients block on
+//     the first frame) and are spawned FIFO as handlers finish. Only a
+//     connection past BOTH caps is shed with an immediate `busy` frame
+//     (counted as service_busy_rejections) — bounded memory, no unbounded
+//     pile-up behind a saturated daemon;
+//   * streaming: a client that disappears mid-stream stops receiving frames
+//     but the handler keeps computing — every finished unit still lands in
+//     the shared result cache, so the reconnecting client's re-request hits
+//     warm entries instead of recomputing;
 //   * per-request deadline: a handler that exceeds request_deadline_ms is
 //     SIGKILLed and its client gets an error frame;
 //   * worker crashes: contained twice — per unit by the supervisor's fork
 //     isolation inside the handler, and per request by the handler fork
 //     itself;
+//   * bounded cache: with cache_max_bytes / cache_max_age_ms set, the parent
+//     sweeps the cache (cache::ResultCache::sweep) at startup and after
+//     handlers finish — concurrent daemons sharing a --cache-dir serialize
+//     on the sweep's advisory lock;
 //   * graceful drain: SIGTERM (or SIGINT) stops accepting, lets in-flight
-//     handlers finish within drain_grace_ms, seals the service journal with
-//     a final "sealed" line, removes the socket and exits 0;
+//     handlers finish within drain_grace_ms, answers still-queued
+//     connections with an error frame, seals the service journal with a
+//     final "sealed" line, removes the socket and exits 0;
 //   * stale socket: a leftover socket file from a dead daemon (connect
 //     refused) is unlinked and rebound; a live daemon on the same path is a
 //     startup error;
 //   * handlers die with the daemon (PDEATHSIG), so a SIGKILLed daemon leaves
-//     no orphans — clients see the connection reset and fall back to local
-//     analysis (service/client.hpp).
+//     no orphans — clients see the stream tear, reconnect with backoff, and
+//     re-request only their unfinished units (service/client.hpp);
+//   * signal hygiene: SIGPIPE safety comes from MSG_NOSIGNAL inside the
+//     protocol layer; the daemon's own SIGPIPE-ignore is scoped and the
+//     previous disposition is restored on return, so embedding run_daemon in
+//     a larger process never clobbers the host's handlers.
 #pragma once
 
 #include <cstdint>
@@ -41,11 +59,22 @@ struct DaemonOptions {
   /// Result cache directory handed to every handler's supervisor; empty
   /// disables caching. The `service.journal` lives here too (when set).
   std::string cache_dir;
-  /// Handler concurrency cap; connections beyond it are shed with `busy`.
-  /// Env override: PSA_SERVE_INFLIGHT.
+  /// Bounded-cache policy, swept by the daemon parent at startup and after
+  /// handlers finish (cache::ResultCache::SweepLimits semantics; zeros =
+  /// unbounded). CLI: --cache-max-bytes / --cache-max-age.
+  std::uint64_t cache_max_bytes = 0;
+  std::uint64_t cache_max_age_ms = 0;
+  /// Handler concurrency cap. Env override: PSA_SERVE_INFLIGHT.
   std::size_t max_inflight = 2;
+  /// Accepted connections allowed to wait for a free handler slot before new
+  /// ones are shed with `busy`. Env override: PSA_SERVE_QUEUE.
+  std::size_t max_queued = 16;
   /// Worker concurrency inside each handler's supervisor.
   std::size_t jobs = 1;
+  /// Minimum quiet time before a handler emits a heartbeat frame (liveness
+  /// while a slow unit runs); 0 disables heartbeats. Env override:
+  /// PSA_SERVE_HEARTBEAT_MS.
+  std::uint64_t heartbeat_ms = 1000;
   /// Whole-request wall-clock deadline in ms; 0 disables. A handler past it
   /// is SIGKILLed and the client gets an error frame. Env override:
   /// PSA_SERVE_REQUEST_DEADLINE_MS.
@@ -54,7 +83,8 @@ struct DaemonOptions {
   std::uint64_t drain_grace_ms = 30'000;
   /// Per-frame socket I/O timeout for handlers.
   std::uint64_t io_timeout_ms = 30'000;
-  /// Progress log (start / accept / busy / done / drain lines); null = quiet.
+  /// Progress log (start / accept / queued / busy / done / drain lines);
+  /// null = quiet.
   std::function<void(const std::string&)> log;
 };
 

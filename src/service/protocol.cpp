@@ -10,6 +10,7 @@
 #define PSA_SERVICE_HAS_SOCKETS 1
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 #else
 #define PSA_SERVICE_HAS_SOCKETS 0
@@ -19,9 +20,9 @@ namespace psa::service {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'S', 'A', 'R', 'P', 'C', '1', '\n'};
+constexpr char kMagic[8] = {'P', 'S', 'A', 'R', 'P', 'C', '2', '\n'};
 constexpr std::size_t kHeaderSize = 8 + 1 + 8 + 8;
-constexpr std::uint32_t kBodyVersion = 1;
+constexpr std::uint32_t kBodyVersion = 2;
 
 void put_u64(std::string& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -37,6 +38,21 @@ std::uint64_t get_u64(const unsigned char* p) {
 
 void fail(std::string* error, std::string_view what) {
   if (error != nullptr) *error = std::string(what);
+}
+
+bool known_type(std::uint8_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kRequest:
+    case MsgType::kBusy:
+    case MsgType::kError:
+    case MsgType::kPing:
+    case MsgType::kPong:
+    case MsgType::kUnitResult:
+    case MsgType::kHeartbeat:
+    case MsgType::kSummary:
+      return true;
+  }
+  return false;  // includes the retired PSARPC1 batch response (2)
 }
 
 #if PSA_SERVICE_HAS_SOCKETS
@@ -109,7 +125,11 @@ bool write_all(int fd, std::string_view bytes, std::uint64_t timeout_ms,
       fail(error, "send poll failed");
       return false;
     }
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    // MSG_NOSIGNAL: a hung-up peer yields EPIPE here instead of a
+    // process-wide SIGPIPE — the protocol layer must never require callers
+    // to adjust their signal dispositions (service/client.hpp regression).
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
@@ -168,23 +188,74 @@ driver::AnalysisUnit read_unit(rsg::ByteReader& in) {
   return unit;
 }
 
+void append_unit_report(rsg::ByteWriter& out,
+                        const driver::UnitReport& report) {
+  append_unit(out, report.unit);
+  out.u8(static_cast<std::uint8_t>(report.outcome.kind));
+  out.u64(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(report.outcome.exit_code)));
+  out.u64(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(report.outcome.signal)));
+  out.u32(static_cast<std::uint32_t>(report.outcome.attempts));
+  out.u8(report.outcome.quarantined ? 1 : 0);
+  out.u8(report.outcome.from_checkpoint ? 1 : 0);
+  out.str(report.outcome.detail);
+  if (report.payload && report.payload->interner) {
+    out.u8(1);
+    out.str(driver::serialize_unit_payload(*report.payload,
+                                           *report.payload->interner));
+  } else {
+    out.u8(0);
+  }
+}
+
+/// Decodes one unit report; the raw payload bytes (when present) are copied
+/// into `payload_bytes` verbatim in addition to being deep-validated into
+/// the report, so stream consumers can journal them without re-serializing.
+driver::UnitReport read_unit_report(rsg::ByteReader& in,
+                                    std::string* payload_bytes) {
+  driver::UnitReport report;
+  report.unit = read_unit(in);
+  const std::uint8_t kind = in.u8("outcome kind");
+  if (kind > static_cast<std::uint8_t>(driver::UnitOutcomeKind::kPartial)) {
+    throw rsg::SnapshotError("outcome kind out of range");
+  }
+  report.outcome.kind = static_cast<driver::UnitOutcomeKind>(kind);
+  report.outcome.exit_code = static_cast<int>(
+      static_cast<std::int64_t>(in.u64("outcome exit code")));
+  report.outcome.signal = static_cast<int>(
+      static_cast<std::int64_t>(in.u64("outcome signal")));
+  report.outcome.attempts = static_cast<int>(in.u32("outcome attempts"));
+  report.outcome.quarantined = in.u8("outcome quarantined") != 0;
+  report.outcome.from_checkpoint = in.u8("outcome from_checkpoint") != 0;
+  report.outcome.detail = std::string(in.str("outcome detail"));
+  if (in.u8("payload present") != 0) {
+    // Second validation layer: the payload's own PSASNAP1 envelope and
+    // bounds-checked records.
+    const std::string_view bytes = in.str("payload bytes");
+    report.payload = driver::deserialize_unit_payload(bytes);
+    if (payload_bytes != nullptr) *payload_bytes = std::string(bytes);
+  }
+  return report;
+}
+
 }  // namespace
 
 std::string_view to_string(MsgType type) {
   switch (type) {
     case MsgType::kRequest: return "request";
-    case MsgType::kResponse: return "response";
     case MsgType::kBusy: return "busy";
     case MsgType::kError: return "error";
     case MsgType::kPing: return "ping";
     case MsgType::kPong: return "pong";
+    case MsgType::kUnitResult: return "unit_result";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kSummary: return "summary";
   }
   return "?";
 }
 
-bool send_frame(int fd, MsgType type, std::string_view body,
-                std::uint64_t timeout_ms, std::string* error) {
-#if PSA_SERVICE_HAS_SOCKETS
+std::string encode_frame(MsgType type, std::string_view body) {
   std::string frame;
   frame.reserve(kHeaderSize + body.size());
   frame.append(kMagic, sizeof kMagic);
@@ -192,15 +263,25 @@ bool send_frame(int fd, MsgType type, std::string_view body,
   put_u64(frame, body.size());
   put_u64(frame, rsg::snapshot_checksum(body));
   frame.append(body);
-  return write_all(fd, frame, timeout_ms, error);
+  return frame;
+}
+
+bool send_bytes(int fd, std::string_view bytes, std::uint64_t timeout_ms,
+                std::string* error) {
+#if PSA_SERVICE_HAS_SOCKETS
+  return write_all(fd, bytes, timeout_ms, error);
 #else
   (void)fd;
-  (void)type;
-  (void)body;
+  (void)bytes;
   (void)timeout_ms;
   fail(error, "sockets unsupported on this platform");
   return false;
 #endif
+}
+
+bool send_frame(int fd, MsgType type, std::string_view body,
+                std::uint64_t timeout_ms, std::string* error) {
+  return send_bytes(fd, encode_frame(type, body), timeout_ms, error);
 }
 
 bool recv_frame(int fd, Frame& out, std::uint64_t timeout_ms,
@@ -213,8 +294,7 @@ bool recv_frame(int fd, Frame& out, std::uint64_t timeout_ms,
     return false;
   }
   const auto type = static_cast<std::uint8_t>(header[8]);
-  if (type < static_cast<std::uint8_t>(MsgType::kRequest) ||
-      type > static_cast<std::uint8_t>(MsgType::kPong)) {
+  if (!known_type(type)) {
     fail(error, "unknown frame type");
     return false;
   }
@@ -306,68 +386,73 @@ ServiceRequest decode_request(std::string_view body) {
   return request;
 }
 
-std::string encode_response(const driver::BatchResult& result) {
+std::string encode_unit_result(std::uint64_t seq, std::uint32_t unit_index,
+                               const driver::UnitReport& report) {
   rsg::ByteWriter out;
   out.u32(kBodyVersion);
-  out.u8(result.isolated ? 1 : 0);
-  out.u32(static_cast<std::uint32_t>(result.units.size()));
-  for (const driver::UnitReport& u : result.units) {
-    append_unit(out, u.unit);
-    out.u8(static_cast<std::uint8_t>(u.outcome.kind));
-    out.u64(static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(u.outcome.exit_code)));
-    out.u64(static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(u.outcome.signal)));
-    out.u32(static_cast<std::uint32_t>(u.outcome.attempts));
-    out.u8(u.outcome.quarantined ? 1 : 0);
-    out.u8(u.outcome.from_checkpoint ? 1 : 0);
-    out.str(u.outcome.detail);
-    if (u.payload && u.payload->interner) {
-      out.u8(1);
-      out.str(driver::serialize_unit_payload(*u.payload, *u.payload->interner));
-    } else {
-      out.u8(0);
-    }
-  }
+  out.u64(seq);
+  out.u32(unit_index);
+  append_unit_report(out, report);
   return out.take();
 }
 
-driver::BatchResult decode_response(std::string_view body) {
+UnitResultFrame decode_unit_result(std::string_view body) {
   rsg::ByteReader in(body);
-  if (in.u32("response version") != kBodyVersion) {
-    throw rsg::SnapshotError("unsupported response version");
+  if (in.u32("unit result version") != kBodyVersion) {
+    throw rsg::SnapshotError("unsupported unit result version");
   }
-  driver::BatchResult result;
-  result.isolated = in.u8("isolated") != 0;
-  const std::uint32_t n = in.count("unit report count", 8);
-  result.units.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    driver::UnitReport report;
-    report.unit = read_unit(in);
-    const std::uint8_t kind = in.u8("outcome kind");
-    if (kind > static_cast<std::uint8_t>(driver::UnitOutcomeKind::kPartial)) {
-      throw rsg::SnapshotError("outcome kind out of range");
-    }
-    report.outcome.kind = static_cast<driver::UnitOutcomeKind>(kind);
-    report.outcome.exit_code = static_cast<int>(
-        static_cast<std::int64_t>(in.u64("outcome exit code")));
-    report.outcome.signal = static_cast<int>(
-        static_cast<std::int64_t>(in.u64("outcome signal")));
-    report.outcome.attempts =
-        static_cast<int>(in.u32("outcome attempts"));
-    report.outcome.quarantined = in.u8("outcome quarantined") != 0;
-    report.outcome.from_checkpoint = in.u8("outcome from_checkpoint") != 0;
-    report.outcome.detail = std::string(in.str("outcome detail"));
-    if (in.u8("payload present") != 0) {
-      // Second validation layer: the payload's own PSASNAP1 envelope and
-      // bounds-checked records.
-      report.payload =
-          driver::deserialize_unit_payload(in.str("payload bytes"));
-    }
-    result.units.push_back(std::move(report));
+  UnitResultFrame frame;
+  frame.seq = in.u64("unit result seq");
+  frame.unit_index = in.u32("unit result index");
+  frame.report = read_unit_report(in, &frame.payload_bytes);
+  in.expect_end("unit result body");
+  return frame;
+}
+
+std::string encode_heartbeat(const HeartbeatFrame& frame) {
+  rsg::ByteWriter out;
+  out.u32(kBodyVersion);
+  out.u64(frame.seq);
+  out.u64(frame.units_done);
+  out.u64(frame.units_total);
+  return out.take();
+}
+
+HeartbeatFrame decode_heartbeat(std::string_view body) {
+  rsg::ByteReader in(body);
+  if (in.u32("heartbeat version") != kBodyVersion) {
+    throw rsg::SnapshotError("unsupported heartbeat version");
   }
-  in.expect_end("response body");
-  return result;
+  HeartbeatFrame frame;
+  frame.seq = in.u64("heartbeat seq");
+  frame.units_done = in.u64("heartbeat units_done");
+  frame.units_total = in.u64("heartbeat units_total");
+  in.expect_end("heartbeat body");
+  return frame;
+}
+
+std::string encode_summary(const SummaryFrame& frame) {
+  rsg::ByteWriter out;
+  out.u32(kBodyVersion);
+  out.u64(frame.seq);
+  out.u8(frame.isolated ? 1 : 0);
+  out.u64(frame.units_total);
+  out.u64(frame.units_streamed);
+  return out.take();
+}
+
+SummaryFrame decode_summary(std::string_view body) {
+  rsg::ByteReader in(body);
+  if (in.u32("summary version") != kBodyVersion) {
+    throw rsg::SnapshotError("unsupported summary version");
+  }
+  SummaryFrame frame;
+  frame.seq = in.u64("summary seq");
+  frame.isolated = in.u8("summary isolated") != 0;
+  frame.units_total = in.u64("summary units_total");
+  frame.units_streamed = in.u64("summary units_streamed");
+  in.expect_end("summary body");
+  return frame;
 }
 
 }  // namespace psa::service

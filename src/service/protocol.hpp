@@ -1,17 +1,32 @@
-// The psa analysis-service wire protocol (docs/SERVICE.md).
+// The psa analysis-service wire protocol, version 2 (docs/SERVICE.md).
 //
 // Length-prefixed, checksummed frames over a unix-domain stream socket:
 //
 //   offset  size  field
-//   0       8     magic "PSARPC1\n"
+//   0       8     magic "PSARPC2\n"
 //   8       1     message type (MsgType)
 //   9       8     body size in bytes (little-endian u64, capped)
 //   17      8     FNV-1a 64-bit checksum of the body
 //   25      n     body
 //
+// PSARPC2 is a STREAMING protocol: instead of PSARPC1's single batch
+// response, the daemon answers a request with a sequence of frames —
+//
+//   request ->                               (client)
+//   <- unit_result* | heartbeat*             (daemon, interleaved)
+//   <- summary                               (daemon, terminal)
+//
+// Every daemon->client stream frame carries a strictly increasing sequence
+// number shared across unit_result / heartbeat / summary, so the client can
+// reject replays and reordering. A stream that ends (EOF, reset, checksum
+// failure, timeout) before the summary frame is TORN: the client keeps every
+// unit_result it already validated and re-requests only the unfinished units
+// (service/client.hpp). Type 2 (the PSARPC1 batch response) is retired; its
+// number is never reused.
+//
 // Bodies are built from the same bounds-checked little-endian primitives as
 // the snapshot format (rsg::ByteWriter / ByteReader), and per-unit results
-// travel as full PSASNAP1-enveloped UnitPayload bytes — so a response is
+// travel as full PSASNAP1-enveloped UnitPayload bytes — so a unit result is
 // validated twice: once at the frame checksum, once per payload envelope.
 //
 // Robustness contract: recv_frame never trusts the peer. The magic and type
@@ -19,7 +34,10 @@
 // allocation, the checksum is verified before the body is handed to a
 // decoder, and the decoders themselves throw rsg::SnapshotError on any
 // malformed field rather than exhibiting UB. A frame-level failure returns
-// false with a diagnostic; it never kills the caller.
+// false with a diagnostic; it never kills the caller. Sends use MSG_NOSIGNAL
+// — a peer that hangs up costs an error return, never a process-wide
+// SIGPIPE (so neither the client nor the daemon touches the caller's signal
+// dispositions for correctness).
 #pragma once
 
 #include <cstdint>
@@ -33,12 +51,15 @@
 namespace psa::service {
 
 enum class MsgType : std::uint8_t {
-  kRequest = 1,   // client -> daemon: a batch to analyze
-  kResponse = 2,  // daemon -> client: the batch result
-  kBusy = 3,      // daemon -> client: load shed, retry with backoff
-  kError = 4,     // daemon -> client: request failed (handler crash, decode)
-  kPing = 5,      // client -> daemon: liveness probe
-  kPong = 6,      // daemon -> client: liveness reply
+  kRequest = 1,     // client -> daemon: a batch to analyze
+                    // (2 was the PSARPC1 batch response; retired)
+  kBusy = 3,        // daemon -> client: load shed, retry with backoff
+  kError = 4,       // daemon -> client: request failed (handler crash, decode)
+  kPing = 5,        // client -> daemon: liveness probe
+  kPong = 6,        // daemon -> client: liveness reply
+  kUnitResult = 7,  // daemon -> client: one finished unit (streamed)
+  kHeartbeat = 8,   // daemon -> client: liveness while the batch runs
+  kSummary = 9,     // daemon -> client: terminal frame of a batch stream
 };
 
 [[nodiscard]] std::string_view to_string(MsgType type);
@@ -52,18 +73,28 @@ struct Frame {
   std::string body;
 };
 
-/// Write one frame to `fd`, honoring `timeout_ms` per poll (0 = no timeout).
-/// Returns false (with a diagnostic in `error`) on timeout or I/O failure;
-/// never throws, never raises SIGPIPE (callers ignore it process-wide).
+/// Raw frame bytes (header + checksum + body) of one frame. send_frame is
+/// encode_frame + send_bytes; the daemon's streamtear fault point sends a
+/// strict prefix of these bytes and hangs up.
+[[nodiscard]] std::string encode_frame(MsgType type, std::string_view body);
+
+/// Write pre-encoded bytes to `fd`, honoring `timeout_ms` per poll (0 = no
+/// timeout). Returns false (with a diagnostic in `error`) on timeout or I/O
+/// failure; never throws, never raises SIGPIPE (MSG_NOSIGNAL).
+bool send_bytes(int fd, std::string_view bytes, std::uint64_t timeout_ms,
+                std::string* error);
+
+/// Write one frame to `fd`. Same contract as send_bytes.
 bool send_frame(int fd, MsgType type, std::string_view body,
                 std::uint64_t timeout_ms, std::string* error);
 
 /// Read one validated frame from `fd`. False on timeout, EOF, bad magic,
-/// oversized body or checksum mismatch — with the reason in `error`.
+/// unknown/retired type, oversized body or checksum mismatch — with the
+/// reason in `error`.
 bool recv_frame(int fd, Frame& out, std::uint64_t timeout_ms,
                 std::string* error);
 
-// --- Request / response bodies ----------------------------------------------
+// --- Request / stream bodies ------------------------------------------------
 
 /// One batch analysis request. Carries everything the daemon needs to run
 /// driver::run_batch on its side: the units and the engine/checker options.
@@ -81,11 +112,49 @@ struct ServiceRequest {
 /// Throws rsg::SnapshotError on any malformed field.
 [[nodiscard]] ServiceRequest decode_request(std::string_view body);
 
-/// Encode a completed batch: per unit, the identity, the structured outcome
-/// and (when present) the full serialized UnitPayload bytes.
-[[nodiscard]] std::string encode_response(const driver::BatchResult& result);
+/// One streamed unit result: the unit's index in the REQUEST it answers
+/// (not any global order), its identity, structured outcome and — when the
+/// unit completed — the full serialized UnitPayload bytes.
+struct UnitResultFrame {
+  std::uint64_t seq = 0;         // strictly increasing per stream, from 1
+  std::uint32_t unit_index = 0;  // index into the request's unit list
+  driver::UnitReport report;
+  /// The raw PSASNAP1 payload bytes as they crossed the wire (empty when the
+  /// unit carries no payload). Already deep-validated into report.payload;
+  /// kept verbatim so the client can journal them into its checkpoint
+  /// without a re-serialization round trip.
+  std::string payload_bytes;
+};
+
+[[nodiscard]] std::string encode_unit_result(std::uint64_t seq,
+                                             std::uint32_t unit_index,
+                                             const driver::UnitReport& report);
 /// Throws rsg::SnapshotError on any malformed field (including a payload
 /// whose own envelope fails validation).
-[[nodiscard]] driver::BatchResult decode_response(std::string_view body);
+[[nodiscard]] UnitResultFrame decode_unit_result(std::string_view body);
+
+/// Liveness while the daemon's batch runs: proves the stream is alive
+/// between unit results so the client's per-frame timeout never fires on a
+/// slow (but healthy) unit.
+struct HeartbeatFrame {
+  std::uint64_t seq = 0;
+  std::uint64_t units_done = 0;
+  std::uint64_t units_total = 0;
+};
+
+[[nodiscard]] std::string encode_heartbeat(const HeartbeatFrame& frame);
+[[nodiscard]] HeartbeatFrame decode_heartbeat(std::string_view body);
+
+/// Terminal frame of a stream: the batch is complete. A client holding
+/// fewer than units_total results after the summary re-requests the gap.
+struct SummaryFrame {
+  std::uint64_t seq = 0;
+  bool isolated = false;
+  std::uint64_t units_total = 0;     // units in the answered request
+  std::uint64_t units_streamed = 0;  // unit_result frames sent before this
+};
+
+[[nodiscard]] std::string encode_summary(const SummaryFrame& frame);
+[[nodiscard]] SummaryFrame decode_summary(std::string_view body);
 
 }  // namespace psa::service

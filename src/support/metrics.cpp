@@ -49,6 +49,12 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kServiceRequests: return "service_requests";
     case Counter::kServiceBusyRejections: return "service_busy_rejections";
     case Counter::kServiceRetries: return "service_retries";
+    case Counter::kStreamFrames: return "stream_frames";
+    case Counter::kReconnects: return "reconnects";
+    case Counter::kResumedUnits: return "resumed_units";
+    case Counter::kCacheSweepRuns: return "cache_sweep_runs";
+    case Counter::kCacheSweepEvictions: return "cache_sweep_evictions";
+    case Counter::kCacheSweepBytes: return "cache_sweep_bytes";
     case Counter::kPhaseParseWallNs: return "phase_parse_wall_ns";
     case Counter::kPhaseParseCpuNs: return "phase_parse_cpu_ns";
     case Counter::kPhaseCfgWallNs: return "phase_cfg_wall_ns";

@@ -105,6 +105,14 @@ enum class Counter : std::uint16_t {
   kServiceRequests,        // requests a daemon accepted for processing
   kServiceBusyRejections,  // requests shed with an explicit busy reply
   kServiceRetries,         // client retries after busy / connection failure
+  kStreamFrames,           // PSARPC2 frames streamed by daemon handlers
+  kReconnects,             // client reconnects after a mid-stream tear
+  kResumedUnits,           // finished units retained across reconnects
+
+  // Bounded-cache sweep (docs/SERVICE.md eviction policy).
+  kCacheSweepRuns,       // sweeps that actually scanned (lock acquired)
+  kCacheSweepEvictions,  // valid entries evicted by the size/age policy
+  kCacheSweepBytes,      // bytes reclaimed by policy evictions
 
   // Phase timers, nanoseconds (wall = steady clock, cpu = process CPU).
   // Everything from kPhaseParseWallNs on is a timer; see is_timer().

@@ -7,9 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
@@ -299,6 +308,256 @@ TEST_F(ResultCacheTest, RecoverSweepsTmpAndQuarantinesCorruptEntries) {
   const ResultCache::RecoveryReport second = reopened.recover();
   EXPECT_TRUE(second.clean());
   EXPECT_EQ(second.entries_kept, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// sweep(): the bounded, crash-safe eviction policy (--cache-max-bytes /
+// --cache-max-age). Recency is use-recency (lookup touches mtime), corrupt
+// entries are quarantined rather than deleted, and a concurrent sweeper
+// skips instead of racing.
+
+class SweepTest : public ResultCacheTest {
+ protected:
+  static CacheKey synthetic_key(std::uint64_t n) {
+    CacheKey key;
+    key.hi = 0x5eedu;
+    key.lo = n;
+    return key;
+  }
+
+  /// Store one valid entry under a synthetic key and back-date its mtime so
+  /// the sweep sees a deterministic recency order.
+  std::string store_aged(ResultCache& cache, std::uint64_t n,
+                         std::chrono::minutes age) {
+    const CacheKey key = synthetic_key(n);
+    EXPECT_TRUE(cache.store(key, payload_));
+    const std::string path = cache.entry_path(key);
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now() - age, ec);
+    EXPECT_FALSE(ec) << ec.message();
+    return path;
+  }
+
+  const std::string payload_ = real_payload_bytes();
+};
+
+TEST_F(SweepTest, UnboundedLimitsNeverScan) {
+  ResultCache cache(dir_);
+  store_aged(cache, 1, std::chrono::minutes(90));
+  const ResultCache::SweepReport report = cache.sweep({});
+  EXPECT_FALSE(report.ran);
+  EXPECT_EQ(cache.lookup(synthetic_key(1)).status,
+            ResultCache::Lookup::Status::kHit);
+}
+
+TEST_F(SweepTest, ByteCapEvictsLeastRecentlyUsedFirst) {
+  ResultCache cache(dir_);
+  store_aged(cache, 1, std::chrono::minutes(30));  // oldest: first to go
+  store_aged(cache, 2, std::chrono::minutes(20));
+  store_aged(cache, 3, std::chrono::minutes(10));
+  const auto size = static_cast<std::uint64_t>(payload_.size());
+
+  support::MetricsRegion region;
+  ResultCache::SweepLimits limits;
+  limits.max_bytes = 2 * size;
+  const ResultCache::SweepReport report = cache.sweep(limits);
+  EXPECT_TRUE(report.ran);
+  EXPECT_EQ(report.scanned, 3u);
+  EXPECT_EQ(report.evicted, 1u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.bytes_before, 3 * size);
+  EXPECT_EQ(report.bytes_after, 2 * size);
+  EXPECT_EQ(report.bytes_reclaimed(), size);
+
+  // Exactly the oldest entry is gone; the survivors still serve.
+  EXPECT_EQ(cache.lookup(synthetic_key(1)).status,
+            ResultCache::Lookup::Status::kMiss);
+  EXPECT_EQ(cache.lookup(synthetic_key(2)).status,
+            ResultCache::Lookup::Status::kHit);
+  EXPECT_EQ(cache.lookup(synthetic_key(3)).status,
+            ResultCache::Lookup::Status::kHit);
+
+  const support::MetricsSnapshot delta = region.delta();
+  EXPECT_EQ(delta[support::Counter::kCacheSweepRuns], 1u);
+  EXPECT_EQ(delta[support::Counter::kCacheSweepEvictions], 1u);
+  EXPECT_EQ(delta[support::Counter::kCacheSweepBytes], size);
+  // Policy eviction is NOT corruption: the cache_evictions health signal
+  // must stay untouched.
+  EXPECT_EQ(delta[support::Counter::kCacheEvictions], 0u);
+}
+
+TEST_F(SweepTest, AgeExpiryEvictsOnlyStaleEntries) {
+  ResultCache cache(dir_);
+  store_aged(cache, 1, std::chrono::minutes(60));  // stale
+  store_aged(cache, 2, std::chrono::minutes(1));   // fresh
+
+  ResultCache::SweepLimits limits;
+  limits.max_age_ms = 15 * 60 * 1000;  // 15 minutes
+  const ResultCache::SweepReport report = cache.sweep(limits);
+  EXPECT_TRUE(report.ran);
+  EXPECT_EQ(report.evicted, 1u);
+  EXPECT_EQ(cache.lookup(synthetic_key(1)).status,
+            ResultCache::Lookup::Status::kMiss);
+  EXPECT_EQ(cache.lookup(synthetic_key(2)).status,
+            ResultCache::Lookup::Status::kHit);
+}
+
+TEST_F(SweepTest, LookupTouchProtectsAnEntryFromTheByteCap) {
+  // Use-recency, not write-recency: a HIT refreshes the entry, so the byte
+  // cap evicts the entry nobody asked for even though it was written later.
+  ResultCache cache(dir_);
+  store_aged(cache, 1, std::chrono::minutes(30));  // older write, then used
+  store_aged(cache, 2, std::chrono::minutes(20));  // newer write, never used
+  ASSERT_EQ(cache.lookup(synthetic_key(1)).status,
+            ResultCache::Lookup::Status::kHit);  // touches entry 1
+
+  ResultCache::SweepLimits limits;
+  limits.max_bytes = static_cast<std::uint64_t>(payload_.size());
+  const ResultCache::SweepReport report = cache.sweep(limits);
+  EXPECT_TRUE(report.ran);
+  EXPECT_EQ(report.evicted, 1u);
+  EXPECT_EQ(cache.lookup(synthetic_key(1)).status,
+            ResultCache::Lookup::Status::kHit);
+  EXPECT_EQ(cache.lookup(synthetic_key(2)).status,
+            ResultCache::Lookup::Status::kMiss);
+}
+
+TEST_F(SweepTest, CorruptEntryIsQuarantinedNotDeleted) {
+  ResultCache cache(dir_);
+  store_aged(cache, 1, std::chrono::minutes(1));  // fresh and valid: kept
+  // Plant rot that the policy would expire: the sweep must notice the entry
+  // is not a valid envelope and preserve the evidence instead of unlinking.
+  const std::string rotten = cache.entry_path(synthetic_key(2));
+  {
+    std::ofstream out(rotten, std::ios::binary);
+    out << "not a PSASNAP1 envelope";
+  }
+  {
+    std::error_code ec;
+    fs::last_write_time(
+        rotten, fs::file_time_type::clock::now() - std::chrono::hours(2), ec);
+    ASSERT_FALSE(ec) << ec.message();
+  }
+
+  ResultCache::SweepLimits limits;
+  limits.max_age_ms = 15 * 60 * 1000;
+  const ResultCache::SweepReport report = cache.sweep(limits);
+  EXPECT_TRUE(report.ran);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.evicted, 0u);
+  EXPECT_FALSE(fs::exists(rotten));
+  EXPECT_FALSE(fs::is_empty(fs::path(dir_) / "quarantine"));
+  EXPECT_EQ(cache.lookup(synthetic_key(1)).status,
+            ResultCache::Lookup::Status::kHit);
+
+  // Every decision was journaled before the entry was touched.
+  std::ifstream journal(fs::path(dir_) / "sweep.journal");
+  const std::string text((std::istreambuf_iterator<char>(journal)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("psa-sweep-journal v1"), std::string::npos);
+  EXPECT_NE(text.find("quarantine"), std::string::npos);
+  EXPECT_NE(text.find("sweep end"), std::string::npos);
+}
+
+TEST_F(SweepTest, ConcurrentSweeperSkipsInsteadOfRacing) {
+  ResultCache cache(dir_);
+  store_aged(cache, 1, std::chrono::minutes(60));
+  ResultCache::SweepLimits limits;
+  limits.max_age_ms = 1000;
+
+  // Hold the advisory lock the way a concurrent daemon's sweep would (flock
+  // conflicts are per open-file-description, so this works in-process).
+  const std::string lock_path = (fs::path(dir_) / "sweep.lock").string();
+  const int fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::flock(fd, LOCK_EX), 0);
+
+  const ResultCache::SweepReport blocked = cache.sweep(limits);
+  EXPECT_FALSE(blocked.ran);  // someone else is bounding the cache
+  // Existence checked on disk, not via lookup(): a hit would refresh the
+  // entry's mtime and un-age it for the second sweep below.
+  EXPECT_TRUE(fs::exists(cache.entry_path(synthetic_key(1))));
+
+  ASSERT_EQ(::flock(fd, LOCK_UN), 0);
+  ::close(fd);
+  const ResultCache::SweepReport unblocked = cache.sweep(limits);
+  EXPECT_TRUE(unblocked.ran);
+  EXPECT_EQ(unblocked.evicted, 1u);
+}
+
+TEST_F(SweepTest, EvictRaceFaultIsACleanMiss) {
+  // PSA_FAULT_AT=unit:evictrace in miniature: the entry vanishes between
+  // the decision to read and the read. Must be a plain miss — no torn
+  // bytes, no spurious corruption eviction.
+  ResultCache cache(dir_);
+  const CacheKey key = synthetic_key(1);
+  ASSERT_TRUE(cache.store(key, payload_));
+
+  support::MetricsRegion region;
+  const ResultCache::Lookup raced = cache.lookup(key, LookupFault::kEvictRace);
+  EXPECT_EQ(raced.status, ResultCache::Lookup::Status::kMiss);
+  EXPECT_TRUE(raced.bytes.empty());
+  const support::MetricsSnapshot delta = region.delta();
+  EXPECT_EQ(delta[support::Counter::kCacheMisses], 1u);
+  EXPECT_EQ(delta[support::Counter::kCacheEvictions], 0u);
+
+  // The slot heals like any miss: recompute, store, hit.
+  ASSERT_TRUE(cache.store(key, payload_));
+  EXPECT_EQ(cache.lookup(key).status, ResultCache::Lookup::Status::kHit);
+}
+
+TEST_F(SweepTest, WritersAndSweeperShareTheDirectorySafely) {
+  // Soak: two writers (separate ResultCache instances, like two daemons
+  // sharing --cache-dir) churn a small key space while a sweeper bounds it.
+  // Invariant: a reader afterwards sees only whole entries — every lookup is
+  // a hit that deep-deserializes or a clean miss, never an eviction.
+  constexpr std::uint64_t kKeys = 10;
+  constexpr int kStoresPerWriter = 60;
+  std::atomic<bool> done{false};
+  const auto writer = [&](std::uint64_t salt) {
+    ResultCache mine(dir_);
+    for (int i = 0; i < kStoresPerWriter; ++i) {
+      mine.store(synthetic_key((salt + static_cast<std::uint64_t>(i)) % kKeys),
+                 payload_);
+    }
+  };
+  std::thread sweeper([&] {
+    ResultCache mine(dir_);
+    ResultCache::SweepLimits limits;
+    limits.max_bytes = 3 * static_cast<std::uint64_t>(payload_.size());
+    while (!done.load()) {
+      (void)mine.sweep(limits);
+      std::this_thread::yield();
+    }
+  });
+  std::thread a(writer, 0);
+  std::thread b(writer, kKeys / 2);
+  a.join();
+  b.join();
+  done.store(true);
+  sweeper.join();
+
+  ResultCache reader(dir_);
+  std::size_t hits = 0;
+  for (std::uint64_t n = 0; n < kKeys; ++n) {
+    const ResultCache::Lookup lookup = reader.lookup(synthetic_key(n));
+    ASSERT_NE(lookup.status, ResultCache::Lookup::Status::kEvicted)
+        << "torn read surfaced for key " << n << ": " << lookup.diagnostic;
+    if (lookup.status == ResultCache::Lookup::Status::kHit) {
+      ++hits;
+      EXPECT_EQ(lookup.bytes, payload_);
+      const driver::UnitPayload payload =
+          driver::deserialize_unit_payload(lookup.bytes);
+      EXPECT_TRUE(payload.frontend_ok);
+    }
+  }
+  // The churn must not have destroyed everything or validated nothing.
+  EXPECT_GT(hits, 0u);
+  // And the directory is structurally clean: no .tmp stragglers, and every
+  // surviving entry passes the startup scan.
+  const ResultCache::RecoveryReport recovery = reader.recover();
+  EXPECT_EQ(recovery.tmp_removed, 0u);
+  EXPECT_EQ(recovery.quarantined, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -18,13 +18,30 @@ TEST(FaultPlanTest, ParsesSingleEntry) {
 }
 
 TEST(FaultPlanTest, ParsesEveryKind) {
-  const FaultPlan plan =
-      FaultPlan::parse("a:crash,b:segv,c:hang,d:oom,e:throw");
+  const FaultPlan plan = FaultPlan::parse(
+      "a:crash,b:segv,c:hang,d:oom,e:throw,f:cachetear,g:cacheflip,"
+      "h:sockdrop,i:streamtear,j:evictrace");
   EXPECT_EQ(plan.for_unit("a"), FaultKind::kCrash);
   EXPECT_EQ(plan.for_unit("b"), FaultKind::kSegv);
   EXPECT_EQ(plan.for_unit("c"), FaultKind::kHang);
   EXPECT_EQ(plan.for_unit("d"), FaultKind::kOom);
   EXPECT_EQ(plan.for_unit("e"), FaultKind::kThrow);
+  EXPECT_EQ(plan.for_unit("f"), FaultKind::kCacheTear);
+  EXPECT_EQ(plan.for_unit("g"), FaultKind::kCacheFlip);
+  EXPECT_EQ(plan.for_unit("h"), FaultKind::kSockDrop);
+  EXPECT_EQ(plan.for_unit("i"), FaultKind::kStreamTear);
+  EXPECT_EQ(plan.for_unit("j"), FaultKind::kEvictRace);
+}
+
+TEST(FaultPlanTest, ServiceFaultKindsRoundTripTheirNames) {
+  // The service-layer faults are honored at dedicated fault points (daemon
+  // stream, cache lookup), so inject_fault must treat them as no-ops — a
+  // worker that merely PARSES the plan must not die on them.
+  EXPECT_EQ(to_string(FaultKind::kStreamTear), "streamtear");
+  EXPECT_EQ(to_string(FaultKind::kEvictRace), "evictrace");
+  inject_fault(FaultKind::kStreamTear);
+  inject_fault(FaultKind::kEvictRace);
+  SUCCEED();
 }
 
 TEST(FaultPlanTest, IgnoresMalformedEntries) {

@@ -12,6 +12,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -113,12 +115,18 @@ class ServiceE2eTest : public ::testing::Test {
   }
 
   /// Spawn `psa_cli --serve=<sock> --cache-dir=<cache>` detached and wait
-  /// until the socket accepts a connection. Asserts on startup failure.
-  void start_daemon() {
+  /// until the socket accepts a connection. `env` entries are set in the
+  /// daemon child only (fault plans, serve knobs) — never in this process,
+  /// so client runs stay fault-free. Asserts on startup failure.
+  void start_daemon(
+      const std::vector<std::pair<std::string, std::string>>& env = {}) {
     const pid_t pid = ::fork();
     if (pid == 0) {
       (void)!::freopen(path_in("daemon.out").c_str(), "w", stdout);
       (void)!::freopen(path_in("daemon.err").c_str(), "w", stderr);
+      for (const auto& [key, value] : env) {
+        ::setenv(key.c_str(), value.c_str(), 1);
+      }
       static std::string binary = PSA_CLI_PATH;
       std::string serve = "--serve=" + socket_path();
       std::string cache = "--cache-dir=" + cache_dir();
@@ -221,7 +229,72 @@ TEST_F(ServiceE2eTest, DeadDaemonFallsBackAndNeverFailsTheBuild) {
   EXPECT_EQ(fallback.exit_code, local.exit_code);
   EXPECT_EQ(fallback.stdout_text, local.stdout_text);
   const std::string log = slurp(path_in("client.err"));
-  EXPECT_NE(log.find("analyzing locally"), std::string::npos) << log;
+  EXPECT_NE(log.find("remaining units locally"), std::string::npos) << log;
+}
+
+TEST_F(ServiceE2eTest, StreamTearMidBatchResumesAndReportsIdentically) {
+  // PSA_FAULT_AT streamtear in the DAEMON env: the handler sends half of
+  // tear.c's unit_result frame and hangs up — every attempt. The client must
+  // keep each unit streamed before the tear, reconnect and re-request only
+  // the remainder, and past the retry budget compute the torn unit locally.
+  // The final report must be byte-identical to an undisturbed local run.
+  const std::string leaky = write_file("leaky.c", kLeakySource);
+  const std::string clean = write_file("clean.c", kCleanSource);
+  const std::string tear = write_file("tear.c", kCleanSource);
+  const std::string files = leaky + " " + clean + " " + tear;
+
+  const RunResult local = run_cli(files + " --isolate --check", "");
+  ASSERT_EQ(local.exit_code, 1) << local.stdout_text;
+
+  start_daemon({{"PSA_FAULT_AT", tear + ":streamtear"}});
+  const RunResult remote = run_cli(
+      files + " --check --connect=" + socket_path(), path_in("client.err"));
+  const std::string log = slurp(path_in("client.err"));
+  EXPECT_EQ(remote.exit_code, local.exit_code) << log;
+  EXPECT_EQ(remote.stdout_text, local.stdout_text) << log;
+  // The tear was observed and the stream resumed — not a silent cold retry.
+  EXPECT_NE(log.find("stream torn"), std::string::npos) << log;
+  EXPECT_NE(log.find("streamed"), std::string::npos) << log;
+}
+
+TEST_F(ServiceE2eTest, TwoConcurrentClientsBothGetTheExactReport) {
+  // Two clients share one daemon whose handler capacity is ONE: the second
+  // connection must be parked in the accept queue (not shed, not corrupted)
+  // and served when the first handler finishes. Both reports must equal the
+  // local reference byte for byte.
+  const std::string leaky = write_file("leaky.c", kLeakySource);
+  const std::string clean = write_file("clean.c", kCleanSource);
+  const std::string files = leaky + " " + clean;
+
+  const RunResult local = run_cli(files + " --isolate --check", "");
+  ASSERT_EQ(local.exit_code, 1) << local.stdout_text;
+
+  start_daemon({{"PSA_SERVE_INFLIGHT", "1"}});
+  RunResult first;
+  RunResult second;
+  std::thread one([&] {
+    first = run_cli(files + " --check --connect=" + socket_path(),
+                    path_in("client1.err"));
+  });
+  std::thread two([&] {
+    second = run_cli(files + " --check --connect=" + socket_path(),
+                     path_in("client2.err"));
+  });
+  one.join();
+  two.join();
+
+  EXPECT_EQ(first.exit_code, local.exit_code)
+      << slurp(path_in("client1.err"));
+  EXPECT_EQ(second.exit_code, local.exit_code)
+      << slurp(path_in("client2.err"));
+  EXPECT_EQ(first.stdout_text, local.stdout_text);
+  EXPECT_EQ(second.stdout_text, local.stdout_text);
+
+  // With capacity 1 and overlapping clients, the daemon journal shows the
+  // multiplexing actually engaged: both requests accepted, none shed.
+  const std::string journal =
+      slurp((fs::path(cache_dir()) / "service.journal").string());
+  EXPECT_EQ(journal.find("busy"), std::string::npos) << journal;
 }
 
 TEST_F(ServiceE2eTest, StaleSocketFileIsRecoveredOnStartup) {

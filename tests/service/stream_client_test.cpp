@@ -1,0 +1,473 @@
+// The streaming client (service/client.hpp) against an in-test fake daemon:
+// a unix-socket server whose per-connection behavior is scripted, so every
+// stream pathology — tears after k units, bogus sequence numbers, busy
+// shedding, summaries that under-deliver — is deterministic. The real
+// daemon's side of the contract lives in service_e2e_test.cpp; this file
+// pins down what the CLIENT must do when the wire misbehaves.
+#include "service/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/checkpoint.hpp"
+#include "driver/supervisor.hpp"
+#include "service/protocol.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define PSA_TEST_HAS_UNIX_SOCKETS 1
+#else
+#define PSA_TEST_HAS_UNIX_SOCKETS 0
+#endif
+
+namespace psa::service {
+namespace {
+
+#if PSA_TEST_HAS_UNIX_SOCKETS
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kSourceA =
+    "struct node { struct node *next; int v; };\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  p->next = NULL;\n"
+    "}\n";
+
+constexpr std::string_view kSourceB =
+    "struct node { struct node *next; int v; };\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  struct node *q;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  q = p;\n"
+    "  p->next = NULL;\n"
+    "}\n";
+
+constexpr std::string_view kSourceC =
+    "struct node { struct node *next; int v; };\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  free(p);\n"
+    "}\n";
+
+driver::AnalysisUnit inline_unit(std::string name, std::string_view source) {
+  driver::AnalysisUnit u;
+  u.name = std::move(name);
+  u.source = std::string(source);
+  return u;
+}
+
+std::vector<driver::AnalysisUnit> three_units() {
+  return {inline_unit("a.c", kSourceA), inline_unit("b.c", kSourceB),
+          inline_unit("c.c", kSourceC)};
+}
+
+driver::BatchOptions local_options() {
+  driver::BatchOptions options;
+  options.isolate = false;
+  options.check = true;
+  return options;
+}
+
+/// Analyze one requested unit exactly the way the real handler would hand it
+/// to the supervisor, so streamed reports match a local run byte for byte.
+driver::UnitReport analyze_one(const driver::AnalysisUnit& unit,
+                               const ServiceRequest& request) {
+  driver::BatchOptions options;
+  options.isolate = false;
+  options.check = request.check;
+  options.strict_frontend = request.strict_frontend;
+  options.engine = request.engine;
+  return driver::run_batch({unit}, options).units[0];
+}
+
+constexpr std::uint64_t kIoMs = 5000;
+
+void must_send(int fd, MsgType type, const std::string& body) {
+  std::string error;
+  ASSERT_TRUE(send_frame(fd, type, body, kIoMs, &error)) << error;
+}
+
+/// Stream every requested unit then the terminal summary — a well-behaved
+/// daemon in a handful of lines.
+void stream_everything(int fd, const ServiceRequest& request) {
+  std::uint64_t seq = 0;
+  for (std::uint32_t i = 0; i < request.units.size(); ++i) {
+    must_send(fd, MsgType::kUnitResult,
+              encode_unit_result(++seq, i, analyze_one(request.units[i],
+                                                       request)));
+  }
+  SummaryFrame summary;
+  summary.seq = ++seq;
+  summary.isolated = false;
+  summary.units_total = request.units.size();
+  summary.units_streamed = request.units.size();
+  must_send(fd, MsgType::kSummary, encode_summary(summary));
+}
+
+/// Scripted unix-socket daemon: accepts connections on a private socket and
+/// hands each decoded request to the test's handler, with the connection
+/// index so behavior can differ between the first attempt and the retry.
+class FakeDaemon {
+ public:
+  using Handler =
+      std::function<void(int fd, int conn, const ServiceRequest& request)>;
+
+  explicit FakeDaemon(std::string path) : path_(std::move(path)) {
+    ::unlink(path_.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("fake daemon: socket()");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("fake daemon: socket path too long");
+    }
+    path_.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 8) != 0) {
+      ::close(listen_fd_);
+      throw std::runtime_error("fake daemon: bind/listen on " + path_);
+    }
+  }
+
+  ~FakeDaemon() { stop(); }
+
+  const std::string& path() const { return path_; }
+
+  void serve(Handler handler) {
+    thread_ = std::thread([this, handler = std::move(handler)] {
+      int conn = 0;
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // stop() shut the listener down
+        Frame frame;
+        std::string error;
+        if (recv_frame(fd, frame, kIoMs, &error) &&
+            frame.type == MsgType::kRequest) {
+          {
+            const ServiceRequest request = decode_request(frame.body);
+            const std::lock_guard<std::mutex> lock(mutex_);
+            requests_.emplace_back();
+            for (const driver::AnalysisUnit& u : request.units) {
+              requests_.back().push_back(u.name);
+            }
+          }
+          handler(fd, conn++, decode_request(frame.body));
+        }
+        ::close(fd);
+      }
+    });
+  }
+
+  /// Stop accepting; pending handler work finishes first (join).
+  void stop() {
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (thread_.joinable()) thread_.join();
+    ::unlink(path_.c_str());
+  }
+
+  /// Unit names of each request, in connection order (valid after stop()).
+  std::vector<std::vector<std::string>> requests() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return requests_;
+  }
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::vector<std::vector<std::string>> requests_;
+};
+
+class StreamClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("psa-stream-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string socket_path() const {
+    return (fs::path(dir_) / "s.sock").string();
+  }
+
+  ClientOptions client_options(int max_attempts = 3) const {
+    ClientOptions client;
+    client.socket_path = socket_path();
+    client.max_attempts = max_attempts;
+    client.backoff_base_ms = 1;  // keep retries fast under test
+    client.backoff_cap_ms = 4;
+    client.io_timeout_ms = kIoMs;
+    return client;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StreamClientTest, WellBehavedStreamMatchesALocalRunExactly) {
+  const std::vector<driver::AnalysisUnit> units = three_units();
+  const std::string local =
+      driver::format_batch_report(driver::run_batch(units, local_options()));
+
+  FakeDaemon daemon(socket_path());
+  daemon.serve([](int fd, int, const ServiceRequest& request) {
+    stream_everything(fd, request);
+  });
+  const RequestOutcome outcome =
+      run_request(units, local_options(), client_options());
+  daemon.stop();
+
+  EXPECT_TRUE(outcome.via_service) << outcome.error;
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.reconnects, 0);
+  EXPECT_EQ(outcome.streamed_units, units.size());
+  EXPECT_EQ(driver::format_batch_report(outcome.result), local);
+}
+
+TEST_F(StreamClientTest, TornStreamReRequestsOnlyTheRemainder) {
+  const std::vector<driver::AnalysisUnit> units = three_units();
+  const std::string local =
+      driver::format_batch_report(driver::run_batch(units, local_options()));
+
+  FakeDaemon daemon(socket_path());
+  daemon.serve([](int fd, int conn, const ServiceRequest& request) {
+    if (conn == 0) {
+      // One validated unit, then a mid-batch death: EOF before the summary.
+      must_send(fd, MsgType::kUnitResult,
+                encode_unit_result(1, 0, analyze_one(request.units[0],
+                                                     request)));
+      return;
+    }
+    stream_everything(fd, request);
+  });
+  const RequestOutcome outcome =
+      run_request(units, local_options(), client_options());
+  daemon.stop();
+
+  EXPECT_TRUE(outcome.via_service) << outcome.error;
+  EXPECT_EQ(outcome.reconnects, 1);
+  EXPECT_EQ(outcome.attempts, 2);
+  EXPECT_EQ(outcome.streamed_units, units.size());
+  EXPECT_EQ(driver::format_batch_report(outcome.result), local);
+
+  // The resume request carried ONLY the units the tear cost — the streamed
+  // one is never recomputed, which is the whole point of the journal.
+  const auto requests = daemon.requests();
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0],
+            (std::vector<std::string>{"a.c", "b.c", "c.c"}));
+  EXPECT_EQ(requests[1], (std::vector<std::string>{"b.c", "c.c"}));
+}
+
+TEST_F(StreamClientTest, NonIncreasingSequenceNumberTearsTheStream) {
+  const std::vector<driver::AnalysisUnit> units = three_units();
+  const std::string local =
+      driver::format_batch_report(driver::run_batch(units, local_options()));
+
+  FakeDaemon daemon(socket_path());
+  daemon.serve([](int fd, int conn, const ServiceRequest& request) {
+    if (conn == 0) {
+      // A replayed frame: same sequence number twice. The first is valid
+      // and must be kept; the replay must tear the stream, not overwrite.
+      const std::string frame =
+          encode_unit_result(7, 0, analyze_one(request.units[0], request));
+      must_send(fd, MsgType::kUnitResult, frame);
+      must_send(fd, MsgType::kUnitResult, frame);
+      return;
+    }
+    stream_everything(fd, request);
+  });
+  const RequestOutcome outcome =
+      run_request(units, local_options(), client_options());
+  daemon.stop();
+
+  EXPECT_TRUE(outcome.via_service) << outcome.error;
+  EXPECT_EQ(outcome.reconnects, 1);
+  EXPECT_EQ(driver::format_batch_report(outcome.result), local);
+  const auto requests = daemon.requests();
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[1], (std::vector<std::string>{"b.c", "c.c"}));
+}
+
+TEST_F(StreamClientTest, BusyDaemonIsRetriedWithoutCountingAReconnect) {
+  const std::vector<driver::AnalysisUnit> units = {
+      inline_unit("a.c", kSourceA)};
+  FakeDaemon daemon(socket_path());
+  daemon.serve([](int fd, int conn, const ServiceRequest& request) {
+    if (conn == 0) {
+      must_send(fd, MsgType::kBusy, "queue full");
+      return;
+    }
+    stream_everything(fd, request);
+  });
+  const RequestOutcome outcome =
+      run_request(units, local_options(), client_options());
+  daemon.stop();
+
+  EXPECT_TRUE(outcome.via_service) << outcome.error;
+  EXPECT_EQ(outcome.attempts, 2);
+  // Load shedding is not a torn stream: no units were lost mid-flight.
+  EXPECT_EQ(outcome.reconnects, 0);
+}
+
+TEST_F(StreamClientTest, UnderDeliveringSummaryTriggersAResume) {
+  const std::vector<driver::AnalysisUnit> units = three_units();
+  const std::string local =
+      driver::format_batch_report(driver::run_batch(units, local_options()));
+
+  FakeDaemon daemon(socket_path());
+  daemon.serve([](int fd, int conn, const ServiceRequest& request) {
+    if (conn == 0) {
+      // A "clean" termination that still owes units: one result, then a
+      // summary admitting 1 of 3. The client must go back for the rest.
+      must_send(fd, MsgType::kUnitResult,
+                encode_unit_result(1, 0, analyze_one(request.units[0],
+                                                     request)));
+      SummaryFrame summary;
+      summary.seq = 2;
+      summary.units_total = request.units.size();
+      summary.units_streamed = 1;
+      must_send(fd, MsgType::kSummary, encode_summary(summary));
+      return;
+    }
+    stream_everything(fd, request);
+  });
+  const RequestOutcome outcome =
+      run_request(units, local_options(), client_options());
+  daemon.stop();
+
+  EXPECT_TRUE(outcome.via_service) << outcome.error;
+  EXPECT_EQ(driver::format_batch_report(outcome.result), local);
+  const auto requests = daemon.requests();
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[1], (std::vector<std::string>{"b.c", "c.c"}));
+}
+
+TEST_F(StreamClientTest, FallbackComputesOnlyWhatTheStreamsNeverDelivered) {
+  const std::vector<driver::AnalysisUnit> units = three_units();
+  const std::string local =
+      driver::format_batch_report(driver::run_batch(units, local_options()));
+
+  FakeDaemon daemon(socket_path());
+  daemon.serve([](int fd, int conn, const ServiceRequest& request) {
+    // Every connection tears after the first remaining unit; with
+    // max_attempts=2 the client ends up holding 2 of 3 and must compute
+    // exactly one unit locally.
+    must_send(fd, MsgType::kUnitResult,
+              encode_unit_result(1, 0, analyze_one(request.units[0],
+                                                   request)));
+    (void)conn;
+  });
+  const RequestOutcome outcome =
+      run_request(units, local_options(), client_options(/*max_attempts=*/2));
+  daemon.stop();
+
+  EXPECT_FALSE(outcome.via_service);
+  EXPECT_EQ(outcome.streamed_units, 2u);  // a.c then b.c, one per stream
+  EXPECT_EQ(outcome.reconnects, 2);
+  // The merged report is still byte-identical to a pure-local run.
+  EXPECT_EQ(driver::format_batch_report(outcome.result), local);
+  const auto requests = daemon.requests();
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[1], (std::vector<std::string>{"b.c", "c.c"}));
+}
+
+TEST_F(StreamClientTest, StreamedUnitsAreJournaledIntoTheCheckpoint) {
+  const std::vector<driver::AnalysisUnit> units = three_units();
+  FakeDaemon daemon(socket_path());
+  daemon.serve([](int fd, int, const ServiceRequest& request) {
+    stream_everything(fd, request);
+  });
+
+  driver::BatchOptions batch = local_options();
+  batch.checkpoint_dir = (fs::path(dir_) / "ckpt").string();
+  const RequestOutcome outcome = run_request(units, batch, client_options());
+  daemon.stop();
+  ASSERT_TRUE(outcome.via_service) << outcome.error;
+
+  // Every streamed unit landed in the PSASNAP1 checkpoint as it arrived: a
+  // local --resume run serves all three from disk without running anything.
+  batch.resume = true;
+  int calls = 0;
+  const driver::UnitRunner tripwire =
+      [&calls](const driver::AnalysisUnit& unit,
+               const analysis::Options& engine) {
+        ++calls;
+        return driver::run_unit_serialized(unit, engine, false);
+      };
+  const driver::BatchResult resumed = driver::run_batch(units, batch, tripwire);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(resumed.from_checkpoint_count(), units.size());
+  for (const driver::UnitReport& u : resumed.units) {
+    EXPECT_EQ(u.outcome.kind, driver::UnitOutcomeKind::kOk);
+    ASSERT_TRUE(u.payload.has_value());
+  }
+}
+
+TEST_F(StreamClientTest, ClientPreservesTheCallersSigpipeDisposition) {
+  // Regression for the library-entry contract: run_request must not install
+  // a process-wide SIGPIPE handler (MSG_NOSIGNAL does the real work). A
+  // host application's own disposition survives a full retry-and-fallback
+  // cycle against a peer that hangs up mid-request.
+  struct sigaction custom{};
+  custom.sa_handler = [](int) {};
+  struct sigaction previous{};
+  ASSERT_EQ(::sigaction(SIGPIPE, &custom, &previous), 0);
+
+  FakeDaemon daemon(socket_path());
+  daemon.serve([](int fd, int, const ServiceRequest&) {
+    // Accept the request, answer nothing, hang up: the client's next write
+    // or read hits a dead peer.
+    (void)fd;
+  });
+  const RequestOutcome outcome =
+      run_request({inline_unit("a.c", kSourceA)}, local_options(),
+                  client_options(/*max_attempts=*/2));
+  daemon.stop();
+
+  struct sigaction after{};
+  ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &after), 0);
+  EXPECT_EQ(after.sa_handler, custom.sa_handler)
+      << "run_request clobbered the process SIGPIPE disposition";
+  ASSERT_EQ(::sigaction(SIGPIPE, &previous, nullptr), 0);
+
+  // And the work still got done, locally.
+  ASSERT_EQ(outcome.result.units.size(), 1u);
+  EXPECT_EQ(outcome.result.units[0].outcome.kind,
+            driver::UnitOutcomeKind::kOk);
+}
+
+#else  // !PSA_TEST_HAS_UNIX_SOCKETS
+
+TEST(StreamClientTest, SkippedWithoutUnixSockets) { GTEST_SKIP(); }
+
+#endif
+
+}  // namespace
+}  // namespace psa::service
