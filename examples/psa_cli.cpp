@@ -96,6 +96,7 @@
 #include "driver/supervisor.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
+#include "support/metrics.hpp"
 
 namespace {
 
@@ -110,6 +111,7 @@ struct CliOptions {
   bool annotate = false;
   bool check = false;
   bool help = false;
+  bool list_counters = false;
   bool profile = false;
   std::string metrics_path;
   std::string sarif_path;
@@ -157,6 +159,9 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
     } else if (arg == "--help") {
       out.help = true;
       return true;  // short-circuits: other arguments are not validated
+    } else if (arg == "--list-counters") {
+      out.list_counters = true;
+      return true;  // short-circuits like --help: needs no input files
     } else if (arg == "--profile") {
       out.profile = true;
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -279,6 +284,7 @@ constexpr const char* kHelpText =
     "       serve:  [--serve=SOCK] [--connect=SOCK] [--cache-dir=DIR]\n"
     "               [--cache-max-bytes=N] [--cache-max-age=SECONDS]\n"
     "       --help  print this reference and exit\n"
+    "       --list-counters  print every metrics counter name and exit\n"
     "exit codes: 0 ok, 1 findings, 2 bad usage, 3 some units failed,\n"
     "            4 all units failed (partial units count as analyzed)\n";
 
@@ -550,6 +556,15 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, cli)) return usage();
   if (cli.help) {
     std::cout << kHelpText;
+    return driver::kExitOk;
+  }
+  if (cli.list_counters) {
+    // One stable name per line: the machine-readable counter vocabulary.
+    // scripts/doc_drift.sh diffs this against docs/OBSERVABILITY.md.
+    for (std::size_t i = 0; i < support::kCounterCount; ++i) {
+      std::cout << support::counter_name(static_cast<support::Counter>(i))
+                << '\n';
+    }
     return driver::kExitOk;
   }
 

@@ -35,6 +35,7 @@ BENCHES=(
   governor_overhead
   checker_cost
   cache_warm
+  incremental
   service_stream
   ipa_summary
 )

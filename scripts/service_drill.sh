@@ -16,7 +16,11 @@
 #   6. SIGTERM — the daemon drains gracefully: exit 0, socket unlinked,
 #      journal sealed, no .tmp stragglers in the cache directory;
 #   7. --cache-max-bytes bounds the cache — the post-batch sweep evicts down
-#      to the cap, journaling every decision, without changing the report.
+#      to the cap, journaling every decision, without changing the report;
+#   8. the function-granular tier (docs/CACHING.md) through the daemon — a
+#      one-line edit in a four-function chain is served from per-function
+#      entries (new entries prove the promotion), and a SIGKILL racing the
+#      next request still yields the byte-identical report.
 #
 #   $ scripts/service_drill.sh [BUILD_DIR]     # default: build
 #
@@ -195,5 +199,70 @@ cmp -s "$WORK/swept.txt" "$WORK/local.txt" ||
   fail "entries left above the byte cap"
 grep -q "sweep end" "$CACHE/sweep.journal" ||
   fail "sweep journal missing or unsealed"
+
+echo "== scenario 8: warm per-function cache via daemon survives a SIGKILL"
+cat >"$WORK/chain.c" <<'EOF'
+struct node { struct node *next; int v; };
+void f3(struct node *a) {
+  a->next = NULL;
+}
+void f2(struct node *a) {
+  f3(a);
+  a->next = NULL;
+}
+void f1(struct node *a) {
+  f2(a);
+}
+void main() {
+  struct node *p;
+  p = malloc(sizeof(struct node));
+  f1(p);
+  p->next = NULL;
+}
+EOF
+status=0
+$CLI "$WORK/chain.c" --isolate --check >"$WORK/chain_local.txt" 2>/dev/null ||
+  status=$?
+[ "$status" -eq 1 ] || fail "chain reference exited $status, want 1"
+start_daemon
+status=0
+$CLI "$WORK/chain.c" --check --connect="$SOCK" >"$WORK/chain_cold.txt" \
+  2>/dev/null || status=$?
+[ "$status" -eq 1 ] || fail "chain cold run exited $status, want 1"
+cmp -s "$WORK/chain_cold.txt" "$WORK/chain_local.txt" ||
+  fail "chain cold daemon report differs from local report"
+entries=$(find "$CACHE" -maxdepth 1 -name '*.entry' | wc -l)
+# One-line in-place edit of the leaf (same line count): the next daemon run
+# misses the unit key, but the function tier recomputes only f3 and serves
+# the rest (docs/CACHING.md), then promotes the payload to the new unit key
+# — visible as extra entries on disk.
+sed '3s/.*/  a->next = a;/' "$WORK/chain.c" >"$WORK/chain.c.tmp" &&
+  mv "$WORK/chain.c.tmp" "$WORK/chain.c"
+status=0
+$CLI "$WORK/chain.c" --isolate --check >"$WORK/chain_edit_local.txt" \
+  2>/dev/null || status=$?
+[ "$status" -eq 1 ] || fail "edited chain reference exited $status, want 1"
+status=0
+$CLI "$WORK/chain.c" --check --connect="$SOCK" >"$WORK/chain_edit.txt" \
+  2>/dev/null || status=$?
+[ "$status" -eq 1 ] || fail "edited chain run exited $status, want 1"
+cmp -s "$WORK/chain_edit.txt" "$WORK/chain_edit_local.txt" ||
+  fail "warm function-tier daemon report differs from local report"
+after=$(find "$CACHE" -maxdepth 1 -name '*.entry' | wc -l)
+[ "$after" -gt "$entries" ] ||
+  fail "edited run stored no new entries (want promotion + a new summary)"
+# SIGKILL the daemon racing one more request over the warm tier: whether the
+# kill lands before, during or after the reply, the client must fall back
+# and reproduce the identical report.
+( sleep 0.05 && kill -9 "$DAEMON_PID" ) 2>/dev/null &
+KILLER=$!
+status=0
+$CLI "$WORK/chain.c" --check --connect="$SOCK" >"$WORK/chain_killed.txt" \
+  2>/dev/null || status=$?
+wait "$KILLER" 2>/dev/null || true
+[ "$status" -eq 1 ] || fail "post-SIGKILL chain run exited $status, want 1"
+cmp -s "$WORK/chain_killed.txt" "$WORK/chain_edit_local.txt" ||
+  fail "post-SIGKILL report differs from local report"
+stop_daemon_hard
 
 echo "service_drill: all scenarios passed"

@@ -137,8 +137,11 @@ std::string ResultCache::entry_path(const CacheKey& key) const {
   return (fs::path(dir_) / (key.hex() + std::string(kEntrySuffix))).string();
 }
 
-ResultCache::Lookup ResultCache::lookup(const CacheKey& key,
-                                        LookupFault fault) {
+ResultCache::Lookup ResultCache::lookup(const CacheKey& key, LookupFault fault,
+                                        EntryTier tier) {
+  const support::Counter miss_counter = tier == EntryTier::kUnit
+                                            ? support::Counter::kCacheMisses
+                                            : support::Counter::kFuncCacheMisses;
   Lookup result;
   const std::string path = entry_path(key);
   if (fault == LookupFault::kEvictRace) {
@@ -152,7 +155,7 @@ ResultCache::Lookup ResultCache::lookup(const CacheKey& key,
   std::string bytes;
   if (!read_file(path, bytes)) {
     result.status = Lookup::Status::kMiss;
-    PSA_COUNT(support::Counter::kCacheMisses);
+    PSA_COUNT(miss_counter);
     return result;
   }
   std::string diagnostic;
@@ -160,7 +163,7 @@ ResultCache::Lookup ResultCache::lookup(const CacheKey& key,
     quarantine(path, diagnostic);
     result.status = Lookup::Status::kEvicted;
     result.diagnostic = diagnostic;
-    PSA_COUNT(support::Counter::kCacheMisses);
+    PSA_COUNT(miss_counter);
     return result;
   }
   // Touch: sweep() evicts least-recently-USED, so a hit refreshes the
@@ -169,12 +172,16 @@ ResultCache::Lookup ResultCache::lookup(const CacheKey& key,
   fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   result.status = Lookup::Status::kHit;
   result.bytes = std::move(bytes);
-  PSA_COUNT(support::Counter::kCacheHits);
+  PSA_COUNT(tier == EntryTier::kUnit ? support::Counter::kCacheHits
+                                     : support::Counter::kFuncCacheHits);
   return result;
 }
 
 bool ResultCache::store(const CacheKey& key, std::string_view bytes,
-                        StoreFault fault) {
+                        StoreFault fault, EntryTier tier) {
+  const support::Counter store_counter = tier == EntryTier::kUnit
+                                             ? support::Counter::kCacheStores
+                                             : support::Counter::kFuncCacheStores;
   const std::string final_path = entry_path(key);
 
   if (fault == StoreFault::kTear) {
@@ -184,7 +191,7 @@ bool ResultCache::store(const CacheKey& key, std::string_view bytes,
     std::ofstream out(final_path, std::ios::binary | std::ios::trunc);
     if (!out) return false;
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
-    PSA_COUNT(support::Counter::kCacheStores);
+    PSA_COUNT(store_counter);
     return true;
   }
 
@@ -224,7 +231,7 @@ bool ResultCache::store(const CacheKey& key, std::string_view bytes,
     }
   }
 
-  PSA_COUNT(support::Counter::kCacheStores);
+  PSA_COUNT(store_counter);
   return true;
 }
 

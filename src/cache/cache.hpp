@@ -71,6 +71,13 @@ enum class StoreFault : std::uint8_t { kNone, kTear, kFlip };
 /// clean miss.
 enum class LookupFault : std::uint8_t { kNone, kEvictRace };
 
+/// Which metrics vocabulary a probe counts into. Entries are otherwise
+/// identical (same directory, same envelope validation, same sweep policy):
+/// kUnit probes count cache_hits/misses/stores, kFunction probes count
+/// func_cache_hits/misses/stores — so unit-level hit-rate dashboards are
+/// not diluted by the (much chattier) function-granular tier.
+enum class EntryTier : std::uint8_t { kUnit, kFunction };
+
 class ResultCache {
  public:
   /// Open (and create) `dir`. Throws std::runtime_error when the directory
@@ -91,18 +98,21 @@ class ResultCache {
     std::string diagnostic;  // kEvicted: what was wrong with the entry
   };
 
-  /// Envelope-validated entry bytes for `key`. Counts cache_hits on kHit and
-  /// cache_misses on kMiss/kEvicted (an evicted entry IS a miss — the caller
-  /// recomputes); eviction additionally counts cache_evictions. A hit
-  /// touches the entry's mtime (best effort) so sweep() evicts by recency of
-  /// use. `fault` injects the sweep-race window (LookupFault).
+  /// Envelope-validated entry bytes for `key`. Counts hits on kHit and
+  /// misses on kMiss/kEvicted (an evicted entry IS a miss — the caller
+  /// recomputes) in the `tier`'s vocabulary; eviction additionally counts
+  /// cache_evictions. A hit touches the entry's mtime (best effort) so
+  /// sweep() evicts by recency of use. `fault` injects the sweep-race window
+  /// (LookupFault).
   [[nodiscard]] Lookup lookup(const CacheKey& key,
-                              LookupFault fault = LookupFault::kNone);
+                              LookupFault fault = LookupFault::kNone,
+                              EntryTier tier = EntryTier::kUnit);
 
   /// Atomically store entry bytes (write .tmp, rename). Returns false on I/O
-  /// failure; never throws. Counts cache_stores on success.
+  /// failure; never throws. Counts the `tier`'s store counter on success.
   bool store(const CacheKey& key, std::string_view bytes,
-             StoreFault fault = StoreFault::kNone);
+             StoreFault fault = StoreFault::kNone,
+             EntryTier tier = EntryTier::kUnit);
 
   /// Remove an entry the *caller* proved invalid (deep deserialization
   /// failure after an envelope-valid lookup). Quarantines and counts

@@ -19,10 +19,18 @@
 // format computes different keys and never trusts a stale entry — and even a
 // same-key entry from a skewed build fails its deep validation and is
 // evicted (see cache.hpp).
+//
+// Beneath the unit key sits the function-granular tier (docs/CACHING.md):
+// per-function keys that replace the unit key's "every sibling CFG" clause
+// with the function's *direct callees' summary content hashes*. An edit then
+// invalidates exactly the functions whose observable inputs changed — a
+// callee edit that leaves the callee's summary bytes identical stops the
+// cascade at the callee.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
 
@@ -44,5 +52,36 @@ struct CacheKey {
 [[nodiscard]] CacheKey cache_key(const analysis::ProgramAnalysis& program,
                                  const analysis::Options& options, bool check,
                                  bool salvage);
+
+/// One direct callee's contribution to a function-tier key: its name and the
+/// content hash of its FunctionSummary (ipa::summary_hash). `has_summary` is
+/// false for callees with no summary at all (externs, helpers that failed to
+/// lower) — their call sites take the havoc fallback, and an extern later
+/// gaining a body must change the key.
+struct CalleeDep {
+  std::string name;
+  bool has_summary = false;
+  std::uint64_t summary_hash = 0;
+
+  friend bool operator==(const CalleeDep&, const CalleeDep&) = default;
+};
+
+/// Key of one function's *summary* cache entry: the function's own lowered
+/// CFG, the struct table, the engine options and salvage mode, the wire
+/// versions, and its direct-callee summary hashes (`deps`, sorted by name by
+/// the caller). The checker switch is deliberately absent — summaries carry
+/// no findings.
+[[nodiscard]] CacheKey function_summary_key(
+    const analysis::ProgramAnalysis& program, const analysis::FunctionCfg& fn,
+    const analysis::Options& options, bool salvage,
+    const std::vector<CalleeDep>& deps);
+
+/// Key of the target function's *result* entry (the full UnitPayload bytes):
+/// like the unit key, but the sibling-CFG clause is replaced by the target's
+/// direct-callee summary hashes. Sibling edits that do not change any callee
+/// summary leave this key — and the cached report — valid.
+[[nodiscard]] CacheKey function_result_key(
+    const analysis::ProgramAnalysis& program, const analysis::Options& options,
+    bool check, bool salvage, const std::vector<CalleeDep>& deps);
 
 }  // namespace psa::cache

@@ -20,6 +20,8 @@
 #include "corpus/corpus.hpp"
 #include "driver/checkpoint.hpp"
 #include "driver/fault.hpp"
+#include "driver/incremental.hpp"
+#include "ipa/summarize.hpp"
 #include "support/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -186,6 +188,10 @@ std::string run_unit_serialized(const AnalysisUnit& unit,
     // the lowered CFG + options, so an edited unit misses while its
     // untouched neighbors hit.
     cache::CacheKey key;
+    cache::CacheKey func_key;
+    bool func_key_valid = false;
+    ipa::SummaryTable summaries;
+    bool inject_summaries = false;
     if (cache != nullptr) {
       key = cache::cache_key(program, engine, check, salvage);
       bool self_heal = false;
@@ -217,9 +223,62 @@ std::string run_unit_serialized(const AnalysisUnit& unit,
         }
       }
       if (self_heal) PSA_COUNT(support::Counter::kCacheSelfHeals);
+
+      // Unit miss: the function-granular tier (docs/CACHING.md). First
+      // resolve the summaries the target's call sites demand — each one
+      // loaded from its own cache entry when the callee (and its callees'
+      // summary hashes) are unchanged, recomputed otherwise. The resolved
+      // hashes then key the per-function result entry, whose bytes are a
+      // full UnitPayload: a sibling edit that changed no callee summary
+      // still serves the report from cache, and an edited function is the
+      // only fixpoint that re-runs.
+      if (engine.enable_summaries) {
+        const std::vector<support::Symbol> roots = demand_roots(program.cfg);
+        if (!roots.empty()) {
+          CachedSummaries reuse(*cache, program, engine, salvage);
+          PSA_PHASE_TIMER(ipa_timer, support::Counter::kPhaseIpaWallNs,
+                          support::Counter::kPhaseIpaCpuNs);
+          summaries = ipa::compute_summaries(program, engine, &reuse, &roots);
+        }
+        // Inject even when empty (no call sites): analyze_program would
+        // otherwise recompute every sibling's summary the target never uses.
+        inject_summaries = true;
+      }
+      func_key = cache::function_result_key(
+          program, engine, check, salvage,
+          callee_deps(program.cfg, program.interner(), summaries));
+      func_key_valid = true;
+      bool func_self_heal = false;
+      {
+        PSA_PHASE_TIMER(lookup_timer, support::Counter::kPhaseCacheLookupWallNs,
+                        support::Counter::kPhaseCacheLookupCpuNs);
+        cache::ResultCache::Lookup found = cache->lookup(
+            func_key, cache::LookupFault::kNone, cache::EntryTier::kFunction);
+        if (found.status == cache::ResultCache::Lookup::Status::kHit) {
+          try {
+            UnitPayload cached = deserialize_unit_payload(found.bytes);
+            cached.unit_name = unit.name;
+            cached.function = unit.function;
+            cached.metrics = unit_metrics.delta();
+            // Promote to the unit fast path: the next unedited run of this
+            // unit hits the unit entry without touching the function tier.
+            (void)cache->store(key, found.bytes, store_fault_for(unit));
+            return serialize_unit_payload(cached, *cached.interner);
+          } catch (const rsg::SnapshotError& e) {
+            cache->evict(func_key, e.what());
+            func_self_heal = true;
+          }
+        } else if (found.status ==
+                   cache::ResultCache::Lookup::Status::kEvicted) {
+          func_self_heal = true;
+        }
+      }
+      if (func_self_heal) PSA_COUNT(support::Counter::kCacheSelfHeals);
     }
 
-    payload.result = analysis::analyze_program(program, engine);
+    analysis::Options engine_run = engine;
+    if (inject_summaries) engine_run.summaries = &summaries;
+    payload.result = analysis::analyze_program(program, engine_run);
     payload.exit_node = program.cfg.exit();
     payload.skipped_decls =
         static_cast<std::uint32_t>(program.salvage.skipped_decls);
@@ -239,7 +298,13 @@ std::string run_unit_serialized(const AnalysisUnit& unit,
     payload.metrics = unit_metrics.delta();
     std::string bytes = serialize_unit_payload(payload, program.interner());
     if (cache != nullptr && cacheable(payload, engine)) {
-      // Store failure (disk full, permissions) degrades to "no cache".
+      // Store failure (disk full, permissions) degrades to "no cache". The
+      // same bytes land under both keys: the unit entry is the fast path,
+      // the function-tier result entry survives sibling edits.
+      if (func_key_valid) {
+        (void)cache->store(func_key, bytes, cache::StoreFault::kNone,
+                           cache::EntryTier::kFunction);
+      }
       (void)cache->store(key, bytes, store_fault_for(unit));
     }
     return bytes;

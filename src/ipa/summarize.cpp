@@ -261,6 +261,13 @@ FunctionSummary summarize_one(const ProgramAnalysis& program,
 
 SummaryTable compute_summaries(const ProgramAnalysis& program,
                                const analysis::Options& options) {
+  return compute_summaries(program, options, nullptr, nullptr);
+}
+
+SummaryTable compute_summaries(const ProgramAnalysis& program,
+                               const analysis::Options& options,
+                               SummaryReuse* reuse,
+                               const std::vector<Symbol>* roots) {
   std::vector<CallGraphNode> nodes;
   nodes.reserve(program.unit_cfgs.size());
   for (const FunctionCfg& fc : program.unit_cfgs) {
@@ -268,14 +275,55 @@ SummaryTable compute_summaries(const ProgramAnalysis& program,
   }
   const CallGraph cg(nodes);
 
+  // Demand filter: with explicit roots, only functions transitively
+  // reachable from them can ever have their summary consulted — either
+  // directly by the target's kCall transfers or indirectly while computing
+  // a demanded caller's summary. Everything else is skipped outright.
+  std::vector<bool> demanded(program.unit_cfgs.size(), roots == nullptr);
+  if (roots != nullptr) {
+    std::vector<std::size_t> work;
+    for (const Symbol root : *roots) {
+      for (std::size_t i = 0; i < program.unit_cfgs.size(); ++i) {
+        if (program.unit_cfgs[i].name == root && !demanded[i]) {
+          demanded[i] = true;
+          work.push_back(i);
+        }
+      }
+    }
+    while (!work.empty()) {
+      const std::size_t caller = work.back();
+      work.pop_back();
+      for (const std::size_t callee : cg.edges()[caller]) {
+        if (!demanded[callee]) {
+          demanded[callee] = true;
+          work.push_back(callee);
+        }
+      }
+    }
+  }
+  const auto scc_demanded = [&](const std::vector<std::size_t>& scc) {
+    for (const std::size_t i : scc) {
+      if (demanded[i]) return true;
+    }
+    return false;
+  };
+
   SummaryTable table;
   for (const auto& scc : cg.sccs()) {
+    if (!scc_demanded(scc)) continue;
     if (!cg.recursive(scc)) {
       const FunctionCfg& fc = program.unit_cfgs[scc.front()];
       const lang::FunctionInfo* info = program.sema.find(fc.name);
       if (info == nullptr) continue;
+      if (reuse != nullptr) {
+        if (std::optional<FunctionSummary> cached = reuse->lookup(fc, table)) {
+          table[fc.name] = std::move(*cached);
+          continue;
+        }
+      }
       FunctionSummary s = summarize_one(program, fc, *info, options, table);
       if (s.analyzed) PSA_COUNT(support::Counter::kSummaryComputed);
+      if (reuse != nullptr) reuse->store(fc, table, s);
       table[fc.name] = std::move(s);
       continue;
     }

@@ -9,12 +9,45 @@
 // Options::summary_visit_budget; a run that fails to converge — or an SCC
 // whose iteration cap trips — leaves `analyzed == false`, and the kCall
 // transfer havoc-falls-back at those sites.
+//
+// The incremental cache tier (docs/CACHING.md) plugs in through
+// SummaryReuse: because SCCs are processed callee-first, a reuse provider is
+// always offered a function *after* its direct callees' summaries are final
+// in the table — exactly the information a content-addressed per-function
+// key needs. Recursive SCCs are never offered for reuse: their summaries are
+// a property of the whole SCC's Kleene fixpoint, so the SCC is the recompute
+// unit and its member entries are not cached.
 #pragma once
+
+#include <optional>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "ipa/summary.hpp"
 
 namespace psa::ipa {
+
+/// Cache hook for per-function summary reuse. Implemented by the driver's
+/// incremental layer (driver/incremental.hpp); compute_summaries only
+/// guarantees the call discipline documented above.
+class SummaryReuse {
+ public:
+  virtual ~SummaryReuse() = default;
+
+  /// Offered before `fn`'s summary fixpoint runs; `table` already holds the
+  /// final summaries of every function processed so far (in particular all
+  /// of `fn`'s direct callees outside its SCC). Returning a summary skips
+  /// the computation entirely.
+  [[nodiscard]] virtual std::optional<FunctionSummary> lookup(
+      const analysis::FunctionCfg& fn, const SummaryTable& table) = 0;
+
+  /// Offered after `fn`'s summary was computed (only for functions that were
+  /// eligible for lookup). `table` is the same callee context the lookup
+  /// saw — NOT yet including `fn` itself.
+  virtual void store(const analysis::FunctionCfg& fn,
+                     const SummaryTable& table,
+                     const FunctionSummary& summary) = 0;
+};
 
 /// Compute the summary table for every function in `program.unit_cfgs`.
 /// `options` provides the analysis level, budgets and IPA knobs; its
@@ -23,5 +56,16 @@ namespace psa::ipa {
 [[nodiscard]] SummaryTable compute_summaries(
     const analysis::ProgramAnalysis& program,
     const analysis::Options& options);
+
+/// Incremental form: same bottom-up pass, but each non-recursive function is
+/// first offered to `reuse` (either argument may be null — both null is the
+/// plain overload). When `roots` is non-null, only functions transitively
+/// reachable from those callee names are processed at all — the demand set
+/// of a target whose direct callees are `roots`; everything else is skipped
+/// (its summary could never be consulted), keeping the probe count equal to
+/// the number of summaries the analysis can actually use.
+[[nodiscard]] SummaryTable compute_summaries(
+    const analysis::ProgramAnalysis& program, const analysis::Options& options,
+    SummaryReuse* reuse, const std::vector<Symbol>* roots);
 
 }  // namespace psa::ipa

@@ -1,0 +1,48 @@
+// Stable serialization and content hashing for FunctionSummary values
+// (docs/CACHING.md).
+//
+// The function-granular cache tier needs two things from a summary beyond
+// what summary.hpp provides:
+//
+//   * a wire form, so a computed summary can be stored as its own cache
+//     entry (PSASNAP1-enveloped like every other on-disk artifact) and
+//     loaded back on the next run without re-running the callee's fixpoint;
+//   * a content hash, so a *caller's* cache key can say "I was computed
+//     against callees whose observable behavior hashed to H". This is the
+//     cascade cutoff of the incremental design: an edit that changes a
+//     callee's body but not its summary bytes re-runs only the callee —
+//     every caller's key is unchanged and its entry still hits.
+//
+// Both are spelling-based: symbols are written as their interned spellings
+// (symbol ids are an artifact of interning order and differ across edited
+// sources), while StructIds stay raw — every cache key folds the full struct
+// table, so two runs that agree on the key prefix agree on struct numbering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ipa/summary.hpp"
+
+namespace psa::ipa {
+
+/// PSASNAP1-enveloped wire form of one summary. Deterministic: two equal
+/// summaries over the same interner serialize identically.
+[[nodiscard]] std::string serialize_summary(const FunctionSummary& summary,
+                                            const support::Interner& interner);
+
+/// Parse an enveloped summary back. Symbols are resolved against `interner`
+/// by spelling; a spelling the current unit does not intern (the function or
+/// a parameter was renamed away) throws rsg::SnapshotError like any other
+/// payload skew — the caller treats the entry as invalid and recomputes.
+[[nodiscard]] FunctionSummary deserialize_summary(
+    std::string_view bytes, const support::Interner& interner);
+
+/// 64-bit FNV-1a over the summary's canonical (un-enveloped) byte form.
+/// Equal summaries hash equal; the cache keys treat this as the summary's
+/// identity, so "hash unchanged" is what stops an invalidation cascade.
+[[nodiscard]] std::uint64_t summary_hash(const FunctionSummary& summary,
+                                         const support::Interner& interner);
+
+}  // namespace psa::ipa

@@ -59,9 +59,10 @@ class SnapshotError : public std::runtime_error {
 /// taint (one flag byte per node record, one per graph record); v3 grew the
 /// embedded metrics vocabulary with the interprocedural-summary counters and
 /// the phase_ipa timers (the metrics array is length-checked against
-/// kCounterCount, so the growth is a wire-format change). Older snapshots
-/// are rejected with a version mismatch rather than misread.
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// kCounterCount, so the growth is a wire-format change); v4 grew it again
+/// with the function-granular cache counters (func_cache_*, summary_reuse).
+/// Older snapshots are rejected with a version mismatch rather than misread.
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 // --- Byte-level primitives ---------------------------------------------------
 

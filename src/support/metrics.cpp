@@ -55,6 +55,10 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kCacheSweepRuns: return "cache_sweep_runs";
     case Counter::kCacheSweepEvictions: return "cache_sweep_evictions";
     case Counter::kCacheSweepBytes: return "cache_sweep_bytes";
+    case Counter::kFuncCacheHits: return "func_cache_hits";
+    case Counter::kFuncCacheMisses: return "func_cache_misses";
+    case Counter::kFuncCacheStores: return "func_cache_stores";
+    case Counter::kSummaryReuse: return "summary_reuse";
     case Counter::kPhaseParseWallNs: return "phase_parse_wall_ns";
     case Counter::kPhaseParseCpuNs: return "phase_parse_cpu_ns";
     case Counter::kPhaseCfgWallNs: return "phase_cfg_wall_ns";

@@ -114,6 +114,12 @@ enum class Counter : std::uint16_t {
   kCacheSweepEvictions,  // valid entries evicted by the size/age policy
   kCacheSweepBytes,      // bytes reclaimed by policy evictions
 
+  // Function-granular incremental tier (docs/CACHING.md).
+  kFuncCacheHits,    // per-function result entries served from the cache
+  kFuncCacheMisses,  // per-function probes that fell through to a fixpoint
+  kFuncCacheStores,  // per-function entries written (results + summaries)
+  kSummaryReuse,     // callee summaries loaded from cache, not recomputed
+
   // Phase timers, nanoseconds (wall = steady clock, cpu = process CPU).
   // Everything from kPhaseParseWallNs on is a timer; see is_timer().
   kPhaseParseWallNs,

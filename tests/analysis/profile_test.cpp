@@ -185,7 +185,9 @@ TEST(ProfileTest, MetricsJsonRoundTripsThroughTheParser) {
         "cache_self_heals", "service_requests", "service_busy_rejections",
         "service_retries", "stream_frames", "reconnects", "resumed_units",
         "cache_sweep_runs", "cache_sweep_evictions", "cache_sweep_bytes",
-        "phase_cache_lookup_wall_ns", "phase_request_wall_ns"}) {
+        "func_cache_hits", "func_cache_misses", "func_cache_stores",
+        "summary_reuse", "phase_cache_lookup_wall_ns",
+        "phase_request_wall_ns"}) {
     EXPECT_NE(ops->find(key), nullptr) << key;
   }
   // The interprocedural vocabulary (docs/OBSERVABILITY.md): summary

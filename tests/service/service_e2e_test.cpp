@@ -52,6 +52,48 @@ constexpr const char* kCleanSource =
     "  p = NULL;\n"
     "}\n";
 
+// A four-function call chain main -> f1 -> f2 -> f3 whose leaf line is the
+// edit target for the function-granular cache drill (docs/CACHING.md). Both
+// variants have the same line count — nothing shifts — and main leaks, so
+// every run exits 1 with one finding.
+constexpr const char* kChainSource =
+    "struct node { struct node *next; int v; };\n"
+    "void f3(struct node *a) {\n"
+    "  a->next = NULL;\n"
+    "}\n"
+    "void f2(struct node *a) {\n"
+    "  f3(a);\n"
+    "  a->next = NULL;\n"
+    "}\n"
+    "void f1(struct node *a) {\n"
+    "  f2(a);\n"
+    "}\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  f1(p);\n"
+    "  p->next = NULL;\n"
+    "}\n";
+
+constexpr const char* kChainEditedSource =
+    "struct node { struct node *next; int v; };\n"
+    "void f3(struct node *a) {\n"
+    "  a->next = a;\n"
+    "}\n"
+    "void f2(struct node *a) {\n"
+    "  f3(a);\n"
+    "  a->next = NULL;\n"
+    "}\n"
+    "void f1(struct node *a) {\n"
+    "  f2(a);\n"
+    "}\n"
+    "void main() {\n"
+    "  struct node *p;\n"
+    "  p = malloc(sizeof(struct node));\n"
+    "  f1(p);\n"
+    "  p->next = NULL;\n"
+    "}\n";
+
 struct RunResult {
   int exit_code = -1;
   std::string stdout_text;
@@ -162,6 +204,16 @@ class ServiceE2eTest : public ::testing::Test {
 
   [[nodiscard]] std::string socket_path() const { return path_in("psa.sock"); }
   [[nodiscard]] std::string cache_dir() const { return path_in("cache"); }
+
+  /// Top-level `.entry` files in the daemon's cache directory — unit,
+  /// summary and result entries alike (docs/CACHING.md).
+  [[nodiscard]] std::size_t count_entries() const {
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(cache_dir())) {
+      if (e.path().extension() == ".entry") ++n;
+    }
+    return n;
+  }
 
   std::string dir_;
   pid_t daemon_pid_ = -1;
@@ -295,6 +347,57 @@ TEST_F(ServiceE2eTest, TwoConcurrentClientsBothGetTheExactReport) {
   const std::string journal =
       slurp((fs::path(cache_dir()) / "service.journal").string());
   EXPECT_EQ(journal.find("busy"), std::string::npos) << journal;
+}
+
+TEST_F(ServiceE2eTest, WarmFunctionTierSurvivesADaemonSigkillMidStream) {
+  // The PR 8 guarantee — a SIGKILLed daemon never changes the report — must
+  // survive the function-granular cache. Warm the per-function tier through
+  // the daemon with a one-line edit in a four-function chain (the daemon
+  // serves it from summary/result entries and promotes the payload to the
+  // new unit key), then race a SIGKILL against one more request. Whether the
+  // kill lands before, during or after the stream, the client's report must
+  // stay byte-identical to the daemon-less reference.
+  const std::string chain = write_file("chain.c", kChainSource);
+  const RunResult local = run_cli(chain + " --isolate --check", "");
+  ASSERT_EQ(local.exit_code, 1) << local.stdout_text;
+
+  start_daemon();
+  const RunResult cold = run_cli(
+      chain + " --check --connect=" + socket_path(), path_in("client.err"));
+  ASSERT_EQ(cold.exit_code, 1) << slurp(path_in("client.err"));
+  ASSERT_EQ(cold.stdout_text, local.stdout_text);
+  const std::size_t cold_entries = count_entries();
+  // The cold miss stores the unit entry plus per-function entries.
+  ASSERT_GT(cold_entries, 1u);
+
+  // Same line count, summary-preserving leaf edit: the daemon misses the
+  // unit key, re-runs exactly f3's fixpoint, and serves the rest from the
+  // function tier — the promotion and f3's new summary land as fresh
+  // entries on disk.
+  write_file("chain.c", kChainEditedSource);
+  const RunResult edited_local = run_cli(chain + " --isolate --check", "");
+  ASSERT_EQ(edited_local.exit_code, 1);
+  const RunResult edited = run_cli(
+      chain + " --check --connect=" + socket_path(), path_in("client2.err"));
+  EXPECT_EQ(edited.exit_code, 1) << slurp(path_in("client2.err"));
+  EXPECT_EQ(edited.stdout_text, edited_local.stdout_text);
+  EXPECT_GT(count_entries(), cold_entries)
+      << "edited run stored no new entries (want promotion + a new summary)";
+
+  // Race a SIGKILL against one more request over the warm tier.
+  std::thread killer([this] {
+    ::usleep(5000);
+    ::kill(daemon_pid_, SIGKILL);
+  });
+  const RunResult killed = run_cli(
+      chain + " --check --connect=" + socket_path(), path_in("client3.err"));
+  killer.join();
+  int status = 0;
+  ::waitpid(daemon_pid_, &status, 0);
+  daemon_pid_ = -1;
+  EXPECT_EQ(killed.exit_code, 1) << slurp(path_in("client3.err"));
+  EXPECT_EQ(killed.stdout_text, edited_local.stdout_text)
+      << slurp(path_in("client3.err"));
 }
 
 TEST_F(ServiceE2eTest, StaleSocketFileIsRecoveredOnStartup) {
