@@ -14,6 +14,8 @@
 //                      [--cache-dir=DIR] [--cache-max-bytes=N]
 //                      [--cache-max-age=SECONDS]
 //                      [--serve=SOCK] [--connect=SOCK]
+//                      [--fault-campaign=DIR] [--campaign-kinds=K1,K2,...]
+//                      [--campaign-max-ops=N] [--campaign-full-corpus]
 //                      [--help]
 //
 // Two modes share one exit-code contract (see below):
@@ -93,6 +95,7 @@
 #include "client/parallelism.hpp"
 #include "client/queries.hpp"
 #include "client/report.hpp"
+#include "driver/campaign.hpp"
 #include "driver/supervisor.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
@@ -128,6 +131,12 @@ struct CliOptions {
   bool corpus = false;
   bool corpus_dirty = false;
   bool strict_frontend = false;
+
+  // Fault-campaign mode (docs/RESILIENCE.md, "The I/O fault space").
+  std::string campaign_dir;
+  std::vector<std::string> campaign_kinds;
+  std::uint64_t campaign_max_ops = 0;
+  bool campaign_full_corpus = false;
 
   // Service mode (docs/SERVICE.md).
   std::string cache_dir;
@@ -229,6 +238,22 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
       out.batch = true;
       out.cache_max_age_s = std::stoull(value_of("--cache-max-age="));
       if (out.cache_max_age_s == 0) return false;
+    } else if (arg.rfind("--fault-campaign=", 0) == 0) {
+      out.campaign_dir = value_of("--fault-campaign=");
+      if (out.campaign_dir.empty()) return false;
+    } else if (arg.rfind("--campaign-kinds=", 0) == 0) {
+      out.campaign_kinds.clear();
+      std::istringstream kinds(value_of("--campaign-kinds="));
+      std::string kind;
+      while (std::getline(kinds, kind, ',')) {
+        if (!kind.empty()) out.campaign_kinds.push_back(kind);
+      }
+      if (out.campaign_kinds.empty()) return false;
+    } else if (arg.rfind("--campaign-max-ops=", 0) == 0) {
+      out.campaign_max_ops = std::stoull(value_of("--campaign-max-ops="));
+      if (out.campaign_max_ops == 0) return false;
+    } else if (arg == "--campaign-full-corpus") {
+      out.campaign_full_corpus = true;
     } else if (arg.rfind("--serve=", 0) == 0) {
       out.serve_socket = value_of("--serve=");
       if (out.serve_socket.empty()) return false;
@@ -241,6 +266,15 @@ bool parse_args(int argc, char** argv, CliOptions& out) try {
     } else {
       return false;
     }
+  }
+  if (!out.campaign_dir.empty()) {
+    // Campaign mode is exclusive: it generates its own corpus and re-execs
+    // this binary per scenario, so it takes no files and no other mode.
+    return out.files.empty() && !out.batch && out.serve_socket.empty();
+  }
+  if (!out.campaign_kinds.empty() || out.campaign_max_ops > 0 ||
+      out.campaign_full_corpus) {
+    return false;  // --campaign-* knobs require --fault-campaign
   }
   if (!out.serve_socket.empty()) {
     // Serve mode is exclusive: the daemon takes work over the socket, not
@@ -283,6 +317,8 @@ constexpr const char* kHelpText =
     "               [--cache-max-age=SECONDS]\n"
     "       serve:  [--serve=SOCK] [--connect=SOCK] [--cache-dir=DIR]\n"
     "               [--cache-max-bytes=N] [--cache-max-age=SECONDS]\n"
+    "       fault:  [--fault-campaign=DIR] [--campaign-kinds=K1,K2,...]\n"
+    "               [--campaign-max-ops=N] [--campaign-full-corpus]\n"
     "       --help  print this reference and exit\n"
     "       --list-counters  print every metrics counter name and exit\n"
     "exit codes: 0 ok, 1 findings, 2 bad usage, 3 some units failed,\n"
@@ -568,6 +604,18 @@ int main(int argc, char** argv) {
     return driver::kExitOk;
   }
 
+  if (!cli.campaign_dir.empty()) {
+    // Deterministic fault-space sweep (docs/RESILIENCE.md): re-exec this
+    // binary once per (durable op, fault kind) and check the soundness
+    // invariants machine-checkably.
+    driver::CampaignOptions campaign;
+    campaign.exe = argv[0];
+    campaign.workdir = cli.campaign_dir;
+    if (!cli.campaign_kinds.empty()) campaign.kinds = cli.campaign_kinds;
+    campaign.max_ops = cli.campaign_max_ops;
+    campaign.full_corpus = cli.campaign_full_corpus;
+    return driver::run_fault_campaign(campaign);
+  }
   if (!cli.serve_socket.empty()) return run_serve_mode(cli);
   if (cli.batch) return run_batch_mode(cli);
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "rsg/serialize.hpp"
+#include "support/io.hpp"
 #include "support/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -92,27 +93,29 @@ class SweepLock {
   int fd_ = -1;
 };
 
-/// One journaled sweep: decisions are appended (and flushed) BEFORE the
+/// One journaled sweep: decisions are appended (and made durable) BEFORE the
 /// entry is touched, so a sweeper killed mid-eviction leaves a journal that
-/// explains exactly what it was doing. Best effort — journal failures never
-/// fail the sweep.
+/// explains exactly what it was doing. record() reports whether the decision
+/// landed durably — an eviction whose record did not land must be skipped
+/// (journal-before-unlink), while bookkeeping records stay best-effort.
 class SweepJournal {
  public:
   explicit SweepJournal(const std::string& dir)
-      : out_((fs::path(dir) / "sweep.journal").string(),
-             std::ios::app | std::ios::binary) {
+      : path_((fs::path(dir) / "sweep.journal").string()) {
     std::error_code ec;
-    if (out_ && fs::file_size(fs::path(dir) / "sweep.journal", ec) == 0) {
-      out_ << "psa-sweep-journal v1\n" << std::flush;
+    if (!fs::exists(path_, ec) || fs::file_size(path_, ec) == 0) {
+      (void)record("psa-sweep-journal v1");
     }
   }
 
-  void record(const std::string& line) {
-    if (out_) out_ << line << '\n' << std::flush;
+  [[nodiscard]] bool record(const std::string& line) {
+    const auto result = support::io::checked_append(path_, line + '\n');
+    if (!result) PSA_COUNT(support::Counter::kIoDegradations);
+    return result.ok;
   }
 
  private:
-  std::ofstream out_;
+  std::string path_;
 };
 
 }  // namespace
@@ -198,20 +201,12 @@ bool ResultCache::store(const CacheKey& key, std::string_view bytes,
   const std::string tmp =
       final_path + ".tmp." + std::to_string(writer_id()) + "-" +
       std::to_string(tmp_seq_++);
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      return false;
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
+  if (const auto result = support::io::atomic_write(tmp, final_path, bytes);
+      !result) {
+    // Sound degradation: the entry simply does not exist, so the next lookup
+    // is a clean miss and recomputes. A torn tmp (short write) is swept by
+    // recover(); the final path is never touched on failure.
+    PSA_COUNT(support::Counter::kIoDegradations);
     return false;
   }
 
@@ -250,8 +245,12 @@ void ResultCache::quarantine(const std::string& path,
                std::to_string(writer_id()) + "-" +
                std::to_string(tmp_seq_++)))
           .string();
-  fs::rename(path, target, ec);
-  if (ec) fs::remove(path, ec);  // quarantine failed: removal still heals
+  if (!support::io::checked_rename(path, target)) {
+    // Quarantine failed: removal still heals the cache, at the cost of the
+    // post-mortem bytes — a degradation, not a corrupt entry left serveable.
+    PSA_COUNT(support::Counter::kIoDegradations);
+    fs::remove(path, ec);
+  }
   (void)reason;  // surfaced through Lookup::diagnostic / caller logs
   PSA_COUNT(support::Counter::kCacheEvictions);
 }
@@ -292,9 +291,9 @@ ResultCache::SweepReport ResultCache::sweep(const SweepLimits& limits) {
   report.ran = true;
   PSA_COUNT(support::Counter::kCacheSweepRuns);
   SweepJournal journal(dir_);
-  journal.record("sweep start writer=" + std::to_string(writer_id()) +
-                 " max_bytes=" + std::to_string(limits.max_bytes) +
-                 " max_age_ms=" + std::to_string(limits.max_age_ms));
+  (void)journal.record("sweep start writer=" + std::to_string(writer_id()) +
+                       " max_bytes=" + std::to_string(limits.max_bytes) +
+                       " max_age_ms=" + std::to_string(limits.max_age_ms));
 
   struct EntryInfo {
     std::string path;
@@ -328,15 +327,21 @@ ResultCache::SweepReport ResultCache::sweep(const SweepLimits& limits) {
     std::string diagnostic = "unreadable entry";
     if (!read_file(e.path, bytes) || !envelope_valid(bytes, diagnostic)) {
       // Suspicious under the sweep's feet: quarantine, never delete — the
-      // post-mortem trail matters more than the disk it occupies.
-      journal.record("quarantine " + e.name + " " + diagnostic);
+      // post-mortem trail matters more than the disk it occupies. The move
+      // preserves the bytes, so a lost journal record costs nothing.
+      (void)journal.record("quarantine " + e.name + " " + diagnostic);
       quarantine(e.path, diagnostic);
       ++report.quarantined;
       report.bytes_after -= std::min(report.bytes_after, e.bytes);
       return;
     }
-    journal.record("evict " + e.name + " " + std::to_string(e.bytes) +
-                   " reason=" + std::string(why));
+    if (!journal.record("evict " + e.name + " " + std::to_string(e.bytes) +
+                        " reason=" + std::string(why))) {
+      // Journal-before-unlink: the decision did not land durably, so the
+      // unlink must not happen — a valid entry outliving its byte budget is
+      // a degradation, an unexplained disappearance is a contract breach.
+      return;
+    }
     std::error_code remove_ec;
     if (fs::remove(e.path, remove_ec)) {
       ++report.evicted;
@@ -374,7 +379,8 @@ ResultCache::SweepReport ResultCache::sweep(const SweepLimits& limits) {
     }
   }
 
-  journal.record("sweep end scanned=" + std::to_string(report.scanned) +
+  (void)journal.record(
+      "sweep end scanned=" + std::to_string(report.scanned) +
                  " evicted=" + std::to_string(report.evicted) +
                  " quarantined=" + std::to_string(report.quarantined) +
                  " bytes=" + std::to_string(report.bytes_after));

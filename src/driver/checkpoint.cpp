@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "support/hash.hpp"
+#include "support/io.hpp"
+#include "support/metrics.hpp"
 
 namespace psa::driver {
 
@@ -141,35 +143,44 @@ Checkpoint::Checkpoint(std::string dir, bool resume) : dir_(std::move(dir)) {
       tail.seekg(-1, std::ios::end);
       char last = '\n';
       if (tail.get(last) && last != '\n') {
-        std::ofstream fix(journal_path_, std::ios::app);
-        fix << '\n' << std::flush;
+        (void)append_record("");
       }
     }
   }
 
-  std::ofstream journal(journal_path_, std::ios::app);
-  if (!journal) {
-    throw std::runtime_error("checkpoint: cannot write journal at " +
-                             journal_path_);
-  }
-  if (fs::file_size(fs::path(journal_path_)) == 0) {
-    journal << kJournalHeader << '\n' << std::flush;
+  std::error_code ec;
+  const auto size = fs::file_size(journal_path_, ec);
+  if (ec || size == 0) {
+    if (!append_record(std::string(kJournalHeader))) {
+      // The journal is unwritable (full disk, failing device, bad perms).
+      // Degrade instead of killing the batch: the run completes normally,
+      // every later record_* reports failure for the caller to count, and a
+      // --resume simply re-runs what the journal never learned about.
+      recovery_notes_.push_back(
+          "checkpoint: journal not writable at " + journal_path_ +
+          "; this run will not be resumable from it");
+    }
   }
 }
 
-void Checkpoint::record_attempt(const std::string& key, int attempt) {
-  std::ofstream journal(journal_path_, std::ios::app);
-  journal << "attempt " << key << ' ' << attempt << '\n' << std::flush;
+bool Checkpoint::append_record(const std::string& line) {
+  const auto result = support::io::checked_append(journal_path_, line + '\n');
+  if (!result) PSA_COUNT(support::Counter::kIoDegradations);
+  return result.ok;
 }
 
-void Checkpoint::record_outcome(const std::string& key,
+bool Checkpoint::record_attempt(const std::string& key, int attempt) {
+  return append_record("attempt " + key + ' ' + std::to_string(attempt));
+}
+
+bool Checkpoint::record_outcome(const std::string& key,
                                 const UnitOutcome& outcome) {
-  std::ofstream journal(journal_path_, std::ios::app);
-  journal << "outcome " << key << ' ' << to_string(outcome.kind) << ' '
-          << outcome.exit_code << ' ' << outcome.signal << ' '
-          << outcome.attempts << ' ' << (outcome.quarantined ? 1 : 0) << ' '
-          << escape_detail(outcome.detail) << '\n'
-          << std::flush;
+  std::ostringstream record;
+  record << "outcome " << key << ' ' << to_string(outcome.kind) << ' '
+         << outcome.exit_code << ' ' << outcome.signal << ' '
+         << outcome.attempts << ' ' << (outcome.quarantined ? 1 : 0) << ' '
+         << escape_detail(outcome.detail);
+  return append_record(record.str());
 }
 
 const UnitOutcome* Checkpoint::replayed_outcome(const std::string& key) const {

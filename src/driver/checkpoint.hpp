@@ -43,12 +43,18 @@ class Checkpoint {
  public:
   /// Open (and create) `dir`. With `resume` the existing journal is replayed
   /// into memory; otherwise the directory is cleared. Throws
-  /// std::runtime_error when the directory cannot be created or written.
+  /// std::runtime_error only when the directory itself cannot be created; a
+  /// journal that cannot be written is a degradation (noted in
+  /// recovery_notes(), every later record_* returns false) — the batch runs
+  /// to completion, it just is not resumable from this journal.
   Checkpoint(std::string dir, bool resume);
 
-  /// Journal writes. Each record is flushed immediately.
-  void record_attempt(const std::string& key, int attempt);
-  void record_outcome(const std::string& key, const UnitOutcome& outcome);
+  /// Journal writes, durable (O_APPEND + fsync via support/io). False means
+  /// the record is not known durable: the caller counts the degradation and
+  /// carries on — on a later --resume the unit re-runs, which is sound.
+  [[nodiscard]] bool record_attempt(const std::string& key, int attempt);
+  [[nodiscard]] bool record_outcome(const std::string& key,
+                                    const UnitOutcome& outcome);
 
   /// Replayed terminal outcome of `key` from a previous run, if any.
   [[nodiscard]] const UnitOutcome* replayed_outcome(
@@ -74,6 +80,10 @@ class Checkpoint {
   }
 
  private:
+  /// One durable journal append (adds the newline). Counts the degradation
+  /// on failure and reports it; never throws.
+  [[nodiscard]] bool append_record(const std::string& line);
+
   std::string dir_;
   std::string journal_path_;
   std::map<std::string, UnitOutcome> replayed_;

@@ -22,6 +22,7 @@
 #include "driver/fault.hpp"
 #include "driver/incremental.hpp"
 #include "ipa/summarize.hpp"
+#include "support/io.hpp"
 #include "support/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -362,19 +363,17 @@ class ScratchDir {
   std::string path_;
 };
 
-/// Write bytes to `tmp`, fsync-close, rename to `final`. The rename is the
-/// completion marker: a half-written snapshot never carries the .snap name.
+/// Write bytes to `tmp`, fsync, rename to `final`, fsync the directory (all
+/// via support::io::atomic_write — this used to claim "fsync-close" over a
+/// plain std::ofstream, which never fsyncs). The rename is the completion
+/// marker: a half-written snapshot never carries the .snap name.
 bool write_snapshot_file(const std::string& tmp, const std::string& final_path,
                          std::string_view bytes) {
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) return false;
+  const auto result = support::io::atomic_write(tmp, final_path, bytes);
+  if (!result) {
+    PSA_COUNT(support::Counter::kIoDegradations);
   }
-  std::error_code ec;
-  fs::rename(tmp, final_path, ec);
-  return !ec;
+  return result.ok;
 }
 
 std::optional<UnitPayload> load_snapshot_file(const std::string& path,
@@ -540,24 +539,40 @@ struct PendingAttempt {
 
 BatchResult run_batch(const std::vector<AnalysisUnit>& units,
                       const BatchOptions& options, const UnitRunner& runner) {
+  // Create the fork-shared io op counter before anything forks, so the
+  // supervisor and its workers number durable ops in one stream (the fault
+  // campaign's determinism rests on this).
+  support::io::ensure_initialized();
+
+  BatchResult result;
+
   // Open + recover the result cache before anything runs: stray tmp files
   // from a killed writer are swept and corrupt entries quarantined exactly
   // once, so every worker that follows sees a verified directory. An
-  // unusable cache dir throws — same batch-level setup contract as an
-  // unwritable checkpoint dir. The shared_ptr keeps the cache alive inside
-  // the runner closure (and across fork, where each worker gets its copy).
+  // unusable cache dir is a sound degradation, not a batch killer: the run
+  // proceeds uncached (correct, just slower) with the failure counted and
+  // noted. The shared_ptr keeps the cache alive inside the runner closure
+  // (and across fork, where each worker gets its copy).
   std::shared_ptr<cache::ResultCache> cache;
   if (!options.cache_dir.empty()) {
-    cache = std::make_shared<cache::ResultCache>(options.cache_dir);
-    const cache::ResultCache::RecoveryReport recovered = cache->recover();
-    std::ostringstream line;
-    line << "cache " << cache->dir() << ": " << recovered.entries_kept
-         << " entries";
-    if (!recovered.clean()) {
-      line << ", swept " << recovered.tmp_removed << " tmp, quarantined "
-           << recovered.quarantined;
+    try {
+      cache = std::make_shared<cache::ResultCache>(options.cache_dir);
+      const cache::ResultCache::RecoveryReport recovered = cache->recover();
+      std::ostringstream line;
+      line << "cache " << cache->dir() << ": " << recovered.entries_kept
+           << " entries";
+      if (!recovered.clean()) {
+        line << ", swept " << recovered.tmp_removed << " tmp, quarantined "
+             << recovered.quarantined;
+      }
+      log_line(options, line.str());
+    } catch (const std::exception& e) {
+      PSA_COUNT(support::Counter::kIoDegradations);
+      ++result.io_degradations;
+      log_line(options,
+               std::string("cache unavailable, running uncached: ") + e.what());
+      cache.reset();
     }
-    log_line(options, line.str());
   }
 
   const UnitRunner effective_runner =
@@ -569,7 +584,6 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
                                             cache.get());
                });
 
-  BatchResult result;
   result.units.resize(units.size());
   for (std::size_t i = 0; i < units.size(); ++i) {
     result.units[i].unit = units[i];
@@ -609,6 +623,26 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
       p.final_path = scratch->snapshot_path(keys[i]);
     }
     return p;
+  };
+
+  // Journal writes are checked: a record that does not land durably is a
+  // sound degradation — the unit merely re-runs on a later --resume — so it
+  // is counted and noted, never fatal and never silently dropped.
+  const auto journal_attempt = [&](std::size_t i, int attempt) {
+    if (!checkpoint) return;
+    if (!checkpoint->record_attempt(keys[i], attempt)) {
+      ++result.io_degradations;
+      log_line(options, "checkpoint degraded: attempt record for " +
+                            units[i].name + " not durable");
+    }
+  };
+  const auto journal_outcome = [&](std::size_t i, const UnitOutcome& outcome) {
+    if (!checkpoint) return;
+    if (!checkpoint->record_outcome(keys[i], outcome)) {
+      ++result.io_degradations;
+      log_line(options, "checkpoint degraded: outcome record for " +
+                            units[i].name + " not durable");
+    }
   };
 
   // Resume: serve finished units from disk, replay quarantined failures,
@@ -664,7 +698,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
     if (retryable(outcome.kind) && attempt < max_attempts) {
       log_line(options, "retry " + units[i].name + " (" + describe(outcome) +
                             "), stepped-down budget");
-      if (checkpoint) checkpoint->record_outcome(keys[i], outcome);
+      journal_outcome(i, outcome);
       pending.push_back(PendingAttempt{i, attempt + 1, stepped_down(engine)});
       return;
     }
@@ -672,7 +706,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
       outcome.quarantined = true;
     }
     result.units[i].outcome = outcome;
-    if (checkpoint) checkpoint->record_outcome(keys[i], outcome);
+    journal_outcome(i, outcome);
     log_line(options, "done " + units[i].name + ": " + describe(outcome));
     notify_done(i);
   };
@@ -687,8 +721,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
       pending.pop_front();
       const AnalysisUnit& unit = units[next.unit_index];
       const SnapshotPaths paths = paths_for(next.unit_index);
-      if (checkpoint) checkpoint->record_attempt(keys[next.unit_index],
-                                                 next.attempt);
+      journal_attempt(next.unit_index, next.attempt);
       log_line(options, (next.attempt > 1 ? "start (retry) " : "start ") +
                             unit.name);
       std::error_code ec;
@@ -744,10 +777,7 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
           if (outcome.kind == UnitOutcomeKind::kOk && payload) {
             UnitReport& report = result.units[worker.unit_index];
             adopt_payload(report, std::move(*payload), worker.attempt);
-            if (checkpoint) {
-              checkpoint->record_outcome(keys[worker.unit_index],
-                                         report.outcome);
-            }
+            journal_outcome(worker.unit_index, report.outcome);
             log_line(options, "done " + units[worker.unit_index].name + ": " +
                                   describe(report.outcome));
             notify_done(worker.unit_index);
@@ -816,22 +846,24 @@ BatchResult run_batch(const std::vector<AnalysisUnit>& units,
       pending.pop_front();
       const AnalysisUnit& unit = units[next.unit_index];
       const SnapshotPaths paths = paths_for(next.unit_index);
-      if (checkpoint) {
-        checkpoint->record_attempt(keys[next.unit_index], next.attempt);
-      }
+      journal_attempt(next.unit_index, next.attempt);
       log_line(options, (next.attempt > 1 ? "start (retry) " : "start ") +
                             unit.name);
       UnitOutcome outcome;
       outcome.attempts = next.attempt;
       try {
         const std::string bytes = effective_runner(unit, next.engine);
-        write_snapshot_file(paths.tmp, paths.final_path, bytes);
+        if (!write_snapshot_file(paths.tmp, paths.final_path, bytes)) {
+          // The in-memory payload is adopted regardless; only a later
+          // --resume pays (it re-runs this unit). Sound, counted, noted.
+          ++result.io_degradations;
+          log_line(options,
+                   "snapshot degraded: " + unit.name + " not durable");
+        }
         UnitPayload payload = deserialize_unit_payload(bytes);
         UnitReport& report = result.units[next.unit_index];
         adopt_payload(report, std::move(payload), next.attempt);
-        if (checkpoint) {
-          checkpoint->record_outcome(keys[next.unit_index], report.outcome);
-        }
+        journal_outcome(next.unit_index, report.outcome);
         log_line(options,
                  "done " + unit.name + ": " + describe(report.outcome));
         notify_done(next.unit_index);
@@ -943,6 +975,14 @@ std::string format_batch_report(const BatchResult& result) {
     out << ", " << degraded << " possible (degraded frontend)";
   }
   out << '\n';
+  if (result.io_degradations > 0) {
+    // The degradation note of the durable-I/O contract: results are intact,
+    // but N journal/snapshot/cache writes did not land durably (details in
+    // the batch log). Deterministic for a deterministic fault plan; absent
+    // entirely on a healthy run, so golden reports are unchanged.
+    out << "io degradations: " << result.io_degradations
+        << " (results intact; resume may re-run units)\n";
+  }
   return out.str();
 }
 

@@ -141,6 +141,14 @@ struct BatchResult {
   std::vector<UnitReport> units;  // input order
   /// Whether workers were actually process-isolated.
   bool isolated = false;
+  /// Supervisor-side durable-I/O failures absorbed as sound degradations: a
+  /// checkpoint journal record that did not land (the unit merely re-runs on
+  /// resume), an in-process snapshot that could not be written, a cache
+  /// directory that could not be opened (the batch runs uncached). Rendered
+  /// as a trailing "io degradations: N" report line when non-zero — the
+  /// degradation note the resilience contract promises. Worker-side io
+  /// failures surface through unit outcomes instead.
+  std::size_t io_degradations = 0;
 
   [[nodiscard]] std::size_t ok_count() const;
   [[nodiscard]] std::size_t failed_count() const;
@@ -156,8 +164,10 @@ struct BatchResult {
 [[nodiscard]] bool isolation_supported() noexcept;
 
 /// Run the batch. Never throws for per-unit failures; throws
-/// std::runtime_error only for batch-level setup failures (unwritable
-/// checkpoint directory).
+/// std::runtime_error only for batch-level setup failures (an uncreatable
+/// checkpoint directory). Durable-I/O failures past setup — journal records,
+/// snapshots, an unusable cache directory — degrade soundly and are tallied
+/// in BatchResult::io_degradations; the batch itself never dies of them.
 [[nodiscard]] BatchResult run_batch(const std::vector<AnalysisUnit>& units,
                                     const BatchOptions& options,
                                     const UnitRunner& runner = {});

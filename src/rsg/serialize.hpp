@@ -60,9 +60,11 @@ class SnapshotError : public std::runtime_error {
 /// embedded metrics vocabulary with the interprocedural-summary counters and
 /// the phase_ipa timers (the metrics array is length-checked against
 /// kCounterCount, so the growth is a wire-format change); v4 grew it again
-/// with the function-granular cache counters (func_cache_*, summary_reuse).
+/// with the function-granular cache counters (func_cache_*, summary_reuse);
+/// v5 grew it with the durable-I/O counters (io_writes, io_fsyncs,
+/// io_faults_injected, io_degradations).
 /// Older snapshots are rejected with a version mismatch rather than misread.
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 
 // --- Byte-level primitives ---------------------------------------------------
 

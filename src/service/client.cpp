@@ -11,6 +11,7 @@
 #include "driver/checkpoint.hpp"
 #include "rsg/serialize.hpp"
 #include "service/protocol.hpp"
+#include "support/io.hpp"
 #include "support/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -82,34 +83,28 @@ void backoff_sleep(const ClientOptions& options, int attempt) {
 #if PSA_SERVICE_HAS_SOCKETS
 
 /// Journal one streamed unit into the checkpoint exactly as a local
-/// supervisor would have: attempt line, snapshot (tmp-then-rename, so a
-/// client killed mid-write leaves no trusted half-snapshot), outcome line.
-/// Best effort — a full disk degrades to "streamed but not journaled",
-/// never to a failed unit.
-void journal_streamed_unit(driver::Checkpoint& checkpoint,
+/// supervisor would have: attempt line, snapshot (durable tmp-then-rename
+/// via support/io, so a client killed mid-write leaves no trusted
+/// half-snapshot), outcome line. A failure degrades to "streamed but not
+/// journaled" — never a failed unit — and returns false so the caller can
+/// count and log it once.
+bool journal_streamed_unit(driver::Checkpoint& checkpoint,
                            const driver::UnitReport& report,
                            const std::string& payload_bytes) {
-  namespace fs = std::filesystem;
   const std::string key = driver::unit_key(report.unit);
-  checkpoint.record_attempt(key, std::max(1, report.outcome.attempts));
+  bool durable =
+      checkpoint.record_attempt(key, std::max(1, report.outcome.attempts));
   if (!payload_bytes.empty()) {
-    const std::string tmp = checkpoint.snapshot_tmp_path(key);
-    bool written = false;
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (out) {
-        out.write(payload_bytes.data(),
-                  static_cast<std::streamsize>(payload_bytes.size()));
-        written = static_cast<bool>(out);
-      }
+    const auto written = support::io::atomic_write(
+        checkpoint.snapshot_tmp_path(key), checkpoint.snapshot_path(key),
+        payload_bytes);
+    if (!written) {
+      PSA_COUNT(support::Counter::kIoDegradations);
+      durable = false;
     }
-    std::error_code ec;
-    if (written) {
-      fs::rename(tmp, checkpoint.snapshot_path(key), ec);
-    }
-    if (!written || ec) fs::remove(tmp, ec);
   }
-  checkpoint.record_outcome(key, report.outcome);
+  if (!checkpoint.record_outcome(key, report.outcome)) durable = false;
+  return durable;
 }
 
 #endif  // PSA_SERVICE_HAS_SOCKETS
@@ -232,9 +227,12 @@ RequestOutcome run_request(const std::vector<driver::AnalysisUnit>& units,
               throw rsg::SnapshotError("unit identity mismatch in stream");
             }
             if (!results[orig]) {
-              if (checkpoint) {
-                journal_streamed_unit(*checkpoint, unit_result.report,
-                                      unit_result.payload_bytes);
+              if (checkpoint &&
+                  !journal_streamed_unit(*checkpoint, unit_result.report,
+                                         unit_result.payload_bytes)) {
+                log_line(client, "connect: checkpoint degraded for " +
+                                     units[orig].name +
+                                     " (resume would re-run it)");
               }
               results[orig] = std::move(unit_result.report);
               ++finished;

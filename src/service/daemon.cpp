@@ -15,6 +15,7 @@
 #include "driver/supervisor.hpp"
 #include "rsg/serialize.hpp"
 #include "service/protocol.hpp"
+#include "support/io.hpp"
 #include "support/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -75,25 +76,28 @@ void log_line(const DaemonOptions& options, const std::string& line) {
   if (options.log) options.log(line);
 }
 
-/// Append-only request journal next to the cache (or the socket). Best
-/// effort: journal failures never fail the daemon.
+/// Append-only request journal next to the cache (or the socket). Journal
+/// failures never fail the daemon — but they are no longer silent either:
+/// each dropped record is counted as an io degradation and logged once.
 class ServiceJournal {
  public:
-  explicit ServiceJournal(const DaemonOptions& options) {
+  explicit ServiceJournal(const DaemonOptions& options) : options_(&options) {
     const std::string dir =
         options.cache_dir.empty()
             ? fs::path(options.socket_path).parent_path().string()
             : options.cache_dir;
     if (dir.empty()) return;
     path_ = (fs::path(dir) / "service.journal").string();
-    std::ofstream out(path_, std::ios::app);
-    if (out) out << "psa-service-journal v1\n" << std::flush;
+    record("psa-service-journal v1");
   }
 
   void record(const std::string& line) {
     if (path_.empty()) return;
-    std::ofstream out(path_, std::ios::app);
-    if (out) out << line << '\n' << std::flush;
+    const auto result = support::io::checked_append(path_, line + '\n');
+    if (!result) {
+      PSA_COUNT(support::Counter::kIoDegradations);
+      log_line(*options_, "service journal degraded: " + result.error);
+    }
   }
 
   /// The drain marker: a journal whose last line is "sealed" belonged to a
@@ -101,6 +105,7 @@ class ServiceJournal {
   void seal() { record("sealed"); }
 
  private:
+  const DaemonOptions* options_;
   std::string path_;
 };
 
@@ -340,10 +345,19 @@ int run_daemon(const DaemonOptions& options) {
       log_line(options, line.str());
       sweep_cache("startup");
     } catch (const std::exception& e) {
-      log_line(options, std::string("serve: ") + e.what());
-      return 1;
+      // Serve uncached rather than not at all: an unusable cache directory
+      // costs warm-probe speed, never availability or correctness.
+      PSA_COUNT(support::Counter::kIoDegradations);
+      log_line(options, std::string("serve: cache unavailable, serving "
+                                    "uncached: ") +
+                            e.what());
+      cache.reset();
     }
   }
+
+  // Create the fork-shared io op counter before the first handler fork, so
+  // the daemon tree numbers durable ops in one stream.
+  support::io::ensure_initialized();
 
   const int listen_fd = bind_listener(options, &error);
   if (listen_fd < 0) {

@@ -59,6 +59,10 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kFuncCacheMisses: return "func_cache_misses";
     case Counter::kFuncCacheStores: return "func_cache_stores";
     case Counter::kSummaryReuse: return "summary_reuse";
+    case Counter::kIoWrites: return "io_writes";
+    case Counter::kIoFsyncs: return "io_fsyncs";
+    case Counter::kIoFaultsInjected: return "io_faults_injected";
+    case Counter::kIoDegradations: return "io_degradations";
     case Counter::kPhaseParseWallNs: return "phase_parse_wall_ns";
     case Counter::kPhaseParseCpuNs: return "phase_parse_cpu_ns";
     case Counter::kPhaseCfgWallNs: return "phase_cfg_wall_ns";

@@ -120,6 +120,12 @@ enum class Counter : std::uint16_t {
   kFuncCacheStores,  // per-function entries written (results + summaries)
   kSummaryReuse,     // callee summaries loaded from cache, not recomputed
 
+  // Durable-I/O layer (docs/RESILIENCE.md, "The I/O fault space").
+  kIoWrites,          // durable ops issued (atomic writes, appends, renames)
+  kIoFsyncs,          // fsync calls (file data and directory entries)
+  kIoFaultsInjected,  // PSA_IO_FAULT injections that fired
+  kIoDegradations,    // io failures absorbed as sound degradations
+
   // Phase timers, nanoseconds (wall = steady clock, cpu = process CPU).
   // Everything from kPhaseParseWallNs on is a timer; see is_timer().
   kPhaseParseWallNs,

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -756,6 +757,98 @@ TEST_F(WarmCacheTest, FrontendErrorIsNeverCached) {
   for (const auto& entry : fs::directory_iterator(dir_)) {
     EXPECT_NE(entry.path().extension(), ".entry");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durable-I/O faults (PSA_IO_FAULT, docs/RESILIENCE.md "The I/O fault
+// space"): every store/sweep failure must be a *sound degradation* — a clean
+// miss or a skipped eviction, never a torn entry served or a record dropped
+// silently.
+
+class IoFaultCacheTest : public ResultCacheTest {
+ protected:
+  void SetUp() override {
+    ResultCacheTest::SetUp();
+    ::unsetenv("PSA_IO_FAULT");
+  }
+  void TearDown() override {
+    ::unsetenv("PSA_IO_FAULT");
+    ResultCacheTest::TearDown();
+  }
+};
+
+TEST_F(IoFaultCacheTest, StoreUnderEnospcIsACleanMiss) {
+  ResultCache cache(dir_);
+  const CacheKey key = key_of(kSourceA);
+  const std::string bytes = real_payload_bytes();
+
+  support::MetricsRegion region;
+  ::setenv("PSA_IO_FAULT", "@.entry:enospc", 1);
+  EXPECT_FALSE(cache.store(key, bytes));  // failure reported, not thrown
+  ::unsetenv("PSA_IO_FAULT");
+
+  // Sound degradation: the final path never appeared, the next lookup is a
+  // clean miss, and the failure was counted.
+  EXPECT_FALSE(fs::exists(cache.entry_path(key)));
+  EXPECT_EQ(cache.lookup(key).status, ResultCache::Lookup::Status::kMiss);
+  EXPECT_GE(region.delta()[support::Counter::kIoDegradations], 1u);
+
+  // The device recovered: the same store heals the slot.
+  ASSERT_TRUE(cache.store(key, bytes));
+  const ResultCache::Lookup hit = cache.lookup(key);
+  ASSERT_EQ(hit.status, ResultCache::Lookup::Status::kHit);
+  EXPECT_EQ(hit.bytes, bytes);
+}
+
+TEST_F(IoFaultCacheTest, StoreUnderShortWriteNeverLeavesATornEntry) {
+  ResultCache cache(dir_);
+  const CacheKey key = key_of(kSourceA);
+
+  ::setenv("PSA_IO_FAULT", "@.entry:shortwrite", 1);
+  EXPECT_FALSE(cache.store(key, real_payload_bytes()));
+  ::unsetenv("PSA_IO_FAULT");
+
+  // Half the bytes landed — in the tmp file only. The entry path must not
+  // exist: a torn entry at the final path is the one corruption lookup's
+  // checksum could only catch after the fact, and the atomic-write protocol
+  // makes it impossible by construction.
+  EXPECT_FALSE(fs::exists(cache.entry_path(key)));
+  EXPECT_EQ(cache.lookup(key).status, ResultCache::Lookup::Status::kMiss);
+
+  // The torn tmp is junk awaiting the startup recovery sweep.
+  ResultCache reopened(dir_);
+  const ResultCache::RecoveryReport report = reopened.recover();
+  EXPECT_EQ(report.tmp_removed, 1u);
+  EXPECT_EQ(report.quarantined, 0u);
+  ASSERT_TRUE(reopened.store(key, real_payload_bytes()));
+  EXPECT_EQ(reopened.lookup(key).status, ResultCache::Lookup::Status::kHit);
+}
+
+TEST_F(IoFaultCacheTest, SweepWithoutDurableJournalEvictsNothing) {
+  ResultCache cache(dir_);
+  const CacheKey key_a = key_of(kSourceA);
+  const CacheKey key_b = key_of(kSourceB);
+  ASSERT_TRUE(cache.store(key_a, real_payload_bytes(kSourceA)));
+  ASSERT_TRUE(cache.store(key_b, real_payload_bytes(kSourceB)));
+
+  // Journal-before-unlink: with the sweep journal on a failing device no
+  // "evict" record can be made durable, so no entry may be unlinked — a
+  // sweep that deletes results without a durable record of why would turn
+  // an io fault into silent data loss.
+  ::setenv("PSA_IO_FAULT", "@sweep.journal:eio", 1);
+  ResultCache::SweepLimits limits;
+  limits.max_bytes = 1;  // would evict everything if journaling worked
+  const ResultCache::SweepReport faulted = cache.sweep(limits);
+  ::unsetenv("PSA_IO_FAULT");
+  EXPECT_TRUE(faulted.ran);
+  EXPECT_EQ(faulted.evicted, 0u);
+  EXPECT_EQ(cache.lookup(key_a).status, ResultCache::Lookup::Status::kHit);
+  EXPECT_EQ(cache.lookup(key_b).status, ResultCache::Lookup::Status::kHit);
+
+  // Device healthy again: the same sweep bounds the cache normally.
+  const ResultCache::SweepReport healed = cache.sweep(limits);
+  EXPECT_TRUE(healed.ran);
+  EXPECT_GE(healed.evicted, 1u);
 }
 
 }  // namespace

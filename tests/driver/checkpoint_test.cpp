@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -54,14 +55,14 @@ TEST_F(CheckpointTest, OutcomeRoundTripsThroughResume) {
   const std::string key = unit_key(unit("prog"));
   {
     Checkpoint ckpt(dir_, /*resume=*/false);
-    ckpt.record_attempt(key, 1);
+    (void)ckpt.record_attempt(key, 1);
     UnitOutcome outcome;
     outcome.kind = UnitOutcomeKind::kCrash;
     outcome.signal = 6;
     outcome.attempts = 2;
     outcome.quarantined = true;
     outcome.detail = "two\nlines";
-    ckpt.record_outcome(key, outcome);
+    (void)ckpt.record_outcome(key, outcome);
   }
   Checkpoint resumed(dir_, /*resume=*/true);
   const UnitOutcome* replayed = resumed.replayed_outcome(key);
@@ -79,11 +80,11 @@ TEST_F(CheckpointTest, LastOutcomePerKeyWins) {
     Checkpoint ckpt(dir_, false);
     UnitOutcome first;
     first.kind = UnitOutcomeKind::kTimeout;
-    ckpt.record_outcome(key, first);
+    (void)ckpt.record_outcome(key, first);
     UnitOutcome second;
     second.kind = UnitOutcomeKind::kOk;
     second.attempts = 2;
-    ckpt.record_outcome(key, second);
+    (void)ckpt.record_outcome(key, second);
   }
   Checkpoint resumed(dir_, true);
   const UnitOutcome* replayed = resumed.replayed_outcome(key);
@@ -98,7 +99,7 @@ TEST_F(CheckpointTest, TornFinalLineIsSkipped) {
     Checkpoint ckpt(dir_, false);
     UnitOutcome outcome;
     outcome.kind = UnitOutcomeKind::kOk;
-    ckpt.record_outcome(key, outcome);
+    (void)ckpt.record_outcome(key, outcome);
   }
   {
     // Simulate a SIGKILL mid-write: a half-written outcome line.
@@ -127,7 +128,7 @@ TEST_F(CheckpointTest, TornFirstLineIsSkipped) {
   // The checkpoint stays usable: new records append and replay next time.
   UnitOutcome outcome;
   outcome.kind = UnitOutcomeKind::kOk;
-  resumed.record_outcome(unit_key(unit("prog")), outcome);
+  (void)resumed.record_outcome(unit_key(unit("prog")), outcome);
   Checkpoint again(dir_, /*resume=*/true);
   ASSERT_NE(again.replayed_outcome(unit_key(unit("prog"))), nullptr);
 }
@@ -153,7 +154,7 @@ TEST_F(CheckpointTest, ResumeSweepsStrayInFlightSnapshot) {
     Checkpoint ckpt(dir_, /*resume=*/false);
     UnitOutcome outcome;
     outcome.kind = UnitOutcomeKind::kOk;
-    ckpt.record_outcome(key, outcome);
+    (void)ckpt.record_outcome(key, outcome);
     tmp_path = ckpt.snapshot_tmp_path(key);
     std::ofstream tmp(tmp_path, std::ios::binary);
     tmp << "half-writ";
@@ -201,7 +202,7 @@ TEST_F(CheckpointTest, FreshRunClearsStaleJournalAndSnapshots) {
     Checkpoint ckpt(dir_, false);
     UnitOutcome outcome;
     outcome.kind = UnitOutcomeKind::kOk;
-    ckpt.record_outcome(key, outcome);
+    (void)ckpt.record_outcome(key, outcome);
     std::ofstream snap(ckpt.snapshot_path(key), std::ios::binary);
     snap << "stale";
   }
@@ -251,6 +252,68 @@ TEST_F(CheckpointTest, LoadPayloadRoundTripsARealPayload) {
   EXPECT_EQ(loaded->unit_name, "prog");
   EXPECT_FALSE(loaded->frontend_ok);
   EXPECT_EQ(loaded->frontend_error, "1:1: error: made up");
+}
+
+// ---------------------------------------------------------------------------
+// Durable-I/O faults (PSA_IO_FAULT, docs/RESILIENCE.md "The I/O fault
+// space"): a journal on a failing device degrades — records report failure,
+// the batch runs on, and the checkpoint stays resumable (an unrecorded unit
+// simply re-runs).
+
+TEST_F(CheckpointTest, UnwritableJournalDegradesAndStaysResumable) {
+  const std::string key = unit_key(unit("prog"));
+  ::setenv("PSA_IO_FAULT", "@journal.psaj:enospc", 1);
+  {
+    Checkpoint ckpt(dir_, /*resume=*/false);
+    // The header append already failed: the degradation is announced up
+    // front instead of throwing.
+    bool noted = false;
+    for (const std::string& note : ckpt.recovery_notes()) {
+      noted = noted || note.find("not be resumable") != std::string::npos;
+    }
+    EXPECT_TRUE(noted);
+    // Every record honestly reports it is not durable; nothing throws.
+    EXPECT_FALSE(ckpt.record_attempt(key, 1));
+    UnitOutcome outcome;
+    EXPECT_FALSE(ckpt.record_outcome(key, outcome));
+  }
+  ::unsetenv("PSA_IO_FAULT");
+
+  // Resume against the never-written journal: sound — no outcome replayed,
+  // so the unit re-runs; and with the device healthy the journal works.
+  {
+    Checkpoint resumed(dir_, /*resume=*/true);
+    EXPECT_EQ(resumed.replayed_outcome(key), nullptr);
+    EXPECT_TRUE(resumed.record_attempt(key, 1));
+    UnitOutcome outcome;
+    outcome.kind = UnitOutcomeKind::kOk;
+    EXPECT_TRUE(resumed.record_outcome(key, outcome));
+  }
+  Checkpoint replay(dir_, /*resume=*/true);
+  const UnitOutcome* replayed = replay.replayed_outcome(key);
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->kind, UnitOutcomeKind::kOk);
+}
+
+TEST_F(CheckpointTest, TransientJournalFaultLosesOneRecordNotTheJournal) {
+  const std::string key_a = unit_key(unit("a"));
+  const std::string key_b = unit_key(unit("b"));
+  Checkpoint ckpt(dir_, /*resume=*/false);
+  UnitOutcome outcome;
+  outcome.kind = UnitOutcomeKind::kOk;
+  ASSERT_TRUE(ckpt.record_outcome(key_a, outcome));
+
+  // One ENOSPC hits exactly the next journal append; the write after it
+  // succeeds. The lost record means that unit re-runs on resume — the
+  // records around it must be untouched.
+  ::setenv("PSA_IO_FAULT", "@journal.psaj:enospc", 1);
+  EXPECT_FALSE(ckpt.record_outcome(key_b, outcome));
+  ::unsetenv("PSA_IO_FAULT");
+  ASSERT_TRUE(ckpt.record_attempt(key_b, 2));
+
+  Checkpoint resumed(dir_, /*resume=*/true);
+  ASSERT_NE(resumed.replayed_outcome(key_a), nullptr);  // neighbors intact
+  EXPECT_EQ(resumed.replayed_outcome(key_b), nullptr);  // lost => re-run
 }
 
 }  // namespace

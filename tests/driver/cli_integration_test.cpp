@@ -423,6 +423,41 @@ TEST_F(CliTest, ResumeAfterSigkillReproducesTheUninterruptedReport) {
   EXPECT_NE(log.find("(checkpointed)"), std::string::npos) << log;
 }
 
+// ---------------------------------------------------------------------------
+// --fault-campaign (docs/RESILIENCE.md "The I/O fault space"): the
+// deterministic (op x kind) sweep through the real binary. The full bounded
+// sweep is scripts/fault_campaign.sh (CI); this smoke keeps the orchestrator
+// itself honest — it must enumerate traced ops, run scenarios, and exit 0
+// with every invariant held.
+
+TEST_F(CliTest, FaultCampaignBoundedSweepHoldsAllInvariants) {
+  const RunResult result =
+      run_cli("--fault-campaign=" + path_in("campaign") +
+                  " --campaign-max-ops=2 --campaign-kinds=enospc,crash",
+              path_in("campaign.log"));
+  EXPECT_EQ(result.exit_code, 0) << slurp(path_in("campaign.log"));
+  EXPECT_NE(result.stdout_text.find("0 violations"), std::string::npos)
+      << result.stdout_text;
+  // The sweep really enumerated (op, kind) pairs.
+  EXPECT_NE(result.stdout_text.find("2 ops x 2 kinds = 4 scenarios"),
+            std::string::npos)
+      << result.stdout_text;
+}
+
+TEST_F(CliTest, FaultCampaignRejectsBadUsage) {
+  // Unknown kind: setup failure, not a silent empty sweep.
+  EXPECT_EQ(run_cli("--fault-campaign=" + path_in("c") +
+                        " --campaign-kinds=sparks",
+                    "")
+                .exit_code,
+            2);
+  // Campaign knobs without the mode, and mixing the mode with batch inputs.
+  EXPECT_EQ(run_cli("--campaign-max-ops=3 file.c", "").exit_code, 2);
+  EXPECT_EQ(run_cli("--fault-campaign=" + path_in("c") + " --corpus", "")
+                .exit_code,
+            2);
+}
+
 #endif  // PSA_CLI_TESTS_POSIX
 
 }  // namespace

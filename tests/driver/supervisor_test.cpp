@@ -711,5 +711,39 @@ TEST_F(CheckpointedBatch, ResumePreservesThePartialOutcome) {
             first.units[0].payload->salvage_diagnostics);
 }
 
+// ---------------------------------------------------------------------------
+// Durable-I/O faults at the batch level (PSA_IO_FAULT, docs/RESILIENCE.md
+// "The I/O fault space"): a failing checkpoint device never kills the batch
+// — the results stay intact, the degradations are counted, and the report
+// says so in its trailing note.
+
+TEST_F(CheckpointedBatch, JournalFaultsDegradeSoundlyAndAreReported) {
+  const std::vector<AnalysisUnit> units = {inline_unit("a"), inline_unit("b")};
+  BatchOptions options = quiet_options();
+  options.checkpoint_dir = dir_;
+
+  ::setenv("PSA_IO_FAULT", "@journal.psaj:enospc", 1);
+  const BatchResult faulted = run_batch(units, options);
+  ::unsetenv("PSA_IO_FAULT");
+
+  // Every unit still analyzed: the device failure cost durability, never
+  // results.
+  EXPECT_EQ(batch_exit_code(faulted), kExitOk);
+  for (const UnitReport& u : faulted.units) {
+    EXPECT_EQ(u.outcome.kind, UnitOutcomeKind::kOk);
+    EXPECT_TRUE(u.payload.has_value());
+  }
+  EXPECT_GT(faulted.io_degradations, 0u);
+  EXPECT_NE(format_batch_report(faulted).find("io degradations:"),
+            std::string::npos);
+
+  // A healthy run of the same batch carries no note — the marker appears
+  // exactly when something degraded, so golden reports stay golden.
+  const BatchResult healthy = run_batch(units, options);
+  EXPECT_EQ(healthy.io_degradations, 0u);
+  EXPECT_EQ(format_batch_report(healthy).find("io degradations:"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace psa::driver

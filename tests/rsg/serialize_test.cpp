@@ -55,13 +55,14 @@ TEST(SerializeEnvelope, RejectsWrongVersion) {
 }
 
 TEST(SerializeEnvelope, VersionIsPinnedAndPredecessorsAreRejected) {
-  // v4: the metrics array grew by the function-granular cache counters
-  // (func_cache_*, summary_reuse — src/rsg/serialize.hpp). A version bump
-  // without updating this pin is a wire-format change nobody signed off on.
-  EXPECT_EQ(kSnapshotVersion, 4u);
-  // Every prior version (v1 pre-metrics, v2 pre-IPA, v3 pre-func-cache)
-  // must be rejected — stale cache entries and checkpoints re-analyze
-  // rather than misparse.
+  // v5: the metrics array grew by the durable-I/O counters (io_writes,
+  // io_fsyncs, io_faults_injected, io_degradations — src/rsg/serialize.hpp).
+  // A version bump without updating this pin is a wire-format change nobody
+  // signed off on.
+  EXPECT_EQ(kSnapshotVersion, 5u);
+  // Every prior version (v1 pre-metrics, v2 pre-IPA, v3 pre-func-cache,
+  // v4 pre-io-counters) must be rejected — stale cache entries and
+  // checkpoints re-analyze rather than misparse.
   for (std::uint8_t old = 0; old < kSnapshotVersion; ++old) {
     std::string bytes = wrap_snapshot("payload");
     bytes[8] = static_cast<char>(old);
